@@ -1,0 +1,23 @@
+//! Criterion bench: full OCCAM compilation (parse → sema → graphs →
+//! schedule → emit → assemble) of the matmul benchmark source.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qm_occam::{compile, Options};
+
+fn bench(c: &mut Criterion) {
+    let w = qm_workloads::matmul(8);
+    let opts = Options::default();
+    c.bench_function("compile_matmul_8x8", |b| {
+        b.iter(|| black_box(compile(black_box(&w.source), &opts).expect("compiles")));
+    });
+
+    let cholesky = qm_workloads::cholesky(8);
+    c.bench_function("compile_cholesky_8x8", |b| {
+        b.iter(|| black_box(compile(black_box(&cholesky.source), &opts).expect("compiles")));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: raw PE emulation speed on a register-mode countdown
+//! loop (host instructions per simulated instruction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qm_isa::asm::assemble;
+use qm_isa::mem::FlatMemory;
+use qm_isa::pe::{NullServices, Pe, StepResult};
+
+fn bench(c: &mut Criterion) {
+    let obj = assemble(
+        "start: plus #0,#0 :r17\n\
+         loop:  plus r17,#1 :r17\n\
+                lt r17,#1000 :r18\n\
+                bne r18,@loop\n\
+                trap #3,#0\n",
+    )
+    .expect("fixed program");
+    c.bench_function("pe_countdown_3k_instructions", |b| {
+        b.iter(|| {
+            let mut mem = FlatMemory::new();
+            mem.load_words(0, obj.words());
+            let mut pe = Pe::new(0);
+            pe.reset(0, 0x8000_0400);
+            let mut svc = NullServices;
+            loop {
+                match pe.step(&mut mem, &mut svc) {
+                    StepResult::Continue => {}
+                    StepResult::Trap { .. } => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            black_box(pe.cycles)
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: the linear-time level-order conjugate algorithm
+//! (Fig. 3.3) vs the sort-based reference, on deep expression trees.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qm_core::expr::{Op, ParseTree};
+use qm_core::level_order::{level_order_naive, level_order_sequence};
+
+/// A balanced binary expression tree with `depth` levels.
+fn balanced(depth: usize, next: &mut u32) -> ParseTree {
+    if depth == 0 {
+        *next += 1;
+        ParseTree::var(&format!("v{next}"))
+    } else {
+        let l = balanced(depth - 1, next);
+        let r = balanced(depth - 1, next);
+        ParseTree::binary(Op::Add, l, r)
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut n = 0;
+    let tree = balanced(12, &mut n); // 8191 nodes
+    c.bench_function("conjugate_traversal_8k_nodes", |b| {
+        b.iter(|| black_box(level_order_sequence(black_box(&tree))));
+    });
+    c.bench_function("naive_traversal_8k_nodes", |b| {
+        b.iter(|| black_box(level_order_naive(black_box(&tree))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: end-to-end multiprocessor simulation of a 4×4
+//! matrix multiplication on 1 and 4 PEs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qm_occam::Options;
+use qm_workloads::{matmul, run_workload};
+
+fn bench(c: &mut Criterion) {
+    let w = matmul(4);
+    let opts = Options::default();
+    for pes in [1usize, 4] {
+        c.bench_function(&format!("simulate_matmul_4x4_{pes}pe"), |b| {
+            b.iter(|| {
+                let r = run_workload(black_box(&w), pes, &opts).expect("run");
+                assert!(r.correct);
+                black_box(r.outcome.elapsed_cycles)
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Table 3.2 computation: exhaustive tree
+//! enumeration plus the pipelined-ALU cycle models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qm_core::enumerate::all_trees;
+use qm_core::pipeline::{speedup_row, FetchPolicy, Program};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table3_2_row_n9", |b| {
+        b.iter(|| black_box(speedup_row(black_box(9), 2)));
+    });
+
+    let trees = all_trees(11);
+    c.bench_function("cycle_model_11_nodes", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for t in &trees {
+                total += Program::queue_program(t).cycles(2, FetchPolicy::NonOverlapped);
+            }
+            black_box(total)
+        });
+    });
+
+    c.bench_function("enumerate_trees_n10", |b| {
+        b.iter(|| black_box(all_trees(black_box(10)).len()));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation: context placement policy (DESIGN.md design-choice study).
+//!
+//! `Local` degenerates to uniprocessing (every fork stays home);
+//! `RoundRobin` spreads blindly; `LeastLoaded` follows PE clocks and
+//! queue depth — the kernel default.
+
+use qm_occam::Options;
+use qm_sim::config::{Placement, SystemConfig};
+use qm_workloads::runner::run_workload_cfg;
+
+fn main() {
+    let opts = Options::default();
+    let pes = 8;
+    println!("Ablation — context placement policy ({pes} PEs)\n");
+    let mut rows = Vec::new();
+    for w in qm_bench::thesis_workloads() {
+        let mut row = vec![w.name.clone()];
+        for placement in [Placement::Local, Placement::RoundRobin, Placement::LeastLoaded] {
+            let cfg = SystemConfig { placement, ..SystemConfig::with_pes(pes) };
+            let r = run_workload_cfg(&w, cfg, &opts).expect("run");
+            assert!(r.correct, "{} {placement:?}: {:?}", w.name, r.mismatches);
+            row.push(r.outcome.elapsed_cycles.to_string());
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        qm_bench::text_table(&["program", "local", "round-robin", "least-loaded"], &rows)
+    );
+    println!("cycles on 8 PEs; lower is better");
+}

@@ -1,0 +1,6 @@
+//! Table 6.3 + Fig. 6.10: Fast Fourier Transform statistics and
+//! throughput ratio over 1–8 processing elements.
+
+fn main() {
+    qm_bench::report_workload(&qm_workloads::fft(16), "Table 6.3", "Fig. 6.10");
+}

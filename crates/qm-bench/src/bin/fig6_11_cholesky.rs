@@ -1,0 +1,6 @@
+//! Table 6.4 + Fig. 6.11: Cholesky decomposition statistics and
+//! throughput ratio over 1–8 processing elements.
+
+fn main() {
+    qm_bench::report_workload(&qm_workloads::cholesky(8), "Table 6.4", "Fig. 6.11");
+}

@@ -1,0 +1,6 @@
+//! Table 6.5 + Fig. 6.12: congruence transformation (B = PᵀAP)
+//! statistics and throughput ratio over 1–8 processing elements.
+
+fn main() {
+    qm_bench::report_workload(&qm_workloads::congruence(8), "Table 6.5", "Fig. 6.12");
+}

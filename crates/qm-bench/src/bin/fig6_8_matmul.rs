@@ -1,0 +1,6 @@
+//! Table 6.2 + Fig. 6.8: matrix multiplication statistics and throughput
+//! ratio over 1–8 processing elements.
+
+fn main() {
+    qm_bench::report_workload(&qm_workloads::matmul(8), "Table 6.2", "Fig. 6.8");
+}

@@ -1,0 +1,31 @@
+//! Problem-size scaling study: how throughput ratio at 8 PEs grows with
+//! the work per context (the §4.3 granularity argument — bigger acyclic
+//! graphs amortise the splicing overhead).
+
+use qm_occam::Options;
+use qm_workloads::{matmul, speedup_curve};
+
+fn main() {
+    let opts = Options::default();
+    println!("Scaling — matmul problem size vs 8-PE throughput ratio\n");
+    let mut rows = Vec::new();
+    for n in [4usize, 6, 8, 10, 12] {
+        let w = matmul(n);
+        let pts = speedup_curve(&w, &[1, 8], &opts).expect("runs");
+        let one = pts[0].cycles;
+        let eight = pts[1].cycles;
+        rows.push(vec![
+            format!("{n}x{n}"),
+            one.to_string(),
+            eight.to_string(),
+            format!("{:.2}", pts[1].throughput_ratio),
+        ]);
+    }
+    println!(
+        "{}",
+        qm_bench::text_table(&["size", "1-PE cycles", "8-PE cycles", "ratio"], &rows)
+    );
+    println!("larger problems amortise fork/channel overhead over more work;");
+    println!("sizes whose row count is not a multiple of 8 dip (round-robin");
+    println!("placement double-loads some PEs — e.g. 10 rows on 8 PEs)");
+}

@@ -1,0 +1,56 @@
+//! Table 3.1: queue machine and stack machine instruction sequences for
+//! `f ← a·b + (c − d)/e`, with the operand queue/stack contents at every
+//! step.
+
+use qm_core::expr::{Op, ParseTree};
+use qm_core::level_order::level_order_sequence;
+use qm_core::{simple, stack};
+
+fn main() {
+    let tree = ParseTree::parse_infix("a*b + (c-d)/e").expect("fixed expression");
+    let env = |n: &str| match n {
+        "a" => 2,
+        "b" => 3,
+        "c" => 20,
+        "d" => 6,
+        "e" => 7,
+        _ => 0,
+    };
+    let queue_ops = level_order_sequence(&tree);
+    let stack_ops = tree.post_order();
+    let qt = simple::trace(&queue_ops, &env).expect("valid queue program");
+    let st = stack::trace(&stack_ops, &env).expect("valid stack program");
+
+    println!("Table 3.1 — f <- a*b + (c-d)/e   (a=2 b=3 c=20 d=6 e=7)\n");
+    let rows: Vec<Vec<String>> = (0..queue_ops.len())
+        .map(|i| {
+            let fmt_q: Vec<String> = qt.states[i + 1].queue.iter().map(ToString::to_string).collect();
+            let mut s_rev: Vec<String> =
+                st.states[i + 1].stack.iter().map(ToString::to_string).collect();
+            s_rev.reverse(); // thesis prints top of stack first
+            vec![
+                stack_ops[i].mnemonic(),
+                s_rev.join(","),
+                queue_ops[i].mnemonic(),
+                fmt_q.join(","),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        qm_bench::text_table(
+            &["stack instr", "stack after", "queue instr", "queue after"],
+            &rows
+        )
+    );
+    println!("stack result = {}   queue result = {}", st.result, qt.result);
+    assert_eq!(st.result, qt.result);
+
+    // The thesis observation: same multiset of instructions, different order.
+    let mut a: Vec<String> = queue_ops.iter().map(Op::mnemonic).collect();
+    let mut b: Vec<String> = stack_ops.iter().map(Op::mnemonic).collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "queue sequence is a permutation of the stack sequence");
+    println!("(queue sequence is a permutation of the stack sequence)");
+}

@@ -1,0 +1,26 @@
+//! Table 3.2: average queue-over-stack speed-up as a function of parse
+//! tree size, for a two-stage pipelined ALU, under case 1 (non-overlapped
+//! fetch) and case 2 (overlapped fetch).
+
+use qm_core::pipeline::speedup_row;
+
+fn main() {
+    println!("Table 3.2 — speed-up vs parse-tree size (2-stage pipelined ALU)\n");
+    let rows: Vec<Vec<String>> = (1..=11)
+        .map(|n| {
+            let row = speedup_row(n, 2);
+            vec![
+                n.to_string(),
+                row.tree_count.to_string(),
+                format!("{:.2}", row.case1),
+                format!("{:.2}", row.case2),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        qm_bench::text_table(&["nodes", "trees", "case 1", "case 2"], &rows)
+    );
+    println!("note: tree counts are Motzkin numbers (see EXPERIMENTS.md for the");
+    println!("comparison against the thesis's enumeration).");
+}

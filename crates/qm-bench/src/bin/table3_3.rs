@@ -1,0 +1,19 @@
+//! Table 3.3: queue-over-stack speed-up for 11-node parse trees as a
+//! function of the number of ALU pipeline stages.
+
+use qm_core::pipeline::speedup_row;
+
+fn main() {
+    println!("Table 3.3 — speed-up vs pipeline stages (11-node parse trees)\n");
+    let rows: Vec<Vec<String>> = (1..=6)
+        .map(|stages| {
+            let row = speedup_row(11, stages);
+            vec![
+                stages.to_string(),
+                format!("{:.2}", row.case1),
+                format!("{:.2}", row.case2),
+            ]
+        })
+        .collect();
+    println!("{}", qm_bench::text_table(&["stages", "case 1", "case 2"], &rows));
+}

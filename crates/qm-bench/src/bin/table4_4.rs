@@ -1,0 +1,59 @@
+//! Tables 4.4–4.5: `P*(v)`, `I*(v)`, `C(v)` and the input weights `W(v)`
+//! for the Fig. 4.14 data-flow graph of `e ← ((a+b) × (−c)) ÷ d`, plus
+//! the depth-first node list of Fig. 4.13.
+
+use qm_core::dfg::{analysis, Dag};
+
+fn main() {
+    let mut g: Dag<&str> = Dag::new();
+    let a = g.add_node("a", &[]);
+    let b = g.add_node("b", &[]);
+    let plus = g.add_node("+", &[a, b]);
+    let c = g.add_node("c", &[]);
+    let neg = g.add_node("-", &[c]);
+    let mul = g.add_node("*", &[plus, neg]);
+    let d = g.add_node("d", &[]);
+    let div = g.add_node("/", &[mul, d]);
+    let _e = g.add_node("e", &[div]);
+
+    let dfl = analysis::depth_first_list(&g);
+    let names: Vec<&str> = dfl.iter().map(|&v| *g.payload(v)).collect();
+    println!("Fig. 4.13/4.14 — depth-first list: {}\n", names.join(" "));
+
+    let is_input = |p: &&str| ["a", "b", "c", "d"].contains(p);
+    let info = analysis::analyse(&g, is_input);
+    println!("Table 4.4 — P*(v), I*(v), C(v)\n");
+    let set = |s: &std::collections::BTreeSet<usize>| -> String {
+        let names: Vec<&str> = s.iter().map(|&v| *g.payload(v)).collect();
+        format!("{{{}}}", names.join(","))
+    };
+    let rows: Vec<Vec<String>> = g
+        .node_ids()
+        .map(|v| {
+            vec![
+                (*g.payload(v)).to_string(),
+                set(&info[v].predecessors),
+                set(&info[v].required_inputs),
+                info[v].cost.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", qm_bench::text_table(&["v", "P*(v)", "I*(v)", "C(v)"], &rows));
+
+    println!("Table 4.5 — input weights W(v) (descending = transmission order)\n");
+    let seq = analysis::input_sequence(&g, is_input);
+    let rows: Vec<Vec<String>> = seq
+        .iter()
+        .map(|&(v, w)| vec![(*g.payload(v)).to_string(), w.to_string()])
+        .collect();
+    println!("{}", qm_bench::text_table(&["v", "W(v)"], &rows));
+
+    // The thesis's published values.
+    let by_name: std::collections::HashMap<&str, usize> =
+        seq.iter().map(|&(v, w)| (*g.payload(v), w)).collect();
+    assert_eq!(by_name["a"], 27);
+    assert_eq!(by_name["b"], 27);
+    assert_eq!(by_name["c"], 26);
+    assert_eq!(by_name["d"], 18);
+    println!("matches Table 4.5: W(a)=27 W(b)=27 W(c)=26 W(d)=18");
+}

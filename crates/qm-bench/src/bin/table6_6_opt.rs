@@ -1,0 +1,44 @@
+//! Table 6.6: compiler optimization speed-up factors.
+//!
+//! Each optimization is disabled in turn (the rest stay on) and every
+//! workload re-run on 4 PEs; the reported factor is
+//! `cycles(optimization off) / cycles(all on)` — how much the
+//! optimization buys.
+
+use qm_occam::Options;
+use qm_workloads::run_workload;
+
+fn main() {
+    let all_on = Options::default();
+    let variants: [(&str, Options); 4] = [
+        ("live-value analysis", Options { live_value_analysis: false, ..all_on }),
+        ("input sequencing (π_I)", Options { input_sequencing: false, ..all_on }),
+        ("priority scheduling", Options { priority_scheduling: false, ..all_on }),
+        ("loop unrolling", Options { loop_unrolling: false, ..all_on }),
+    ];
+    let pes = 4;
+    println!("Table 6.6 — compiler optimization speed-up factors ({pes} PEs)\n");
+    let mut rows = Vec::new();
+    for w in qm_bench::thesis_workloads() {
+        let base = run_workload(&w, pes, &all_on).expect("baseline run");
+        assert!(base.correct, "{}: {:?}", w.name, base.mismatches);
+        let mut row = vec![w.name.clone()];
+        for (name, opts) in &variants {
+            let r = run_workload(&w, pes, opts)
+                .unwrap_or_else(|e| panic!("{} without {name}: {e}", w.name));
+            assert!(r.correct, "{} without {name}: {:?}", w.name, r.mismatches);
+            #[allow(clippy::cast_precision_loss)]
+            let factor = r.outcome.elapsed_cycles as f64 / base.outcome.elapsed_cycles as f64;
+            row.push(format!("{factor:.2}"));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        qm_bench::text_table(
+            &["program", "live-value", "input seq", "priorities", "unrolling"],
+            &rows
+        )
+    );
+    println!("factor = cycles with the optimization disabled / cycles with all enabled");
+}

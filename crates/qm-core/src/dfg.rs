@@ -1,0 +1,708 @@
+//! Acyclic data-flow graphs and their queue-machine interpretation
+//! (thesis §3.6 and §4.5–4.7).
+//!
+//! * [`Dag`] — a generic directed acyclic graph with *ordered* inputs per
+//!   node (the labelled edges `(v, w, l)` of the thesis definition).
+//! * `π_G` — the path-induced partial order; any linearisation respecting
+//!   it is a valid instruction order ([`Dag::topo_order`],
+//!   [`Dag::respects_partial_order`]).
+//! * [`analysis`] — `P*(v)`, `I*(v)`, `C(v)`, the depth-first list of
+//!   Fig. 4.13, and the input-sequencing weights `W(v)` of Fig. 4.16.
+//! * [`schedule`] — the ready-set scheduling heuristic of Fig. 4.20 with
+//!   caller-supplied actor priorities.
+//! * [`to_indexed_program`](Dag::to_indexed_program) — the §3.6
+//!   construction turning a DAG + linearisation into a valid indexed queue
+//!   machine instruction sequence.
+
+use std::collections::BTreeSet;
+
+use crate::expr::Op;
+use crate::indexed::{IndexedInstruction, IndexedProgram};
+use crate::{ModelError, Result, Word};
+
+/// Identifier of a node within a [`Dag`].
+pub type NodeId = usize;
+
+/// A directed acyclic graph whose nodes carry a payload and an *ordered*
+/// list of input edges (operand positions `l = 0, 1, …`).
+///
+/// Acyclicity is guaranteed by construction: a node's inputs must already
+/// exist when the node is added.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag<N> {
+    payloads: Vec<N>,
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<(NodeId, usize)>>,
+}
+
+impl<N> Default for Dag<N> {
+    fn default() -> Self {
+        Dag { payloads: Vec::new(), preds: Vec::new(), succs: Vec::new() }
+    }
+}
+
+impl<N> Dag<N> {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node with the given payload and ordered operand producers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input refers to a node that does not exist yet (this
+    /// is what makes cycles unrepresentable).
+    pub fn add_node(&mut self, payload: N, inputs: &[NodeId]) -> NodeId {
+        let id = self.payloads.len();
+        for (slot, &p) in inputs.iter().enumerate() {
+            assert!(p < id, "input {p} of new node {id} does not exist yet");
+            self.succs[p].push((id, slot));
+        }
+        self.payloads.push(payload);
+        self.preds.push(inputs.to_vec());
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// True when the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Payload of node `v`.
+    #[must_use]
+    pub fn payload(&self, v: NodeId) -> &N {
+        &self.payloads[v]
+    }
+
+    /// Mutable payload of node `v`.
+    pub fn payload_mut(&mut self, v: NodeId) -> &mut N {
+        &mut self.payloads[v]
+    }
+
+    /// The set of immediate predecessors `P(v)` — the ordered operand
+    /// producers of `v`.
+    #[must_use]
+    pub fn preds(&self, v: NodeId) -> &[NodeId] {
+        &self.preds[v]
+    }
+
+    /// The immediate successors `S(v)` as `(consumer, operand slot)` pairs.
+    #[must_use]
+    pub fn succs(&self, v: NodeId) -> &[(NodeId, usize)] {
+        &self.succs[v]
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        0..self.payloads.len()
+    }
+
+    /// `v π_G w` — true when `v = w` or a path leads from `v` to `w`.
+    #[must_use]
+    pub fn precedes(&self, v: NodeId, w: NodeId) -> bool {
+        if v == w {
+            return true;
+        }
+        // Ids are topologically consistent (inputs < node), so search only
+        // forward.
+        let mut stack = vec![v];
+        let mut seen = vec![false; self.len()];
+        while let Some(n) = stack.pop() {
+            if n == w {
+                return true;
+            }
+            if seen[n] || n > w {
+                continue;
+            }
+            seen[n] = true;
+            for &(s, _) in &self.succs[n] {
+                stack.push(s);
+            }
+        }
+        false
+    }
+
+    /// A canonical topological order (node ids are already topological by
+    /// construction, so this is the identity order).
+    #[must_use]
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        self.node_ids().collect()
+    }
+
+    /// Check that `order` contains every node exactly once and never
+    /// places a node before one of its predecessors — i.e. it satisfies
+    /// `∀ i < j: ¬(v_j π_G v_i)`.
+    #[must_use]
+    pub fn respects_partial_order(&self, order: &[NodeId]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut position = vec![usize::MAX; self.len()];
+        for (i, &v) in order.iter().enumerate() {
+            if v >= self.len() || position[v] != usize::MAX {
+                return false;
+            }
+            position[v] = i;
+        }
+        self.node_ids().all(|v| self.preds[v].iter().all(|&p| position[p] < position[v]))
+    }
+
+    /// The ready-set scheduling heuristic of Fig. 4.20: repeatedly emit
+    /// the highest-priority ready node (larger priority value = emitted
+    /// first; ties broken by insertion order, i.e. FIFO among equals).
+    ///
+    /// Returns a linearisation that satisfies `π_G` by construction.
+    pub fn schedule_by<F>(&self, mut priority: F) -> Vec<NodeId>
+    where
+        F: FnMut(&N) -> i32,
+    {
+        let mut remaining: Vec<usize> = self.node_ids().map(|v| self.preds[v].len()).collect();
+        let mut ready: Vec<NodeId> = self.node_ids().filter(|&v| remaining[v] == 0).collect();
+        let mut out = Vec::with_capacity(self.len());
+        while !ready.is_empty() {
+            // Select the ready node with the highest priority (FIFO among
+            // equal priorities: pick the earliest-queued maximal element).
+            let best = ready
+                .iter()
+                .enumerate()
+                .max_by(|(ia, &a), (ib, &b)| {
+                    priority(&self.payloads[a])
+                        .cmp(&priority(&self.payloads[b]))
+                        .then(ib.cmp(ia))
+                })
+                .map(|(i, _)| i)
+                .expect("ready not empty");
+            let v = ready.remove(best);
+            out.push(v);
+            for &(s, _) in &self.succs[v] {
+                remaining[s] -= 1;
+                if remaining[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Dag<Op> {
+    /// Evaluate the graph directly: every node computes once; node values
+    /// fan out along edges. The unique sink's value is returned.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::MalformedGraph`] if the graph does not have exactly
+    ///   one sink (node without consumers) or an arity mismatch;
+    /// * [`ModelError::DivideByZero`] from arithmetic.
+    pub fn evaluate(&self, env: &dyn Fn(&str) -> Word) -> Result<Word> {
+        let mut values: Vec<Option<Word>> = vec![None; self.len()];
+        for v in self.node_ids() {
+            let op = &self.payloads[v];
+            if self.preds[v].len() != op.arity().operands() {
+                return Err(ModelError::MalformedGraph(format!(
+                    "node {v} ({op}) has {} inputs, arity needs {}",
+                    self.preds[v].len(),
+                    op.arity().operands()
+                )));
+            }
+            let args: Vec<Word> = self.preds[v]
+                .iter()
+                .map(|&p| values[p].expect("topological ids"))
+                .collect();
+            values[v] = Some(op.apply(&args, env)?);
+        }
+        let sinks: Vec<NodeId> = self.node_ids().filter(|&v| self.succs[v].is_empty()).collect();
+        match sinks.as_slice() {
+            [s] => Ok(values[*s].expect("computed")),
+            _ => Err(ModelError::MalformedGraph(format!(
+                "expected exactly one sink, found {}",
+                sinks.len()
+            ))),
+        }
+    }
+
+    /// The §3.6 construction: turn a linearisation of this graph into a
+    /// valid indexed queue machine instruction sequence.
+    ///
+    /// For instruction `i` in the order, operands occupy absolute queue
+    /// positions `o_i … o_i + A(v_i) − 1` where `o_i = Σ_{j<i} A(v_j)`;
+    /// each edge `(v_i, v_j, l)` contributes the absolute index `o_j + l`
+    /// (stored relative to the post-consumption front). The unique sink's
+    /// result is placed at the final front so evaluation terminates with
+    /// the result at the head of the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::MalformedGraph`] if `order` violates `π_G`, if
+    /// arities mismatch, or if the graph does not have exactly one sink.
+    pub fn to_indexed_program(&self, order: &[NodeId]) -> Result<IndexedProgram> {
+        if !self.respects_partial_order(order) {
+            return Err(ModelError::MalformedGraph(
+                "instruction order violates the graph partial order".into(),
+            ));
+        }
+        for v in self.node_ids() {
+            if self.preds[v].len() != self.payloads[v].arity().operands() {
+                return Err(ModelError::MalformedGraph(format!(
+                    "node {v} arity mismatch"
+                )));
+            }
+        }
+        let sinks: Vec<NodeId> = self.node_ids().filter(|&v| self.succs[v].is_empty()).collect();
+        let [sink] = sinks.as_slice() else {
+            return Err(ModelError::MalformedGraph(format!(
+                "expected exactly one sink, found {}",
+                sinks.len()
+            )));
+        };
+
+        // o[k] = absolute queue index of the first operand of order[k].
+        let mut offset_of_position = Vec::with_capacity(order.len());
+        let mut acc = 0usize;
+        let mut position = vec![0usize; self.len()];
+        for (k, &v) in order.iter().enumerate() {
+            position[v] = k;
+            offset_of_position.push(acc);
+            acc += self.payloads[v].arity().operands();
+        }
+        let final_front = acc;
+
+        let instructions = order
+            .iter()
+            .map(|&v| {
+                // Front after this instruction consumes its operands:
+                let front = offset_of_position[position[v]]
+                    + self.payloads[v].arity().operands();
+                let mut offsets: Vec<usize> = self.succs[v]
+                    .iter()
+                    .map(|&(consumer, slot)| {
+                        offset_of_position[position[consumer]] + slot - front
+                    })
+                    .collect();
+                if v == *sink {
+                    offsets.push(final_front - front);
+                }
+                offsets.sort_unstable();
+                IndexedInstruction::new(self.payloads[v].clone(), offsets)
+            })
+            .collect();
+        Ok(IndexedProgram::new(instructions))
+    }
+
+    /// Build the data-flow graph of a [`crate::expr::ParseTree`],
+    /// combining *identical subtrees* into shared nodes (the Fig. 3.6
+    /// transformation from parse tree to DAG).
+    #[must_use]
+    pub fn from_parse_tree(tree: &crate::expr::ParseTree) -> Self {
+        use std::collections::HashMap;
+        let mut dag = Dag::new();
+        let mut memo: HashMap<String, NodeId> = HashMap::new();
+        fn go(
+            t: &crate::expr::ParseTree,
+            dag: &mut Dag<Op>,
+            memo: &mut HashMap<String, NodeId>,
+        ) -> NodeId {
+            let key = t.to_string();
+            if let Some(&id) = memo.get(&key) {
+                return id;
+            }
+            let mut inputs = Vec::new();
+            if let Some(l) = t.left() {
+                inputs.push(go(l, dag, memo));
+            }
+            if let Some(r) = t.right() {
+                inputs.push(go(r, dag, memo));
+            }
+            let id = dag.add_node(t.op().clone(), &inputs);
+            memo.insert(key, id);
+            id
+        }
+        go(tree, &mut dag, &mut memo);
+        dag
+    }
+}
+
+pub mod analysis {
+    //! Predecessor/input-set analysis and input sequencing (thesis §4.5).
+
+    use super::{Dag, NodeId};
+    use std::collections::BTreeSet;
+
+    /// Results of the Fig. 4.15 computation for one node.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct NodeAnalysis {
+        /// `P*(v)` — all predecessors of `v`, including `v` itself.
+        pub predecessors: BTreeSet<NodeId>,
+        /// `I*(v)` — the required input set of `v`.
+        pub required_inputs: BTreeSet<NodeId>,
+        /// `C(v) = |P*(v)|` — the cost of computing `v`.
+        pub cost: usize,
+    }
+
+    /// The depth-first list of Fig. 4.13: all successors of a node precede
+    /// it in the list; all predecessors follow it.
+    ///
+    /// Unmarked start nodes are chosen in ascending id order, matching the
+    /// thesis's worked example (Fig. 4.14).
+    #[must_use]
+    pub fn depth_first_list<N>(dag: &Dag<N>) -> Vec<NodeId> {
+        let mut marked = vec![false; dag.len()];
+        let mut list = Vec::with_capacity(dag.len());
+        fn search<N>(n: NodeId, dag: &Dag<N>, marked: &mut [bool], list: &mut Vec<NodeId>) {
+            marked[n] = true;
+            for &(m, _) in dag.succs(n) {
+                if !marked[m] {
+                    search(m, dag, marked, list);
+                }
+            }
+            list.push(n);
+        }
+        for v in dag.node_ids() {
+            if !marked[v] {
+                search(v, dag, &mut marked, &mut list);
+            }
+        }
+        list
+    }
+
+    /// Compute `P*(v)`, `I*(v)` and `C(v)` for every node (Fig. 4.15).
+    ///
+    /// `is_input(payload)` classifies nodes as graph inputs (the set `I`
+    /// of the §4.5 DAG definition).
+    pub fn analyse<N, F>(dag: &Dag<N>, mut is_input: F) -> Vec<NodeAnalysis>
+    where
+        F: FnMut(&N) -> bool,
+    {
+        let list = depth_first_list(dag);
+        let mut out: Vec<NodeAnalysis> = (0..dag.len())
+            .map(|_| NodeAnalysis {
+                predecessors: BTreeSet::new(),
+                required_inputs: BTreeSet::new(),
+                cost: 0,
+            })
+            .collect();
+        // Walk the depth-first list from the end: predecessors of a node
+        // follow it in the list, so they are processed first.
+        for &v in list.iter().rev() {
+            let mut preds: BTreeSet<NodeId> = BTreeSet::new();
+            preds.insert(v);
+            let mut inputs: BTreeSet<NodeId> = BTreeSet::new();
+            if is_input(dag.payload(v)) {
+                inputs.insert(v);
+            }
+            for &m in dag.preds(v) {
+                preds.extend(out[m].predecessors.iter().copied());
+                inputs.extend(out[m].required_inputs.iter().copied());
+            }
+            out[v].cost = preds.len();
+            out[v].predecessors = preds;
+            out[v].required_inputs = inputs;
+        }
+        out
+    }
+
+    /// The input weights `W(v) = Σ_{u : v ∈ I*(u)} C(u)` and the input
+    /// sequence sorted by descending weight (Fig. 4.16) — the heuristic
+    /// order maximising work possible before the context must wait for
+    /// its next input.
+    ///
+    /// Ties keep ascending node-id order, making the result deterministic.
+    pub fn input_sequence<N, F>(dag: &Dag<N>, mut is_input: F) -> Vec<(NodeId, usize)>
+    where
+        F: FnMut(&N) -> bool,
+    {
+        let info = analyse(dag, &mut is_input);
+        let mut weights: Vec<(NodeId, usize)> = dag
+            .node_ids()
+            .filter(|&v| is_input(dag.payload(v)))
+            .map(|v| {
+                let w = dag
+                    .node_ids()
+                    .filter(|&u| info[u].required_inputs.contains(&v))
+                    .map(|u| info[u].cost)
+                    .sum();
+                (v, w)
+            })
+            .collect();
+        weights.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        weights
+    }
+}
+
+pub mod schedule {
+    //! Actor priorities for the Fig. 4.20 instruction-sequencing heuristic.
+
+    /// The priority classes of §4.7, highest first: forks, sends, stores,
+    /// ordinary operators, fetches, receives, waits.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub enum ActorClass {
+        /// `wait` — may suspend the context (lowest priority).
+        Wait,
+        /// `receive` — may block the context.
+        Receive,
+        /// `fetch`/`fetchb` — grows the queue.
+        Fetch,
+        /// Everything not explicitly mentioned.
+        Other,
+        /// `store`/`storeb` — shrinks the queue.
+        Store,
+        /// `send` — enables a child context to proceed.
+        Send,
+        /// `rfork`/`ifork` — creates parallelism (highest priority).
+        Fork,
+    }
+
+    impl ActorClass {
+        /// Numeric priority: larger = emitted earlier.
+        #[must_use]
+        pub fn priority(self) -> i32 {
+            match self {
+                ActorClass::Wait => 0,
+                ActorClass::Receive => 1,
+                ActorClass::Fetch => 2,
+                ActorClass::Other => 3,
+                ActorClass::Store => 4,
+                ActorClass::Send => 5,
+                ActorClass::Fork => 6,
+            }
+        }
+    }
+}
+
+/// Convenience: all linearisations of a small DAG (used by property tests
+/// to check that *every* valid order yields a correct indexed program).
+///
+/// # Panics
+///
+/// Panics if the graph has more than 10 nodes (factorial blow-up guard).
+#[must_use]
+pub fn all_linearisations<N>(dag: &Dag<N>) -> Vec<Vec<NodeId>> {
+    assert!(dag.len() <= 10, "too many nodes to enumerate linearisations");
+    let mut out = Vec::new();
+    let mut remaining: Vec<usize> = dag.node_ids().map(|v| dag.preds(v).len()).collect();
+    let mut ready: BTreeSet<NodeId> =
+        dag.node_ids().filter(|&v| remaining[v] == 0).collect();
+    let mut prefix = Vec::new();
+    fn rec<N>(
+        dag: &Dag<N>,
+        remaining: &mut Vec<usize>,
+        ready: &mut BTreeSet<NodeId>,
+        prefix: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if prefix.len() == dag.len() {
+            out.push(prefix.clone());
+            return;
+        }
+        let choices: Vec<NodeId> = ready.iter().copied().collect();
+        for v in choices {
+            ready.remove(&v);
+            prefix.push(v);
+            let mut enabled = Vec::new();
+            for &(s, _) in dag.succs(v) {
+                remaining[s] -= 1;
+                if remaining[s] == 0 {
+                    ready.insert(s);
+                    enabled.push(s);
+                }
+            }
+            rec(dag, remaining, ready, prefix, out);
+            for &(s, _) in dag.succs(v) {
+                remaining[s] += 1;
+            }
+            for e in enabled {
+                ready.remove(&e);
+            }
+            prefix.pop();
+            ready.insert(v);
+        }
+    }
+    rec(dag, &mut remaining, &mut ready, &mut prefix, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ParseTree;
+
+    fn env(n: &str) -> Word {
+        match n {
+            "a" => 12,
+            "b" => 4,
+            "c" => 3,
+            "d" => 5,
+            _ => 0,
+        }
+    }
+
+    /// The Fig. 3.6(b) graph for `d ← a/(a+b) + (a+b)·c`.
+    fn fig_3_6_graph() -> Dag<Op> {
+        let mut g = Dag::new();
+        let a = g.add_node(Op::Fetch("a".into()), &[]);
+        let b = g.add_node(Op::Fetch("b".into()), &[]);
+        let c = g.add_node(Op::Fetch("c".into()), &[]);
+        let sum = g.add_node(Op::Add, &[a, b]);
+        let div = g.add_node(Op::Div, &[a, sum]);
+        let mul = g.add_node(Op::Mul, &[sum, c]);
+        let _root = g.add_node(Op::Add, &[div, mul]);
+        g
+    }
+
+    #[test]
+    fn graph_evaluation_matches_expression() {
+        let g = fig_3_6_graph();
+        #[allow(clippy::identity_op)]
+        let expected = (12 / 16) + 16 * 3; // a/(a+b) truncates to 0
+        assert_eq!(g.evaluate(&env).unwrap(), expected);
+    }
+
+    #[test]
+    fn partial_order_properties() {
+        let g = fig_3_6_graph();
+        // Reflexive.
+        for v in g.node_ids() {
+            assert!(g.precedes(v, v));
+        }
+        // a π_G div, a π_G root; c does not precede div.
+        assert!(g.precedes(0, 4));
+        assert!(g.precedes(0, 6));
+        assert!(!g.precedes(2, 4));
+        // Antisymmetric: no two distinct nodes precede each other.
+        for v in g.node_ids() {
+            for w in g.node_ids() {
+                if v != w && g.precedes(v, w) {
+                    assert!(!g.precedes(w, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_program_from_graph_matches_table_3_4() {
+        let g = fig_3_6_graph();
+        let program = g.to_indexed_program(&g.topo_order()).unwrap();
+        assert_eq!(program, crate::indexed::table_3_4_program());
+    }
+
+    #[test]
+    fn every_linearisation_evaluates_correctly() {
+        let g = fig_3_6_graph();
+        let expected = g.evaluate(&env).unwrap();
+        let linearisations = all_linearisations(&g);
+        assert!(linearisations.len() > 1);
+        for order in linearisations {
+            let p = g.to_indexed_program(&order).unwrap();
+            assert_eq!(p.evaluate(&env).unwrap(), expected, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_order_is_rejected() {
+        let g = fig_3_6_graph();
+        let mut order = g.topo_order();
+        order.swap(0, 3); // puts add before its operand fetch
+        assert!(g.to_indexed_program(&order).is_err());
+    }
+
+    #[test]
+    fn from_parse_tree_shares_common_subexpressions() {
+        let tree = ParseTree::parse_infix("a/(a+b) + (a+b)*c").unwrap();
+        assert_eq!(tree.node_count(), 11);
+        let dag = Dag::from_parse_tree(&tree);
+        assert_eq!(dag.len(), 7, "a and a+b are shared");
+        assert_eq!(dag.evaluate(&env).unwrap(), tree.evaluate(&env).unwrap());
+    }
+
+    #[test]
+    fn depth_first_list_of_fig_4_14() {
+        // e ← ((a+b) × (−c)) ÷ d, nodes added a,b,+,c,−,×,d,÷,e.
+        let mut g: Dag<&str> = Dag::new();
+        let a = g.add_node("a", &[]);
+        let b = g.add_node("b", &[]);
+        let plus = g.add_node("+", &[a, b]);
+        let c = g.add_node("c", &[]);
+        let neg = g.add_node("-", &[c]);
+        let mul = g.add_node("*", &[plus, neg]);
+        let d = g.add_node("d", &[]);
+        let div = g.add_node("/", &[mul, d]);
+        let e = g.add_node("e", &[div]);
+        let list = depth_first_names(&g);
+        assert_eq!(list, vec!["e", "/", "*", "+", "a", "b", "-", "c", "d"]);
+        let _ = (mul, e);
+    }
+
+    fn depth_first_names(g: &Dag<&str>) -> Vec<String> {
+        analysis::depth_first_list(g).iter().map(|&v| (*g.payload(v)).to_string()).collect()
+    }
+
+    #[test]
+    fn table_4_4_costs_and_input_sets() {
+        let mut g: Dag<&str> = Dag::new();
+        let a = g.add_node("a", &[]);
+        let b = g.add_node("b", &[]);
+        let plus = g.add_node("+", &[a, b]);
+        let c = g.add_node("c", &[]);
+        let neg = g.add_node("-", &[c]);
+        let mul = g.add_node("*", &[plus, neg]);
+        let d = g.add_node("d", &[]);
+        let div = g.add_node("/", &[mul, d]);
+        let e = g.add_node("e", &[div]);
+        let is_input = |p: &&str| ["a", "b", "c", "d"].contains(p);
+        let info = analysis::analyse(&g, is_input);
+        // Table 4.4 costs.
+        assert_eq!(info[a].cost, 1);
+        assert_eq!(info[plus].cost, 3);
+        assert_eq!(info[neg].cost, 2);
+        assert_eq!(info[mul].cost, 6);
+        assert_eq!(info[div].cost, 8);
+        assert_eq!(info[e].cost, 9);
+        // Table 4.4 input sets.
+        assert_eq!(info[mul].required_inputs, [a, b, c].into_iter().collect());
+        assert_eq!(info[e].required_inputs, [a, b, c, d].into_iter().collect());
+        // Table 4.5 weights.
+        let seq = analysis::input_sequence(&g, is_input);
+        let weights: Vec<(&str, usize)> =
+            seq.iter().map(|&(v, w)| (*g.payload(v), w)).collect();
+        assert_eq!(weights, vec![("a", 27), ("b", 27), ("c", 26), ("d", 18)]);
+    }
+
+    #[test]
+    fn schedule_respects_partial_order_and_priorities() {
+        use schedule::ActorClass;
+        // Fork and receive both ready: fork must come first.
+        let mut g: Dag<ActorClass> = Dag::new();
+        let recv = g.add_node(ActorClass::Receive, &[]);
+        let fork = g.add_node(ActorClass::Fork, &[]);
+        let other = g.add_node(ActorClass::Other, &[recv]);
+        let order = g.schedule_by(|c| c.priority());
+        assert!(g.respects_partial_order(&order));
+        assert_eq!(order[0], fork, "fork outranks receive");
+        let _ = other;
+    }
+
+    #[test]
+    fn schedule_emits_all_nodes_once() {
+        let g = fig_3_6_graph();
+        let order = g.schedule_by(|_| 0);
+        assert!(g.respects_partial_order(&order));
+    }
+
+    #[test]
+    fn evaluate_detects_multiple_sinks() {
+        let mut g: Dag<Op> = Dag::new();
+        g.add_node(Op::Literal(1), &[]);
+        g.add_node(Op::Literal(2), &[]);
+        assert!(matches!(g.evaluate(&|_| 0), Err(ModelError::MalformedGraph(_))));
+    }
+}

@@ -1,0 +1,164 @@
+//! Exhaustive enumeration of binary expression parse-tree shapes.
+//!
+//! The Table 3.2/3.3 studies average the pipelined-ALU speed-up over *all*
+//! parse trees with a given number of nodes. A parse-tree *shape* here is a
+//! unary–binary tree: every node is a leaf, has a single child (unary
+//! operator), or has two children (binary operator). The number of shapes
+//! with `n` nodes is the Motzkin number `M(n-1)`:
+//! 1, 1, 2, 4, 9, 21, 51, 127, 323, 835, 2188, …
+//!
+//! The thesis reports slightly different counts from `n = 6` on
+//! (20, 45, 101, 227, 510, 1146 — its enumeration was adapted from Solomon
+//! 1980 and the precise class is not recoverable from the text); the
+//! averaged speed-ups are insensitive to this difference. Both counts are
+//! tabulated in `EXPERIMENTS.md`.
+
+use crate::expr::{Op, ParseTree};
+
+/// Enumerate every parse-tree shape with exactly `n` nodes.
+///
+/// Leaves are labelled `fetch x0, x1, …` left-to-right; unary nodes are
+/// [`Op::Neg`]; binary nodes are [`Op::Add`]. Only the shape matters to the
+/// cycle models, but the labels keep the trees valid, evaluable expression
+/// trees.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (the empty tree is not a parse tree).
+#[must_use]
+pub fn all_trees(n: usize) -> Vec<ParseTree> {
+    assert!(n > 0, "parse trees have at least one node");
+    let shapes = shapes(n);
+    shapes
+        .into_iter()
+        .map(|s| {
+            let mut next_leaf = 0;
+            to_parse_tree(&s, &mut next_leaf)
+        })
+        .collect()
+}
+
+/// Number of parse-tree shapes with `n` nodes (`M(n-1)`, the Motzkin
+/// numbers), computed without materialising the trees.
+#[must_use]
+pub fn tree_count(n: usize) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    // t(n) = t(n-1) + Σ_{i=1}^{n-2} t(i) t(n-1-i), t(1) = 1.
+    let mut t = vec![0u64; n + 1];
+    t[1] = 1;
+    for m in 2..=n {
+        let mut total = t[m - 1];
+        for i in 1..=m.saturating_sub(2) {
+            total += t[i] * t[m - 1 - i];
+        }
+        t[m] = total;
+    }
+    t[n]
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Leaf,
+    Unary(Box<Shape>),
+    Binary(Box<Shape>, Box<Shape>),
+}
+
+fn shapes(n: usize) -> Vec<Shape> {
+    if n == 1 {
+        return vec![Shape::Leaf];
+    }
+    let mut out = Vec::new();
+    // Unary root over any (n-1)-node shape.
+    for child in shapes(n - 1) {
+        out.push(Shape::Unary(Box::new(child)));
+    }
+    // Binary root splitting the remaining n-1 nodes.
+    for left_n in 1..=n.saturating_sub(2) {
+        let right_n = n - 1 - left_n;
+        let lefts = shapes(left_n);
+        let rights = shapes(right_n);
+        for l in &lefts {
+            for r in &rights {
+                out.push(Shape::Binary(Box::new(l.clone()), Box::new(r.clone())));
+            }
+        }
+    }
+    out
+}
+
+fn to_parse_tree(shape: &Shape, next_leaf: &mut usize) -> ParseTree {
+    match shape {
+        Shape::Leaf => {
+            let name = format!("x{next_leaf}");
+            *next_leaf += 1;
+            ParseTree::var(&name)
+        }
+        Shape::Unary(c) => ParseTree::unary(Op::Neg, to_parse_tree(c, next_leaf)),
+        Shape::Binary(l, r) => {
+            let left = to_parse_tree(l, next_leaf);
+            let right = to_parse_tree(r, next_leaf);
+            ParseTree::binary(Op::Add, left, right)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motzkin_counts() {
+        let expected = [1u64, 1, 2, 4, 9, 21, 51, 127, 323, 835, 2188];
+        for (i, &want) in expected.iter().enumerate() {
+            assert_eq!(tree_count(i + 1), want, "n = {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn materialised_trees_match_count() {
+        for n in 1..=8 {
+            let trees = all_trees(n);
+            assert_eq!(trees.len() as u64, tree_count(n), "n = {n}");
+            for t in &trees {
+                assert_eq!(t.node_count(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn four_node_trees_match_figure_3_5() {
+        // Fig. 3.5: the four 4-node shapes are −(−(−x)), −(x ⊕ y),
+        // (−x) ⊕ y, x ⊕ (−y).
+        let trees = all_trees(4);
+        let printed: Vec<String> = trees.iter().map(ToString::to_string).collect();
+        assert_eq!(trees.len(), 4);
+        assert!(printed.contains(&"-(-(-(x0)))".to_string()), "{printed:?}");
+        assert!(printed.contains(&"-((x0 + x1))".to_string()), "{printed:?}");
+        assert!(printed.contains(&"(-(x0) + x1)".to_string()), "{printed:?}");
+        assert!(printed.contains(&"(x0 + -(x1))".to_string()), "{printed:?}");
+    }
+
+    #[test]
+    fn all_trees_are_distinct() {
+        let trees = all_trees(7);
+        for i in 0..trees.len() {
+            for j in i + 1..trees.len() {
+                assert_ne!(trees[i], trees[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn enumerated_trees_are_evaluable() {
+        // Every enumerated tree is a well-formed expression: both machine
+        // models evaluate it to the same value as direct recursion.
+        let env = |name: &str| name.trim_start_matches('x').parse::<i32>().unwrap_or(0) + 1;
+        for tree in all_trees(6) {
+            let direct = tree.evaluate(&env).unwrap();
+            assert_eq!(crate::simple::evaluate_tree(&tree, &env).unwrap(), direct);
+            assert_eq!(crate::stack::evaluate_tree(&tree, &env).unwrap(), direct);
+        }
+    }
+}

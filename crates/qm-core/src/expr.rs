@@ -1,0 +1,546 @@
+//! Binary expression parse trees.
+//!
+//! The thesis (§3.3) defines a *(binary) expression parse tree* `P` as either
+//! empty or `{n, P_l, P_r}` where `n` is an operator whose arity constrains
+//! which subtrees are present: nullary operators are leaves, unary operators
+//! have a left subtree only, binary operators have both subtrees.
+//!
+//! Leaves are `fetch` operations (variable or literal loads); internal nodes
+//! are arithmetic/logic operators.
+
+use crate::{ModelError, Result, Word};
+
+/// Operator arity, per the thesis's `A(n)` function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Arity {
+    /// Nullary — a leaf of the parse tree (`fetch x`, a literal…).
+    Nullary,
+    /// Unary — one operand (negation, bitwise not…).
+    Unary,
+    /// Binary — two operands.
+    Binary,
+}
+
+impl Arity {
+    /// Number of operands consumed from the queue/stack.
+    #[must_use]
+    pub fn operands(self) -> usize {
+        match self {
+            Arity::Nullary => 0,
+            Arity::Unary => 1,
+            Arity::Binary => 2,
+        }
+    }
+}
+
+/// An operator labelling a parse-tree node or a data-flow actor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Fetch a named variable (leaf).
+    Fetch(String),
+    /// Push a literal constant (leaf).
+    Literal(Word),
+    /// Unary arithmetic negation.
+    Neg,
+    /// Unary bitwise complement.
+    Not,
+    /// Binary addition.
+    Add,
+    /// Binary subtraction.
+    Sub,
+    /// Binary multiplication.
+    Mul,
+    /// Binary (truncating) division.
+    Div,
+}
+
+impl Op {
+    /// The arity `A(n)` of this operator.
+    #[must_use]
+    pub fn arity(&self) -> Arity {
+        match self {
+            Op::Fetch(_) | Op::Literal(_) => Arity::Nullary,
+            Op::Neg | Op::Not => Arity::Unary,
+            Op::Add | Op::Sub | Op::Mul | Op::Div => Arity::Binary,
+        }
+    }
+
+    /// Apply the operator to its operands.
+    ///
+    /// `args` must contain exactly `arity().operands()` values; leaves take
+    /// their value from `env` (for [`Op::Fetch`]) or from the literal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DivideByZero`] when dividing by zero.
+    pub fn apply(&self, args: &[Word], env: &dyn Fn(&str) -> Word) -> Result<Word> {
+        debug_assert_eq!(args.len(), self.arity().operands());
+        Ok(match self {
+            Op::Fetch(name) => env(name),
+            Op::Literal(v) => *v,
+            Op::Neg => args[0].wrapping_neg(),
+            Op::Not => !args[0],
+            Op::Add => args[0].wrapping_add(args[1]),
+            Op::Sub => args[0].wrapping_sub(args[1]),
+            Op::Mul => args[0].wrapping_mul(args[1]),
+            Op::Div => {
+                if args[1] == 0 {
+                    return Err(ModelError::DivideByZero);
+                }
+                args[0].wrapping_div(args[1])
+            }
+        })
+    }
+
+    /// Short mnemonic used when printing instruction sequences.
+    #[must_use]
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Op::Fetch(name) => format!("fetch {name}"),
+            Op::Literal(v) => format!("lit {v}"),
+            Op::Neg => "neg".to_string(),
+            Op::Not => "not".to_string(),
+            Op::Add => "add".to_string(),
+            Op::Sub => "sub".to_string(),
+            Op::Mul => "mul".to_string(),
+            Op::Div => "div".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+/// A non-empty binary expression parse tree.
+///
+/// The invariant of the thesis definition — subtree presence matches the
+/// root operator's arity — is enforced by the constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTree {
+    op: Op,
+    left: Option<Box<ParseTree>>,
+    right: Option<Box<ParseTree>>,
+}
+
+impl ParseTree {
+    /// Construct a leaf (nullary operator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not nullary.
+    #[must_use]
+    pub fn leaf(op: Op) -> Self {
+        assert_eq!(op.arity(), Arity::Nullary, "leaf requires a nullary operator");
+        ParseTree { op, left: None, right: None }
+    }
+
+    /// Construct a unary node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not unary.
+    #[must_use]
+    pub fn unary(op: Op, child: ParseTree) -> Self {
+        assert_eq!(op.arity(), Arity::Unary, "unary node requires a unary operator");
+        ParseTree { op, left: Some(Box::new(child)), right: None }
+    }
+
+    /// Construct a binary node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not binary.
+    #[must_use]
+    pub fn binary(op: Op, left: ParseTree, right: ParseTree) -> Self {
+        assert_eq!(op.arity(), Arity::Binary, "binary node requires a binary operator");
+        ParseTree { op, left: Some(Box::new(left)), right: Some(Box::new(right)) }
+    }
+
+    /// Convenience: a variable fetch leaf.
+    #[must_use]
+    pub fn var(name: &str) -> Self {
+        ParseTree::leaf(Op::Fetch(name.to_string()))
+    }
+
+    /// Convenience: a literal leaf.
+    #[must_use]
+    pub fn lit(value: Word) -> Self {
+        ParseTree::leaf(Op::Literal(value))
+    }
+
+    /// The operator at the root.
+    #[must_use]
+    pub fn op(&self) -> &Op {
+        &self.op
+    }
+
+    /// Left subtree (present for unary and binary roots).
+    #[must_use]
+    pub fn left(&self) -> Option<&ParseTree> {
+        self.left.as_deref()
+    }
+
+    /// Right subtree (present for binary roots).
+    #[must_use]
+    pub fn right(&self) -> Option<&ParseTree> {
+        self.right.as_deref()
+    }
+
+    /// `|N(T)|` — the number of nodes in the tree.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        1 + self.left.as_ref().map_or(0, |t| t.node_count())
+            + self.right.as_ref().map_or(0, |t| t.node_count())
+    }
+
+    /// Height of the tree (a single node has height 1).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        1 + self
+            .left
+            .as_ref()
+            .map_or(0, |t| t.height())
+            .max(self.right.as_ref().map_or(0, |t| t.height()))
+    }
+
+    /// Direct evaluation by recursive descent (the semantic reference all
+    /// machine models are tested against).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::DivideByZero`].
+    pub fn evaluate(&self, env: &dyn Fn(&str) -> Word) -> Result<Word> {
+        let mut args = Vec::with_capacity(2);
+        if let Some(l) = &self.left {
+            args.push(l.evaluate(env)?);
+        }
+        if let Some(r) = &self.right {
+            args.push(r.evaluate(env)?);
+        }
+        self.op.apply(&args, env)
+    }
+
+    /// Post-order traversal of the operators (the stack machine program).
+    #[must_use]
+    pub fn post_order(&self) -> Vec<Op> {
+        let mut out = Vec::with_capacity(self.node_count());
+        self.post_order_into(&mut out);
+        out
+    }
+
+    fn post_order_into(&self, out: &mut Vec<Op>) {
+        if let Some(l) = &self.left {
+            l.post_order_into(out);
+        }
+        if let Some(r) = &self.right {
+            r.post_order_into(out);
+        }
+        out.push(self.op.clone());
+    }
+
+    /// Parse an infix expression into a parse tree.
+    ///
+    /// Grammar (usual precedence, `~` is bitwise complement):
+    ///
+    /// ```text
+    /// expr   := term (('+'|'-') term)*
+    /// term   := factor (('*'|'/') factor)*
+    /// factor := '-' factor | '~' factor | '(' expr ')' | ident | number
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Parse`] on malformed input.
+    pub fn parse_infix(src: &str) -> Result<Self> {
+        let tokens = tokenize(src)?;
+        let mut parser = InfixParser { tokens, pos: 0 };
+        let tree = parser.expr()?;
+        if parser.pos != parser.tokens.len() {
+            return Err(ModelError::Parse(format!(
+                "trailing input at token {}",
+                parser.pos
+            )));
+        }
+        Ok(tree)
+    }
+}
+
+impl std::fmt::Display for ParseTree {
+    /// Prints the fully-parenthesised infix form.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.op.arity() {
+            Arity::Nullary => match &self.op {
+                Op::Fetch(name) => write!(f, "{name}"),
+                Op::Literal(v) => write!(f, "{v}"),
+                _ => unreachable!(),
+            },
+            Arity::Unary => {
+                let sym = if self.op == Op::Neg { "-" } else { "~" };
+                write!(f, "{sym}({})", self.left.as_ref().unwrap())
+            }
+            Arity::Binary => {
+                let sym = match self.op {
+                    Op::Add => "+",
+                    Op::Sub => "-",
+                    Op::Mul => "*",
+                    Op::Div => "/",
+                    _ => unreachable!(),
+                };
+                write!(
+                    f,
+                    "({} {sym} {})",
+                    self.left.as_ref().unwrap(),
+                    self.right.as_ref().unwrap()
+                )
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(Word),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Tilde,
+    LParen,
+    RParen,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '+' => {
+                chars.next();
+                out.push(Token::Plus);
+            }
+            '-' => {
+                chars.next();
+                out.push(Token::Minus);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '/' => {
+                chars.next();
+                out.push(Token::Slash);
+            }
+            '~' => {
+                chars.next();
+                out.push(Token::Tilde);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '0'..='9' => {
+                let mut n: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n * 10 + i64::from(v);
+                        if n > i64::from(Word::MAX) {
+                            return Err(ModelError::Parse("integer literal overflow".into()));
+                        }
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                out.push(Token::Number(n as Word));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(name));
+            }
+            other => {
+                return Err(ModelError::Parse(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct InfixParser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl InfixParser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expr(&mut self) -> Result<ParseTree> {
+        let mut lhs = self.term()?;
+        while let Some(tok) = self.peek() {
+            let op = match tok {
+                Token::Plus => Op::Add,
+                Token::Minus => Op::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = ParseTree::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<ParseTree> {
+        let mut lhs = self.factor()?;
+        while let Some(tok) = self.peek() {
+            let op = match tok {
+                Token::Star => Op::Mul,
+                Token::Slash => Op::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = ParseTree::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<ParseTree> {
+        match self.bump() {
+            Some(Token::Minus) => Ok(ParseTree::unary(Op::Neg, self.factor()?)),
+            Some(Token::Tilde) => Ok(ParseTree::unary(Op::Not, self.factor()?)),
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(ModelError::Parse("expected ')'".into())),
+                }
+            }
+            Some(Token::Ident(name)) => Ok(ParseTree::var(&name)),
+            Some(Token::Number(n)) => Ok(ParseTree::lit(n)),
+            other => Err(ModelError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_of_operators() {
+        assert_eq!(Op::Fetch("x".into()).arity(), Arity::Nullary);
+        assert_eq!(Op::Literal(7).arity(), Arity::Nullary);
+        assert_eq!(Op::Neg.arity(), Arity::Unary);
+        assert_eq!(Op::Not.arity(), Arity::Unary);
+        assert_eq!(Op::Add.arity(), Arity::Binary);
+        assert_eq!(Op::Div.arity(), Arity::Binary);
+        assert_eq!(Arity::Nullary.operands(), 0);
+        assert_eq!(Arity::Unary.operands(), 1);
+        assert_eq!(Arity::Binary.operands(), 2);
+    }
+
+    #[test]
+    fn parse_and_evaluate_thesis_expression() {
+        // f ← ab + (c − d)/e, Table 3.1.
+        let tree = ParseTree::parse_infix("a*b + (c-d)/e").unwrap();
+        assert_eq!(tree.node_count(), 9);
+        let env = |n: &str| match n {
+            "a" => 2,
+            "b" => 3,
+            "c" => 20,
+            "d" => 6,
+            "e" => 7,
+            _ => 0,
+        };
+        assert_eq!(tree.evaluate(&env).unwrap(), 2 * 3 + (20 - 6) / 7);
+    }
+
+    #[test]
+    fn parse_respects_precedence() {
+        let t = ParseTree::parse_infix("1 + 2 * 3").unwrap();
+        assert_eq!(t.evaluate(&|_| 0).unwrap(), 7);
+        let t = ParseTree::parse_infix("(1 + 2) * 3").unwrap();
+        assert_eq!(t.evaluate(&|_| 0).unwrap(), 9);
+    }
+
+    #[test]
+    fn parse_unary_operators() {
+        let t = ParseTree::parse_infix("-x * y").unwrap();
+        let env = |n: &str| if n == "x" { 5 } else { 3 };
+        assert_eq!(t.evaluate(&env).unwrap(), -15);
+        let t = ParseTree::parse_infix("~0").unwrap();
+        assert_eq!(t.evaluate(&|_| 0).unwrap(), -1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ParseTree::parse_infix("a +").is_err());
+        assert!(ParseTree::parse_infix("(a").is_err());
+        assert!(ParseTree::parse_infix("a b").is_err());
+        assert!(ParseTree::parse_infix("@").is_err());
+        assert!(ParseTree::parse_infix("99999999999").is_err());
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let t = ParseTree::parse_infix("1/0").unwrap();
+        assert_eq!(t.evaluate(&|_| 0), Err(ModelError::DivideByZero));
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let t = ParseTree::parse_infix("a*b + (c-d)/e").unwrap();
+        let printed = t.to_string();
+        let reparsed = ParseTree::parse_infix(&printed).unwrap();
+        assert_eq!(t, reparsed);
+    }
+
+    #[test]
+    fn post_order_is_stack_program() {
+        let t = ParseTree::parse_infix("a + b*c").unwrap();
+        let seq: Vec<String> = t.post_order().iter().map(Op::mnemonic).collect();
+        assert_eq!(seq, vec!["fetch a", "fetch b", "fetch c", "mul", "add"]);
+    }
+
+    #[test]
+    fn node_count_and_height() {
+        let t = ParseTree::parse_infix("-(a+b)").unwrap();
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unary node requires")]
+    fn unary_constructor_validates_arity() {
+        let _ = ParseTree::unary(Op::Add, ParseTree::var("x"));
+    }
+}

@@ -1,0 +1,347 @@
+//! Pipelined-ALU cycle models for queue vs. stack execution (thesis §3.4).
+//!
+//! Both machines issue at most one instruction per cycle, in program order.
+//! An instruction cannot issue until its operands are available at the top
+//! of the stack / front of the queue, i.e. until every producing
+//! instruction has *completed*. ALU operations occupy a `k`-stage pipeline
+//! (result available `k` cycles after issue); fetches take one cycle.
+//!
+//! The two fetch policies of the thesis:
+//!
+//! * **Case 1** (non-overlapped fetch/execute): a fetch cannot issue until
+//!   the ALU pipeline is idle (no ALU operation in flight).
+//! * **Case 2** (overlapped fetch/execute): a fetch issues immediately.
+//!
+//! The stack machine runs the post-order program, so each ALU operation
+//! consumes the result of the immediately preceding instruction and the
+//! pipeline never overlaps dependent operations. The queue machine runs
+//! the level-order program, where a whole level's operations are mutually
+//! independent and stream through the pipeline back to back.
+
+use crate::expr::{Arity, ParseTree};
+
+/// Fetch issue policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FetchPolicy {
+    /// Case 1: fetch waits for the ALU pipeline to drain.
+    NonOverlapped,
+    /// Case 2: fetch issues immediately.
+    Overlapped,
+}
+
+/// One instruction of a dependency-annotated linear program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instr {
+    /// `true` for operand fetches (leaves), `false` for ALU operations.
+    pub is_fetch: bool,
+    /// Indices (into the program) of the instructions producing this
+    /// instruction's operands.
+    pub producers: Vec<usize>,
+}
+
+/// A linear program with explicit data dependencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+#[derive(Debug)]
+struct Flat {
+    is_leaf: Vec<bool>,
+    left: Vec<Option<usize>>,
+    right: Vec<Option<usize>>,
+    level: Vec<usize>,
+    in_order: Vec<usize>,
+    root: usize,
+}
+
+fn flatten(tree: &ParseTree) -> Flat {
+    let mut flat = Flat {
+        is_leaf: Vec::new(),
+        left: Vec::new(),
+        right: Vec::new(),
+        level: Vec::new(),
+        in_order: Vec::new(),
+        root: 0,
+    };
+    fn walk(t: &ParseTree, level: usize, flat: &mut Flat) -> usize {
+        let id = flat.is_leaf.len();
+        flat.is_leaf.push(t.op().arity() == Arity::Nullary);
+        flat.left.push(None);
+        flat.right.push(None);
+        flat.level.push(level);
+        let l = t.left().map(|c| walk(c, level + 1, flat));
+        let r = t.right().map(|c| walk(c, level + 1, flat));
+        flat.left[id] = l;
+        flat.right[id] = r;
+        id
+    }
+    flat.root = walk(tree, 0, &mut flat);
+    fn in_order_walk(t: usize, flat: &Flat, out: &mut Vec<usize>) {
+        if let Some(l) = flat.left[t] {
+            in_order_walk(l, flat, out);
+        }
+        out.push(t);
+        if let Some(r) = flat.right[t] {
+            in_order_walk(r, flat, out);
+        }
+    }
+    let mut order = Vec::with_capacity(flat.is_leaf.len());
+    in_order_walk(flat.root, &flat, &mut order);
+    flat.in_order = order;
+    flat
+}
+
+impl Program {
+    /// The queue machine program for `tree`: level-order sequence.
+    #[must_use]
+    pub fn queue_program(tree: &ParseTree) -> Self {
+        let flat = flatten(tree);
+        // Rank of each node in the in-order walk (left-to-right position).
+        let mut rank = vec![0usize; flat.is_leaf.len()];
+        for (r, &node) in flat.in_order.iter().enumerate() {
+            rank[node] = r;
+        }
+        let mut ids: Vec<usize> = (0..flat.is_leaf.len()).collect();
+        ids.sort_by(|&a, &b| flat.level[b].cmp(&flat.level[a]).then(rank[a].cmp(&rank[b])));
+        Self::from_node_order(&flat, &ids)
+    }
+
+    /// The stack machine program for `tree`: post-order sequence.
+    #[must_use]
+    pub fn stack_program(tree: &ParseTree) -> Self {
+        let flat = flatten(tree);
+        let mut ids = Vec::with_capacity(flat.is_leaf.len());
+        fn post(t: usize, flat: &Flat, out: &mut Vec<usize>) {
+            if let Some(l) = flat.left[t] {
+                post(l, flat, out);
+            }
+            if let Some(r) = flat.right[t] {
+                post(r, flat, out);
+            }
+            out.push(t);
+        }
+        post(flat.root, &flat, &mut ids);
+        Self::from_node_order(&flat, &ids)
+    }
+
+    fn from_node_order(flat: &Flat, ids: &[usize]) -> Self {
+        let mut position = vec![0usize; flat.is_leaf.len()];
+        for (i, &id) in ids.iter().enumerate() {
+            position[id] = i;
+        }
+        let instrs = ids
+            .iter()
+            .map(|&id| {
+                let mut producers = Vec::new();
+                if let Some(l) = flat.left[id] {
+                    producers.push(position[l]);
+                }
+                if let Some(r) = flat.right[id] {
+                    producers.push(position[r]);
+                }
+                Instr { is_fetch: flat.is_leaf[id], producers }
+            })
+            .collect();
+        Program { instrs }
+    }
+
+    /// The instructions in program order.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Total cycles to execute the program on a `stages`-stage pipelined
+    /// ALU under the given fetch policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0`.
+    #[must_use]
+    pub fn cycles(&self, stages: usize, policy: FetchPolicy) -> u64 {
+        assert!(stages > 0, "pipeline needs at least one stage");
+        let stages = stages as u64;
+        let mut complete = vec![0u64; self.instrs.len()];
+        let mut prev_issue: Option<u64> = None;
+        let mut alu_drain: u64 = 0; // completion time of the last ALU op issued
+        let mut last_complete = 0u64;
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let mut issue = prev_issue.map_or(0, |p| p + 1);
+            for &p in &instr.producers {
+                issue = issue.max(complete[p]);
+            }
+            if instr.is_fetch && policy == FetchPolicy::NonOverlapped {
+                issue = issue.max(alu_drain);
+            }
+            let latency = if instr.is_fetch { 1 } else { stages };
+            complete[i] = issue + latency;
+            if !instr.is_fetch {
+                alu_drain = alu_drain.max(complete[i]);
+            }
+            last_complete = last_complete.max(complete[i]);
+            prev_issue = Some(issue);
+        }
+        last_complete
+    }
+}
+
+/// Speed-up of the queue machine over the stack machine for one tree.
+#[must_use]
+pub fn speedup(tree: &ParseTree, stages: usize, policy: FetchPolicy) -> f64 {
+    let stack = Program::stack_program(tree).cycles(stages, policy);
+    let queue = Program::queue_program(tree).cycles(stages, policy);
+    #[allow(clippy::cast_precision_loss)]
+    {
+        stack as f64 / queue as f64
+    }
+}
+
+/// One row of Table 3.2 / 3.3: aggregate speed-up over all trees with a
+/// given node count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRow {
+    /// Number of nodes in the parse trees averaged over.
+    pub nodes: usize,
+    /// Number of distinct tree shapes.
+    pub tree_count: u64,
+    /// Total stack cycles / total queue cycles under case 1.
+    pub case1: f64,
+    /// Total stack cycles / total queue cycles under case 2.
+    pub case2: f64,
+}
+
+/// Compute the aggregate queue-over-stack speed-up for all trees with
+/// `nodes` nodes on a `stages`-stage pipeline (one row of Table 3.2, or —
+/// varying `stages` at fixed `nodes` — one row of Table 3.3).
+///
+/// The aggregate is the ratio of summed execution times, i.e. the mean
+/// execution time ratio weighted by tree frequency, matching the thesis's
+/// "average execution time required to evaluate all possible parse trees".
+#[must_use]
+pub fn speedup_row(nodes: usize, stages: usize) -> SpeedupRow {
+    let trees = crate::enumerate::all_trees(nodes);
+    let mut totals = [[0u64; 2]; 2]; // [case][machine: 0 stack, 1 queue]
+    for tree in &trees {
+        let stack = Program::stack_program(tree);
+        let queue = Program::queue_program(tree);
+        for (ci, policy) in [FetchPolicy::NonOverlapped, FetchPolicy::Overlapped]
+            .into_iter()
+            .enumerate()
+        {
+            totals[ci][0] += stack.cycles(stages, policy);
+            totals[ci][1] += queue.cycles(stages, policy);
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    SpeedupRow {
+        nodes,
+        tree_count: trees.len() as u64,
+        case1: totals[0][0] as f64 / totals[0][1] as f64,
+        case2: totals[1][0] as f64 / totals[1][1] as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ParseTree;
+
+    #[test]
+    fn queue_program_matches_level_order_length() {
+        let tree = ParseTree::parse_infix("a*b + (c-d)/e").unwrap();
+        let p = Program::queue_program(&tree);
+        assert_eq!(p.instrs().len(), crate::level_order_sequence(&tree).len());
+    }
+
+    #[test]
+    fn unpipelined_alu_gives_no_speedup() {
+        for tree in crate::enumerate::all_trees(7) {
+            for policy in [FetchPolicy::NonOverlapped, FetchPolicy::Overlapped] {
+                let s = speedup(&tree, 1, policy);
+                assert!(
+                    (s - 1.0).abs() < 1e-12,
+                    "1-stage pipeline must tie: {s} for {tree}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queue_never_loses() {
+        // Thesis: "the queue-based execution model always meets or exceeds
+        // the performance of the stack-based machine … for all instruction
+        // sequences (not just the average)".
+        for n in 1..=8 {
+            for tree in crate::enumerate::all_trees(n) {
+                for stages in [2, 3, 4] {
+                    for policy in [FetchPolicy::NonOverlapped, FetchPolicy::Overlapped] {
+                        let s = speedup(&tree, stages, policy);
+                        assert!(s >= 1.0 - 1e-12, "queue lost on {tree} k={stages} {policy:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_tree_pipelines_on_queue_machine() {
+        // (a+b)+(c+d): queue overlaps the two inner adds; stack cannot.
+        let tree = ParseTree::parse_infix("(a+b)+(c+d)").unwrap();
+        let stack = Program::stack_program(&tree).cycles(2, FetchPolicy::NonOverlapped);
+        let queue = Program::queue_program(&tree).cycles(2, FetchPolicy::NonOverlapped);
+        assert!(queue < stack, "queue {queue} vs stack {stack}");
+    }
+
+    #[test]
+    fn chain_tree_ties() {
+        // A pure dependence chain cannot pipeline on either machine.
+        let tree = ParseTree::parse_infix("-(-(-(-x)))").unwrap();
+        for stages in [2, 4] {
+            let stack = Program::stack_program(&tree).cycles(stages, FetchPolicy::NonOverlapped);
+            let queue = Program::queue_program(&tree).cycles(stages, FetchPolicy::NonOverlapped);
+            assert_eq!(stack, queue);
+        }
+    }
+
+    #[test]
+    fn small_trees_tie_like_table_3_2() {
+        // Table 3.2: speed-up is 1.00 for trees of 1..=4 nodes.
+        for n in 1..=4 {
+            let row = speedup_row(n, 2);
+            assert!((row.case1 - 1.0).abs() < 5e-3, "case1 n={n}: {}", row.case1);
+            assert!((row.case2 - 1.0).abs() < 5e-3, "case2 n={n}: {}", row.case2);
+        }
+    }
+
+    #[test]
+    fn speedup_grows_with_tree_size() {
+        // Table 3.2 shape: monotone non-decreasing speed-up, >1 by n=7.
+        let rows: Vec<SpeedupRow> = (5..=9).map(|n| speedup_row(n, 2)).collect();
+        for w in rows.windows(2) {
+            assert!(w[1].case1 >= w[0].case1 - 1e-9);
+        }
+        assert!(rows.last().unwrap().case1 > 1.0);
+        assert!(rows.last().unwrap().case2 > 1.0);
+    }
+
+    #[test]
+    fn case2_at_least_matches_case1_for_queue_benefit_at_two_stages() {
+        // Table 3.2: case 2 speed-ups ≥ case 1 speed-ups on a 2-stage ALU.
+        for n in [8, 9, 10] {
+            let row = speedup_row(n, 2);
+            assert!(row.case2 >= row.case1 - 1e-9, "n={n}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn case1_benefit_grows_with_pipeline_depth() {
+        // Table 3.3 shape (11-node trees): case 1 speed-up increases with
+        // the number of pipeline stages.
+        let s2 = speedup_row(9, 2).case1;
+        let s4 = speedup_row(9, 4).case1;
+        let s6 = speedup_row(9, 6).case1;
+        assert!(s4 >= s2 - 1e-9, "s2={s2} s4={s4}");
+        assert!(s6 >= s4 - 1e-9, "s4={s4} s6={s6}");
+    }
+}

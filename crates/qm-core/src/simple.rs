@@ -1,0 +1,172 @@
+//! The simple queue machine execution model (thesis §3.2).
+//!
+//! A simple queue machine manipulates a FIFO *operand queue*: every
+//! instruction removes its operands from the **front** of the queue and
+//! appends its result to the **rear**. The evaluation `E(I)` of an operator
+//! sequence is the sequence of `(remaining input, queue contents)` states.
+
+use std::collections::VecDeque;
+
+use crate::expr::{Op, ParseTree};
+use crate::level_order::level_order_sequence;
+use crate::{ModelError, Result, Word};
+
+/// One state `S_i = (I_i, Q_i)` in the evaluation of an operator sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// Index into the instruction sequence of the next operator.
+    pub next: usize,
+    /// The queue contents *before* the next operator executes.
+    pub queue: Vec<Word>,
+}
+
+/// Trace of a full evaluation: every intermediate state plus the result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// `S_1 … S_f` — one entry per instruction, plus the final state.
+    pub states: Vec<State>,
+    /// The single value left in the queue at `S_f`.
+    pub result: Word,
+}
+
+/// Evaluate an operator sequence on the simple queue machine.
+///
+/// # Errors
+///
+/// * [`ModelError::OperandUnderflow`] if an operator needs more operands
+///   than the queue holds (the sequence was not a valid queue program);
+/// * [`ModelError::ResidualOperands`] if the queue does not hold exactly
+///   one value at the end;
+/// * [`ModelError::DivideByZero`] from the arithmetic itself.
+pub fn evaluate(ops: &[Op], env: &dyn Fn(&str) -> Word) -> Result<Word> {
+    Ok(trace(ops, env)?.result)
+}
+
+/// Evaluate an operator sequence, recording every machine state.
+///
+/// # Errors
+///
+/// See [`evaluate`].
+pub fn trace(ops: &[Op], env: &dyn Fn(&str) -> Word) -> Result<Trace> {
+    let mut queue: VecDeque<Word> = VecDeque::new();
+    let mut states = Vec::with_capacity(ops.len() + 1);
+    for (i, op) in ops.iter().enumerate() {
+        states.push(State { next: i, queue: queue.iter().copied().collect() });
+        let needed = op.arity().operands();
+        if queue.len() < needed {
+            return Err(ModelError::OperandUnderflow { at: i, needed, available: queue.len() });
+        }
+        let mut args = Vec::with_capacity(needed);
+        for _ in 0..needed {
+            args.push(queue.pop_front().expect("length checked"));
+        }
+        queue.push_back(op.apply(&args, env)?);
+    }
+    states.push(State { next: ops.len(), queue: queue.iter().copied().collect() });
+    if queue.len() != 1 {
+        return Err(ModelError::ResidualOperands { left: queue.len() });
+    }
+    Ok(Trace { states, result: queue[0] })
+}
+
+/// Compile a parse tree to its queue program (level-order traversal) and
+/// evaluate it.
+///
+/// # Errors
+///
+/// See [`evaluate`].
+pub fn evaluate_tree(tree: &ParseTree, env: &dyn Fn(&str) -> Word) -> Result<Word> {
+    evaluate(&level_order_sequence(tree), env)
+}
+
+/// Maximum queue occupancy observed while evaluating `ops`.
+///
+/// This is the queue-page size the program needs; used by the PE sizing
+/// discussion in thesis §5.2.
+///
+/// # Errors
+///
+/// See [`evaluate`].
+pub fn max_queue_depth(ops: &[Op], env: &dyn Fn(&str) -> Word) -> Result<usize> {
+    let t = trace(ops, env)?;
+    Ok(t.states.iter().map(|s| s.queue.len()).max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ParseTree;
+
+    fn env(n: &str) -> Word {
+        match n {
+            "a" => 2,
+            "b" => 3,
+            "c" => 20,
+            "d" => 6,
+            "e" => 7,
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn table_3_1_queue_evaluation() {
+        let tree = ParseTree::parse_infix("a*b + (c-d)/e").unwrap();
+        let result = evaluate_tree(&tree, &env).unwrap();
+        assert_eq!(result, 2 * 3 + (20 - 6) / 7);
+    }
+
+    #[test]
+    fn table_3_1_intermediate_queue_states() {
+        // Queue contents from Table 3.1:
+        //   c | c,d | c,d,a | c,d,a,b | a,b,c-d | a,b,c-d,e | c-d,e,ab | ab,(c-d)/e | result
+        let tree = ParseTree::parse_infix("a*b + (c-d)/e").unwrap();
+        let ops = level_order_sequence(&tree);
+        let t = trace(&ops, &env).unwrap();
+        let queues: Vec<Vec<Word>> = t.states.iter().map(|s| s.queue.clone()).collect();
+        assert_eq!(
+            queues,
+            vec![
+                vec![],
+                vec![20],
+                vec![20, 6],
+                vec![20, 6, 2],
+                vec![20, 6, 2, 3],
+                vec![2, 3, 14],
+                vec![2, 3, 14, 7],
+                vec![14, 7, 6],
+                vec![6, 2],
+                vec![8],
+            ]
+        );
+        assert_eq!(t.result, 8);
+    }
+
+    #[test]
+    fn underflow_is_detected() {
+        let err = evaluate(&[Op::Add], &|_| 0).unwrap_err();
+        assert_eq!(err, ModelError::OperandUnderflow { at: 0, needed: 2, available: 0 });
+    }
+
+    #[test]
+    fn residual_operands_are_detected() {
+        let ops = [Op::Literal(1), Op::Literal(2)];
+        let err = evaluate(&ops, &|_| 0).unwrap_err();
+        assert_eq!(err, ModelError::ResidualOperands { left: 2 });
+    }
+
+    #[test]
+    fn max_queue_depth_of_balanced_tree() {
+        // A balanced tree of 4 leaves holds all 4 fetched values at once.
+        let tree = ParseTree::parse_infix("(a+b)*(c-d)").unwrap();
+        let ops = level_order_sequence(&tree);
+        assert_eq!(max_queue_depth(&ops, &env).unwrap(), 4);
+    }
+
+    #[test]
+    fn queue_depth_of_left_chain_is_constant() {
+        // A fully sequential chain keeps the queue at depth ≤ 2.
+        let tree = ParseTree::parse_infix("((a+b)+c)+d").unwrap();
+        let ops = level_order_sequence(&tree);
+        assert!(max_queue_depth(&ops, &env).unwrap() <= 3);
+    }
+}

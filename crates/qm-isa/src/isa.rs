@@ -1,0 +1,725 @@
+//! Instruction set of the queue machine PE (thesis §5.3, Tables 5.1–5.2).
+//!
+//! All instructions are one 32-bit word, optionally followed by immediate
+//! constant words. Two formats exist:
+//!
+//! **Basic format** (Fig. 5.6) — four-address:
+//!
+//! ```text
+//! 31      26 25    20 19    14 13   9 8    4 3    1 0
+//! [ opcode ] [ src1 ] [ src2 ] [dst1 ] [dst2 ] [qp+ ] [c]
+//! ```
+//!
+//! **Dup format** (Fig. 5.7) — two 8-bit queue offsets:
+//!
+//! ```text
+//! 31      26 25        18 17        10 9ꞏꞏꞏ1 0
+//! [ opcode ] [  dst1 8b  ] [  dst2 8b  ] [ 0 ] [c]
+//! ```
+//!
+//! Source operand modes (Table 5.1): `00nnnn` window register, `01nnnn`
+//! global register, `110000` immediate word follows, `1nnnnn` small
+//! immediate −15…15.
+
+use crate::{IsaError, Result, Word};
+
+/// Register number of the DUMMY destination (results written here are
+/// discarded). By the thesis convention this is `R16`, the first global.
+pub const REG_DUMMY: u8 = 16;
+/// Register number of the NAK address register.
+pub const REG_NAR: u8 = 28;
+/// Register number of the page offset mask.
+pub const REG_POM: u8 = 29;
+/// Register number of the queue pointer.
+pub const REG_QP: u8 = 30;
+/// Register number of the program counter.
+pub const REG_PC: u8 = 31;
+
+/// Operation codes (Table 5.2, octal). `mul`/`div`/`mod` fill the space
+/// the thesis explicitly reserves in the arithmetic class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants mirror Table 5.2 one-to-one
+pub enum Opcode {
+    Dup1,
+    Dup2,
+    Send,
+    Store,
+    Storb,
+    Recv,
+    Fetch,
+    Fchb,
+    Or,
+    And,
+    Xor,
+    Lshift,
+    Rshift,
+    Plus,
+    Minus,
+    Mul,
+    Div,
+    Mod,
+    Ge,
+    Ne,
+    Gt,
+    Lt,
+    Eq,
+    Le,
+    His,
+    Hi,
+    Lo,
+    Los,
+    Bne,
+    Beq,
+    Ftrap,
+    Trap,
+    Fret,
+    Rett,
+}
+
+impl Opcode {
+    /// All opcodes with their octal codes, Table 5.2 order.
+    pub const ALL: [(Opcode, u8); 34] = [
+        (Opcode::Dup1, 0o00),
+        (Opcode::Dup2, 0o04),
+        (Opcode::Send, 0o10),
+        (Opcode::Store, 0o11),
+        (Opcode::Storb, 0o13),
+        (Opcode::Recv, 0o14),
+        (Opcode::Fetch, 0o15),
+        (Opcode::Fchb, 0o17),
+        (Opcode::Or, 0o20),
+        (Opcode::And, 0o21),
+        (Opcode::Xor, 0o22),
+        (Opcode::Lshift, 0o23),
+        (Opcode::Rshift, 0o24),
+        (Opcode::Plus, 0o30),
+        (Opcode::Minus, 0o31),
+        (Opcode::Mul, 0o32),
+        (Opcode::Div, 0o33),
+        (Opcode::Mod, 0o34),
+        (Opcode::Ge, 0o41),
+        (Opcode::Ne, 0o42),
+        (Opcode::Gt, 0o43),
+        (Opcode::Lt, 0o45),
+        (Opcode::Eq, 0o46),
+        (Opcode::Le, 0o47),
+        (Opcode::His, 0o50),
+        (Opcode::Hi, 0o52),
+        (Opcode::Lo, 0o54),
+        (Opcode::Los, 0o56),
+        (Opcode::Bne, 0o62),
+        (Opcode::Beq, 0o66),
+        (Opcode::Ftrap, 0o70),
+        (Opcode::Trap, 0o71),
+        (Opcode::Fret, 0o74),
+        (Opcode::Rett, 0o75),
+    ];
+
+    /// The 6-bit opcode value.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        Self::ALL.iter().find(|(op, _)| *op == self).expect("all opcodes listed").1
+    }
+
+    /// Decode a 6-bit opcode value.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Opcode> {
+        Self::ALL.iter().find(|&&(_, c)| c == code).map(|&(op, _)| op)
+    }
+
+    /// Assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Dup1 => "dup1",
+            Opcode::Dup2 => "dup2",
+            Opcode::Send => "send",
+            Opcode::Store => "store",
+            Opcode::Storb => "storb",
+            Opcode::Recv => "recv",
+            Opcode::Fetch => "fetch",
+            Opcode::Fchb => "fchb",
+            Opcode::Or => "or",
+            Opcode::And => "and",
+            Opcode::Xor => "xor",
+            Opcode::Lshift => "lshift",
+            Opcode::Rshift => "rshift",
+            Opcode::Plus => "plus",
+            Opcode::Minus => "minus",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Mod => "mod",
+            Opcode::Ge => "ge",
+            Opcode::Ne => "ne",
+            Opcode::Gt => "gt",
+            Opcode::Lt => "lt",
+            Opcode::Eq => "eq",
+            Opcode::Le => "le",
+            Opcode::His => "his",
+            Opcode::Hi => "hi",
+            Opcode::Lo => "lo",
+            Opcode::Los => "los",
+            Opcode::Bne => "bne",
+            Opcode::Beq => "beq",
+            Opcode::Ftrap => "ftrap",
+            Opcode::Trap => "trap",
+            Opcode::Fret => "fret",
+            Opcode::Rett => "rett",
+        }
+    }
+
+    /// Look up an opcode by mnemonic.
+    #[must_use]
+    pub fn from_mnemonic(m: &str) -> Option<Opcode> {
+        Self::ALL.iter().map(|&(op, _)| op).find(|op| op.mnemonic() == m)
+    }
+
+    /// True for the `dup` instruction format.
+    #[must_use]
+    pub fn is_dup(self) -> bool {
+        matches!(self, Opcode::Dup1 | Opcode::Dup2)
+    }
+
+    /// True for two's-complement or unsigned comparison operations
+    /// (Boolean result: all-ones true, all-zeroes false).
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            Opcode::Ge
+                | Opcode::Ne
+                | Opcode::Gt
+                | Opcode::Lt
+                | Opcode::Eq
+                | Opcode::Le
+                | Opcode::His
+                | Opcode::Hi
+                | Opcode::Lo
+                | Opcode::Los
+        )
+    }
+
+    /// Apply a pure two-operand ALU/compare operation.
+    ///
+    /// Returns `None` for operations with side effects (memory, channel,
+    /// branch, trap, dup), whose semantics live in the PE emulator.
+    /// Division by zero yields 0 with no fault (the emulator raises a NAK
+    /// separately if configured to).
+    #[must_use]
+    pub fn alu(self, a: Word, b: Word) -> Option<Word> {
+        let bool_word = |v: bool| if v { -1 } else { 0 };
+        #[allow(clippy::cast_sign_loss)]
+        let (ua, ub) = (a as u32, b as u32);
+        Some(match self {
+            Opcode::Or => a | b,
+            Opcode::And => a & b,
+            Opcode::Xor => a ^ b,
+            Opcode::Lshift => a.wrapping_shl(b.rem_euclid(32) as u32),
+            Opcode::Rshift => a.wrapping_shr(b.rem_euclid(32) as u32),
+            Opcode::Plus => a.wrapping_add(b),
+            Opcode::Minus => a.wrapping_sub(b),
+            Opcode::Mul => a.wrapping_mul(b),
+            Opcode::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            Opcode::Mod => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            Opcode::Ge => bool_word(a >= b),
+            Opcode::Ne => bool_word(a != b),
+            Opcode::Gt => bool_word(a > b),
+            Opcode::Lt => bool_word(a < b),
+            Opcode::Eq => bool_word(a == b),
+            Opcode::Le => bool_word(a <= b),
+            Opcode::His => bool_word(ua >= ub),
+            Opcode::Hi => bool_word(ua > ub),
+            Opcode::Lo => bool_word(ua < ub),
+            Opcode::Los => bool_word(ua <= ub),
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Opcode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A source operand specifier (Table 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SrcMode {
+    /// One of the 16 virtual window registers `r0…r15`.
+    Window(u8),
+    /// One of the 16 global registers `r16…r31` (stored as 16…31).
+    Global(u8),
+    /// Small immediate constant, −15…15.
+    Imm(i8),
+    /// Full-word immediate following the instruction; the value is kept
+    /// alongside for convenience but is encoded as a separate word.
+    ImmWord(Word),
+}
+
+impl SrcMode {
+    /// Encode to the 6-bit source field. An [`SrcMode::ImmWord`]'s value
+    /// is *not* part of the field — the caller emits it as the next word.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range register numbers or immediates.
+    pub fn encode(self) -> Result<u8> {
+        match self {
+            SrcMode::Window(n) if n < 16 => Ok(n),
+            SrcMode::Window(n) => Err(IsaError::Encode(format!("window register {n} > 15"))),
+            SrcMode::Global(n) if (16..32).contains(&n) => Ok(0b01_0000 | (n - 16)),
+            SrcMode::Global(n) => Err(IsaError::Encode(format!("global register {n} not in 16..32"))),
+            SrcMode::Imm(v) if (-15..=15).contains(&v) => {
+                #[allow(clippy::cast_sign_loss)]
+                Ok(0b10_0000 | ((v as u8) & 0b1_1111))
+            }
+            SrcMode::Imm(v) => Err(IsaError::Encode(format!("small immediate {v} not in -15..=15"))),
+            SrcMode::ImmWord(_) => Ok(0b11_0000),
+        }
+    }
+
+    /// Decode a 6-bit source field. [`SrcMode::ImmWord`] is returned with
+    /// a placeholder value of 0; the caller patches in the following word.
+    #[must_use]
+    pub fn decode(field: u8) -> SrcMode {
+        let field = field & 0b11_1111;
+        match field >> 4 {
+            0b00 => SrcMode::Window(field & 0xF),
+            0b01 => SrcMode::Global(16 + (field & 0xF)),
+            _ => {
+                if field == 0b11_0000 {
+                    SrcMode::ImmWord(0)
+                } else {
+                    // Sign-extend the low 5 bits.
+                    let v = ((field & 0b1_1111) << 3) as i8 >> 3;
+                    SrcMode::Imm(v)
+                }
+            }
+        }
+    }
+
+    /// True when an immediate word follows the instruction.
+    #[must_use]
+    pub fn needs_word(self) -> bool {
+        matches!(self, SrcMode::ImmWord(_))
+    }
+}
+
+impl std::fmt::Display for SrcMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SrcMode::Window(n) => write!(f, "r{n}"),
+            SrcMode::Global(n) => write!(f, "r{n}"),
+            SrcMode::Imm(v) => write!(f, "#{v}"),
+            SrcMode::ImmWord(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// A decoded instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction {
+    /// The four-address basic format.
+    Basic {
+        /// Operation.
+        op: Opcode,
+        /// First source operand.
+        src1: SrcMode,
+        /// Second source operand.
+        src2: SrcMode,
+        /// First destination register (16 = DUMMY = discard).
+        dst1: u8,
+        /// Second destination register (16 = DUMMY = discard).
+        dst2: u8,
+        /// Words removed from the queue front (0–7).
+        qp_inc: u8,
+        /// Continue flag: the next instruction uses this result;
+        /// no context switch may intervene.
+        cont: bool,
+    },
+    /// The `dup` format: store the previous result at queue offsets.
+    Dup {
+        /// `dup2` stores at both offsets; `dup1` only at the first.
+        two: bool,
+        /// First queue word offset (0–255).
+        off1: u8,
+        /// Second queue word offset (0–255), used by `dup2`.
+        off2: u8,
+        /// Continue flag.
+        cont: bool,
+    },
+}
+
+impl Instruction {
+    /// Shorthand for a basic instruction with no destinations and no
+    /// queue increment.
+    #[must_use]
+    pub fn basic(op: Opcode, src1: SrcMode, src2: SrcMode) -> Self {
+        Instruction::Basic { op, src1, src2, dst1: REG_DUMMY, dst2: REG_DUMMY, qp_inc: 0, cont: false }
+    }
+
+    /// The opcode of the instruction.
+    #[must_use]
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Instruction::Basic { op, .. } => *op,
+            Instruction::Dup { two, .. } => {
+                if *two {
+                    Opcode::Dup2
+                } else {
+                    Opcode::Dup1
+                }
+            }
+        }
+    }
+
+    /// The continue flag.
+    #[must_use]
+    pub fn cont(&self) -> bool {
+        match self {
+            Instruction::Basic { cont, .. } | Instruction::Dup { cont, .. } => *cont,
+        }
+    }
+
+    /// Total encoded size in words (1 + immediate words).
+    #[must_use]
+    pub fn size_words(&self) -> usize {
+        match self {
+            Instruction::Basic { src1, src2, .. } => {
+                1 + usize::from(src1.needs_word()) + usize::from(src2.needs_word())
+            }
+            Instruction::Dup { .. } => 1,
+        }
+    }
+
+    /// Encode the instruction into one or more 32-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Field values out of range.
+    pub fn encode(&self) -> Result<Vec<u32>> {
+        match *self {
+            Instruction::Basic { op, src1, src2, dst1, dst2, qp_inc, cont } => {
+                if op.is_dup() {
+                    return Err(IsaError::Encode("dup uses the dup format".into()));
+                }
+                if dst1 > 31 || dst2 > 31 {
+                    return Err(IsaError::Encode(format!("destination out of range: {dst1},{dst2}")));
+                }
+                if qp_inc > 7 {
+                    return Err(IsaError::Encode(format!("qp increment {qp_inc} > 7")));
+                }
+                let mut word = u32::from(op.code()) << 26;
+                word |= u32::from(src1.encode()?) << 20;
+                word |= u32::from(src2.encode()?) << 14;
+                word |= u32::from(dst1) << 9;
+                word |= u32::from(dst2) << 4;
+                word |= u32::from(qp_inc) << 1;
+                word |= u32::from(cont);
+                let mut out = vec![word];
+                if let SrcMode::ImmWord(v) = src1 {
+                    #[allow(clippy::cast_sign_loss)]
+                    out.push(v as u32);
+                }
+                if let SrcMode::ImmWord(v) = src2 {
+                    #[allow(clippy::cast_sign_loss)]
+                    out.push(v as u32);
+                }
+                Ok(out)
+            }
+            Instruction::Dup { two, off1, off2, cont } => {
+                let op = if two { Opcode::Dup2 } else { Opcode::Dup1 };
+                let mut word = u32::from(op.code()) << 26;
+                word |= u32::from(off1) << 18;
+                word |= u32::from(off2) << 10;
+                word |= u32::from(cont);
+                Ok(vec![word])
+            }
+        }
+    }
+
+    /// Decode an instruction starting at `words[0]`; immediate words are
+    /// taken from the following slice entries. Returns the instruction
+    /// and the number of words consumed.
+    ///
+    /// # Errors
+    ///
+    /// Unknown opcode, or missing immediate words.
+    pub fn decode(words: &[u32]) -> Result<(Instruction, usize)> {
+        let Some(&w) = words.first() else {
+            return Err(IsaError::Decode { word: 0, msg: "empty instruction stream".into() });
+        };
+        let code = ((w >> 26) & 0x3F) as u8;
+        let Some(op) = Opcode::from_code(code) else {
+            return Err(IsaError::Decode { word: w, msg: format!("unknown opcode {code:#o}") });
+        };
+        if op.is_dup() {
+            let two = op == Opcode::Dup2;
+            return Ok((
+                Instruction::Dup {
+                    two,
+                    off1: ((w >> 18) & 0xFF) as u8,
+                    // dup1 ignores the second offset; normalise it so
+                    // decode(encode(x)) == x for canonical instructions.
+                    off2: if two { ((w >> 10) & 0xFF) as u8 } else { 0 },
+                    cont: w & 1 != 0,
+                },
+                1,
+            ));
+        }
+        let mut used = 1usize;
+        let mut take_imm = |mode: SrcMode| -> Result<SrcMode> {
+            if let SrcMode::ImmWord(_) = mode {
+                let Some(&v) = words.get(used) else {
+                    return Err(IsaError::Decode { word: w, msg: "missing immediate word".into() });
+                };
+                used += 1;
+                #[allow(clippy::cast_possible_wrap)]
+                Ok(SrcMode::ImmWord(v as Word))
+            } else {
+                Ok(mode)
+            }
+        };
+        let src1 = take_imm(SrcMode::decode(((w >> 20) & 0x3F) as u8))?;
+        let src2 = take_imm(SrcMode::decode(((w >> 14) & 0x3F) as u8))?;
+        Ok((
+            Instruction::Basic {
+                op,
+                src1,
+                src2,
+                dst1: ((w >> 9) & 0x1F) as u8,
+                dst2: ((w >> 4) & 0x1F) as u8,
+                qp_inc: ((w >> 1) & 0x7) as u8,
+                cont: w & 1 != 0,
+            },
+            used,
+        ))
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    /// Thesis assembly syntax: `opcode+n src1,src2 :dst1,dst2 >`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Instruction::Basic { op, src1, src2, dst1, dst2, qp_inc, cont } => {
+                write!(f, "{op}")?;
+                if *qp_inc > 0 {
+                    write!(f, "+{qp_inc}")?;
+                }
+                write!(f, " {src1},{src2}")?;
+                match (*dst1 != REG_DUMMY, *dst2 != REG_DUMMY) {
+                    (true, true) => write!(f, " :r{dst1},r{dst2}")?,
+                    (true, false) => write!(f, " :r{dst1}")?,
+                    (false, true) => write!(f, " :r{REG_DUMMY},r{dst2}")?,
+                    (false, false) => {}
+                }
+                if *cont {
+                    write!(f, " >")?;
+                }
+                Ok(())
+            }
+            Instruction::Dup { two, off1, off2, cont } => {
+                if *two {
+                    write!(f, "dup2 :r{off1},r{off2}")?;
+                } else {
+                    write!(f, "dup1 :r{off1}")?;
+                }
+                if *cont {
+                    write!(f, " >")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_codes_are_unique_and_round_trip() {
+        for &(op, code) in &Opcode::ALL {
+            assert_eq!(op.code(), code);
+            assert_eq!(Opcode::from_code(code), Some(op));
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        let mut codes: Vec<u8> = Opcode::ALL.iter().map(|&(_, c)| c).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), Opcode::ALL.len());
+    }
+
+    #[test]
+    fn table_5_2_octal_assignments() {
+        assert_eq!(Opcode::Dup1.code(), 0o00);
+        assert_eq!(Opcode::Dup2.code(), 0o04);
+        assert_eq!(Opcode::Send.code(), 0o10);
+        assert_eq!(Opcode::Store.code(), 0o11);
+        assert_eq!(Opcode::Storb.code(), 0o13);
+        assert_eq!(Opcode::Recv.code(), 0o14);
+        assert_eq!(Opcode::Fetch.code(), 0o15);
+        assert_eq!(Opcode::Fchb.code(), 0o17);
+        assert_eq!(Opcode::Plus.code(), 0o30);
+        assert_eq!(Opcode::Minus.code(), 0o31);
+        assert_eq!(Opcode::Ge.code(), 0o41);
+        assert_eq!(Opcode::Bne.code(), 0o62);
+        assert_eq!(Opcode::Beq.code(), 0o66);
+        assert_eq!(Opcode::Ftrap.code(), 0o70);
+        assert_eq!(Opcode::Trap.code(), 0o71);
+        assert_eq!(Opcode::Fret.code(), 0o74);
+        assert_eq!(Opcode::Rett.code(), 0o75);
+    }
+
+    #[test]
+    fn src_mode_encode_decode_round_trip() {
+        let modes = [
+            SrcMode::Window(0),
+            SrcMode::Window(15),
+            SrcMode::Global(16),
+            SrcMode::Global(31),
+            SrcMode::Imm(-15),
+            SrcMode::Imm(0),
+            SrcMode::Imm(15),
+            SrcMode::ImmWord(0),
+        ];
+        for m in modes {
+            let enc = m.encode().unwrap();
+            assert_eq!(SrcMode::decode(enc), m, "mode {m:?}");
+        }
+    }
+
+    #[test]
+    fn src_mode_rejects_out_of_range() {
+        assert!(SrcMode::Window(16).encode().is_err());
+        assert!(SrcMode::Global(5).encode().is_err());
+        assert!(SrcMode::Imm(16).encode().is_err());
+        assert!(SrcMode::Imm(-16).encode().is_err());
+    }
+
+    #[test]
+    fn basic_instruction_round_trip() {
+        let i = Instruction::Basic {
+            op: Opcode::Plus,
+            src1: SrcMode::Window(0),
+            src2: SrcMode::Window(1),
+            dst1: 0,
+            dst2: 2,
+            qp_inc: 2,
+            cont: true,
+        };
+        let words = i.encode().unwrap();
+        assert_eq!(words.len(), 1);
+        let (decoded, used) = Instruction::decode(&words).unwrap();
+        assert_eq!(used, 1);
+        assert_eq!(decoded, i);
+    }
+
+    #[test]
+    fn immediate_word_round_trip() {
+        let i = Instruction::Basic {
+            op: Opcode::Fetch,
+            src1: SrcMode::ImmWord(0x1234_5678),
+            src2: SrcMode::Imm(0),
+            dst1: 0,
+            dst2: REG_DUMMY,
+            qp_inc: 0,
+            cont: false,
+        };
+        let words = i.encode().unwrap();
+        assert_eq!(words.len(), 2);
+        let (decoded, used) = Instruction::decode(&words).unwrap();
+        assert_eq!(used, 2);
+        assert_eq!(decoded, i);
+    }
+
+    #[test]
+    fn two_immediate_words_round_trip() {
+        let i = Instruction::Basic {
+            op: Opcode::Store,
+            src1: SrcMode::ImmWord(-7),
+            src2: SrcMode::ImmWord(42),
+            dst1: REG_DUMMY,
+            dst2: REG_DUMMY,
+            qp_inc: 0,
+            cont: false,
+        };
+        let words = i.encode().unwrap();
+        assert_eq!(words.len(), 3);
+        let (decoded, used) = Instruction::decode(&words).unwrap();
+        assert_eq!(used, 3);
+        assert_eq!(decoded, i);
+    }
+
+    #[test]
+    fn dup_round_trip() {
+        let i = Instruction::Dup { two: true, off1: 0, off2: 255, cont: false };
+        let words = i.encode().unwrap();
+        let (decoded, used) = Instruction::decode(&words).unwrap();
+        assert_eq!(used, 1);
+        assert_eq!(decoded, i);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(Opcode::Plus.alu(2, 3), Some(5));
+        assert_eq!(Opcode::Minus.alu(2, 3), Some(-1));
+        assert_eq!(Opcode::Mul.alu(-4, 3), Some(-12));
+        assert_eq!(Opcode::Div.alu(7, 2), Some(3));
+        assert_eq!(Opcode::Div.alu(7, 0), Some(0));
+        assert_eq!(Opcode::Lshift.alu(1, 4), Some(16));
+        assert_eq!(Opcode::Rshift.alu(-16, 2), Some(-4), "arithmetic shift sign-extends");
+        assert_eq!(Opcode::Xor.alu(0b1010, 0b0110), Some(0b1100));
+        // Boolean encoding: all ones true, all zeroes false.
+        assert_eq!(Opcode::Lt.alu(1, 2), Some(-1));
+        assert_eq!(Opcode::Lt.alu(2, 1), Some(0));
+        assert_eq!(Opcode::Lo.alu(-1, 1), Some(0), "unsigned: 0xFFFFFFFF is large");
+        assert_eq!(Opcode::Hi.alu(-1, 1), Some(-1));
+        assert_eq!(Opcode::Fetch.alu(0, 0), None, "memory ops are not pure ALU");
+    }
+
+    #[test]
+    fn thesis_idioms() {
+        // xor r, #-1 = bitwise complement; minus #0, r = negate.
+        assert_eq!(Opcode::Xor.alu(0b1010, -1), Some(!0b1010));
+        assert_eq!(Opcode::Minus.alu(0, 5), Some(-5));
+        // plus r, #0 = move.
+        assert_eq!(Opcode::Plus.alu(17, 0), Some(17));
+    }
+
+    #[test]
+    fn display_matches_thesis_syntax() {
+        let i = Instruction::Basic {
+            op: Opcode::Plus,
+            src1: SrcMode::Window(0),
+            src2: SrcMode::Window(1),
+            dst1: 0,
+            dst2: 2,
+            qp_inc: 2,
+            cont: true,
+        };
+        assert_eq!(i.to_string(), "plus+2 r0,r1 :r0,r2 >");
+        let d = Instruction::Dup { two: false, off1: 30, off2: 0, cont: false };
+        assert_eq!(d.to_string(), "dup1 :r30");
+    }
+
+    #[test]
+    fn size_in_words() {
+        let i = Instruction::basic(Opcode::Plus, SrcMode::ImmWord(1), SrcMode::ImmWord(2));
+        assert_eq!(i.size_words(), 3);
+        let d = Instruction::Dup { two: false, off1: 0, off2: 0, cont: false };
+        assert_eq!(d.size_words(), 1);
+    }
+}

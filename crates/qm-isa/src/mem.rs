@@ -1,0 +1,180 @@
+//! Memory interface and address-space map.
+//!
+//! The multiprocessor address space (thesis Fig. 5.18 / 6.3, adapted):
+//!
+//! ```text
+//! 0x0000_0000 … 0x000F_FFFF   code     (pure; replicated per PE — free to
+//!                                       fetch, never written at run time)
+//! 0x0010_0000 … 0x7FFF_FFFF   global   shared data; the home PE is
+//!                                       addr[27:24]; remote access goes
+//!                                       over the partitioned ring bus
+//! 0x8000_0000 … 0xFFFF_FFFF   local    per-PE private memory (queue pages,
+//!                                       kernel context records); never
+//!                                       remotely addressable
+//! ```
+//!
+//! The PE reaches data memory through [`DataPort`], which reports the
+//! extra cycles each access costs; `qm-sim` implements it with ring-bus
+//! arbitration, while [`FlatMemory`] is the trivial single-PE
+//! implementation used in unit tests.
+
+use std::collections::HashMap;
+
+use crate::{UWord, Word};
+
+/// Base address of the (replicated, read-only) code segment.
+pub const CODE_BASE: UWord = 0x0000_0000;
+/// First address past the code segment.
+pub const CODE_LIMIT: UWord = 0x0010_0000;
+/// Base of the shared global data region.
+pub const GLOBAL_BASE: UWord = 0x0010_0000;
+/// Base of the per-PE local region.
+pub const LOCAL_BASE: UWord = 0x8000_0000;
+
+/// Home PE of a global address (bits 27:24).
+#[must_use]
+pub fn global_home(addr: UWord) -> usize {
+    ((addr >> 24) & 0xF) as usize
+}
+
+/// True for addresses in the per-PE local region.
+#[must_use]
+pub fn is_local(addr: UWord) -> bool {
+    addr >= LOCAL_BASE
+}
+
+/// How the PE reaches data memory. Every access returns the *extra*
+/// cycles it cost beyond the instruction's base time (bus arbitration,
+/// remote transfer…).
+pub trait DataPort {
+    /// Read a word. `pe` identifies the requesting processing element.
+    fn read_word(&mut self, pe: usize, addr: UWord) -> (Word, u64);
+    /// Write a word.
+    fn write_word(&mut self, pe: usize, addr: UWord, value: Word) -> u64;
+    /// Read a byte (zero-extended into a word, §5.3.1).
+    fn read_byte(&mut self, pe: usize, addr: UWord) -> (Word, u64);
+    /// Write the low byte of `value`.
+    fn write_byte(&mut self, pe: usize, addr: UWord, value: Word) -> u64;
+    /// Fetch a code word (instruction stream; charged inside the
+    /// instruction base time, so no extra cycles are reported).
+    fn fetch_code(&mut self, pe: usize, addr: UWord) -> u32;
+}
+
+/// A flat, sparse, zero-initialised memory shared by all PEs with zero
+/// extra access cost. The single-PE test double for the bus model.
+#[derive(Debug, Clone, Default)]
+pub struct FlatMemory {
+    words: HashMap<UWord, Word>,
+}
+
+impl FlatMemory {
+    /// New empty memory (all locations read as zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load a block of raw words at `base` (word-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned.
+    pub fn load_words(&mut self, base: UWord, words: &[u32]) {
+        assert_eq!(base & 3, 0, "base must be word aligned");
+        for (i, &w) in words.iter().enumerate() {
+            #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+            self.words.insert(base + 4 * i as UWord, w as Word);
+        }
+    }
+
+    /// Peek a word without going through the port interface.
+    #[must_use]
+    pub fn peek(&self, addr: UWord) -> Word {
+        debug_assert_eq!(addr & 3, 0);
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Poke a word directly.
+    pub fn poke(&mut self, addr: UWord, value: Word) {
+        debug_assert_eq!(addr & 3, 0);
+        self.words.insert(addr, value);
+    }
+}
+
+impl DataPort for FlatMemory {
+    fn read_word(&mut self, _pe: usize, addr: UWord) -> (Word, u64) {
+        (self.peek(addr & !3), 0)
+    }
+
+    fn write_word(&mut self, _pe: usize, addr: UWord, value: Word) -> u64 {
+        self.poke(addr & !3, value);
+        0
+    }
+
+    fn read_byte(&mut self, _pe: usize, addr: UWord) -> (Word, u64) {
+        let word = self.peek(addr & !3);
+        let shift = (addr & 3) * 8;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+        (((word as u32 >> shift) & 0xFF) as Word, 0)
+    }
+
+    fn write_byte(&mut self, _pe: usize, addr: UWord, value: Word) -> u64 {
+        let aligned = addr & !3;
+        let shift = (addr & 3) * 8;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+        {
+            let old = self.peek(aligned) as u32;
+            let merged = (old & !(0xFFu32 << shift)) | (((value as u32) & 0xFF) << shift);
+            self.poke(aligned, merged as Word);
+        }
+        0
+    }
+
+    fn fetch_code(&mut self, _pe: usize, addr: UWord) -> u32 {
+        #[allow(clippy::cast_sign_loss)]
+        {
+            self.peek(addr & !3) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip() {
+        let mut m = FlatMemory::new();
+        assert_eq!(m.read_word(0, 0x100).0, 0);
+        m.write_word(0, 0x100, -42);
+        assert_eq!(m.read_word(0, 0x100).0, -42);
+    }
+
+    #[test]
+    fn byte_access_is_little_endian_within_word() {
+        let mut m = FlatMemory::new();
+        m.write_word(0, 0x200, 0x0403_0201);
+        assert_eq!(m.read_byte(0, 0x200).0, 0x01);
+        assert_eq!(m.read_byte(0, 0x201).0, 0x02);
+        assert_eq!(m.read_byte(0, 0x203).0, 0x04);
+        m.write_byte(0, 0x201, 0xFF);
+        assert_eq!(m.read_word(0, 0x200).0, 0x0403_FF01);
+        assert_eq!(m.read_byte(0, 0x201).0, 0xFF, "bytes are zero-extended");
+    }
+
+    #[test]
+    fn address_map_helpers() {
+        assert!(is_local(0x8000_0000));
+        assert!(!is_local(0x0010_0000));
+        assert_eq!(global_home(0x0110_0000), 1);
+        assert_eq!(global_home(0x0010_0000), 0);
+    }
+
+    #[test]
+    fn load_words_places_code() {
+        let mut m = FlatMemory::new();
+        m.load_words(CODE_BASE, &[0xDEAD_BEEF, 0x0000_0001]);
+        assert_eq!(m.fetch_code(0, CODE_BASE), 0xDEAD_BEEF);
+        assert_eq!(m.fetch_code(0, CODE_BASE + 4), 1);
+    }
+}

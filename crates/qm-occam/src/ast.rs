@@ -1,0 +1,246 @@
+//! Abstract syntax of the OCCAM subset.
+//!
+//! The five primitive processes (assignment, input, output, wait, skip) and
+//! the constructors (`seq`, `par`, `if`, `while`, replication, procedure
+//! instantiation) follow thesis §4.3. Declarations (`var`, `chan`,
+//! `proc`) prefix the process they scope over.
+
+/// Binary operators in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `\` (remainder)
+    Mod,
+    /// `/\` bitwise and
+    And,
+    /// `\/` bitwise or
+    Or,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i32),
+    /// Scalar variable (or replicator index, or value parameter).
+    Var(String),
+    /// Array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Bitwise complement (`not`).
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// The current clock (`now`), a real-time side-effect actor.
+    Now,
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    #[must_use]
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// All scalar variable names read by this expression.
+    pub fn scalar_reads(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) | Expr::Now => {}
+            Expr::Var(n) => out.push(n.clone()),
+            Expr::Index(_, i) => i.scalar_reads(out),
+            Expr::Neg(e) | Expr::Not(e) => e.scalar_reads(out),
+            Expr::Bin(_, a, b) => {
+                a.scalar_reads(out);
+                b.scalar_reads(out);
+            }
+        }
+    }
+
+    /// All array names read by this expression.
+    pub fn array_reads(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Now => {}
+            Expr::Index(n, i) => {
+                out.push(n.clone());
+                i.array_reads(out);
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.array_reads(out),
+            Expr::Bin(_, a, b) => {
+                a.array_reads(out);
+                b.array_reads(out);
+            }
+        }
+    }
+}
+
+/// Assignment / input targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lvalue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Index(String, Box<Expr>),
+}
+
+/// A replicator `i = [start for count]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replicator {
+    /// Index variable name.
+    pub var: String,
+    /// First value.
+    pub start: Expr,
+    /// Number of instances.
+    pub count: Expr,
+}
+
+/// One declaration introduced by `var` / `chan`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// Scalar variable.
+    Scalar(String),
+    /// Word array with a compile-time length.
+    Array(String, u32),
+    /// Channel.
+    Chan(String),
+}
+
+/// Procedure parameter modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Param {
+    /// Pass by value (scalars; array *base addresses* may also be passed
+    /// this way).
+    Value(String),
+    /// Pass by value-result: the final value flows back to the caller.
+    Var(String),
+}
+
+impl Param {
+    /// The parameter's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Param::Value(n) | Param::Var(n) => n,
+        }
+    }
+}
+
+/// A procedure definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcDef {
+    /// Procedure name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Body process.
+    pub body: Process,
+}
+
+/// A process (OCCAM's unit of behaviour).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Process {
+    /// `lv := e`
+    Assign(Lvalue, Expr),
+    /// `c ? lv`
+    Input(String, Lvalue),
+    /// `c ! e`
+    Output(String, Expr),
+    /// `skip`
+    Skip,
+    /// `wait now after e`
+    Wait(Expr),
+    /// `seq` (optionally replicated).
+    Seq(Option<Replicator>, Vec<Process>),
+    /// `par` (optionally replicated).
+    Par(Option<Replicator>, Vec<Process>),
+    /// `if` with guarded branches, first true guard wins.
+    If(Vec<(Expr, Process)>),
+    /// `while cond` body.
+    While(Expr, Box<Process>),
+    /// Declarations scoping over a process.
+    Scope(Vec<Decl>, Vec<ProcDef>, Box<Process>),
+    /// Procedure instantiation `name(args)`.
+    Call(String, Vec<Expr>),
+}
+
+impl Process {
+    /// Count the primitive processes in this tree (used for statistics).
+    #[must_use]
+    pub fn primitive_count(&self) -> usize {
+        match self {
+            Process::Assign(..)
+            | Process::Input(..)
+            | Process::Output(..)
+            | Process::Skip
+            | Process::Wait(_)
+            | Process::Call(..) => 1,
+            Process::Seq(_, ps) | Process::Par(_, ps) => {
+                ps.iter().map(Process::primitive_count).sum()
+            }
+            Process::If(branches) => branches.iter().map(|(_, p)| p.primitive_count()).sum(),
+            Process::While(_, p) => p.primitive_count(),
+            Process::Scope(_, procs, p) => {
+                procs.iter().map(|d| d.body.primitive_count()).sum::<usize>()
+                    + p.primitive_count()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reads_collects_all() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Var("a".into()),
+            Expr::Index("v".into(), Box::new(Expr::Var("i".into()))),
+        );
+        let mut reads = Vec::new();
+        e.scalar_reads(&mut reads);
+        assert_eq!(reads, vec!["a", "i"]);
+        let mut arrays = Vec::new();
+        e.array_reads(&mut arrays);
+        assert_eq!(arrays, vec!["v"]);
+    }
+
+    #[test]
+    fn primitive_count_recurses() {
+        let p = Process::Seq(
+            None,
+            vec![
+                Process::Assign(Lvalue::Var("x".into()), Expr::Const(1)),
+                Process::Par(
+                    None,
+                    vec![Process::Skip, Process::Output("c".into(), Expr::Const(2))],
+                ),
+            ],
+        );
+        assert_eq!(p.primitive_count(), 3);
+    }
+}

@@ -1,0 +1,1650 @@
+//! Code generation: resolved OCCAM → contexts + splicing protocol (§4.2).
+//!
+//! Every constructor is compiled by *dynamic data-flow graph splicing*:
+//!
+//! * `while` → a chain of contexts: the parent `rfork`s a *test* context
+//!   and transmits the loop-live set `L`; the test evaluates the condition,
+//!   selects the *body* or *terminator* address, `ifork`s it (inheriting
+//!   the out channel) and forwards `L`; the body computes and `ifork`s the
+//!   test again; the terminator sends the live-out subset straight back to
+//!   the parent (thesis Fig. 4.6).
+//! * `if` → the parent evaluates the guards, selects a branch address with
+//!   the `sel` lowering (`(a ∧ c) ∨ (b ∧ ¬c)`), `rfork`s it and exchanges
+//!   the union interface; every branch echoes unmodified values.
+//! * `par` → one `rfork` per component (Fig. 4.9).
+//! * replicated `par` → a spawner loop `rfork`ing one context per
+//!   instance plus a collector loop receiving one completion token per
+//!   instance on a shared done-channel (Fig. 4.10).
+//! * procedure instantiation → `rfork` of the (reentrant) procedure
+//!   context; value parameters flow in, `var` parameters flow back
+//!   (Fig. 4.5).
+//!
+//! Side effects are sequenced with control tokens (§4.6): one `K$io`
+//! token for channel I/O and timing, and one `K$a$<array>` token per
+//! array with multiple-readers/single-writer ordering. Control tokens are
+//! part of context interfaces, so cross-context side-effect ordering rides
+//! the same channels as data.
+
+use std::collections::{BTreeSet, HashMap};
+
+use qm_isa::Opcode;
+
+use crate::ast::{BinOp, Decl, Expr, Lvalue, Param, Process, Replicator};
+use crate::emit::{emit_context, wire_end, EmitError};
+use crate::graph::{Actor, ChanRef, ContextGraph, NodeId, ValueRef};
+use crate::sema::{Resolved, SymKind};
+use crate::Options;
+
+/// Code generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError {
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codegen error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<EmitError> for CodegenError {
+    fn from(e: EmitError) -> Self {
+        CodegenError { msg: e.msg }
+    }
+}
+
+/// The I/O + timing control token.
+const K_IO: &str = "K$io";
+
+fn k_arr(name: &str) -> String {
+    format!("K$a${name}")
+}
+
+fn is_k(name: &str) -> bool {
+    name.starts_with("K$")
+}
+
+/// Generate assembly for a resolved program.
+///
+/// # Errors
+///
+/// [`CodegenError`] for unsupported shapes (e.g. procedure bodies
+/// capturing outer variables) or contexts exceeding the queue page.
+pub fn generate(resolved: &Resolved, opts: &Options) -> Result<String, CodegenError> {
+    match generate_once(resolved, opts) {
+        Err(e) if opts.loop_unrolling && e.msg.contains("queue page") => {
+            // Unrolling inflated a context past its queue page: degrade
+            // gracefully by recompiling with loops kept as contexts (the
+            // §4.3 granularity trade-off, resource-pressure edition).
+            generate_once(resolved, &Options { loop_unrolling: false, ..*opts })
+        }
+        other => other,
+    }
+}
+
+fn generate_once(resolved: &Resolved, opts: &Options) -> Result<String, CodegenError> {
+    let graphs = context_graphs(resolved, opts)?;
+    let mut asm = String::new();
+    for (label, graph) in &graphs {
+        asm.push_str(&emit_context(label, graph, opts.priority_scheduling)?);
+    }
+    Ok(asm)
+}
+
+/// Build the per-context data-flow graphs without emitting code (used by
+/// [`crate::draw`] and by tests that inspect graph structure).
+///
+/// # Errors
+///
+/// Same failures as [`generate`].
+pub fn context_graphs(
+    resolved: &Resolved,
+    opts: &Options,
+) -> Result<Vec<(String, ContextGraph)>, CodegenError> {
+    let mut c = Compiler {
+        written: written_arrays(resolved),
+        r: resolved,
+        opts,
+        contexts: Vec::new(),
+        fresh: 0,
+        proc_plans: HashMap::new(),
+    };
+    let main = resolved.main.clone();
+    c.build_context("main".into(), &[], Some(&[]), false, |c, ctx| {
+        c.stmt(ctx, &main, &BTreeSet::new())
+    })?;
+    Ok(c.contexts)
+}
+
+/// Interface of a compiled child context.
+#[derive(Debug, Clone)]
+struct ChildPlan {
+    label: String,
+    /// Names in the order the child receives them on its in channel.
+    inputs: Vec<String>,
+    /// Names in the order the child sends them on its out channel.
+    outputs: Vec<String>,
+}
+
+/// Side-effect sequencing state for one control token.
+#[derive(Debug, Clone, Default)]
+struct Tail {
+    /// Write barriers: nodes every subsequent access must follow.
+    barrier: Vec<NodeId>,
+    /// Reads since the last barrier (a new barrier must follow them all).
+    reads: Vec<NodeId>,
+}
+
+/// A context under construction.
+struct Ctx {
+    g: ContextGraph,
+    bindings: HashMap<String, ValueRef>,
+    tails: HashMap<String, Tail>,
+    recv_ins: Vec<(String, NodeId)>,
+    /// Per-splice-channel send/recv chains, keyed by the channel value's
+    /// producing node.
+    chan_chains: HashMap<(NodeId, u8), NodeId>,
+    /// Program-order chain through *every* potentially blocking channel
+    /// operation (§4.6's strict single control token). A context may
+    /// block on any channel op; chaining them in program order guarantees
+    /// it blocks in the same order a sequential execution would, which is
+    /// what makes the rendezvous protocol deadlock-free.
+    io_chain: Option<NodeId>,
+    /// First chained channel op (the prologue receives are linked in
+    /// front of it during finalisation).
+    first_io: Option<NodeId>,
+}
+
+impl Ctx {
+    fn new() -> Self {
+        Ctx {
+            g: ContextGraph::new(),
+            bindings: HashMap::new(),
+            tails: HashMap::new(),
+            recv_ins: Vec::new(),
+            chan_chains: HashMap::new(),
+            io_chain: None,
+            first_io: None,
+        }
+    }
+
+    /// Thread `node` onto the program-order channel-operation chain.
+    fn link_io(&mut self, node: NodeId) {
+        if let Some(prev) = self.io_chain.replace(node) {
+            self.g.add_ctrl(prev, node);
+        } else {
+            self.first_io = Some(node);
+        }
+    }
+
+    fn bind(&mut self, name: &str, v: ValueRef) {
+        self.bindings.insert(name.to_string(), v);
+    }
+
+    fn value(&mut self, name: &str) -> Result<ValueRef, CodegenError> {
+        if let Some(v) = self.bindings.get(name) {
+            return Ok(*v);
+        }
+        if is_k(name) {
+            // Control tokens materialise lazily as a zero word.
+            let n = self.g.add(Actor::Const(0), &[], &[]);
+            let v = ValueRef::of(n);
+            self.bind(name, v);
+            return Ok(v);
+        }
+        Err(CodegenError {
+            msg: format!(
+                "no binding for {name} in this context (procedure bodies may only reference \
+                 their parameters)"
+            ),
+        })
+    }
+
+    fn tail(&mut self, name: &str) -> &mut Tail {
+        self.tails.entry(name.to_string()).or_default()
+    }
+
+    /// Control predecessors for a *read* access under token `name`.
+    fn read_ctrl(&mut self, name: &str) -> Vec<NodeId> {
+        self.tail(name).barrier.clone()
+    }
+
+    /// Control predecessors for a *barrier* access (write / transfer).
+    fn barrier_ctrl(&mut self, name: &str) -> Vec<NodeId> {
+        let t = self.tail(name);
+        let mut c = t.barrier.clone();
+        c.extend(t.reads.iter().copied());
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    fn note_read(&mut self, name: &str, node: NodeId) {
+        self.tail(name).reads.push(node);
+    }
+
+    fn note_barrier(&mut self, name: &str, node: NodeId) {
+        let t = self.tail(name);
+        t.barrier = vec![node];
+        t.reads.clear();
+    }
+
+    /// Chain an operation on a run-time channel value.
+    fn chan_ctrl(&mut self, chan: ValueRef, node: NodeId) -> Vec<NodeId> {
+        let key = (chan.node, chan.out);
+        let prev = self.chan_chains.insert(key, node);
+        prev.into_iter().collect()
+    }
+}
+
+struct Compiler<'a> {
+    r: &'a Resolved,
+    opts: &'a Options,
+    contexts: Vec<(String, ContextGraph)>,
+    fresh: usize,
+    proc_plans: HashMap<String, ChildPlan>,
+    /// Arrays written anywhere in the program. Host-initialised arrays
+    /// that are only ever read need no control-token sequencing at all.
+    written: BTreeSet<String>,
+}
+
+impl<'a> Compiler<'a> {
+    fn fresh_label(&mut self, base: &str) -> String {
+        let n = self.fresh;
+        self.fresh += 1;
+        format!("{base}_{n}")
+    }
+
+    fn fresh_name(&mut self, base: &str) -> String {
+        let n = self.fresh;
+        self.fresh += 1;
+        format!("{base}${n}")
+    }
+
+    fn kind(&self, name: &str) -> Option<&SymKind> {
+        self.r.syms.get(name)
+    }
+
+    /// Whether accesses to array `name` must be sequenced. Array
+    /// parameters always thread their token (the bound array may be
+    /// written through an alias); named arrays only when some statement
+    /// writes them.
+    fn k_needed(&self, name: &str) -> bool {
+        self.kind(name) == Some(&SymKind::ArrayParam) || self.written.contains(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Context construction
+    // ------------------------------------------------------------------
+
+    /// Build a context: prologue receives for `live_in`, the body closure,
+    /// then (when `live_out` is `Some`) epilogue sends on the out channel.
+    /// Returns the interface plan; `allow_pi` enables §4.5 input
+    /// sequencing (only safe when this context has a single, matching
+    /// sender).
+    fn build_context(
+        &mut self,
+        label: String,
+        live_in: &[String],
+        live_out: Option<&[String]>,
+        allow_pi: bool,
+        body: impl FnOnce(&mut Self, &mut Ctx) -> Result<(), CodegenError>,
+    ) -> Result<ChildPlan, CodegenError> {
+        let mut ctx = Ctx::new();
+        for name in live_in {
+            let n = ctx.g.add(Actor::Recv(ChanRef::InReg), &[], &[]);
+            ctx.bind(name, ValueRef::of(n));
+            if is_k(name) {
+                ctx.note_barrier(name, n);
+            }
+            ctx.recv_ins.push((name.clone(), n));
+        }
+        body(self, &mut ctx)?;
+        if let Some(outs) = live_out {
+            let mut prev: Option<NodeId> = None;
+            for name in outs {
+                let v = ctx.value(name)?;
+                let mut ctrl: Vec<NodeId> = prev.into_iter().collect();
+                if is_k(name) {
+                    ctrl.extend(ctx.barrier_ctrl(name));
+                }
+                if prev.is_none() {
+                    // Deadlock avoidance: drain every input before the
+                    // first output send — the parent sends all inputs
+                    // before receiving any output, and both sides block
+                    // on the rendezvous.
+                    ctrl.extend(ctx.recv_ins.iter().map(|&(_, n)| n));
+                }
+                let s = ctx.g.add(Actor::Send(ChanRef::OutReg), &[v], &ctrl);
+                ctx.link_io(s);
+                prev = Some(s);
+            }
+        }
+        // Input sequencing: order the prologue receives.
+        let inputs: Vec<String> = if allow_pi && self.opts.input_sequencing && ctx.recv_ins.len() > 1
+        {
+            let nodes: Vec<NodeId> = ctx.recv_ins.iter().map(|&(_, n)| n).collect();
+            let ordered = ctx.g.input_order(&nodes);
+            ordered
+                .iter()
+                .map(|&n| {
+                    ctx.recv_ins
+                        .iter()
+                        .find(|&&(_, m)| m == n)
+                        .expect("input node known")
+                        .0
+                        .clone()
+                })
+                .collect()
+        } else {
+            live_in.to_vec()
+        };
+        // Chain the receives in the chosen order (they all share the in
+        // channel, so order is semantically load-bearing).
+        let node_of: HashMap<&String, NodeId> =
+            ctx.recv_ins.iter().map(|(n, id)| (n, *id)).collect();
+        for pair in inputs.windows(2) {
+            ctx.g.add_ctrl(node_of[&pair[0]], node_of[&pair[1]]);
+        }
+        // Drain the inputs before any other channel operation can block
+        // the context (same rationale as link_io).
+        if let (Some(last_in), Some(first_io)) = (inputs.last(), ctx.first_io) {
+            ctx.g.add_ctrl(node_of[last_in], first_io);
+        }
+        let end = ctx.g.add(Actor::End, &[], &[]);
+        wire_end(&mut ctx.g, end);
+        self.contexts.push((label.clone(), ctx.g));
+        Ok(ChildPlan {
+            label,
+            inputs,
+            outputs: live_out.map(<[String]>::to_vec).unwrap_or_default(),
+        })
+    }
+
+    /// Parent-side splice: fork `target`, send the plan's inputs
+    /// (translated through `map`: child name → parent name), then receive
+    /// the plan's outputs (rfork only). `spawn_only` skips the receives
+    /// (replicated `par` bodies report on a done-channel instead).
+    #[allow(clippy::too_many_arguments)]
+    fn splice(
+        &mut self,
+        ctx: &mut Ctx,
+        target: ValueRef,
+        plan: &ChildPlan,
+        iterative: bool,
+        local: bool,
+        map: &HashMap<String, String>,
+        in_vals: &HashMap<String, ValueRef>,
+        spawn_only: bool,
+    ) -> Result<(), CodegenError> {
+        let resolve = |name: &String| map.get(name).cloned().unwrap_or_else(|| name.clone());
+        let fork = ctx.g.add(Actor::Fork { iterative, local }, &[target], &[]);
+        let c_in = ValueRef { node: fork, out: 0 };
+        let mut last_send: Option<NodeId> = None;
+        for name in &plan.inputs {
+            let parent_name = resolve(name);
+            let v = if let Some(v) = in_vals.get(name) {
+                *v
+            } else {
+                ctx.value(&parent_name)?
+            };
+            let mut ctrl = Vec::new();
+            if is_k(&parent_name) {
+                ctrl.extend(ctx.barrier_ctrl(&parent_name));
+            }
+            let s = ctx.g.add(Actor::Send(ChanRef::Value), &[c_in, v], &ctrl);
+            ctx.link_io(s);
+            for c in ctx.chan_ctrl(c_in, s) {
+                ctx.g.add_ctrl(c, s);
+            }
+            if is_k(&parent_name) {
+                ctx.note_barrier(&parent_name, s);
+            }
+            last_send = Some(s);
+        }
+        if iterative || spawn_only {
+            return Ok(());
+        }
+        let c_out = ValueRef { node: fork, out: 1 };
+        let mut first_recv = true;
+        for name in &plan.outputs {
+            let parent_name = resolve(name);
+            // Deadlock avoidance: never wait for an output before every
+            // input has been handed over.
+            let ctrl: Vec<NodeId> = if first_recv {
+                first_recv = false;
+                last_send.into_iter().collect()
+            } else {
+                Vec::new()
+            };
+            let r = ctx.g.add(Actor::Recv(ChanRef::Value), &[c_out], &ctrl);
+            ctx.link_io(r);
+            for c in ctx.chan_ctrl(c_out, r) {
+                ctx.g.add_ctrl(c, r);
+            }
+            ctx.bind(&parent_name, ValueRef::of(r));
+            if is_k(&parent_name) {
+                ctx.note_barrier(&parent_name, r);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn const_node(&self, ctx: &mut Ctx, v: i32) -> ValueRef {
+        ValueRef::of(ctx.g.add(Actor::Const(v), &[], &[]))
+    }
+
+    fn expr(&mut self, ctx: &mut Ctx, e: &Expr) -> Result<ValueRef, CodegenError> {
+        Ok(match e {
+            Expr::Const(v) => self.const_node(ctx, *v),
+            Expr::Var(name) => match self.kind(name) {
+                Some(SymKind::Array { addr, .. }) => {
+                    #[allow(clippy::cast_possible_wrap)]
+                    self.const_node(ctx, *addr as i32)
+                }
+                Some(SymKind::Chan { host: true }) => self.const_node(ctx, 0),
+                _ => ctx.value(name)?,
+            },
+            Expr::Index(name, idx) => {
+                let addr = self.addr_value(ctx, name, idx)?;
+                if self.k_needed(name) {
+                    let k = k_arr(name);
+                    let ctrl = ctx.read_ctrl(&k);
+                    let f = ctx.g.add(Actor::Fetch, &[addr], &ctrl);
+                    ctx.note_read(&k, f);
+                    ValueRef::of(f)
+                } else {
+                    // Never-written (host-constant) array: reads need no
+                    // sequencing.
+                    ValueRef::of(ctx.g.add(Actor::Fetch, &[addr], &[]))
+                }
+            }
+            Expr::Neg(inner) => {
+                if let Expr::Const(v) = **inner {
+                    return Ok(self.const_node(ctx, v.wrapping_neg()));
+                }
+                let v = self.expr(ctx, inner)?;
+                ValueRef::of(ctx.g.add(Actor::Neg, &[v], &[]))
+            }
+            Expr::Not(inner) => {
+                let v = self.expr(ctx, inner)?;
+                ValueRef::of(ctx.g.add(Actor::Not, &[v], &[]))
+            }
+            Expr::Bin(op, a, b) => {
+                let va = self.expr(ctx, a)?;
+                let vb = self.expr(ctx, b)?;
+                ValueRef::of(ctx.g.add(Actor::Bin(binop_opcode(*op)), &[va, vb], &[]))
+            }
+            Expr::Now => {
+                let ctrl = ctx.barrier_ctrl(K_IO);
+                let n = ctx.g.add(Actor::Now, &[], &ctrl);
+                ctx.note_barrier(K_IO, n);
+                ValueRef::of(n)
+            }
+        })
+    }
+
+    /// Byte address of `name[idx]`.
+    fn addr_value(
+        &mut self,
+        ctx: &mut Ctx,
+        name: &str,
+        idx: &Expr,
+    ) -> Result<ValueRef, CodegenError> {
+        match self.kind(name) {
+            Some(SymKind::Array { addr, len }) => {
+                if let Expr::Const(k) = idx {
+                    if *k < 0 || (*k as u32) >= *len {
+                        return Err(CodegenError {
+                            msg: format!("constant index {k} out of bounds for {name}[{len}]"),
+                        });
+                    }
+                    #[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+                    return Ok(self.const_node(ctx, (*addr + 4 * (*k as u32)) as i32));
+                }
+                #[allow(clippy::cast_possible_wrap)]
+                let base = self.const_node(ctx, *addr as i32);
+                self.indexed_addr(ctx, base, idx)
+            }
+            _ => {
+                let base = ctx.value(name)?;
+                self.indexed_addr(ctx, base, idx)
+            }
+        }
+    }
+
+    fn indexed_addr(
+        &mut self,
+        ctx: &mut Ctx,
+        base: ValueRef,
+        idx: &Expr,
+    ) -> Result<ValueRef, CodegenError> {
+        let iv = self.expr(ctx, idx)?;
+        let two = self.const_node(ctx, 2);
+        let scaled = ctx.g.add(Actor::Bin(Opcode::Lshift), &[iv, two], &[]);
+        Ok(ValueRef::of(ctx.g.add(
+            Actor::Bin(Opcode::Plus),
+            &[base, ValueRef::of(scaled)],
+            &[],
+        )))
+    }
+
+    /// The run-time channel word for a named channel.
+    fn chan_value(&mut self, ctx: &mut Ctx, name: &str) -> Result<ValueRef, CodegenError> {
+        match self.kind(name) {
+            Some(SymKind::Chan { host: true }) => Ok(self.const_node(ctx, 0)),
+            _ => ctx.value(name),
+        }
+    }
+
+    /// `sel(cond, a, b)` lowering: `(a ∧ cond) ∨ (b ∧ ¬cond)`.
+    fn sel(&mut self, ctx: &mut Ctx, cond: ValueRef, a: ValueRef, b: ValueRef) -> ValueRef {
+        // OCCAM truth is "any non-zero"; the mask trick needs the
+        // canonical all-ones/all-zeroes encoding, so normalise first
+        // (`ne` produces exactly that).
+        let zero = self.const_node(ctx, 0);
+        let c = ctx.g.add(Actor::Bin(Opcode::Ne), &[cond, zero], &[]);
+        let cond = ValueRef::of(c);
+        let t1 = ctx.g.add(Actor::Bin(Opcode::And), &[a, cond], &[]);
+        let ncond = ctx.g.add(Actor::Not, &[cond], &[]);
+        let t2 = ctx.g.add(Actor::Bin(Opcode::And), &[b, ValueRef::of(ncond)], &[]);
+        ValueRef::of(ctx.g.add(Actor::Bin(Opcode::Or), &[ValueRef::of(t1), ValueRef::of(t2)], &[]))
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmts(
+        &mut self,
+        ctx: &mut Ctx,
+        ps: &[Process],
+        live_after: &BTreeSet<String>,
+    ) -> Result<(), CodegenError> {
+        // Backward live sets: live[i] is the set live after ps[i]. Only
+        // *unconditional* definitions kill liveness — an `if`/`while`
+        // may leave the old value in place, which the echo protocol must
+        // then transmit.
+        let mut lives: Vec<BTreeSet<String>> = vec![live_after.clone()];
+        for p in ps.iter().rev() {
+            let (u, _) = self.uses_defs(p);
+            let kills = self.must_defs(p);
+            let mut l = lives.last().expect("seeded").clone();
+            for x in &kills {
+                l.remove(x);
+            }
+            l.extend(u);
+            lives.push(l);
+        }
+        lives.reverse(); // lives[i+1] = live after ps[i]
+        for (i, p) in ps.iter().enumerate() {
+            self.stmt(ctx, p, &lives[i + 1])?;
+        }
+        Ok(())
+    }
+
+    fn stmt(
+        &mut self,
+        ctx: &mut Ctx,
+        p: &Process,
+        live_after: &BTreeSet<String>,
+    ) -> Result<(), CodegenError> {
+        match p {
+            Process::Skip => Ok(()),
+            Process::Assign(Lvalue::Var(x), e) => {
+                let v = self.expr(ctx, e)?;
+                ctx.bind(x, v);
+                Ok(())
+            }
+            Process::Assign(Lvalue::Index(a, idx), e) => {
+                let v = self.expr(ctx, e)?;
+                let addr = self.addr_value(ctx, a, idx)?;
+                let k = k_arr(a);
+                let ctrl = ctx.barrier_ctrl(&k);
+                let st = ctx.g.add(Actor::Store, &[addr, v], &ctrl);
+                ctx.note_barrier(&k, st);
+                Ok(())
+            }
+            Process::Output(c, e) => {
+                let v = self.expr(ctx, e)?;
+                let cv = self.chan_value(ctx, c)?;
+                let ctrl = ctx.barrier_ctrl(K_IO);
+                let s = ctx.g.add(Actor::Send(ChanRef::Value), &[cv, v], &ctrl);
+                ctx.link_io(s);
+                ctx.note_barrier(K_IO, s);
+                Ok(())
+            }
+            Process::Input(c, lv) => {
+                let cv = self.chan_value(ctx, c)?;
+                let ctrl = ctx.barrier_ctrl(K_IO);
+                let r = ctx.g.add(Actor::Recv(ChanRef::Value), &[cv], &ctrl);
+                ctx.link_io(r);
+                ctx.note_barrier(K_IO, r);
+                match lv {
+                    Lvalue::Var(x) => ctx.bind(x, ValueRef::of(r)),
+                    Lvalue::Index(a, idx) => {
+                        let addr = self.addr_value(ctx, a, idx)?;
+                        let k = k_arr(a);
+                        let sctrl = ctx.barrier_ctrl(&k);
+                        let st = ctx.g.add(Actor::Store, &[addr, ValueRef::of(r)], &sctrl);
+                        ctx.note_barrier(&k, st);
+                    }
+                }
+                Ok(())
+            }
+            Process::Wait(e) => {
+                let v = self.expr(ctx, e)?;
+                let ctrl = ctx.barrier_ctrl(K_IO);
+                let w = ctx.g.add(Actor::Wait, &[v], &ctrl);
+                ctx.link_io(w);
+                ctx.note_barrier(K_IO, w);
+                Ok(())
+            }
+            Process::Scope(decls, _, body) => {
+                for d in decls {
+                    match d {
+                        Decl::Scalar(n) => {
+                            let z = self.const_node(ctx, 0);
+                            ctx.bind(n, z);
+                        }
+                        Decl::Chan(n) => {
+                            let c = ctx.g.add(Actor::ChanNew, &[], &[]);
+                            ctx.bind(n, ValueRef::of(c));
+                        }
+                        Decl::Array(..) => {}
+                    }
+                }
+                self.stmt(ctx, body, live_after)
+            }
+            Process::Seq(None, ps) => self.stmts(ctx, ps, live_after),
+            Process::Seq(Some(rep), ps) => self.gen_replicated_seq(ctx, rep, ps, live_after),
+            Process::Par(None, ps) => self.gen_par(ctx, ps, live_after),
+            Process::Par(Some(rep), ps) => self.gen_replicated_par(ctx, rep, ps, live_after),
+            Process::If(branches) => self.gen_if(ctx, branches, live_after),
+            Process::While(cond, body) => self.gen_while(ctx, cond, body, live_after),
+            Process::Call(name, args) => self.gen_call(ctx, name, args, live_after),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Constructs
+    // ------------------------------------------------------------------
+
+    /// Shared loop machinery (Fig. 4.6): returns after wiring the parent's
+    /// rfork/sends/recvs. `l` must be sorted and contain every name the
+    /// condition and body touch; `outs ⊆ l` flows back to the parent.
+    #[allow(clippy::too_many_arguments)]
+    fn gen_loop(
+        &mut self,
+        ctx: &mut Ctx,
+        l: &[String],
+        outs: &[String],
+        cond: impl FnOnce(&mut Self, &mut Ctx) -> Result<ValueRef, CodegenError>,
+        body: impl FnOnce(&mut Self, &mut Ctx) -> Result<(), CodegenError>,
+    ) -> Result<(), CodegenError> {
+        let test_l = self.fresh_label("test");
+        let body_l = self.fresh_label("body");
+        let term_l = self.fresh_label("term");
+        // Terminator: echo the live-outs to the inherited out channel.
+        self.build_context(term_l.clone(), l, Some(outs), false, |_, _| Ok(()))?;
+        // Body: compute, then ifork the test and forward L.
+        {
+            let test_l = test_l.clone();
+            let l_vec = l.to_vec();
+            self.build_context(body_l.clone(), l, None, false, move |c, bctx| {
+                body(c, bctx)?;
+                let lbl = bctx.g.add(Actor::Label(test_l), &[], &[]);
+                let plan = ChildPlan {
+                    label: String::new(),
+                    inputs: l_vec,
+                    outputs: Vec::new(),
+                };
+                c.splice(
+                    bctx,
+                    ValueRef::of(lbl),
+                    &plan,
+                    true,
+                    true,
+                    &HashMap::new(),
+                    &HashMap::new(),
+                    true,
+                )
+            })?;
+        }
+        // Test: evaluate the condition, select body/terminator, ifork it.
+        {
+            let body_l = body_l.clone();
+            let term_l = term_l.clone();
+            let l_vec = l.to_vec();
+            self.build_context(test_l.clone(), l, None, false, move |c, tctx| {
+                let cv = cond(c, tctx)?;
+                let bl = ValueRef::of(tctx.g.add(Actor::Label(body_l), &[], &[]));
+                let tl = ValueRef::of(tctx.g.add(Actor::Label(term_l), &[], &[]));
+                let target = c.sel(tctx, cv, bl, tl);
+                let plan = ChildPlan {
+                    label: String::new(),
+                    inputs: l_vec,
+                    outputs: Vec::new(),
+                };
+                c.splice(tctx, target, &plan, true, true, &HashMap::new(), &HashMap::new(), true)
+            })?;
+        }
+        // Parent: rfork the test, send L, receive the outs.
+        let lbl = ctx.g.add(Actor::Label(test_l.clone()), &[], &[]);
+        let plan =
+            ChildPlan { label: test_l, inputs: l.to_vec(), outputs: outs.to_vec() };
+        self.splice(ctx, ValueRef::of(lbl), &plan, false, true, &HashMap::new(), &HashMap::new(), false)
+    }
+
+    fn loop_sets(
+        &mut self,
+        ctx: &Ctx,
+        uses: &BTreeSet<String>,
+        defs: &BTreeSet<String>,
+        live_after: &BTreeSet<String>,
+        extra: &[String],
+    ) -> (Vec<String>, Vec<String>) {
+        let mut l: BTreeSet<String> = uses.clone();
+        if self.opts.live_value_analysis {
+            for d in defs {
+                if live_after.contains(d) || uses.contains(d) {
+                    l.insert(d.clone());
+                }
+            }
+        } else {
+            // No live-value analysis: ship the whole bound environment
+            // across the interface (the unoptimized baseline of §4.4).
+            l.extend(defs.iter().cloned());
+            l.extend(ctx.bindings.keys().cloned());
+        }
+        l.extend(extra.iter().cloned());
+        let mut outs: BTreeSet<String> = if self.opts.live_value_analysis {
+            defs.iter().filter(|d| live_after.contains(*d)).cloned().collect()
+        } else {
+            defs.iter().cloned().collect()
+        };
+        // Control tokens always round-trip: a construct that only *reads*
+        // an array must still hand its token back, or the parent's next
+        // write races with the construct's reads.
+        outs.extend(uses.iter().chain(defs.iter()).filter(|n| is_k(n)).cloned());
+        for o in &outs {
+            l.insert(o.clone());
+        }
+        (l.into_iter().collect(), outs.into_iter().collect())
+    }
+
+    fn gen_while(
+        &mut self,
+        ctx: &mut Ctx,
+        cond: &Expr,
+        body: &Process,
+        live_after: &BTreeSet<String>,
+    ) -> Result<(), CodegenError> {
+        let (mut u, d) = self.uses_defs(body);
+        let mut cu = BTreeSet::new();
+        self.expr_uses(cond, &mut cu);
+        u.extend(cu);
+        let (l, outs) = self.loop_sets(ctx, &u, &d, live_after, &[]);
+        let cond = cond.clone();
+        let body = body.clone();
+        let l_set: BTreeSet<String> = l.iter().cloned().collect();
+        self.gen_loop(
+            ctx,
+            &l,
+            &outs,
+            move |c, tctx| c.expr(tctx, &cond),
+            move |c, bctx| c.stmt(bctx, &body, &l_set),
+        )
+    }
+
+    /// Is `seq i = [c0 for c1] ps` small and primitive enough to expand
+    /// in place? Returns the constant bounds when it is.
+    fn unrollable(&self, rep: &Replicator, ps: &[Process]) -> Option<(i32, i32)> {
+        if !self.opts.loop_unrolling {
+            return None;
+        }
+        let (Expr::Const(start), Expr::Const(count)) = (&rep.start, &rep.count) else {
+            return None;
+        };
+        if !(0..=16).contains(count) {
+            return None;
+        }
+        fn primitive_cost(p: &Process) -> Option<usize> {
+            match p {
+                Process::Skip => Some(0),
+                Process::Assign(..) => Some(1),
+                Process::Seq(None, ps) => ps.iter().map(primitive_cost).sum::<Option<usize>>(),
+                _ => None, // constructs, I/O and declarations stay loops
+            }
+        }
+        let cost: usize = ps.iter().map(primitive_cost).sum::<Option<usize>>()?;
+        #[allow(clippy::cast_sign_loss)]
+        if cost * (*count as usize) > 48 {
+            return None;
+        }
+        Some((*start, *count))
+    }
+
+    fn gen_replicated_seq(
+        &mut self,
+        ctx: &mut Ctx,
+        rep: &Replicator,
+        ps: &[Process],
+        live_after: &BTreeSet<String>,
+    ) -> Result<(), CodegenError> {
+        if let Some((start, count)) = self.unrollable(rep, ps) {
+            // Expand in place: the body joins this context's acyclic
+            // graph with the index bound to a constant (§4.3's trade-off,
+            // biased toward larger graphs per context).
+            for v in start..start.wrapping_add(count) {
+                let c = self.const_node(ctx, v);
+                ctx.bind(&rep.var, c);
+                for p in ps {
+                    self.stmt(ctx, p, live_after)?;
+                }
+            }
+            return Ok(());
+        }
+        let i_name = rep.var.clone();
+        let lim = self.fresh_name("lim");
+        let start_v = self.expr(ctx, &rep.start)?;
+        let count_v = self.expr(ctx, &rep.count)?;
+        let lim_v = ctx.g.add(Actor::Bin(Opcode::Plus), &[start_v, count_v], &[]);
+        ctx.bind(&i_name, start_v);
+        ctx.bind(&lim, ValueRef::of(lim_v));
+        let body = Process::Seq(None, ps.to_vec());
+        let (u, mut d) = self.uses_defs(&body);
+        d.insert(i_name.clone());
+        let (l, outs) =
+            self.loop_sets(ctx, &u, &d, live_after, &[i_name.clone(), lim.clone()]);
+        let l_set: BTreeSet<String> = l.iter().cloned().collect();
+        let in2 = i_name.clone();
+        let lim2 = lim.clone();
+        self.gen_loop(
+            ctx,
+            &l,
+            &outs,
+            move |c, tctx| {
+                let iv = tctx.value(&i_name)?;
+                let lv = tctx.value(&lim)?;
+                let _ = c;
+                Ok(ValueRef::of(tctx.g.add(Actor::Bin(Opcode::Lt), &[iv, lv], &[])))
+            },
+            move |c, bctx| {
+                c.stmt(bctx, &body, &l_set)?;
+                let iv = bctx.value(&in2)?;
+                let one = c.const_node(bctx, 1);
+                let next = bctx.g.add(Actor::Bin(Opcode::Plus), &[iv, one], &[]);
+                bctx.bind(&in2, ValueRef::of(next));
+                let _ = &lim2;
+                Ok(())
+            },
+        )
+    }
+
+    fn gen_if(
+        &mut self,
+        ctx: &mut Ctx,
+        branches: &[(Expr, Process)],
+        live_after: &BTreeSet<String>,
+    ) -> Result<(), CodegenError> {
+        let mut all_u = BTreeSet::new();
+        let mut all_d = BTreeSet::new();
+        for (_, p) in branches {
+            let (u, d) = self.uses_defs(p);
+            all_u.extend(u);
+            all_d.extend(d);
+        }
+        let outs: Vec<String> = {
+            let mut o: BTreeSet<String> = if self.opts.live_value_analysis {
+                all_d.iter().filter(|d| live_after.contains(*d)).cloned().collect()
+            } else {
+                all_d.iter().cloned().collect()
+            };
+            o.extend(all_u.iter().chain(all_d.iter()).filter(|n| is_k(n)).cloned());
+            o.into_iter().collect()
+        };
+        let ins: Vec<String> = {
+            let mut s = all_u;
+            s.extend(outs.iter().cloned());
+            if !self.opts.live_value_analysis {
+                s.extend(ctx.bindings.keys().cloned());
+            }
+            s.into_iter().collect()
+        };
+        let out_set: BTreeSet<String> = outs.iter().cloned().collect();
+        // Branch contexts (echo semantics for values they don't write).
+        let mut labels = Vec::new();
+        for (bi, (_, p)) in branches.iter().enumerate() {
+            let label = self.fresh_label(&format!("ifb{bi}"));
+            let p = p.clone();
+            let out_set = out_set.clone();
+            self.build_context(label.clone(), &ins, Some(&outs), false, move |c, bctx| {
+                c.stmt(bctx, &p, &out_set)
+            })?;
+            labels.push(label);
+        }
+        let skip_l = self.fresh_label("ifskip");
+        self.build_context(skip_l.clone(), &ins, Some(&outs), false, |_, _| Ok(()))?;
+        // Parent: evaluate guards, select the branch address, splice.
+        let mut target = ValueRef::of(ctx.g.add(Actor::Label(skip_l), &[], &[]));
+        for ((cond, _), label) in branches.iter().zip(&labels).rev() {
+            let cv = self.expr(ctx, cond)?;
+            let bl = ValueRef::of(ctx.g.add(Actor::Label(label.clone()), &[], &[]));
+            target = self.sel(ctx, cv, bl, target);
+        }
+        let plan = ChildPlan { label: String::new(), inputs: ins, outputs: outs };
+        self.splice(ctx, target, &plan, false, true, &HashMap::new(), &HashMap::new(), false)
+    }
+
+    fn gen_par(
+        &mut self,
+        ctx: &mut Ctx,
+        ps: &[Process],
+        live_after: &BTreeSet<String>,
+    ) -> Result<(), CodegenError> {
+        // Build every branch context first.
+        let mut plans = Vec::new();
+        let mut branch_writes: Vec<BTreeSet<String>> = Vec::new();
+        for (bi, p) in ps.iter().enumerate() {
+            let (u, d) = self.uses_defs(p);
+            branch_writes.push(d.iter().filter(|n| is_k(n)).cloned().collect());
+            let outs: Vec<String> = {
+                let mut o: BTreeSet<String> = if self.opts.live_value_analysis {
+                    d.iter()
+                        .filter(|x| live_after.contains(*x) || is_k(x))
+                        .cloned()
+                        .collect()
+                } else {
+                    d.iter().cloned().collect()
+                };
+                o.extend(u.iter().filter(|n| is_k(n)).cloned());
+                o.into_iter().collect()
+            };
+            let ins: Vec<String> = {
+                let mut s = u;
+                // Echo semantics: a branch's defs are may-defs (a
+                // replication can run zero times), so every output value
+                // must also arrive as an input to echo back.
+                s.extend(outs.iter().cloned());
+                if !self.opts.live_value_analysis {
+                    s.extend(ctx.bindings.keys().cloned());
+                }
+                s.into_iter().collect()
+            };
+            let out_set: BTreeSet<String> = outs.iter().cloned().collect();
+            let label = self.fresh_label(&format!("parb{bi}"));
+            let p = p.clone();
+            let plan =
+                self.build_context(label, &ins, Some(&outs), true, move |c, bctx| {
+                    c.stmt(bctx, &p, &out_set)
+                })?;
+            plans.push(plan);
+        }
+        // Parent: fork + send everything first…
+        let mut forks = Vec::new();
+        let mut last_sends = Vec::new();
+        for (plan, writes) in plans.iter().zip(&branch_writes) {
+            let lbl = ctx.g.add(Actor::Label(plan.label.clone()), &[], &[]);
+            let fork = ctx.g.add(Actor::Fork { iterative: false, local: false }, &[ValueRef::of(lbl)], &[]);
+            let c_in = ValueRef { node: fork, out: 0 };
+            let mut last: Option<NodeId> = None;
+            for name in &plan.inputs {
+                let v = ctx.value(name)?;
+                let mut ctrl = Vec::new();
+                let write_handoff = is_k(name) && writes.contains(name);
+                if write_handoff {
+                    // The branch will write under this token: it must
+                    // observe every earlier read too (write barrier).
+                    ctrl.extend(ctx.barrier_ctrl(name));
+                } else if is_k(name) {
+                    // Read-only replicated token handoff.
+                    ctrl.extend(ctx.read_ctrl(name));
+                }
+                let s = ctx.g.add(Actor::Send(ChanRef::Value), &[c_in, v], &ctrl);
+                ctx.link_io(s);
+                for c in ctx.chan_ctrl(c_in, s) {
+                    ctx.g.add_ctrl(c, s);
+                }
+                if write_handoff {
+                    ctx.note_barrier(name, s);
+                } else if is_k(name) {
+                    ctx.note_read(name, s);
+                }
+                last = Some(s);
+            }
+            forks.push(fork);
+            last_sends.push(last);
+        }
+        // …then receive every branch's outputs; merge control tokens.
+        let mut k_recvs: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for ((plan, fork), last) in plans.iter().zip(&forks).zip(&last_sends) {
+            let c_out = ValueRef { node: *fork, out: 1 };
+            let mut first = true;
+            for name in &plan.outputs {
+                // Deadlock avoidance: drain this branch's sends first.
+                let ctrl: Vec<NodeId> = if first {
+                    first = false;
+                    last.iter().copied().collect()
+                } else {
+                    Vec::new()
+                };
+                let r = ctx.g.add(Actor::Recv(ChanRef::Value), &[c_out], &ctrl);
+                ctx.link_io(r);
+                for c in ctx.chan_ctrl(c_out, r) {
+                    ctx.g.add_ctrl(c, r);
+                }
+                ctx.bind(name, ValueRef::of(r));
+                if is_k(name) {
+                    k_recvs.entry(name.clone()).or_default().push(r);
+                }
+            }
+        }
+        for (name, recvs) in k_recvs {
+            let t = ctx.tail(&name);
+            t.barrier = recvs;
+            t.reads.clear();
+        }
+        Ok(())
+    }
+
+    fn gen_replicated_par(
+        &mut self,
+        ctx: &mut Ctx,
+        rep: &Replicator,
+        ps: &[Process],
+        live_after: &BTreeSet<String>,
+    ) -> Result<(), CodegenError> {
+        let body = Process::Seq(None, ps.to_vec());
+        let (u, d) = self.uses_defs(&body);
+        let mut u = u;
+        u.remove(&rep.var);
+        // Control tokens the instances need copies of / the parent must
+        // resynchronise after the join.
+        let k_names: Vec<String> =
+            u.iter().chain(d.iter()).filter(|n| is_k(n)).cloned().collect();
+        let done = self.fresh_name("done");
+        let cnum = ctx.g.add(Actor::ChanNew, &[], &[]);
+        ctx.bind(&done, ValueRef::of(cnum));
+        // Instance context: receives (i, done, ins…), computes, reports.
+        let mut ins: BTreeSet<String> = u.clone();
+        ins.insert(rep.var.clone());
+        ins.insert(done.clone());
+        ins.extend(k_names.iter().cloned());
+        let ins: Vec<String> = ins.into_iter().collect();
+        let inst_l = self.fresh_label("parn");
+        let inst_plan = {
+            let body = body.clone();
+            let done = done.clone();
+            // Control tokens stay live through the instance body so nested
+            // constructs hand them back — the done token must follow every
+            // store, including those made inside nested loop contexts.
+            let body_live_after: BTreeSet<String> = k_names.iter().cloned().collect();
+            self.build_context(inst_l, &ins, None, true, move |c, bctx| {
+                c.stmt(bctx, &body, &body_live_after)?;
+                // Completion token, after every side effect in here.
+                let dv = bctx.value(&done)?;
+                let one = c.const_node(bctx, 1);
+                let mut ctrl: Vec<NodeId> = Vec::new();
+                let tails: Vec<String> = bctx.tails.keys().cloned().collect();
+                for t in tails {
+                    ctrl.extend(bctx.barrier_ctrl(&t));
+                }
+                ctrl.sort_unstable();
+                ctrl.dedup();
+                let done_send = bctx.g.add(Actor::Send(ChanRef::Value), &[dv, one], &ctrl);
+                bctx.link_io(done_send);
+                Ok(())
+            })?
+        };
+        // Constant instance count: inline the spawner and collector —
+        // the parent forks every instance and gathers every completion
+        // token straight from its own acyclic graph.
+        if let (Expr::Const(start), Expr::Const(count), true) =
+            (&rep.start, &rep.count, self.opts.loop_unrolling)
+        {
+            if (0..=16).contains(count) {
+                let (start, count) = (*start, *count);
+                for v in start..start.wrapping_add(count) {
+                    let c = self.const_node(ctx, v);
+                    ctx.bind(&rep.var, c);
+                    let lbl = ctx.g.add(Actor::Label(inst_plan.label.clone()), &[], &[]);
+                    self.splice(
+                        ctx,
+                        ValueRef::of(lbl),
+                        &inst_plan,
+                        false,
+                        false,
+                        &HashMap::new(),
+                        &HashMap::new(),
+                        true, // spawn only
+                    )?;
+                }
+                let done_v = ctx.value(&done)?;
+                let mut recvs = Vec::new();
+                for _ in 0..count {
+                    let r = ctx.g.add(Actor::Recv(ChanRef::Value), &[done_v], &[]);
+                    ctx.link_io(r);
+                    for c in ctx.chan_ctrl(done_v, r) {
+                        ctx.g.add_ctrl(c, r);
+                    }
+                    recvs.push(r);
+                }
+                if !recvs.is_empty() {
+                    // Zero instances leave the prior ordering in force.
+                    for name in &k_names {
+                        let t = ctx.tail(name);
+                        t.barrier.clone_from(&recvs);
+                        t.reads.clear();
+                    }
+                }
+                let _ = live_after;
+                return Ok(());
+            }
+        }
+        // Spawner loop: rfork one instance per index value.
+        let i_name = rep.var.clone();
+        let lim = self.fresh_name("lim");
+        let cnt = self.fresh_name("cnt");
+        let start_v = self.expr(ctx, &rep.start)?;
+        let count_v = self.expr(ctx, &rep.count)?;
+        let lim_v = ctx.g.add(Actor::Bin(Opcode::Plus), &[start_v, count_v], &[]);
+        ctx.bind(&i_name, start_v);
+        ctx.bind(&cnt, count_v);
+        ctx.bind(&lim, ValueRef::of(lim_v));
+        let mut l1: BTreeSet<String> = u.clone();
+        l1.insert(i_name.clone());
+        l1.insert(lim.clone());
+        l1.insert(done.clone());
+        l1.extend(k_names.iter().cloned());
+        let l1: Vec<String> = l1.into_iter().collect();
+        {
+            let i2 = i_name.clone();
+            let lim2 = lim.clone();
+            let plan = inst_plan.clone();
+            self.gen_loop(
+                ctx,
+                &l1,
+                &[],
+                move |_c, tctx| {
+                    let iv = tctx.value(&i2)?;
+                    let lv = tctx.value(&lim2)?;
+                    Ok(ValueRef::of(tctx.g.add(Actor::Bin(Opcode::Lt), &[iv, lv], &[])))
+                },
+                move |c, bctx| {
+                    let lbl = bctx.g.add(Actor::Label(plan.label.clone()), &[], &[]);
+                    c.splice(
+                        bctx,
+                        ValueRef::of(lbl),
+                        &plan,
+                        false,
+                        false, // true parallelism: spread over PEs
+                        &HashMap::new(),
+                        &HashMap::new(),
+                        true, // spawn only
+                    )?;
+                    let iv = bctx.value(&i_name)?;
+                    let one = c.const_node(bctx, 1);
+                    let next = bctx.g.add(Actor::Bin(Opcode::Plus), &[iv, one], &[]);
+                    bctx.bind(&i_name, ValueRef::of(next));
+                    Ok(())
+                },
+            )?;
+        }
+        // Collector loop: one completion token per instance.
+        let j = self.fresh_name("j");
+        let sync = self.fresh_name("sync");
+        let zero = self.const_node(ctx, 0);
+        ctx.bind(&j, zero);
+        ctx.bind(&sync, zero);
+        let l2: Vec<String> = {
+            let mut s = BTreeSet::new();
+            s.insert(j.clone());
+            s.insert(cnt.clone());
+            s.insert(done.clone());
+            s.insert(sync.clone());
+            s.into_iter().collect()
+        };
+        {
+            let j2 = j.clone();
+            let cnt2 = cnt.clone();
+            let done2 = done.clone();
+            let sync2 = sync.clone();
+            self.gen_loop(
+                ctx,
+                &l2,
+                std::slice::from_ref(&sync),
+                move |_c, tctx| {
+                    let jv = tctx.value(&j2)?;
+                    let cv = tctx.value(&cnt2)?;
+                    Ok(ValueRef::of(tctx.g.add(Actor::Bin(Opcode::Lt), &[jv, cv], &[])))
+                },
+                move |c, bctx| {
+                    let dv = bctx.value(&done2)?;
+                    let r = bctx.g.add(Actor::Recv(ChanRef::Value), &[dv], &[]);
+                    bctx.link_io(r);
+                    bctx.bind(&sync2, ValueRef::of(r));
+                    let jv = bctx.value(&j)?;
+                    let one = c.const_node(bctx, 1);
+                    let next = bctx.g.add(Actor::Bin(Opcode::Plus), &[jv, one], &[]);
+                    bctx.bind(&j, ValueRef::of(next));
+                    Ok(())
+                },
+            )?;
+        }
+        // Re-establish every control token after the join.
+        let sync_node = ctx.value(&sync)?.node;
+        for name in &k_names {
+            let t = ctx.tail(name);
+            t.barrier = vec![sync_node];
+            t.reads.clear();
+        }
+        let _ = live_after;
+        Ok(())
+    }
+
+    fn gen_call(
+        &mut self,
+        ctx: &mut Ctx,
+        name: &str,
+        args: &[Expr],
+        _live_after: &BTreeSet<String>,
+    ) -> Result<(), CodegenError> {
+        let Some(SymKind::Proc { index }) = self.kind(name) else {
+            return Err(CodegenError { msg: format!("{name} is not a procedure") });
+        };
+        let index = *index;
+        let plan = self.proc_plan(index)?;
+        let params = self.r.procs[index].params.clone();
+        if params.len() != args.len() {
+            return Err(CodegenError {
+                msg: format!("{name}: {} arguments for {} parameters", args.len(), params.len()),
+            });
+        }
+        // Child-name → parent-name translation + explicit input values.
+        let mut map: HashMap<String, String> = HashMap::new();
+        map.insert(K_IO.into(), K_IO.into());
+        let mut in_vals: HashMap<String, ValueRef> = HashMap::new();
+        let mut out_binds: HashMap<String, String> = HashMap::new();
+        for (param, arg) in params.iter().zip(args) {
+            let pname = param.name().to_string();
+            match self.r.syms[&pname].clone() {
+                SymKind::ValueParam => {
+                    let v = self.expr(ctx, arg)?;
+                    in_vals.insert(pname, v);
+                }
+                SymKind::VarParam => {
+                    let Expr::Var(argname) = arg else {
+                        return Err(CodegenError {
+                            msg: format!("{name}: var parameter {pname} needs a scalar variable"),
+                        });
+                    };
+                    let v = ctx.value(argname)?;
+                    in_vals.insert(pname.clone(), v);
+                    out_binds.insert(pname, argname.clone());
+                }
+                SymKind::ArrayParam => {
+                    let Expr::Var(argname) = arg else {
+                        return Err(CodegenError {
+                            msg: format!("{name}: array parameter {pname} needs an array name"),
+                        });
+                    };
+                    let v = self.expr(ctx, arg)?;
+                    in_vals.insert(pname.clone(), v);
+                    map.insert(k_arr(&pname), k_arr(argname));
+                }
+                other => {
+                    return Err(CodegenError {
+                        msg: format!("parameter {pname} has unexpected kind {other:?}"),
+                    })
+                }
+            }
+        }
+        for (child, parent) in out_binds {
+            map.insert(child, parent);
+        }
+        let lbl = ctx.g.add(Actor::Label(plan.label.clone()), &[], &[]);
+        self.splice(ctx, ValueRef::of(lbl), &plan, false, false, &map, &in_vals, false)
+    }
+
+    fn proc_plan(&mut self, index: usize) -> Result<ChildPlan, CodegenError> {
+        let pname = self.r.procs[index].name.clone();
+        if let Some(plan) = self.proc_plans.get(&pname) {
+            return Ok(plan.clone());
+        }
+        let rp = self.r.procs[index].clone();
+        // Fixed interface order (recursion-safe): params, then K tokens.
+        let mut ins: Vec<String> = rp.params.iter().map(|p| p.name().to_string()).collect();
+        let mut k_ins: Vec<String> = rp
+            .params
+            .iter()
+            .filter(|p| self.r.syms[p.name()] == SymKind::ArrayParam)
+            .map(|p| k_arr(p.name()))
+            .collect();
+        k_ins.push(K_IO.into());
+        k_ins.sort();
+        ins.extend(k_ins.clone());
+        let mut outs: Vec<String> = rp
+            .params
+            .iter()
+            .filter(|p| matches!(p, Param::Var(_)))
+            .filter(|p| self.r.syms[p.name()] == SymKind::VarParam)
+            .map(|p| p.name().to_string())
+            .collect();
+        outs.extend(k_ins);
+        let label = self.fresh_label(&format!("proc_{}", sanitize(&pname)));
+        let plan = ChildPlan { label: label.clone(), inputs: ins.clone(), outputs: outs.clone() };
+        self.proc_plans.insert(pname, plan.clone());
+        let out_set: BTreeSet<String> = outs.iter().cloned().collect();
+        let body = rp.body.clone();
+        self.build_context(label, &ins, Some(&outs), false, move |c, bctx| {
+            c.stmt(bctx, &body, &out_set)
+        })?;
+        Ok(plan)
+    }
+
+    // ------------------------------------------------------------------
+    // Use/def analysis (drives context interfaces)
+    // ------------------------------------------------------------------
+
+    fn expr_uses(&self, e: &Expr, u: &mut BTreeSet<String>) {
+        match e {
+            Expr::Const(_) => {}
+            Expr::Now => {
+                u.insert(K_IO.into());
+            }
+            Expr::Var(n) => match self.kind(n) {
+                Some(SymKind::Array { .. } | SymKind::Chan { host: true } | SymKind::Proc { .. }) | None => {}
+                _ => {
+                    u.insert(n.clone());
+                }
+            },
+            Expr::Index(n, i) => {
+                if self.kind(n) == Some(&SymKind::ArrayParam) {
+                    u.insert(n.clone());
+                }
+                if self.k_needed(n) {
+                    u.insert(k_arr(n));
+                }
+                self.expr_uses(i, u);
+            }
+            Expr::Neg(x) | Expr::Not(x) => self.expr_uses(x, u),
+            Expr::Bin(_, a, b) => {
+                self.expr_uses(a, u);
+                self.expr_uses(b, u);
+            }
+        }
+    }
+
+    fn chan_uses(&self, c: &str, u: &mut BTreeSet<String>) {
+        if self.kind(c) != Some(&SymKind::Chan { host: true }) {
+            u.insert(c.to_string());
+        }
+        u.insert(K_IO.into());
+    }
+
+    /// Names `p` definitely assigns on every execution path (the only
+    /// safe liveness kills). `if`/`while`/replications may run zero
+    /// branches/iterations, so they never kill.
+    fn must_defs(&self, p: &Process) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        match p {
+            Process::Assign(Lvalue::Var(x), _) | Process::Input(_, Lvalue::Var(x)) => {
+                out.insert(x.clone());
+            }
+            Process::Seq(None, ps) | Process::Par(None, ps) => {
+                for q in ps {
+                    out.extend(self.must_defs(q));
+                }
+            }
+            Process::Scope(decls, _, body) => {
+                out = self.must_defs(body);
+                for d in decls {
+                    if let Decl::Scalar(n) | Decl::Chan(n) = d {
+                        out.remove(n);
+                    }
+                }
+            }
+            Process::Call(name, args) => {
+                if let Some(SymKind::Proc { index }) = self.kind(name) {
+                    for (param, arg) in self.r.procs[*index].params.iter().zip(args) {
+                        if self.r.syms.get(param.name()) == Some(&SymKind::VarParam) {
+                            if let Expr::Var(an) = arg {
+                                out.insert(an.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// `(uses, defs)` over scalars, channels and control tokens, with
+    /// locally-declared names removed.
+    fn uses_defs(&self, p: &Process) -> (BTreeSet<String>, BTreeSet<String>) {
+        let mut u = BTreeSet::new();
+        let mut d = BTreeSet::new();
+        self.uses_defs_into(p, &mut u, &mut d);
+        (u, d)
+    }
+
+    fn uses_defs_into(&self, p: &Process, u: &mut BTreeSet<String>, d: &mut BTreeSet<String>) {
+        match p {
+            Process::Skip => {}
+            Process::Assign(Lvalue::Var(x), e) => {
+                self.expr_uses(e, u);
+                d.insert(x.clone());
+            }
+            Process::Assign(Lvalue::Index(a, i), e) => {
+                self.expr_uses(e, u);
+                self.expr_uses(i, u);
+                if self.kind(a) == Some(&SymKind::ArrayParam) {
+                    u.insert(a.clone());
+                }
+                u.insert(k_arr(a));
+                d.insert(k_arr(a));
+            }
+            Process::Output(c, e) => {
+                self.expr_uses(e, u);
+                self.chan_uses(c, u);
+                d.insert(K_IO.into());
+            }
+            Process::Input(c, lv) => {
+                self.chan_uses(c, u);
+                d.insert(K_IO.into());
+                match lv {
+                    Lvalue::Var(x) => {
+                        d.insert(x.clone());
+                    }
+                    Lvalue::Index(a, i) => {
+                        self.expr_uses(i, u);
+                        if self.kind(a) == Some(&SymKind::ArrayParam) {
+                            u.insert(a.clone());
+                        }
+                        u.insert(k_arr(a));
+                        d.insert(k_arr(a));
+                    }
+                }
+            }
+            Process::Wait(e) => {
+                self.expr_uses(e, u);
+                u.insert(K_IO.into());
+                d.insert(K_IO.into());
+            }
+            Process::Seq(rep, ps) | Process::Par(rep, ps) => {
+                if let Some(r) = rep {
+                    self.expr_uses(&r.start, u);
+                    self.expr_uses(&r.count, u);
+                }
+                let mut iu = BTreeSet::new();
+                let mut id = BTreeSet::new();
+                for p in ps {
+                    self.uses_defs_into(p, &mut iu, &mut id);
+                }
+                if let Some(r) = rep {
+                    iu.remove(&r.var);
+                    id.remove(&r.var);
+                }
+                u.extend(iu);
+                d.extend(id);
+            }
+            Process::If(branches) => {
+                for (c, p) in branches {
+                    self.expr_uses(c, u);
+                    self.uses_defs_into(p, u, d);
+                }
+            }
+            Process::While(c, p) => {
+                self.expr_uses(c, u);
+                self.uses_defs_into(p, u, d);
+            }
+            Process::Scope(decls, _, body) => {
+                let mut iu = BTreeSet::new();
+                let mut id = BTreeSet::new();
+                self.uses_defs_into(body, &mut iu, &mut id);
+                for decl in decls {
+                    match decl {
+                        Decl::Scalar(n) | Decl::Chan(n) => {
+                            iu.remove(n);
+                            id.remove(n);
+                        }
+                        Decl::Array(n, _) => {
+                            iu.remove(&k_arr(n));
+                            id.remove(&k_arr(n));
+                        }
+                    }
+                }
+                u.extend(iu);
+                d.extend(id);
+            }
+            Process::Call(name, args) => {
+                for a in args {
+                    self.expr_uses(a, u);
+                }
+                u.insert(K_IO.into());
+                d.insert(K_IO.into());
+                if let Some(SymKind::Proc { index }) = self.kind(name) {
+                    let params = &self.r.procs[*index].params;
+                    for (param, arg) in params.iter().zip(args) {
+                        match self.r.syms.get(param.name()) {
+                            Some(SymKind::VarParam) => {
+                                if let Expr::Var(an) = arg {
+                                    u.insert(an.clone());
+                                    d.insert(an.clone());
+                                }
+                            }
+                            Some(SymKind::ArrayParam) => {
+                                if let Expr::Var(an) = arg {
+                                    if self.k_needed(an) {
+                                        u.insert(k_arr(an));
+                                        d.insert(k_arr(an));
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Arrays (by unique name) that some statement writes, including writes
+/// through procedure array parameters (propagated to call-site arguments
+/// by fixpoint).
+fn written_arrays(r: &Resolved) -> BTreeSet<String> {
+    let mut param_writes: Vec<BTreeSet<String>> =
+        r.procs.iter().map(|_| BTreeSet::new()).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..r.procs.len() {
+            let mut w = BTreeSet::new();
+            collect_writes(&r.procs[i].body, r, &param_writes, &mut w);
+            if w != param_writes[i] {
+                param_writes[i] = w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut written = BTreeSet::new();
+    collect_writes(&r.main, r, &param_writes, &mut written);
+    for p in &r.procs {
+        collect_writes(&p.body, r, &param_writes, &mut written);
+    }
+    written
+}
+
+fn collect_writes(
+    p: &Process,
+    r: &Resolved,
+    param_writes: &[BTreeSet<String>],
+    out: &mut BTreeSet<String>,
+) {
+    match p {
+        Process::Assign(Lvalue::Index(a, _), _) | Process::Input(_, Lvalue::Index(a, _)) => {
+            out.insert(a.clone());
+        }
+        Process::Assign(..) | Process::Input(..) | Process::Output(..) | Process::Skip
+        | Process::Wait(_) => {}
+        Process::Seq(_, ps) | Process::Par(_, ps) => {
+            for q in ps {
+                collect_writes(q, r, param_writes, out);
+            }
+        }
+        Process::If(branches) => {
+            for (_, q) in branches {
+                collect_writes(q, r, param_writes, out);
+            }
+        }
+        Process::While(_, q) | Process::Scope(_, _, q) => {
+            collect_writes(q, r, param_writes, out);
+        }
+        Process::Call(name, args) => {
+            let Some(SymKind::Proc { index }) = r.syms.get(name) else { return };
+            for (param, arg) in r.procs[*index].params.iter().zip(args) {
+                if param_writes[*index].contains(param.name()) {
+                    if let Expr::Var(an) = arg {
+                        out.insert(an.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn binop_opcode(op: BinOp) -> Opcode {
+    match op {
+        BinOp::Add => Opcode::Plus,
+        BinOp::Sub => Opcode::Minus,
+        BinOp::Mul => Opcode::Mul,
+        BinOp::Div => Opcode::Div,
+        BinOp::Mod => Opcode::Mod,
+        BinOp::And => Opcode::And,
+        BinOp::Or => Opcode::Or,
+        BinOp::Shl => Opcode::Lshift,
+        BinOp::Shr => Opcode::Rshift,
+        BinOp::Eq => Opcode::Eq,
+        BinOp::Ne => Opcode::Ne,
+        BinOp::Lt => Opcode::Lt,
+        BinOp::Gt => Opcode::Gt,
+        BinOp::Le => Opcode::Le,
+        BinOp::Ge => Opcode::Ge,
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}

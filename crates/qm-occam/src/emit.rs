@@ -1,0 +1,404 @@
+//! Assembly emission: context graph → queue machine instructions.
+//!
+//! Implements the §3.6 queue-position construction: instruction `i`
+//! consumes its operands at absolute queue positions `o_i … o_i+A−1`
+//! where `o_i = Σ_{j<i} A(v_j)`, and every producer stores its result at
+//! its consumers' operand positions (relative to the post-consumption
+//! queue front). Up to two small offsets ride in the instruction's
+//! destination fields; further (or large) offsets are written by `dup`
+//! instructions; the two results of `rfork` are staged through the
+//! scratch globals `r19`/`r20`.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{Actor, ChanRef, ContextGraph, NodeId};
+
+/// Emission failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitError {
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "emit error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+/// Maximum queue offset a result can be stored at (queue page size − 1).
+pub const MAX_OFFSET: usize = 255;
+
+/// Emit one context as assembly text, starting with `label:` and ending
+/// with the context-terminating `trap #2,#0`.
+///
+/// `priorities` selects the Fig. 4.20 scheduling heuristic; plain
+/// topological order otherwise (the Table 6.6 ablation).
+///
+/// # Errors
+///
+/// [`EmitError`] if a result offset exceeds the queue page.
+pub fn emit_context(
+    label: &str,
+    graph: &ContextGraph,
+    priorities: bool,
+) -> Result<String, EmitError> {
+    // --- Dead code elimination: drop pure producers nobody reads. ---
+    let n = graph.len();
+    let mut dead = vec![false; n];
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            if dead[id] {
+                continue;
+            }
+            let droppable = matches!(
+                graph.node(id).actor,
+                Actor::Const(_)
+                    | Actor::Label(_)
+                    | Actor::Copy
+                    | Actor::Neg
+                    | Actor::Not
+                    | Actor::Bin(_)
+                    | Actor::Fetch
+            );
+            if !droppable {
+                continue;
+            }
+            let has_value_consumer = (0..graph.node(id).actor.value_outs())
+                .any(|out| graph.consumers(id, out).iter().any(|&(c, _)| !dead[c]));
+            let has_ctrl_succ =
+                (0..n).any(|c| !dead[c] && graph.node(c).ctrl.contains(&id));
+            if !has_value_consumer && !has_ctrl_succ {
+                dead[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let live: Vec<NodeId> = (0..n).filter(|&i| !dead[i]).collect();
+
+    // --- Schedule live nodes; keep End last. ---
+    let full_order = graph.schedule(priorities);
+    let mut order: Vec<NodeId> = full_order.into_iter().filter(|&i| !dead[i]).collect();
+    if let Some(end_pos) = order.iter().position(|&i| graph.node(i).actor == Actor::End) {
+        let end = order.remove(end_pos);
+        order.push(end);
+    }
+    debug_assert_eq!(order.len(), live.len());
+
+    // --- Queue positions. ---
+    let mut sched_pos = vec![usize::MAX; n];
+    for (k, &id) in order.iter().enumerate() {
+        sched_pos[id] = k;
+    }
+    let mut operand_base = vec![0usize; order.len()];
+    let mut acc = 0usize;
+    for (k, &id) in order.iter().enumerate() {
+        operand_base[k] = acc;
+        acc += graph.node(id).actor.value_ins();
+    }
+
+    // Result offsets per (node, out), relative to the node's
+    // post-consumption front.
+    let rel_offsets = |id: NodeId, out: u8| -> Result<Vec<usize>, EmitError> {
+        let front = operand_base[sched_pos[id]] + graph.node(id).actor.value_ins();
+        let mut offs: Vec<usize> = graph
+            .consumers(id, out)
+            .into_iter()
+            .filter(|&(c, _)| !dead[c])
+            .map(|(c, slot)| operand_base[sched_pos[c]] + slot - front)
+            .collect();
+        offs.sort_unstable();
+        offs.dedup();
+        if let Some(&max) = offs.last() {
+            if max > MAX_OFFSET {
+                return Err(EmitError {
+                    msg: format!(
+                        "context {label} too large: result offset {max} exceeds the queue page"
+                    ),
+                });
+            }
+        }
+        Ok(offs)
+    };
+
+    let mut lines: Vec<String> = Vec::new();
+    let mut first = true;
+    let mut push = |lines: &mut Vec<String>, text: String| {
+        if first {
+            lines.push(format!("{label}: {text}"));
+            first = false;
+        } else {
+            lines.push(format!("    {text}"));
+        }
+    };
+
+    for &id in &order {
+        let node = graph.node(id);
+        let a = node.actor.value_ins();
+        let qp = if a > 0 { format!("+{a}") } else { String::new() };
+        match &node.actor {
+            Actor::Const(v) => {
+                emit_value(&mut lines, &mut push, &format!("plus #{v},#0"), &rel_offsets(id, 0)?);
+            }
+            Actor::Label(l) => {
+                emit_value(&mut lines, &mut push, &format!("plus #{l},#0"), &rel_offsets(id, 0)?);
+            }
+            Actor::Copy => {
+                emit_value(&mut lines, &mut push, "plus+1 r0,#0", &rel_offsets(id, 0)?);
+            }
+            Actor::Neg => {
+                emit_value(&mut lines, &mut push, "minus+1 #0,r0", &rel_offsets(id, 0)?);
+            }
+            Actor::Not => {
+                emit_value(&mut lines, &mut push, "xor+1 r0,#-1", &rel_offsets(id, 0)?);
+            }
+            Actor::Bin(op) => {
+                emit_value(
+                    &mut lines,
+                    &mut push,
+                    &format!("{}+2 r0,r1", op.mnemonic()),
+                    &rel_offsets(id, 0)?,
+                );
+            }
+            Actor::Fetch => {
+                emit_value(&mut lines, &mut push, "fetch+1 r0,#0", &rel_offsets(id, 0)?);
+            }
+            Actor::Store => push(&mut lines, "store+2 r0,r1".into()),
+            Actor::Recv(cr) => {
+                let base = match cr {
+                    ChanRef::InReg => "recv r17,#0".to_string(),
+                    ChanRef::OutReg => "recv r18,#0".to_string(),
+                    ChanRef::Value => "recv+1 r0,#0".to_string(),
+                };
+                emit_value(&mut lines, &mut push, &base, &rel_offsets(id, 0)?);
+            }
+            Actor::Send(cr) => {
+                let text = match cr {
+                    ChanRef::InReg => "send+1 r17,r0".to_string(),
+                    ChanRef::OutReg => "send+1 r18,r0".to_string(),
+                    ChanRef::Value => "send+2 r0,r1".to_string(),
+                };
+                push(&mut lines, text);
+            }
+            Actor::Fork { iterative, local } => {
+                let offs0 = rel_offsets(id, 0)?;
+                if *iterative {
+                    push(&mut lines, format!("trap{qp} #1,r0 :r19"));
+                    if !offs0.is_empty() {
+                        emit_value(&mut lines, &mut push, "plus r19,#0", &offs0);
+                    }
+                } else {
+                    let entry = if *local { 7 } else { 0 };
+                    let offs1 = rel_offsets(id, 1)?;
+                    push(&mut lines, format!("trap{qp} #{entry},r0 :r19,r20"));
+                    if !offs0.is_empty() {
+                        emit_value(&mut lines, &mut push, "plus r19,#0", &offs0);
+                    }
+                    if !offs1.is_empty() {
+                        emit_value(&mut lines, &mut push, "plus r20,#0", &offs1);
+                    }
+                }
+            }
+            Actor::ChanNew | Actor::Now => {
+                let entry = if node.actor == Actor::ChanNew { 6 } else { 4 };
+                let offs = rel_offsets(id, 0)?;
+                match offs.as_slice() {
+                    [] => push(&mut lines, format!("trap #{entry},#0")),
+                    [single] if *single < 16 => {
+                        push(&mut lines, format!("trap #{entry},#0 :r{single}"));
+                    }
+                    _ => {
+                        push(&mut lines, format!("trap #{entry},#0 :r19"));
+                        emit_value(&mut lines, &mut push, "plus r19,#0", &offs);
+                    }
+                }
+            }
+            Actor::Wait => push(&mut lines, format!("trap{qp} #5,r0")),
+            Actor::End => push(&mut lines, format!("trap{qp} #2,#0")),
+        }
+    }
+    let mut text = lines.join("\n");
+    text.push('\n');
+    Ok(text)
+}
+
+/// Emit a value-producing instruction plus the `dup`s distributing its
+/// result to every offset. Up to two offsets < 16 ride in the
+/// destination fields; the rest go through `dup1`/`dup2` with the
+/// continue flag linking the group.
+fn emit_value(
+    lines: &mut Vec<String>,
+    push: &mut impl FnMut(&mut Vec<String>, String),
+    base: &str,
+    offsets: &[usize],
+) {
+    let direct: Vec<usize> = offsets.iter().copied().filter(|&o| o < 16).take(2).collect();
+    let rest: Vec<usize> = offsets.iter().copied().filter(|&o| !direct.contains(&o)).collect();
+    let dst = match direct.as_slice() {
+        [] => String::new(),
+        [a] => format!(" :r{a}"),
+        [a, b] => format!(" :r{a},r{b}"),
+        _ => unreachable!("take(2)"),
+    };
+    let cont = if rest.is_empty() { "" } else { " >" };
+    push(lines, format!("{base}{dst}{cont}"));
+    let mut chunks = rest.chunks(2).peekable();
+    while let Some(chunk) = chunks.next() {
+        let more = if chunks.peek().is_some() { " >" } else { "" };
+        match chunk {
+            [a] => push(lines, format!("dup1 :r{a}{more}")),
+            [a, b] => push(lines, format!("dup2 :r{a},r{b}{more}")),
+            _ => unreachable!("chunks(2)"),
+        }
+    }
+}
+
+/// Wire every sink (no value consumer, no control successor) into the
+/// `End` node so the context terminates only after all side effects.
+/// Call once, after the graph is complete; `end` must be the last node.
+pub fn wire_end(graph: &mut ContextGraph, end: NodeId) {
+    let n = graph.len();
+    let mut has_succ = vec![false; n];
+    for id in 0..n {
+        for v in &graph.node(id).vins {
+            has_succ[v.node] = true;
+        }
+        for &c in &graph.node(id).ctrl {
+            has_succ[c] = true;
+        }
+    }
+    // Pure producers that nobody reads are dead code, not side effects:
+    // leaving them unwired lets the emitter's DCE drop them.
+    let pure = |id: NodeId| {
+        matches!(
+            graph.node(id).actor,
+            Actor::Const(_)
+                | Actor::Label(_)
+                | Actor::Copy
+                | Actor::Neg
+                | Actor::Not
+                | Actor::Bin(_)
+                | Actor::Fetch
+        )
+    };
+    let sinks: BTreeSet<NodeId> =
+        (0..n).filter(|&i| i != end && !has_succ[i] && !pure(i)).collect();
+    for s in sinks {
+        graph.add_ctrl(s, end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Actor, ChanRef, ContextGraph, ValueRef};
+    use qm_isa::Opcode;
+
+    fn finish(mut g: ContextGraph) -> ContextGraph {
+        let end = g.add(Actor::End, &[], &[]);
+        wire_end(&mut g, end);
+        g
+    }
+
+    #[test]
+    fn straight_line_emission() {
+        let mut g = ContextGraph::new();
+        let a = g.add(Actor::Const(2), &[], &[]);
+        let b = g.add(Actor::Const(3), &[], &[]);
+        let s = g.add(Actor::Bin(Opcode::Plus), &[ValueRef::of(a), ValueRef::of(b)], &[]);
+        let _ = g.add(Actor::Send(ChanRef::OutReg), &[ValueRef::of(s)], &[]);
+        let asm = emit_context("t", &finish(g), true).unwrap();
+        assert!(asm.starts_with("t: "), "{asm}");
+        assert!(asm.contains("plus+2 r0,r1"), "{asm}");
+        assert!(asm.contains("send+1 r18,r0"), "{asm}");
+        assert!(asm.trim_end().ends_with("trap #2,#0"), "{asm}");
+        // It must assemble.
+        qm_isa::asm::assemble(&asm).unwrap();
+    }
+
+    #[test]
+    fn dead_constants_are_dropped() {
+        let mut g = ContextGraph::new();
+        let _unused = g.add(Actor::Const(42), &[], &[]);
+        let asm = emit_context("t", &finish(g), true).unwrap();
+        assert!(!asm.contains("#42"), "{asm}");
+    }
+
+    #[test]
+    fn fanout_uses_dst_fields_then_dups() {
+        // A value consumed by many sends lands in several queue slots.
+        let mut g = ContextGraph::new();
+        let v = g.add(Actor::Const(7), &[], &[]);
+        let c = g.add(Actor::Const(1), &[], &[]);
+        // 4 sends each consuming (chan, value): offsets spread out.
+        let mut prev = None;
+        for _ in 0..4 {
+            let ctrl: Vec<_> = prev.into_iter().collect();
+            prev = Some(g.add(
+                Actor::Send(ChanRef::Value),
+                &[ValueRef::of(c), ValueRef::of(v)],
+                &ctrl,
+            ));
+        }
+        let asm = emit_context("t", &finish(g), true).unwrap();
+        qm_isa::asm::assemble(&asm).unwrap();
+        assert!(asm.contains("dup"), "wide fanout needs dups: {asm}");
+    }
+
+    #[test]
+    fn rfork_stages_through_scratch() {
+        let mut g = ContextGraph::new();
+        let l = g.add(Actor::Label("child".into()), &[], &[]);
+        let f = g.add(Actor::Fork { iterative: false, local: false }, &[ValueRef::of(l)], &[]);
+        let arg = g.add(Actor::Const(5), &[], &[]);
+        let _s =
+            g.add(Actor::Send(ChanRef::Value), &[ValueRef { node: f, out: 0 }, ValueRef::of(arg)], &[]);
+        let _r = g.add(Actor::Recv(ChanRef::Value), &[ValueRef { node: f, out: 1 }], &[]);
+        let g = finish(g);
+        // Dummy child label target so assembly resolves.
+        let end = g.len();
+        let _ = end;
+        let asm = emit_context("t", &g, true).unwrap();
+        assert!(asm.contains("trap+1 #0,r0 :r19,r20"), "{asm}");
+        assert!(asm.contains("plus r19,#0"), "{asm}");
+        assert!(asm.contains("plus r20,#0"), "{asm}");
+        let full = format!("{asm}child: trap #2,#0\n");
+        qm_isa::asm::assemble(&full).unwrap();
+    }
+
+    #[test]
+    fn offsets_beyond_page_are_rejected() {
+        // 200 sends of one constant: consumer slots span past 255.
+        let mut g = ContextGraph::new();
+        let v = g.add(Actor::Const(9), &[], &[]);
+        let c = g.add(Actor::Const(1), &[], &[]);
+        let mut prev = None;
+        for _ in 0..200 {
+            let ctrl: Vec<_> = prev.into_iter().collect();
+            prev = Some(g.add(
+                Actor::Send(ChanRef::Value),
+                &[ValueRef::of(c), ValueRef::of(v)],
+                &ctrl,
+            ));
+        }
+        assert!(emit_context("t", &finish(g), true).is_err());
+    }
+
+    #[test]
+    fn end_waits_for_stores() {
+        let mut g = ContextGraph::new();
+        let addr = g.add(Actor::Const(0x0010_0000), &[], &[]);
+        let v = g.add(Actor::Const(1), &[], &[]);
+        let _st = g.add(Actor::Store, &[ValueRef::of(addr), ValueRef::of(v)], &[]);
+        let asm = emit_context("t", &finish(g), true).unwrap();
+        let store_line = asm.lines().position(|l| l.contains("store")).unwrap();
+        let end_line = asm.lines().position(|l| l.contains("trap")).unwrap();
+        assert!(store_line < end_line, "{asm}");
+    }
+}

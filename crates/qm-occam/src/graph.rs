@@ -1,0 +1,425 @@
+//! Per-context acyclic data-flow graphs (thesis §4.5–4.7).
+//!
+//! A [`ContextGraph`] holds the actors of one context: nodes carry
+//! *value* inputs (which become queue operands) and *control*
+//! dependencies (the control-token arcs of §4.6 — they sequence side
+//! effects but "do not appear in the queue machine instruction sequence").
+//! Nodes may produce up to two distinct values (`rfork` yields both the
+//! in and out channel of the new context).
+
+use qm_core::dfg::schedule::ActorClass;
+use qm_isa::Opcode;
+
+/// Node index within a [`ContextGraph`].
+pub type NodeId = usize;
+
+/// A reference to one output value of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValueRef {
+    /// Producing node.
+    pub node: NodeId,
+    /// Output index (0 or 1).
+    pub out: u8,
+}
+
+impl ValueRef {
+    /// Output 0 of `node`.
+    #[must_use]
+    pub fn of(node: NodeId) -> Self {
+        ValueRef { node, out: 0 }
+    }
+}
+
+/// How a channel operation names its channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChanRef {
+    /// The context's own *in* channel (global register `r17`).
+    InReg,
+    /// The context's own *out* channel (global register `r18`).
+    OutReg,
+    /// A run-time channel identifier consumed as the first queue operand.
+    Value,
+}
+
+/// Data-flow actors of the code generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Actor {
+    /// Integer constant.
+    Const(i32),
+    /// Address of a labelled context body.
+    Label(String),
+    /// Identity (used to fan out single-consumer values such as fork
+    /// channels).
+    Copy,
+    /// Arithmetic negation (lowered to `minus #0,r0`).
+    Neg,
+    /// Bitwise complement (lowered to `xor r0,#-1`).
+    Not,
+    /// Two-operand ALU/compare operation.
+    Bin(Opcode),
+    /// Memory read; value input = address.
+    Fetch,
+    /// Memory write; value inputs = address, value. No result.
+    Store,
+    /// Channel receive.
+    Recv(ChanRef),
+    /// Channel send; value inputs = optional channel id, then the value.
+    /// No result.
+    Send(ChanRef),
+    /// Context creation; value input = code address. `rfork` produces
+    /// (in, out); `ifork` produces (in).
+    Fork {
+        /// `ifork` (inherits the caller's out channel).
+        iterative: bool,
+        /// Pin the child to the forking PE (continuation contexts the
+        /// parent immediately blocks on).
+        local: bool,
+    },
+    /// Allocate a fresh program channel (kernel entry 6).
+    ChanNew,
+    /// Read the clock (kernel entry 4).
+    Now,
+    /// Suspend until the clock reaches the operand (kernel entry 5).
+    Wait,
+    /// Terminate the context (kernel entry 2). Always scheduled last.
+    End,
+}
+
+impl Actor {
+    /// Number of queue operands consumed.
+    #[must_use]
+    pub fn value_ins(&self) -> usize {
+        match self {
+            Actor::Const(_)
+            | Actor::Label(_)
+            | Actor::ChanNew
+            | Actor::Now
+            | Actor::End
+            | Actor::Recv(ChanRef::InReg | ChanRef::OutReg) => 0,
+            Actor::Copy
+            | Actor::Neg
+            | Actor::Not
+            | Actor::Fetch
+            | Actor::Recv(ChanRef::Value)
+            | Actor::Send(ChanRef::InReg | ChanRef::OutReg)
+            | Actor::Fork { .. }
+            | Actor::Wait => 1,
+            Actor::Bin(_) | Actor::Store | Actor::Send(ChanRef::Value) => 2,
+        }
+    }
+
+    /// Number of values produced.
+    #[must_use]
+    pub fn value_outs(&self) -> u8 {
+        match self {
+            Actor::Store | Actor::Send(_) | Actor::Wait | Actor::End => 0,
+            Actor::Fork { iterative: false, .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Scheduling class (§4.7 priorities).
+    #[must_use]
+    pub fn class(&self) -> ActorClass {
+        match self {
+            Actor::Fork { .. } => ActorClass::Fork,
+            Actor::Send(_) => ActorClass::Send,
+            Actor::Store => ActorClass::Store,
+            Actor::Fetch => ActorClass::Fetch,
+            Actor::Recv(_) => ActorClass::Receive,
+            Actor::Wait => ActorClass::Wait,
+            _ => ActorClass::Other,
+        }
+    }
+}
+
+/// A node: actor + ordered value inputs + control dependencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GNode {
+    /// The actor.
+    pub actor: Actor,
+    /// Ordered operand producers.
+    pub vins: Vec<ValueRef>,
+    /// Control-token predecessors (order-only constraints).
+    pub ctrl: Vec<NodeId>,
+}
+
+/// The data-flow graph of one context.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContextGraph {
+    nodes: Vec<GNode>,
+}
+
+impl ContextGraph {
+    /// Empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand count or output indices don't match the actor,
+    /// or if an input refers to a node that does not exist yet.
+    pub fn add(&mut self, actor: Actor, vins: &[ValueRef], ctrl: &[NodeId]) -> NodeId {
+        let id = self.nodes.len();
+        assert_eq!(vins.len(), actor.value_ins(), "operand count for {actor:?}");
+        for v in vins {
+            assert!(v.node < id, "value input {v:?} does not exist yet");
+            assert!(v.out < self.nodes[v.node].actor.value_outs(), "bad output index {v:?}");
+        }
+        for &c in ctrl {
+            assert!(c < id, "control input {c} does not exist yet");
+        }
+        self.nodes.push(GNode { actor, vins: vins.to_vec(), ctrl: ctrl.to_vec() });
+        id
+    }
+
+    /// Add a control edge `from → to` after construction. Unlike value
+    /// edges, control edges may point "backwards" in id order (the §4.5
+    /// input sequencing reorders prologue receives); [`Self::schedule`]
+    /// checks overall acyclicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-edge.
+    pub fn add_ctrl(&mut self, from: NodeId, to: NodeId) {
+        assert_ne!(from, to, "control self-edge");
+        if !self.nodes[to].ctrl.contains(&from) {
+            self.nodes[to].ctrl.push(from);
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node at `id`.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &GNode {
+        &self.nodes[id]
+    }
+
+    /// All `(consumer, slot)` pairs reading output `out` of `node`.
+    #[must_use]
+    pub fn consumers(&self, node: NodeId, out: u8) -> Vec<(NodeId, usize)> {
+        let mut out_list = Vec::new();
+        for (c, n) in self.nodes.iter().enumerate() {
+            for (slot, v) in n.vins.iter().enumerate() {
+                if v.node == node && v.out == out {
+                    out_list.push((c, slot));
+                }
+            }
+        }
+        out_list
+    }
+
+    /// Schedule the nodes: Kahn's algorithm over value+control edges,
+    /// selecting by the §4.7 actor priorities when `priorities` is true
+    /// (plain FIFO topological order otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Never — ids are topological by construction, so a complete order
+    /// always exists.
+    #[must_use]
+    pub fn schedule(&self, priorities: bool) -> Vec<NodeId> {
+        let mut remaining: Vec<usize> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut preds: Vec<NodeId> = n.vins.iter().map(|v| v.node).collect();
+                preds.extend(&n.ctrl);
+                preds.sort_unstable();
+                preds.dedup();
+                preds.len()
+            })
+            .collect();
+        // Successor lists (deduplicated).
+        let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut preds: Vec<NodeId> = n.vins.iter().map(|v| v.node).collect();
+            preds.extend(&n.ctrl);
+            preds.sort_unstable();
+            preds.dedup();
+            for p in preds {
+                succs[p].push(i);
+            }
+        }
+        let mut ready: Vec<NodeId> =
+            (0..self.nodes.len()).filter(|&i| remaining[i] == 0).collect();
+        let mut out = Vec::with_capacity(self.nodes.len());
+        while !ready.is_empty() {
+            let pick = if priorities {
+                ready
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ia, &a), (ib, &b)| {
+                        self.nodes[a]
+                            .actor
+                            .class()
+                            .priority()
+                            .cmp(&self.nodes[b].actor.class().priority())
+                            .then(ib.cmp(ia))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty")
+            } else {
+                0
+            };
+            let v = ready.remove(pick);
+            out.push(v);
+            for &s in &succs[v] {
+                remaining[s] -= 1;
+                if remaining[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.nodes.len(), "graph must be acyclic");
+        out
+    }
+
+    /// The input-sequencing weights `W(v)` of §4.5 for the given input
+    /// nodes: `W(v) = Σ_{u : v ∈ I*(u)} C(u)` with `C(u) = |P*(u)|` over
+    /// value+control predecessors. Returns the inputs sorted by
+    /// descending weight (ties by original position).
+    #[must_use]
+    pub fn input_order(&self, inputs: &[NodeId]) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        // P* and I* via forward pass (ids are topological).
+        let mut pstar: Vec<std::collections::BTreeSet<NodeId>> = Vec::with_capacity(n);
+        let mut istar: Vec<std::collections::BTreeSet<NodeId>> = Vec::with_capacity(n);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut p = std::collections::BTreeSet::new();
+            let mut s = std::collections::BTreeSet::new();
+            p.insert(i);
+            if inputs.contains(&i) {
+                s.insert(i);
+            }
+            // Backward control edges (added by later passes) cannot exist
+            // yet when this runs; guard anyway.
+            for pred in node.vins.iter().map(|v| v.node).chain(node.ctrl.iter().copied()) {
+                if pred < i {
+                    p.extend(pstar[pred].iter().copied());
+                    s.extend(istar[pred].iter().copied());
+                }
+            }
+            pstar.push(p);
+            istar.push(s);
+        }
+        let mut weighted: Vec<(usize, NodeId, usize)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(pos, &v)| {
+                let w: usize =
+                    (0..n).filter(|&u| istar[u].contains(&v)).map(|u| pstar[u].len()).sum();
+                (pos, v, w)
+            })
+            .collect();
+        weighted.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        weighted.into_iter().map(|(_, v, _)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_arities() {
+        assert_eq!(Actor::Const(1).value_ins(), 0);
+        assert_eq!(Actor::Bin(Opcode::Plus).value_ins(), 2);
+        assert_eq!(Actor::Send(ChanRef::Value).value_ins(), 2);
+        assert_eq!(Actor::Send(ChanRef::OutReg).value_ins(), 1);
+        assert_eq!(Actor::Fork { iterative: false, local: false }.value_outs(), 2);
+        assert_eq!(Actor::Fork { iterative: true, local: true }.value_outs(), 1);
+        assert_eq!(Actor::Store.value_outs(), 0);
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let mut g = ContextGraph::new();
+        let a = g.add(Actor::Const(1), &[], &[]);
+        let b = g.add(Actor::Const(2), &[], &[]);
+        let sum = g.add(Actor::Bin(Opcode::Plus), &[ValueRef::of(a), ValueRef::of(b)], &[]);
+        let end = g.add(Actor::End, &[], &[sum]);
+        for priorities in [false, true] {
+            let order = g.schedule(priorities);
+            let pos = |x: NodeId| order.iter().position(|&v| v == x).unwrap();
+            assert!(pos(a) < pos(sum));
+            assert!(pos(b) < pos(sum));
+            assert!(pos(sum) < pos(end));
+        }
+    }
+
+    #[test]
+    fn priorities_front_load_forks() {
+        let mut g = ContextGraph::new();
+        let r = g.add(Actor::Recv(ChanRef::InReg), &[], &[]);
+        let lbl = g.add(Actor::Label("x".into()), &[], &[]);
+        let f = g.add(Actor::Fork { iterative: false, local: false }, &[ValueRef::of(lbl)], &[]);
+        let order = g.schedule(true);
+        let pos = |x: NodeId| order.iter().position(|&v| v == x).unwrap();
+        assert!(pos(f) < pos(r), "fork path beats the receive");
+        let _ = (r, f);
+    }
+
+    #[test]
+    fn control_edges_constrain_order() {
+        let mut g = ContextGraph::new();
+        let addr = g.add(Actor::Const(0x0010_0000), &[], &[]);
+        let v = g.add(Actor::Const(7), &[], &[]);
+        let store = g.add(Actor::Store, &[ValueRef::of(addr), ValueRef::of(v)], &[]);
+        let addr2 = g.add(Actor::Const(0x0010_0000), &[], &[]);
+        let fetch = g.add(Actor::Fetch, &[ValueRef::of(addr2)], &[store]);
+        let order = g.schedule(true);
+        let pos = |x: NodeId| order.iter().position(|&n| n == x).unwrap();
+        assert!(pos(store) < pos(fetch), "fetch is control-sequenced after the store");
+    }
+
+    #[test]
+    fn consumers_finds_all_uses() {
+        let mut g = ContextGraph::new();
+        let a = g.add(Actor::Const(1), &[], &[]);
+        let _n1 = g.add(Actor::Neg, &[ValueRef::of(a)], &[]);
+        let _n2 = g.add(Actor::Copy, &[ValueRef::of(a)], &[]);
+        assert_eq!(g.consumers(a, 0).len(), 2);
+    }
+
+    #[test]
+    fn input_order_matches_table_4_5_shape() {
+        // Rebuild Fig. 4.14: e ← ((a+b) × (−c)) ÷ d with recv inputs.
+        let mut g = ContextGraph::new();
+        let a = g.add(Actor::Recv(ChanRef::InReg), &[], &[]);
+        let b = g.add(Actor::Recv(ChanRef::InReg), &[], &[]);
+        let c = g.add(Actor::Recv(ChanRef::InReg), &[], &[]);
+        let d = g.add(Actor::Recv(ChanRef::InReg), &[], &[]);
+        let sum = g.add(Actor::Bin(Opcode::Plus), &[ValueRef::of(a), ValueRef::of(b)], &[]);
+        let neg = g.add(Actor::Neg, &[ValueRef::of(c)], &[]);
+        let mul = g.add(Actor::Bin(Opcode::Mul), &[ValueRef::of(sum), ValueRef::of(neg)], &[]);
+        let div = g.add(Actor::Bin(Opcode::Div), &[ValueRef::of(mul), ValueRef::of(d)], &[]);
+        let _e = g.add(Actor::Send(ChanRef::OutReg), &[ValueRef::of(div)], &[]);
+        let order = g.input_order(&[a, b, c, d]);
+        // Table 4.5: W(a)=W(b) > W(c) > W(d) → order a, b, c, d.
+        assert_eq!(order, vec![a, b, c, d]);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand count")]
+    fn arity_mismatch_is_rejected() {
+        let mut g = ContextGraph::new();
+        let a = g.add(Actor::Const(1), &[], &[]);
+        let _ = g.add(Actor::Bin(Opcode::Plus), &[ValueRef::of(a)], &[]);
+    }
+}

@@ -1,0 +1,528 @@
+//! The Intermediate Form Table (thesis §4.4, Tables 4.1–4.3).
+//!
+//! Each IFT entry describes one program fragment with an input value set
+//! `I`, an output value set `O`, and (for interface entries) the ordered
+//! component sets `E`. Non-interface entries correspond to OCCAM
+//! primitives, conditions and replicators (Table 4.1); interface entries
+//! to `seq`/`par`/`if`/`while`/replication (Table 4.2). The pseudo-value
+//! `K` is the control token carried by side-effecting primitives.
+//!
+//! [`use_and_def`] links definitions to uses (Fig. 4.11) and
+//! [`live_analyze`] tags each output with whether it has a later use
+//! (Fig. 4.12) — the information the code generator's live-value
+//! optimization depends on.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Expr, Lvalue, Process};
+
+/// The control-token pseudo-value name.
+pub const K: &str = "K";
+
+/// Entry kinds (first column of Tables 4.1–4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// `x := e`
+    Assignment,
+    /// `c ? x`
+    Input,
+    /// `c ! e`
+    Output,
+    /// `wait now after e`
+    Wait,
+    /// `skip`
+    Skip,
+    /// A guard expression of `if`/`while`.
+    Condition,
+    /// A replicator `i = [a for n]`.
+    Replicator,
+    /// `seq` interface.
+    Seq,
+    /// `par` interface.
+    Par,
+    /// `if` interface.
+    If,
+    /// `while` interface (a loop).
+    While,
+    /// Replicated `seq` (a loop).
+    RepSeq,
+    /// Replicated `par`.
+    RepPar,
+    /// Procedure call (treated as a primitive using its arguments).
+    Call,
+}
+
+impl EntryKind {
+    /// Loops iterate their bodies (affects liveness rule 2).
+    #[must_use]
+    pub fn is_loop(self) -> bool {
+        matches!(self, EntryKind::While | EntryKind::RepSeq)
+    }
+}
+
+/// One value in an `I` or `O` set, with its use/def chains and liveness
+/// tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValInfo {
+    /// Value (variable) name; `K` for the control token.
+    pub name: String,
+    /// `D` — entries defining the value this occurrence consumes.
+    pub defs: BTreeSet<usize>,
+    /// `U` — entries using the value this occurrence produces.
+    pub uses: BTreeSet<usize>,
+    /// Liveness tag (outputs only; set by [`live_analyze`]).
+    pub live: bool,
+}
+
+impl ValInfo {
+    fn new(name: &str) -> Self {
+        ValInfo { name: name.to_string(), defs: BTreeSet::new(), uses: BTreeSet::new(), live: false }
+    }
+}
+
+/// One IFT entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Entry kind.
+    pub kind: EntryKind,
+    /// Input value set `I`.
+    pub inputs: Vec<ValInfo>,
+    /// Output value set `O`.
+    pub outputs: Vec<ValInfo>,
+    /// Ordered component sets `E` (empty for non-interface entries).
+    pub e_sets: Vec<Vec<usize>>,
+}
+
+impl Entry {
+    fn input_names(&self) -> BTreeSet<String> {
+        self.inputs.iter().map(|v| v.name.clone()).collect()
+    }
+
+    fn output_names(&self) -> BTreeSet<String> {
+        self.outputs.iter().map(|v| v.name.clone()).collect()
+    }
+}
+
+/// The Intermediate Form Table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Ift {
+    /// All entries; the last one is the program root.
+    pub entries: Vec<Entry>,
+}
+
+impl Ift {
+    /// Index of the root entry.
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.entries.len() - 1
+    }
+
+    /// Build the IFT for a process tree (names should already be unique;
+    /// run [`crate::sema::analyse`] first for real programs).
+    #[must_use]
+    pub fn build(p: &Process) -> Self {
+        let mut ift = Ift::default();
+        ift.entry(p);
+        ift
+    }
+
+    fn push(&mut self, kind: EntryKind, i: BTreeSet<String>, o: BTreeSet<String>, e: Vec<Vec<usize>>) -> usize {
+        self.entries.push(Entry {
+            kind,
+            inputs: i.iter().map(|n| ValInfo::new(n)).collect(),
+            outputs: o.iter().map(|n| ValInfo::new(n)).collect(),
+            e_sets: e,
+        });
+        self.entries.len() - 1
+    }
+
+    fn entry(&mut self, p: &Process) -> usize {
+        match p {
+            Process::Assign(lv, e) => {
+                let mut i = expr_reads(e);
+                let mut o = BTreeSet::new();
+                match lv {
+                    Lvalue::Var(x) => {
+                        o.insert(x.clone());
+                    }
+                    Lvalue::Index(_, idx) => {
+                        i.extend(expr_reads(idx));
+                        i.insert(K.into());
+                        o.insert(K.into());
+                    }
+                }
+                self.push(EntryKind::Assignment, i, o, Vec::new())
+            }
+            Process::Input(c, lv) => {
+                let mut i: BTreeSet<String> = [K.to_string(), c.clone()].into();
+                let mut o: BTreeSet<String> = [K.to_string()].into();
+                match lv {
+                    Lvalue::Var(x) => {
+                        o.insert(x.clone());
+                    }
+                    Lvalue::Index(_, idx) => {
+                        i.extend(expr_reads(idx));
+                    }
+                }
+                self.push(EntryKind::Input, i, o, Vec::new())
+            }
+            Process::Output(c, e) => {
+                let mut i = expr_reads(e);
+                i.insert(K.into());
+                i.insert(c.clone());
+                self.push(EntryKind::Output, i, [K.to_string()].into(), Vec::new())
+            }
+            Process::Wait(e) => {
+                let mut i = expr_reads(e);
+                i.insert(K.into());
+                self.push(EntryKind::Wait, i, [K.to_string()].into(), Vec::new())
+            }
+            Process::Skip => {
+                self.push(EntryKind::Skip, BTreeSet::new(), BTreeSet::new(), Vec::new())
+            }
+            Process::Call(_, args) => {
+                let mut i: BTreeSet<String> = args.iter().flat_map(expr_reads).collect();
+                i.insert(K.into());
+                self.push(EntryKind::Call, i, [K.to_string()].into(), Vec::new())
+            }
+            Process::Seq(None, ps) => {
+                let children: Vec<usize> = ps.iter().map(|p| self.entry(p)).collect();
+                let (i, o) = self.seq_io(&children);
+                self.push(EntryKind::Seq, i, o, vec![children])
+            }
+            Process::Par(None, ps) => {
+                let children: Vec<usize> = ps.iter().map(|p| self.entry(p)).collect();
+                let mut i = BTreeSet::new();
+                let mut o = BTreeSet::new();
+                for &c in &children {
+                    i.extend(self.entries[c].input_names());
+                    o.extend(self.entries[c].output_names());
+                }
+                let e = children.iter().map(|&c| vec![c]).collect();
+                self.push(EntryKind::Par, i, o, e)
+            }
+            Process::If(branches) => {
+                let mut i = BTreeSet::new();
+                let mut o = BTreeSet::new();
+                let mut e = Vec::new();
+                for (cond, body) in branches {
+                    let gamma =
+                        self.push(EntryKind::Condition, expr_reads(cond), BTreeSet::new(), Vec::new());
+                    let rho = self.entry(body);
+                    let gi = self.entries[gamma].input_names();
+                    let go = self.entries[gamma].output_names();
+                    let pi = self.entries[rho].input_names();
+                    i.extend(gi);
+                    i.extend(pi.difference(&go).cloned());
+                    o.extend(self.entries[gamma].output_names());
+                    o.extend(self.entries[rho].output_names());
+                    e.push(vec![gamma, rho]);
+                }
+                self.push(EntryKind::If, i, o, e)
+            }
+            Process::While(cond, body) => {
+                let gamma =
+                    self.push(EntryKind::Condition, expr_reads(cond), BTreeSet::new(), Vec::new());
+                let rho = self.entry(body);
+                let gi = self.entries[gamma].input_names();
+                let go = self.entries[gamma].output_names();
+                let pi = self.entries[rho].input_names();
+                let mut i = gi;
+                i.extend(pi.difference(&go).cloned());
+                let mut o = self.entries[gamma].output_names();
+                o.extend(self.entries[rho].output_names());
+                self.push(EntryKind::While, i, o, vec![vec![gamma, rho]])
+            }
+            Process::Seq(Some(rep), ps) | Process::Par(Some(rep), ps) => {
+                let kind = if matches!(p, Process::Seq(..)) {
+                    EntryKind::RepSeq
+                } else {
+                    EntryKind::RepPar
+                };
+                let mut ri = expr_reads(&rep.start);
+                ri.extend(expr_reads(&rep.count));
+                let r1 = self.push(
+                    EntryKind::Replicator,
+                    ri,
+                    [rep.var.clone()].into(),
+                    Vec::new(),
+                );
+                let inner = Process::Seq(None, ps.to_vec());
+                let rho = self.entry(&inner);
+                let ro = self.entries[r1].output_names();
+                let pi = self.entries[rho].input_names();
+                let mut i = self.entries[r1].input_names();
+                i.extend(pi.difference(&ro).cloned());
+                let o = self.entries[rho].output_names();
+                self.push(kind, i, o, vec![vec![r1, rho]])
+            }
+            Process::Scope(_, _, body) => self.entry(body),
+        }
+    }
+
+    fn seq_io(&self, children: &[usize]) -> (BTreeSet<String>, BTreeSet<String>) {
+        let mut i = BTreeSet::new();
+        let mut defined = BTreeSet::new();
+        let mut o = BTreeSet::new();
+        for &c in children {
+            for name in self.entries[c].input_names() {
+                if !defined.contains(&name) {
+                    i.insert(name);
+                }
+            }
+            let outs = self.entries[c].output_names();
+            defined.extend(outs.iter().cloned());
+            o.extend(outs);
+        }
+        (i, o)
+    }
+}
+
+fn expr_reads(e: &Expr) -> BTreeSet<String> {
+    let mut scalars = Vec::new();
+    e.scalar_reads(&mut scalars);
+    let mut set: BTreeSet<String> = scalars.into_iter().collect();
+    let mut arrays = Vec::new();
+    e.array_reads(&mut arrays);
+    if !arrays.is_empty() || matches!(e, Expr::Now) {
+        set.insert(K.into());
+    }
+    set
+}
+
+/// The `UseAndDef` procedure of Fig. 4.11: thread `D` (definition) and
+/// `U` (use) chains through the table, starting at entry `h`.
+pub fn use_and_def(ift: &mut Ift, h: usize) {
+    let e_sets = ift.entries[h].e_sets.clone();
+    for e_i in e_sets {
+        let mut p: Vec<usize> = Vec::new(); // most recent first
+        for h_j in e_i {
+            let names: Vec<String> =
+                ift.entries[h_j].inputs.iter().map(|v| v.name.clone()).collect();
+            for x in names {
+                find_def(ift, &x, h_j, h, &p, true);
+            }
+            use_and_def(ift, h_j);
+            p.insert(0, h_j);
+        }
+        let out_names: Vec<String> =
+            ift.entries[h].outputs.iter().map(|v| v.name.clone()).collect();
+        for x in out_names {
+            find_def(ift, &x, h, h, &p, false);
+        }
+    }
+}
+
+/// The `FindDef` procedure of Fig. 4.11. `into_input` selects whether the
+/// consumer's `D` set lives in its inputs (normal case) or outputs (the
+/// interface's own output scan).
+fn find_def(ift: &mut Ift, x: &str, h_j: usize, h: usize, p: &[usize], into_input: bool) {
+    for &h_k in p {
+        if ift.entries[h_k].outputs.iter().any(|v| v.name == x) {
+            let v = ift.entries[h_k]
+                .outputs
+                .iter_mut()
+                .find(|v| v.name == x)
+                .expect("just checked");
+            v.uses.insert(h_j);
+            record_def(ift, h_j, x, h_k, into_input);
+            return;
+        }
+    }
+    if ift.entries[h].inputs.iter().any(|v| v.name == x) && h != h_j {
+        let v = ift.entries[h].inputs.iter_mut().find(|v| v.name == x).expect("just checked");
+        v.uses.insert(h_j);
+        record_def(ift, h_j, x, h, into_input);
+    }
+}
+
+fn record_def(ift: &mut Ift, h_j: usize, x: &str, def: usize, into_input: bool) {
+    let entry = &mut ift.entries[h_j];
+    let list = if into_input { &mut entry.inputs } else { &mut entry.outputs };
+    if let Some(v) = list.iter_mut().find(|v| v.name == x) {
+        v.defs.insert(def);
+    }
+}
+
+/// The `LiveAnalyze` procedure of Fig. 4.12. Root outputs marked live by
+/// the caller propagate inwards; loop-carried values stay live.
+pub fn live_analyze(ift: &mut Ift, h: usize) {
+    let e_sets = ift.entries[h].e_sets.clone();
+    let h_kind = ift.entries[h].kind;
+    let h_inputs = ift.entries[h].input_names();
+    for e_i in e_sets {
+        for h_j in e_i {
+            for oi in 0..ift.entries[h_j].outputs.len() {
+                let (name, uses) = {
+                    let v = &ift.entries[h_j].outputs[oi];
+                    (v.name.clone(), v.uses.clone())
+                };
+                let live = if !uses.is_empty() {
+                    if uses.iter().any(|&u| u != h) {
+                        // Rule 1: a real later use.
+                        true
+                    } else if h_kind.is_loop() && h_inputs.contains(&name) {
+                        // Rule 2: loop-carried.
+                        true
+                    } else {
+                        // Inherit from the enclosing scope's output.
+                        ift.entries[h]
+                            .outputs
+                            .iter()
+                            .find(|v| v.name == name)
+                            .is_some_and(|v| v.live)
+                    }
+                } else {
+                    false // Rule 3 (var formals handled by the caller).
+                };
+                ift.entries[h_j].outputs[oi].live = live;
+            }
+            live_analyze(ift, h_j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Lvalue, Process};
+
+    /// Table 4.3's fragment: `seq { x := x + 1; y := x }`.
+    fn table_4_3() -> Process {
+        Process::Seq(
+            None,
+            vec![
+                Process::Assign(
+                    Lvalue::Var("x".into()),
+                    Expr::bin(BinOp::Add, Expr::Var("x".into()), Expr::Const(1)),
+                ),
+                Process::Assign(Lvalue::Var("y".into()), Expr::Var("x".into())),
+            ],
+        )
+    }
+
+    #[test]
+    fn table_4_3_io_sets() {
+        let ift = Ift::build(&table_4_3());
+        assert_eq!(ift.entries.len(), 3);
+        let e1 = &ift.entries[0];
+        assert_eq!(e1.input_names(), ["x".to_string()].into());
+        assert_eq!(e1.output_names(), ["x".to_string()].into());
+        let e2 = &ift.entries[1];
+        assert_eq!(e2.input_names(), ["x".to_string()].into());
+        assert_eq!(e2.output_names(), ["y".to_string()].into());
+        let seq = &ift.entries[2];
+        assert_eq!(seq.kind, EntryKind::Seq);
+        assert_eq!(seq.input_names(), ["x".to_string()].into());
+        assert_eq!(seq.output_names(), ["x".to_string(), "y".to_string()].into());
+    }
+
+    #[test]
+    fn use_def_chains_link_producer_to_consumer() {
+        let mut ift = Ift::build(&table_4_3());
+        let root = ift.root();
+        use_and_def(&mut ift, root);
+        // x read by entry 0 is defined by the seq's own input.
+        let e0_in = &ift.entries[0].inputs[0];
+        assert_eq!(e0_in.defs, [root].into());
+        // x read by entry 1 is defined by entry 0.
+        let e1_in = &ift.entries[1].inputs[0];
+        assert_eq!(e1_in.defs, [0].into());
+        // x produced by entry 0 is used by entry 1 (and the seq output).
+        let e0_out = &ift.entries[0].outputs[0];
+        assert!(e0_out.uses.contains(&1));
+        // y produced by entry 1 is used by the seq output scan.
+        let e1_out = &ift.entries[1].outputs[0];
+        assert_eq!(e1_out.uses, [root].into());
+    }
+
+    #[test]
+    fn liveness_distinguishes_internal_and_external_uses() {
+        let mut ift = Ift::build(&table_4_3());
+        let root = ift.root();
+        use_and_def(&mut ift, root);
+        // Externally, only y matters.
+        for v in &mut ift.entries[root].outputs {
+            v.live = v.name == "y";
+        }
+        live_analyze(&mut ift, root);
+        assert!(ift.entries[0].outputs[0].live, "x has an internal later use");
+        assert!(ift.entries[1].outputs[0].live, "y is externally live");
+
+        // Flip: only x external.
+        for v in &mut ift.entries[root].outputs {
+            v.live = v.name == "x";
+        }
+        live_analyze(&mut ift, root);
+        assert!(
+            !ift.entries[1].outputs[0].live,
+            "y has no external use and no internal one"
+        );
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        // while (i < 10) { i := i + 1 }
+        let p = Process::While(
+            Expr::bin(BinOp::Lt, Expr::Var("i".into()), Expr::Const(10)),
+            Box::new(Process::Assign(
+                Lvalue::Var("i".into()),
+                Expr::bin(BinOp::Add, Expr::Var("i".into()), Expr::Const(1)),
+            )),
+        );
+        let mut ift = Ift::build(&p);
+        let root = ift.root();
+        assert_eq!(ift.entries[root].kind, EntryKind::While);
+        use_and_def(&mut ift, root);
+        live_analyze(&mut ift, root);
+        // The assignment's output i is loop-carried → live even with no
+        // external use.
+        let body = ift.entries[root].e_sets[0][1];
+        let i_out = ift.entries[body].outputs.iter().find(|v| v.name == "i").unwrap();
+        assert!(i_out.live);
+    }
+
+    #[test]
+    fn side_effect_primitives_carry_control_tokens() {
+        let p = Process::Output("c".into(), Expr::Var("x".into()));
+        let ift = Ift::build(&p);
+        let e = &ift.entries[0];
+        assert!(e.input_names().contains(K));
+        assert!(e.output_names().contains(K));
+        assert_eq!(e.kind, EntryKind::Output);
+    }
+
+    #[test]
+    fn seq_input_rule_masks_defined_values() {
+        // seq { x := 1; y := x } — x is defined before use, so the seq's
+        // I set must not contain it.
+        let p = Process::Seq(
+            None,
+            vec![
+                Process::Assign(Lvalue::Var("x".into()), Expr::Const(1)),
+                Process::Assign(Lvalue::Var("y".into()), Expr::Var("x".into())),
+            ],
+        );
+        let ift = Ift::build(&p);
+        let root = ift.root();
+        assert!(ift.entries[root].input_names().is_empty());
+    }
+
+    #[test]
+    fn par_unions_component_interfaces() {
+        let p = Process::Par(
+            None,
+            vec![
+                Process::Assign(Lvalue::Var("a".into()), Expr::Var("x".into())),
+                Process::Assign(Lvalue::Var("b".into()), Expr::Var("y".into())),
+            ],
+        );
+        let ift = Ift::build(&p);
+        let root = ift.root();
+        assert_eq!(ift.entries[root].e_sets.len(), 2, "par: one E set per branch");
+        assert_eq!(
+            ift.entries[root].input_names(),
+            ["x".to_string(), "y".to_string()].into()
+        );
+    }
+}

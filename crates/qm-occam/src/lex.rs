@@ -1,0 +1,413 @@
+//! Lexer for the OCCAM subset (thesis §4.3).
+//!
+//! OCCAM structure is indentation-based: the lexer emits `Newline`,
+//! `Indent` and `Dedent` tokens from leading whitespace, like the original
+//! INMOS tooling. Comments run from `--` to end of line.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (variable, channel, procedure name, keyword candidates
+    /// are resolved by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `:=`
+    Assign,
+    /// `!`
+    Bang,
+    /// `?`
+    Query,
+    /// `(` / `)`
+    LParen,
+    RParen,
+    /// `[` / `]`
+    LBracket,
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<` `>` `<=` `>=`
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    /// `+` `-` `*` `/` `\`
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Backslash,
+    /// `/\` (bitwise and), `\/` (bitwise or)
+    Amp,
+    Pipe,
+    /// `<<` `>>`
+    Shl,
+    Shr,
+    /// Line structure.
+    Newline,
+    Indent,
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its 1-based source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Source line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize an OCCAM source text.
+///
+/// # Errors
+///
+/// [`LexError`] on malformed input (bad characters, inconsistent
+/// indentation that does not return to an enclosing level).
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let mut out: Vec<SpannedTok> = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let without_comment = match raw.find("--") {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        if without_comment.trim().is_empty() {
+            continue; // blank lines and pure comments do not affect layout
+        }
+        let indent = without_comment.len() - without_comment.trim_start().len();
+        if raw[..indent].contains('\t') {
+            return Err(LexError { line, msg: "tabs are not allowed in indentation".into() });
+        }
+        let current = *indents.last().expect("stack never empty");
+        match indent.cmp(&current) {
+            std::cmp::Ordering::Greater => {
+                indents.push(indent);
+                out.push(SpannedTok { tok: Tok::Indent, line });
+            }
+            std::cmp::Ordering::Less => {
+                while *indents.last().expect("stack never empty") > indent {
+                    indents.pop();
+                    out.push(SpannedTok { tok: Tok::Dedent, line });
+                }
+                if *indents.last().expect("stack never empty") != indent {
+                    return Err(LexError {
+                        line,
+                        msg: format!("indentation {indent} does not match any open block"),
+                    });
+                }
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        lex_line(without_comment.trim_start(), line, &mut out)?;
+        out.push(SpannedTok { tok: Tok::Newline, line });
+    }
+    let last_line = src.lines().count();
+    while indents.len() > 1 {
+        indents.pop();
+        out.push(SpannedTok { tok: Tok::Dedent, line: last_line });
+    }
+    out.push(SpannedTok { tok: Tok::Eof, line: last_line });
+    Ok(out)
+}
+
+fn lex_line(text: &str, line: usize, out: &mut Vec<SpannedTok>) -> Result<(), LexError> {
+    let mut chars = text.chars().peekable();
+    let mut push = |tok: Tok| out.push(SpannedTok { tok, line });
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '0'..='9' => {
+                let mut n: i64 = 0;
+                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(i64::from(d)))
+                        .ok_or_else(|| LexError { line, msg: "integer overflow".into() })?;
+                    chars.next();
+                }
+                push(Tok::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push(Tok::Ident(s));
+            }
+            ':' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push(Tok::Assign);
+                } else {
+                    push(Tok::Colon);
+                }
+            }
+            '!' => {
+                chars.next();
+                push(Tok::Bang);
+            }
+            '?' => {
+                chars.next();
+                push(Tok::Query);
+            }
+            '(' => {
+                chars.next();
+                push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                push(Tok::RParen);
+            }
+            '[' => {
+                chars.next();
+                push(Tok::LBracket);
+            }
+            ']' => {
+                chars.next();
+                push(Tok::RBracket);
+            }
+            ',' => {
+                chars.next();
+                push(Tok::Comma);
+            }
+            '=' => {
+                chars.next();
+                push(Tok::Eq);
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        push(Tok::Ne);
+                    }
+                    Some('=') => {
+                        chars.next();
+                        push(Tok::Le);
+                    }
+                    Some('<') => {
+                        chars.next();
+                        push(Tok::Shl);
+                    }
+                    _ => push(Tok::Lt),
+                }
+            }
+            '>' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        push(Tok::Ge);
+                    }
+                    Some('>') => {
+                        chars.next();
+                        push(Tok::Shr);
+                    }
+                    _ => push(Tok::Gt),
+                }
+            }
+            '+' => {
+                chars.next();
+                push(Tok::Plus);
+            }
+            '-' => {
+                chars.next();
+                push(Tok::Minus);
+            }
+            '*' => {
+                chars.next();
+                push(Tok::Star);
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'\\') {
+                    chars.next();
+                    push(Tok::Amp);
+                } else {
+                    push(Tok::Slash);
+                }
+            }
+            '\\' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    chars.next();
+                    push(Tok::Pipe);
+                } else {
+                    push(Tok::Backslash);
+                }
+            }
+            other => {
+                return Err(LexError { line, msg: format!("unexpected character {other:?}") });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(
+            toks("x := y + 1"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("y".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn channel_operators() {
+        assert_eq!(
+            toks("c ! x\nc ? y"),
+            vec![
+                Tok::Ident("c".into()),
+                Tok::Bang,
+                Tok::Ident("x".into()),
+                Tok::Newline,
+                Tok::Ident("c".into()),
+                Tok::Query,
+                Tok::Ident("y".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let t = toks("seq\n  x := 1\n  y := 2\nz := 3");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("seq".into()),
+                Tok::Newline,
+                Tok::Indent,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Ident("y".into()),
+                Tok::Assign,
+                Tok::Int(2),
+                Tok::Newline,
+                Tok::Dedent,
+                Tok::Ident("z".into()),
+                Tok::Assign,
+                Tok::Int(3),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_dedents_unwind() {
+        let t = toks("a\n  b\n    c\nd");
+        let dedents = t.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = toks("x := 1 -- set x\n\n-- whole line\ny := 2");
+        assert_eq!(t.iter().filter(|t| **t == Tok::Newline).count(), 2);
+    }
+
+    #[test]
+    fn comparison_and_logic_tokens() {
+        assert_eq!(
+            toks("a <> b /\\ c \\/ d << 2"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ne,
+                Tok::Ident("b".into()),
+                Tok::Amp,
+                Tok::Ident("c".into()),
+                Tok::Pipe,
+                Tok::Ident("d".into()),
+                Tok::Shl,
+                Tok::Int(2),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn replicator_brackets() {
+        assert_eq!(
+            toks("seq i = [1 for 10]"),
+            vec![
+                Tok::Ident("seq".into()),
+                Tok::Ident("i".into()),
+                Tok::Eq,
+                Tok::LBracket,
+                Tok::Int(1),
+                Tok::Ident("for".into()),
+                Tok::Int(10),
+                Tok::RBracket,
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_reports_line() {
+        let e = lex("x := 1\ny := $2").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_error() {
+        assert!(lex("a\n    b\n  c").is_err());
+    }
+}

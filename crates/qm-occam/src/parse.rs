@@ -1,0 +1,645 @@
+//! Recursive-descent parser for the OCCAM subset.
+//!
+//! Declarations (`var`, `chan`, `proc`) precede the process they scope
+//! over at the same indentation, per OCCAM convention. Constructors take
+//! their component processes in an indented block. Unlike strict OCCAM,
+//! expressions use conventional operator precedence (OCCAM required full
+//! parenthesisation; accepting both is harmless).
+
+use crate::ast::{BinOp, Decl, Expr, Lvalue, Param, ProcDef, Process, Replicator};
+use crate::lex::{lex, SpannedTok, Tok};
+
+/// Parse error with source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lex::LexError> for ParseError {
+    fn from(e: crate::lex::LexError) -> Self {
+        ParseError { line: e.line, msg: e.msg }
+    }
+}
+
+/// Parse an OCCAM source text into its top-level process.
+///
+/// # Errors
+///
+/// [`ParseError`] on any lexical or syntactic problem.
+pub fn parse(src: &str) -> Result<Process, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let process = p.process()?;
+    p.expect(&Tok::Eof)?;
+    Ok(process)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos.min(self.toks.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].tok.clone();
+        if self.pos < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), msg: msg.into() })
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {tok:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    /// Declarations followed by a statement: the OCCAM "process".
+    fn process(&mut self) -> Result<Process, ParseError> {
+        let mut decls: Vec<Decl> = Vec::new();
+        let mut procs: Vec<ProcDef> = Vec::new();
+        loop {
+            if self.at_keyword("var") || self.at_keyword("chan") {
+                let is_var = self.at_keyword("var");
+                self.bump();
+                loop {
+                    let name = self.ident()?;
+                    if is_var && *self.peek() == Tok::LBracket {
+                        self.bump();
+                        let len = match self.bump() {
+                            Tok::Int(n) if n > 0 && n <= i64::from(u32::MAX) => {
+                                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                                {
+                                    n as u32
+                                }
+                            }
+                            other => {
+                                return self
+                                    .err(format!("array length must be a positive literal, found {other:?}"))
+                            }
+                        };
+                        self.expect(&Tok::RBracket)?;
+                        decls.push(Decl::Array(name, len));
+                    } else if is_var {
+                        decls.push(Decl::Scalar(name));
+                    } else {
+                        decls.push(Decl::Chan(name));
+                    }
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::Colon)?;
+                self.expect(&Tok::Newline)?;
+            } else if self.at_keyword("proc") {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(&Tok::LParen)?;
+                let mut params = Vec::new();
+                if *self.peek() != Tok::RParen {
+                    loop {
+                        let mode = self.ident()?;
+                        let param = match mode.as_str() {
+                            "value" => Param::Value(self.ident()?),
+                            "var" => Param::Var(self.ident()?),
+                            // Bare name defaults to `var` like OCCAM 1.
+                            _ => Param::Var(mode),
+                        };
+                        params.push(param);
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Eq)?;
+                self.expect(&Tok::Newline)?;
+                self.expect(&Tok::Indent)?;
+                let body = self.process()?;
+                self.expect(&Tok::Dedent)?;
+                // Optional trailing ':' line closing the definition.
+                if *self.peek() == Tok::Colon {
+                    self.bump();
+                    self.expect(&Tok::Newline)?;
+                }
+                procs.push(ProcDef { name, params, body });
+            } else {
+                break;
+            }
+        }
+        let stmt = self.statement()?;
+        if decls.is_empty() && procs.is_empty() {
+            Ok(stmt)
+        } else {
+            Ok(Process::Scope(decls, procs, Box::new(stmt)))
+        }
+    }
+
+    fn replicator(&mut self) -> Result<Option<Replicator>, ParseError> {
+        if let Tok::Ident(_) = self.peek() {
+            let var = self.ident()?;
+            self.expect(&Tok::Eq)?;
+            self.expect(&Tok::LBracket)?;
+            let start = self.expr()?;
+            if !self.at_keyword("for") {
+                return self.err("expected 'for' in replicator");
+            }
+            self.bump();
+            let count = self.expr()?;
+            self.expect(&Tok::RBracket)?;
+            Ok(Some(Replicator { var, start, count }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Process>, ParseError> {
+        self.expect(&Tok::Newline)?;
+        if *self.peek() != Tok::Indent {
+            return Ok(Vec::new()); // empty constructor body (e.g. `seq` alone)
+        }
+        self.bump();
+        let mut out = Vec::new();
+        while *self.peek() != Tok::Dedent {
+            out.push(self.process()?);
+        }
+        self.bump(); // Dedent
+        Ok(out)
+    }
+
+    fn statement(&mut self) -> Result<Process, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(kw) if kw == "seq" => {
+                self.bump();
+                let rep = self.replicator()?;
+                let body = self.block()?;
+                Ok(Process::Seq(rep, body))
+            }
+            Tok::Ident(kw) if kw == "par" => {
+                self.bump();
+                let rep = self.replicator()?;
+                let body = self.block()?;
+                Ok(Process::Par(rep, body))
+            }
+            Tok::Ident(kw) if kw == "while" => {
+                self.bump();
+                let cond = self.expr()?;
+                let mut body = self.block()?;
+                let inner = match body.len() {
+                    1 => body.remove(0),
+                    _ => Process::Seq(None, body),
+                };
+                Ok(Process::While(cond, Box::new(inner)))
+            }
+            Tok::Ident(kw) if kw == "if" => {
+                self.bump();
+                self.expect(&Tok::Newline)?;
+                self.expect(&Tok::Indent)?;
+                let mut branches = Vec::new();
+                while *self.peek() != Tok::Dedent {
+                    let guard = self.expr()?;
+                    self.expect(&Tok::Newline)?;
+                    self.expect(&Tok::Indent)?;
+                    let mut body = Vec::new();
+                    while *self.peek() != Tok::Dedent {
+                        body.push(self.process()?);
+                    }
+                    self.bump();
+                    let inner = match body.len() {
+                        1 => body.into_iter().next().expect("len checked"),
+                        _ => Process::Seq(None, body),
+                    };
+                    branches.push((guard, inner));
+                }
+                self.bump();
+                Ok(Process::If(branches))
+            }
+            Tok::Ident(kw) if kw == "skip" => {
+                self.bump();
+                self.expect(&Tok::Newline)?;
+                Ok(Process::Skip)
+            }
+            Tok::Ident(kw) if kw == "wait" => {
+                self.bump();
+                // `wait now after e` (thesis syntax); `now after` optional.
+                if self.at_keyword("now") {
+                    self.bump();
+                    if self.at_keyword("after") {
+                        self.bump();
+                    }
+                }
+                let e = self.expr()?;
+                self.expect(&Tok::Newline)?;
+                Ok(Process::Wait(e))
+            }
+            Tok::Ident(_) => {
+                let name = self.ident()?;
+                match self.peek().clone() {
+                    Tok::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if *self.peek() != Tok::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if *self.peek() == Tok::Comma {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                        self.expect(&Tok::Newline)?;
+                        Ok(Process::Call(name, args))
+                    }
+                    Tok::LBracket => {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.expect(&Tok::RBracket)?;
+                        self.expect(&Tok::Assign)?;
+                        let e = self.expr()?;
+                        self.expect(&Tok::Newline)?;
+                        Ok(Process::Assign(Lvalue::Index(name, Box::new(idx)), e))
+                    }
+                    Tok::Assign => {
+                        self.bump();
+                        let e = self.expr()?;
+                        self.expect(&Tok::Newline)?;
+                        Ok(Process::Assign(Lvalue::Var(name), e))
+                    }
+                    Tok::Bang => {
+                        self.bump();
+                        let e = self.expr()?;
+                        self.expect(&Tok::Newline)?;
+                        Ok(Process::Output(name, e))
+                    }
+                    Tok::Query => {
+                        self.bump();
+                        let lv = self.lvalue()?;
+                        self.expect(&Tok::Newline)?;
+                        Ok(Process::Input(name, lv))
+                    }
+                    other => self.err(format!("unexpected {other:?} after identifier")),
+                }
+            }
+            other => self.err(format!("expected a process, found {other:?}")),
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<Lvalue, ParseError> {
+        let name = self.ident()?;
+        if *self.peek() == Tok::LBracket {
+            self.bump();
+            let idx = self.expr()?;
+            self.expect(&Tok::RBracket)?;
+            Ok(Lvalue::Index(name, Box::new(idx)))
+        } else {
+            Ok(Lvalue::Var(name))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::Pipe || self.at_keyword("or") {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == Tok::Amp || self.at_keyword("and") {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.shift_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Gt => BinOp::Gt,
+            Tok::Le => BinOp::Le,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.shift_expr()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Backslash => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                // Fold negated literals so `-1` is a constant, not a
+                // negation node (keeps printed programs re-parseable to
+                // identical trees).
+                match self.unary_expr()? {
+                    Expr::Const(v) => Ok(Expr::Const(v.wrapping_neg())),
+                    other => Ok(Expr::Neg(Box::new(other))),
+                }
+            }
+            Tok::Ident(kw) if kw == "not" => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.unary_expr()?)))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Tok::Int(n) => {
+                if n > i64::from(i32::MAX) {
+                    return self.err("integer literal exceeds 32 bits");
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                Ok(Expr::Const(n as i32))
+            }
+            Tok::Ident(name) => match name.as_str() {
+                "true" => Ok(Expr::Const(-1)),
+                "false" => Ok(Expr::Const(0)),
+                "now" => Ok(Expr::Now),
+                _ => {
+                    if *self.peek() == Tok::LBracket {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.expect(&Tok::RBracket)?;
+                        Ok(Expr::Index(name, Box::new(idx)))
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+            },
+            Tok::LParen => {
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(inner)
+            }
+            other => self.err(format!("expected an expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thesis_iteration_example_parses() {
+        // Fig. 4.6's program.
+        let src = "\
+var sum, result:
+seq
+  sum := 0
+  seq k = [1 for 10]
+    sum := sum + k
+  result := sum
+";
+        let p = parse(src).unwrap();
+        match p {
+            Process::Scope(decls, procs, body) => {
+                assert_eq!(decls.len(), 2);
+                assert!(procs.is_empty());
+                match *body {
+                    Process::Seq(None, stmts) => {
+                        assert_eq!(stmts.len(), 3);
+                        assert!(matches!(stmts[1], Process::Seq(Some(_), _)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_process_creation_example() {
+        // Fig. 4.7.
+        let src = "\
+var n:
+seq
+  n := 4
+  par i = [1 for n]
+    skip
+";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn channels_and_io() {
+        let src = "\
+chan c:
+par
+  c ! 5 + 1
+  var x:
+  c ? x
+";
+        let p = parse(src).unwrap();
+        match p {
+            Process::Scope(_, _, body) => match *body {
+                Process::Par(None, branches) => {
+                    assert!(matches!(branches[0], Process::Output(..)));
+                    assert!(matches!(branches[1], Process::Scope(..)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_with_guards() {
+        let src = "\
+var x, y:
+if
+  x < 0
+    y := 0 - x
+  true
+    y := x
+";
+        let p = parse(src).unwrap();
+        match p {
+            Process::Scope(_, _, body) => match *body {
+                Process::If(branches) => assert_eq!(branches.len(), 2),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_loop() {
+        let src = "\
+var i:
+while i < 10
+  i := i + 1
+";
+        assert!(matches!(parse(src).unwrap(), Process::Scope(_, _, b) if matches!(*b, Process::While(..))));
+    }
+
+    #[test]
+    fn procedure_definition_and_call() {
+        let src = "\
+proc double(value x, var y) =
+  y := x * 2
+seq
+  var a:
+  double(21, a)
+";
+        let p = parse(src).unwrap();
+        match p {
+            Process::Scope(decls, procs, _) => {
+                assert!(decls.is_empty());
+                assert_eq!(procs.len(), 1);
+                assert_eq!(procs[0].name, "double");
+                assert_eq!(procs[0].params.len(), 2);
+                assert!(matches!(procs[0].params[0], Param::Value(_)));
+                assert!(matches!(procs[0].params[1], Param::Var(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrays_parse() {
+        let src = "\
+var v[8], i:
+seq
+  v[0] := 1
+  i := v[0] + v[1]
+";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = "var x:\nx := 1 + 2 * 3\n";
+        match parse(src).unwrap() {
+            Process::Scope(_, _, b) => match *b {
+                Process::Assign(_, e) => {
+                    assert_eq!(
+                        e,
+                        Expr::bin(
+                            BinOp::Add,
+                            Expr::Const(1),
+                            Expr::bin(BinOp::Mul, Expr::Const(2), Expr::Const(3))
+                        )
+                    );
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let e = parse("var x:\nx := := 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn wait_now_after() {
+        let src = "wait now after 100\n";
+        assert!(matches!(parse(src).unwrap(), Process::Wait(_)));
+    }
+}

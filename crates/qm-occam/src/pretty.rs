@@ -1,0 +1,247 @@
+//! Pretty-printer: AST → OCCAM source text.
+//!
+//! Useful for dumping generated/transformed programs (e.g. the
+//! differential fuzzer's cases) in a form the parser accepts again:
+//! `parse(print(p))` reproduces `p` up to expression parenthesisation.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Decl, Expr, Lvalue, Param, ProcDef, Process, Replicator};
+
+/// Render a process tree as OCCAM source.
+#[must_use]
+pub fn print_process(p: &Process) -> String {
+    let mut out = String::new();
+    emit(p, 0, &mut out);
+    out
+}
+
+fn pad(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn emit(p: &Process, indent: usize, out: &mut String) {
+    match p {
+        Process::Skip => {
+            pad(indent, out);
+            out.push_str("skip\n");
+        }
+        Process::Wait(e) => {
+            pad(indent, out);
+            let _ = writeln!(out, "wait now after {}", print_expr(e));
+        }
+        Process::Assign(lv, e) => {
+            pad(indent, out);
+            let _ = writeln!(out, "{} := {}", print_lvalue(lv), print_expr(e));
+        }
+        Process::Output(c, e) => {
+            pad(indent, out);
+            let _ = writeln!(out, "{c} ! {}", print_expr(e));
+        }
+        Process::Input(c, lv) => {
+            pad(indent, out);
+            let _ = writeln!(out, "{c} ? {}", print_lvalue(lv));
+        }
+        Process::Seq(rep, ps) | Process::Par(rep, ps) => {
+            pad(indent, out);
+            let kw = if matches!(p, Process::Seq(..)) { "seq" } else { "par" };
+            match rep {
+                Some(r) => {
+                    let _ = writeln!(out, "{kw} {}", print_replicator(r));
+                }
+                None => {
+                    let _ = writeln!(out, "{kw}");
+                }
+            }
+            for q in ps {
+                emit(q, indent + 1, out);
+            }
+        }
+        Process::If(branches) => {
+            pad(indent, out);
+            out.push_str("if\n");
+            for (cond, body) in branches {
+                pad(indent + 1, out);
+                let _ = writeln!(out, "{}", print_expr(cond));
+                emit(body, indent + 2, out);
+            }
+        }
+        Process::While(cond, body) => {
+            pad(indent, out);
+            let _ = writeln!(out, "while {}", print_expr(cond));
+            emit(body, indent + 1, out);
+        }
+        Process::Scope(decls, procs, body) => {
+            for d in decls {
+                pad(indent, out);
+                match d {
+                    Decl::Scalar(n) => {
+                        let _ = writeln!(out, "var {n}:");
+                    }
+                    Decl::Array(n, len) => {
+                        let _ = writeln!(out, "var {n}[{len}]:");
+                    }
+                    Decl::Chan(n) => {
+                        let _ = writeln!(out, "chan {n}:");
+                    }
+                }
+            }
+            for pd in procs {
+                emit_proc(pd, indent, out);
+            }
+            emit(body, indent, out);
+        }
+        Process::Call(name, args) => {
+            pad(indent, out);
+            let rendered: Vec<String> = args.iter().map(print_expr).collect();
+            let _ = writeln!(out, "{name}({})", rendered.join(", "));
+        }
+    }
+}
+
+fn emit_proc(pd: &ProcDef, indent: usize, out: &mut String) {
+    pad(indent, out);
+    let params: Vec<String> = pd
+        .params
+        .iter()
+        .map(|p| match p {
+            Param::Value(n) => format!("value {n}"),
+            Param::Var(n) => format!("var {n}"),
+        })
+        .collect();
+    let _ = writeln!(out, "proc {}({}) =", pd.name, params.join(", "));
+    emit(&pd.body, indent + 1, out);
+}
+
+fn print_lvalue(lv: &Lvalue) -> String {
+    match lv {
+        Lvalue::Var(n) => n.clone(),
+        Lvalue::Index(n, i) => format!("{n}[{}]", print_expr(i)),
+    }
+}
+
+fn print_replicator(r: &Replicator) -> String {
+    format!("{} = [{} for {}]", r.var, print_expr(&r.start), print_expr(&r.count))
+}
+
+/// Render an expression (fully parenthesised, OCCAM-friendly).
+#[must_use]
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => {
+            if *v < 0 {
+                format!("(-{})", v.unsigned_abs())
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Var(n) => n.clone(),
+        Expr::Index(n, i) => format!("{n}[{}]", print_expr(i)),
+        Expr::Neg(x) => format!("(-{})", print_expr(x)),
+        Expr::Not(x) => format!("(not {})", print_expr(x)),
+        Expr::Now => "now".into(),
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "\\",
+                BinOp::And => "/\\",
+                BinOp::Or => "\\/",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Gt => ">",
+                BinOp::Le => "<=",
+                BinOp::Ge => ">=",
+            };
+            format!("({} {sym} {})", print_expr(a), print_expr(b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn round_trip(src: &str) {
+        let ast = parse(src).unwrap();
+        let printed = print_process(&ast);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(ast, reparsed, "--- printed ---\n{printed}");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip("var x:\nseq\n  x := 1 + (2 * 3)\n  screen ! x\n  skip\n");
+    }
+
+    #[test]
+    fn constructs_round_trip() {
+        round_trip(
+            "\
+var v[8], s, i:
+seq
+  seq i = [0 for 8]
+    v[i] := i
+  par
+    s := v[0]
+    skip
+  while s < 10
+    s := s + 1
+  if
+    s = 10
+      screen ! s
+    true
+      skip
+",
+        );
+    }
+
+    #[test]
+    fn procedures_round_trip() {
+        round_trip(
+            "\
+proc f(value n, var acc, v) =
+  seq
+    acc := n + v[0]
+var a, b[4]:
+seq
+  f(1, a, b)
+  screen ! a
+",
+        );
+    }
+
+    #[test]
+    fn channels_round_trip() {
+        round_trip(
+            "\
+chan c:
+var x:
+par
+  c ! 41
+  seq
+    c ? x
+    screen ! x + 1
+",
+        );
+    }
+
+    #[test]
+    fn negative_constants_survive() {
+        round_trip("var x:\nseq\n  x := -5 \\ -3\n  screen ! not x\n");
+    }
+
+    #[test]
+    fn wait_and_now_round_trip() {
+        round_trip("var t:\nseq\n  t := now\n  wait now after t + 100\n");
+    }
+}

@@ -1,0 +1,537 @@
+//! Semantic analysis: scope checking, alpha-renaming, array layout.
+//!
+//! Produces a *resolved* program in which every identifier is globally
+//! unique, every use is classified (scalar, array, channel, parameter,
+//! replicator index, procedure), and every array has a static address in
+//! the shared data segment. The predefined channels `screen` and
+//! `keyboard` name the host channel (id 0).
+
+use std::collections::HashMap;
+
+use crate::ast::{Decl, Expr, Lvalue, Param, ProcDef, Process, Replicator};
+
+/// Classified symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymKind {
+    /// Local scalar variable.
+    Scalar,
+    /// Replicator index (read-only in its body).
+    ReplIndex,
+    /// Word array at a static global address.
+    Array {
+        /// Base byte address in the global data segment.
+        addr: u32,
+        /// Length in words.
+        len: u32,
+    },
+    /// Channel declared by `chan`; `host` channels are the predefined
+    /// `screen`/`keyboard` (runtime id 0).
+    Chan {
+        /// True for the host channels.
+        host: bool,
+    },
+    /// Procedure value parameter.
+    ValueParam,
+    /// Procedure value-result parameter.
+    VarParam,
+    /// Procedure parameter used as an array (receives a base address).
+    ArrayParam,
+    /// Procedure name.
+    Proc {
+        /// Index into [`Resolved::procs`].
+        index: usize,
+    },
+}
+
+/// A resolved procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedProc {
+    /// Unique name.
+    pub name: String,
+    /// Renamed parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Renamed body.
+    pub body: Process,
+}
+
+/// Result of semantic analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolved {
+    /// The renamed main process.
+    pub main: Process,
+    /// All procedures (bodies renamed), topologically collected.
+    pub procs: Vec<ResolvedProc>,
+    /// Symbol table over unique names.
+    pub syms: HashMap<String, SymKind>,
+    /// Bytes of global data allocated to arrays.
+    pub data_bytes: u32,
+}
+
+/// Semantic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError {
+    /// Description (includes the offending name).
+    pub msg: String,
+}
+
+impl std::fmt::Display for SemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "semantic error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Base address of compiler-allocated arrays (start of the shared data
+/// segment).
+pub const DATA_BASE: u32 = qm_isa::mem::GLOBAL_BASE;
+
+/// Analyse and rename a parsed program.
+///
+/// # Errors
+///
+/// [`SemaError`] for undeclared names, kind mismatches (e.g. sending on a
+/// scalar), duplicate declarations in one scope, or bad call arity.
+pub fn analyse(program: &Process) -> Result<Resolved, SemaError> {
+    let mut cx = Cx {
+        env: vec![HashMap::new()],
+        syms: HashMap::new(),
+        procs: Vec::new(),
+        proc_arity: Vec::new(),
+        next_id: 0,
+        next_addr: DATA_BASE,
+    };
+    cx.declare_predefined();
+    let main = cx.process(program)?;
+    Ok(Resolved {
+        main,
+        procs: cx.procs,
+        syms: cx.syms,
+        data_bytes: cx.next_addr - DATA_BASE,
+    })
+}
+
+struct Cx {
+    env: Vec<HashMap<String, String>>,
+    syms: HashMap<String, SymKind>,
+    procs: Vec<ResolvedProc>,
+    /// Arity per procedure; `None` while the body is still being
+    /// analysed (recursive calls skip the check until a post-pass).
+    proc_arity: Vec<Option<usize>>,
+    next_id: u32,
+    next_addr: u32,
+}
+
+impl Cx {
+    fn declare_predefined(&mut self) {
+        for host in ["screen", "keyboard"] {
+            let unique = host.to_string();
+            self.env[0].insert(host.to_string(), unique.clone());
+            self.syms.insert(unique, SymKind::Chan { host: true });
+        }
+    }
+
+    fn err<T>(msg: impl Into<String>) -> Result<T, SemaError> {
+        Err(SemaError { msg: msg.into() })
+    }
+
+    fn fresh(&mut self, base: &str) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        format!("{base}.{id}")
+    }
+
+    fn declare(&mut self, name: &str, kind: SymKind) -> Result<String, SemaError> {
+        if self.env.last().expect("scope stack never empty").contains_key(name) {
+            return Self::err(format!("duplicate declaration of {name} in one scope"));
+        }
+        let unique = self.fresh(name);
+        self.env
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), unique.clone());
+        self.syms.insert(unique.clone(), kind);
+        Ok(unique)
+    }
+
+    fn lookup(&self, name: &str) -> Result<(String, &SymKind), SemaError> {
+        for scope in self.env.iter().rev() {
+            if let Some(unique) = scope.get(name) {
+                return Ok((unique.clone(), &self.syms[unique]));
+            }
+        }
+        Self::err(format!("undeclared identifier {name}"))
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Expr, SemaError> {
+        Ok(match e {
+            Expr::Const(v) => Expr::Const(*v),
+            Expr::Now => Expr::Now,
+            Expr::Var(name) => {
+                let (unique, kind) = self.lookup(name)?;
+                match kind {
+                    SymKind::Scalar
+                    | SymKind::ReplIndex
+                    | SymKind::ValueParam
+                    | SymKind::VarParam => Expr::Var(unique),
+                    // A bare array name denotes its base address (used to
+                    // pass arrays to procedures).
+                    SymKind::Array { .. } | SymKind::ArrayParam => Expr::Var(unique),
+                    SymKind::Chan { .. } => {
+                        // A channel used as a value (e.g. passed to a proc)
+                        // is its identifier word.
+                        Expr::Var(unique)
+                    }
+                    SymKind::Proc { .. } => {
+                        return Self::err(format!("procedure {name} used as a value"))
+                    }
+                }
+            }
+            Expr::Index(name, idx) => {
+                let (unique, kind) = self.lookup(name)?;
+                match kind {
+                    SymKind::Array { .. } | SymKind::ArrayParam => {}
+                    other => {
+                        return Self::err(format!("{name} indexed but is {other:?}"));
+                    }
+                }
+                let idx = self.expr(idx)?;
+                Expr::Index(unique, Box::new(idx))
+            }
+            Expr::Neg(x) => Expr::Neg(Box::new(self.expr(x)?)),
+            Expr::Not(x) => Expr::Not(Box::new(self.expr(x)?)),
+            Expr::Bin(op, a, b) => Expr::bin(*op, self.expr(a)?, self.expr(b)?),
+        })
+    }
+
+    fn lvalue(&mut self, lv: &Lvalue) -> Result<Lvalue, SemaError> {
+        Ok(match lv {
+            Lvalue::Var(name) => {
+                let (unique, kind) = self.lookup(name)?;
+                match kind {
+                    SymKind::Scalar | SymKind::VarParam | SymKind::ValueParam => {
+                        Lvalue::Var(unique)
+                    }
+                    SymKind::ReplIndex => {
+                        return Self::err(format!("replicator index {name} is read-only"))
+                    }
+                    other => return Self::err(format!("cannot assign to {name} ({other:?})")),
+                }
+            }
+            Lvalue::Index(name, idx) => {
+                let (unique, kind) = self.lookup(name)?;
+                if !matches!(kind, SymKind::Array { .. } | SymKind::ArrayParam) {
+                    return Self::err(format!("{name} indexed but is {kind:?}"));
+                }
+                let idx = self.expr(idx)?;
+                Lvalue::Index(unique, Box::new(idx))
+            }
+        })
+    }
+
+    fn channel(&mut self, name: &str) -> Result<String, SemaError> {
+        let (unique, kind) = self.lookup(name)?;
+        match kind {
+            SymKind::Chan { .. } => Ok(unique),
+            // Channel identifiers received as procedure parameters are
+            // plain words.
+            SymKind::ValueParam | SymKind::VarParam => Ok(unique),
+            other => Self::err(format!("{name} used as a channel but is {other:?}")),
+        }
+    }
+
+    fn replicator(&mut self, rep: &Replicator) -> Result<(Replicator, String), SemaError> {
+        // Bounds are evaluated in the enclosing scope.
+        let start = self.expr(&rep.start)?;
+        let count = self.expr(&rep.count)?;
+        let unique = self.declare(&rep.var, SymKind::ReplIndex)?;
+        Ok((Replicator { var: unique.clone(), start, count }, unique))
+    }
+
+    fn process(&mut self, p: &Process) -> Result<Process, SemaError> {
+        Ok(match p {
+            Process::Skip => Process::Skip,
+            Process::Wait(e) => Process::Wait(self.expr(e)?),
+            Process::Assign(lv, e) => {
+                let e = self.expr(e)?;
+                let lv = self.lvalue(lv)?;
+                Process::Assign(lv, e)
+            }
+            Process::Output(c, e) => {
+                let e = self.expr(e)?;
+                let c = self.channel(c)?;
+                Process::Output(c, e)
+            }
+            Process::Input(c, lv) => {
+                let c = self.channel(c)?;
+                let lv = self.lvalue(lv)?;
+                Process::Input(c, lv)
+            }
+            Process::Seq(rep, ps) => {
+                self.env.push(HashMap::new());
+                let rep = match rep {
+                    Some(r) => Some(self.replicator(r)?.0),
+                    None => None,
+                };
+                let ps = ps.iter().map(|p| self.process(p)).collect::<Result<_, _>>()?;
+                self.env.pop();
+                Process::Seq(rep, ps)
+            }
+            Process::Par(rep, ps) => {
+                self.env.push(HashMap::new());
+                let rep = match rep {
+                    Some(r) => Some(self.replicator(r)?.0),
+                    None => None,
+                };
+                let ps = ps.iter().map(|p| self.process(p)).collect::<Result<_, _>>()?;
+                self.env.pop();
+                Process::Par(rep, ps)
+            }
+            Process::If(branches) => {
+                let branches = branches
+                    .iter()
+                    .map(|(c, p)| Ok((self.expr(c)?, self.process(p)?)))
+                    .collect::<Result<_, SemaError>>()?;
+                Process::If(branches)
+            }
+            Process::While(c, body) => {
+                let c = self.expr(c)?;
+                let body = self.process(body)?;
+                Process::While(c, Box::new(body))
+            }
+            Process::Scope(decls, procs, body) => {
+                self.env.push(HashMap::new());
+                let mut rdecls = Vec::with_capacity(decls.len());
+                for d in decls {
+                    let rd = match d {
+                        Decl::Scalar(n) => Decl::Scalar(self.declare(n, SymKind::Scalar)?),
+                        Decl::Array(n, len) => {
+                            let addr = self.next_addr;
+                            self.next_addr += 4 * *len;
+                            Decl::Array(self.declare(n, SymKind::Array { addr, len: *len })?, *len)
+                        }
+                        Decl::Chan(n) => Decl::Chan(self.declare(n, SymKind::Chan { host: false })?),
+                    };
+                    rdecls.push(rd);
+                }
+                for pd in procs {
+                    let index = self.procs.len();
+                    let unique = self.declare(&pd.name, SymKind::Proc { index })?;
+                    // Reserve the slot so recursive calls resolve.
+                    self.procs.push(ResolvedProc {
+                        name: unique.clone(),
+                        params: Vec::new(),
+                        body: Process::Skip,
+                    });
+                    self.proc_arity.push(None);
+                    let resolved = self.proc_def(pd)?;
+                    self.proc_arity[index] = Some(resolved.params.len());
+                    self.procs[index] = ResolvedProc { name: unique, ..resolved };
+                }
+                let body = self.process(body)?;
+                self.env.pop();
+                Process::Scope(rdecls, Vec::new(), Box::new(body))
+            }
+            Process::Call(name, args) => {
+                let (unique, kind) = self.lookup(name)?;
+                let SymKind::Proc { index } = kind else {
+                    return Self::err(format!("{name} called but is {kind:?}"));
+                };
+                let index = *index;
+                let args: Vec<Expr> =
+                    args.iter().map(|a| self.expr(a)).collect::<Result<_, _>>()?;
+                if let Some(arity) = self.proc_arity[index] {
+                    if args.len() != arity {
+                        return Self::err(format!(
+                            "{name} called with {} arguments, expects {arity}",
+                            args.len()
+                        ));
+                    }
+                }
+                Process::Call(unique, args)
+            }
+        })
+    }
+
+    fn proc_def(&mut self, pd: &ProcDef) -> Result<ResolvedProc, SemaError> {
+        self.env.push(HashMap::new());
+        // Classify parameters: a parameter indexed anywhere in the body is
+        // an array(base-address) parameter.
+        let mut indexed = Vec::new();
+        collect_indexed(&pd.body, &mut indexed);
+        let mut params = Vec::with_capacity(pd.params.len());
+        for p in &pd.params {
+            let name = p.name();
+            let kind = if indexed.iter().any(|n| n == name) {
+                SymKind::ArrayParam
+            } else {
+                match p {
+                    Param::Value(_) => SymKind::ValueParam,
+                    Param::Var(_) => SymKind::VarParam,
+                }
+            };
+            let is_array = kind == SymKind::ArrayParam;
+            let unique = self.declare(name, kind)?;
+            params.push(match (p, is_array) {
+                (_, true) | (Param::Value(_), _) => Param::Value(unique),
+                (Param::Var(_), _) => Param::Var(unique),
+            });
+        }
+        let body = self.process(&pd.body)?;
+        self.env.pop();
+        Ok(ResolvedProc { name: String::new(), params, body })
+    }
+}
+
+fn collect_indexed(p: &Process, out: &mut Vec<String>) {
+    fn expr(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Index(n, i) => {
+                out.push(n.clone());
+                expr(i, out);
+            }
+            Expr::Neg(x) | Expr::Not(x) => expr(x, out),
+            Expr::Bin(_, a, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            Expr::Const(_) | Expr::Var(_) | Expr::Now => {}
+        }
+    }
+    match p {
+        Process::Assign(lv, e) => {
+            if let Lvalue::Index(n, i) = lv {
+                out.push(n.clone());
+                expr(i, out);
+            }
+            expr(e, out);
+        }
+        Process::Input(_, lv) => {
+            if let Lvalue::Index(n, i) = lv {
+                out.push(n.clone());
+                expr(i, out);
+            }
+        }
+        Process::Output(_, e) | Process::Wait(e) => expr(e, out),
+        Process::Skip => {}
+        Process::Seq(rep, ps) | Process::Par(rep, ps) => {
+            if let Some(r) = rep {
+                expr(&r.start, out);
+                expr(&r.count, out);
+            }
+            for p in ps {
+                collect_indexed(p, out);
+            }
+        }
+        Process::If(branches) => {
+            for (c, p) in branches {
+                expr(c, out);
+                collect_indexed(p, out);
+            }
+        }
+        Process::While(c, p) => {
+            expr(c, out);
+            collect_indexed(p, out);
+        }
+        Process::Scope(_, procs, p) => {
+            for pd in procs {
+                collect_indexed(&pd.body, out);
+            }
+            collect_indexed(p, out);
+        }
+        Process::Call(_, args) => {
+            for a in args {
+                expr(a, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn resolve(src: &str) -> Resolved {
+        analyse(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn arrays_get_distinct_addresses() {
+        let r = resolve("var a[4], b[8], x:\nx := a[0] + b[0]\n");
+        let addrs: Vec<u32> = r
+            .syms
+            .values()
+            .filter_map(|k| match k {
+                SymKind::Array { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(addrs.len(), 2);
+        assert_ne!(addrs[0], addrs[1]);
+        assert_eq!(r.data_bytes, 48);
+    }
+
+    #[test]
+    fn shadowing_renames() {
+        let r = resolve(
+            "var x:\nseq\n  x := 1\n  var x:\n  x := 2\n",
+        );
+        // Two distinct scalars named x.* exist.
+        let xs = r.syms.keys().filter(|k| k.starts_with("x.")).count();
+        assert_eq!(xs, 2);
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        assert!(analyse(&parse("x := 1\n").unwrap()).is_err());
+    }
+
+    #[test]
+    fn duplicate_in_scope_rejected() {
+        assert!(analyse(&parse("var x, x:\nx := 1\n").unwrap()).is_err());
+    }
+
+    #[test]
+    fn replicator_index_is_read_only() {
+        let bad = "var s:\nseq i = [0 for 4]\n  i := 1\n";
+        assert!(analyse(&parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn screen_is_predefined_host_channel() {
+        let r = resolve("screen ! 42\n");
+        assert_eq!(r.syms["screen"], SymKind::Chan { host: true });
+    }
+
+    #[test]
+    fn channel_kind_checked() {
+        assert!(analyse(&parse("var x:\nx ! 1\n").unwrap()).is_err());
+    }
+
+    #[test]
+    fn proc_params_classified() {
+        let r = resolve(
+            "proc f(value n, var acc, v) =\n  acc := n + v[0]\nvar a, b[4]:\nf(1, a, b)\n",
+        );
+        assert_eq!(r.procs.len(), 1);
+        let p = &r.procs[0];
+        assert_eq!(p.params.len(), 3);
+        let kinds: Vec<&SymKind> = p.params.iter().map(|p| &r.syms[p.name()]).collect();
+        assert_eq!(kinds[0], &SymKind::ValueParam);
+        assert_eq!(kinds[1], &SymKind::VarParam);
+        assert_eq!(kinds[2], &SymKind::ArrayParam, "indexed param is an array");
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let bad = "proc f(value n) =\n  skip\nf(1, 2)\n";
+        assert!(analyse(&parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn bare_array_name_is_address_value() {
+        let r = resolve("proc f(v) =\n  v[0] := 1\nvar a[4]:\nf(a)\n");
+        assert_eq!(r.procs.len(), 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! End-to-end tests: OCCAM source → queue machine code → multiprocessor
+//! execution. Every test checks program *output* (host channel) or final
+//! memory, across PE counts and compiler option settings.
+
+use qm_occam::{compile, Options};
+use qm_sim::config::SystemConfig;
+use qm_sim::system::System;
+
+/// Compile and run on `pes` PEs; return the host-channel output.
+fn run(src: &str, pes: usize, opts: &Options) -> Vec<i32> {
+    let compiled = compile(src, opts).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let mut sys = System::new(SystemConfig::with_pes(pes));
+    sys.load_object(&compiled.object);
+    let main = compiled.object.symbol("main").expect("main context");
+    sys.spawn_main(main);
+    let out = sys.run().unwrap_or_else(|e| {
+        panic!("run failed: {e}\nassembly:\n{}", compiled.asm)
+    });
+    out.output
+}
+
+fn run_default(src: &str) -> Vec<i32> {
+    run(src, 1, &Options::default())
+}
+
+/// All sixteen option combinations produce identical output.
+fn run_all_options(src: &str, expect: &[i32]) {
+    for live in [false, true] {
+        for seq in [false, true] {
+            for prio in [false, true] {
+                for unroll in [false, true] {
+                    let opts = Options {
+                        live_value_analysis: live,
+                        input_sequencing: seq,
+                        priority_scheduling: prio,
+                        loop_unrolling: unroll,
+                    };
+                    assert_eq!(
+                        run(src, 2, &opts),
+                        expect,
+                        "options live={live} seq={seq} prio={prio} unroll={unroll}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn straight_line_output() {
+    let out = run_default("screen ! 20 + 22\n");
+    assert_eq!(out, vec![42]);
+}
+
+#[test]
+fn sequential_assignments() {
+    let src = "\
+var x, y:
+seq
+  x := 6
+  y := x * 7
+  screen ! y
+";
+    assert_eq!(run_default(src), vec![42]);
+}
+
+#[test]
+fn expression_operators() {
+    let src = "\
+var a:
+seq
+  a := 10
+  screen ! (a + 5) * 2 - 3
+  screen ! a / 3
+  screen ! a \\ 3
+  screen ! -a
+  screen ! a << 2
+  screen ! a >> 1
+";
+    assert_eq!(run_default(src), vec![27, 3, 1, -10, 40, 5]);
+}
+
+#[test]
+fn comparisons_produce_booleans() {
+    let src = "\
+var a:
+seq
+  a := 5
+  screen ! a < 10
+  screen ! a > 10
+  screen ! a = 5
+  screen ! a <> 5
+";
+    assert_eq!(run_default(src), vec![-1, 0, -1, 0]);
+}
+
+#[test]
+fn while_loop_sums() {
+    // The Fig. 4.6 worked example: Σ k for k = 1..10 = 55.
+    let src = "\
+var sum, k:
+seq
+  sum := 0
+  k := 1
+  while k <= 10
+    seq
+      sum := sum + k
+      k := k + 1
+  screen ! sum
+";
+    assert_eq!(run_default(src), vec![55]);
+}
+
+#[test]
+fn replicated_seq_sums() {
+    let src = "\
+var sum:
+seq
+  sum := 0
+  seq k = [1 for 10]
+    sum := sum + k
+  screen ! sum
+";
+    assert_eq!(run_default(src), vec![55]);
+}
+
+#[test]
+fn if_selects_first_true_guard() {
+    let src = "\
+var x, y:
+seq
+  x := -7
+  if
+    x < 0
+      y := 0 - x
+    true
+      y := x
+  screen ! y
+";
+    assert_eq!(run_default(src), vec![7]);
+}
+
+#[test]
+fn if_with_no_true_guard_skips() {
+    let src = "\
+var x, y:
+seq
+  x := 3
+  y := 99
+  if
+    x < 0
+      y := 0
+  screen ! y
+";
+    assert_eq!(run_default(src), vec![99]);
+}
+
+#[test]
+fn nested_if_in_loop_classifies() {
+    // Count negatives in a sequence.
+    let src = "\
+var neg, k, v:
+seq
+  neg := 0
+  seq k = [0 for 8]
+    seq
+      v := (k * 3) - 10
+      if
+        v < 0
+          neg := neg + 1
+        true
+          skip
+  screen ! neg
+";
+    // k*3-10 < 0 for k = 0,1,2,3 → 4 negatives.
+    assert_eq!(run_default(src), vec![4]);
+}
+
+#[test]
+fn arrays_store_and_fetch() {
+    let src = "\
+var v[8], i, sum:
+seq
+  seq i = [0 for 8]
+    v[i] := i * i
+  sum := 0
+  seq i = [0 for 8]
+    sum := sum + v[i]
+  screen ! sum
+";
+    // Σ i² for 0..8 = 140.
+    assert_eq!(run_default(src), vec![140]);
+}
+
+#[test]
+fn par_branches_compute_independently() {
+    let src = "\
+var a, b:
+seq
+  par
+    a := 6 * 7
+    b := 10 * 10
+  screen ! a
+  screen ! b
+";
+    assert_eq!(run_default(src), vec![42, 100]);
+}
+
+#[test]
+fn par_branches_communicate_over_channel() {
+    let src = "\
+var y:
+chan c:
+seq
+  par
+    c ! 21
+    var x:
+    seq
+      c ? x
+      y := x * 2
+  screen ! y
+";
+    assert_eq!(run_default(src), vec![42]);
+}
+
+#[test]
+fn replicated_par_fills_array() {
+    let src = "\
+var sq[8], i, sum:
+seq
+  par i = [0 for 8]
+    sq[i] := i * i
+  sum := 0
+  seq i = [0 for 8]
+    sum := sum + sq[i]
+  screen ! sum
+";
+    for pes in [1, 2, 4] {
+        assert_eq!(run(src, pes, &Options::default()), vec![140], "{pes} PEs");
+    }
+}
+
+#[test]
+fn procedure_with_value_and_var_params() {
+    let src = "\
+proc double(value x, var y) =
+  y := x * 2
+var a:
+seq
+  double(21, a)
+  screen ! a
+";
+    assert_eq!(run_default(src), vec![42]);
+}
+
+#[test]
+fn procedure_with_array_param() {
+    let src = "\
+proc fill(v, value n) =
+  var i:
+  seq i = [0 for n]
+    v[i] := i + 1
+var data[6], s, i:
+seq
+  fill(data, 6)
+  s := 0
+  seq i = [0 for 6]
+    s := s + data[i]
+  screen ! s
+";
+    assert_eq!(run_default(src), vec![21]);
+}
+
+#[test]
+fn recursive_procedure() {
+    // factorial(5) via recursion — exercises reentrant contexts.
+    let src = "\
+proc fact(value n, var r) =
+  if
+    n <= 1
+      r := 1
+    true
+      var sub:
+      seq
+        fact(n - 1, sub)
+        r := n * sub
+var f:
+seq
+  fact(5, f)
+  screen ! f
+";
+    assert_eq!(run_default(src), vec![120]);
+}
+
+#[test]
+fn keyboard_reads_host_input() {
+    let src = "\
+var x:
+seq
+  keyboard ? x
+  screen ! x * 3
+";
+    let compiled = compile(src, &Options::default()).unwrap();
+    let mut sys = System::new(SystemConfig::with_pes(1));
+    sys.load_object(&compiled.object);
+    sys.push_input(14);
+    sys.spawn_main(compiled.object.symbol("main").unwrap());
+    assert_eq!(sys.run().unwrap().output, vec![42]);
+}
+
+#[test]
+fn output_ordering_is_sequenced() {
+    // Control tokens must keep screen outputs in program order.
+    let src = "\
+var i:
+seq i = [0 for 5]
+  screen ! i
+";
+    assert_eq!(run_default(src), vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn all_compiler_options_agree() {
+    let src = "\
+var v[4], i, acc:
+seq
+  seq i = [0 for 4]
+    v[i] := i + 10
+  acc := 0
+  seq i = [0 for 4]
+    acc := acc + v[i] * (i + 1)
+  if
+    acc > 100
+      screen ! acc
+    true
+      screen ! -acc
+";
+    // acc = 10*1 + 11*2 + 12*3 + 13*4 = 120 > 100.
+    run_all_options(src, &[120]);
+}
+
+#[test]
+fn multi_pe_runs_match_single_pe() {
+    let src = "\
+var r[4], i, total:
+seq
+  par i = [0 for 4]
+    var acc, j:
+    seq
+      acc := 0
+      seq j = [1 for 6]
+        acc := acc + (i + 1) * j
+      r[i] := acc
+  total := 0
+  seq i = [0 for 4]
+    total := total + r[i]
+  screen ! total
+";
+    // Σ_{i=1..4} i * 21 = 210.
+    let baseline = run(src, 1, &Options::default());
+    assert_eq!(baseline, vec![210]);
+    for pes in [2, 4, 8] {
+        assert_eq!(run(src, pes, &Options::default()), baseline, "{pes} PEs");
+    }
+}
+
+#[test]
+fn parallel_speedup_is_observable() {
+    // Four heavy independent instances: more PEs should reduce elapsed
+    // cycles substantially.
+    let src = "\
+var r[4], i, total:
+seq
+  par i = [0 for 4]
+    var acc, j:
+    seq
+      acc := 0
+      seq j = [1 for 40]
+        acc := acc + (i + 1) * j
+      r[i] := acc
+  total := 0
+  seq i = [0 for 4]
+    total := total + r[i]
+  screen ! total
+";
+    let compiled = compile(src, &Options::default()).unwrap();
+    let mut elapsed = Vec::new();
+    for pes in [1usize, 4] {
+        let mut sys = System::new(SystemConfig::with_pes(pes));
+        sys.load_object(&compiled.object);
+        sys.spawn_main(compiled.object.symbol("main").unwrap());
+        let out = sys.run().unwrap();
+        assert_eq!(out.output, vec![8200]);
+        elapsed.push(out.elapsed_cycles);
+    }
+    assert!(
+        (elapsed[0] as f64) / (elapsed[1] as f64) > 1.5,
+        "expected speedup, got {} vs {}",
+        elapsed[0],
+        elapsed[1]
+    );
+}
+
+#[test]
+fn wait_and_now_sequence_in_time() {
+    let src = "\
+var t0, t1:
+seq
+  t0 := now
+  wait now after t0 + 500
+  t1 := now
+  screen ! t1 - t0 >= 500
+";
+    assert_eq!(run_default(src), vec![-1]);
+}

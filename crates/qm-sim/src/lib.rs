@@ -1,0 +1,60 @@
+//! Queue machine multiprocessor simulator (thesis §5.5–5.6 and Chapter 6).
+//!
+//! The simulated system is a set of queue-machine processing elements
+//! (from [`qm_isa`]) grouped into partitions of a shared, segmented bus
+//! connected in a ring (Fig. 5.18). Each PE has a dedicated *message
+//! processor* with a message cache implementing blocking channel
+//! rendezvous (Figs 5.13–5.17); a multiprocessing kernel (Chapter 6,
+//! reimplemented in Rust per `DESIGN.md` substitution #1) creates,
+//! schedules and retires *contexts* — the dynamic data-flow graph splicing
+//! mechanism of Chapter 4.
+//!
+//! * [`config`] — system size, bus/kernel cost parameters, scheduling
+//!   policy.
+//! * [`msg`] — channel table / message-cache state machines.
+//! * [`memory`] — the shared, partitioned memory with ring-bus costs.
+//! * [`kernel`] — context records, state machine, kernel entry points.
+//! * [`system`] — the top-level simulator and run loop.
+//! * [`amdahl`] — the analytic speed-up models of Figs 6.6–6.7.
+//!
+//! # Example
+//!
+//! Run a two-context program where the main context forks a child that
+//! doubles a value:
+//!
+//! ```
+//! use qm_sim::system::System;
+//! use qm_sim::config::SystemConfig;
+//!
+//! let src = "
+//! main:   trap #0,#child :r0,r1   ; rfork → c_in, c_out
+//!         send r0,#21             ; argument
+//!         recv r1,#0 :r2          ; result
+//!         send+3 #0,r2            ; report to host (channel 0)
+//!         trap #3,#0              ; halt
+//! child:  recv r17,#0 :r0         ; r17 = my in channel
+//!         mul+1 r0,#2 :r0
+//!         send+1 r18,r0           ; r18 = my out channel
+//!         trap #2,#0              ; end context
+//! ";
+//! let mut sys = System::with_assembly(SystemConfig::with_pes(2), src).unwrap();
+//! let outcome = sys.run().unwrap();
+//! assert_eq!(outcome.output, vec![42]);
+//! ```
+
+pub mod amdahl;
+pub mod config;
+pub mod kernel;
+pub mod memory;
+pub mod msg;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use system::{RunOutcome, SimError, System};
+
+/// Machine word, shared with the rest of the workspace.
+pub type Word = qm_isa::Word;
+/// Unsigned word / address.
+pub type UWord = qm_isa::UWord;
+/// Context identifier.
+pub type CtxId = usize;

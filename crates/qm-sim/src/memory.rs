@@ -1,0 +1,210 @@
+//! Shared, partitioned memory with ring-bus access costs.
+//!
+//! Implements [`qm_isa::mem::DataPort`] over:
+//!
+//! * a single **global** space (code + shared data) whose addresses are
+//!   homed at a partition (see [`qm_isa::mem`]); accesses from another
+//!   partition cross the ring bus and cost more;
+//! * one **local** space per PE (queue pages, kernel records), free of bus
+//!   traffic and invisible to other PEs.
+
+use std::collections::HashMap;
+
+use qm_isa::mem::{global_home, is_local, DataPort};
+
+use crate::config::SystemConfig;
+use crate::{UWord, Word};
+
+/// Memory traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Word accesses served within the requester's partition.
+    pub local_accesses: u64,
+    /// Word accesses that crossed the ring bus.
+    pub remote_accesses: u64,
+    /// Total bus cycles consumed by remote accesses.
+    pub bus_cycles: u64,
+}
+
+/// The multiprocessor memory system.
+#[derive(Debug)]
+pub struct SharedMemory {
+    global: HashMap<UWord, Word>,
+    locals: Vec<HashMap<UWord, Word>>,
+    config: SystemConfig,
+    /// Traffic statistics.
+    pub stats: MemStats,
+}
+
+impl SharedMemory {
+    /// Memory for the given system configuration.
+    #[must_use]
+    pub fn new(config: &SystemConfig) -> Self {
+        SharedMemory {
+            global: HashMap::new(),
+            locals: vec![HashMap::new(); config.pes],
+            config: config.clone(),
+            stats: MemStats::default(),
+        }
+    }
+
+    fn plane(&mut self, pe: usize, addr: UWord) -> &mut HashMap<UWord, Word> {
+        if is_local(addr) {
+            &mut self.locals[pe]
+        } else {
+            &mut self.global
+        }
+    }
+
+    fn cost(&mut self, pe: usize, addr: UWord) -> u64 {
+        if is_local(addr) || addr < qm_isa::mem::GLOBAL_BASE {
+            self.stats.local_accesses += 1;
+            0
+        } else {
+            let home = global_home(addr);
+            let c = self.config.mem_cost(pe, home);
+            if self.config.partition_of(pe) == home % self.config.partitions.max(1) {
+                self.stats.local_accesses += 1;
+            } else {
+                self.stats.remote_accesses += 1;
+                self.stats.bus_cycles += c;
+            }
+            c
+        }
+    }
+
+    /// Load raw words into global memory (code or data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned.
+    pub fn load_words(&mut self, base: UWord, words: &[u32]) {
+        assert_eq!(base & 3, 0);
+        for (i, &w) in words.iter().enumerate() {
+            #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+            self.global.insert(base + 4 * i as UWord, w as Word);
+        }
+    }
+
+    /// Peek a global word (host-side inspection, no cost).
+    #[must_use]
+    pub fn peek_global(&self, addr: UWord) -> Word {
+        self.global.get(&(addr & !3)).copied().unwrap_or(0)
+    }
+
+    /// Poke a global word (host-side initialisation, no cost).
+    pub fn poke_global(&mut self, addr: UWord, value: Word) {
+        self.global.insert(addr & !3, value);
+    }
+
+    /// Peek a PE-local word.
+    #[must_use]
+    pub fn peek_local(&self, pe: usize, addr: UWord) -> Word {
+        self.locals[pe].get(&(addr & !3)).copied().unwrap_or(0)
+    }
+}
+
+impl DataPort for SharedMemory {
+    fn read_word(&mut self, pe: usize, addr: UWord) -> (Word, u64) {
+        let cost = self.cost(pe, addr);
+        let v = self.plane(pe, addr & !3).get(&(addr & !3)).copied().unwrap_or(0);
+        (v, cost)
+    }
+
+    fn write_word(&mut self, pe: usize, addr: UWord, value: Word) -> u64 {
+        let cost = self.cost(pe, addr);
+        self.plane(pe, addr & !3).insert(addr & !3, value);
+        cost
+    }
+
+    fn read_byte(&mut self, pe: usize, addr: UWord) -> (Word, u64) {
+        let (word, cost) = self.read_word(pe, addr & !3);
+        let shift = (addr & 3) * 8;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+        (((word as u32 >> shift) & 0xFF) as Word, cost)
+    }
+
+    fn write_byte(&mut self, pe: usize, addr: UWord, value: Word) -> u64 {
+        let aligned = addr & !3;
+        let (old, _) = self.read_word(pe, aligned);
+        let shift = (addr & 3) * 8;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+        let merged = {
+            let old = old as u32;
+            ((old & !(0xFFu32 << shift)) | (((value as u32) & 0xFF) << shift)) as Word
+        };
+        self.write_word(pe, aligned, merged)
+    }
+
+    fn fetch_code(&mut self, _pe: usize, addr: UWord) -> u32 {
+        // Code is pure and replicated per PE (thesis: pseudo-static
+        // instruction space) — no bus traffic.
+        #[allow(clippy::cast_sign_loss)]
+        {
+            self.global.get(&(addr & !3)).copied().unwrap_or(0) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qm_isa::mem::LOCAL_BASE;
+
+    #[test]
+    fn locals_are_private_per_pe() {
+        let cfg = SystemConfig::with_pes(2);
+        let mut m = SharedMemory::new(&cfg);
+        m.write_word(0, LOCAL_BASE + 0x100, 7);
+        assert_eq!(m.read_word(0, LOCAL_BASE + 0x100).0, 7);
+        assert_eq!(m.read_word(1, LOCAL_BASE + 0x100).0, 0, "PE 1 sees its own plane");
+    }
+
+    #[test]
+    fn global_memory_is_shared() {
+        let cfg = SystemConfig::with_pes(2);
+        let mut m = SharedMemory::new(&cfg);
+        m.write_word(0, 0x0010_0000, 42);
+        assert_eq!(m.read_word(1, 0x0010_0000).0, 42);
+    }
+
+    #[test]
+    fn remote_access_costs_bus_cycles() {
+        let cfg = SystemConfig::with_pes(8); // 4 partitions
+        let mut m = SharedMemory::new(&cfg);
+        // Partition 0 home (addr bits 27:24 = 0) accessed from PE 0 (cheap)
+        // and PE 7 in partition 3 (remote).
+        let (_, c_near) = m.read_word(0, 0x0010_0000);
+        let (_, c_far) = m.read_word(7, 0x0010_0000);
+        assert!(c_near < c_far, "near {c_near} vs far {c_far}");
+        assert!(m.stats.remote_accesses > 0);
+        assert!(m.stats.bus_cycles >= c_far);
+    }
+
+    #[test]
+    fn local_accesses_are_free() {
+        let cfg = SystemConfig::with_pes(2);
+        let mut m = SharedMemory::new(&cfg);
+        assert_eq!(m.write_word(1, LOCAL_BASE + 4, 1), 0);
+        assert_eq!(m.stats.bus_cycles, 0);
+    }
+
+    #[test]
+    fn byte_operations_merge_within_words() {
+        let cfg = SystemConfig::with_pes(1);
+        let mut m = SharedMemory::new(&cfg);
+        m.write_word(0, 0x0010_0010, 0x11223344);
+        m.write_byte(0, 0x0010_0011, 0xAB);
+        assert_eq!(m.read_word(0, 0x0010_0010).0, 0x1122_AB44);
+        assert_eq!(m.read_byte(0, 0x0010_0011).0, 0xAB);
+    }
+
+    #[test]
+    fn code_fetch_is_free_and_global() {
+        let cfg = SystemConfig::with_pes(4);
+        let mut m = SharedMemory::new(&cfg);
+        m.load_words(0, &[0xCAFE_F00D]);
+        assert_eq!(m.fetch_code(3, 0), 0xCAFE_F00D);
+        assert_eq!(m.stats.remote_accesses, 0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Channels and the message processor (thesis §5.5).
+//!
+//! Every PE owns a message processor whose *message cache* holds in-flight
+//! channel transfers. A channel provides an unbuffered, simplex rendezvous
+//! (§4.2): `send` blocks until a matching `recv` arrives and vice versa.
+//! The state machines of Figs 5.16–5.17 (interprocessor and
+//! intraprocessor transfers) reduce, at the context level, to the four
+//! per-channel queues modelled here:
+//!
+//! * a sender arrives first → its value parks in the message cache and the
+//!   sending context blocks (`waiting_senders`);
+//! * a receiver arrives first → the receiving context blocks
+//!   (`waiting_receivers`);
+//! * the second party completes the transfer, waking the first: the woken
+//!   sender finds an *acknowledgement* (`acked`), the woken receiver finds
+//!   its *value ready* (`ready`), so the re-executed instruction completes
+//!   without re-transferring.
+//!
+//! Channel 0 is the host channel: sends to it append to the program
+//! output; receives read pre-loaded host input.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::{CtxId, Word};
+
+/// The host channel identifier.
+pub const HOST_CHANNEL: Word = 0;
+
+/// Observable message-cache entry states (the context-level reduction of
+/// the Fig. 5.16/5.17 transfer state machines; Tables 5.3–5.4 give the
+/// per-operation transitions, exercised by this module's tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheState {
+    /// No transfer in flight.
+    Empty,
+    /// Values parked in cache slots (or delivered-but-uncollected),
+    /// nobody blocked.
+    ValueHeld {
+        /// Parked values.
+        buffered: usize,
+    },
+    /// Cache full and senders blocked behind it.
+    SenderBlocked {
+        /// Values in the cache.
+        buffered: usize,
+        /// Parked senders.
+        senders: usize,
+    },
+    /// Receivers blocked waiting for a sender.
+    ReceiverBlocked {
+        /// Parked receivers.
+        receivers: usize,
+    },
+}
+
+/// Result of offering a send to the channel table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendResult {
+    /// Transfer complete (a receiver was waiting, or the host took it).
+    /// If a blocked receiver was woken it is reported here.
+    Done {
+        /// Context to wake, with the PE that hosts it (if any).
+        woke: Option<CtxId>,
+    },
+    /// No receiver yet: the sender must block.
+    Block,
+}
+
+/// Result of offering a receive to the channel table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvResult {
+    /// A value was obtained. If a blocked sender was woken it is reported.
+    Done {
+        /// The transferred word.
+        value: Word,
+        /// Context to wake (the parked sender, if any).
+        woke: Option<CtxId>,
+        /// PE of the peer context that sent the value (for bus costing);
+        /// `None` when the value came from the host.
+        from_pe: Option<usize>,
+    },
+    /// No sender yet: the receiver must block.
+    Block,
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    /// Message-cache slots holding values already accepted from senders
+    /// (Fig. 5.15); `(value, sending PE)`.
+    buffer: VecDeque<(Word, usize)>,
+    waiting_senders: VecDeque<(CtxId, usize, Word)>,
+    waiting_receivers: VecDeque<(CtxId, usize)>,
+    acked: HashSet<CtxId>,
+    ready: HashMap<CtxId, (Word, usize)>,
+}
+
+/// The system-wide channel table (union of all message caches).
+#[derive(Debug, Default)]
+pub struct ChannelTable {
+    channels: HashMap<Word, Channel>,
+    next_id: Word,
+    /// Message-cache slots per channel: a send completes immediately
+    /// while a slot is free. 0 = pure rendezvous (the §4.2 abstract
+    /// semantics); >0 models the dedicated message-cache hardware of
+    /// §5.5 that parks in-flight values so the sending PE can continue.
+    pub capacity: usize,
+    /// Values sent to the host channel.
+    pub output: Vec<Word>,
+    /// Values the host offers to receivers on channel 0.
+    pub input: VecDeque<Word>,
+    /// Total completed transfers.
+    pub transfers: u64,
+}
+
+impl ChannelTable {
+    /// A fresh table with the given per-channel message-cache capacity;
+    /// channel ids start at 1 (0 is the host).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ChannelTable { next_id: 1, capacity, ..Self::default() }
+    }
+
+    /// Allocate a fresh channel identifier.
+    pub fn allocate(&mut self) -> Word {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        id
+    }
+
+    /// Offer a send of `value` on `chan` by context `ctx` running on `pe`.
+    pub fn send(&mut self, ctx: CtxId, pe: usize, chan: Word, value: Word) -> SendResult {
+        if chan == HOST_CHANNEL {
+            self.output.push(value);
+            self.transfers += 1;
+            return SendResult::Done { woke: None };
+        }
+        let capacity = self.capacity;
+        let c = self.channels.entry(chan).or_default();
+        if c.acked.remove(&ctx) {
+            // Our earlier parked value was taken while we were blocked.
+            return SendResult::Done { woke: None };
+        }
+        if let Some((receiver, _rpe)) = c.waiting_receivers.pop_front() {
+            c.ready.insert(receiver, (value, pe));
+            self.transfers += 1;
+            return SendResult::Done { woke: Some(receiver) };
+        }
+        if c.buffer.len() < capacity {
+            c.buffer.push_back((value, pe));
+            self.transfers += 1;
+            return SendResult::Done { woke: None };
+        }
+        if !c.waiting_senders.iter().any(|&(s, _, _)| s == ctx) {
+            c.waiting_senders.push_back((ctx, pe, value));
+        }
+        SendResult::Block
+    }
+
+    /// Offer a receive on `chan` by context `ctx` running on `pe`.
+    pub fn recv(&mut self, ctx: CtxId, pe: usize, chan: Word) -> RecvResult {
+        if chan == HOST_CHANNEL {
+            return match self.input.pop_front() {
+                Some(value) => {
+                    self.transfers += 1;
+                    RecvResult::Done { value, woke: None, from_pe: None }
+                }
+                None => RecvResult::Block,
+            };
+        }
+        let c = self.channels.entry(chan).or_default();
+        if let Some((value, from_pe)) = c.ready.remove(&ctx) {
+            return RecvResult::Done { value, woke: None, from_pe: Some(from_pe) };
+        }
+        if let Some((value, from_pe)) = c.buffer.pop_front() {
+            // A freed slot admits the next parked sender, if any.
+            let woke = if let Some((sender, spe, v)) = c.waiting_senders.pop_front() {
+                c.buffer.push_back((v, spe));
+                c.acked.insert(sender);
+                self.transfers += 1;
+                Some(sender)
+            } else {
+                None
+            };
+            return RecvResult::Done { value, woke, from_pe: Some(from_pe) };
+        }
+        if let Some((sender, spe, value)) = c.waiting_senders.pop_front() {
+            c.acked.insert(sender);
+            self.transfers += 1;
+            return RecvResult::Done { value, woke: Some(sender), from_pe: Some(spe) };
+        }
+        if !c.waiting_receivers.iter().any(|&(r, _)| r == ctx) {
+            c.waiting_receivers.push_back((ctx, pe));
+        }
+        RecvResult::Block
+    }
+
+    /// Observable state of one channel's message-cache entry — the
+    /// states of the Fig. 5.16/5.17 transfer state machines at context
+    /// granularity.
+    #[must_use]
+    pub fn state(&self, chan: Word) -> CacheState {
+        let Some(c) = self.channels.get(&chan) else {
+            return CacheState::Empty;
+        };
+        if !c.waiting_receivers.is_empty() {
+            CacheState::ReceiverBlocked { receivers: c.waiting_receivers.len() }
+        } else if !c.waiting_senders.is_empty() {
+            CacheState::SenderBlocked {
+                buffered: c.buffer.len(),
+                senders: c.waiting_senders.len(),
+            }
+        } else if !c.buffer.is_empty() || !c.ready.is_empty() {
+            CacheState::ValueHeld { buffered: c.buffer.len() + c.ready.len() }
+        } else {
+            CacheState::Empty
+        }
+    }
+
+    /// Human-readable description of every parked sender/receiver (for
+    /// deadlock diagnosis).
+    #[must_use]
+    pub fn blocked_detail(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut chans: Vec<_> = self.channels.iter().collect();
+        chans.sort_by_key(|&(id, _)| *id);
+        for (id, c) in chans {
+            for &(s, _, v) in &c.waiting_senders {
+                out.push(format!("ctx{s} send {v} on chan {id}"));
+            }
+            for &(r, _) in &c.waiting_receivers {
+                out.push(format!("ctx{r} recv on chan {id}"));
+            }
+            if !c.buffer.is_empty() {
+                out.push(format!("chan {id} buffer: {:?}", c.buffer));
+            }
+        }
+        out
+    }
+
+    /// Contexts currently blocked on any channel (for deadlock reports).
+    #[must_use]
+    pub fn blocked_contexts(&self) -> Vec<CtxId> {
+        let mut out: Vec<CtxId> = self
+            .channels
+            .values()
+            .flat_map(|c| {
+                c.waiting_senders
+                    .iter()
+                    .map(|&(s, _, _)| s)
+                    .chain(c.waiting_receivers.iter().map(|&(r, _)| r))
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sender_first_rendezvous() {
+        let mut t = ChannelTable::new(0);
+        let ch = t.allocate();
+        assert_eq!(t.send(1, 0, ch, 99), SendResult::Block, "sender parks and blocks");
+        // Re-offer while still blocked: stays blocked, no duplicate queue entry.
+        assert_eq!(t.send(1, 0, ch, 99), SendResult::Block);
+        match t.recv(2, 1, ch) {
+            RecvResult::Done { value, woke, from_pe } => {
+                assert_eq!(value, 99);
+                assert_eq!(woke, Some(1), "parked sender wakes");
+                assert_eq!(from_pe, Some(0));
+            }
+            RecvResult::Block => panic!("receiver should complete"),
+        }
+        // The woken sender re-executes its send and finds the ack.
+        assert_eq!(t.send(1, 0, ch, 99), SendResult::Done { woke: None });
+    }
+
+    #[test]
+    fn receiver_first_rendezvous() {
+        let mut t = ChannelTable::new(0);
+        let ch = t.allocate();
+        assert_eq!(t.recv(2, 1, ch), RecvResult::Block);
+        assert_eq!(t.send(1, 0, ch, 7), SendResult::Done { woke: Some(2) });
+        // Woken receiver re-executes recv and finds the value ready.
+        match t.recv(2, 1, ch) {
+            RecvResult::Done { value, woke: None, from_pe: Some(0) } => assert_eq!(value, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequenced_pair_on_one_channel() {
+        // Fig. 4.3: two values in order over a single channel.
+        let mut t = ChannelTable::new(0);
+        let ch = t.allocate();
+        assert_eq!(t.send(1, 0, ch, 10), SendResult::Block);
+        assert!(matches!(t.recv(2, 0, ch), RecvResult::Done { value: 10, .. }));
+        assert_eq!(t.send(1, 0, ch, 10), SendResult::Done { woke: None }, "ack consumed");
+        assert_eq!(t.send(1, 0, ch, 20), SendResult::Block);
+        assert!(matches!(t.recv(2, 0, ch), RecvResult::Done { value: 20, .. }));
+        assert_eq!(t.transfers, 2);
+    }
+
+    #[test]
+    fn host_channel_collects_output() {
+        let mut t = ChannelTable::new(0);
+        assert_eq!(t.send(1, 0, HOST_CHANNEL, 5), SendResult::Done { woke: None });
+        assert_eq!(t.send(1, 0, HOST_CHANNEL, 6), SendResult::Done { woke: None });
+        assert_eq!(t.output, vec![5, 6]);
+    }
+
+    #[test]
+    fn host_channel_provides_input() {
+        let mut t = ChannelTable::new(0);
+        t.input.push_back(11);
+        assert!(matches!(
+            t.recv(1, 0, HOST_CHANNEL),
+            RecvResult::Done { value: 11, woke: None, from_pe: None }
+        ));
+        assert_eq!(t.recv(1, 0, HOST_CHANNEL), RecvResult::Block);
+    }
+
+    #[test]
+    fn distinct_channels_do_not_interfere() {
+        let mut t = ChannelTable::new(0);
+        let a = t.allocate();
+        let b = t.allocate();
+        assert_ne!(a, b);
+        assert_eq!(t.send(1, 0, a, 1), SendResult::Block);
+        assert_eq!(t.recv(2, 0, b), RecvResult::Block);
+        assert_eq!(t.blocked_contexts(), vec![1, 2]);
+    }
+
+    /// Walk the Table 5.3/5.4-style transition table for one cache entry
+    /// under rendezvous (capacity 0) semantics.
+    #[test]
+    fn cache_entry_state_transitions_rendezvous() {
+        let mut t = ChannelTable::new(0);
+        let ch = t.allocate();
+        assert_eq!(t.state(ch), CacheState::Empty);
+        // send on Empty → sender blocks.
+        t.send(1, 0, ch, 5);
+        assert_eq!(t.state(ch), CacheState::SenderBlocked { buffered: 0, senders: 1 });
+        // recv on SenderBlocked → transfer completes, back to Empty
+        // (the woken sender's ack is not a held value).
+        t.recv(2, 0, ch);
+        t.send(1, 0, ch, 5); // consume the ack
+        assert_eq!(t.state(ch), CacheState::Empty);
+        // recv on Empty → receiver blocks.
+        t.recv(2, 0, ch);
+        assert_eq!(t.state(ch), CacheState::ReceiverBlocked { receivers: 1 });
+        // send on ReceiverBlocked → value delivered (held for pickup).
+        t.send(1, 0, ch, 9);
+        assert_eq!(t.state(ch), CacheState::ValueHeld { buffered: 1 });
+        // The woken receiver collects → Empty.
+        assert!(matches!(t.recv(2, 0, ch), RecvResult::Done { value: 9, .. }));
+        assert_eq!(t.state(ch), CacheState::Empty);
+    }
+
+    /// With message-cache slots, sends park values without blocking
+    /// until the cache fills (§5.5 hardware behaviour).
+    #[test]
+    fn cache_entry_state_transitions_buffered() {
+        let mut t = ChannelTable::new(2);
+        let ch = t.allocate();
+        assert_eq!(t.send(1, 0, ch, 10), SendResult::Done { woke: None });
+        assert_eq!(t.state(ch), CacheState::ValueHeld { buffered: 1 });
+        assert_eq!(t.send(1, 0, ch, 11), SendResult::Done { woke: None });
+        assert_eq!(t.state(ch), CacheState::ValueHeld { buffered: 2 });
+        // Cache full: third send blocks.
+        assert_eq!(t.send(1, 0, ch, 12), SendResult::Block);
+        assert_eq!(t.state(ch), CacheState::SenderBlocked { buffered: 2, senders: 1 });
+        // A receive frees a slot, pulls the parked value in, wakes the
+        // sender, and delivers FIFO.
+        match t.recv(2, 0, ch) {
+            RecvResult::Done { value, woke, .. } => {
+                assert_eq!(value, 10);
+                assert_eq!(woke, Some(1));
+            }
+            RecvResult::Block => panic!("value was buffered"),
+        }
+        assert_eq!(t.state(ch), CacheState::ValueHeld { buffered: 2 });
+        assert!(matches!(t.recv(2, 0, ch), RecvResult::Done { value: 11, .. }));
+        assert!(matches!(t.recv(2, 0, ch), RecvResult::Done { value: 12, .. }));
+        // Consume the ack before the entry is fully idle.
+        assert_eq!(t.send(1, 0, ch, 12), SendResult::Done { woke: None });
+        assert_eq!(t.state(ch), CacheState::Empty);
+    }
+
+    #[test]
+    fn buffered_preserves_fifo_across_many_values() {
+        let mut t = ChannelTable::new(4);
+        let ch = t.allocate();
+        for v in 0..4 {
+            assert_eq!(t.send(1, 0, ch, v), SendResult::Done { woke: None });
+        }
+        for v in 0..4 {
+            assert!(matches!(t.recv(2, 0, ch), RecvResult::Done { value, .. } if value == v));
+        }
+        assert_eq!(t.state(ch), CacheState::Empty);
+    }
+
+    #[test]
+    fn multiple_senders_queue_fifo() {
+        let mut t = ChannelTable::new(0);
+        let ch = t.allocate();
+        assert_eq!(t.send(1, 0, ch, 100), SendResult::Block);
+        assert_eq!(t.send(2, 0, ch, 200), SendResult::Block);
+        assert!(matches!(t.recv(3, 0, ch), RecvResult::Done { value: 100, woke: Some(1), .. }));
+        assert!(matches!(t.recv(3, 0, ch), RecvResult::Done { value: 200, woke: Some(2), .. }));
+    }
+}

@@ -1,0 +1,811 @@
+//! The top-level multiprocessor simulator and its run loop.
+//!
+//! Each PE advances an independent cycle clock; the simulator always steps
+//! the PE whose clock is furthest behind, so cross-PE interactions
+//! (channel wakes) are causally ordered. A context that blocks on a
+//! channel rendezvous is switched out (window registers rolled into its
+//! queue page — the §5.2 cost at the heart of the thesis's speed-up
+//! behaviour) and the PE dispatches the next ready context.
+
+use std::collections::VecDeque;
+
+use qm_isa::asm::{assemble, Object};
+use qm_isa::pe::{
+    BlockReason, Pe, PeStats, RecvOutcome, SendOutcome, Services, StepResult,
+};
+use qm_isa::Word as IsaWord;
+
+use crate::config::{Placement, SystemConfig};
+use crate::kernel::{entry, Context, CtxState, PageAllocator, REG_OUT_CHAN};
+use crate::memory::{MemStats, SharedMemory};
+use crate::msg::{ChannelTable, RecvResult, SendResult, HOST_CHANNEL};
+use crate::{CtxId, UWord, Word};
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Live contexts exist but none can run.
+    Deadlock {
+        /// Contexts parked on channels.
+        blocked: Vec<CtxId>,
+    },
+    /// The `max_instructions` safety valve fired.
+    InstructionBudget,
+    /// A PE hit an undecodable instruction.
+    Pe(String),
+    /// A trap named an unknown kernel entry.
+    UnknownTrap(Word),
+    /// Assembly failed while building the system.
+    Asm(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: contexts {blocked:?} blocked on channels")
+            }
+            SimError::InstructionBudget => write!(f, "instruction budget exhausted"),
+            SimError::Pe(msg) => write!(f, "processing element fault: {msg}"),
+            SimError::UnknownTrap(n) => write!(f, "unknown kernel entry {n}"),
+            SimError::Asm(msg) => write!(f, "assembly failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-PE results of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeReport {
+    /// Final value of the PE's cycle clock.
+    pub cycles: u64,
+    /// Cycles spent actually executing (excludes idle skips).
+    pub busy_cycles: u64,
+    /// Detailed PE statistics.
+    pub stats: PeStats,
+}
+
+/// Results of a completed run (the raw material of Tables 6.2–6.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Words the program sent to the host channel.
+    pub output: Vec<Word>,
+    /// Wall-clock cycles: the maximum over all PE clocks.
+    pub elapsed_cycles: u64,
+    /// Total instructions retired.
+    pub instructions: u64,
+    /// Contexts created over the whole run.
+    pub contexts_created: u64,
+    /// Peak simultaneously-live contexts (the exposed parallelism).
+    pub peak_live_contexts: u64,
+    /// Completed channel transfers.
+    pub channel_transfers: u64,
+    /// Memory/bus traffic.
+    pub mem: MemStats,
+    /// Per-PE breakdown.
+    pub pes: Vec<PeReport>,
+}
+
+struct PeUnit {
+    pe: Pe,
+    current: Option<CtxId>,
+    busy: u64,
+}
+
+/// The queue machine multiprocessor.
+pub struct System {
+    cfg: SystemConfig,
+    /// The shared memory (public for workload initialisation).
+    pub memory: SharedMemory,
+    channels: ChannelTable,
+    pes: Vec<PeUnit>,
+    ready: Vec<VecDeque<CtxId>>,
+    contexts: Vec<Context>,
+    pages: Vec<PageAllocator>,
+    symbols: Option<Object>,
+    rr: usize,
+    halted: bool,
+    live: usize,
+    created: u64,
+    peak_live: u64,
+    /// Print a dispatch/fork/end timeline to stderr (debugging aid).
+    pub trace: bool,
+}
+
+struct Svc<'a> {
+    channels: &'a mut ChannelTable,
+    contexts: &'a mut [Context],
+    ready: &'a mut [VecDeque<CtxId>],
+    cfg: &'a SystemConfig,
+    ctx: CtxId,
+    time: u64,
+    trace: bool,
+}
+
+impl Svc<'_> {
+    fn wake(&mut self, w: CtxId, at: u64) {
+        let c = &mut self.contexts[w];
+        debug_assert_eq!(c.state, CtxState::Blocked);
+        c.state = CtxState::Ready;
+        c.ready_at = at;
+        self.ready[c.pe].push_back(w);
+    }
+}
+
+impl Services for Svc<'_> {
+    fn send(&mut self, pe: usize, chan: IsaWord, value: IsaWord) -> SendOutcome {
+        if self.trace {
+            eprintln!("[{:>8}] ctx{} send {value} on chan {chan}", self.time, self.ctx);
+        }
+        match self.channels.send(self.ctx, pe, chan, value) {
+            SendResult::Done { woke } => {
+                let cycles = match woke {
+                    Some(w) => {
+                        let to_pe = self.contexts[w].pe;
+                        let c = self.cfg.chan_cost(pe, to_pe);
+                        self.wake(w, self.time + c);
+                        c
+                    }
+                    None if chan == HOST_CHANNEL => self.cfg.bus.chan_local,
+                    None => 0, // resumed after ack: cost was charged at match
+                };
+                SendOutcome::Done { cycles }
+            }
+            SendResult::Block => SendOutcome::Block,
+        }
+    }
+
+    fn recv(&mut self, pe: usize, chan: IsaWord) -> RecvOutcome {
+        if self.trace {
+            eprintln!("[{:>8}] ctx{} recv on chan {chan}", self.time, self.ctx);
+        }
+        match self.channels.recv(self.ctx, pe, chan) {
+            RecvResult::Done { value, woke, from_pe } => {
+                let cycles = match (woke, from_pe) {
+                    (Some(w), Some(spe)) => {
+                        let c = self.cfg.chan_cost(spe, pe);
+                        self.wake(w, self.time + c);
+                        c
+                    }
+                    (None, Some(spe)) => self.cfg.chan_cost(spe, pe),
+                    _ => self.cfg.bus.chan_local,
+                };
+                RecvOutcome::Done { value, cycles }
+            }
+            RecvResult::Block => RecvOutcome::Block,
+        }
+    }
+}
+
+impl System {
+    /// An empty system: load code and spawn a main context before
+    /// running.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> Self {
+        let memory = SharedMemory::new(&cfg);
+        let pes = (0..cfg.pes)
+            .map(|i| {
+                let mut pe = Pe::new(i);
+                pe.model = cfg.cycle_model;
+                PeUnit { pe, current: None, busy: 0 }
+            })
+            .collect();
+        let pages = (0..cfg.pes).map(|_| PageAllocator::new(cfg.queue_page_words)).collect();
+        System {
+            ready: vec![VecDeque::new(); cfg.pes],
+            memory,
+            channels: ChannelTable::new(cfg.channel_capacity),
+            pes,
+            contexts: Vec::new(),
+            pages,
+            symbols: None,
+            rr: 0,
+            halted: false,
+            live: 0,
+            created: 0,
+            peak_live: 0,
+            trace: false,
+            cfg,
+        }
+    }
+
+    /// Assemble `src`, load it, and spawn the main context at label
+    /// `main` (or the first instruction when no such label exists).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Asm`] when the source does not assemble.
+    pub fn with_assembly(cfg: SystemConfig, src: &str) -> Result<Self, SimError> {
+        let obj = assemble(src).map_err(|e| SimError::Asm(e.to_string()))?;
+        let mut sys = System::new(cfg);
+        sys.load_object(&obj);
+        let main = obj.symbol("main").unwrap_or_else(|| obj.base());
+        sys.symbols = Some(obj);
+        sys.spawn_main(main);
+        Ok(sys)
+    }
+
+    /// Load an assembled object into code memory.
+    pub fn load_object(&mut self, obj: &Object) {
+        self.memory.load_words(obj.base(), obj.words());
+    }
+
+    /// Address of a label in the loaded object.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<UWord> {
+        self.symbols.as_ref().and_then(|o| o.symbol(name))
+    }
+
+    /// Pre-load host input (read by `recv` on channel 0).
+    pub fn push_input(&mut self, value: Word) {
+        self.channels.input.push_back(value);
+    }
+
+    /// Spawn the root context at `entry` on PE 0 with host channels.
+    pub fn spawn_main(&mut self, pc: UWord) {
+        let page = self.pages[0].alloc();
+        let pom = self.pages[0].pom();
+        let ctx = Context::new(pc, 0, page, pom, HOST_CHANNEL, HOST_CHANNEL, 0);
+        let id = self.contexts.len();
+        self.contexts.push(ctx);
+        self.ready[0].push_back(id);
+        self.live += 1;
+        self.created += 1;
+        self.peak_live = self.peak_live.max(self.live as u64);
+    }
+
+    /// System configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    fn choose_pe(&mut self, parent: usize) -> usize {
+        match self.cfg.placement {
+            Placement::Local => parent,
+            Placement::RoundRobin => {
+                // Plain rotation, parent included: a forking parent
+                // usually blocks right after, so its PE is as good a
+                // target as any (skipping it desynchronises the rotation
+                // and measurably hurts — see ablation_placement).
+                let pe = self.rr % self.cfg.pes;
+                self.rr += 1;
+                pe
+            }
+            Placement::LeastLoaded => {
+                // Least busy: the PE whose clock is furthest behind, with
+                // queued-work count and PE number as tie-breakers. (Pure
+                // context counting converges every iteration chain onto
+                // one PE, because a chain keeps only one context alive.)
+                let mut loads = vec![0usize; self.cfg.pes];
+                for c in &self.contexts {
+                    if matches!(c.state, CtxState::Ready | CtxState::Running) {
+                        loads[c.pe] += 1;
+                    }
+                }
+                (0..self.cfg.pes)
+                    .min_by_key(|&i| (loads[i], self.pes[i].pe.cycles, i))
+                    .unwrap_or(parent)
+            }
+        }
+    }
+
+    /// Which PE should act next: `(pe, at)` or `None` when nothing can
+    /// run. A PE whose resident context is blocked only acts when some
+    /// context (possibly that one, re-woken) is ready.
+    fn next_actor(&self) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, unit) in self.pes.iter().enumerate() {
+            let running = unit
+                .current
+                .is_some_and(|c| self.contexts[c].state == CtxState::Running);
+            let t = if running {
+                Some(unit.pe.cycles)
+            } else {
+                self.ready[i]
+                    .iter()
+                    .map(|&c| self.contexts[c].ready_at)
+                    .min()
+                    .map(|r| r.max(unit.pe.cycles))
+            };
+            if let Some(t) = t {
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        best
+    }
+
+    fn dispatch(&mut self, i: usize) {
+        // Pick the ready context with the earliest ready_at (FIFO ties).
+        let qi = (0..self.ready[i].len())
+            .min_by_key(|&k| self.contexts[self.ready[i][k]].ready_at)
+            .expect("dispatch called with ready work");
+        let ctx_id = self.ready[i].remove(qi).expect("index valid");
+        if self.pes[i].current == Some(ctx_id) {
+            // The blocked context never left the PE: resume in place with
+            // its window registers intact (§5.2 — the effect behind the
+            // better-than-linear multiprocessor curves: lightly loaded
+            // PEs skip the roll-out entirely).
+            let ctx = &mut self.contexts[ctx_id];
+            ctx.state = CtxState::Running;
+            let unit = &mut self.pes[i];
+            unit.pe.cycles = unit.pe.cycles.max(ctx.ready_at) + 1;
+            return;
+        }
+        // Evict a blocked resident context first.
+        if let Some(resident) = self.pes[i].current.take() {
+            let saved = self.pes[i].pe.switch_out(&mut self.memory);
+            self.contexts[resident].saved = saved;
+        }
+        let ctx = &mut self.contexts[ctx_id];
+        ctx.state = CtxState::Running;
+        let unit = &mut self.pes[i];
+        unit.pe.cycles = unit.pe.cycles.max(ctx.ready_at) + self.cfg.kernel.dispatch;
+        unit.pe.switch_in(&ctx.saved);
+        unit.current = Some(ctx_id);
+        if self.trace {
+            eprintln!("[{:>8}] pe{i} dispatch ctx{ctx_id} pc={:#x}", unit.pe.cycles, {
+                let mut r = qm_isa::regs::RegisterFile::new();
+                r.restore(&self.contexts[ctx_id].saved);
+                r.pc()
+            });
+        }
+    }
+
+    fn block_current(&mut self, i: usize) {
+        let ctx_id = self.pes[i].current.expect("blocking the running context");
+        // A channel wake may already have arrived for a WAIT-style block;
+        // only mark Blocked if nothing re-readied us (normal case).
+        if self.contexts[ctx_id].state == CtxState::Running {
+            self.contexts[ctx_id].state = CtxState::Blocked;
+        }
+        if self.ready[i].is_empty() {
+            // Nothing else to run: stay resident, keep the window
+            // registers live, skip the roll-out.
+            return;
+        }
+        let saved = self.pes[i].pe.switch_out(&mut self.memory);
+        self.contexts[ctx_id].saved = saved;
+        self.pes[i].current = None;
+    }
+
+    fn handle_trap(
+        &mut self,
+        i: usize,
+        entry_no: Word,
+        arg: Word,
+        dst1: u8,
+        dst2: u8,
+    ) -> Result<(), SimError> {
+        #[allow(clippy::cast_sign_loss)]
+        match entry_no {
+            entry::RFORK | entry::IFORK | entry::RFORK_LOCAL => {
+                let parent_out = self.pes[i].pe.regs.read_global(REG_OUT_CHAN);
+                // iforks continue an iteration chain and local rforks are
+                // continuations the parent blocks on: both stay on the
+                // forking PE. Plain rfork spreads load.
+                let child_pe =
+                    if entry_no == entry::RFORK { self.choose_pe(i) } else { i };
+                let c_in = self.channels.allocate();
+                let c_out =
+                    if entry_no == entry::IFORK { parent_out } else { self.channels.allocate() };
+                let page = self.pages[child_pe].alloc();
+                let pom = self.pages[child_pe].pom();
+                self.pes[i].pe.cycles += self.cfg.kernel.fork;
+                let at = self.pes[i].pe.cycles;
+                let ctx = Context::new(arg as UWord, child_pe, page, pom, c_in, c_out, at);
+                let id = self.contexts.len();
+                self.contexts.push(ctx);
+                self.ready[child_pe].push_back(id);
+                self.live += 1;
+                self.created += 1;
+                self.peak_live = self.peak_live.max(self.live as u64);
+                self.pes[i].pe.write_dst(dst1, c_in);
+                if entry_no != entry::IFORK {
+                    self.pes[i].pe.write_dst(dst2, c_out);
+                }
+                Ok(())
+            }
+            entry::END => {
+                let ctx_id = self.pes[i].current.take().expect("END from a running context");
+                let ctx = &mut self.contexts[ctx_id];
+                ctx.state = CtxState::Dead;
+                self.pages[i].free(ctx.queue_page);
+                self.live -= 1;
+                self.pes[i].pe.cycles += self.cfg.kernel.end;
+                Ok(())
+            }
+            entry::HALT => {
+                self.halted = true;
+                Ok(())
+            }
+            entry::NOW => {
+                #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+                let now = self.pes[i].pe.cycles as Word;
+                self.pes[i].pe.write_dst(dst1, now);
+                Ok(())
+            }
+            entry::CHAN => {
+                let id = self.channels.allocate();
+                self.pes[i].pe.write_dst(dst1, id);
+                Ok(())
+            }
+            entry::WAIT => {
+                let target = arg as u64;
+                if target > self.pes[i].pe.cycles {
+                    let ctx_id = self.pes[i].current.expect("WAIT from a running context");
+                    self.contexts[ctx_id].ready_at = target;
+                    self.block_current(i);
+                    self.contexts[ctx_id].state = CtxState::Ready;
+                    self.ready[i].push_back(ctx_id);
+                }
+                Ok(())
+            }
+            other => Err(SimError::UnknownTrap(other)),
+        }
+    }
+
+    /// Run to completion: until the system halts (`trap #3`) or every
+    /// context has terminated.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when live contexts exist but none can make
+    /// progress; [`SimError::InstructionBudget`] past the configured
+    /// instruction limit; [`SimError::Pe`]/[`SimError::UnknownTrap`] on
+    /// faults.
+    pub fn run(&mut self) -> Result<RunOutcome, SimError> {
+        let mut total_instr: u64 = 0;
+        while !self.halted && self.live > 0 {
+            let Some((i, _)) = self.next_actor() else {
+                if self.trace {
+                    for line in self.channels.blocked_detail() {
+                        eprintln!("deadlock: {line}");
+                    }
+                    for (id, c) in self.contexts.iter().enumerate() {
+                        if c.state != CtxState::Dead {
+                            let mut r = qm_isa::regs::RegisterFile::new();
+                            r.restore(&c.saved);
+                            eprintln!(
+                                "deadlock: ctx{id} state={:?} pe={} pc={:#x}",
+                                c.state, c.pe, r.pc()
+                            );
+                        }
+                    }
+                }
+                return Err(SimError::Deadlock { blocked: self.channels.blocked_contexts() });
+            };
+            let running = self.pes[i]
+                .current
+                .is_some_and(|c| self.contexts[c].state == CtxState::Running);
+            if !running {
+                self.dispatch(i);
+            }
+            let ctx_id = self.pes[i].current.expect("dispatched");
+            let before = self.pes[i].pe.cycles;
+            let result = {
+                let mut svc = Svc {
+                    channels: &mut self.channels,
+                    contexts: &mut self.contexts,
+                    ready: &mut self.ready,
+                    cfg: &self.cfg,
+                    ctx: ctx_id,
+                    time: before,
+                    trace: self.trace,
+                };
+                self.pes[i].pe.step(&mut self.memory, &mut svc)
+            };
+            match result {
+                StepResult::Continue | StepResult::Return { .. } => {}
+                StepResult::Blocked(BlockReason::SendOn(_) | BlockReason::RecvOn(_)) => {
+                    // Charge the failed poll one base cycle so spinning is
+                    // never free, then switch out.
+                    self.pes[i].pe.cycles += 1;
+                    self.block_current(i);
+                }
+                StepResult::Trap { entry: e, arg, dst1, dst2, .. } => {
+                    self.handle_trap(i, e, arg, dst1, dst2)?;
+                }
+                StepResult::Error(msg) => return Err(SimError::Pe(msg)),
+            }
+            let after = self.pes[i].pe.cycles;
+            self.pes[i].busy += after - before;
+            total_instr += 1;
+            if total_instr > self.cfg.max_instructions {
+                return Err(SimError::InstructionBudget);
+            }
+        }
+        Ok(self.outcome())
+    }
+
+    fn outcome(&self) -> RunOutcome {
+        let pes: Vec<PeReport> = self
+            .pes
+            .iter()
+            .map(|u| PeReport { cycles: u.pe.cycles, busy_cycles: u.busy, stats: u.pe.stats })
+            .collect();
+        RunOutcome {
+            output: self.channels.output.clone(),
+            elapsed_cycles: pes.iter().map(|p| p.cycles).max().unwrap_or(0),
+            instructions: pes.iter().map(|p| p.stats.instructions).sum(),
+            contexts_created: self.created,
+            peak_live_contexts: self.peak_live,
+            channel_transfers: self.channels.transfers,
+            mem: self.memory.stats,
+            pes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_src(pes: usize, src: &str) -> RunOutcome {
+        let mut sys = System::with_assembly(SystemConfig::with_pes(pes), src).unwrap();
+        sys.run().unwrap()
+    }
+
+    #[test]
+    fn straight_line_program_reports_output() {
+        let out = run_src(
+            1,
+            "main: plus #20,#22 :r0\n\
+                   send+1 #0,r0\n\
+                   trap #2,#0\n",
+        );
+        assert_eq!(out.output, vec![42]);
+        assert_eq!(out.contexts_created, 1);
+        assert!(out.elapsed_cycles > 0);
+    }
+
+    #[test]
+    fn fork_and_join_across_pes() {
+        let src = "
+main:   trap #0,#child :r0,r1
+        send r0,#21
+        recv r1,#0 :r2
+        send+3 #0,r2
+        trap #2,#0
+child:  recv r17,#0 :r0
+        mul+1 r0,#2 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+        for pes in [1, 2, 4] {
+            let out = run_src(pes, src);
+            assert_eq!(out.output, vec![42], "{pes} PEs");
+            assert_eq!(out.contexts_created, 2);
+        }
+    }
+
+    #[test]
+    fn ifork_child_inherits_out_channel() {
+        // main rforks A; A iforks B; B sends the final result directly on
+        // the inherited out channel back to main (Fig. 4.6's iteration
+        // pattern).
+        let src = "
+main:   trap #0,#a :r0,r1
+        send r0,#5
+        recv r1,#0 :r2
+        send+3 #0,r2
+        trap #2,#0
+a:      recv r17,#0 :r0          ; receive 5
+        plus+1 r0,#1 :r0         ; 6
+        trap #1,#b :r1           ; ifork b (inherits out channel)
+        send r1,r0
+        trap+2 #2,#0
+b:      recv r17,#0 :r0          ; receive 6
+        mul+1 r0,#7 :r0          ; 42
+        send+1 r18,r0            ; straight to main
+        trap #2,#0
+";
+        let out = run_src(2, src);
+        assert_eq!(out.output, vec![42]);
+        assert_eq!(out.contexts_created, 3);
+    }
+
+    #[test]
+    fn rendezvous_blocks_sender_until_receiver() {
+        // Child computes long before main receives; the channel must hold
+        // the rendezvous.
+        let src = "
+main:   trap #0,#child :r0,r1
+        send r0,#1
+        plus #0,#0 :r17
+        plus #0,#0 :r17
+        plus #0,#0 :r17
+        recv r1,#0 :r2
+        send+3 #0,r2
+        trap #2,#0
+child:  recv r17,#0 :r0
+        plus+1 r0,#9 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+        let out = run_src(2, src);
+        assert_eq!(out.output, vec![10]);
+    }
+
+    #[test]
+    fn halt_stops_everything() {
+        let out = run_src(
+            1,
+            "main: send #0,#7\n\
+                   trap #3,#0\n\
+                   send #0,#8\n",
+        );
+        assert_eq!(out.output, vec![7], "instruction after halt never ran");
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let src = "main: recv #1,#0 :r0\n      trap #2,#0\n";
+        let mut sys = System::with_assembly(SystemConfig::with_pes(1), src).unwrap();
+        match sys.run() {
+            Err(SimError::Deadlock { blocked }) => assert_eq!(blocked.len(), 1),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn host_input_feeds_channel_zero() {
+        let src = "
+main:   recv #0,#0 :r0
+        mul+1 r0,#3 :r0
+        send+1 #0,r0
+        trap #2,#0
+";
+        let mut sys = System::with_assembly(SystemConfig::with_pes(1), src).unwrap();
+        sys.push_input(14);
+        let out = sys.run().unwrap();
+        assert_eq!(out.output, vec![42]);
+    }
+
+    #[test]
+    fn now_and_wait() {
+        let src = "
+main:   trap #4,#0 :r17          ; now → r17
+        trap #5,#200             ; wait until cycle 200
+        trap #4,#0 :r18          ; now again
+        his r18,#200 :r0
+        send+1 #0,r0
+        trap #2,#0
+";
+        let out = run_src(1, src);
+        assert_eq!(out.output, vec![-1], "second reading is past the deadline");
+    }
+
+    #[test]
+    fn parallel_children_spread_over_pes() {
+        // Four children each double a value; main gathers.
+        let src = "
+main:   trap #0,#child :r0,r1
+        trap #0,#child :r2,r3
+        trap #0,#child :r4,r5
+        trap #0,#child :r6,r7
+        send r0,#1
+        send r2,#2
+        send r4,#3
+        send r6,#4
+        recv r1,#0 :r8
+        recv r3,#0 :r9
+        recv r5,#0 :r10
+        recv r7,#0 :r11
+        plus+2 r8,r9 :r0         ; wait: consumed r0..r7? no — see below
+        trap #3,#0
+child:  recv r17,#0 :r0
+        mul+1 r0,#2 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+        // NOTE: r8..r11 hold 2,4,6,8; the final plus only sanity-checks
+        // the first two.
+        let out = run_src(4, src);
+        assert_eq!(out.contexts_created, 5);
+        assert!(out.peak_live_contexts >= 2);
+        let _ = out;
+    }
+
+    #[test]
+    fn local_rfork_stays_on_forking_pe() {
+        // trap #7 pins the child; with 2 PEs everything runs on PE 0.
+        let src = "
+main:   trap #7,#child :r0,r1
+        send r0,#5
+        recv r1,#0 :r2
+        send+3 #0,r2
+        trap #2,#0
+child:  recv r17,#0 :r0
+        plus+1 r0,#1 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+        let mut sys = System::with_assembly(SystemConfig::with_pes(2), src).unwrap();
+        let out = sys.run().unwrap();
+        assert_eq!(out.output, vec![6]);
+        assert_eq!(out.pes[1].stats.instructions, 0, "PE 1 never ran anything");
+    }
+
+    #[test]
+    fn chan_trap_allocates_distinct_channels() {
+        // trap #6 twice, send on one, receive from it; the ids differ.
+        let src = "
+main:   trap #6,#0 :r17
+        trap #6,#0 :r18
+        ne r17,r18 :r0
+        send+1 #0,r0
+        trap #7,#echo :r1,r2
+        send r1,r17              ; tell the child which channel to use
+        send r17,#33             ; then rendezvous over it
+        recv r2,#0 :r3
+        send+4 #0,r3
+        trap #2,#0
+echo:   recv r17,#0 :r0          ; the program channel id
+        recv+1 r0,#0 :r1         ; value over the program channel
+        plus+1 r1,#9 :r1
+        send+1 r18,r1
+        trap #2,#0
+";
+        let mut sys = System::with_assembly(SystemConfig::with_pes(1), src).unwrap();
+        let out = sys.run().unwrap();
+        assert_eq!(out.output, vec![-1, 42]);
+    }
+
+    #[test]
+    fn blocked_context_stays_resident_when_pe_is_idle() {
+        // Main blocks on a recv while both children (placed by round
+        // robin on PE 0 and PE 1) work. Main resumes on PE 0 afterwards;
+        // the total switch count stays low because blocked contexts stay
+        // resident whenever their PE has nothing else ready.
+        let src = "
+main:   trap #0,#child :r0,r1
+        trap #0,#child :r2,r3
+        send r0,#3
+        send r2,#4
+        recv r1,#0 :r4
+        recv r3,#0 :r5
+        plus+4 r4,r5 :r6
+        send #0,r6
+        trap #2,#0
+child:  recv r17,#0 :r0
+        mul+1 r0,r0 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+        let mut sys = System::with_assembly(SystemConfig::with_pes(2), src).unwrap();
+        let out = sys.run().unwrap();
+        assert_eq!(out.output, vec![25]);
+        let total_switches: u64 = out.pes.iter().map(|p| p.stats.context_switches).sum();
+        assert!(total_switches <= 2, "resident blocking keeps switches rare: {total_switches}");
+    }
+
+    #[test]
+    fn more_pes_do_not_slow_down_parallel_work() {
+        let src = "
+main:   trap #0,#child :r0,r1
+        trap #0,#child :r2,r3
+        send r0,#10
+        send r2,#20
+        recv r1,#0 :r4
+        recv r3,#0 :r5
+        plus r4,r5 :r6
+        send+6 #0,r6
+        trap #2,#0
+child:  recv r17,#0 :r0
+        mul+1 r0,r0 :r0
+        mul r0,r0 :r1
+        mul r1,r1 :r2
+        plus+3 r0,r2 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+        let one = run_src(1, src);
+        let two = run_src(2, src);
+        assert_eq!(one.output, two.output);
+        assert!(two.elapsed_cycles <= one.elapsed_cycles, "{} vs {}", two.elapsed_cycles, one.elapsed_cycles);
+    }
+}

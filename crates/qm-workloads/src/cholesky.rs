@@ -1,0 +1,160 @@
+//! Cholesky decomposition benchmark (thesis Table 6.4 / Fig. 6.11).
+//!
+//! Factors a symmetric positive-definite Q6 fixed-point matrix `A` into
+//! `L·Lᵀ` (left-looking, column by column). The diagonal element is
+//! computed sequentially — including a Newton integer square root as an
+//! OCCAM procedure — and the column below it is updated by a replicated
+//! `par`, mirroring the loop-level parallelism the thesis exploits.
+
+use crate::data::Lcg;
+use crate::fixed;
+use crate::Workload;
+
+/// Build the Cholesky workload for an `n × n` SPD matrix.
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ n ≤ 12`.
+#[must_use]
+pub fn cholesky(n: usize) -> Workload {
+    assert!((2..=12).contains(&n));
+    let nn = n * n;
+    let source = format!(
+        "\
+proc isqrt(value x, var r) =
+  if
+    x <= 0
+      r := 0
+    true
+      seq
+        r := x
+        while (x / r) < r
+          r := (r + (x / r)) / 2
+var a[{nn}], l[{nn}]:
+var i, k, s, lkk, chk:
+seq
+  seq i = [0 for {nn}]
+    l[i] := 0
+  k := 0
+  while k < {n}
+    var j:
+    seq
+      s := a[(k * {n}) + k]
+      seq j = [0 for k]
+        s := s - ((l[(k * {n}) + j] * l[(k * {n}) + j]) >> 6)
+      isqrt(s << 6, lkk)
+      l[(k * {n}) + k] := lkk
+      par i = [0 for {n} - (k + 1)]
+        var t, j2, row:
+        seq
+          row := (i + k) + 1
+          t := a[(row * {n}) + k]
+          seq j2 = [0 for k]
+            t := t - ((l[(row * {n}) + j2] * l[(k * {n}) + j2]) >> 6)
+          l[(row * {n}) + k] := (t << 6) / lkk
+      k := k + 1
+  chk := 0
+  seq i = [0 for {nn}]
+    chk := chk + l[i]
+  screen ! chk
+"
+    );
+    let a = spd_matrix(n);
+    let l = reference(&a, n);
+    let chk = l.iter().fold(0i32, |acc, &v| acc.wrapping_add(v));
+    Workload {
+        name: format!("cholesky {n}x{n}"),
+        source,
+        inputs: vec![("a".into(), a)],
+        expected: vec![("l".into(), l)],
+        expected_output: vec![chk],
+    }
+}
+
+/// Deterministic Q6 SPD matrix: `M·Mᵀ + n·I` over small random `M`.
+#[must_use]
+pub fn spd_matrix(n: usize) -> Vec<i32> {
+    let mut rng = Lcg::new(0x4348_4f4c); // "CHOL"
+    let m: Vec<i32> = rng.vec(n * n, -2 * fixed::ONE, 2 * fixed::ONE);
+    let mut a = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0i32;
+            for k in 0..n {
+                s = s.wrapping_add(fixed::mul(m[i * n + k], m[j * n + k]));
+            }
+            if i == j {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                {
+                    s = s.wrapping_add((n as i32) * fixed::ONE);
+                }
+            }
+            a[i * n + j] = s;
+        }
+    }
+    a
+}
+
+/// Bit-exact reference: same Q6 operations, same Newton square root.
+#[must_use]
+pub fn reference(a: &[i32], n: usize) -> Vec<i32> {
+    let mut l = vec![0i32; n * n];
+    for k in 0..n {
+        let mut s = a[k * n + k];
+        for j in 0..k {
+            s = s.wrapping_sub(fixed::mul(l[k * n + j], l[k * n + j]));
+        }
+        let lkk = fixed::sqrt(s);
+        l[k * n + k] = lkk;
+        for i in (k + 1)..n {
+            let mut t = a[i * n + k];
+            for j in 0..k {
+                t = t.wrapping_sub(fixed::mul(l[i * n + j], l[k * n + j]));
+            }
+            l[i * n + k] = fixed::div(t, lkk);
+        }
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{mul, to_f64};
+
+    #[test]
+    fn reference_reconstructs_a() {
+        // L·Lᵀ ≈ A within fixed-point tolerance.
+        let n = 5;
+        let a = spd_matrix(n);
+        let l = reference(&a, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0i32;
+                for k in 0..n {
+                    s = s.wrapping_add(mul(l[i * n + k], l[j * n + k]));
+                }
+                let err = (to_f64(s) - to_f64(a[i * n + j])).abs();
+                assert!(err < 0.7, "A[{i}][{j}]: {} vs {}", to_f64(s), to_f64(a[i * n + j]));
+            }
+        }
+    }
+
+    #[test]
+    fn l_is_lower_triangular() {
+        let n = 4;
+        let l = reference(&spd_matrix(n), n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(l[i * n + j], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_runs_correctly() {
+        let w = cholesky(3);
+        let r = crate::run_workload(&w, 2, &qm_occam::Options::default()).unwrap();
+        assert!(r.correct, "{:?}", r.mismatches);
+    }
+}

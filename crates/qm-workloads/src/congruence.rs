@@ -1,0 +1,124 @@
+//! Congruence transformation benchmark (thesis Table 6.5 / Fig. 6.12).
+//!
+//! Computes `B = Pᵀ·A·P` over `n × n` integer matrices as two row-parallel
+//! matrix products (`T = A·P`, then `B = Pᵀ·T`), the classic similarity /
+//! congruence transformation of numerical linear algebra.
+
+use crate::data::Lcg;
+use crate::Workload;
+
+/// Build the congruence transformation workload.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ n ≤ 16`.
+#[must_use]
+pub fn congruence(n: usize) -> Workload {
+    assert!((1..=16).contains(&n));
+    let nn = n * n;
+    let source = format!(
+        "\
+var a[{nn}], p[{nn}], t[{nn}], b[{nn}], part[{n}]:
+var i, chk:
+seq
+  par i = [0 for {n}]
+    var j, k, s:
+    seq j = [0 for {n}]
+      seq
+        s := 0
+        seq k = [0 for {n}]
+          s := s + a[(i * {n}) + k] * p[(k * {n}) + j]
+        t[(i * {n}) + j] := s
+  par i = [0 for {n}]
+    var j, k, s, rowsum:
+    seq
+      rowsum := 0
+      seq j = [0 for {n}]
+        seq
+          s := 0
+          seq k = [0 for {n}]
+            s := s + p[(k * {n}) + i] * t[(k * {n}) + j]
+          b[(i * {n}) + j] := s
+          rowsum := rowsum + s
+      part[i] := rowsum
+  chk := 0
+  seq i = [0 for {n}]
+    chk := chk + part[i]
+  screen ! chk
+"
+    );
+    let mut rng = Lcg::new(0x434f_4e47); // "CONG"
+    let a = rng.vec(nn, -5, 6);
+    let p = rng.vec(nn, -3, 4);
+    let b = reference(&a, &p, n);
+    let chk = b.iter().fold(0i32, |acc, &v| acc.wrapping_add(v));
+    Workload {
+        name: format!("congruence {n}x{n}"),
+        source,
+        inputs: vec![("a".into(), a), ("p".into(), p)],
+        expected: vec![("b".into(), b)],
+        expected_output: vec![chk],
+    }
+}
+
+/// Reference `Pᵀ·A·P` with wrapping semantics.
+#[must_use]
+pub fn reference(a: &[i32], p: &[i32], n: usize) -> Vec<i32> {
+    let t = crate::matmul::reference(a, p, n);
+    // b[i][j] = Σ_k p[k][i] * t[k][j]
+    let mut b = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0i32;
+            for k in 0..n {
+                s = s.wrapping_add(p[k * n + i].wrapping_mul(t[k * n + j]));
+            }
+            b[i * n + j] = s;
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_transform_preserves_a() {
+        let n = 3;
+        let mut ident = vec![0i32; 9];
+        for i in 0..n {
+            ident[i * n + i] = 1;
+        }
+        let a: Vec<i32> = (1..=9).collect();
+        assert_eq!(reference(&a, &ident, n), a);
+    }
+
+    #[test]
+    fn transform_of_symmetric_stays_symmetric() {
+        let n = 4;
+        let mut rng = Lcg::new(3);
+        let m = rng.vec(n * n, -4, 5);
+        // A = M + Mᵀ is symmetric.
+        let mut a = vec![0i32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = m[i * n + j] + m[j * n + i];
+            }
+        }
+        let p = rng.vec(n * n, -3, 4);
+        let b = reference(&a, &p, n);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(b[i * n + j], b[j * n + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_runs_correctly() {
+        let w = congruence(3);
+        let r = crate::run_workload(&w, 2, &qm_occam::Options::default()).unwrap();
+        assert!(r.correct, "{:?}", r.mismatches);
+    }
+}

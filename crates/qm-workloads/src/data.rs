@@ -1,0 +1,61 @@
+//! Deterministic input data for the benchmarks.
+//!
+//! A fixed linear congruential generator keeps runs reproducible across
+//! machines without pulling randomness into the workload definitions.
+
+/// Minimal LCG (Numerical Recipes constants).
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u32,
+}
+
+impl Lcg {
+    /// Seeded generator.
+    #[must_use]
+    pub fn new(seed: u32) -> Self {
+        Lcg { state: seed }
+    }
+
+    /// Next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self.state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        self.state
+    }
+
+    /// Uniform value in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: i32, hi: i32) -> i32 {
+        assert!(lo < hi);
+        let span = (hi - lo) as u32;
+        #[allow(clippy::cast_possible_wrap)]
+        {
+            lo + (self.next_u32() % span) as i32
+        }
+    }
+
+    /// A vector of `n` values in `lo..hi`.
+    pub fn vec(&mut self, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+        (0..n).map(|_| self.range(lo, hi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<i32> = Lcg::new(7).vec(5, -10, 10);
+        let b: Vec<i32> = Lcg::new(7).vec(5, -10, 10);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (-10..10).contains(&v)));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(Lcg::new(1).vec(8, 0, 100), Lcg::new(2).vec(8, 0, 100));
+    }
+}

@@ -1,0 +1,168 @@
+//! Fast Fourier Transform benchmark (thesis Table 6.3 / Fig. 6.10).
+//!
+//! An iterative radix-2 decimation-in-time FFT over Q6 fixed-point data
+//! (the thesis converts its recursive FFT to a non-recursive form,
+//! Fig. 6.9). The input is supplied already bit-reversed; each of the
+//! log2(n) stages runs its n/2 butterflies in parallel (replicated `par`).
+//! Twiddle factors are host-loaded tables.
+
+use crate::data::Lcg;
+use crate::fixed;
+use crate::Workload;
+
+/// Build the FFT workload for `n` points (`n` a power of two ≤ 32).
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two in `4..=32`.
+#[must_use]
+pub fn fft(n: usize) -> Workload {
+    assert!(n.is_power_of_two() && (4..=32).contains(&n));
+    let stages = n.trailing_zeros() as usize;
+    let half = n / 2;
+    // Twiddle tables indexed by [stage][position]: for stage s with span
+    // m = 2^(s+1), position j in 0..2^s: w = exp(-2πi j / m). Flattened
+    // as wr/wi[s * half + j] (only the first 2^s entries of a row used).
+    let mut wr = vec![0i32; stages * half];
+    let mut wi = vec![0i32; stages * half];
+    for s in 0..stages {
+        let m = 1usize << (s + 1);
+        for j in 0..(1usize << s) {
+            let angle = -2.0 * std::f64::consts::PI * (j as f64) / (m as f64);
+            wr[s * half + j] = fixed::from_f64(angle.cos());
+            wi[s * half + j] = fixed::from_f64(angle.sin());
+        }
+    }
+    let mut rng = Lcg::new(0x4646_5400); // "FFT"
+    // Q6 inputs in (−2.0, 2.0), already bit-reversed.
+    let re: Vec<i32> = rng.vec(n, -2 * fixed::ONE, 2 * fixed::ONE);
+    let im: Vec<i32> = rng.vec(n, -2 * fixed::ONE, 2 * fixed::ONE);
+    let (ere, eim) = reference(&re, &im, n);
+    let chk = ere.iter().chain(&eim).fold(0i32, |a, &v| a.wrapping_add(v));
+
+    let source = format!(
+        "\
+var re[{n}], im[{n}], wr[{tw}], wi[{tw}]:
+var s, span, base, chk, i:
+seq
+  s := 0
+  span := 1
+  while s < {stages}
+    seq
+      base := s * {half}
+      par b = [0 for {half}]
+        var grp, pos, top, bot, tr, ti, xr, xi:
+        seq
+          grp := b / span
+          pos := b \\ span
+          top := (grp * (span + span)) + pos
+          bot := top + span
+          xr := ((wr[base + pos] * re[bot]) - (wi[base + pos] * im[bot])) >> 6
+          xi := ((wr[base + pos] * im[bot]) + (wi[base + pos] * re[bot])) >> 6
+          tr := re[top]
+          ti := im[top]
+          re[top] := tr + xr
+          im[top] := ti + xi
+          re[bot] := tr - xr
+          im[bot] := ti - xi
+      s := s + 1
+      span := span + span
+  chk := 0
+  seq i = [0 for {n}]
+    chk := chk + re[i] + im[i]
+  screen ! chk
+",
+        tw = stages * half,
+    );
+    Workload {
+        name: format!("fft {n}-point"),
+        source,
+        inputs: vec![
+            ("re".into(), re),
+            ("im".into(), im),
+            ("wr".into(), wr),
+            ("wi".into(), wi),
+        ],
+        expected: vec![("re".into(), ere), ("im".into(), eim)],
+        expected_output: vec![chk],
+    }
+}
+
+/// Bit-exact reference: identical Q6 butterflies over bit-reversed input.
+#[must_use]
+pub fn reference(re: &[i32], im: &[i32], n: usize) -> (Vec<i32>, Vec<i32>) {
+    let stages = n.trailing_zeros() as usize;
+    let half = n / 2;
+    let mut re = re.to_vec();
+    let mut im = im.to_vec();
+    for s in 0..stages {
+        let span = 1usize << s;
+        for b in 0..half {
+            let grp = b / span;
+            let pos = b % span;
+            let top = grp * (span * 2) + pos;
+            let bot = top + span;
+            let angle = -2.0 * std::f64::consts::PI * (pos as f64) / ((span * 2) as f64);
+            let wr = fixed::from_f64(angle.cos());
+            let wi = fixed::from_f64(angle.sin());
+            let xr = wr.wrapping_mul(re[bot]).wrapping_sub(wi.wrapping_mul(im[bot])) >> fixed::Q;
+            let xi = wr.wrapping_mul(im[bot]).wrapping_add(wi.wrapping_mul(re[bot])) >> fixed::Q;
+            let (tr, ti) = (re[top], im[top]);
+            re[top] = tr.wrapping_add(xr);
+            im[top] = ti.wrapping_add(xi);
+            re[bot] = tr.wrapping_sub(xr);
+            im[bot] = ti.wrapping_sub(xi);
+        }
+    }
+    (re, im)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{from_f64, to_f64};
+
+    fn bit_reverse(v: &[i32]) -> Vec<i32> {
+        let n = v.len();
+        let bits = n.trailing_zeros();
+        let mut out = vec![0; n];
+        for (i, &x) in v.iter().enumerate() {
+            let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+            out[j] = x;
+        }
+        out
+    }
+
+    #[test]
+    fn reference_matches_dft_of_impulse() {
+        // FFT of a (bit-reversed) unit impulse is flat ONE.
+        let n = 8;
+        let mut re = vec![0i32; n];
+        re[0] = from_f64(1.0); // impulse at index 0 is its own reversal
+        let im = vec![0i32; n];
+        let (r, i) = reference(&re, &im, n);
+        assert!(r.iter().all(|&v| v == from_f64(1.0)), "{r:?}");
+        assert!(i.iter().all(|&v| v == 0), "{i:?}");
+    }
+
+    #[test]
+    fn reference_tracks_float_dft() {
+        // A cosine at bin 1 concentrates energy there.
+        let n = 16;
+        let time: Vec<i32> = (0..n)
+            .map(|t| from_f64((2.0 * std::f64::consts::PI * t as f64 / n as f64).cos()))
+            .collect();
+        let re = bit_reverse(&time);
+        let im = vec![0i32; n];
+        let (r, _) = reference(&re, &im, n);
+        let bin1 = to_f64(r[1]);
+        assert!((bin1 - n as f64 / 2.0).abs() < 1.0, "bin1 = {bin1}");
+    }
+
+    #[test]
+    fn workload_runs_correctly() {
+        let w = fft(8);
+        let r = crate::run_workload(&w, 2, &qm_occam::Options::default()).unwrap();
+        assert!(r.correct, "{:?}", r.mismatches);
+    }
+}

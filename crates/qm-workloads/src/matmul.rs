@@ -1,0 +1,102 @@
+//! Matrix multiplication benchmark (thesis Table 6.2 / Fig. 6.8).
+//!
+//! `mc = ma × mb` over `n × n` integer matrices; rows computed in
+//! parallel by a replicated `par` (one context chain per row), then a
+//! sequential checksum reduction reports to the host.
+
+use crate::data::Lcg;
+use crate::Workload;
+
+/// Build the matrix multiplication workload for `n × n` matrices.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ n ≤ 16`.
+#[must_use]
+pub fn matmul(n: usize) -> Workload {
+    assert!((1..=16).contains(&n), "keep the simulated problem laptop-sized");
+    let nn = n * n;
+    let source = format!(
+        "\
+var ma[{nn}], mb[{nn}], mc[{nn}], part[{n}]:
+var i, chk:
+seq
+  par i = [0 for {n}]
+    var j, k, s, rowsum:
+    seq
+      rowsum := 0
+      seq j = [0 for {n}]
+        seq
+          s := 0
+          seq k = [0 for {n}]
+            s := s + ma[(i * {n}) + k] * mb[(k * {n}) + j]
+          mc[(i * {n}) + j] := s
+          rowsum := rowsum + s
+      part[i] := rowsum
+  chk := 0
+  seq i = [0 for {n}]
+    chk := chk + part[i]
+  screen ! chk
+"
+    );
+    let mut rng = Lcg::new(0x4d61_7472); // "Matr"
+    let ma = rng.vec(nn, -9, 10);
+    let mb = rng.vec(nn, -9, 10);
+    let mc = reference(&ma, &mb, n);
+    let chk = mc.iter().fold(0i32, |a, &v| a.wrapping_add(v));
+    Workload {
+        name: format!("matmul {n}x{n}"),
+        source,
+        inputs: vec![("ma".into(), ma), ("mb".into(), mb)],
+        expected: vec![("mc".into(), mc)],
+        expected_output: vec![chk],
+    }
+}
+
+/// Reference product with the machine's wrapping semantics.
+#[must_use]
+pub fn reference(a: &[i32], b: &[i32], n: usize) -> Vec<i32> {
+    let mut c = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0i32;
+            for k in 0..n {
+                s = s.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+            }
+            c[i * n + j] = s;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_identity() {
+        let n = 3;
+        let mut ident = vec![0; 9];
+        for i in 0..n {
+            ident[i * n + i] = 1;
+        }
+        let a: Vec<i32> = (1..=9).collect();
+        assert_eq!(reference(&a, &ident, n), a);
+    }
+
+    #[test]
+    fn workload_is_consistent() {
+        let w = matmul(4);
+        assert_eq!(w.inputs[0].1.len(), 16);
+        assert_eq!(w.expected[0].1.len(), 16);
+        let chk: i32 = w.expected[0].1.iter().fold(0, |a, &v| a.wrapping_add(v));
+        assert_eq!(w.expected_output, vec![chk]);
+    }
+
+    #[test]
+    fn runs_correctly_on_two_pes() {
+        let w = matmul(3);
+        let r = crate::run_workload(&w, 2, &qm_occam::Options::default()).unwrap();
+        assert!(r.correct, "{:?}", r.mismatches);
+    }
+}

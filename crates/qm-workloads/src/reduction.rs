@@ -1,0 +1,93 @@
+//! Binary-recursive parallel reduction (the Fig. 6.9 theme: recursive
+//! OCCAM procedures on reentrant contexts).
+//!
+//! `reduce(v, lo, hi, s)` splits its range in half and evaluates the two
+//! halves as a `par` of recursive instantiations — exactly the
+//! binary-recursion pattern the thesis discusses converting FFT away
+//! from, kept here as a workload in its own right to exercise
+//! recursion-through-`rfork` (reentrant contexts, §2.7).
+
+use crate::data::Lcg;
+use crate::Workload;
+
+/// Build the reduction workload over `n` elements.
+///
+/// # Panics
+///
+/// Panics unless `4 ≤ n ≤ 64`.
+#[must_use]
+pub fn reduction(n: usize) -> Workload {
+    assert!((4..=64).contains(&n));
+    let source = format!(
+        "\
+proc reduce(v, value lo, value hi, var s) =
+  if
+    (hi - lo) <= 4
+      var i, acc:
+      seq
+        acc := 0
+        seq i = [lo for hi - lo]
+          acc := acc + v[i]
+        s := acc
+    true
+      var mid, s1, s2:
+      seq
+        mid := (lo + hi) / 2
+        par
+          reduce(v, lo, mid, s1)
+          reduce(v, mid, hi, s2)
+        s := s1 + s2
+var data[{n}], total:
+seq
+  reduce(data, 0, {n}, total)
+  screen ! total
+"
+    );
+    let mut rng = Lcg::new(0x5245_4455); // "REDU"
+    let data = rng.vec(n, -100, 101);
+    let total = data.iter().fold(0i32, |a, &v| a.wrapping_add(v));
+    Workload {
+        name: format!("reduction over {n}"),
+        source,
+        inputs: vec![("data".into(), data)],
+        expected: vec![],
+        expected_output: vec![total],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recursion_depth_scales_with_n() {
+        for n in [4, 8, 16, 32] {
+            let w = reduction(n);
+            let r = crate::run_workload(&w, 4, &qm_occam::Options::default())
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert!(r.correct, "n={n}: {:?}", r.mismatches);
+            if n >= 16 {
+                assert!(
+                    r.outcome.contexts_created >= 7,
+                    "binary recursion forks a context tree, got {}",
+                    r.outcome.contexts_created
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_halves_overlap() {
+        let w = reduction(64);
+        let opts = qm_occam::Options::default();
+        let one = crate::run_workload(&w, 1, &opts).unwrap();
+        let eight = crate::run_workload(&w, 8, &opts).unwrap();
+        assert!(one.correct && eight.correct);
+        assert!(
+            eight.outcome.elapsed_cycles < one.outcome.elapsed_cycles,
+            "{} vs {}",
+            eight.outcome.elapsed_cycles,
+            one.outcome.elapsed_cycles
+        );
+    }
+}

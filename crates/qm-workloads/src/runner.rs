@@ -1,0 +1,177 @@
+//! Compile–load–run–verify driver shared by tests and the benchmark
+//! harness.
+
+use qm_occam::{compile, sema::SymKind, Options};
+use qm_sim::config::SystemConfig;
+use qm_sim::system::{RunOutcome, System};
+
+use crate::Workload;
+
+/// Driver failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The OCCAM source failed to compile.
+    Compile(String),
+    /// The simulation faulted.
+    Sim(String),
+    /// An input/expected array name did not resolve.
+    Array(String),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Compile(m) => write!(f, "compile: {m}"),
+            WorkloadError::Sim(m) => write!(f, "sim: {m}"),
+            WorkloadError::Array(m) => write!(f, "array: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Result of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Number of PEs simulated.
+    pub pes: usize,
+    /// Raw simulator outcome (cycles, statistics…).
+    pub outcome: RunOutcome,
+    /// True when every expected array and the host output matched.
+    pub correct: bool,
+    /// Human-readable mismatch descriptions (empty when correct).
+    pub mismatches: Vec<String>,
+}
+
+/// One point of a Fig. 6.8-style speed-up curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// PEs simulated.
+    pub pes: usize,
+    /// Wall-clock cycles.
+    pub cycles: u64,
+    /// Throughput ratio `cycles(1 PE) / cycles(n PEs)`.
+    pub throughput_ratio: f64,
+}
+
+fn find_array(
+    syms: &std::collections::HashMap<String, SymKind>,
+    base: &str,
+) -> Result<(u32, u32), WorkloadError> {
+    let mut hits = syms.iter().filter_map(|(name, kind)| {
+        let stem = name.split('.').next().unwrap_or(name);
+        match kind {
+            SymKind::Array { addr, len } if stem == base => Some((*addr, *len)),
+            _ => None,
+        }
+    });
+    let Some(hit) = hits.next() else {
+        return Err(WorkloadError::Array(format!("no array named {base}")));
+    };
+    if hits.next().is_some() {
+        return Err(WorkloadError::Array(format!("array name {base} is ambiguous")));
+    }
+    Ok(hit)
+}
+
+/// Compile `w`, initialise its input arrays, run on `pes` PEs and verify
+/// the result arrays and host output.
+///
+/// # Errors
+///
+/// [`WorkloadError`] on compile/simulation faults (verification
+/// *mismatches* are reported in [`BenchResult::correct`], not as errors).
+pub fn run_workload(
+    w: &Workload,
+    pes: usize,
+    opts: &Options,
+) -> Result<BenchResult, WorkloadError> {
+    run_workload_cfg(w, SystemConfig::with_pes(pes), opts)
+}
+
+/// [`run_workload`] with an explicit system configuration.
+///
+/// # Errors
+///
+/// See [`run_workload`].
+pub fn run_workload_cfg(
+    w: &Workload,
+    cfg: SystemConfig,
+    opts: &Options,
+) -> Result<BenchResult, WorkloadError> {
+    let pes = cfg.pes;
+    let compiled = compile(&w.source, opts).map_err(|e| WorkloadError::Compile(e.to_string()))?;
+    let mut sys = System::new(cfg);
+    sys.load_object(&compiled.object);
+    for (base, values) in &w.inputs {
+        let (addr, len) = find_array(&compiled.syms, base)?;
+        if values.len() as u32 != len {
+            return Err(WorkloadError::Array(format!(
+                "{base}: {} values for a {len}-word array",
+                values.len()
+            )));
+        }
+        for (i, &v) in values.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            sys.memory.poke_global(addr + 4 * i as u32, v);
+        }
+    }
+    let main = compiled
+        .object
+        .symbol("main")
+        .ok_or_else(|| WorkloadError::Compile("no main context".into()))?;
+    sys.spawn_main(main);
+    let outcome = sys.run().map_err(|e| WorkloadError::Sim(e.to_string()))?;
+
+    let mut mismatches = Vec::new();
+    for (base, expect) in &w.expected {
+        let (addr, _len) = find_array(&compiled.syms, base)?;
+        for (i, &want) in expect.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            let got = sys.memory.peek_global(addr + 4 * i as u32);
+            if got != want {
+                mismatches.push(format!("{base}[{i}]: got {got}, want {want}"));
+            }
+        }
+    }
+    if outcome.output != w.expected_output {
+        mismatches.push(format!(
+            "host output: got {:?}, want {:?}",
+            outcome.output, w.expected_output
+        ));
+    }
+    Ok(BenchResult { pes, correct: mismatches.is_empty(), mismatches, outcome })
+}
+
+/// Run `w` at each PE count and report throughput ratios relative to one
+/// PE (the Fig. 6.8/6.10–6.12 curves).
+///
+/// # Errors
+///
+/// [`WorkloadError`] if any run fails; panics if any run is incorrect
+/// (a wrong parallel run would make the curve meaningless).
+///
+/// # Panics
+///
+/// See above.
+pub fn speedup_curve(
+    w: &Workload,
+    pe_counts: &[usize],
+    opts: &Options,
+) -> Result<Vec<CurvePoint>, WorkloadError> {
+    let mut base_cycles = None;
+    let mut out = Vec::new();
+    for &pes in pe_counts {
+        let r = run_workload(w, pes, opts)?;
+        assert!(r.correct, "{} on {pes} PEs: {:?}", w.name, r.mismatches);
+        let cycles = r.outcome.elapsed_cycles;
+        let base = *base_cycles.get_or_insert(cycles);
+        #[allow(clippy::cast_precision_loss)]
+        out.push(CurvePoint {
+            pes,
+            cycles,
+            throughput_ratio: base as f64 / cycles as f64,
+        });
+    }
+    Ok(out)
+}

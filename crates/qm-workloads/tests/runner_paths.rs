@@ -1,0 +1,116 @@
+//! Driver-level tests: error paths, configuration sweeps, and cross-size
+//! workload checks that don't belong to any single workload module.
+
+use qm_occam::Options;
+use qm_sim::config::SystemConfig;
+use qm_workloads::runner::run_workload_cfg;
+use qm_workloads::{
+    cholesky, congruence, fft, matmul, reduction, run_workload, Workload, WorkloadError,
+};
+
+#[test]
+fn unknown_input_array_is_reported() {
+    let mut w = matmul(3);
+    w.inputs.push(("nonexistent".into(), vec![1, 2, 3]));
+    match run_workload(&w, 1, &Options::default()) {
+        Err(WorkloadError::Array(msg)) => assert!(msg.contains("nonexistent")),
+        other => panic!("expected array error, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_input_length_is_reported() {
+    let mut w = matmul(3);
+    w.inputs[0].1.pop();
+    match run_workload(&w, 1, &Options::default()) {
+        Err(WorkloadError::Array(msg)) => assert!(msg.contains("values"), "{msg}"),
+        other => panic!("expected length error, got {other:?}"),
+    }
+}
+
+#[test]
+fn incorrect_expectations_are_mismatches_not_errors() {
+    let mut w = matmul(3);
+    w.expected_output = vec![123_456_789];
+    let r = run_workload(&w, 1, &Options::default()).expect("run completes");
+    assert!(!r.correct);
+    assert!(r.mismatches.iter().any(|m| m.contains("host output")), "{:?}", r.mismatches);
+}
+
+#[test]
+fn compile_errors_surface() {
+    let w = Workload {
+        name: "broken".into(),
+        source: "x := 1\n".into(), // undeclared
+        inputs: vec![],
+        expected: vec![],
+        expected_output: vec![],
+    };
+    assert!(matches!(
+        run_workload(&w, 1, &Options::default()),
+        Err(WorkloadError::Compile(_))
+    ));
+}
+
+#[test]
+fn every_workload_handles_single_pe_rendezvous() {
+    // The harshest configuration: one PE, pure rendezvous channels.
+    let cfg = || SystemConfig { channel_capacity: 0, ..SystemConfig::with_pes(1) };
+    for w in [matmul(3), fft(4), cholesky(3), congruence(3), reduction(8)] {
+        let r = run_workload_cfg(&w, cfg(), &Options::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(r.correct, "{}: {:?}", w.name, r.mismatches);
+    }
+}
+
+#[test]
+fn odd_pe_counts_work() {
+    for pes in [3, 5, 7] {
+        let r = run_workload(&matmul(4), pes, &Options::default()).unwrap();
+        assert!(r.correct, "{pes} PEs: {:?}", r.mismatches);
+    }
+}
+
+#[test]
+fn workload_sizes_scale() {
+    for n in [2, 5, 9] {
+        let r = run_workload(&matmul(n), 4, &Options::default()).unwrap();
+        assert!(r.correct, "matmul {n}: {:?}", r.mismatches);
+    }
+    for n in [4, 16, 32] {
+        let r = run_workload(&fft(n), 4, &Options::default()).unwrap();
+        assert!(r.correct, "fft {n}: {:?}", r.mismatches);
+    }
+    for n in [2, 6, 9] {
+        let r = run_workload(&cholesky(n), 4, &Options::default()).unwrap();
+        assert!(r.correct, "cholesky {n}: {:?}", r.mismatches);
+    }
+}
+
+#[test]
+fn compiled_code_requires_full_queue_pages() {
+    // The compiler lays out queue positions assuming the architectural
+    // maximum page of 256 words; a 64-word page silently wraps live
+    // slots (exactly what the hardware would do) and corrupts results.
+    // This pins the documented contract: compiled workloads run on
+    // 256-word pages; smaller pages are for hand-written code whose
+    // queue span fits (see qm-isa's von_neumann tests).
+    let cfg = SystemConfig { queue_page_words: 64, ..SystemConfig::with_pes(2) };
+    let r = run_workload_cfg(&matmul(3), cfg, &Options::default()).unwrap();
+    assert!(
+        !r.correct,
+        "a 64-word page should corrupt matmul's wide main context"
+    );
+    let cfg = SystemConfig { queue_page_words: 256, ..SystemConfig::with_pes(2) };
+    let r = run_workload_cfg(&matmul(3), cfg, &Options::default()).unwrap();
+    assert!(r.correct, "{:?}", r.mismatches);
+}
+
+#[test]
+fn statistics_scale_with_problem_size() {
+    let small = run_workload(&matmul(3), 1, &Options::default()).unwrap();
+    let large = run_workload(&matmul(6), 1, &Options::default()).unwrap();
+    assert!(large.outcome.instructions > small.outcome.instructions);
+    assert!(large.outcome.elapsed_cycles > small.outcome.elapsed_cycles);
+    assert!(large.outcome.channel_transfers >= small.outcome.channel_transfers);
+}

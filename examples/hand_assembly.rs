@@ -1,0 +1,40 @@
+//! Program the queue machine PE directly in assembly: a parent context
+//! `rfork`s a child, streams it three numbers over the spliced channel,
+//! and reads back their sum — the dynamic data-flow graph splicing
+//! protocol by hand.
+//!
+//! ```sh
+//! cargo run --example hand_assembly
+//! ```
+
+use queue_machine::sim::config::SystemConfig;
+use queue_machine::sim::system::System;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = "
+main:   trap #0,#adder :r0,r1   ; rfork adder -> r0 = its in chan, r1 = out chan
+        send r0,#10             ; stream three operands
+        send r0,#14
+        send r0,#18
+        recv r1,#0 :r2          ; their sum comes back
+        send+3 #0,r2            ; report to the host (channel 0)
+        trap #2,#0              ; end context
+
+adder:  recv r17,#0 :r0         ; r17 = my in channel
+        recv r17,#0 :r1
+        plus+2 r0,r1 :r0 >
+        recv r17,#0 :r1
+        plus+2 r0,r1 :r0
+        send+1 r18,r0           ; r18 = my out channel
+        trap #2,#0
+";
+    println!("assembly:\n{src}");
+    let mut sys = System::with_assembly(SystemConfig::with_pes(2), src)?;
+    let out = sys.run()?;
+    println!(
+        "output = {:?} in {} cycles across {} contexts",
+        out.output, out.elapsed_cycles, out.contexts_created
+    );
+    assert_eq!(out.output, vec![42]);
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Reproduce a Chapter 6 speed-up curve: the 8×8 matrix multiplication
+//! benchmark on 1–8 processing elements (Fig. 6.8).
+//!
+//! ```sh
+//! cargo run --release --example speedup_curve
+//! ```
+
+use queue_machine::occam::Options;
+use queue_machine::workloads::{matmul, speedup_curve};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = matmul(8);
+    println!("workload: {}\n", w.name);
+    println!("{:>4}  {:>10}  {:>16}", "PEs", "cycles", "throughput ratio");
+    for p in speedup_curve(&w, &[1, 2, 4, 8], &Options::default())? {
+        println!("{:>4}  {:>10}  {:>16.2}", p.pes, p.cycles, p.throughput_ratio);
+    }
+    Ok(())
+}

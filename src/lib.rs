@@ -1,0 +1,30 @@
+//! Facade crate re-exporting the whole queue-machine workspace.
+//!
+//! A reproduction of Preiss, *Data Flow on a Queue Machine* (University of
+//! Toronto Ph.D. thesis / ISCA 1985): pseudo-static data flow executed on
+//! indexed queue machines.
+//!
+//! * [`core`] — execution models and data-flow-graph theory (Chapter 3).
+//! * [`occam`] — the OCCAM compiler (Chapter 4).
+//! * [`isa`] — the processing-element ISA, assembler and emulator
+//!   (Chapter 5).
+//! * [`sim`] — the multiprocessor simulator and kernel (Chapters 5–6).
+//! * [`workloads`] — the four thesis benchmark programs (Chapter 6).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use queue_machine::core::expr::ParseTree;
+//! use queue_machine::core::{simple, stack};
+//!
+//! let tree = ParseTree::parse_infix("a*b + (c-d)/e")?;
+//! let env = |n: &str| match n { "a" => 2, "b" => 3, "c" => 20, "d" => 6, "e" => 7, _ => 0 };
+//! assert_eq!(simple::evaluate_tree(&tree, &env)?, stack::evaluate_tree(&tree, &env)?);
+//! # Ok::<(), queue_machine::core::ModelError>(())
+//! ```
+
+pub use qm_core as core;
+pub use qm_isa as isa;
+pub use qm_occam as occam;
+pub use qm_sim as sim;
+pub use qm_workloads as workloads;

@@ -1,0 +1,149 @@
+//! Cross-crate integration: OCCAM programs compiled with every
+//! optimization mix, executed on multiprocessors of every size, checked
+//! against bit-exact references.
+
+use queue_machine::occam::Options;
+use queue_machine::sim::config::{Placement, SystemConfig};
+use queue_machine::sim::system::System;
+use queue_machine::workloads::{
+    cholesky, congruence, fft, matmul, run_workload, runner::run_workload_cfg, Workload,
+};
+
+fn all_option_mixes() -> Vec<Options> {
+    let mut out = Vec::new();
+    for live in [false, true] {
+        for seq in [false, true] {
+            for prio in [false, true] {
+                for unroll in [false, true] {
+                    out.push(Options {
+                        live_value_analysis: live,
+                        input_sequencing: seq,
+                        priority_scheduling: prio,
+                        loop_unrolling: unroll,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_everywhere(w: &Workload) {
+    for pes in [1, 3, 8] {
+        let r = run_workload(w, pes, &Options::default())
+            .unwrap_or_else(|e| panic!("{} on {pes} PEs: {e}", w.name));
+        assert!(r.correct, "{} on {pes} PEs: {:?}", w.name, r.mismatches);
+    }
+}
+
+#[test]
+fn matmul_runs_everywhere() {
+    check_everywhere(&matmul(5));
+}
+
+#[test]
+fn fft_runs_everywhere() {
+    check_everywhere(&fft(8));
+}
+
+#[test]
+fn cholesky_runs_everywhere() {
+    check_everywhere(&cholesky(5));
+}
+
+#[test]
+fn congruence_runs_everywhere() {
+    check_everywhere(&congruence(5));
+}
+
+#[test]
+fn matmul_correct_under_every_option_mix() {
+    let w = matmul(4);
+    for opts in all_option_mixes() {
+        let r = run_workload(&w, 2, &opts).unwrap_or_else(|e| panic!("{opts:?}: {e}"));
+        assert!(r.correct, "{opts:?}: {:?}", r.mismatches);
+    }
+}
+
+#[test]
+fn fft_correct_under_every_option_mix() {
+    let w = fft(8);
+    for opts in all_option_mixes() {
+        let r = run_workload(&w, 2, &opts).unwrap_or_else(|e| panic!("{opts:?}: {e}"));
+        assert!(r.correct, "{opts:?}: {:?}", r.mismatches);
+    }
+}
+
+#[test]
+fn placement_policies_agree_on_results() {
+    let w = congruence(4);
+    for placement in [Placement::RoundRobin, Placement::LeastLoaded, Placement::Local] {
+        let cfg = SystemConfig { placement, ..SystemConfig::with_pes(4) };
+        let r = run_workload_cfg(&w, cfg, &Options::default()).unwrap();
+        assert!(r.correct, "{placement:?}: {:?}", r.mismatches);
+    }
+}
+
+#[test]
+fn rendezvous_channels_still_work() {
+    // Capacity 0 = the §4.2 pure rendezvous semantics.
+    let w = matmul(3);
+    let cfg = SystemConfig { channel_capacity: 0, ..SystemConfig::with_pes(2) };
+    let r = run_workload_cfg(&w, cfg, &Options::default()).unwrap();
+    assert!(r.correct, "{:?}", r.mismatches);
+}
+
+#[test]
+fn single_partition_bus_works() {
+    let w = matmul(3);
+    let cfg = SystemConfig { partitions: 1, ..SystemConfig::with_pes(4) };
+    let r = run_workload_cfg(&w, cfg, &Options::default()).unwrap();
+    assert!(r.correct, "{:?}", r.mismatches);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let w = fft(8);
+    let a = run_workload(&w, 4, &Options::default()).unwrap();
+    let b = run_workload(&w, 4, &Options::default()).unwrap();
+    assert_eq!(a.outcome.elapsed_cycles, b.outcome.elapsed_cycles);
+    assert_eq!(a.outcome.output, b.outcome.output);
+}
+
+#[test]
+fn assembly_protocol_interoperates_with_compiled_code() {
+    // Hand-written assembly child spliced by a hand-written parent, run
+    // through the same kernel the compiler targets.
+    let src = "
+main:   trap #0,#child :r0,r1
+        send r0,#6
+        send r0,#7
+        recv r1,#0 :r2
+        send+3 #0,r2
+        trap #2,#0
+child:  recv r17,#0 :r0
+        recv r17,#0 :r1
+        mul+2 r0,r1 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+    let mut sys = System::with_assembly(SystemConfig::with_pes(2), src).unwrap();
+    let out = sys.run().unwrap();
+    assert_eq!(out.output, vec![42]);
+}
+
+#[test]
+fn workload_statistics_are_sane() {
+    let w = matmul(4);
+    let r = run_workload(&w, 4, &Options::default()).unwrap();
+    let o = &r.outcome;
+    assert!(o.instructions > 0);
+    assert!(o.contexts_created >= 5, "par over 4 rows forks at least 4 children");
+    assert!(o.peak_live_contexts >= 2);
+    assert!(o.channel_transfers > 0);
+    assert_eq!(
+        o.instructions,
+        o.pes.iter().map(|p| p.stats.instructions).sum::<u64>()
+    );
+    assert!(o.elapsed_cycles >= o.pes.iter().map(|p| p.busy_cycles).max().unwrap());
+}

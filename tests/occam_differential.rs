@@ -1,0 +1,215 @@
+//! Differential fuzzing: random OCCAM programs run through the reference
+//! interpreter (oracle) and through the full pipeline (compile → assemble
+//! → multiprocessor simulation); screen output and final array contents
+//! must match exactly.
+//!
+//! Generated programs keep `par` branches independent (disjoint
+//! reads/writes, no host output inside `par`) so the sequential oracle is
+//! a valid model of the concurrent execution.
+
+use proptest::prelude::*;
+
+use queue_machine::occam::ast::{BinOp, Decl, Expr, Lvalue, Process, Replicator};
+use queue_machine::occam::interp::Interp;
+use queue_machine::occam::sema::SymKind;
+use queue_machine::occam::{codegen, sema, Options};
+use queue_machine::sim::config::SystemConfig;
+use queue_machine::sim::system::System;
+
+const ARRAY_LEN: i32 = 8;
+
+/// Variables a generated fragment may read/write.
+#[derive(Debug, Clone)]
+struct Scope {
+    scalars: Vec<String>,
+    arrays: Vec<String>,
+}
+
+fn expr_strategy(scope: Scope, depth: u32) -> BoxedStrategy<Expr> {
+    let scalars = scope.scalars.clone();
+    let arrays = scope.arrays.clone();
+    let leaf = prop_oneof![
+        (-9i32..10).prop_map(Expr::Const),
+        proptest::sample::select(scalars).prop_map(Expr::Var),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = expr_strategy(scope, depth - 1);
+    let masked_index = |e: Expr| Expr::bin(BinOp::And, e, Expr::Const(ARRAY_LEN - 1));
+    prop_oneof![
+        3 => leaf,
+        1 => inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+        1 => inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+        3 => (
+            proptest::sample::select(vec![
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Mod,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Shl,
+                BinOp::Shr,
+                BinOp::Lt,
+                BinOp::Ge,
+                BinOp::Eq,
+            ]),
+            inner.clone(),
+            inner.clone(),
+        )
+            .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+        2 => (proptest::sample::select(arrays), inner)
+            .prop_map(move |(a, i)| Expr::Index(a, Box::new(masked_index(i)))),
+    ]
+    .boxed()
+}
+
+fn stmt_strategy(scope: Scope, depth: u32, allow_output: bool) -> BoxedStrategy<Process> {
+    let e = || expr_strategy(scope.clone(), 2);
+    let assign_scalar = (proptest::sample::select(scope.scalars.clone()), e())
+        .prop_map(|(v, x)| Process::Assign(Lvalue::Var(v), x));
+    let assign_array = (proptest::sample::select(scope.arrays.clone()), e(), e()).prop_map(
+        |(a, i, x)| {
+            let idx = Expr::bin(BinOp::And, i, Expr::Const(ARRAY_LEN - 1));
+            Process::Assign(Lvalue::Index(a, Box::new(idx)), x)
+        },
+    );
+    let output = e().prop_map(|x| Process::Output("screen".into(), x));
+    let mut leaf = vec![assign_scalar.boxed(), assign_array.boxed()];
+    if allow_output {
+        leaf.push(output.boxed());
+    }
+    let leaf = proptest::strategy::Union::new(leaf);
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = || stmt_strategy(scope.clone(), depth - 1, allow_output);
+    let seq = proptest::collection::vec(inner(), 1..4).prop_map(|ps| Process::Seq(None, ps));
+    let ifp = (e(), inner(), inner())
+        .prop_map(|(c, a, b)| Process::If(vec![(c, a), (Expr::Const(-1), b)]));
+    let repl = (0i32..3, 0i32..5, proptest::collection::vec(inner(), 1..3), 0u32..1000).prop_map(
+        move |(start, count, body, tag)| {
+            Process::Seq(
+                Some(Replicator {
+                    var: format!("r{depth}_{tag}"),
+                    start: Expr::Const(start),
+                    count: Expr::Const(count),
+                }),
+                body,
+            )
+        },
+    );
+    prop_oneof![3 => leaf, 2 => seq, 2 => ifp, 2 => repl].boxed()
+}
+
+/// A whole program: independent `par` halves plus sequential code around
+/// them, ending with scalar dumps to `screen`.
+fn program_strategy() -> impl Strategy<Value = Process> {
+    let half0 = Scope { scalars: vec!["v0".into()], arrays: vec!["a0".into()] };
+    let half1 = Scope { scalars: vec!["v1".into()], arrays: vec!["a1".into()] };
+    let full = Scope {
+        scalars: vec!["v0".into(), "v1".into(), "v2".into()],
+        arrays: vec!["a0".into(), "a1".into()],
+    };
+    (
+        stmt_strategy(full.clone(), 2, true),
+        stmt_strategy(half0, 2, false),
+        stmt_strategy(half1, 2, false),
+        stmt_strategy(full, 2, true),
+    )
+        .prop_map(|(before, b0, b1, after)| {
+            let dump = |name: &str| Process::Output("screen".into(), Expr::Var(name.into()));
+            Process::Scope(
+                vec![
+                    Decl::Scalar("v0".into()),
+                    Decl::Scalar("v1".into()),
+                    Decl::Scalar("v2".into()),
+                    Decl::Array("a0".into(), ARRAY_LEN as u32),
+                    Decl::Array("a1".into(), ARRAY_LEN as u32),
+                ],
+                vec![],
+                Box::new(Process::Seq(
+                    None,
+                    vec![
+                        before,
+                        Process::Par(None, vec![b0, b1]),
+                        after,
+                        dump("v0"),
+                        dump("v1"),
+                        dump("v2"),
+                    ],
+                )),
+            )
+        })
+}
+
+fn run_differential(program: &Process, pes: usize, opts: &Options) {
+    let resolved = sema::analyse(program).expect("generated programs are well-scoped");
+    // Oracle.
+    let oracle = Interp::new(&resolved, vec![]).run().expect("oracle runs");
+    // Pipeline.
+    let asm = codegen::generate(&resolved, opts).expect("compiles");
+    let object = queue_machine::isa::asm::assemble(&asm).expect("assembles");
+    let mut sys = System::new(SystemConfig::with_pes(pes));
+    sys.load_object(&object);
+    sys.spawn_main(object.symbol("main").expect("main"));
+    let out = sys.run().unwrap_or_else(|e| panic!("simulation failed: {e}\n{asm}"));
+    assert_eq!(out.output, oracle.output, "screen output diverged\n{asm}");
+    // Final array states.
+    for (name, kind) in &resolved.syms {
+        if let SymKind::Array { addr, len } = kind {
+            let expected = &oracle.arrays[name];
+            for i in 0..*len {
+                let got = sys.memory.peek_global(addr + 4 * i);
+                assert_eq!(
+                    got, expected[i as usize],
+                    "{name}[{i}] diverged (pes={pes})\n{asm}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn compiled_programs_match_the_oracle(program in program_strategy()) {
+        run_differential(&program, 2, &Options::default());
+    }
+
+    #[test]
+    fn compiled_programs_match_without_optimizations(program in program_strategy()) {
+        let opts = Options {
+            live_value_analysis: false,
+            input_sequencing: false,
+            priority_scheduling: false,
+            loop_unrolling: false,
+        };
+        run_differential(&program, 3, &opts);
+    }
+}
+
+#[test]
+fn differential_smoke() {
+    // One fixed program through the same path (fast signal when the
+    // harness itself breaks).
+    let program = queue_machine::occam::parse::parse(
+        "\
+var v0, v1, v2, s:
+var a0[8], a1[8]:
+seq
+  seq i = [0 for 8]
+    a0[i] := i * i
+  par
+    v0 := a0[3] + 1
+    v1 := 9
+  v2 := v0 * v1
+  screen ! v2
+",
+    )
+    .unwrap();
+    run_differential(&program, 2, &Options::default());
+}

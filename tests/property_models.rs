@@ -1,0 +1,183 @@
+//! Property-based tests over the core execution models: for *any*
+//! expression, the queue machine, the stack machine, the indexed queue
+//! machine (via a DAG) and direct recursion all agree; encodings round
+//! trip; schedules respect the partial order.
+
+use proptest::prelude::*;
+
+use queue_machine::core::dfg::Dag;
+use queue_machine::core::expr::{Op, ParseTree};
+use queue_machine::core::{simple, stack};
+use queue_machine::isa::{Instruction, Opcode, SrcMode};
+
+/// Strategy: arbitrary expression parse trees (division avoided so every
+/// tree evaluates without faults; values stay small to dodge overflow
+/// asymmetries in intermediate prints).
+fn arb_tree() -> impl Strategy<Value = ParseTree> {
+    let leaf = prop_oneof![
+        (0u8..6).prop_map(|i| ParseTree::var(&format!("v{i}"))),
+        (-20i32..20).prop_map(ParseTree::lit),
+    ];
+    leaf.prop_recursive(6, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| ParseTree::unary(Op::Neg, t)),
+            inner.clone().prop_map(|t| ParseTree::unary(Op::Not, t)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ParseTree::binary(Op::Add, a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ParseTree::binary(Op::Sub, a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| ParseTree::binary(Op::Mul, a, b)),
+        ]
+    })
+}
+
+fn env(name: &str) -> i32 {
+    match name {
+        "v0" => 3,
+        "v1" => -7,
+        "v2" => 11,
+        "v3" => 0,
+        "v4" => 25,
+        _ => -1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Thesis §3.3: the level-order queue program computes every
+    /// expression a stack machine can.
+    #[test]
+    fn queue_stack_and_direct_agree(tree in arb_tree()) {
+        let direct = tree.evaluate(&env).unwrap();
+        prop_assert_eq!(simple::evaluate_tree(&tree, &env).unwrap(), direct);
+        prop_assert_eq!(stack::evaluate_tree(&tree, &env).unwrap(), direct);
+    }
+
+    /// Thesis §3.6: the DAG-generated indexed program agrees too, for
+    /// the canonical linearisation and for the priority schedule.
+    #[test]
+    fn indexed_queue_machine_agrees(tree in arb_tree()) {
+        let direct = tree.evaluate(&env).unwrap();
+        let dag = Dag::from_parse_tree(&tree);
+        prop_assert_eq!(dag.evaluate(&env).unwrap(), direct);
+        let p = dag.to_indexed_program(&dag.topo_order()).unwrap();
+        prop_assert_eq!(p.evaluate(&env).unwrap(), direct);
+        // A second, distinct linearisation (plain FIFO schedule).
+        let order = dag.schedule_by(|_| 0);
+        let p2 = dag.to_indexed_program(&order).unwrap();
+        prop_assert_eq!(p2.evaluate(&env).unwrap(), direct);
+    }
+
+    /// The DAG never grows past the tree, and sharing only helps.
+    #[test]
+    fn dag_no_larger_than_tree(tree in arb_tree()) {
+        let dag = Dag::from_parse_tree(&tree);
+        prop_assert!(dag.len() <= tree.node_count());
+    }
+
+    /// Infix printing round-trips through the parser.
+    #[test]
+    fn display_parse_round_trip(tree in arb_tree()) {
+        let printed = tree.to_string();
+        let reparsed = ParseTree::parse_infix(&printed).unwrap();
+        prop_assert_eq!(
+            reparsed.evaluate(&env).unwrap(),
+            tree.evaluate(&env).unwrap()
+        );
+    }
+
+    /// Every queue program's depth equals the number of live values.
+    #[test]
+    fn queue_depth_bounded_by_leaves(tree in arb_tree()) {
+        let ops = queue_machine::core::level_order_sequence(&tree);
+        let depth = simple::max_queue_depth(&ops, &env).unwrap();
+        let leaves = ops.iter().filter(|o| o.arity().operands() == 0).count();
+        prop_assert!(depth <= leaves.max(1));
+    }
+}
+
+/// Strategy: arbitrary (valid) basic instructions.
+fn arb_src() -> impl Strategy<Value = SrcMode> {
+    prop_oneof![
+        (0u8..16).prop_map(SrcMode::Window),
+        (16u8..32).prop_map(SrcMode::Global),
+        (-15i8..=15).prop_map(SrcMode::Imm),
+        any::<i32>().prop_map(SrcMode::ImmWord),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let opcodes: Vec<Opcode> = Opcode::ALL
+        .iter()
+        .map(|&(op, _)| op)
+        .filter(|op| !op.is_dup())
+        .collect();
+    prop_oneof![
+        (
+            proptest::sample::select(opcodes),
+            arb_src(),
+            arb_src(),
+            0u8..32,
+            0u8..32,
+            0u8..8,
+            any::<bool>(),
+        )
+            .prop_map(|(op, src1, src2, dst1, dst2, qp_inc, cont)| {
+                Instruction::Basic { op, src1, src2, dst1, dst2, qp_inc, cont }
+            }),
+        (any::<bool>(), any::<u8>(), any::<u8>(), any::<bool>()).prop_map(
+            |(two, off1, off2, cont)| Instruction::Dup {
+                two,
+                off1,
+                // dup1 carries no second offset (canonical form).
+                off2: if two { off2 } else { 0 },
+                cont,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every instruction encodes and decodes to itself.
+    #[test]
+    fn instruction_encode_decode_round_trip(instr in arb_instruction()) {
+        let words = instr.encode().unwrap();
+        let (decoded, used) = Instruction::decode(&words).unwrap();
+        prop_assert_eq!(used, words.len());
+        prop_assert_eq!(decoded, instr);
+    }
+
+    /// Disassembled text re-assembles to the identical words.
+    #[test]
+    fn disassembly_round_trips_through_assembler(instrs in proptest::collection::vec(arb_instruction(), 1..20)) {
+        let mut words = Vec::new();
+        for i in &instrs {
+            words.extend(i.encode().unwrap());
+        }
+        let text = queue_machine::isa::asm::disassemble(&words).join("\n");
+        let obj = queue_machine::isa::asm::assemble(&text).unwrap();
+        prop_assert_eq!(obj.words(), &words[..]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Fig. 4.20 scheduler emits a valid linearisation for any
+    /// priority assignment.
+    #[test]
+    fn schedules_respect_partial_order(tree in arb_tree(), seed in any::<u64>()) {
+        let dag = Dag::from_parse_tree(&tree);
+        let order = dag.schedule_by(|op| {
+            // An arbitrary but deterministic pseudo-priority.
+            let h = format!("{op}{seed}").len() as i32;
+            h % 7
+        });
+        prop_assert!(dag.respects_partial_order(&order));
+        let p = dag.to_indexed_program(&order).unwrap();
+        prop_assert_eq!(p.evaluate(&env).unwrap(), tree.evaluate(&env).unwrap());
+    }
+}

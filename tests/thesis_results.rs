@@ -1,0 +1,107 @@
+//! The headline reproduction claims of the thesis, as assertions.
+//! `EXPERIMENTS.md` records the measured values these tests pin down.
+
+use queue_machine::core::enumerate::tree_count;
+use queue_machine::core::pipeline::speedup_row;
+use queue_machine::occam::Options;
+use queue_machine::sim::amdahl::{amdahl, modified_amdahl};
+use queue_machine::workloads::{cholesky, congruence, fft, matmul, speedup_curve};
+
+/// Table 3.2 shape: ties through 4 nodes, then monotone growth, queue
+/// ahead by several percent at 11 nodes, case 2 ≥ case 1.
+#[test]
+fn table_3_2_shape() {
+    let mut prev_c1 = 0.0;
+    for n in 1..=11 {
+        let row = speedup_row(n, 2);
+        assert!(row.case1 >= 1.0 - 1e-12, "queue never loses (n={n})");
+        assert!(row.case2 >= 1.0 - 1e-12);
+        assert!(row.case1 >= prev_c1 - 1e-9, "monotone in tree size (n={n})");
+        if n <= 4 {
+            assert!((row.case1 - 1.0).abs() < 1e-9, "small trees tie (n={n})");
+        }
+        prev_c1 = row.case1;
+    }
+    let big = speedup_row(11, 2);
+    assert!(big.case1 > 1.05, "≈6-11% at 11 nodes, got {}", big.case1);
+    assert!(big.case2 >= big.case1 - 1e-9, "overlapped fetch favours the queue");
+}
+
+/// Table 3.3 shape: case 1 speed-up grows with pipeline depth; case 2
+/// peaks at two/three stages and then declines (the thesis's observation
+/// that case 2 is unrealistic for deep pipelines).
+#[test]
+fn table_3_3_shape() {
+    let rows: Vec<_> = (1..=6).map(|k| speedup_row(11, k)).collect();
+    for w in rows.windows(2) {
+        assert!(w[1].case1 >= w[0].case1 - 1e-9, "case 1 grows with stages");
+    }
+    let peak = rows
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.case2.total_cmp(&b.1.case2))
+        .map(|(i, _)| i + 1)
+        .unwrap();
+    assert!(
+        (2..=3).contains(&peak),
+        "case 2 peaks at a shallow pipeline, got {peak} stages"
+    );
+    assert!(rows[5].case2 < rows[1].case2, "case 2 declines for deep pipelines");
+}
+
+/// Motzkin tree counts (our enumeration; the thesis's differs from n=6,
+/// see EXPERIMENTS.md).
+#[test]
+fn tree_counts_are_motzkin() {
+    assert_eq!(
+        (1..=11).map(tree_count).collect::<Vec<_>>(),
+        vec![1, 1, 2, 4, 9, 21, 51, 127, 323, 835, 2188]
+    );
+}
+
+/// Figs 6.6–6.7: the analytic fits at 8 processors.
+#[test]
+fn amdahl_fits() {
+    assert!((amdahl(0.93, 8) - 5.369).abs() < 0.01);
+    assert!((modified_amdahl(0.63, 0.3, 8) - 6.517).abs() < 0.01);
+}
+
+/// Figs 6.8–6.12 shape: every workload verifies bit-exact and speeds up
+/// monotonically-ish from 1 to 8 PEs; matmul and congruence scale well.
+#[test]
+fn multiprocessor_speedup_shapes() {
+    let opts = Options::default();
+    let curves = [
+        ("matmul", speedup_curve(&matmul(8), &[1, 8], &opts).unwrap(), 3.0),
+        ("fft", speedup_curve(&fft(16), &[1, 8], &opts).unwrap(), 1.8),
+        ("cholesky", speedup_curve(&cholesky(8), &[1, 8], &opts).unwrap(), 1.15),
+        ("congruence", speedup_curve(&congruence(8), &[1, 8], &opts).unwrap(), 3.0),
+    ];
+    for (name, curve, floor) in curves {
+        let s8 = curve.last().unwrap().throughput_ratio;
+        assert!(s8 >= floor, "{name}: throughput ratio {s8:.2} below floor {floor}");
+    }
+}
+
+/// Table 6.6: every compiler optimization pays for itself on the matmul
+/// benchmark (factor ≥ 1.0 means disabling it costs cycles).
+#[test]
+fn optimizations_do_not_hurt_matmul() {
+    let w = matmul(6);
+    let pes = 4;
+    let base = queue_machine::workloads::run_workload(&w, pes, &Options::default()).unwrap();
+    assert!(base.correct);
+    let variants = [
+        Options { live_value_analysis: false, ..Options::default() },
+        Options { input_sequencing: false, ..Options::default() },
+        Options { priority_scheduling: false, ..Options::default() },
+        Options { loop_unrolling: false, ..Options::default() },
+    ];
+    for (i, opts) in variants.iter().enumerate() {
+        let r = queue_machine::workloads::run_workload(&w, pes, opts).unwrap();
+        assert!(r.correct, "variant {i}");
+        #[allow(clippy::cast_precision_loss)]
+        let factor = r.outcome.elapsed_cycles as f64 / base.outcome.elapsed_cycles as f64;
+        assert!(factor > 0.9, "variant {i} should not massively help: {factor:.2}");
+    }
+}
