@@ -1,0 +1,58 @@
+//! Criterion bench: the overhead guard for the structured trace layer.
+//!
+//! Three variants of the same end-to-end simulation (4×4 matmul, 4 PEs):
+//!
+//! * `untraced` — no sink installed: the dispatcher is a single `Option`
+//!   branch and events are never constructed. This must stay within noise
+//!   (≤2%) of the pre-trace-layer simulator.
+//! * `noop_sink` — a discarding sink: measures event construction and
+//!   dispatch alone.
+//! * `recorder_sink` — the ring-buffer recorder: the realistic cost of
+//!   capturing a run for inspection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qm_occam::Options;
+use qm_sim::config::SystemConfig;
+use qm_sim::trace::{NoopSink, Recorder};
+use qm_workloads::{matmul, prepare_workload};
+
+fn bench(c: &mut Criterion) {
+    let w = matmul(4);
+    let opts = Options::default();
+    let pes = 4usize;
+
+    c.bench_function("trace_overhead_untraced", |b| {
+        b.iter(|| {
+            let (mut sys, _) =
+                prepare_workload(black_box(&w), SystemConfig::with_pes(pes), &opts).expect("run");
+            let out = sys.run().expect("completes");
+            black_box(out.elapsed_cycles)
+        });
+    });
+
+    c.bench_function("trace_overhead_noop_sink", |b| {
+        b.iter(|| {
+            let (mut sys, _) =
+                prepare_workload(black_box(&w), SystemConfig::with_pes(pes), &opts).expect("run");
+            sys.set_trace_sink(Box::new(NoopSink));
+            let out = sys.run().expect("completes");
+            black_box(out.elapsed_cycles)
+        });
+    });
+
+    c.bench_function("trace_overhead_recorder_sink", |b| {
+        b.iter(|| {
+            let (mut sys, _) =
+                prepare_workload(black_box(&w), SystemConfig::with_pes(pes), &opts).expect("run");
+            let rec = Recorder::new(1 << 16);
+            sys.set_trace_sink(rec.sink());
+            let out = sys.run().expect("completes");
+            black_box((out.elapsed_cycles, rec.records().len()))
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

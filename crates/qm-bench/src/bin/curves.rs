@@ -2,10 +2,18 @@ use qm_occam::Options;
 use qm_workloads::*;
 fn main() {
     let opts = Options::default();
-    for (name, w) in [("matmul", matmul(8)), ("fft", fft(16)), ("cholesky", cholesky(8)), ("congruence", congruence(8)), ("reduction", reduction(64))] {
+    for (name, w) in [
+        ("matmul", matmul(8)),
+        ("fft", fft(16)),
+        ("cholesky", cholesky(8)),
+        ("congruence", congruence(8)),
+        ("reduction", reduction(64)),
+    ] {
         let pts = speedup_curve(&w, &[1, 2, 4, 8], &opts).unwrap();
         print!("{name:12}");
-        for p in &pts { print!("  {}pe:{} ({:.2}x)", p.pes, p.cycles, p.throughput_ratio); }
+        for p in &pts {
+            print!("  {}pe:{} ({:.2}x)", p.pes, p.cycles, p.throughput_ratio);
+        }
         println!();
     }
 }

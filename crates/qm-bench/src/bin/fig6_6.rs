@@ -7,19 +7,7 @@ fn main() {
     println!("Fig. 6.6 / 6.7 — analytic speed-up curves\n");
     let rows: Vec<Vec<String>> = thesis_curves(8)
         .into_iter()
-        .map(|p| {
-            vec![
-                p.n.to_string(),
-                format!("{:.3}", p.amdahl),
-                format!("{:.3}", p.modified),
-            ]
-        })
+        .map(|p| vec![p.n.to_string(), format!("{:.3}", p.amdahl), format!("{:.3}", p.modified)])
         .collect();
-    println!(
-        "{}",
-        qm_bench::text_table(
-            &["n", "Amdahl f=0.93", "modified f=0.63 g=0.3"],
-            &rows
-        )
-    );
+    println!("{}", qm_bench::text_table(&["n", "Amdahl f=0.93", "modified f=0.63 g=0.3"], &rows));
 }

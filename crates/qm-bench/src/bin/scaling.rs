@@ -21,10 +21,7 @@ fn main() {
             format!("{:.2}", pts[1].throughput_ratio),
         ]);
     }
-    println!(
-        "{}",
-        qm_bench::text_table(&["size", "1-PE cycles", "8-PE cycles", "ratio"], &rows)
-    );
+    println!("{}", qm_bench::text_table(&["size", "1-PE cycles", "8-PE cycles", "ratio"], &rows));
     println!("larger problems amortise fork/channel overhead over more work;");
     println!("sizes whose row count is not a multiple of 8 dip (round-robin");
     println!("placement double-loads some PEs — e.g. 10 rows on 8 PEs)");

@@ -24,24 +24,17 @@ fn main() {
     println!("Table 3.1 — f <- a*b + (c-d)/e   (a=2 b=3 c=20 d=6 e=7)\n");
     let rows: Vec<Vec<String>> = (0..queue_ops.len())
         .map(|i| {
-            let fmt_q: Vec<String> = qt.states[i + 1].queue.iter().map(ToString::to_string).collect();
+            let fmt_q: Vec<String> =
+                qt.states[i + 1].queue.iter().map(ToString::to_string).collect();
             let mut s_rev: Vec<String> =
                 st.states[i + 1].stack.iter().map(ToString::to_string).collect();
             s_rev.reverse(); // thesis prints top of stack first
-            vec![
-                stack_ops[i].mnemonic(),
-                s_rev.join(","),
-                queue_ops[i].mnemonic(),
-                fmt_q.join(","),
-            ]
+            vec![stack_ops[i].mnemonic(), s_rev.join(","), queue_ops[i].mnemonic(), fmt_q.join(",")]
         })
         .collect();
     println!(
         "{}",
-        qm_bench::text_table(
-            &["stack instr", "stack after", "queue instr", "queue after"],
-            &rows
-        )
+        qm_bench::text_table(&["stack instr", "stack after", "queue instr", "queue after"], &rows)
     );
     println!("stack result = {}   queue result = {}", st.result, qt.result);
     assert_eq!(st.result, qt.result);

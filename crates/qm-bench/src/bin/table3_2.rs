@@ -17,10 +17,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        qm_bench::text_table(&["nodes", "trees", "case 1", "case 2"], &rows)
-    );
+    println!("{}", qm_bench::text_table(&["nodes", "trees", "case 1", "case 2"], &rows));
     println!("note: tree counts are Motzkin numbers (see EXPERIMENTS.md for the");
     println!("comparison against the thesis's enumeration).");
 }

@@ -8,11 +8,7 @@ fn main() {
     let rows: Vec<Vec<String>> = (1..=6)
         .map(|stages| {
             let row = speedup_row(11, stages);
-            vec![
-                stages.to_string(),
-                format!("{:.2}", row.case1),
-                format!("{:.2}", row.case2),
-            ]
+            vec![stages.to_string(), format!("{:.2}", row.case1), format!("{:.2}", row.case2)]
         })
         .collect();
     println!("{}", qm_bench::text_table(&["stages", "case 1", "case 2"], &rows));

@@ -33,20 +33,12 @@ fn main() {
                 .collect();
             vec![
                 instr.op.mnemonic(),
-                instr
-                    .result_offsets
-                    .iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join(","),
+                instr.result_offsets.iter().map(ToString::to_string).collect::<Vec<_>>().join(","),
                 q.join(","),
             ]
         })
         .collect();
-    println!(
-        "{}",
-        qm_bench::text_table(&["instruction", "result indices", "queue after"], &rows)
-    );
+    println!("{}", qm_bench::text_table(&["instruction", "result indices", "queue after"], &rows));
     println!("result = {} (a=12 b=4 c=3)", trace.result);
     #[allow(clippy::identity_op)]
     let expected = (12 / 16) + 16 * 3; // a/(a+b) truncates to 0

@@ -42,10 +42,8 @@ fn main() {
 
     println!("Table 4.5 — input weights W(v) (descending = transmission order)\n");
     let seq = analysis::input_sequence(&g, is_input);
-    let rows: Vec<Vec<String>> = seq
-        .iter()
-        .map(|&(v, w)| vec![(*g.payload(v)).to_string(), w.to_string()])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        seq.iter().map(|&(v, w)| vec![(*g.payload(v)).to_string(), w.to_string()]).collect();
     println!("{}", qm_bench::text_table(&["v", "W(v)"], &rows));
 
     // The thesis's published values.

@@ -1,0 +1,47 @@
+//! Export a Chrome trace-event JSON timeline of a workload run.
+//!
+//! Runs the 8×8 matrix multiplication on 8 PEs (the Fig. 6.8 headline
+//! configuration) with the structured trace layer enabled and writes a
+//! JSON file loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`: one process lane per PE, one thread lane per
+//! context, instants for channel traffic, forks, cache hits/spills, bus
+//! transfers and kernel traps. The timestamp unit is one simulated cycle.
+//!
+//! Usage: `trace_export [OUTPUT.json] [PES]` (defaults:
+//! `matmul_8pe_trace.json`, 8).
+
+use qm_occam::Options;
+use qm_sim::config::SystemConfig;
+use qm_sim::trace::ChromeTrace;
+use qm_workloads::{matmul, prepare_workload};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| "matmul_8pe_trace.json".into());
+    let pes: usize = match args.next() {
+        None => 8,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("usage: trace_export [OUTPUT.json] [PES]  (PES must be 1..=16, got {s:?})");
+            std::process::exit(2);
+        }),
+    };
+
+    let w = matmul(8);
+    let opts = Options::default();
+    let (mut sys, _compiled) =
+        prepare_workload(&w, SystemConfig::with_pes(pes), &opts).expect("workload compiles");
+    let chrome = ChromeTrace::new();
+    sys.set_trace_sink(chrome.sink());
+    let outcome = sys.run().expect("simulation completes");
+
+    let json = chrome.to_json();
+    std::fs::write(&path, &json).expect("trace file writable");
+    println!(
+        "wrote {path}: {} events over {} cycles ({} PEs, {} contexts)",
+        chrome.len(),
+        outcome.elapsed_cycles,
+        pes,
+        outcome.contexts_created,
+    );
+    println!("load it in https://ui.perfetto.dev or chrome://tracing");
+}

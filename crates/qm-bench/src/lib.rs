@@ -94,7 +94,16 @@ pub fn report_workload(w: &Workload, table_name: &str, fig_name: &str) {
     println!(
         "{}",
         text_table(
-            &["PEs", "cycles", "instrs", "contexts", "peak live", "transfers", "switches", "remote mem"],
+            &[
+                "PEs",
+                "cycles",
+                "instrs",
+                "contexts",
+                "peak live",
+                "transfers",
+                "switches",
+                "remote mem"
+            ],
             &stat_rows
         )
     );

@@ -176,9 +176,7 @@ impl<N> Dag<N> {
                 .iter()
                 .enumerate()
                 .max_by(|(ia, &a), (ib, &b)| {
-                    priority(&self.payloads[a])
-                        .cmp(&priority(&self.payloads[b]))
-                        .then(ib.cmp(ia))
+                    priority(&self.payloads[a]).cmp(&priority(&self.payloads[b])).then(ib.cmp(ia))
                 })
                 .map(|(i, _)| i)
                 .expect("ready not empty");
@@ -215,10 +213,8 @@ impl Dag<Op> {
                     op.arity().operands()
                 )));
             }
-            let args: Vec<Word> = self.preds[v]
-                .iter()
-                .map(|&p| values[p].expect("topological ids"))
-                .collect();
+            let args: Vec<Word> =
+                self.preds[v].iter().map(|&p| values[p].expect("topological ids")).collect();
             values[v] = Some(op.apply(&args, env)?);
         }
         let sinks: Vec<NodeId> = self.node_ids().filter(|&v| self.succs[v].is_empty()).collect();
@@ -253,9 +249,7 @@ impl Dag<Op> {
         }
         for v in self.node_ids() {
             if self.preds[v].len() != self.payloads[v].arity().operands() {
-                return Err(ModelError::MalformedGraph(format!(
-                    "node {v} arity mismatch"
-                )));
+                return Err(ModelError::MalformedGraph(format!("node {v} arity mismatch")));
             }
         }
         let sinks: Vec<NodeId> = self.node_ids().filter(|&v| self.succs[v].is_empty()).collect();
@@ -281,13 +275,10 @@ impl Dag<Op> {
             .iter()
             .map(|&v| {
                 // Front after this instruction consumes its operands:
-                let front = offset_of_position[position[v]]
-                    + self.payloads[v].arity().operands();
+                let front = offset_of_position[position[v]] + self.payloads[v].arity().operands();
                 let mut offsets: Vec<usize> = self.succs[v]
                     .iter()
-                    .map(|&(consumer, slot)| {
-                        offset_of_position[position[consumer]] + slot - front
-                    })
+                    .map(|&(consumer, slot)| offset_of_position[position[consumer]] + slot - front)
                     .collect();
                 if v == *sink {
                     offsets.push(final_front - front);
@@ -490,8 +481,7 @@ pub fn all_linearisations<N>(dag: &Dag<N>) -> Vec<Vec<NodeId>> {
     assert!(dag.len() <= 10, "too many nodes to enumerate linearisations");
     let mut out = Vec::new();
     let mut remaining: Vec<usize> = dag.node_ids().map(|v| dag.preds(v).len()).collect();
-    let mut ready: BTreeSet<NodeId> =
-        dag.node_ids().filter(|&v| remaining[v] == 0).collect();
+    let mut ready: BTreeSet<NodeId> = dag.node_ids().filter(|&v| remaining[v] == 0).collect();
     let mut prefix = Vec::new();
     fn rec<N>(
         dag: &Dag<N>,
@@ -672,8 +662,7 @@ mod tests {
         assert_eq!(info[e].required_inputs, [a, b, c, d].into_iter().collect());
         // Table 4.5 weights.
         let seq = analysis::input_sequence(&g, is_input);
-        let weights: Vec<(&str, usize)> =
-            seq.iter().map(|&(v, w)| (*g.payload(v), w)).collect();
+        let weights: Vec<(&str, usize)> = seq.iter().map(|&(v, w)| (*g.payload(v), w)).collect();
         assert_eq!(weights, vec![("a", 27), ("b", 27), ("c", 26), ("d", 18)]);
     }
 

@@ -259,10 +259,7 @@ impl ParseTree {
         let mut parser = InfixParser { tokens, pos: 0 };
         let tree = parser.expr()?;
         if parser.pos != parser.tokens.len() {
-            return Err(ModelError::Parse(format!(
-                "trailing input at token {}",
-                parser.pos
-            )));
+            return Err(ModelError::Parse(format!("trailing input at token {}", parser.pos)));
         }
         Ok(tree)
     }

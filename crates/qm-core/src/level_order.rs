@@ -149,9 +149,7 @@ mod tests {
         let seq = level_order_sequence(&tree);
         assert_eq!(
             mnemonics(&seq),
-            vec![
-                "fetch c", "fetch d", "fetch a", "fetch b", "sub", "fetch e", "mul", "div", "add"
-            ]
+            vec!["fetch c", "fetch d", "fetch a", "fetch b", "sub", "fetch e", "mul", "div", "add"]
         );
     }
 
@@ -171,11 +169,7 @@ mod tests {
             "(a+b)*(c+d) - (e/f)*(g-h)",
         ] {
             let tree = ParseTree::parse_infix(src).unwrap();
-            assert_eq!(
-                level_order_sequence(&tree),
-                level_order_naive(&tree),
-                "mismatch for {src}"
-            );
+            assert_eq!(level_order_sequence(&tree), level_order_naive(&tree), "mismatch for {src}");
         }
     }
 

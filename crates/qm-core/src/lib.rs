@@ -132,10 +132,9 @@ impl std::fmt::Display for ModelError {
             ModelError::Overwrite { at, index } => {
                 write!(f, "instruction {at} overwrote live queue slot {index}")
             }
-            ModelError::StoreBehindFront { at, index, front } => write!(
-                f,
-                "instruction {at} stored at index {index} behind queue front {front}"
-            ),
+            ModelError::StoreBehindFront { at, index, front } => {
+                write!(f, "instruction {at} stored at index {index} behind queue front {front}")
+            }
             ModelError::Parse(msg) => write!(f, "parse error: {msg}"),
             ModelError::DivideByZero => write!(f, "division by zero"),
             ModelError::MalformedGraph(msg) => write!(f, "malformed data-flow graph: {msg}"),

@@ -225,9 +225,8 @@ pub fn speedup_row(nodes: usize, stages: usize) -> SpeedupRow {
     for tree in &trees {
         let stack = Program::stack_program(tree);
         let queue = Program::queue_program(tree);
-        for (ci, policy) in [FetchPolicy::NonOverlapped, FetchPolicy::Overlapped]
-            .into_iter()
-            .enumerate()
+        for (ci, policy) in
+            [FetchPolicy::NonOverlapped, FetchPolicy::Overlapped].into_iter().enumerate()
         {
             totals[ci][0] += stack.cycles(stages, policy);
             totals[ci][1] += queue.cycles(stages, policy);
@@ -259,10 +258,7 @@ mod tests {
         for tree in crate::enumerate::all_trees(7) {
             for policy in [FetchPolicy::NonOverlapped, FetchPolicy::Overlapped] {
                 let s = speedup(&tree, 1, policy);
-                assert!(
-                    (s - 1.0).abs() < 1e-12,
-                    "1-stage pipeline must tie: {s} for {tree}"
-                );
+                assert!((s - 1.0).abs() < 1e-12, "1-stage pipeline must tie: {s} for {tree}");
             }
         }
     }

@@ -77,14 +77,7 @@ enum SrcSpec {
 
 #[derive(Debug, Clone)]
 enum Item {
-    Instr {
-        line: usize,
-        op: Opcode,
-        srcs: Vec<SrcSpec>,
-        dsts: Vec<u8>,
-        qp_inc: u8,
-        cont: bool,
-    },
+    Instr { line: usize, op: Opcode, srcs: Vec<SrcSpec>, dsts: Vec<u8>, qp_inc: u8, cont: bool },
     Word(WordSpec),
     Space(usize),
 }
@@ -129,9 +122,7 @@ pub fn assemble_at(src: &str, base: UWord) -> Result<Object> {
             let name = head;
             // A label's colon is adjacent to the identifier; an operand
             // colon (`dup1 :r30`) is preceded by whitespace.
-            if name.is_empty()
-                || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-            {
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                 break;
             }
             if symbols.insert(name.to_string(), pc).is_some() {
@@ -150,10 +141,7 @@ pub fn assemble_at(src: &str, base: UWord) -> Result<Object> {
     // Pass 2: encode with resolved labels.
     let mut words: Vec<u32> = Vec::new();
     let lookup = |name: &str, line: usize| -> Result<UWord> {
-        symbols
-            .get(name)
-            .copied()
-            .ok_or_else(|| err(line, format!("undefined label {name}")))
+        symbols.get(name).copied().ok_or_else(|| err(line, format!("undefined label {name}")))
     };
     let mut addr = base;
     for item in &items {
@@ -175,9 +163,7 @@ pub fn assemble_at(src: &str, base: UWord) -> Result<Object> {
                     Ok(match spec {
                         SrcSpec::Mode(m) => *m,
                         #[allow(clippy::cast_possible_wrap)]
-                        SrcSpec::AbsLabel(name) => {
-                            SrcMode::ImmWord(lookup(name, *line)? as Word)
-                        }
+                        SrcSpec::AbsLabel(name) => SrcMode::ImmWord(lookup(name, *line)? as Word),
                         #[allow(clippy::cast_possible_wrap)]
                         SrcSpec::RelLabel(name) => {
                             let target = lookup(name, *line)?;
@@ -187,8 +173,12 @@ pub fn assemble_at(src: &str, base: UWord) -> Result<Object> {
                 };
                 let instr = if op.is_dup() {
                     let two = *op == Opcode::Dup2;
-                    let need = if two { 2 } else { 1 };
-                    if dsts.len() != need || !srcs.is_empty() {
+                    // dup2 stores at both offsets; dup1 stores at the first
+                    // but may carry a (don't-care) second offset in the
+                    // encoding, so accept one or two destinations.
+                    let ok = if two { dsts.len() == 2 } else { (1..=2).contains(&dsts.len()) };
+                    if !ok || !srcs.is_empty() {
+                        let need = if two { "2" } else { "1 or 2" };
                         return Err(err(
                             *line,
                             format!("{op} takes no sources and {need} destination(s)"),
@@ -210,8 +200,7 @@ pub fn assemble_at(src: &str, base: UWord) -> Result<Object> {
                     if dsts.iter().any(|&d| d > 31) {
                         return Err(err(*line, "destination register > r31".into()));
                     }
-                    let src1 =
-                        srcs.first().map_or(Ok(SrcMode::Imm(0)), resolve)?;
+                    let src1 = srcs.first().map_or(Ok(SrcMode::Imm(0)), resolve)?;
                     let src2 = srcs.get(1).map_or(Ok(SrcMode::Imm(0)), resolve)?;
                     Instruction::Basic {
                         op: *op,
@@ -293,9 +282,7 @@ fn parse_statement(text: &str, line: usize) -> Result<Item> {
         let inc = if suffix.chars().all(|c| c == '+') {
             suffix.len()
         } else {
-            suffix[1..]
-                .parse::<usize>()
-                .map_err(|_| err(format!("bad QP increment {suffix:?}")))?
+            suffix[1..].parse::<usize>().map_err(|_| err(format!("bad QP increment {suffix:?}")))?
         };
         (m, inc)
     } else {
@@ -548,5 +535,21 @@ mod tests {
         assert!(assemble("dup1 r0 :r1").is_err(), "dup takes no sources");
         assert!(assemble("dup2 :r1").is_err(), "dup2 needs two destinations");
         assert!(assemble("dup1 :r200").is_ok(), "dup offsets reach 255");
+        assert!(assemble("dup1 :r1,r2,r3").is_err(), "at most two destinations");
+    }
+
+    #[test]
+    fn dup1_second_offset_round_trips() {
+        // dup1 ignores its second offset when executed, but the bits are
+        // architecturally present; text and binary forms must both carry
+        // them (regression: tests/property_models.proptest-regressions,
+        // Dup { two: false, off1: 0, off2: 1, cont: false }).
+        let obj = assemble("dup1 :r0,r1\n").unwrap();
+        let (i, _) = Instruction::decode(obj.words()).unwrap();
+        assert_eq!(i, Instruction::Dup { two: false, off1: 0, off2: 1, cont: false });
+        let lines = disassemble(obj.words());
+        assert_eq!(lines, vec!["dup1 :r0,r1".to_string()]);
+        let obj2 = assemble(&lines.join("\n")).unwrap();
+        assert_eq!(obj.words(), obj2.words());
     }
 }

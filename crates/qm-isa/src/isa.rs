@@ -280,12 +280,17 @@ impl SrcMode {
             SrcMode::Window(n) if n < 16 => Ok(n),
             SrcMode::Window(n) => Err(IsaError::Encode(format!("window register {n} > 15"))),
             SrcMode::Global(n) if (16..32).contains(&n) => Ok(0b01_0000 | (n - 16)),
-            SrcMode::Global(n) => Err(IsaError::Encode(format!("global register {n} not in 16..32"))),
-            SrcMode::Imm(v) if (-15..=15).contains(&v) => {
+            SrcMode::Global(n) => {
+                Err(IsaError::Encode(format!("global register {n} not in 16..32")))
+            }
+            SrcMode::Imm(v) if (-15..=15).contains(&v) =>
+            {
                 #[allow(clippy::cast_sign_loss)]
                 Ok(0b10_0000 | ((v as u8) & 0b1_1111))
             }
-            SrcMode::Imm(v) => Err(IsaError::Encode(format!("small immediate {v} not in -15..=15"))),
+            SrcMode::Imm(v) => {
+                Err(IsaError::Encode(format!("small immediate {v} not in -15..=15")))
+            }
             SrcMode::ImmWord(_) => Ok(0b11_0000),
         }
     }
@@ -367,7 +372,15 @@ impl Instruction {
     /// queue increment.
     #[must_use]
     pub fn basic(op: Opcode, src1: SrcMode, src2: SrcMode) -> Self {
-        Instruction::Basic { op, src1, src2, dst1: REG_DUMMY, dst2: REG_DUMMY, qp_inc: 0, cont: false }
+        Instruction::Basic {
+            op,
+            src1,
+            src2,
+            dst1: REG_DUMMY,
+            dst2: REG_DUMMY,
+            qp_inc: 0,
+            cont: false,
+        }
     }
 
     /// The opcode of the instruction.
@@ -416,7 +429,9 @@ impl Instruction {
                     return Err(IsaError::Encode("dup uses the dup format".into()));
                 }
                 if dst1 > 31 || dst2 > 31 {
-                    return Err(IsaError::Encode(format!("destination out of range: {dst1},{dst2}")));
+                    return Err(IsaError::Encode(format!(
+                        "destination out of range: {dst1},{dst2}"
+                    )));
                 }
                 if qp_inc > 7 {
                     return Err(IsaError::Encode(format!("qp increment {qp_inc} > 7")));
@@ -471,9 +486,11 @@ impl Instruction {
                 Instruction::Dup {
                     two,
                     off1: ((w >> 18) & 0xFF) as u8,
-                    // dup1 ignores the second offset; normalise it so
-                    // decode(encode(x)) == x for canonical instructions.
-                    off2: if two { ((w >> 10) & 0xFF) as u8 } else { 0 },
+                    // dup1 ignores the second offset at execution time, but
+                    // the bits are still architecturally present in the
+                    // word; preserve them so decode is a faithful inverse
+                    // of encode for every Dup value.
+                    off2: ((w >> 10) & 0xFF) as u8,
                     cont: w & 1 != 0,
                 },
                 1,
@@ -533,6 +550,11 @@ impl std::fmt::Display for Instruction {
             Instruction::Dup { two, off1, off2, cont } => {
                 if *two {
                     write!(f, "dup2 :r{off1},r{off2}")?;
+                } else if *off2 != 0 {
+                    // dup1 ignores the second offset, but it is encoded in
+                    // the word; keep it visible so the disassembly
+                    // reassembles to the same bits.
+                    write!(f, "dup1 :r{off1},r{off2}")?;
                 } else {
                     write!(f, "dup1 :r{off1}")?;
                 }
@@ -598,6 +620,25 @@ mod tests {
         for m in modes {
             let enc = m.encode().unwrap();
             assert_eq!(SrcMode::decode(enc), m, "mode {m:?}");
+        }
+    }
+
+    #[test]
+    fn dup_encode_decode_round_trips_for_all_field_values() {
+        // dup1's second offset is a don't-care for execution but is
+        // preserved in the word; decode must return exactly what encode
+        // was given for every combination (regression seed:
+        // Dup { two: false, off1: 0, off2: 1, cont: false }).
+        for two in [false, true] {
+            for (off1, off2) in [(0, 0), (0, 1), (30, 0), (7, 255), (255, 255)] {
+                for cont in [false, true] {
+                    let i = Instruction::Dup { two, off1, off2, cont };
+                    let words = i.encode().unwrap();
+                    let (d, used) = Instruction::decode(&words).unwrap();
+                    assert_eq!(used, 1);
+                    assert_eq!(d, i);
+                }
+            }
         }
     }
 

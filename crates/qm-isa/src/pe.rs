@@ -201,6 +201,28 @@ pub struct PeStats {
     pub rollouts: u64,
 }
 
+impl PeStats {
+    /// Field-wise difference `self - earlier`: the activity between two
+    /// snapshots of the same PE's counters (e.g. one context residency
+    /// slice). Saturates rather than wrapping if the snapshots are
+    /// swapped.
+    #[must_use]
+    pub fn delta(&self, earlier: &PeStats) -> PeStats {
+        PeStats {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            window_hits: self.window_hits.saturating_sub(earlier.window_hits),
+            window_misses: self.window_misses.saturating_sub(earlier.window_misses),
+            mem_reads: self.mem_reads.saturating_sub(earlier.mem_reads),
+            mem_writes: self.mem_writes.saturating_sub(earlier.mem_writes),
+            sends: self.sends.saturating_sub(earlier.sends),
+            recvs: self.recvs.saturating_sub(earlier.recvs),
+            traps: self.traps.saturating_sub(earlier.traps),
+            context_switches: self.context_switches.saturating_sub(earlier.context_switches),
+            rollouts: self.rollouts.saturating_sub(earlier.rollouts),
+        }
+    }
+}
+
 /// A queue machine processing element.
 #[derive(Debug, Clone)]
 pub struct Pe {
@@ -450,6 +472,17 @@ mod tests {
     use crate::isa::{Instruction, Opcode, SrcMode, REG_PC};
     use crate::mem::FlatMemory;
 
+    #[test]
+    fn pe_stats_delta_is_field_wise_and_saturating() {
+        let earlier = PeStats { instructions: 10, sends: 2, ..PeStats::default() };
+        let later = PeStats { instructions: 25, sends: 2, traps: 3, ..PeStats::default() };
+        let d = later.delta(&earlier);
+        assert_eq!(d.instructions, 15);
+        assert_eq!(d.sends, 0);
+        assert_eq!(d.traps, 3);
+        assert_eq!(earlier.delta(&later).instructions, 0, "swapped snapshots saturate");
+    }
+
     fn load_program(mem: &mut FlatMemory, instrs: &[Instruction]) {
         let mut words = Vec::new();
         for i in instrs {
@@ -522,8 +555,22 @@ mod tests {
         load_program(
             &mut mem,
             &[
-                basic(Opcode::Fetch, SrcMode::ImmWord(0x0010_0100), SrcMode::Imm(0), 0, REG_DUMMY, 0),
-                basic(Opcode::Store, SrcMode::ImmWord(0x0010_0200), SrcMode::Window(0), REG_DUMMY, REG_DUMMY, 1),
+                basic(
+                    Opcode::Fetch,
+                    SrcMode::ImmWord(0x0010_0100),
+                    SrcMode::Imm(0),
+                    0,
+                    REG_DUMMY,
+                    0,
+                ),
+                basic(
+                    Opcode::Store,
+                    SrcMode::ImmWord(0x0010_0200),
+                    SrcMode::Window(0),
+                    REG_DUMMY,
+                    REG_DUMMY,
+                    1,
+                ),
             ],
         );
         let mut pe = Pe::new(0);
@@ -572,10 +619,7 @@ mod tests {
     #[test]
     fn trap_reports_entry_and_destinations() {
         let mut mem = FlatMemory::new();
-        load_program(
-            &mut mem,
-            &[basic(Opcode::Trap, SrcMode::Imm(3), SrcMode::Imm(7), 1, 2, 0)],
-        );
+        load_program(&mut mem, &[basic(Opcode::Trap, SrcMode::Imm(3), SrcMode::Imm(7), 1, 2, 0)]);
         let mut pe = Pe::new(0);
         pe.reset(0, QP0);
         let r = pe.step(&mut mem, &mut NullServices);
@@ -597,10 +641,7 @@ mod tests {
         let mut pe = Pe::new(0);
         pe.reset(0, QP0);
         let mut chans = BufferedChannels::new();
-        assert_eq!(
-            pe.step(&mut mem, &mut chans),
-            StepResult::Blocked(BlockReason::RecvOn(5))
-        );
+        assert_eq!(pe.step(&mut mem, &mut chans), StepResult::Blocked(BlockReason::RecvOn(5)));
         assert_eq!(pe.regs.pc(), 0, "PC unchanged while blocked");
         chans.push(5, 42);
         assert_eq!(pe.step(&mut mem, &mut chans), StepResult::Continue);

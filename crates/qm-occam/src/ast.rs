@@ -203,8 +203,7 @@ impl Process {
             Process::If(branches) => branches.iter().map(|(_, p)| p.primitive_count()).sum(),
             Process::While(_, p) => p.primitive_count(),
             Process::Scope(_, procs, p) => {
-                procs.iter().map(|d| d.body.primitive_count()).sum::<usize>()
-                    + p.primitive_count()
+                procs.iter().map(|d| d.body.primitive_count()).sum::<usize>() + p.primitive_count()
             }
         }
     }

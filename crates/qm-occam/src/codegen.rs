@@ -324,19 +324,16 @@ impl<'a> Compiler<'a> {
             }
         }
         // Input sequencing: order the prologue receives.
-        let inputs: Vec<String> = if allow_pi && self.opts.input_sequencing && ctx.recv_ins.len() > 1
+        let inputs: Vec<String> = if allow_pi
+            && self.opts.input_sequencing
+            && ctx.recv_ins.len() > 1
         {
             let nodes: Vec<NodeId> = ctx.recv_ins.iter().map(|&(_, n)| n).collect();
             let ordered = ctx.g.input_order(&nodes);
             ordered
                 .iter()
                 .map(|&n| {
-                    ctx.recv_ins
-                        .iter()
-                        .find(|&&(_, m)| m == n)
-                        .expect("input node known")
-                        .0
-                        .clone()
+                    ctx.recv_ins.iter().find(|&&(_, m)| m == n).expect("input node known").0.clone()
                 })
                 .collect()
         } else {
@@ -386,11 +383,7 @@ impl<'a> Compiler<'a> {
         let mut last_send: Option<NodeId> = None;
         for name in &plan.inputs {
             let parent_name = resolve(name);
-            let v = if let Some(v) = in_vals.get(name) {
-                *v
-            } else {
-                ctx.value(&parent_name)?
-            };
+            let v = if let Some(v) = in_vals.get(name) { *v } else { ctx.value(&parent_name)? };
             let mut ctrl = Vec::new();
             if is_k(&parent_name) {
                 ctrl.extend(ctx.barrier_ctrl(&parent_name));
@@ -445,7 +438,8 @@ impl<'a> Compiler<'a> {
         Ok(match e {
             Expr::Const(v) => self.const_node(ctx, *v),
             Expr::Var(name) => match self.kind(name) {
-                Some(SymKind::Array { addr, .. }) => {
+                Some(SymKind::Array { addr, .. }) =>
+                {
                     #[allow(clippy::cast_possible_wrap)]
                     self.const_node(ctx, *addr as i32)
                 }
@@ -529,11 +523,7 @@ impl<'a> Compiler<'a> {
         let iv = self.expr(ctx, idx)?;
         let two = self.const_node(ctx, 2);
         let scaled = ctx.g.add(Actor::Bin(Opcode::Lshift), &[iv, two], &[]);
-        Ok(ValueRef::of(ctx.g.add(
-            Actor::Bin(Opcode::Plus),
-            &[base, ValueRef::of(scaled)],
-            &[],
-        )))
+        Ok(ValueRef::of(ctx.g.add(Actor::Bin(Opcode::Plus), &[base, ValueRef::of(scaled)], &[])))
     }
 
     /// The run-time channel word for a named channel.
@@ -701,11 +691,7 @@ impl<'a> Compiler<'a> {
             self.build_context(body_l.clone(), l, None, false, move |c, bctx| {
                 body(c, bctx)?;
                 let lbl = bctx.g.add(Actor::Label(test_l), &[], &[]);
-                let plan = ChildPlan {
-                    label: String::new(),
-                    inputs: l_vec,
-                    outputs: Vec::new(),
-                };
+                let plan = ChildPlan { label: String::new(), inputs: l_vec, outputs: Vec::new() };
                 c.splice(
                     bctx,
                     ValueRef::of(lbl),
@@ -728,19 +714,23 @@ impl<'a> Compiler<'a> {
                 let bl = ValueRef::of(tctx.g.add(Actor::Label(body_l), &[], &[]));
                 let tl = ValueRef::of(tctx.g.add(Actor::Label(term_l), &[], &[]));
                 let target = c.sel(tctx, cv, bl, tl);
-                let plan = ChildPlan {
-                    label: String::new(),
-                    inputs: l_vec,
-                    outputs: Vec::new(),
-                };
+                let plan = ChildPlan { label: String::new(), inputs: l_vec, outputs: Vec::new() };
                 c.splice(tctx, target, &plan, true, true, &HashMap::new(), &HashMap::new(), true)
             })?;
         }
         // Parent: rfork the test, send L, receive the outs.
         let lbl = ctx.g.add(Actor::Label(test_l.clone()), &[], &[]);
-        let plan =
-            ChildPlan { label: test_l, inputs: l.to_vec(), outputs: outs.to_vec() };
-        self.splice(ctx, ValueRef::of(lbl), &plan, false, true, &HashMap::new(), &HashMap::new(), false)
+        let plan = ChildPlan { label: test_l, inputs: l.to_vec(), outputs: outs.to_vec() };
+        self.splice(
+            ctx,
+            ValueRef::of(lbl),
+            &plan,
+            false,
+            true,
+            &HashMap::new(),
+            &HashMap::new(),
+            false,
+        )
     }
 
     fn loop_sets(
@@ -862,8 +852,7 @@ impl<'a> Compiler<'a> {
         let body = Process::Seq(None, ps.to_vec());
         let (u, mut d) = self.uses_defs(&body);
         d.insert(i_name.clone());
-        let (l, outs) =
-            self.loop_sets(ctx, &u, &d, live_after, &[i_name.clone(), lim.clone()]);
+        let (l, outs) = self.loop_sets(ctx, &u, &d, live_after, &[i_name.clone(), lim.clone()]);
         let l_set: BTreeSet<String> = l.iter().cloned().collect();
         let in2 = i_name.clone();
         let lim2 = lim.clone();
@@ -958,10 +947,7 @@ impl<'a> Compiler<'a> {
             branch_writes.push(d.iter().filter(|n| is_k(n)).cloned().collect());
             let outs: Vec<String> = {
                 let mut o: BTreeSet<String> = if self.opts.live_value_analysis {
-                    d.iter()
-                        .filter(|x| live_after.contains(*x) || is_k(x))
-                        .cloned()
-                        .collect()
+                    d.iter().filter(|x| live_after.contains(*x) || is_k(x)).cloned().collect()
                 } else {
                     d.iter().cloned().collect()
                 };
@@ -982,10 +968,9 @@ impl<'a> Compiler<'a> {
             let out_set: BTreeSet<String> = outs.iter().cloned().collect();
             let label = self.fresh_label(&format!("parb{bi}"));
             let p = p.clone();
-            let plan =
-                self.build_context(label, &ins, Some(&outs), true, move |c, bctx| {
-                    c.stmt(bctx, &p, &out_set)
-                })?;
+            let plan = self.build_context(label, &ins, Some(&outs), true, move |c, bctx| {
+                c.stmt(bctx, &p, &out_set)
+            })?;
             plans.push(plan);
         }
         // Parent: fork + send everything first…
@@ -993,7 +978,11 @@ impl<'a> Compiler<'a> {
         let mut last_sends = Vec::new();
         for (plan, writes) in plans.iter().zip(&branch_writes) {
             let lbl = ctx.g.add(Actor::Label(plan.label.clone()), &[], &[]);
-            let fork = ctx.g.add(Actor::Fork { iterative: false, local: false }, &[ValueRef::of(lbl)], &[]);
+            let fork = ctx.g.add(
+                Actor::Fork { iterative: false, local: false },
+                &[ValueRef::of(lbl)],
+                &[],
+            );
             let c_in = ValueRef { node: fork, out: 0 };
             let mut last: Option<NodeId> = None;
             for name in &plan.inputs {
@@ -1068,8 +1057,7 @@ impl<'a> Compiler<'a> {
         u.remove(&rep.var);
         // Control tokens the instances need copies of / the parent must
         // resynchronise after the join.
-        let k_names: Vec<String> =
-            u.iter().chain(d.iter()).filter(|n| is_k(n)).cloned().collect();
+        let k_names: Vec<String> = u.iter().chain(d.iter()).filter(|n| is_k(n)).cloned().collect();
         let done = self.fresh_name("done");
         let cnum = ctx.g.add(Actor::ChanNew, &[], &[]);
         ctx.bind(&done, ValueRef::of(cnum));
@@ -1361,7 +1349,10 @@ impl<'a> Compiler<'a> {
                 u.insert(K_IO.into());
             }
             Expr::Var(n) => match self.kind(n) {
-                Some(SymKind::Array { .. } | SymKind::Chan { host: true } | SymKind::Proc { .. }) | None => {}
+                Some(
+                    SymKind::Array { .. } | SymKind::Chan { host: true } | SymKind::Proc { .. },
+                )
+                | None => {}
                 _ => {
                     u.insert(n.clone());
                 }
@@ -1563,8 +1554,7 @@ impl<'a> Compiler<'a> {
 /// through procedure array parameters (propagated to call-site arguments
 /// by fixpoint).
 fn written_arrays(r: &Resolved) -> BTreeSet<String> {
-    let mut param_writes: Vec<BTreeSet<String>> =
-        r.procs.iter().map(|_| BTreeSet::new()).collect();
+    let mut param_writes: Vec<BTreeSet<String>> = r.procs.iter().map(|_| BTreeSet::new()).collect();
     loop {
         let mut changed = false;
         for i in 0..r.procs.len() {
@@ -1597,7 +1587,10 @@ fn collect_writes(
         Process::Assign(Lvalue::Index(a, _), _) | Process::Input(_, Lvalue::Index(a, _)) => {
             out.insert(a.clone());
         }
-        Process::Assign(..) | Process::Input(..) | Process::Output(..) | Process::Skip
+        Process::Assign(..)
+        | Process::Input(..)
+        | Process::Output(..)
+        | Process::Skip
         | Process::Wait(_) => {}
         Process::Seq(_, ps) | Process::Par(_, ps) => {
             for q in ps {

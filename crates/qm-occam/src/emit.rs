@@ -69,8 +69,7 @@ pub fn emit_context(
             }
             let has_value_consumer = (0..graph.node(id).actor.value_outs())
                 .any(|out| graph.consumers(id, out).iter().any(|&(c, _)| !dead[c]));
-            let has_ctrl_succ =
-                (0..n).any(|c| !dead[c] && graph.node(c).ctrl.contains(&id));
+            let has_ctrl_succ = (0..n).any(|c| !dead[c] && graph.node(c).ctrl.contains(&id));
             if !has_value_consumer && !has_ctrl_succ {
                 dead[id] = true;
                 changed = true;
@@ -357,8 +356,11 @@ mod tests {
         let l = g.add(Actor::Label("child".into()), &[], &[]);
         let f = g.add(Actor::Fork { iterative: false, local: false }, &[ValueRef::of(l)], &[]);
         let arg = g.add(Actor::Const(5), &[], &[]);
-        let _s =
-            g.add(Actor::Send(ChanRef::Value), &[ValueRef { node: f, out: 0 }, ValueRef::of(arg)], &[]);
+        let _s = g.add(
+            Actor::Send(ChanRef::Value),
+            &[ValueRef { node: f, out: 0 }, ValueRef::of(arg)],
+            &[],
+        );
         let _r = g.add(Actor::Recv(ChanRef::Value), &[ValueRef { node: f, out: 1 }], &[]);
         let g = finish(g);
         // Dummy child label target so assembly resolves.

@@ -256,8 +256,7 @@ impl ContextGraph {
                 succs[p].push(i);
             }
         }
-        let mut ready: Vec<NodeId> =
-            (0..self.nodes.len()).filter(|&i| remaining[i] == 0).collect();
+        let mut ready: Vec<NodeId> = (0..self.nodes.len()).filter(|&i| remaining[i] == 0).collect();
         let mut out = Vec::with_capacity(self.nodes.len());
         while !ready.is_empty() {
             let pick = if priorities {

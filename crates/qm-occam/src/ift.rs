@@ -76,7 +76,12 @@ pub struct ValInfo {
 
 impl ValInfo {
     fn new(name: &str) -> Self {
-        ValInfo { name: name.to_string(), defs: BTreeSet::new(), uses: BTreeSet::new(), live: false }
+        ValInfo {
+            name: name.to_string(),
+            defs: BTreeSet::new(),
+            uses: BTreeSet::new(),
+            live: false,
+        }
     }
 }
 
@@ -126,7 +131,13 @@ impl Ift {
         ift
     }
 
-    fn push(&mut self, kind: EntryKind, i: BTreeSet<String>, o: BTreeSet<String>, e: Vec<Vec<usize>>) -> usize {
+    fn push(
+        &mut self,
+        kind: EntryKind,
+        i: BTreeSet<String>,
+        o: BTreeSet<String>,
+        e: Vec<Vec<usize>>,
+    ) -> usize {
         self.entries.push(Entry {
             kind,
             inputs: i.iter().map(|n| ValInfo::new(n)).collect(),
@@ -206,8 +217,12 @@ impl Ift {
                 let mut o = BTreeSet::new();
                 let mut e = Vec::new();
                 for (cond, body) in branches {
-                    let gamma =
-                        self.push(EntryKind::Condition, expr_reads(cond), BTreeSet::new(), Vec::new());
+                    let gamma = self.push(
+                        EntryKind::Condition,
+                        expr_reads(cond),
+                        BTreeSet::new(),
+                        Vec::new(),
+                    );
                     let rho = self.entry(body);
                     let gi = self.entries[gamma].input_names();
                     let go = self.entries[gamma].output_names();
@@ -241,12 +256,7 @@ impl Ift {
                 };
                 let mut ri = expr_reads(&rep.start);
                 ri.extend(expr_reads(&rep.count));
-                let r1 = self.push(
-                    EntryKind::Replicator,
-                    ri,
-                    [rep.var.clone()].into(),
-                    Vec::new(),
-                );
+                let r1 = self.push(EntryKind::Replicator, ri, [rep.var.clone()].into(), Vec::new());
                 let inner = Process::Seq(None, ps.to_vec());
                 let rho = self.entry(&inner);
                 let ro = self.entries[r1].output_names();
@@ -319,11 +329,8 @@ pub fn use_and_def(ift: &mut Ift, h: usize) {
 fn find_def(ift: &mut Ift, x: &str, h_j: usize, h: usize, p: &[usize], into_input: bool) {
     for &h_k in p {
         if ift.entries[h_k].outputs.iter().any(|v| v.name == x) {
-            let v = ift.entries[h_k]
-                .outputs
-                .iter_mut()
-                .find(|v| v.name == x)
-                .expect("just checked");
+            let v =
+                ift.entries[h_k].outputs.iter_mut().find(|v| v.name == x).expect("just checked");
             v.uses.insert(h_j);
             record_def(ift, h_j, x, h_k, into_input);
             return;
@@ -454,10 +461,7 @@ mod tests {
             v.live = v.name == "x";
         }
         live_analyze(&mut ift, root);
-        assert!(
-            !ift.entries[1].outputs[0].live,
-            "y has no external use and no internal one"
-        );
+        assert!(!ift.entries[1].outputs[0].live, "y has no external use and no internal one");
     }
 
     #[test]
@@ -520,9 +524,6 @@ mod tests {
         let ift = Ift::build(&p);
         let root = ift.root();
         assert_eq!(ift.entries[root].e_sets.len(), 2, "par: one E set per branch");
-        assert_eq!(
-            ift.entries[root].input_names(),
-            ["x".to_string(), "y".to_string()].into()
-        );
+        assert_eq!(ift.entries[root].input_names(), ["x".to_string(), "y".to_string()].into());
     }
 }

@@ -263,17 +263,15 @@ impl<'a> Interp<'a> {
                 };
                 self.lvalue(lv, v)
             }
-            Process::Seq(rep, ps) | Process::Par(rep, ps) => {
-                match rep {
-                    Some(r) => self.replicated(r, ps),
-                    None => {
-                        for q in ps {
-                            self.process(q)?;
-                        }
-                        Ok(())
+            Process::Seq(rep, ps) | Process::Par(rep, ps) => match rep {
+                Some(r) => self.replicated(r, ps),
+                None => {
+                    for q in ps {
+                        self.process(q)?;
                     }
+                    Ok(())
                 }
-            }
+            },
             Process::If(branches) => {
                 for (cond, body) in branches {
                     if self.expr(cond)? != 0 {
@@ -510,10 +508,7 @@ seq
     #[test]
     fn out_of_bounds_is_reported() {
         let r = analyse(&parse("var v[2], x:\nx := v[5]\n").unwrap()).unwrap();
-        assert!(matches!(
-            Interp::new(&r, vec![]).run(),
-            Err(InterpError::Bounds { .. })
-        ));
+        assert!(matches!(Interp::new(&r, vec![]).run(), Err(InterpError::Bounds { .. })));
     }
 
     #[test]

@@ -124,10 +124,9 @@ impl std::error::Error for CompileError {}
 pub fn compile(src: &str, options: &Options) -> Result<Compiled, CompileError> {
     let ast = parse::parse(src).map_err(|e| CompileError::Parse(e.to_string()))?;
     let resolved = sema::analyse(&ast).map_err(|e| CompileError::Sema(e.to_string()))?;
-    let asm = codegen::generate(&resolved, options)
-        .map_err(|e| CompileError::Codegen(e.to_string()))?;
-    let object =
-        qm_isa::asm::assemble(&asm).map_err(|e| CompileError::Assemble(e.to_string()))?;
+    let asm =
+        codegen::generate(&resolved, options).map_err(|e| CompileError::Codegen(e.to_string()))?;
+    let object = qm_isa::asm::assemble(&asm).map_err(|e| CompileError::Assemble(e.to_string()))?;
     let context_count = asm.matches("trap #2,#0").count();
     Ok(Compiled {
         asm,

@@ -111,8 +111,9 @@ impl Parser {
                                 }
                             }
                             other => {
-                                return self
-                                    .err(format!("array length must be a positive literal, found {other:?}"))
+                                return self.err(format!(
+                                    "array length must be a positive literal, found {other:?}"
+                                ))
                             }
                         };
                         self.expect(&Tok::RBracket)?;
@@ -573,7 +574,9 @@ var i:
 while i < 10
   i := i + 1
 ";
-        assert!(matches!(parse(src).unwrap(), Process::Scope(_, _, b) if matches!(*b, Process::While(..))));
+        assert!(
+            matches!(parse(src).unwrap(), Process::Scope(_, _, b) if matches!(*b, Process::While(..)))
+        );
     }
 
     #[test]

@@ -103,12 +103,7 @@ pub fn analyse(program: &Process) -> Result<Resolved, SemaError> {
     };
     cx.declare_predefined();
     let main = cx.process(program)?;
-    Ok(Resolved {
-        main,
-        procs: cx.procs,
-        syms: cx.syms,
-        data_bytes: cx.next_addr - DATA_BASE,
-    })
+    Ok(Resolved { main, procs: cx.procs, syms: cx.syms, data_bytes: cx.next_addr - DATA_BASE })
 }
 
 struct Cx {
@@ -310,7 +305,9 @@ impl Cx {
                             self.next_addr += 4 * *len;
                             Decl::Array(self.declare(n, SymKind::Array { addr, len: *len })?, *len)
                         }
-                        Decl::Chan(n) => Decl::Chan(self.declare(n, SymKind::Chan { host: false })?),
+                        Decl::Chan(n) => {
+                            Decl::Chan(self.declare(n, SymKind::Chan { host: false })?)
+                        }
                     };
                     rdecls.push(rd);
                 }
@@ -474,9 +471,7 @@ mod tests {
 
     #[test]
     fn shadowing_renames() {
-        let r = resolve(
-            "var x:\nseq\n  x := 1\n  var x:\n  x := 2\n",
-        );
+        let r = resolve("var x:\nseq\n  x := 1\n  var x:\n  x := 2\n");
         // Two distinct scalars named x.* exist.
         let xs = r.syms.keys().filter(|k| k.starts_with("x.")).count();
         assert_eq!(xs, 2);
@@ -511,9 +506,8 @@ mod tests {
 
     #[test]
     fn proc_params_classified() {
-        let r = resolve(
-            "proc f(value n, var acc, v) =\n  acc := n + v[0]\nvar a, b[4]:\nf(1, a, b)\n",
-        );
+        let r =
+            resolve("proc f(value n, var acc, v) =\n  acc := n + v[0]\nvar a, b[4]:\nf(1, a, b)\n");
         assert_eq!(r.procs.len(), 1);
         let p = &r.procs[0];
         assert_eq!(p.params.len(), 3);

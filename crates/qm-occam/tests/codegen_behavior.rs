@@ -82,10 +82,7 @@ seq
     let fetches: Vec<usize> =
         (0..main.len()).filter(|&i| main.node(i).actor == Actor::Fetch).collect();
     assert_eq!(fetches.len(), 1);
-    assert!(
-        !main.node(fetches[0]).ctrl.is_empty(),
-        "the fetch must be ordered after the store"
-    );
+    assert!(!main.node(fetches[0]).ctrl.is_empty(), "the fetch must be ordered after the store");
 }
 
 #[test]
@@ -143,8 +140,8 @@ seq
 ";
     let g = graphs(src, &Options::default());
     let test_ctx = g.iter().find(|(l, _)| l.starts_with("test")).expect("loop test context");
-    let has_inreg_recv = (0..test_ctx.1.len())
-        .any(|i| test_ctx.1.node(i).actor == Actor::Recv(ChanRef::InReg));
+    let has_inreg_recv =
+        (0..test_ctx.1.len()).any(|i| test_ctx.1.node(i).actor == Actor::Recv(ChanRef::InReg));
     assert!(has_inreg_recv, "loop contexts receive L on r17");
 }
 

@@ -13,9 +13,7 @@ fn run(src: &str, pes: usize, opts: &Options) -> Vec<i32> {
     sys.load_object(&compiled.object);
     let main = compiled.object.symbol("main").expect("main context");
     sys.spawn_main(main);
-    let out = sys.run().unwrap_or_else(|e| {
-        panic!("run failed: {e}\nassembly:\n{}", compiled.asm)
-    });
+    let out = sys.run().unwrap_or_else(|e| panic!("run failed: {e}\nassembly:\n{}", compiled.asm));
     out.output
 }
 

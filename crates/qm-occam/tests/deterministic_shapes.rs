@@ -1,0 +1,261 @@
+//! Deterministic coverage for the program shapes the proptest
+//! differential suite historically shrank to (see
+//! `tests/occam_differential.proptest-regressions` at the workspace
+//! root): zero-count replicators, `par` branches that only conditionally
+//! write, `if` chains with no true guard, and `par` write ordering.
+//!
+//! Each program runs through the reference interpreter (oracle) and the
+//! full compile → assemble → simulate pipeline; screen output and final
+//! array contents must agree. This keeps the shapes covered without
+//! proptest and pinpoints the failing shape immediately on regression.
+
+use qm_occam::ast::Process;
+use qm_occam::interp::Interp;
+use qm_occam::sema::SymKind;
+use qm_occam::{codegen, parse, sema, Options};
+use qm_sim::config::SystemConfig;
+use qm_sim::system::System;
+
+fn no_opts() -> Options {
+    Options {
+        live_value_analysis: false,
+        input_sequencing: false,
+        priority_scheduling: false,
+        loop_unrolling: false,
+    }
+}
+
+/// Differential check: oracle vs. pipeline, across PE counts and the two
+/// option settings the proptest suite exercises.
+fn check(src: &str) {
+    let ast: Process = parse::parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+    let resolved = sema::analyse(&ast).unwrap_or_else(|e| panic!("sema failed: {e}\n{src}"));
+    let oracle = Interp::new(&resolved, vec![])
+        .run()
+        .unwrap_or_else(|e| panic!("oracle failed: {e}\n{src}"));
+    for (pes, opts) in [(1, Options::default()), (2, Options::default()), (3, no_opts())] {
+        let asm = codegen::generate(&resolved, &opts)
+            .unwrap_or_else(|e| panic!("codegen failed: {e}\n{src}"));
+        let object =
+            qm_isa::asm::assemble(&asm).unwrap_or_else(|e| panic!("assemble failed: {e}\n{asm}"));
+        let mut sys = System::new(SystemConfig::with_pes(pes));
+        sys.load_object(&object);
+        sys.spawn_main(object.symbol("main").expect("main context"));
+        let out = sys.run().unwrap_or_else(|e| panic!("simulation failed (pes={pes}): {e}\n{asm}"));
+        assert_eq!(out.output, oracle.output, "screen diverged (pes={pes})\n{asm}");
+        for (name, kind) in &resolved.syms {
+            if let SymKind::Array { addr, len } = kind {
+                let expected = &oracle.arrays[name];
+                for i in 0..*len {
+                    let got = sys.memory.peek_global(addr + 4 * i);
+                    assert_eq!(
+                        got, expected[i as usize],
+                        "{name}[{i}] diverged (pes={pes})\n{asm}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_count_replicated_seq_is_a_no_op() {
+    check(
+        "\
+var v:
+seq
+  v := 7
+  seq i = [0 for 0]
+    v := 99
+  screen ! v
+",
+    );
+}
+
+#[test]
+fn zero_count_replicated_par_is_a_no_op() {
+    check(
+        "\
+var v:
+var a[8]:
+seq
+  v := 7
+  par i = [0 for 0]
+    a[i /\\ 7] := 99
+  screen ! v
+  screen ! a[0]
+",
+    );
+}
+
+#[test]
+fn nested_zero_count_replicators_inside_par() {
+    // Shape of seed 0f653a94: a par branch that is itself a zero-count
+    // replicated seq wrapping another zero-count replicated seq.
+    check(
+        "\
+var v0, v1:
+seq
+  v0 := 0
+  par
+    v0 := 0
+    seq i = [0 for 0]
+      seq j = [0 for 0]
+        v1 := 5
+  screen ! v0
+  screen ! v1
+",
+    );
+}
+
+#[test]
+fn one_count_replicators_run_exactly_once() {
+    check(
+        "\
+var v:
+var a[8]:
+seq
+  seq i = [0 for 1]
+    v := 3
+  par i = [2 for 1]
+    a[i /\\ 7] := 41
+  screen ! v
+  screen ! a[2]
+",
+    );
+}
+
+#[test]
+fn if_with_no_true_guard_inside_par_writes_nothing() {
+    // Shape of seeds 65a8ebac / fe8d3dd6: an if chain inside a par branch
+    // whose guards are all false — the branch must complete without
+    // writing, and the sibling branch's write must land.
+    check(
+        "\
+var v0, v1:
+seq
+  v0 := 5
+  par
+    if
+      0 <> 0
+        v0 := 9
+      1 < 0
+        v0 := 8
+    v1 := 1
+  screen ! v0
+  screen ! v1
+",
+    );
+}
+
+#[test]
+fn nested_if_false_then_default_inside_par() {
+    check(
+        "\
+var v0, v1:
+var a0[8]:
+seq
+  v0 := 0
+  par
+    if
+      0 <> 0
+        v0 := 0
+      true
+        if
+          v0 <> 0
+            a0[1] := 10
+          true
+            a0[2] := 20
+    v1 := 0 - 1
+  screen ! a0[1]
+  screen ! a0[2]
+  screen ! v1
+",
+    );
+}
+
+#[test]
+fn par_branches_write_disjoint_array_slots_in_order() {
+    // Shape of seed c385c57d / b8f48b65: the tail after a par must observe
+    // every branch's writes, and writes before the par must not be
+    // clobbered by branches that do not touch them.
+    check(
+        "\
+var v0:
+var a0[8], a1[8]:
+seq
+  a0[1] := 10
+  par
+    seq
+      a0[2] := 20
+      a0[3] := a0[2] + 1
+    a1[2] := 30
+  a0[4] := a0[3] + a1[2]
+  screen ! a0[1]
+  screen ! a0[4]
+",
+    );
+}
+
+#[test]
+fn conditionally_writing_par_branch_then_tail_read() {
+    // A par branch whose only write is guarded by a false condition; the
+    // tail reads the would-be target and must see the pre-par value.
+    check(
+        "\
+var v0, v1:
+var a0[8]:
+seq
+  a0[3] := 77
+  par
+    if
+      1 = 2
+        a0[3] := 0
+    v1 := 4
+  v0 := a0[3]
+  screen ! v0
+  screen ! v1
+",
+    );
+}
+
+#[test]
+fn replicated_par_with_conditional_writes() {
+    check(
+        "\
+var v:
+var a[8]:
+seq
+  seq i = [0 for 8]
+    a[i /\\ 7] := 0 - 1
+  par i = [0 for 4]
+    if
+      i >= 2
+        a[i /\\ 7] := i * 10
+  v := (((a[0] + a[1]) + a[2]) + a[3])
+  screen ! v
+",
+    );
+}
+
+#[test]
+fn nested_par_inside_par_branch() {
+    check(
+        "\
+var v0, v1, v2:
+var a0[8], a1[8]:
+seq
+  par
+    par
+      v0 := 1
+      a0[0] := 11
+    seq
+      v1 := 2
+      a1[0] := 22
+  v2 := v0 + v1
+  screen ! v2
+  screen ! a0[0]
+  screen ! a1[0]
+",
+    );
+}

@@ -89,10 +89,7 @@ mod tests {
         // climbs more steeply at small n than classical Amdahl with the
         // same *total* non-sequential share (f+g = 0.93).
         for n in 2..=8 {
-            assert!(
-                modified_amdahl(0.63, 0.3, n) > amdahl(0.93, n) * 0.9,
-                "n = {n}"
-            );
+            assert!(modified_amdahl(0.63, 0.3, n) > amdahl(0.93, n) * 0.9, "n = {n}");
         }
     }
 

@@ -36,6 +36,23 @@ pub mod entry {
     /// contexts (loop entries, `if` branches) whose parent immediately
     /// blocks waiting for them.
     pub const RFORK_LOCAL: Word = 7;
+
+    /// Human-readable name of a kernel entry (trace events, deadlock
+    /// reports).
+    #[must_use]
+    pub fn name(n: Word) -> &'static str {
+        match n {
+            RFORK => "rfork",
+            IFORK => "ifork",
+            END => "end",
+            HALT => "halt",
+            NOW => "now",
+            WAIT => "wait",
+            CHAN => "chan",
+            RFORK_LOCAL => "rfork-local",
+            _ => "unknown",
+        }
+    }
 }
 
 /// Context life-cycle states (Fig. 6.4).
@@ -164,6 +181,14 @@ mod tests {
         assert_eq!(regs.read_global(REG_IN_CHAN), 7);
         assert_eq!(regs.read_global(REG_OUT_CHAN), 9);
         assert_eq!(c.state, CtxState::Ready);
+    }
+
+    #[test]
+    fn entry_names_cover_all_services() {
+        assert_eq!(entry::name(entry::RFORK), "rfork");
+        assert_eq!(entry::name(entry::WAIT), "wait");
+        assert_eq!(entry::name(entry::RFORK_LOCAL), "rfork-local");
+        assert_eq!(entry::name(99), "unknown");
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`memory`] — the shared, partitioned memory with ring-bus costs.
 //! * [`kernel`] — context records, state machine, kernel entry points.
 //! * [`system`] — the top-level simulator and run loop.
+//! * [`trace`] — structured event tracing: typed simulator events, the
+//!   sink trait, an in-memory recorder and a Chrome trace-event exporter.
 //! * [`amdahl`] — the analytic speed-up models of Figs 6.6–6.7.
 //!
 //! # Example
@@ -48,9 +50,11 @@ pub mod kernel;
 pub mod memory;
 pub mod msg;
 pub mod system;
+pub mod trace;
 
 pub use config::SystemConfig;
-pub use system::{RunOutcome, SimError, System};
+pub use system::{BlockedCtx, RunOutcome, SimError, System};
+pub use trace::{ChromeTrace, Recorder, TraceEvent, TraceRecord, TraceSink, Tracer};
 
 /// Machine word, shared with the rest of the workspace.
 pub type Word = qm_isa::Word;

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use qm_isa::mem::{global_home, is_local, DataPort};
 
 use crate::config::SystemConfig;
+use crate::trace::{TraceBuffer, TraceEvent};
 use crate::{UWord, Word};
 
 /// Memory traffic statistics.
@@ -34,6 +35,9 @@ pub struct SharedMemory {
     config: SystemConfig,
     /// Traffic statistics.
     pub stats: MemStats,
+    /// Deferred bus-transfer trace events, drained by the run loop after
+    /// each step. Inert unless the system installs a trace sink.
+    pub trace: TraceBuffer,
 }
 
 impl SharedMemory {
@@ -45,6 +49,7 @@ impl SharedMemory {
             locals: vec![HashMap::new(); config.pes],
             config: config.clone(),
             stats: MemStats::default(),
+            trace: TraceBuffer::default(),
         }
     }
 
@@ -68,6 +73,7 @@ impl SharedMemory {
             } else {
                 self.stats.remote_accesses += 1;
                 self.stats.bus_cycles += c;
+                self.trace.push(|| TraceEvent::BusTransfer { addr, cycles: c });
             }
             c
         }
@@ -179,6 +185,23 @@ mod tests {
         assert!(c_near < c_far, "near {c_near} vs far {c_far}");
         assert!(m.stats.remote_accesses > 0);
         assert!(m.stats.bus_cycles >= c_far);
+    }
+
+    #[test]
+    fn remote_accesses_emit_bus_events_when_traced() {
+        let cfg = SystemConfig::with_pes(8);
+        let mut m = SharedMemory::new(&cfg);
+        m.read_word(7, 0x0010_0000); // remote, but tracing disabled
+        assert!(m.trace.take().is_empty());
+        m.trace.set_enabled(true);
+        m.read_word(0, 0x0010_0000); // near access: no bus event
+        let (_, far_cost) = m.read_word(7, 0x0010_0000);
+        let events = m.trace.take();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            crate::trace::TraceEvent::BusTransfer { addr: 0x0010_0000, cycles } if cycles == far_cost
+        ));
     }
 
     #[test]

@@ -21,10 +21,45 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use crate::trace::{TraceBuffer, TraceEvent};
 use crate::{CtxId, Word};
 
 /// The host channel identifier.
 pub const HOST_CHANNEL: Word = 0;
+
+/// Which half of a rendezvous a context is performing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChanDir {
+    /// Offering a value.
+    Send,
+    /// Awaiting a value.
+    Recv,
+}
+
+impl std::fmt::Display for ChanDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChanDir::Send => write!(f, "send"),
+            ChanDir::Recv => write!(f, "recv"),
+        }
+    }
+}
+
+/// One context parked on a channel (the raw material of the deadlock
+/// wait-for report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedInfo {
+    /// The parked context.
+    pub ctx: CtxId,
+    /// PE it was running on when it parked.
+    pub pe: usize,
+    /// Channel it waits on.
+    pub chan: Word,
+    /// Whether it is a parked sender or receiver.
+    pub dir: ChanDir,
+    /// The value a parked sender is offering (`None` for receivers).
+    pub value: Option<Word>,
+}
 
 /// Observable message-cache entry states (the context-level reduction of
 /// the Fig. 5.16/5.17 transfer state machines; Tables 5.3–5.4 give the
@@ -110,6 +145,10 @@ pub struct ChannelTable {
     pub input: VecDeque<Word>,
     /// Total completed transfers.
     pub transfers: u64,
+    /// Deferred cache-level trace events (rendezvous, cache hits and
+    /// spills), drained by the run loop after each step. Inert unless the
+    /// system installs a trace sink.
+    pub trace: TraceBuffer,
 }
 
 impl ChannelTable {
@@ -143,15 +182,20 @@ impl ChannelTable {
         if let Some((receiver, _rpe)) = c.waiting_receivers.pop_front() {
             c.ready.insert(receiver, (value, pe));
             self.transfers += 1;
+            self.trace.push(|| TraceEvent::Rendezvous { chan, sender: ctx, receiver, value });
             return SendResult::Done { woke: Some(receiver) };
         }
         if c.buffer.len() < capacity {
             c.buffer.push_back((value, pe));
             self.transfers += 1;
+            let buffered = c.buffer.len();
+            self.trace.push(|| TraceEvent::CacheHit { ctx, chan, value, buffered });
             return SendResult::Done { woke: None };
         }
         if !c.waiting_senders.iter().any(|&(s, _, _)| s == ctx) {
             c.waiting_senders.push_back((ctx, pe, value));
+            let senders = c.waiting_senders.len();
+            self.trace.push(|| TraceEvent::CacheSpill { ctx, chan, value, senders });
         }
         SendResult::Block
     }
@@ -177,6 +221,8 @@ impl ChannelTable {
                 c.buffer.push_back((v, spe));
                 c.acked.insert(sender);
                 self.transfers += 1;
+                let buffered = c.buffer.len();
+                self.trace.push(|| TraceEvent::CacheHit { ctx: sender, chan, value: v, buffered });
                 Some(sender)
             } else {
                 None
@@ -186,6 +232,7 @@ impl ChannelTable {
         if let Some((sender, spe, value)) = c.waiting_senders.pop_front() {
             c.acked.insert(sender);
             self.transfers += 1;
+            self.trace.push(|| TraceEvent::Rendezvous { chan, sender, receiver: ctx, value });
             return RecvResult::Done { value, woke: Some(sender), from_pe: Some(spe) };
         }
         if !c.waiting_receivers.iter().any(|&(r, _)| r == ctx) {
@@ -205,10 +252,7 @@ impl ChannelTable {
         if !c.waiting_receivers.is_empty() {
             CacheState::ReceiverBlocked { receivers: c.waiting_receivers.len() }
         } else if !c.waiting_senders.is_empty() {
-            CacheState::SenderBlocked {
-                buffered: c.buffer.len(),
-                senders: c.waiting_senders.len(),
-            }
+            CacheState::SenderBlocked { buffered: c.buffer.len(), senders: c.waiting_senders.len() }
         } else if !c.buffer.is_empty() || !c.ready.is_empty() {
             CacheState::ValueHeld { buffered: c.buffer.len() + c.ready.len() }
         } else {
@@ -234,6 +278,33 @@ impl ChannelTable {
                 out.push(format!("chan {id} buffer: {:?}", c.buffer));
             }
         }
+        out
+    }
+
+    /// Every context parked on a channel, with the channel, direction and
+    /// (for senders) the offered value — sorted by context id. The
+    /// structured counterpart of [`blocked_detail`](Self::blocked_detail),
+    /// consumed by the deadlock wait-for report.
+    #[must_use]
+    pub fn blocked_infos(&self) -> Vec<BlockedInfo> {
+        let mut out: Vec<BlockedInfo> =
+            self.channels
+                .iter()
+                .flat_map(|(&chan, c)| {
+                    let senders = c.waiting_senders.iter().map(move |&(ctx, pe, value)| {
+                        BlockedInfo { ctx, pe, chan, dir: ChanDir::Send, value: Some(value) }
+                    });
+                    let receivers = c.waiting_receivers.iter().map(move |&(ctx, pe)| BlockedInfo {
+                        ctx,
+                        pe,
+                        chan,
+                        dir: ChanDir::Recv,
+                        value: None,
+                    });
+                    senders.chain(receivers)
+                })
+                .collect();
+        out.sort_unstable_by_key(|b| (b.ctx, b.chan));
         out
     }
 
@@ -402,6 +473,54 @@ mod tests {
             assert!(matches!(t.recv(2, 0, ch), RecvResult::Done { value, .. } if value == v));
         }
         assert_eq!(t.state(ch), CacheState::Empty);
+    }
+
+    #[test]
+    fn blocked_infos_reports_direction_and_value() {
+        let mut t = ChannelTable::new(0);
+        let a = t.allocate();
+        let b = t.allocate();
+        assert_eq!(t.send(1, 0, a, 41), SendResult::Block);
+        assert_eq!(t.recv(2, 1, b), RecvResult::Block);
+        let infos = t.blocked_infos();
+        assert_eq!(
+            infos,
+            vec![
+                BlockedInfo { ctx: 1, pe: 0, chan: a, dir: ChanDir::Send, value: Some(41) },
+                BlockedInfo { ctx: 2, pe: 1, chan: b, dir: ChanDir::Recv, value: None },
+            ]
+        );
+    }
+
+    #[test]
+    fn cache_events_are_buffered_when_enabled() {
+        let mut t = ChannelTable::new(1);
+        t.trace.set_enabled(true);
+        let ch = t.allocate();
+        t.send(1, 0, ch, 10); // parks in the free slot → hit
+        t.send(1, 0, ch, 11); // cache full → spill
+        t.recv(2, 0, ch); // frees a slot, re-parks the spilled value → hit
+        let events = t.trace.take();
+        assert!(matches!(events[0], TraceEvent::CacheHit { ctx: 1, value: 10, buffered: 1, .. }));
+        assert!(matches!(events[1], TraceEvent::CacheSpill { ctx: 1, value: 11, senders: 1, .. }));
+        assert!(matches!(events[2], TraceEvent::CacheHit { ctx: 1, value: 11, .. }));
+        // A sender-first rendezvous (the parked 11 collected directly).
+        t.recv(2, 0, ch);
+        assert!(t.trace.take().is_empty(), "buffer drain leaves nothing behind");
+    }
+
+    #[test]
+    fn rendezvous_events_name_both_parties() {
+        let mut t = ChannelTable::new(0);
+        t.trace.set_enabled(true);
+        let ch = t.allocate();
+        t.recv(2, 1, ch);
+        t.send(1, 0, ch, 9); // receiver-first rendezvous
+        let events = t.trace.take();
+        assert!(matches!(
+            events[..],
+            [TraceEvent::Rendezvous { sender: 1, receiver: 2, value: 9, .. }]
+        ));
     }
 
     #[test]

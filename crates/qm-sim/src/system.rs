@@ -10,24 +10,58 @@
 use std::collections::VecDeque;
 
 use qm_isa::asm::{assemble, Object};
-use qm_isa::pe::{
-    BlockReason, Pe, PeStats, RecvOutcome, SendOutcome, Services, StepResult,
-};
+use qm_isa::pe::{BlockReason, Pe, PeStats, RecvOutcome, SendOutcome, Services, StepResult};
 use qm_isa::Word as IsaWord;
 
 use crate::config::{Placement, SystemConfig};
 use crate::kernel::{entry, Context, CtxState, PageAllocator, REG_OUT_CHAN};
 use crate::memory::{MemStats, SharedMemory};
-use crate::msg::{ChannelTable, RecvResult, SendResult, HOST_CHANNEL};
+use crate::msg::{CacheState, ChanDir, ChannelTable, RecvResult, SendResult, HOST_CHANNEL};
+use crate::trace::{ForkKind, TraceEvent, TraceSink, Tracer};
 use crate::{CtxId, UWord, Word};
+
+/// One context stuck in a deadlock: what it waits for and where it
+/// stopped (the wait-for report of [`SimError::Deadlock`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedCtx {
+    /// The blocked context.
+    pub ctx: CtxId,
+    /// PE it is bound to.
+    pub pe: usize,
+    /// Channel it waits on.
+    pub chan: Word,
+    /// Whether it is blocked sending or receiving.
+    pub dir: ChanDir,
+    /// PC of the blocked instruction (re-executed if ever woken).
+    pub pc: UWord,
+    /// The value a blocked sender is offering (`None` for receivers).
+    pub value: Option<Word>,
+    /// Observable state of the channel's message-cache entry.
+    pub chan_state: CacheState,
+}
+
+impl std::fmt::Display for BlockedCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ctx{} on pe{}: {} on chan {} at pc {:#x}",
+            self.ctx, self.pe, self.dir, self.chan, self.pc
+        )?;
+        if let Some(v) = self.value {
+            write!(f, " (offering {v})")?;
+        }
+        write!(f, " [channel {:?}]", self.chan_state)
+    }
+}
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// Live contexts exist but none can run.
     Deadlock {
-        /// Contexts parked on channels.
-        blocked: Vec<CtxId>,
+        /// Wait-for report: every context parked on a channel, with the
+        /// channel, direction, blocked PC and cache occupancy.
+        blocked: Vec<BlockedCtx>,
     },
     /// The `max_instructions` safety valve fired.
     InstructionBudget,
@@ -43,7 +77,11 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Deadlock { blocked } => {
-                write!(f, "deadlock: contexts {blocked:?} blocked on channels")
+                write!(f, "deadlock: {} context(s) blocked on channels", blocked.len())?;
+                for b in blocked {
+                    write!(f, "\n  {b}")?;
+                }
+                Ok(())
             }
             SimError::InstructionBudget => write!(f, "instruction budget exhausted"),
             SimError::Pe(msg) => write!(f, "processing element fault: {msg}"),
@@ -91,6 +129,9 @@ struct PeUnit {
     pe: Pe,
     current: Option<CtxId>,
     busy: u64,
+    /// Stats snapshot at the last dispatch: the delta against the live
+    /// counters is the activity of the current residency slice.
+    slice_base: PeStats,
 }
 
 /// The queue machine multiprocessor.
@@ -109,8 +150,7 @@ pub struct System {
     live: usize,
     created: u64,
     peak_live: u64,
-    /// Print a dispatch/fork/end timeline to stderr (debugging aid).
-    pub trace: bool,
+    tracer: Tracer,
 }
 
 struct Svc<'a> {
@@ -118,33 +158,34 @@ struct Svc<'a> {
     contexts: &'a mut [Context],
     ready: &'a mut [VecDeque<CtxId>],
     cfg: &'a SystemConfig,
+    tracer: &'a mut Tracer,
     ctx: CtxId,
     time: u64,
-    trace: bool,
 }
 
 impl Svc<'_> {
-    fn wake(&mut self, w: CtxId, at: u64) {
+    fn wake(&mut self, w: CtxId, chan: Word, at: u64) {
         let c = &mut self.contexts[w];
         debug_assert_eq!(c.state, CtxState::Blocked);
         c.state = CtxState::Ready;
         c.ready_at = at;
-        self.ready[c.pe].push_back(w);
+        let pe = c.pe;
+        self.ready[pe].push_back(w);
+        self.tracer.emit(self.time, pe, || TraceEvent::CtxWake { ctx: w, chan, at });
     }
 }
 
 impl Services for Svc<'_> {
     fn send(&mut self, pe: usize, chan: IsaWord, value: IsaWord) -> SendOutcome {
-        if self.trace {
-            eprintln!("[{:>8}] ctx{} send {value} on chan {chan}", self.time, self.ctx);
-        }
-        match self.channels.send(self.ctx, pe, chan, value) {
+        let ctx = self.ctx;
+        match self.channels.send(ctx, pe, chan, value) {
             SendResult::Done { woke } => {
+                self.tracer.emit(self.time, pe, || TraceEvent::ChanSend { ctx, chan, value });
                 let cycles = match woke {
                     Some(w) => {
                         let to_pe = self.contexts[w].pe;
                         let c = self.cfg.chan_cost(pe, to_pe);
-                        self.wake(w, self.time + c);
+                        self.wake(w, chan, self.time + c);
                         c
                     }
                     None if chan == HOST_CHANNEL => self.cfg.bus.chan_local,
@@ -157,15 +198,14 @@ impl Services for Svc<'_> {
     }
 
     fn recv(&mut self, pe: usize, chan: IsaWord) -> RecvOutcome {
-        if self.trace {
-            eprintln!("[{:>8}] ctx{} recv on chan {chan}", self.time, self.ctx);
-        }
-        match self.channels.recv(self.ctx, pe, chan) {
+        let ctx = self.ctx;
+        match self.channels.recv(ctx, pe, chan) {
             RecvResult::Done { value, woke, from_pe } => {
+                self.tracer.emit(self.time, pe, || TraceEvent::ChanRecv { ctx, chan, value });
                 let cycles = match (woke, from_pe) {
                     (Some(w), Some(spe)) => {
                         let c = self.cfg.chan_cost(spe, pe);
-                        self.wake(w, self.time + c);
+                        self.wake(w, chan, self.time + c);
                         c
                     }
                     (None, Some(spe)) => self.cfg.chan_cost(spe, pe),
@@ -188,7 +228,7 @@ impl System {
             .map(|i| {
                 let mut pe = Pe::new(i);
                 pe.model = cfg.cycle_model;
-                PeUnit { pe, current: None, busy: 0 }
+                PeUnit { pe, current: None, busy: 0, slice_base: PeStats::default() }
             })
             .collect();
         let pages = (0..cfg.pes).map(|_| PageAllocator::new(cfg.queue_page_words)).collect();
@@ -205,9 +245,27 @@ impl System {
             live: 0,
             created: 0,
             peak_live: 0,
-            trace: false,
+            tracer: Tracer::off(),
             cfg,
         }
+    }
+
+    /// Install a trace sink: every simulator event (context dispatch /
+    /// block / wake / retire, forks, channel traffic, message-cache hits
+    /// and spills, bus transfers, kernel traps) is delivered to it. See
+    /// [`crate::trace`] for the provided sinks. With no sink installed
+    /// (the default) events are never even constructed.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer = Tracer::new(sink);
+        self.channels.trace.set_enabled(true);
+        self.memory.trace.set_enabled(true);
+    }
+
+    /// Remove the trace sink and stop buffering events.
+    pub fn clear_trace_sink(&mut self) {
+        self.tracer = Tracer::off();
+        self.channels.trace.set_enabled(false);
+        self.memory.trace.set_enabled(false);
     }
 
     /// Assemble `src`, load it, and spawn the main context at label
@@ -297,9 +355,7 @@ impl System {
     fn next_actor(&self) -> Option<(usize, u64)> {
         let mut best: Option<(usize, u64)> = None;
         for (i, unit) in self.pes.iter().enumerate() {
-            let running = unit
-                .current
-                .is_some_and(|c| self.contexts[c].state == CtxState::Running);
+            let running = unit.current.is_some_and(|c| self.contexts[c].state == CtxState::Running);
             let t = if running {
                 Some(unit.pe.cycles)
             } else {
@@ -333,6 +389,13 @@ impl System {
             ctx.state = CtxState::Running;
             let unit = &mut self.pes[i];
             unit.pe.cycles = unit.pe.cycles.max(ctx.ready_at) + 1;
+            unit.slice_base = unit.pe.stats;
+            let (cycles, pc) = (unit.pe.cycles, unit.pe.regs.pc());
+            self.tracer.emit(cycles, i, || TraceEvent::CtxDispatch {
+                ctx: ctx_id,
+                pc,
+                resident: true,
+            });
             return;
         }
         // Evict a blocked resident context first.
@@ -346,13 +409,13 @@ impl System {
         unit.pe.cycles = unit.pe.cycles.max(ctx.ready_at) + self.cfg.kernel.dispatch;
         unit.pe.switch_in(&ctx.saved);
         unit.current = Some(ctx_id);
-        if self.trace {
-            eprintln!("[{:>8}] pe{i} dispatch ctx{ctx_id} pc={:#x}", unit.pe.cycles, {
-                let mut r = qm_isa::regs::RegisterFile::new();
-                r.restore(&self.contexts[ctx_id].saved);
-                r.pc()
-            });
-        }
+        unit.slice_base = unit.pe.stats;
+        let (cycles, pc) = (unit.pe.cycles, unit.pe.regs.pc());
+        self.tracer.emit(cycles, i, || TraceEvent::CtxDispatch {
+            ctx: ctx_id,
+            pc,
+            resident: false,
+        });
     }
 
     fn block_current(&mut self, i: usize) {
@@ -380,6 +443,17 @@ impl System {
         dst1: u8,
         dst2: u8,
     ) -> Result<(), SimError> {
+        if self.tracer.enabled() {
+            if let Some(ctx) = self.pes[i].current {
+                let cycles = self.pes[i].pe.cycles;
+                self.tracer.emit(cycles, i, || TraceEvent::KernelTrap {
+                    ctx,
+                    entry: entry_no,
+                    name: entry::name(entry_no),
+                    arg,
+                });
+            }
+        }
         #[allow(clippy::cast_sign_loss)]
         match entry_no {
             entry::RFORK | entry::IFORK | entry::RFORK_LOCAL => {
@@ -387,8 +461,7 @@ impl System {
                 // iforks continue an iteration chain and local rforks are
                 // continuations the parent blocks on: both stay on the
                 // forking PE. Plain rfork spreads load.
-                let child_pe =
-                    if entry_no == entry::RFORK { self.choose_pe(i) } else { i };
+                let child_pe = if entry_no == entry::RFORK { self.choose_pe(i) } else { i };
                 let c_in = self.channels.allocate();
                 let c_out =
                     if entry_no == entry::IFORK { parent_out } else { self.channels.allocate() };
@@ -407,6 +480,22 @@ impl System {
                 if entry_no != entry::IFORK {
                     self.pes[i].pe.write_dst(dst2, c_out);
                 }
+                if self.tracer.enabled() {
+                    if let Some(parent) = self.pes[i].current {
+                        let kind = match entry_no {
+                            entry::IFORK => ForkKind::Iterative,
+                            entry::RFORK_LOCAL => ForkKind::Local,
+                            _ => ForkKind::Recursive,
+                        };
+                        self.tracer.emit(at, i, || TraceEvent::Fork {
+                            kind,
+                            parent,
+                            child: id,
+                            child_pe,
+                            pc: arg as UWord,
+                        });
+                    }
+                }
                 Ok(())
             }
             entry::END => {
@@ -416,6 +505,13 @@ impl System {
                 self.pages[i].free(ctx.queue_page);
                 self.live -= 1;
                 self.pes[i].pe.cycles += self.cfg.kernel.end;
+                if self.tracer.enabled() {
+                    let unit = &self.pes[i];
+                    let instructions = unit.pe.stats.delta(&unit.slice_base).instructions;
+                    let cycles = unit.pe.cycles;
+                    self.tracer
+                        .emit(cycles, i, || TraceEvent::CtxRetire { ctx: ctx_id, instructions });
+                }
                 Ok(())
             }
             entry::HALT => {
@@ -461,26 +557,10 @@ impl System {
         let mut total_instr: u64 = 0;
         while !self.halted && self.live > 0 {
             let Some((i, _)) = self.next_actor() else {
-                if self.trace {
-                    for line in self.channels.blocked_detail() {
-                        eprintln!("deadlock: {line}");
-                    }
-                    for (id, c) in self.contexts.iter().enumerate() {
-                        if c.state != CtxState::Dead {
-                            let mut r = qm_isa::regs::RegisterFile::new();
-                            r.restore(&c.saved);
-                            eprintln!(
-                                "deadlock: ctx{id} state={:?} pe={} pc={:#x}",
-                                c.state, c.pe, r.pc()
-                            );
-                        }
-                    }
-                }
-                return Err(SimError::Deadlock { blocked: self.channels.blocked_contexts() });
+                return Err(SimError::Deadlock { blocked: self.deadlock_report() });
             };
-            let running = self.pes[i]
-                .current
-                .is_some_and(|c| self.contexts[c].state == CtxState::Running);
+            let running =
+                self.pes[i].current.is_some_and(|c| self.contexts[c].state == CtxState::Running);
             if !running {
                 self.dispatch(i);
             }
@@ -492,18 +572,36 @@ impl System {
                     contexts: &mut self.contexts,
                     ready: &mut self.ready,
                     cfg: &self.cfg,
+                    tracer: &mut self.tracer,
                     ctx: ctx_id,
                     time: before,
-                    trace: self.trace,
                 };
                 self.pes[i].pe.step(&mut self.memory, &mut svc)
             };
             match result {
                 StepResult::Continue | StepResult::Return { .. } => {}
-                StepResult::Blocked(BlockReason::SendOn(_) | BlockReason::RecvOn(_)) => {
+                StepResult::Blocked(ref reason) => {
                     // Charge the failed poll one base cycle so spinning is
                     // never free, then switch out.
                     self.pes[i].pe.cycles += 1;
+                    if self.tracer.enabled() {
+                        let (chan, dir) = match *reason {
+                            BlockReason::SendOn(c) => (c, ChanDir::Send),
+                            BlockReason::RecvOn(c) => (c, ChanDir::Recv),
+                        };
+                        let unit = &self.pes[i];
+                        let instructions = unit.pe.stats.delta(&unit.slice_base).instructions;
+                        // The PC was not advanced: it still names the
+                        // blocked instruction, re-executed on resume.
+                        let (cycles, pc) = (unit.pe.cycles, unit.pe.regs.pc());
+                        self.tracer.emit(cycles, i, || TraceEvent::CtxBlock {
+                            ctx: ctx_id,
+                            chan,
+                            dir,
+                            pc,
+                            instructions,
+                        });
+                    }
                     self.block_current(i);
                 }
                 StepResult::Trap { entry: e, arg, dst1, dst2, .. } => {
@@ -513,12 +611,61 @@ impl System {
             }
             let after = self.pes[i].pe.cycles;
             self.pes[i].busy += after - before;
+            if self.tracer.enabled() {
+                self.drain_buffered_events(i, after);
+            }
             total_instr += 1;
             if total_instr > self.cfg.max_instructions {
                 return Err(SimError::InstructionBudget);
             }
         }
         Ok(self.outcome())
+    }
+
+    /// Forward events buffered by the channel table and the memory system
+    /// during the step PE `i` just executed, stamped with its clock.
+    fn drain_buffered_events(&mut self, i: usize, cycle: u64) {
+        if !self.channels.trace.is_empty() {
+            for ev in self.channels.trace.take() {
+                self.tracer.record(&crate::trace::TraceRecord { cycle, pe: i, event: ev });
+            }
+        }
+        if !self.memory.trace.is_empty() {
+            for ev in self.memory.trace.take() {
+                self.tracer.record(&crate::trace::TraceRecord { cycle, pe: i, event: ev });
+            }
+        }
+    }
+
+    /// PC a context would resume at: live registers when it is resident
+    /// on its PE, its saved registers otherwise.
+    fn ctx_pc(&self, id: CtxId) -> UWord {
+        let pe = self.contexts[id].pe;
+        if self.pes[pe].current == Some(id) {
+            self.pes[pe].pe.regs.pc()
+        } else {
+            let mut r = qm_isa::regs::RegisterFile::new();
+            r.restore(&self.contexts[id].saved);
+            r.pc()
+        }
+    }
+
+    /// The wait-for report for a detected deadlock: every context parked
+    /// on a channel, with direction, blocked PC and channel occupancy.
+    fn deadlock_report(&self) -> Vec<BlockedCtx> {
+        self.channels
+            .blocked_infos()
+            .into_iter()
+            .map(|b| BlockedCtx {
+                ctx: b.ctx,
+                pe: self.contexts[b.ctx].pe,
+                chan: b.chan,
+                dir: b.dir,
+                pc: self.ctx_pc(b.ctx),
+                value: b.value,
+                chan_state: self.channels.state(b.chan),
+            })
+            .collect()
     }
 
     fn outcome(&self) -> RunOutcome {
@@ -645,10 +792,118 @@ child:  recv r17,#0 :r0
     fn deadlock_is_detected() {
         let src = "main: recv #1,#0 :r0\n      trap #2,#0\n";
         let mut sys = System::with_assembly(SystemConfig::with_pes(1), src).unwrap();
+        let main_pc = sys.symbol("main").unwrap();
         match sys.run() {
-            Err(SimError::Deadlock { blocked }) => assert_eq!(blocked.len(), 1),
+            Err(SimError::Deadlock { blocked }) => {
+                assert_eq!(blocked.len(), 1);
+                let b = &blocked[0];
+                assert_eq!(b.ctx, 0);
+                assert_eq!(b.pe, 0);
+                assert_eq!(b.chan, 1);
+                assert_eq!(b.dir, ChanDir::Recv);
+                assert_eq!(b.value, None);
+                assert_eq!(b.pc, main_pc, "the blocked PC names the un-advanced recv instruction");
+                assert_eq!(b.chan_state, CacheState::ReceiverBlocked { receivers: 1 });
+            }
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadlock_report_includes_parked_senders() {
+        // Two contexts: main sends on a channel nobody reads; the child
+        // receives on a channel nobody writes. Capacity 0 (pure
+        // rendezvous) so the send genuinely parks.
+        let src = "
+main:   trap #0,#child :r0,r1
+        send #55,#9
+        trap #2,#0
+child:  recv #66,#0 :r0
+        trap #2,#0
+";
+        let mut cfg = SystemConfig::with_pes(1);
+        cfg.channel_capacity = 0;
+        let mut sys = System::with_assembly(cfg, src).unwrap();
+        let err = sys.run().unwrap_err();
+        let SimError::Deadlock { blocked } = &err else {
+            panic!("expected deadlock, got {err:?}");
+        };
+        assert_eq!(blocked.len(), 2);
+        let sender = blocked.iter().find(|b| b.dir == ChanDir::Send).expect("parked sender");
+        assert_eq!(sender.chan, 55);
+        assert_eq!(sender.value, Some(9));
+        assert!(matches!(sender.chan_state, CacheState::SenderBlocked { senders: 1, .. }));
+        let receiver = blocked.iter().find(|b| b.dir == ChanDir::Recv).expect("parked receiver");
+        assert_eq!(receiver.chan, 66);
+        let report = err.to_string();
+        assert!(report.contains("send on chan 55"), "report: {report}");
+        assert!(report.contains("recv on chan 66"), "report: {report}");
+        assert!(report.contains("offering 9"), "report: {report}");
+    }
+
+    #[test]
+    fn recorder_sees_the_whole_context_lifecycle() {
+        use crate::trace::{Recorder, TraceEvent};
+        let src = "
+main:   trap #0,#child :r0,r1
+        send r0,#21
+        recv r1,#0 :r2
+        send+3 #0,r2
+        trap #2,#0
+child:  recv r17,#0 :r0
+        mul+1 r0,#2 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+        let rec = Recorder::new(4096);
+        let mut sys = System::with_assembly(SystemConfig::with_pes(2), src).unwrap();
+        sys.set_trace_sink(rec.sink());
+        let out = sys.run().unwrap();
+        assert_eq!(out.output, vec![42]);
+        let dispatches = rec.matching(|e| matches!(e, TraceEvent::CtxDispatch { .. }));
+        assert!(!dispatches.is_empty(), "dispatch events recorded");
+        assert!(matches!(
+            dispatches[0].event,
+            TraceEvent::CtxDispatch { ctx: 0, resident: false, .. }
+        ));
+        let forks = rec.matching(|e| matches!(e, TraceEvent::Fork { .. }));
+        assert_eq!(forks.len(), 1);
+        assert!(matches!(
+            forks[0].event,
+            TraceEvent::Fork { parent: 0, child: 1, kind: crate::trace::ForkKind::Recursive, .. }
+        ));
+        let retires = rec.matching(|e| matches!(e, TraceEvent::CtxRetire { .. }));
+        assert_eq!(retires.len(), 2, "both contexts retire");
+        let rendezvous = rec.matching(|e| matches!(e, TraceEvent::Rendezvous { .. }));
+        assert!(!rendezvous.is_empty(), "the blocked transfer completes as a rendezvous");
+        assert_eq!(rec.dropped(), 0);
+        // Timestamps never decrease per PE.
+        for pe in 0..2 {
+            let cycles: Vec<u64> =
+                rec.records().iter().filter(|r| r.pe == pe).map(|r| r.cycle).collect();
+            assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "pe{pe} timestamps sorted");
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_simulation() {
+        let src = "
+main:   trap #0,#child :r0,r1
+        send r0,#21
+        recv r1,#0 :r2
+        send+3 #0,r2
+        trap #2,#0
+child:  recv r17,#0 :r0
+        mul+1 r0,#2 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+        let untraced = run_src(2, src);
+        let rec = crate::trace::Recorder::new(4096);
+        let mut sys = System::with_assembly(SystemConfig::with_pes(2), src).unwrap();
+        sys.set_trace_sink(rec.sink());
+        let traced = sys.run().unwrap();
+        assert_eq!(untraced, traced, "tracing is pure observation");
     }
 
     #[test]
@@ -806,6 +1061,11 @@ child:  recv r17,#0 :r0
         let one = run_src(1, src);
         let two = run_src(2, src);
         assert_eq!(one.output, two.output);
-        assert!(two.elapsed_cycles <= one.elapsed_cycles, "{} vs {}", two.elapsed_cycles, one.elapsed_cycles);
+        assert!(
+            two.elapsed_cycles <= one.elapsed_cycles,
+            "{} vs {}",
+            two.elapsed_cycles,
+            one.elapsed_cycles
+        );
     }
 }

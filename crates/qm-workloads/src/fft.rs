@@ -34,7 +34,7 @@ pub fn fft(n: usize) -> Workload {
         }
     }
     let mut rng = Lcg::new(0x4646_5400); // "FFT"
-    // Q6 inputs in (−2.0, 2.0), already bit-reversed.
+                                         // Q6 inputs in (−2.0, 2.0), already bit-reversed.
     let re: Vec<i32> = rng.vec(n, -2 * fixed::ONE, 2 * fixed::ONE);
     let im: Vec<i32> = rng.vec(n, -2 * fixed::ONE, 2 * fixed::ONE);
     let (ere, eim) = reference(&re, &im, n);
@@ -77,12 +77,7 @@ seq
     Workload {
         name: format!("fft {n}-point"),
         source,
-        inputs: vec![
-            ("re".into(), re),
-            ("im".into(), im),
-            ("wr".into(), wr),
-            ("wi".into(), wi),
-        ],
+        inputs: vec![("re".into(), re), ("im".into(), im), ("wr".into(), wr), ("wi".into(), wi)],
         expected: vec![("re".into(), ere), ("im".into(), eim)],
         expected_output: vec![chk],
     }

@@ -33,7 +33,9 @@ pub use congruence::congruence;
 pub use fft::fft;
 pub use matmul::matmul;
 pub use reduction::reduction;
-pub use runner::{run_workload, speedup_curve, BenchResult, CurvePoint, WorkloadError};
+pub use runner::{
+    prepare_workload, run_workload, speedup_curve, BenchResult, CurvePoint, WorkloadError,
+};
 
 /// A benchmark: OCCAM source, host-initialised input arrays, and the
 /// expected contents of the result arrays.

@@ -89,17 +89,20 @@ pub fn run_workload(
     run_workload_cfg(w, SystemConfig::with_pes(pes), opts)
 }
 
-/// [`run_workload`] with an explicit system configuration.
+/// Compile `w`, load it, initialise its input arrays and spawn the main
+/// context — everything short of `run`. Callers that need to configure
+/// the system first (e.g. install a trace sink with
+/// `System::set_trace_sink`) use this, then run and verify themselves or
+/// via [`verify_workload`].
 ///
 /// # Errors
 ///
-/// See [`run_workload`].
-pub fn run_workload_cfg(
+/// [`WorkloadError`] on compile faults or unresolvable input arrays.
+pub fn prepare_workload(
     w: &Workload,
     cfg: SystemConfig,
     opts: &Options,
-) -> Result<BenchResult, WorkloadError> {
-    let pes = cfg.pes;
+) -> Result<(System, qm_occam::Compiled), WorkloadError> {
     let compiled = compile(&w.source, opts).map_err(|e| WorkloadError::Compile(e.to_string()))?;
     let mut sys = System::new(cfg);
     sys.load_object(&compiled.object);
@@ -121,6 +124,21 @@ pub fn run_workload_cfg(
         .symbol("main")
         .ok_or_else(|| WorkloadError::Compile("no main context".into()))?;
     sys.spawn_main(main);
+    Ok((sys, compiled))
+}
+
+/// [`run_workload`] with an explicit system configuration.
+///
+/// # Errors
+///
+/// See [`run_workload`].
+pub fn run_workload_cfg(
+    w: &Workload,
+    cfg: SystemConfig,
+    opts: &Options,
+) -> Result<BenchResult, WorkloadError> {
+    let pes = cfg.pes;
+    let (mut sys, compiled) = prepare_workload(w, cfg, opts)?;
     let outcome = sys.run().map_err(|e| WorkloadError::Sim(e.to_string()))?;
 
     let mut mismatches = Vec::new();
@@ -135,10 +153,8 @@ pub fn run_workload_cfg(
         }
     }
     if outcome.output != w.expected_output {
-        mismatches.push(format!(
-            "host output: got {:?}, want {:?}",
-            outcome.output, w.expected_output
-        ));
+        mismatches
+            .push(format!("host output: got {:?}, want {:?}", outcome.output, w.expected_output));
     }
     Ok(BenchResult { pes, correct: mismatches.is_empty(), mismatches, outcome })
 }
@@ -167,11 +183,7 @@ pub fn speedup_curve(
         let cycles = r.outcome.elapsed_cycles;
         let base = *base_cycles.get_or_insert(cycles);
         #[allow(clippy::cast_precision_loss)]
-        out.push(CurvePoint {
-            pes,
-            cycles,
-            throughput_ratio: base as f64 / cycles as f64,
-        });
+        out.push(CurvePoint { pes, cycles, throughput_ratio: base as f64 / cycles as f64 });
     }
     Ok(out)
 }

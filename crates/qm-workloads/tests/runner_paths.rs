@@ -46,10 +46,7 @@ fn compile_errors_surface() {
         expected: vec![],
         expected_output: vec![],
     };
-    assert!(matches!(
-        run_workload(&w, 1, &Options::default()),
-        Err(WorkloadError::Compile(_))
-    ));
+    assert!(matches!(run_workload(&w, 1, &Options::default()), Err(WorkloadError::Compile(_))));
 }
 
 #[test]
@@ -97,10 +94,7 @@ fn compiled_code_requires_full_queue_pages() {
     // queue span fits (see qm-isa's von_neumann tests).
     let cfg = SystemConfig { queue_page_words: 64, ..SystemConfig::with_pes(2) };
     let r = run_workload_cfg(&matmul(3), cfg, &Options::default()).unwrap();
-    assert!(
-        !r.correct,
-        "a 64-word page should corrupt matmul's wide main context"
-    );
+    assert!(!r.correct, "a 64-word page should corrupt matmul's wide main context");
     let cfg = SystemConfig { queue_page_words: 256, ..SystemConfig::with_pes(2) };
     let r = run_workload_cfg(&matmul(3), cfg, &Options::default()).unwrap();
     assert!(r.correct, "{:?}", r.mismatches);

@@ -1,0 +1,252 @@
+//! Offline differential fuzzer (no proptest needed): generates random
+//! OCCAM programs with the same shapes as tests/occam_differential.rs and
+//! checks the compiled pipeline against the reference interpreter.
+//!
+//! Build: see scripts/offline-build.sh; run with a case count argument.
+
+use queue_machine::occam::ast::{BinOp, Decl, Expr, Lvalue, Process, Replicator};
+use queue_machine::occam::interp::Interp;
+use queue_machine::occam::sema::SymKind;
+use queue_machine::occam::{codegen, sema, Options};
+use queue_machine::sim::config::SystemConfig;
+use queue_machine::sim::system::System;
+
+const ARRAY_LEN: i32 = 8;
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+#[derive(Clone)]
+struct Scope {
+    scalars: Vec<&'static str>,
+    arrays: Vec<&'static str>,
+}
+
+fn expr(rng: &mut Rng, scope: &Scope, depth: u32) -> Expr {
+    let leaf = |rng: &mut Rng| {
+        if rng.below(2) == 0 {
+            Expr::Const(rng.below(19) as i32 - 9)
+        } else {
+            Expr::Var((*rng.pick(&scope.scalars)).into())
+        }
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.below(10) {
+        0..=2 => leaf(rng),
+        3 => Expr::Neg(Box::new(expr(rng, scope, depth - 1))),
+        4 => Expr::Not(Box::new(expr(rng, scope, depth - 1))),
+        5..=7 => {
+            let ops = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Mod,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Shl,
+                BinOp::Shr,
+                BinOp::Lt,
+                BinOp::Ge,
+                BinOp::Eq,
+            ];
+            let op = *rng.pick(&ops);
+            Expr::bin(op, expr(rng, scope, depth - 1), expr(rng, scope, depth - 1))
+        }
+        _ => {
+            let a = *rng.pick(&scope.arrays);
+            let i = expr(rng, scope, depth - 1);
+            Expr::Index(a.into(), Box::new(Expr::bin(BinOp::And, i, Expr::Const(ARRAY_LEN - 1))))
+        }
+    }
+}
+
+fn stmt(rng: &mut Rng, scope: &Scope, depth: u32, allow_output: bool) -> Process {
+    let leaf = |rng: &mut Rng| {
+        let n = if allow_output { 3 } else { 2 };
+        match rng.below(n) {
+            0 => Process::Assign(Lvalue::Var((*rng.pick(&scope.scalars)).into()), expr(rng, scope, 2)),
+            1 => {
+                let a = *rng.pick(&scope.arrays);
+                let i = expr(rng, scope, 2);
+                Process::Assign(
+                    Lvalue::Index(
+                        a.into(),
+                        Box::new(Expr::bin(BinOp::And, i, Expr::Const(ARRAY_LEN - 1))),
+                    ),
+                    expr(rng, scope, 2),
+                )
+            }
+            _ => Process::Output("screen".into(), expr(rng, scope, 2)),
+        }
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.below(9) {
+        0..=2 => leaf(rng),
+        3 | 4 => {
+            let n = 1 + rng.below(3);
+            Process::Seq(None, (0..n).map(|_| stmt(rng, scope, depth - 1, allow_output)).collect())
+        }
+        5 | 6 => Process::If(vec![
+            (expr(rng, scope, 2), stmt(rng, scope, depth - 1, allow_output)),
+            (Expr::Const(-1), stmt(rng, scope, depth - 1, allow_output)),
+        ]),
+        _ => {
+            let start = rng.below(3) as i32;
+            let count = rng.below(5) as i32;
+            let tag = rng.below(1000);
+            let n = 1 + rng.below(2);
+            Process::Seq(
+                Some(Replicator {
+                    var: format!("r{depth}_{tag}"),
+                    start: Expr::Const(start),
+                    count: Expr::Const(count),
+                }),
+                (0..n).map(|_| stmt(rng, scope, depth - 1, allow_output)).collect(),
+            )
+        }
+    }
+}
+
+fn program(rng: &mut Rng) -> Process {
+    let half0 = Scope { scalars: vec!["v0"], arrays: vec!["a0"] };
+    let half1 = Scope { scalars: vec!["v1"], arrays: vec!["a1"] };
+    let full = Scope { scalars: vec!["v0", "v1", "v2"], arrays: vec!["a0", "a1"] };
+    let before = stmt(rng, &full, 2, true);
+    let b0 = stmt(rng, &half0, 2, false);
+    let b1 = stmt(rng, &half1, 2, false);
+    let after = stmt(rng, &full, 2, true);
+    let dump = |name: &str| Process::Output("screen".into(), Expr::Var(name.into()));
+    Process::Scope(
+        vec![
+            Decl::Scalar("v0".into()),
+            Decl::Scalar("v1".into()),
+            Decl::Scalar("v2".into()),
+            Decl::Array("a0".into(), ARRAY_LEN as u32),
+            Decl::Array("a1".into(), ARRAY_LEN as u32),
+        ],
+        vec![],
+        Box::new(Process::Seq(
+            None,
+            vec![before, Process::Par(None, vec![b0, b1]), after, dump("v0"), dump("v1"), dump("v2")],
+        )),
+    )
+}
+
+fn run_differential(program: &Process, pes: usize, opts: &Options) -> Result<(), String> {
+    let resolved = sema::analyse(program).map_err(|e| format!("sema: {e}"))?;
+    let oracle = Interp::new(&resolved, vec![]).run().map_err(|e| format!("oracle: {e}"))?;
+    let asm = codegen::generate(&resolved, opts).map_err(|e| format!("codegen: {e}"))?;
+    let object =
+        queue_machine::isa::asm::assemble(&asm).map_err(|e| format!("assemble: {e}\n{asm}"))?;
+    let mut sys = System::new(SystemConfig::with_pes(pes));
+    sys.load_object(&object);
+    sys.spawn_main(object.symbol("main").expect("main"));
+    let out = sys.run().map_err(|e| format!("simulation failed: {e}\n{asm}"))?;
+    if out.output != oracle.output {
+        return Err(format!(
+            "screen diverged (pes={pes}): sim {:?} vs oracle {:?}\n{asm}",
+            out.output, oracle.output
+        ));
+    }
+    for (name, kind) in &resolved.syms {
+        if let SymKind::Array { addr, len } = kind {
+            let expected = &oracle.arrays[name];
+            for i in 0..*len {
+                let got = sys.memory.peek_global(addr + 4 * i);
+                if got != expected[i as usize] {
+                    return Err(format!(
+                        "{name}[{i}] diverged (pes={pes}): sim {got} vs oracle {}\n{asm}",
+                        expected[i as usize]
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `--hash N` mode: print an FNV hash of the generated assembly for N
+    // programs — run the binary several times to detect nondeterministic
+    // codegen (HashMap iteration order leaking into emitted code).
+    if args.get(1).map(String::as_str) == Some("--hash") {
+        let cases: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50);
+        let mut acc: u64 = 1469598103934665603;
+        for i in 0..cases {
+            let mut rng = Rng(0x1234_5678_9ABC_DEF0u64.wrapping_add(i * 0x9E37) | 1);
+            let p = program(&mut rng);
+            let resolved = sema::analyse(&p).expect("well-scoped");
+            for opts in [
+                Options::default(),
+                Options {
+                    live_value_analysis: false,
+                    input_sequencing: false,
+                    priority_scheduling: false,
+                    loop_unrolling: false,
+                },
+            ] {
+                let asm = codegen::generate(&resolved, &opts).expect("compiles");
+                for b in asm.bytes() {
+                    acc ^= u64::from(b);
+                    acc = acc.wrapping_mul(1099511628211);
+                }
+            }
+        }
+        println!("{acc:016x}");
+        return;
+    }
+    let cases: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seed0: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0x9E37_79B9_7F4A_7C15);
+    let mut failures = 0;
+    for i in 0..cases {
+        let mut rng = Rng(seed0.wrapping_add(i.wrapping_mul(0x2545_F491_4F6C_DD1D)) | 1);
+        let p = program(&mut rng);
+        let no_opts = Options {
+            live_value_analysis: false,
+            input_sequencing: false,
+            priority_scheduling: false,
+            loop_unrolling: false,
+        };
+        for (pes, opts) in [(2usize, Options::default()), (3usize, no_opts)] {
+            if let Err(e) = run_differential(&p, pes, &opts) {
+                failures += 1;
+                let opts_tag = if opts.live_value_analysis { "default" } else { "no-opts" };
+                println!("=== case {i} ({opts_tag}) FAILED ===");
+                println!("{p:?}");
+                let first = e.lines().take(3).collect::<Vec<_>>().join("\n");
+                println!("{first}");
+                println!();
+                if failures >= 10 {
+                    println!("stopping after {failures} failures");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if (i + 1) % 200 == 0 {
+            eprintln!("{} cases done, {failures} failures", i + 1);
+        }
+    }
+    println!("done: {cases} cases, {failures} failures");
+    std::process::exit(i32::from(failures > 0));
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Offline build + unit-test driver for environments without a crates.io
+# mirror. The workspace's library crates have no external dependencies
+# (proptest/rand/criterion are dev-only), so everything below compiles
+# with bare rustc. Integration tests that need proptest are skipped;
+# the deterministic ones under tests/ are built with --test.
+#
+# Usage: scripts/offline-build.sh [--run-tests|--clippy]
+#
+# --clippy rebuilds everything with clippy-driver (a drop-in rustc) and
+# -Dwarnings, mirroring the CI `cargo clippy -- -D warnings` gate without
+# needing the registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT=target/offline
+DRIVER=rustc
+FLAGS="-O -Adead_code"
+if [[ "${1:-}" == "--clippy" ]]; then
+    OUT=target/offline-clippy
+    DRIVER=clippy-driver
+    FLAGS="-Adead_code -Dwarnings"
+fi
+mkdir -p "$OUT"
+RUSTC="$DRIVER --edition 2021 $FLAGS"
+
+L="-L $OUT"
+$RUSTC --crate-type lib --crate-name qm_core crates/qm-core/src/lib.rs -o "$OUT/libqm_core.rlib"
+$RUSTC --crate-type lib --crate-name qm_isa $L --extern qm_core="$OUT/libqm_core.rlib" crates/qm-isa/src/lib.rs -o "$OUT/libqm_isa.rlib"
+$RUSTC --crate-type lib --crate-name qm_sim $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" crates/qm-sim/src/lib.rs -o "$OUT/libqm_sim.rlib"
+$RUSTC --crate-type lib --crate-name qm_occam $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" crates/qm-occam/src/lib.rs -o "$OUT/libqm_occam.rlib"
+$RUSTC --crate-type lib --crate-name qm_workloads $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" --extern qm_sim="$OUT/libqm_sim.rlib" --extern qm_occam="$OUT/libqm_occam.rlib" crates/qm-workloads/src/lib.rs -o "$OUT/libqm_workloads.rlib"
+EXTERNS="--extern qm_core=$OUT/libqm_core.rlib --extern qm_isa=$OUT/libqm_isa.rlib --extern qm_sim=$OUT/libqm_sim.rlib --extern qm_occam=$OUT/libqm_occam.rlib --extern qm_workloads=$OUT/libqm_workloads.rlib"
+$RUSTC --crate-type lib --crate-name queue_machine $L $EXTERNS src/lib.rs -o "$OUT/libqueue_machine.rlib"
+$RUSTC --crate-type lib --crate-name qm_bench $L $EXTERNS crates/qm-bench/src/lib.rs -o "$OUT/libqm_bench.rlib"
+for bin in crates/qm-bench/src/bin/*.rs; do
+    name=$(basename "$bin" .rs)
+    $RUSTC --crate-name "$name" $L $EXTERNS --extern qm_bench="$OUT/libqm_bench.rlib" "$bin" -o "$OUT/$name"
+done
+[[ "$DRIVER" == rustc ]] && echo "offline build OK"
+
+if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
+    ALLEXT="$EXTERNS --extern qm_bench=$OUT/libqm_bench.rlib --extern queue_machine=$OUT/libqueue_machine.rlib"
+    for lib in crates/qm-core/src/lib.rs crates/qm-isa/src/lib.rs \
+               crates/qm-sim/src/lib.rs crates/qm-occam/src/lib.rs \
+               crates/qm-workloads/src/lib.rs; do
+        name=$(echo "$lib" | sed -E 's#crates/(qm-[a-z]+)/src/lib.rs#\1#;s/-/_/')
+        $RUSTC --test --crate-name "${name}_unit" $L $ALLEXT "$lib" -o "$OUT/${name}_unit"
+        [[ "$DRIVER" == rustc ]] && "$OUT/${name}_unit" -q
+    done
+    # Integration tests that don't need proptest.
+    for t in tests/end_to_end.rs tests/thesis_results.rs tests/deadlock_report.rs \
+             crates/qm-occam/tests/compile_run.rs crates/qm-occam/tests/codegen_behavior.rs \
+             crates/qm-occam/tests/deterministic_shapes.rs \
+             crates/qm-isa/tests/von_neumann.rs crates/qm-workloads/tests/runner_paths.rs \
+             crates/qm-sim/tests/trace_events.rs; do
+        [[ -f "$t" ]] || continue
+        name=$(basename "$t" .rs)
+        $RUSTC --test --crate-name "itest_$name" $L $ALLEXT "$t" -o "$OUT/itest_$name"
+        [[ "$DRIVER" == rustc ]] && "$OUT/itest_$name" -q
+    done
+    if [[ "$DRIVER" == rustc ]]; then
+        echo "offline tests OK"
+    else
+        echo "offline clippy OK"
+    fi
+fi

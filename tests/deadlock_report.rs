@@ -1,0 +1,68 @@
+//! The enriched deadlock wait-for report: on `SimError::Deadlock` the
+//! simulator names, for every parked context, the channel, the direction,
+//! the blocked PC and the channel's cache occupancy — instead of a bare
+//! context-id list.
+
+use queue_machine::sim::config::SystemConfig;
+use queue_machine::sim::msg::{CacheState, ChanDir};
+use queue_machine::sim::system::{SimError, System};
+
+/// A classic crossed rendezvous: each side receives before sending.
+const CROSSED: &str = "
+main:   trap #0,#peer :r0,r1
+        recv r1,#0 :r2
+        send r0,#1
+        trap #2,#0
+peer:   recv r17,#0 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+
+#[test]
+fn crossed_rendezvous_reports_both_waiters() {
+    let mut sys = System::with_assembly(SystemConfig::with_pes(2), CROSSED).unwrap();
+    let err = sys.run().unwrap_err();
+    let SimError::Deadlock { blocked } = &err else {
+        panic!("expected a deadlock, got {err:?}");
+    };
+    assert_eq!(blocked.len(), 2, "both contexts are parked: {blocked:?}");
+    for b in blocked {
+        assert_eq!(b.dir, ChanDir::Recv, "both sides are stuck receiving");
+        assert_eq!(b.value, None);
+        assert!(b.pc > 0, "blocked PC recorded");
+        assert_eq!(b.chan_state, CacheState::ReceiverBlocked { receivers: 1 });
+    }
+    // The two contexts wait on *different* channels — the wait-for cycle.
+    assert_ne!(blocked[0].chan, blocked[1].chan);
+    assert_ne!(blocked[0].ctx, blocked[1].ctx);
+}
+
+#[test]
+fn report_display_is_a_readable_wait_for_dump() {
+    let mut sys = System::with_assembly(SystemConfig::with_pes(2), CROSSED).unwrap();
+    let report = sys.run().unwrap_err().to_string();
+    assert!(report.starts_with("deadlock: 2 context(s) blocked on channels"), "{report}");
+    assert!(report.contains("recv on chan"), "{report}");
+    assert!(report.contains("at pc 0x"), "{report}");
+    assert!(report.contains("ReceiverBlocked"), "{report}");
+    assert!(report.lines().count() >= 3, "one line per waiter:\n{report}");
+}
+
+#[test]
+fn blocked_sender_reports_its_offered_value() {
+    // Pure rendezvous (capacity 0): the send parks and blocks forever.
+    let src = "main: send #5,#77\n      trap #2,#0\n";
+    let mut cfg = SystemConfig::with_pes(1);
+    cfg.channel_capacity = 0;
+    let mut sys = System::with_assembly(cfg, src).unwrap();
+    let err = sys.run().unwrap_err();
+    let SimError::Deadlock { blocked } = &err else {
+        panic!("expected a deadlock, got {err:?}");
+    };
+    assert_eq!(blocked.len(), 1);
+    assert_eq!(blocked[0].dir, ChanDir::Send);
+    assert_eq!(blocked[0].chan, 5);
+    assert_eq!(blocked[0].value, Some(77));
+    assert!(matches!(blocked[0].chan_state, CacheState::SenderBlocked { buffered: 0, senders: 1 }));
+    assert!(err.to_string().contains("offering 77"), "{err}");
+}

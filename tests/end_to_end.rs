@@ -141,9 +141,6 @@ fn workload_statistics_are_sane() {
     assert!(o.contexts_created >= 5, "par over 4 rows forks at least 4 children");
     assert!(o.peak_live_contexts >= 2);
     assert!(o.channel_transfers > 0);
-    assert_eq!(
-        o.instructions,
-        o.pes.iter().map(|p| p.stats.instructions).sum::<u64>()
-    );
+    assert_eq!(o.instructions, o.pes.iter().map(|p| p.stats.instructions).sum::<u64>());
     assert!(o.elapsed_cycles >= o.pes.iter().map(|p| p.busy_cycles).max().unwrap());
 }

@@ -70,12 +70,11 @@ fn stmt_strategy(scope: Scope, depth: u32, allow_output: bool) -> BoxedStrategy<
     let e = || expr_strategy(scope.clone(), 2);
     let assign_scalar = (proptest::sample::select(scope.scalars.clone()), e())
         .prop_map(|(v, x)| Process::Assign(Lvalue::Var(v), x));
-    let assign_array = (proptest::sample::select(scope.arrays.clone()), e(), e()).prop_map(
-        |(a, i, x)| {
+    let assign_array =
+        (proptest::sample::select(scope.arrays.clone()), e(), e()).prop_map(|(a, i, x)| {
             let idx = Expr::bin(BinOp::And, i, Expr::Const(ARRAY_LEN - 1));
             Process::Assign(Lvalue::Index(a, Box::new(idx)), x)
-        },
-    );
+        });
     let output = e().prop_map(|x| Process::Output("screen".into(), x));
     let mut leaf = vec![assign_scalar.boxed(), assign_array.boxed()];
     if allow_output {
@@ -163,10 +162,7 @@ fn run_differential(program: &Process, pes: usize, opts: &Options) {
             let expected = &oracle.arrays[name];
             for i in 0..*len {
                 let got = sys.memory.peek_global(addr + 4 * i);
-                assert_eq!(
-                    got, expected[i as usize],
-                    "{name}[{i}] diverged (pes={pes})\n{asm}"
-                );
+                assert_eq!(got, expected[i as usize], "{name}[{i}] diverged (pes={pes})\n{asm}");
             }
         }
     }

@@ -22,10 +22,8 @@ fn arb_tree() -> impl Strategy<Value = ParseTree> {
         prop_oneof![
             inner.clone().prop_map(|t| ParseTree::unary(Op::Neg, t)),
             inner.clone().prop_map(|t| ParseTree::unary(Op::Not, t)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ParseTree::binary(Op::Add, a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ParseTree::binary(Op::Sub, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ParseTree::binary(Op::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ParseTree::binary(Op::Sub, a, b)),
             (inner.clone(), inner).prop_map(|(a, b)| ParseTree::binary(Op::Mul, a, b)),
         ]
     })
@@ -108,11 +106,8 @@ fn arb_src() -> impl Strategy<Value = SrcMode> {
 }
 
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    let opcodes: Vec<Opcode> = Opcode::ALL
-        .iter()
-        .map(|&(op, _)| op)
-        .filter(|op| !op.is_dup())
-        .collect();
+    let opcodes: Vec<Opcode> =
+        Opcode::ALL.iter().map(|&(op, _)| op).filter(|op| !op.is_dup()).collect();
     prop_oneof![
         (
             proptest::sample::select(opcodes),
@@ -126,15 +121,12 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             .prop_map(|(op, src1, src2, dst1, dst2, qp_inc, cont)| {
                 Instruction::Basic { op, src1, src2, dst1, dst2, qp_inc, cont }
             }),
-        (any::<bool>(), any::<u8>(), any::<u8>(), any::<bool>()).prop_map(
-            |(two, off1, off2, cont)| Instruction::Dup {
-                two,
-                off1,
-                // dup1 carries no second offset (canonical form).
-                off2: if two { off2 } else { 0 },
-                cont,
-            }
-        ),
+        // dup1 ignores its second offset at execution time but still
+        // encodes it, so the model round-trips for arbitrary off2 — keep
+        // generating the full range (the checked-in regression seed is a
+        // dup1 with off2 = 1).
+        (any::<bool>(), any::<u8>(), any::<u8>(), any::<bool>())
+            .prop_map(|(two, off1, off2, cont)| Instruction::Dup { two, off1, off2, cont }),
     ]
 }
 

@@ -1,0 +1,380 @@
+//! Deterministic reproductions of every checked-in proptest regression
+//! seed from `tests/occam_differential.proptest-regressions`, so the
+//! shrunk failure cases stay covered even when proptest is unavailable
+//! (and so a plain `cargo test seed_` pinpoints them immediately).
+//!
+//! Each program below is the literal `shrinks to` value of one `cc` line,
+//! transcribed with the AST constructors. They are run through the same
+//! differential harness as the proptest suite: reference interpreter
+//! (oracle) vs. compile → assemble → multiprocessor simulation.
+
+use queue_machine::occam::ast::{BinOp, Decl, Expr, Lvalue, Process, Replicator};
+use queue_machine::occam::interp::Interp;
+use queue_machine::occam::sema::SymKind;
+use queue_machine::occam::{codegen, sema, Options};
+use queue_machine::sim::config::SystemConfig;
+use queue_machine::sim::system::System;
+
+fn c(v: i32) -> Expr {
+    Expr::Const(v)
+}
+fn var(n: &str) -> Expr {
+    Expr::Var(n.into())
+}
+fn idx(a: &str, e: Expr) -> Expr {
+    Expr::Index(a.into(), Box::new(e))
+}
+fn neg(e: Expr) -> Expr {
+    Expr::Neg(Box::new(e))
+}
+fn not(e: Expr) -> Expr {
+    Expr::Not(Box::new(e))
+}
+fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::bin(op, a, b)
+}
+fn assign_var(n: &str, e: Expr) -> Process {
+    Process::Assign(Lvalue::Var(n.into()), e)
+}
+fn assign_idx(a: &str, i: Expr, e: Expr) -> Process {
+    Process::Assign(Lvalue::Index(a.into(), Box::new(i)), e)
+}
+fn out(e: Expr) -> Process {
+    Process::Output("screen".into(), e)
+}
+fn seq(ps: Vec<Process>) -> Process {
+    Process::Seq(None, ps)
+}
+fn seqr(v: &str, start: i32, count: i32, ps: Vec<Process>) -> Process {
+    Process::Seq(Some(Replicator { var: v.into(), start: c(start), count: c(count) }), ps)
+}
+fn par(ps: Vec<Process>) -> Process {
+    Process::Par(None, ps)
+}
+fn ifp(branches: Vec<(Expr, Process)>) -> Process {
+    Process::If(branches)
+}
+
+/// The fixed declaration frame every generated program shares, plus the
+/// trailing scalar dumps.
+fn program(body: Vec<Process>) -> Process {
+    let mut ps = body;
+    ps.push(out(var("v0")));
+    ps.push(out(var("v1")));
+    ps.push(out(var("v2")));
+    Process::Scope(
+        vec![
+            Decl::Scalar("v0".into()),
+            Decl::Scalar("v1".into()),
+            Decl::Scalar("v2".into()),
+            Decl::Array("a0".into(), 8),
+            Decl::Array("a1".into(), 8),
+        ],
+        vec![],
+        Box::new(Process::Seq(None, ps)),
+    )
+}
+
+/// The same differential check the proptest harness performs.
+fn run_differential(program: &Process, pes: usize, opts: &Options) {
+    let resolved = sema::analyse(program).expect("well-scoped");
+    let oracle = Interp::new(&resolved, vec![]).run().expect("oracle runs");
+    let asm = codegen::generate(&resolved, opts).expect("compiles");
+    let object = queue_machine::isa::asm::assemble(&asm).expect("assembles");
+    let mut sys = System::new(SystemConfig::with_pes(pes));
+    sys.load_object(&object);
+    sys.spawn_main(object.symbol("main").expect("main"));
+    let out = sys.run().unwrap_or_else(|e| panic!("simulation failed: {e}\n{asm}"));
+    assert_eq!(out.output, oracle.output, "screen output diverged (pes={pes})\n{asm}");
+    for (name, kind) in &resolved.syms {
+        if let SymKind::Array { addr, len } = kind {
+            let expected = &oracle.arrays[name];
+            for i in 0..*len {
+                let got = sys.memory.peek_global(addr + 4 * i);
+                assert_eq!(got, expected[i as usize], "{name}[{i}] diverged (pes={pes})\n{asm}");
+            }
+        }
+    }
+}
+
+fn check(body: Vec<Process>) {
+    let p = program(body);
+    run_differential(&p, 2, &Options::default());
+    let no_opts = Options {
+        live_value_analysis: false,
+        input_sequencing: false,
+        priority_scheduling: false,
+        loop_unrolling: false,
+    };
+    run_differential(&p, 3, &no_opts);
+}
+
+/// Seed 65a8ebac: nested `if` with an all-false guard list inside `par`.
+#[test]
+fn seed_nested_if_false_guards_in_par() {
+    check(vec![
+        assign_var("v0", c(0)),
+        par(vec![
+            ifp(vec![
+                (
+                    c(0),
+                    ifp(vec![
+                        (c(0), assign_var("v0", c(0))),
+                        (
+                            c(-1),
+                            assign_idx(
+                                "a0",
+                                bin(BinOp::And, c(-1), c(7)),
+                                idx("a0", bin(BinOp::And, var("v0"), c(7))),
+                            ),
+                        ),
+                    ]),
+                ),
+                (
+                    c(-1),
+                    ifp(vec![
+                        (
+                            not(not(c(5))),
+                            assign_idx(
+                                "a0",
+                                bin(BinOp::And, c(9), c(7)),
+                                neg(idx("a0", bin(BinOp::And, var("v0"), c(7)))),
+                            ),
+                        ),
+                        (
+                            c(-1),
+                            assign_idx(
+                                "a0",
+                                bin(BinOp::And, c(-6), c(7)),
+                                neg(bin(BinOp::Shr, c(-7), var("v0"))),
+                            ),
+                        ),
+                    ]),
+                ),
+            ]),
+            assign_var("v1", neg(c(0))),
+        ]),
+        assign_idx(
+            "a1",
+            bin(BinOp::And, neg(bin(BinOp::Shr, c(7), c(2))), c(7)),
+            not(idx("a0", bin(BinOp::And, c(-4), c(7)))),
+        ),
+    ]);
+}
+
+/// Seed fe8d3dd6: `if` chain inside `par` where a guard reads the other
+/// half's scalar.
+#[test]
+fn seed_if_chain_guard_reads_in_par() {
+    check(vec![
+        assign_var("v1", c(0)),
+        par(vec![
+            assign_var("v0", idx("a0", bin(BinOp::And, bin(BinOp::Mul, c(0), c(0)), c(7)))),
+            ifp(vec![
+                (
+                    c(0),
+                    assign_idx(
+                        "a1",
+                        bin(BinOp::And, c(0), c(7)),
+                        neg(bin(BinOp::Add, var("v1"), var("v1"))),
+                    ),
+                ),
+                (
+                    c(-1),
+                    ifp(vec![
+                        (
+                            var("v1"),
+                            assign_idx(
+                                "a1",
+                                bin(BinOp::And, not(not(c(4))), c(7)),
+                                idx("a1", bin(BinOp::And, bin(BinOp::And, c(-8), var("v1")), c(7))),
+                            ),
+                        ),
+                        (
+                            c(-1),
+                            assign_idx(
+                                "a1",
+                                bin(BinOp::And, idx("a1", bin(BinOp::And, var("v1"), c(7))), c(7)),
+                                bin(BinOp::Mod, c(-1), c(-9)),
+                            ),
+                        ),
+                    ]),
+                ),
+            ]),
+        ]),
+        assign_idx("a0", bin(BinOp::And, idx("a0", bin(BinOp::And, var("v1"), c(7))), c(7)), c(-6)),
+    ]);
+}
+
+/// Seed 6abec181: one-shot replicator before a `par` whose second branch
+/// writes an array the tail then reads.
+#[test]
+fn seed_one_shot_replicator_then_par() {
+    check(vec![
+        seqr("r2_0", 0, 1, vec![seq(vec![out(c(0)), assign_var("v2", neg(c(1)))])]),
+        par(vec![
+            assign_var("v0", c(0)),
+            seq(vec![assign_idx(
+                "a1",
+                bin(BinOp::And, var("v1"), c(7)),
+                bin(BinOp::Add, bin(BinOp::Ge, c(5), c(-2)), c(-6)),
+            )]),
+        ]),
+        seq(vec![
+            out(bin(
+                BinOp::Add,
+                idx("a1", bin(BinOp::And, c(8), c(7))),
+                bin(BinOp::Sub, var("v0"), c(8)),
+            )),
+            assign_idx(
+                "a0",
+                bin(BinOp::And, bin(BinOp::Div, c(1), bin(BinOp::And, c(5), c(-6))), c(7)),
+                not(not(var("v1"))),
+            ),
+            ifp(vec![
+                (
+                    idx("a1", bin(BinOp::And, var("v1"), c(7))),
+                    out(neg(idx("a0", bin(BinOp::And, c(-5), c(7))))),
+                ),
+                (c(-1), assign_var("v2", idx("a0", bin(BinOp::And, neg(c(-3)), c(7))))),
+            ]),
+        ]),
+    ]);
+}
+
+/// Seed b8f48b65: replicators before, inside and after a `par` with a
+/// conditional replicated branch.
+#[test]
+fn seed_replicators_around_conditional_par() {
+    check(vec![
+        seq(vec![
+            ifp(vec![
+                (c(0), assign_var("v0", c(0))),
+                (c(-1), assign_var("v0", neg(idx("a0", bin(BinOp::And, c(0), c(7)))))),
+            ]),
+            seqr(
+                "r1_0",
+                0,
+                3,
+                vec![
+                    assign_var("v0", idx("a0", bin(BinOp::And, c(0), c(7)))),
+                    assign_idx(
+                        "a0",
+                        bin(
+                            BinOp::And,
+                            idx(
+                                "a0",
+                                bin(BinOp::And, idx("a0", bin(BinOp::And, c(0), c(7))), c(7)),
+                            ),
+                            c(7),
+                        ),
+                        neg(var("v0")),
+                    ),
+                ],
+            ),
+        ]),
+        par(vec![
+            assign_idx("a0", bin(BinOp::And, c(0), c(7)), neg(not(var("v0")))),
+            ifp(vec![
+                (
+                    bin(
+                        BinOp::Lt,
+                        idx("a1", bin(BinOp::And, var("v1"), c(7))),
+                        bin(BinOp::Sub, var("v1"), var("v1")),
+                    ),
+                    seqr(
+                        "r1_135",
+                        2,
+                        4,
+                        vec![assign_var(
+                            "v1",
+                            bin(
+                                BinOp::Div,
+                                bin(BinOp::Add, var("v1"), var("v1")),
+                                bin(BinOp::Shr, c(-8), var("v1")),
+                            ),
+                        )],
+                    ),
+                ),
+                (c(-1), assign_var("v1", c(-8))),
+            ]),
+        ]),
+        seq(vec![
+            seqr(
+                "r1_333",
+                0,
+                4,
+                vec![
+                    assign_var("v1", bin(BinOp::Add, c(7), not(c(-7)))),
+                    assign_idx(
+                        "a1",
+                        bin(
+                            BinOp::And,
+                            bin(BinOp::Or, idx("a0", bin(BinOp::And, var("v0"), c(7))), c(-3)),
+                            c(7),
+                        ),
+                        var("v2"),
+                    ),
+                ],
+            ),
+            assign_idx(
+                "a0",
+                bin(
+                    BinOp::And,
+                    bin(
+                        BinOp::Or,
+                        bin(BinOp::Ge, var("v0"), var("v1")),
+                        idx("a1", bin(BinOp::And, var("v1"), c(7))),
+                    ),
+                    c(7),
+                ),
+                idx("a1", bin(BinOp::And, var("v1"), c(7))),
+            ),
+            assign_idx(
+                "a1",
+                bin(
+                    BinOp::And,
+                    idx("a1", bin(BinOp::And, idx("a1", bin(BinOp::And, c(1), c(7))), c(7))),
+                    c(7),
+                ),
+                idx("a0", bin(BinOp::And, var("v0"), c(7))),
+            ),
+        ]),
+    ]);
+}
+
+/// Seed 0f653a94: zero-count replicators nested inside a `par` branch.
+#[test]
+fn seed_zero_count_replicators_in_par() {
+    check(vec![
+        assign_var("v0", c(0)),
+        par(vec![
+            assign_var("v0", c(0)),
+            seqr("r2_0", 0, 0, vec![seqr("r1_0", 0, 0, vec![assign_var("v1", c(0))])]),
+        ]),
+        ifp(vec![
+            (c(0), assign_var("v0", c(0))),
+            (
+                c(-1),
+                assign_idx(
+                    "a0",
+                    bin(BinOp::And, bin(BinOp::Add, c(0), c(0)), c(7)),
+                    bin(BinOp::Or, var("v0"), c(-6)),
+                ),
+            ),
+        ]),
+    ]);
+}
+
+/// Seed c385c57d: `par` writing an array read before and after it.
+#[test]
+fn seed_par_array_write_ordering() {
+    check(vec![
+        assign_var("v2", bin(BinOp::Or, idx("a1", bin(BinOp::And, var("v0"), c(7))), c(0))),
+        par(vec![
+            assign_var("v0", c(0)),
+            assign_idx("a1", bin(BinOp::And, bin(BinOp::Mul, c(0), c(0)), c(7)), neg(c(-1))),
+        ]),
+        seq(vec![assign_idx("a0", bin(BinOp::And, c(0), c(7)), c(0))]),
+    ]);
+}

@@ -42,10 +42,7 @@ fn table_3_3_shape() {
         .max_by(|a, b| a.1.case2.total_cmp(&b.1.case2))
         .map(|(i, _)| i + 1)
         .unwrap();
-    assert!(
-        (2..=3).contains(&peak),
-        "case 2 peaks at a shallow pipeline, got {peak} stages"
-    );
+    assert!((2..=3).contains(&peak), "case 2 peaks at a shallow pipeline, got {peak} stages");
     assert!(rows[5].case2 < rows[1].case2, "case 2 declines for deep pipelines");
 }
 
