@@ -1,25 +1,22 @@
 //! Ablation: ring-bus partitioning and remote-access cost (DESIGN.md
-//! design-choice study of the §5.6 segmented-bus topology).
+//! design-choice study of the §5.6 segmented-bus topology). A formatter
+//! over [`qm_bench::sweep::bus_ablation_grid`].
 
-use qm_occam::Options;
-use qm_sim::config::{BusCosts, SystemConfig};
-use qm_workloads::runner::run_workload_cfg;
+use qm_bench::sweep::{bus_ablation_grid, run_point};
 
 fn main() {
-    let w = qm_workloads::matmul(8);
-    let opts = Options::default();
-    let pes = 8;
-    println!("Ablation — bus partitioning ({}, {pes} PEs)\n", w.name);
+    let (partition_grid, scale_grid) = bus_ablation_grid();
+    let name = partition_grid[0].1.workload.name.clone();
+    println!("Ablation — bus partitioning ({name}, 8 PEs)\n");
     let mut rows = Vec::new();
-    for partitions in [1usize, 2, 4, 8] {
-        let cfg = SystemConfig { partitions, ..SystemConfig::with_pes(pes) };
-        let r = run_workload_cfg(&w, cfg, &opts).expect("run");
-        assert!(r.correct);
+    for (partitions, p) in partition_grid {
+        let r = run_point(&p);
+        assert!(r.metrics.correct);
         rows.push(vec![
             partitions.to_string(),
-            r.outcome.elapsed_cycles.to_string(),
-            r.outcome.mem.remote_accesses.to_string(),
-            r.outcome.mem.bus_cycles.to_string(),
+            r.metrics.cycles.to_string(),
+            r.metrics.remote_accesses.to_string(),
+            r.metrics.bus_cycles.to_string(),
         ]);
     }
     println!(
@@ -29,18 +26,10 @@ fn main() {
 
     println!("Ablation — remote access cost scaling (4 partitions)\n");
     let mut rows = Vec::new();
-    for scale in [1u64, 2, 4, 8] {
-        let bus = BusCosts {
-            mem_remote_base: 6 * scale,
-            mem_per_segment: 2 * scale,
-            chan_remote_base: 10 * scale,
-            chan_per_segment: 2 * scale,
-            ..BusCosts::default()
-        };
-        let cfg = SystemConfig { bus, ..SystemConfig::with_pes(pes) };
-        let r = run_workload_cfg(&w, cfg, &opts).expect("run");
-        assert!(r.correct);
-        rows.push(vec![format!("x{scale}"), r.outcome.elapsed_cycles.to_string()]);
+    for (scale, p) in scale_grid {
+        let r = run_point(&p);
+        assert!(r.metrics.correct);
+        rows.push(vec![format!("x{scale}"), r.metrics.cycles.to_string()]);
     }
     println!("{}", qm_bench::text_table(&["remote cost", "cycles"], &rows));
 }

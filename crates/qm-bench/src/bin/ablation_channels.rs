@@ -3,32 +3,28 @@
 //! Capacity 0 is the §4.2 pure rendezvous semantics (every send blocks
 //! until its receive); larger capacities model the §5.5 message-cache
 //! hardware. The study shows why the hardware matters: splice traffic
-//! stops costing a context switch per word.
+//! stops costing a context switch per word. A formatter over
+//! [`qm_bench::sweep::channel_ablation_grid`].
 
-use qm_occam::Options;
-use qm_sim::config::SystemConfig;
-use qm_workloads::runner::run_workload_cfg;
+use qm_bench::sweep::{channel_ablation_grid, run_point};
 
 fn main() {
-    let w = qm_workloads::matmul(6);
-    let opts = Options::default();
-    let pes = 4;
-    println!("Ablation — message-cache capacity ({}, {pes} PEs)\n", w.name);
+    let grid = channel_ablation_grid();
+    let name = grid[0].1.workload.name.clone();
+    println!("Ablation — message-cache capacity ({name}, 4 PEs)\n");
     let mut rows = Vec::new();
     let mut base: Option<u64> = None;
-    for capacity in [0usize, 1, 2, 4, 8, 16] {
-        let cfg = SystemConfig { channel_capacity: capacity, ..SystemConfig::with_pes(pes) };
-        let r = run_workload_cfg(&w, cfg, &opts).expect("run");
-        assert!(r.correct, "capacity {capacity}: {:?}", r.mismatches);
-        let cycles = r.outcome.elapsed_cycles;
+    for (capacity, p) in grid {
+        let r = run_point(&p);
+        assert!(r.metrics.correct, "capacity {capacity}: incorrect run");
+        let cycles = r.metrics.cycles;
         let b = *base.get_or_insert(cycles);
-        let switches: u64 = r.outcome.pes.iter().map(|p| p.stats.context_switches).sum();
         #[allow(clippy::cast_precision_loss)]
         rows.push(vec![
             capacity.to_string(),
             cycles.to_string(),
             format!("{:.2}", b as f64 / cycles as f64),
-            switches.to_string(),
+            r.metrics.switches.to_string(),
         ]);
     }
     println!(

@@ -2,25 +2,19 @@
 //!
 //! `Local` degenerates to uniprocessing (every fork stays home);
 //! `RoundRobin` spreads blindly; `LeastLoaded` follows PE clocks and
-//! queue depth — the kernel default.
+//! queue depth — the kernel default. A formatter over
+//! [`qm_bench::sweep::placement_ablation_grid`].
 
-use qm_occam::Options;
-use qm_sim::config::{Placement, SystemConfig};
-use qm_workloads::runner::run_workload_cfg;
+use qm_bench::sweep::{placement_ablation_grid, run_serial};
 
 fn main() {
-    let opts = Options::default();
-    let pes = 8;
-    println!("Ablation — context placement policy ({pes} PEs)\n");
+    println!("Ablation — context placement policy (8 PEs)\n");
     let mut rows = Vec::new();
-    for w in qm_bench::thesis_workloads() {
-        let mut row = vec![w.name.clone()];
-        for placement in [Placement::Local, Placement::RoundRobin, Placement::LeastLoaded] {
-            let cfg = SystemConfig { placement, ..SystemConfig::with_pes(pes) };
-            let r = run_workload_cfg(&w, cfg, &opts).expect("run");
-            assert!(r.correct, "{} {placement:?}: {:?}", w.name, r.mismatches);
-            row.push(r.outcome.elapsed_cycles.to_string());
-        }
+    for (name, pts) in placement_ablation_grid() {
+        let rs = run_serial(&pts);
+        assert!(rs.iter().all(|r| r.metrics.correct), "{name}: incorrect run");
+        let mut row = vec![name];
+        row.extend(rs.iter().map(|r| r.metrics.cycles.to_string()));
         rows.push(row);
     }
     println!(

@@ -1,18 +1,18 @@
-use qm_occam::Options;
-use qm_workloads::*;
+//! Speed-up curves for the five benchmark programs (Figs 6.8/6.10–6.12
+//! one-liner format). A formatter over [`qm_bench::sweep::curves_grid`].
+
+use qm_bench::sweep::{curves_grid, run_serial};
+
 fn main() {
-    let opts = Options::default();
-    for (name, w) in [
-        ("matmul", matmul(8)),
-        ("fft", fft(16)),
-        ("cholesky", cholesky(8)),
-        ("congruence", congruence(8)),
-        ("reduction", reduction(64)),
-    ] {
-        let pts = speedup_curve(&w, &[1, 2, 4, 8], &opts).unwrap();
+    for (name, pts) in curves_grid() {
+        let rs = run_serial(&pts);
+        assert!(rs.iter().all(|r| r.metrics.correct), "{name}: incorrect run");
+        let base = rs[0].metrics.cycles;
         print!("{name:12}");
-        for p in &pts {
-            print!("  {}pe:{} ({:.2}x)", p.pes, p.cycles, p.throughput_ratio);
+        for r in &rs {
+            #[allow(clippy::cast_precision_loss)]
+            let ratio = base as f64 / r.metrics.cycles as f64;
+            print!("  {}pe:{} ({ratio:.2}x)", r.pes, r.metrics.cycles);
         }
         println!();
     }

@@ -1,24 +1,25 @@
 //! Problem-size scaling study: how throughput ratio at 8 PEs grows with
 //! the work per context (the §4.3 granularity argument — bigger acyclic
-//! graphs amortise the splicing overhead).
+//! graphs amortise the splicing overhead). A formatter over
+//! [`qm_bench::sweep::scaling_grid`].
 
-use qm_occam::Options;
-use qm_workloads::{matmul, speedup_curve};
+use qm_bench::sweep::{run_serial, scaling_grid};
 
 fn main() {
-    let opts = Options::default();
     println!("Scaling — matmul problem size vs 8-PE throughput ratio\n");
     let mut rows = Vec::new();
-    for n in [4usize, 6, 8, 10, 12] {
-        let w = matmul(n);
-        let pts = speedup_curve(&w, &[1, 8], &opts).expect("runs");
-        let one = pts[0].cycles;
-        let eight = pts[1].cycles;
+    for (n, pts) in scaling_grid() {
+        let rs = run_serial(&pts);
+        assert!(rs.iter().all(|r| r.metrics.correct), "matmul {n}: incorrect run");
+        let one = rs[0].metrics.cycles;
+        let eight = rs[1].metrics.cycles;
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = one as f64 / eight as f64;
         rows.push(vec![
             format!("{n}x{n}"),
             one.to_string(),
             eight.to_string(),
-            format!("{:.2}", pts[1].throughput_ratio),
+            format!("{ratio:.2}"),
         ]);
     }
     println!("{}", qm_bench::text_table(&["size", "1-PE cycles", "8-PE cycles", "ratio"], &rows));

@@ -1,0 +1,37 @@
+//! Regenerate `BENCH_sweep.json`: run the full evaluation grid serially
+//! and in parallel, prove the two passes bit-identical, and record wall
+//! times to seed the perf trajectory (schema in `EXPERIMENTS.md`).
+
+use std::time::Instant;
+
+use qm_bench::sweep::{full_grid, run_parallel, run_serial, SweepReport};
+
+fn main() {
+    let grid = full_grid();
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("sweep: {} points, {} worker threads", grid.len(), threads);
+
+    let t0 = Instant::now();
+    let serial = run_serial(&grid);
+    let serial_wall = t0.elapsed();
+    println!("serial:   {:>9.1} ms", serial_wall.as_secs_f64() * 1e3);
+
+    let t1 = Instant::now();
+    let parallel = run_parallel(&grid, threads);
+    let parallel_wall = t1.elapsed();
+    println!("parallel: {:>9.1} ms", parallel_wall.as_secs_f64() * 1e3);
+
+    let report = SweepReport::new(threads, &serial, serial_wall, parallel, parallel_wall);
+    assert!(report.identical, "parallel sweep diverged from serial run");
+    assert!(report.points.iter().all(|p| p.metrics.correct), "a sweep point verified incorrect");
+    println!(
+        "speed-up: {:>9.2}x   ({:.1} points/s, all {} points bit-identical)",
+        report.speedup(),
+        report.points_per_sec(),
+        report.points.len(),
+    );
+
+    let path = "BENCH_sweep.json";
+    std::fs::write(path, report.to_json()).expect("write BENCH_sweep.json");
+    println!("wrote {path}");
+}

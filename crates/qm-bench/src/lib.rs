@@ -2,7 +2,10 @@
 //!
 //! Each `bin/` target regenerates one table or figure of the thesis
 //! evaluation (see `DESIGN.md` for the index); this crate provides the
-//! common text-table formatting and the standard benchmark set.
+//! common text-table formatting, the standard benchmark set and the
+//! [`sweep`] runner the bins are built on.
+
+pub mod sweep;
 
 use qm_occam::Options;
 use qm_workloads::Workload;

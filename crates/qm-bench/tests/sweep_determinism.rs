@@ -1,0 +1,76 @@
+//! Determinism harness for the parallel sweep runner: parallel cycle
+//! counts must be bit-identical to serial runs, and both must match the
+//! pre-optimisation seed's golden values (locking the scheduler rewrite
+//! to the old linear-scan semantics).
+
+use qm_bench::sweep::{channel_ablation_grid, run_parallel, run_serial, same_metrics, SweepPoint};
+use qm_sim::config::SystemConfig;
+
+/// Fig. 6.8 golden values from the seed simulator: matmul 8×8 cycles at
+/// 1/2/4/8 PEs (see `EXPERIMENTS.md`).
+const MATMUL8_GOLDEN_CYCLES: [(usize, u64); 4] =
+    [(1, 56_108), (2, 28_420), (4, 15_897), (8, 8_477)];
+
+/// Seed golden values for the message-cache ablation (matmul 6×6 on
+/// 4 PEs): `(capacity, cycles, context switches)`.
+const CHANNEL_ABLATION_GOLDEN: [(usize, u64, u64); 6] = [
+    (0, 12_314, 543),
+    (1, 11_052, 359),
+    (2, 10_638, 276),
+    (4, 9_750, 177),
+    (8, 8_630, 9),
+    (16, 8_630, 9),
+];
+
+fn matmul8_grid() -> Vec<SweepPoint> {
+    MATMUL8_GOLDEN_CYCLES
+        .iter()
+        .map(|&(pes, _)| {
+            SweepPoint::new(
+                format!("golden/matmul8/{pes}pe"),
+                qm_workloads::matmul(8),
+                SystemConfig::with_pes(pes),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fig6_8_matmul_matches_seed_golden_cycles() {
+    let serial = run_serial(&matmul8_grid());
+    for (r, &(pes, cycles)) in serial.iter().zip(&MATMUL8_GOLDEN_CYCLES) {
+        assert!(r.metrics.correct, "matmul8 on {pes} PEs verified incorrect");
+        assert_eq!(r.pes, pes);
+        assert_eq!(r.metrics.cycles, cycles, "matmul8 on {pes} PEs drifted from the seed");
+    }
+}
+
+#[test]
+fn parallel_matmul_grid_is_bit_identical_to_serial() {
+    let grid = matmul8_grid();
+    let serial = run_serial(&grid);
+    for threads in [2, 4] {
+        let parallel = run_parallel(&grid, threads);
+        assert!(
+            same_metrics(&serial, &parallel),
+            "parallel({threads}) metrics diverged from serial"
+        );
+        // Beyond cycles: every deterministic metric, field by field.
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.metrics, p.metrics, "{}", s.id);
+        }
+    }
+}
+
+#[test]
+fn channel_ablation_grid_matches_seed_and_is_deterministic() {
+    let grid: Vec<SweepPoint> = channel_ablation_grid().into_iter().map(|(_, p)| p).collect();
+    let serial = run_serial(&grid);
+    for (r, &(cap, cycles, switches)) in serial.iter().zip(&CHANNEL_ABLATION_GOLDEN) {
+        assert!(r.metrics.correct, "capacity {cap} verified incorrect");
+        assert_eq!(r.metrics.cycles, cycles, "capacity {cap} cycles drifted from the seed");
+        assert_eq!(r.metrics.switches, switches, "capacity {cap} switches drifted");
+    }
+    let parallel = run_parallel(&grid, 4);
+    assert!(same_metrics(&serial, &parallel), "ablation grid not deterministic under threads");
+}

@@ -1,0 +1,39 @@
+//! Keeps `docs/ISA.md` honest: every opcode the ISA defines must be
+//! documented. The reference doc lists each mnemonic in a backticked
+//! table cell together with its octal code, so a new `Opcode` variant
+//! fails this test until the doc gains a row for it.
+
+use qm_isa::isa::Opcode;
+
+const ISA_DOC: &str = include_str!("../../../docs/ISA.md");
+
+#[test]
+fn every_opcode_is_documented() {
+    let mut missing = Vec::new();
+    for &(op, code) in &Opcode::ALL {
+        // The doc writes mnemonics as `mnemonic` table cells; require the
+        // backticked form so prose mentions of common words ("or", "and")
+        // can't mask an undocumented opcode.
+        let cell = format!("`{}`", op.mnemonic());
+        if !ISA_DOC.contains(&cell) {
+            missing.push((op.mnemonic(), code));
+        }
+    }
+    assert!(missing.is_empty(), "opcodes missing from docs/ISA.md: {missing:?}");
+}
+
+#[test]
+fn documented_octal_codes_match_the_isa() {
+    // Each opcode's table row is "| `mnemonic` | code |" with the code in
+    // octal (no prefix). Verify the row exists with the right code so the
+    // doc can't silently drift when encodings change.
+    for &(op, code) in &Opcode::ALL {
+        let row = format!("| `{}` | {:02o} |", op.mnemonic(), code);
+        assert!(
+            ISA_DOC.contains(&row),
+            "docs/ISA.md row for `{}` missing or its octal code is not {:02o}",
+            op.mnemonic(),
+            code
+        );
+    }
+}

@@ -14,6 +14,7 @@
 //! * [`msg`] — channel table / message-cache state machines.
 //! * [`memory`] — the shared, partitioned memory with ring-bus costs.
 //! * [`kernel`] — context records, state machine, kernel entry points.
+//! * [`sched`] — the run loop's ready queues and min-clock actor heap.
 //! * [`system`] — the top-level simulator and run loop.
 //! * [`trace`] — structured event tracing: typed simulator events, the
 //!   sink trait, an in-memory recorder and a Chrome trace-event exporter.
@@ -49,6 +50,7 @@ pub mod config;
 pub mod kernel;
 pub mod memory;
 pub mod msg;
+pub mod sched;
 pub mod system;
 pub mod trace;
 

@@ -1,0 +1,282 @@
+//! Run-loop scheduling structures: per-PE ready queues and the min-clock
+//! actor heap.
+//!
+//! The run loop must repeatedly answer two questions:
+//!
+//! 1. *Which PE acts next?* Causal ordering across PEs requires stepping
+//!    the PE whose next action has the earliest cycle time (ties broken
+//!    by PE index).
+//! 2. *Which context does that PE dispatch?* The ready context with the
+//!    earliest `ready_at` (FIFO among ties).
+//!
+//! The original implementation answered both with linear scans — every
+//! simulated instruction re-walked all PEs and their ready queues, so
+//! blocked contexts were paid for on every step. This module replaces the
+//! scans with:
+//!
+//! * a binary min-heap per PE over `(ready_at, arrival)` keys — dispatch
+//!   is a pop, the earliest `ready_at` is a peek, and parked (blocked)
+//!   contexts sit in *no* structure at all;
+//! * one lazy min-heap of `(time, pe)` *actor candidates*. Entries are
+//!   hints, maintained under the invariant that every runnable PE has at
+//!   least one entry at or below its true next-action time. Stale entries
+//!   are re-validated against the caller on pop and corrected in place,
+//!   so the selected `(time, pe)` is always exactly what the linear scan
+//!   would have chosen — including the tie-break — at `O(log)` cost.
+//!
+//! The equivalence with the linear scan is locked by unit tests here (a
+//! seeded random state-machine comparison) and by the `proptest` harness
+//! in `tests/sched_linear_equivalence.rs`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::CtxId;
+
+/// Ready-queue ordering key: earliest `ready_at` first, then arrival
+/// order (FIFO among equal ready times), then context id (never reached
+/// in practice — arrival numbers are unique).
+type ReadyKey = (u64, u64, CtxId);
+
+/// The run loop's scheduling state: per-PE ready queues plus the actor
+/// heap selecting which PE steps next.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    ready: Vec<BinaryHeap<Reverse<ReadyKey>>>,
+    /// Lazy candidates `(time, pe)`. Invariant: every PE that can act has
+    /// an entry with `time` ≤ its true next-action time.
+    actors: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Monotone arrival counter for FIFO tie-breaking.
+    seq: u64,
+}
+
+impl Scheduler {
+    /// A scheduler for `pes` processing elements, all queues empty.
+    #[must_use]
+    pub fn new(pes: usize) -> Self {
+        Scheduler {
+            ready: (0..pes).map(|_| BinaryHeap::new()).collect(),
+            actors: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Number of PEs scheduled over.
+    #[must_use]
+    pub fn pes(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Queue `ctx` as ready on `pe` from cycle `ready_at` on. Also plants
+    /// an actor-heap hint: `ready_at` is a lower bound on the PE's new
+    /// next-action time, which preserves the heap invariant even when the
+    /// caller cannot see that PE's clock (the cross-PE wake path).
+    pub fn push_ready(&mut self, pe: usize, ctx: CtxId, ready_at: u64) {
+        self.ready[pe].push(Reverse((ready_at, self.seq, ctx)));
+        self.seq += 1;
+        self.actors.push(Reverse((ready_at, pe)));
+    }
+
+    /// Number of contexts queued ready on `pe`.
+    #[must_use]
+    pub fn ready_len(&self, pe: usize) -> usize {
+        self.ready[pe].len()
+    }
+
+    /// Earliest `ready_at` queued on `pe`, if any.
+    #[must_use]
+    pub fn min_ready_at(&self, pe: usize) -> Option<u64> {
+        self.ready[pe].peek().map(|&Reverse((at, _, _))| at)
+    }
+
+    /// Dequeue the ready context on `pe` with the earliest `ready_at`
+    /// (FIFO among ties) — the dispatch choice.
+    pub fn pop_ready(&mut self, pe: usize) -> Option<CtxId> {
+        self.ready[pe].pop().map(|Reverse((_, _, ctx))| ctx)
+    }
+
+    /// Re-plant `pe`'s actor candidate after its state changed (the
+    /// caller passes the freshly computed next-action time, or `None`
+    /// when the PE has nothing to do).
+    pub fn refresh(&mut self, pe: usize, time: Option<u64>) {
+        if let Some(t) = time {
+            self.actors.push(Reverse((t, pe)));
+        }
+    }
+
+    /// Drop every actor candidate and re-plant from `times[pe]` — used
+    /// when entering the run loop, after arbitrary outside mutation.
+    pub fn rebuild(&mut self, times: &[Option<u64>]) {
+        self.actors.clear();
+        for (pe, &t) in times.iter().enumerate() {
+            self.refresh(pe, t);
+        }
+    }
+
+    /// The next `(pe, time)` to act, or `None` when no PE can.
+    ///
+    /// `eval` computes a PE's true next-action time right now, given the
+    /// earliest `ready_at` queued on it (`None` when it cannot act).
+    /// Popped hints are validated against `eval` and corrected in place;
+    /// the returned pair is exactly the linear scan's choice: minimum
+    /// time, ties to the lowest PE index.
+    pub fn next_actor(
+        &mut self,
+        mut eval: impl FnMut(usize, Option<u64>) -> Option<u64>,
+    ) -> Option<(usize, u64)> {
+        while let Some(Reverse((t, pe))) = self.actors.pop() {
+            let min_ready = self.min_ready_at(pe);
+            match eval(pe, min_ready) {
+                Some(actual) if actual == t => return Some((pe, t)),
+                Some(actual) => self.actors.push(Reverse((actual, pe))),
+                None => {}
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-optimisation linear scan, kept verbatim as the reference
+    /// semantics: minimum of clock (running) or `max(min ready_at,
+    /// clock)` (ready work), strict `<` so ties go to the lowest PE.
+    fn linear_scan(
+        clocks: &[u64],
+        running: &[bool],
+        ready_min: &[Option<u64>],
+    ) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        for pe in 0..clocks.len() {
+            let t = if running[pe] {
+                Some(clocks[pe])
+            } else {
+                ready_min[pe].map(|r| r.max(clocks[pe]))
+            };
+            if let Some(t) = t {
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((pe, t));
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn pop_ready_is_fifo_among_equal_ready_times() {
+        let mut s = Scheduler::new(1);
+        s.push_ready(0, 7, 5);
+        s.push_ready(0, 8, 5);
+        s.push_ready(0, 9, 3);
+        assert_eq!(s.min_ready_at(0), Some(3));
+        assert_eq!(s.pop_ready(0), Some(9), "earliest ready_at first");
+        assert_eq!(s.pop_ready(0), Some(7), "FIFO among ties");
+        assert_eq!(s.pop_ready(0), Some(8));
+        assert_eq!(s.pop_ready(0), None);
+    }
+
+    #[test]
+    fn next_actor_prefers_earliest_time_then_lowest_pe() {
+        let mut s = Scheduler::new(3);
+        s.push_ready(0, 0, 9);
+        s.push_ready(1, 1, 4);
+        s.push_ready(2, 2, 4);
+        let clocks = [0u64; 3];
+        let pick = s.next_actor(|pe, mr| mr.map(|r| r.max(clocks[pe])));
+        assert_eq!(pick, Some((1, 4)), "tie between PE 1 and 2 goes to PE 1");
+    }
+
+    #[test]
+    fn stale_hints_are_corrected_not_trusted() {
+        let mut s = Scheduler::new(2);
+        // The hint says 2, but the PE's clock has advanced to 10.
+        s.push_ready(0, 0, 2);
+        s.push_ready(1, 1, 7);
+        let clocks = [10u64, 0];
+        let pick = s.next_actor(|pe, mr| mr.map(|r| r.max(clocks[pe])));
+        assert_eq!(pick, Some((1, 7)), "PE 0's true time is 10, so PE 1 wins");
+        // PE 0's corrected entry survives for the next round.
+        let pick = s.next_actor(|pe, mr| mr.map(|r| r.max(clocks[pe])));
+        assert_eq!(pick, Some((0, 10)));
+    }
+
+    #[test]
+    fn exhausted_scheduler_reports_none() {
+        let mut s = Scheduler::new(2);
+        assert_eq!(s.next_actor(|_, _| None), None);
+        s.push_ready(0, 0, 1);
+        // The context blocked meanwhile: eval sees no runnable work.
+        assert_eq!(s.next_actor(|_, _| None), None);
+        assert_eq!(s.next_actor(|_, _| None), None, "stale hints drained, still none");
+    }
+
+    /// Seeded random state machine: a fleet of PEs gains ready work,
+    /// steps, blocks and re-wakes; after every transition the heap-based
+    /// choice must equal the linear scan's. (The dependency-free sibling
+    /// of `tests/sched_linear_equivalence.rs`.)
+    #[test]
+    fn random_state_machine_matches_linear_scan() {
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for pes in [1usize, 2, 3, 8] {
+            let mut s = Scheduler::new(pes);
+            let mut clocks = vec![0u64; pes];
+            let mut running = vec![false; pes];
+            let mut ready: Vec<Vec<(u64, u64)>> = vec![Vec::new(); pes];
+            let mut seq = 0u64;
+            for step in 0..2000 {
+                match rng() % 4 {
+                    // A wake/fork lands on a random PE.
+                    0 | 1 => {
+                        let pe = (rng() as usize) % pes;
+                        let at = rng() % 64;
+                        ready[pe].push((at, seq));
+                        s.push_ready(pe, seq as CtxId, at);
+                        seq += 1;
+                    }
+                    // The selected PE steps: advance its clock, then
+                    // either keep running, block, or retire.
+                    _ => {
+                        let ready_min: Vec<Option<u64>> =
+                            ready.iter().map(|q| q.iter().map(|&(at, _)| at).min()).collect();
+                        let expect = linear_scan(&clocks, &running, &ready_min);
+                        let got = s.next_actor(|pe, mr| {
+                            assert_eq!(mr, ready_min[pe], "ready heads agree");
+                            if running[pe] {
+                                Some(clocks[pe])
+                            } else {
+                                mr.map(|r| r.max(clocks[pe]))
+                            }
+                        });
+                        assert_eq!(got, expect, "step {step} on {pes} PEs");
+                        let Some((pe, t)) = got else { continue };
+                        if !running[pe] {
+                            // Dispatch: reference removes its FIFO-minimum
+                            // entry, mirroring `pop_ready`.
+                            let k = (0..ready[pe].len())
+                                .min_by_key(|&i| ready[pe][i])
+                                .expect("selectable PE has ready work");
+                            let (_, id) = ready[pe].remove(k);
+                            assert_eq!(s.pop_ready(pe), Some(id as CtxId));
+                        }
+                        clocks[pe] = t + 1 + rng() % 8;
+                        running[pe] = rng() % 3 != 0;
+                        let time = if running[pe] {
+                            Some(clocks[pe])
+                        } else {
+                            ready[pe].iter().map(|&(at, _)| at).min().map(|r| r.max(clocks[pe]))
+                        };
+                        s.refresh(pe, time);
+                    }
+                }
+            }
+        }
+    }
+}

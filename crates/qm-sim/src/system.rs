@@ -6,8 +6,10 @@
 //! channel rendezvous is switched out (window registers rolled into its
 //! queue page — the §5.2 cost at the heart of the thesis's speed-up
 //! behaviour) and the PE dispatches the next ready context.
-
-use std::collections::VecDeque;
+//!
+//! Selecting the furthest-behind PE and its earliest-ready context is
+//! delegated to [`crate::sched::Scheduler`] — priority heaps, so blocked
+//! contexts cost nothing per step instead of being re-scanned each cycle.
 
 use qm_isa::asm::{assemble, Object};
 use qm_isa::pe::{BlockReason, Pe, PeStats, RecvOutcome, SendOutcome, Services, StepResult};
@@ -17,7 +19,8 @@ use crate::config::{Placement, SystemConfig};
 use crate::kernel::{entry, Context, CtxState, PageAllocator, REG_OUT_CHAN};
 use crate::memory::{MemStats, SharedMemory};
 use crate::msg::{CacheState, ChanDir, ChannelTable, RecvResult, SendResult, HOST_CHANNEL};
-use crate::trace::{ForkKind, TraceEvent, TraceSink, Tracer};
+use crate::sched::Scheduler;
+use crate::trace::{ForkKind, TraceEvent, TraceRecord, TraceSink, Tracer};
 use crate::{CtxId, UWord, Word};
 
 /// One context stuck in a deadlock: what it waits for and where it
@@ -141,7 +144,7 @@ pub struct System {
     pub memory: SharedMemory,
     channels: ChannelTable,
     pes: Vec<PeUnit>,
-    ready: Vec<VecDeque<CtxId>>,
+    sched: Scheduler,
     contexts: Vec<Context>,
     pages: Vec<PageAllocator>,
     symbols: Option<Object>,
@@ -156,7 +159,7 @@ pub struct System {
 struct Svc<'a> {
     channels: &'a mut ChannelTable,
     contexts: &'a mut [Context],
-    ready: &'a mut [VecDeque<CtxId>],
+    sched: &'a mut Scheduler,
     cfg: &'a SystemConfig,
     tracer: &'a mut Tracer,
     ctx: CtxId,
@@ -170,7 +173,7 @@ impl Svc<'_> {
         c.state = CtxState::Ready;
         c.ready_at = at;
         let pe = c.pe;
-        self.ready[pe].push_back(w);
+        self.sched.push_ready(pe, w, at);
         self.tracer.emit(self.time, pe, || TraceEvent::CtxWake { ctx: w, chan, at });
     }
 }
@@ -233,7 +236,7 @@ impl System {
             .collect();
         let pages = (0..cfg.pes).map(|_| PageAllocator::new(cfg.queue_page_words)).collect();
         System {
-            ready: vec![VecDeque::new(); cfg.pes],
+            sched: Scheduler::new(cfg.pes),
             memory,
             channels: ChannelTable::new(cfg.channel_capacity),
             pes,
@@ -307,7 +310,7 @@ impl System {
         let ctx = Context::new(pc, 0, page, pom, HOST_CHANNEL, HOST_CHANNEL, 0);
         let id = self.contexts.len();
         self.contexts.push(ctx);
-        self.ready[0].push_back(id);
+        self.sched.push_ready(0, id, 0);
         self.live += 1;
         self.created += 1;
         self.peak_live = self.peak_live.max(self.live as u64);
@@ -336,50 +339,63 @@ impl System {
                 // queued-work count and PE number as tie-breakers. (Pure
                 // context counting converges every iteration chain onto
                 // one PE, because a chain keeps only one context alive.)
-                let mut loads = vec![0usize; self.cfg.pes];
-                for c in &self.contexts {
-                    if matches!(c.state, CtxState::Ready | CtxState::Running) {
-                        loads[c.pe] += 1;
-                    }
-                }
+                // Every Ready context sits in exactly one ready queue and
+                // every Running context is some PE's current, so the load
+                // is a queue length plus a running bit — no context scan.
                 (0..self.cfg.pes)
-                    .min_by_key(|&i| (loads[i], self.pes[i].pe.cycles, i))
+                    .min_by_key(|&i| {
+                        let running = self.pes[i]
+                            .current
+                            .is_some_and(|c| self.contexts[c].state == CtxState::Running);
+                        let load = self.sched.ready_len(i) + usize::from(running);
+                        (load, self.pes[i].pe.cycles, i)
+                    })
                     .unwrap_or(parent)
             }
         }
     }
 
+    /// Earliest cycle PE `pe` can act: its clock while a context is
+    /// running, else the earliest queued `ready_at` clamped to the clock,
+    /// or `None` when nothing can run there. A PE whose resident context
+    /// is blocked only acts when some context (possibly that one,
+    /// re-woken) is ready.
+    fn actor_time(&self, pe: usize) -> Option<u64> {
+        let unit = &self.pes[pe];
+        let running = unit.current.is_some_and(|c| self.contexts[c].state == CtxState::Running);
+        if running {
+            Some(unit.pe.cycles)
+        } else {
+            self.sched.min_ready_at(pe).map(|r| r.max(unit.pe.cycles))
+        }
+    }
+
+    /// Re-plant every PE's actor candidate from current state (run-loop
+    /// entry: spawns/loads may have happened in any order outside it).
+    fn rebuild_actors(&mut self) {
+        let times: Vec<Option<u64>> = (0..self.cfg.pes).map(|i| self.actor_time(i)).collect();
+        self.sched.rebuild(&times);
+    }
+
     /// Which PE should act next: `(pe, at)` or `None` when nothing can
-    /// run. A PE whose resident context is blocked only acts when some
-    /// context (possibly that one, re-woken) is ready.
-    fn next_actor(&self) -> Option<(usize, u64)> {
-        let mut best: Option<(usize, u64)> = None;
-        for (i, unit) in self.pes.iter().enumerate() {
-            let running = unit.current.is_some_and(|c| self.contexts[c].state == CtxState::Running);
-            let t = if running {
+    /// run — the heap-backed equivalent of scanning every PE for the
+    /// minimum [`Self::actor_time`] (ties to the lowest PE index).
+    fn next_actor(&mut self) -> Option<(usize, u64)> {
+        let Self { sched, pes, contexts, .. } = self;
+        sched.next_actor(|pe, min_ready| {
+            let unit = &pes[pe];
+            let running = unit.current.is_some_and(|c| contexts[c].state == CtxState::Running);
+            if running {
                 Some(unit.pe.cycles)
             } else {
-                self.ready[i]
-                    .iter()
-                    .map(|&c| self.contexts[c].ready_at)
-                    .min()
-                    .map(|r| r.max(unit.pe.cycles))
-            };
-            if let Some(t) = t {
-                if best.is_none_or(|(_, bt)| t < bt) {
-                    best = Some((i, t));
-                }
+                min_ready.map(|r| r.max(unit.pe.cycles))
             }
-        }
-        best
+        })
     }
 
     fn dispatch(&mut self, i: usize) {
-        // Pick the ready context with the earliest ready_at (FIFO ties).
-        let qi = (0..self.ready[i].len())
-            .min_by_key(|&k| self.contexts[self.ready[i][k]].ready_at)
-            .expect("dispatch called with ready work");
-        let ctx_id = self.ready[i].remove(qi).expect("index valid");
+        // The ready context with the earliest ready_at (FIFO ties).
+        let ctx_id = self.sched.pop_ready(i).expect("dispatch called with ready work");
         if self.pes[i].current == Some(ctx_id) {
             // The blocked context never left the PE: resume in place with
             // its window registers intact (§5.2 — the effect behind the
@@ -425,7 +441,7 @@ impl System {
         if self.contexts[ctx_id].state == CtxState::Running {
             self.contexts[ctx_id].state = CtxState::Blocked;
         }
-        if self.ready[i].is_empty() {
+        if self.sched.ready_len(i) == 0 {
             // Nothing else to run: stay resident, keep the window
             // registers live, skip the roll-out.
             return;
@@ -472,7 +488,7 @@ impl System {
                 let ctx = Context::new(arg as UWord, child_pe, page, pom, c_in, c_out, at);
                 let id = self.contexts.len();
                 self.contexts.push(ctx);
-                self.ready[child_pe].push_back(id);
+                self.sched.push_ready(child_pe, id, at);
                 self.live += 1;
                 self.created += 1;
                 self.peak_live = self.peak_live.max(self.live as u64);
@@ -536,7 +552,7 @@ impl System {
                     self.contexts[ctx_id].ready_at = target;
                     self.block_current(i);
                     self.contexts[ctx_id].state = CtxState::Ready;
-                    self.ready[i].push_back(ctx_id);
+                    self.sched.push_ready(i, ctx_id, target);
                 }
                 Ok(())
             }
@@ -555,6 +571,7 @@ impl System {
     /// faults.
     pub fn run(&mut self) -> Result<RunOutcome, SimError> {
         let mut total_instr: u64 = 0;
+        self.rebuild_actors();
         while !self.halted && self.live > 0 {
             let Some((i, _)) = self.next_actor() else {
                 return Err(SimError::Deadlock { blocked: self.deadlock_report() });
@@ -570,7 +587,7 @@ impl System {
                 let mut svc = Svc {
                     channels: &mut self.channels,
                     contexts: &mut self.contexts,
-                    ready: &mut self.ready,
+                    sched: &mut self.sched,
                     cfg: &self.cfg,
                     tracer: &mut self.tracer,
                     ctx: ctx_id,
@@ -611,6 +628,10 @@ impl System {
             }
             let after = self.pes[i].pe.cycles;
             self.pes[i].busy += after - before;
+            // The acting PE's next-action time changed: re-plant its heap
+            // candidate (other PEs were hinted by push_ready on wakes).
+            let t = self.actor_time(i);
+            self.sched.refresh(i, t);
             if self.tracer.enabled() {
                 self.drain_buffered_events(i, after);
             }
@@ -624,16 +645,14 @@ impl System {
 
     /// Forward events buffered by the channel table and the memory system
     /// during the step PE `i` just executed, stamped with its clock.
+    /// Draining keeps the buffers' capacity, so a traced run settles into
+    /// zero allocation per step.
     fn drain_buffered_events(&mut self, i: usize, cycle: u64) {
-        if !self.channels.trace.is_empty() {
-            for ev in self.channels.trace.take() {
-                self.tracer.record(&crate::trace::TraceRecord { cycle, pe: i, event: ev });
-            }
+        for ev in self.channels.trace.drain() {
+            self.tracer.record(&TraceRecord { cycle, pe: i, event: ev });
         }
-        if !self.memory.trace.is_empty() {
-            for ev in self.memory.trace.take() {
-                self.tracer.record(&crate::trace::TraceRecord { cycle, pe: i, event: ev });
-            }
+        for ev in self.memory.trace.drain() {
+            self.tracer.record(&TraceRecord { cycle, pe: i, event: ev });
         }
     }
 

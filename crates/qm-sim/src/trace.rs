@@ -275,9 +275,17 @@ impl TraceBuffer {
         }
     }
 
-    /// Take everything buffered since the last drain.
+    /// Take everything buffered since the last drain. Replaces the
+    /// backing storage; prefer [`drain`](Self::drain) on hot paths.
     pub fn take(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.pending)
+    }
+
+    /// Drain everything buffered since the last drain, keeping the
+    /// backing storage — the buffer reaches a steady-state capacity and
+    /// never allocates again.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, TraceEvent> {
+        self.pending.drain(..)
     }
 
     /// Whether anything is buffered (a cheap pre-check before `take`).

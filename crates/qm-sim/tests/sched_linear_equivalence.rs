@@ -1,0 +1,160 @@
+//! Property test: the heap-backed [`qm_sim::sched::Scheduler`] picks the
+//! same PE order as the old linear scan over randomized clock / block /
+//! ready states.
+//!
+//! The reference model is the pre-optimisation `System::next_actor` scan
+//! kept verbatim: a PE's next-action time is its clock while a context
+//! runs, else the earliest queued `ready_at` clamped to the clock; the
+//! minimum wins, with strict `<` so ties go to the lowest PE index.
+//! Dispatch picks the ready entry with the smallest `ready_at`, FIFO
+//! among equals. The proptest drives both implementations through the
+//! same randomized wake/step/block transitions and asserts every
+//! scheduling decision — actor choice, action time and dispatched
+//! context — is identical.
+//!
+//! (This file needs the `proptest` dev-dependency; the dependency-free
+//! sibling lives in `sched.rs`'s unit tests so offline builds keep
+//! equivalent coverage.)
+
+use proptest::prelude::*;
+use qm_sim::sched::Scheduler;
+
+/// One transition of the randomized state machine.
+#[derive(Debug, Clone)]
+enum Op {
+    /// A wake/fork lands a context on PE `pe % pes` at time `at`.
+    Wake { pe: usize, at: u64 },
+    /// The next actor steps: its clock advances by `advance + 1`; it
+    /// then keeps running if `keep_running`, else blocks/retires.
+    Step { advance: u64, keep_running: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), 0u64..64).prop_map(|(pe, at)| Op::Wake { pe, at }),
+        (0u64..8, any::<bool>())
+            .prop_map(|(advance, keep_running)| Op::Step { advance, keep_running }),
+    ]
+}
+
+/// The old linear scan, verbatim.
+fn linear_next_actor(
+    clocks: &[u64],
+    running: &[bool],
+    ready: &[Vec<(u64, u64)>],
+) -> Option<(usize, u64)> {
+    let mut best: Option<(usize, u64)> = None;
+    for pe in 0..clocks.len() {
+        let t = if running[pe] {
+            Some(clocks[pe])
+        } else {
+            ready[pe].iter().map(|&(at, _)| at).min().map(|r| r.max(clocks[pe]))
+        };
+        if let Some(t) = t {
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((pe, t));
+            }
+        }
+    }
+    best
+}
+
+/// The old dispatch choice: earliest `ready_at`, FIFO among equals
+/// (`min_by_key` returns the first minimum in queue order).
+fn linear_dispatch(ready: &mut Vec<(u64, u64)>) -> u64 {
+    let k = (0..ready.len()).min_by_key(|&i| ready[i]).expect("ready work exists");
+    ready.remove(k).1
+}
+
+proptest! {
+    #[test]
+    fn scheduler_matches_linear_scan(
+        pes in 1usize..9,
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        let mut sched = Scheduler::new(pes);
+        let mut clocks = vec![0u64; pes];
+        let mut running = vec![false; pes];
+        // Reference ready queues: (ready_at, ctx id) in arrival order.
+        let mut ready: Vec<Vec<(u64, u64)>> = vec![Vec::new(); pes];
+        let mut next_ctx = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Wake { pe, at } => {
+                    let pe = pe % pes;
+                    ready[pe].push((at, next_ctx));
+                    sched.push_ready(pe, usize::try_from(next_ctx).unwrap(), at);
+                    next_ctx += 1;
+                }
+                Op::Step { advance, keep_running } => {
+                    // The heaps must present the same ready heads as the
+                    // reference queues before every decision.
+                    for pe in 0..pes {
+                        prop_assert_eq!(
+                            sched.min_ready_at(pe),
+                            ready[pe].iter().map(|&(at, _)| at).min(),
+                            "ready head diverged on pe {}",
+                            pe
+                        );
+                    }
+                    let expect = linear_next_actor(&clocks, &running, &ready);
+                    let got = sched.next_actor(|pe, min_ready| {
+                        if running[pe] {
+                            Some(clocks[pe])
+                        } else {
+                            min_ready.map(|r| r.max(clocks[pe]))
+                        }
+                    });
+                    prop_assert_eq!(got, expect, "actor choice diverged");
+                    let Some((pe, t)) = got else { continue };
+                    if !running[pe] {
+                        let want = linear_dispatch(&mut ready[pe]);
+                        let got_ctx = sched.pop_ready(pe);
+                        prop_assert_eq!(
+                            got_ctx,
+                            Some(usize::try_from(want).unwrap()),
+                            "dispatch choice diverged"
+                        );
+                    }
+                    clocks[pe] = t + 1 + advance;
+                    running[pe] = keep_running;
+                    let time = if keep_running {
+                        Some(clocks[pe])
+                    } else {
+                        ready[pe]
+                            .iter()
+                            .map(|&(at, _)| at)
+                            .min()
+                            .map(|r| r.max(clocks[pe]))
+                    };
+                    sched.refresh(pe, time);
+                }
+            }
+        }
+
+        // Drain to exhaustion: the tail order must also agree.
+        loop {
+            let expect = linear_next_actor(&clocks, &running, &ready);
+            let got = sched.next_actor(|pe, min_ready| {
+                if running[pe] {
+                    Some(clocks[pe])
+                } else {
+                    min_ready.map(|r| r.max(clocks[pe]))
+                }
+            });
+            prop_assert_eq!(got, expect, "drain order diverged");
+            let Some((pe, t)) = got else { break };
+            if !running[pe] {
+                let want = linear_dispatch(&mut ready[pe]);
+                prop_assert_eq!(sched.pop_ready(pe), Some(usize::try_from(want).unwrap()));
+            }
+            clocks[pe] = t + 1;
+            // Retire: the PE never keeps running in the drain phase.
+            running[pe] = false;
+            let time =
+                ready[pe].iter().map(|&(at, _)| at).min().map(|r| r.max(clocks[pe]));
+            sched.refresh(pe, time);
+        }
+    }
+}

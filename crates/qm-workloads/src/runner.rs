@@ -92,8 +92,9 @@ pub fn run_workload(
 /// Compile `w`, load it, initialise its input arrays and spawn the main
 /// context — everything short of `run`. Callers that need to configure
 /// the system first (e.g. install a trace sink with
-/// `System::set_trace_sink`) use this, then run and verify themselves or
-/// via [`verify_workload`].
+/// `System::set_trace_sink`) use this, then run and verify themselves
+/// (compare the output arrays against [`Workload::expected`], as
+/// [`run_workload_cfg`] does).
 ///
 /// # Errors
 ///

@@ -5,11 +5,14 @@
 # with bare rustc. Integration tests that need proptest are skipped;
 # the deterministic ones under tests/ are built with --test.
 #
-# Usage: scripts/offline-build.sh [--run-tests|--clippy]
+# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc]
 #
 # --clippy rebuilds everything with clippy-driver (a drop-in rustc) and
 # -Dwarnings, mirroring the CI `cargo clippy -- -D warnings` gate without
 # needing the registry.
+#
+# --doc runs bare rustdoc with -Dwarnings over every library crate,
+# mirroring the CI `RUSTDOCFLAGS="-D warnings" cargo doc --no-deps` gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT=target/offline
@@ -24,6 +27,22 @@ mkdir -p "$OUT"
 RUSTC="$DRIVER --edition 2021 $FLAGS"
 
 L="-L $OUT"
+
+if [[ "${1:-}" == "--doc" ]]; then
+    # Build rlibs with plain rustc first so rustdoc can resolve externs.
+    "$0" >/dev/null
+    EXTERNS="--extern qm_core=$OUT/libqm_core.rlib --extern qm_isa=$OUT/libqm_isa.rlib --extern qm_sim=$OUT/libqm_sim.rlib --extern qm_occam=$OUT/libqm_occam.rlib --extern qm_workloads=$OUT/libqm_workloads.rlib"
+    for lib in crates/qm-core/src/lib.rs crates/qm-isa/src/lib.rs \
+               crates/qm-sim/src/lib.rs crates/qm-occam/src/lib.rs \
+               crates/qm-workloads/src/lib.rs crates/qm-bench/src/lib.rs \
+               src/lib.rs; do
+        name=$(echo "$lib" | sed -E 's#crates/(qm-[a-z]+)/src/lib.rs#\1#;s#^src/lib.rs#queue_machine#;s/-/_/')
+        rustdoc --edition 2021 -Dwarnings --crate-name "$name" $L $EXTERNS \
+            --out-dir target/offline-doc "$lib"
+    done
+    echo "offline doc OK"
+    exit 0
+fi
 $RUSTC --crate-type lib --crate-name qm_core crates/qm-core/src/lib.rs -o "$OUT/libqm_core.rlib"
 $RUSTC --crate-type lib --crate-name qm_isa $L --extern qm_core="$OUT/libqm_core.rlib" crates/qm-isa/src/lib.rs -o "$OUT/libqm_isa.rlib"
 $RUSTC --crate-type lib --crate-name qm_sim $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" crates/qm-sim/src/lib.rs -o "$OUT/libqm_sim.rlib"
@@ -42,7 +61,7 @@ if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
     ALLEXT="$EXTERNS --extern qm_bench=$OUT/libqm_bench.rlib --extern queue_machine=$OUT/libqueue_machine.rlib"
     for lib in crates/qm-core/src/lib.rs crates/qm-isa/src/lib.rs \
                crates/qm-sim/src/lib.rs crates/qm-occam/src/lib.rs \
-               crates/qm-workloads/src/lib.rs; do
+               crates/qm-workloads/src/lib.rs crates/qm-bench/src/lib.rs; do
         name=$(echo "$lib" | sed -E 's#crates/(qm-[a-z]+)/src/lib.rs#\1#;s/-/_/')
         $RUSTC --test --crate-name "${name}_unit" $L $ALLEXT "$lib" -o "$OUT/${name}_unit"
         [[ "$DRIVER" == rustc ]] && "$OUT/${name}_unit" -q
@@ -52,7 +71,9 @@ if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
              crates/qm-occam/tests/compile_run.rs crates/qm-occam/tests/codegen_behavior.rs \
              crates/qm-occam/tests/deterministic_shapes.rs \
              crates/qm-isa/tests/von_neumann.rs crates/qm-workloads/tests/runner_paths.rs \
-             crates/qm-sim/tests/trace_events.rs; do
+             crates/qm-sim/tests/trace_events.rs \
+             crates/qm-bench/tests/sweep_determinism.rs \
+             crates/qm-isa/tests/isa_doc.rs; do
         [[ -f "$t" ]] || continue
         name=$(basename "$t" .rs)
         $RUSTC --test --crate-name "itest_$name" $L $ALLEXT "$t" -o "$OUT/itest_$name"
