@@ -4,16 +4,15 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use qm_occam::Options;
-use qm_workloads::{matmul, run_workload};
+use qm_workloads::{matmul, WorkloadRun};
 
 fn bench(c: &mut Criterion) {
     let w = matmul(4);
-    let opts = Options::default();
     for pes in [1usize, 4] {
+        let run = WorkloadRun::with_pes(pes);
         c.bench_function(&format!("simulate_matmul_4x4_{pes}pe"), |b| {
             b.iter(|| {
-                let r = run_workload(black_box(&w), pes, &opts).expect("run");
+                let r = run.run(black_box(&w)).expect("run");
                 assert!(r.correct);
                 black_box(r.outcome.elapsed_cycles)
             });

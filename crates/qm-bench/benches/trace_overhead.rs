@@ -13,20 +13,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use qm_occam::Options;
 use qm_sim::config::SystemConfig;
 use qm_sim::trace::{NoopSink, Recorder};
-use qm_workloads::{matmul, prepare_workload};
+use qm_workloads::{matmul, WorkloadRun};
 
 fn bench(c: &mut Criterion) {
     let w = matmul(4);
-    let opts = Options::default();
-    let pes = 4usize;
+    let run = WorkloadRun::new().config(SystemConfig::with_pes(4));
 
     c.bench_function("trace_overhead_untraced", |b| {
         b.iter(|| {
-            let (mut sys, _) =
-                prepare_workload(black_box(&w), SystemConfig::with_pes(pes), &opts).expect("run");
+            let (mut sys, _) = run.prepare(black_box(&w)).expect("run");
             let out = sys.run().expect("completes");
             black_box(out.elapsed_cycles)
         });
@@ -34,8 +31,7 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("trace_overhead_noop_sink", |b| {
         b.iter(|| {
-            let (mut sys, _) =
-                prepare_workload(black_box(&w), SystemConfig::with_pes(pes), &opts).expect("run");
+            let (mut sys, _) = run.prepare(black_box(&w)).expect("run");
             sys.set_trace_sink(Box::new(NoopSink));
             let out = sys.run().expect("completes");
             black_box(out.elapsed_cycles)
@@ -44,8 +40,7 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("trace_overhead_recorder_sink", |b| {
         b.iter(|| {
-            let (mut sys, _) =
-                prepare_workload(black_box(&w), SystemConfig::with_pes(pes), &opts).expect("run");
+            let (mut sys, _) = run.prepare(black_box(&w)).expect("run");
             let rec = Recorder::new(1 << 16);
             sys.set_trace_sink(rec.sink());
             let out = sys.run().expect("completes");

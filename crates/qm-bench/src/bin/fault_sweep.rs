@@ -1,0 +1,74 @@
+//! Regenerate `BENCH_fault_sweep.json`: run the fault-injection grid
+//! (placement policies × fault rates, one fixed seed) serially and in
+//! parallel, prove the two passes bit-identical — degradation counters
+//! included — and record per-point fault/recovery statistics (schema
+//! `qm-bench-fault/v1`, documented in `EXPERIMENTS.md`).
+//!
+//! Usage: `fault_sweep [--smoke]` — `--smoke` runs the reduced CI grid
+//! and skips the JSON file.
+
+use std::time::Instant;
+
+use qm_bench::fault_sweep::{fault_grid, smoke_grid, FaultSweepReport};
+use qm_bench::sweep::{run_parallel, run_serial};
+
+fn main() {
+    let smoke = match std::env::args().nth(1).as_deref() {
+        None => false,
+        Some("--smoke") => true,
+        Some(other) => {
+            eprintln!("usage: fault_sweep [--smoke]  (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+    let grid = if smoke { smoke_grid() } else { fault_grid() };
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("fault sweep: {} points, {} worker threads", grid.len(), threads);
+
+    let t0 = Instant::now();
+    let serial = run_serial(&grid);
+    let serial_wall = t0.elapsed();
+    println!("serial:   {:>9.1} ms", serial_wall.as_secs_f64() * 1e3);
+
+    let t1 = Instant::now();
+    let parallel = run_parallel(&grid, threads);
+    let parallel_wall = t1.elapsed();
+    println!("parallel: {:>9.1} ms", parallel_wall.as_secs_f64() * 1e3);
+
+    let report = FaultSweepReport::new(threads, &serial, serial_wall, parallel, parallel_wall);
+    assert!(report.identical, "parallel fault sweep diverged from serial run");
+    assert!(report.points.iter().all(|p| p.metrics.correct), "a faulty run verified incorrect");
+
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            let d = &p.metrics.degradation;
+            vec![
+                p.id.clone(),
+                p.metrics.cycles.to_string(),
+                d.send_drops.to_string(),
+                d.bus_drops.to_string(),
+                d.trap_delays.to_string(),
+                d.retries.to_string(),
+                d.recovered_transfers.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        qm_bench::text_table(
+            &["point", "cycles", "send drops", "bus drops", "trap delays", "retries", "recovered"],
+            &rows
+        )
+    );
+    println!("all {} points bit-identical across serial and parallel runs", report.points.len());
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_fault_sweep.json");
+        return;
+    }
+    let path = "BENCH_fault_sweep.json";
+    std::fs::write(path, report.to_json()).expect("write BENCH_fault_sweep.json");
+    println!("wrote {path}");
+}

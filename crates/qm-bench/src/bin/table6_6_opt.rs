@@ -6,7 +6,7 @@
 //! optimization buys.
 
 use qm_occam::Options;
-use qm_workloads::run_workload;
+use qm_workloads::WorkloadRun;
 
 fn main() {
     let all_on = Options::default();
@@ -20,11 +20,13 @@ fn main() {
     println!("Table 6.6 — compiler optimization speed-up factors ({pes} PEs)\n");
     let mut rows = Vec::new();
     for w in qm_bench::thesis_workloads() {
-        let base = run_workload(&w, pes, &all_on).expect("baseline run");
+        let base = WorkloadRun::with_pes(pes).options(all_on).run(&w).expect("baseline run");
         assert!(base.correct, "{}: {:?}", w.name, base.mismatches);
         let mut row = vec![w.name.clone()];
         for (name, opts) in &variants {
-            let r = run_workload(&w, pes, opts)
+            let r = WorkloadRun::with_pes(pes)
+                .options(*opts)
+                .run(&w)
                 .unwrap_or_else(|e| panic!("{} without {name}: {e}", w.name));
             assert!(r.correct, "{} without {name}: {:?}", w.name, r.mismatches);
             #[allow(clippy::cast_precision_loss)]

@@ -10,10 +10,9 @@
 //! Usage: `trace_export [OUTPUT.json] [PES]` (defaults:
 //! `matmul_8pe_trace.json`, 8).
 
-use qm_occam::Options;
 use qm_sim::config::SystemConfig;
 use qm_sim::trace::ChromeTrace;
-use qm_workloads::{matmul, prepare_workload};
+use qm_workloads::{matmul, WorkloadRun};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -27,9 +26,10 @@ fn main() {
     };
 
     let w = matmul(8);
-    let opts = Options::default();
-    let (mut sys, _compiled) =
-        prepare_workload(&w, SystemConfig::with_pes(pes), &opts).expect("workload compiles");
+    let (mut sys, _compiled) = WorkloadRun::new()
+        .config(SystemConfig::with_pes(pes))
+        .prepare(&w)
+        .expect("workload compiles");
     let chrome = ChromeTrace::new();
     sys.set_trace_sink(chrome.sink());
     let outcome = sys.run().expect("simulation completes");

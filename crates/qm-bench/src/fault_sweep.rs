@@ -1,0 +1,217 @@
+//! Fault-injection sweep: how gracefully does the simulated machine
+//! degrade as transfers start failing?
+//!
+//! The grid crosses the three context-placement policies with a ramp of
+//! fault rates (send losses, bus drops and trap delays scaled together)
+//! on the 6×6 matrix multiplication at 4 PEs, all driven from one fixed
+//! seed so every run — serial or parallel, today or in CI — produces the
+//! identical fault stream. The first rate on the ramp is zero: that
+//! column doubles as a live check of the empty-plan identity (its
+//! metrics must match a plan-free run bit for bit, which the
+//! `fault_sweep_determinism` integration test pins).
+//!
+//! `bin/fault_sweep.rs` regenerates `BENCH_fault_sweep.json` from this
+//! grid (schema `qm-bench-fault/v1`, documented in `EXPERIMENTS.md`),
+//! running the grid twice — serially and across worker threads — and
+//! recording whether the two passes were bit-identical.
+
+use std::time::Duration;
+
+use qm_sim::config::{Placement, SystemConfig};
+use qm_sim::fault::FaultPlan;
+
+use crate::sweep::{json_escape, ms, PointResult, SweepPoint};
+
+/// The one seed every fault-sweep point derives its fault stream from.
+pub const FAULT_SEED: u64 = 0x5EED_FA17;
+
+/// Send-loss rates (parts per million) of the full ramp; bus drops ride
+/// at half and trap delays at a quarter of each rate.
+pub const FAULT_RATES_PPM: [u32; 4] = [0, 50_000, 200_000, 500_000];
+
+/// Extra cycles charged per delayed kernel trap.
+pub const TRAP_DELAY_CYCLES: u64 = 12;
+
+/// The fault plan at one rate of the ramp. Rate 0 yields an *empty* plan
+/// (seed set, nothing enabled), which the simulator treats as no plan at
+/// all — the zero column of the sweep is a fault-free run.
+#[must_use]
+pub fn plan_at(rate_ppm: u32) -> FaultPlan {
+    FaultPlan::seeded(FAULT_SEED)
+        .with_send_loss(rate_ppm)
+        .with_bus_drops(rate_ppm / 2)
+        .with_trap_delays(rate_ppm / 4, TRAP_DELAY_CYCLES)
+}
+
+fn grid_for(n: usize, rates: &[u32]) -> Vec<SweepPoint> {
+    let w = qm_workloads::matmul(n);
+    let mut points = Vec::new();
+    for (tag, placement) in [
+        ("local", Placement::Local),
+        ("round-robin", Placement::RoundRobin),
+        ("least-loaded", Placement::LeastLoaded),
+    ] {
+        for &rate in rates {
+            let cfg = SystemConfig { placement, ..SystemConfig::with_pes(4) };
+            points.push(
+                SweepPoint::new(format!("faults/{tag}/{rate}ppm"), w.clone(), cfg)
+                    .with_config(format!("placement={tag} loss={rate}ppm"))
+                    .with_faults(plan_at(rate)),
+            );
+        }
+    }
+    points
+}
+
+/// The full fault grid: placement policies × [`FAULT_RATES_PPM`] on the
+/// 6×6 matmul at 4 PEs.
+#[must_use]
+pub fn fault_grid() -> Vec<SweepPoint> {
+    grid_for(6, &FAULT_RATES_PPM)
+}
+
+/// A reduced grid for CI smoke runs: the 4×4 matmul at the two rate
+/// extremes only.
+#[must_use]
+pub fn smoke_grid() -> Vec<SweepPoint> {
+    grid_for(4, &[0, 500_000])
+}
+
+/// A completed serial-vs-parallel fault sweep, serialisable to the
+/// `BENCH_fault_sweep.json` schema (`qm-bench-fault/v1`, see
+/// `EXPERIMENTS.md`).
+#[derive(Debug, Clone)]
+pub struct FaultSweepReport {
+    /// Worker threads used for the parallel pass.
+    pub threads: usize,
+    /// Wall time of the serial pass.
+    pub serial_wall: Duration,
+    /// Wall time of the parallel pass.
+    pub parallel_wall: Duration,
+    /// Whether serial and parallel metrics (including every degradation
+    /// counter) were bit-identical.
+    pub identical: bool,
+    /// Per-point results (from the parallel pass).
+    pub points: Vec<PointResult>,
+}
+
+impl FaultSweepReport {
+    /// Build a report from a serial and a parallel pass over the same
+    /// grid.
+    #[must_use]
+    pub fn new(
+        threads: usize,
+        serial: &[PointResult],
+        serial_wall: Duration,
+        parallel: Vec<PointResult>,
+        parallel_wall: Duration,
+    ) -> Self {
+        FaultSweepReport {
+            threads,
+            serial_wall,
+            parallel_wall,
+            identical: crate::sweep::same_metrics(serial, &parallel),
+            points: parallel,
+        }
+    }
+
+    /// Serialise as `BENCH_fault_sweep.json` (schema `qm-bench-fault/v1`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"qm-bench-fault/v1\",\n");
+        out.push_str(&format!("  \"seed\": {FAULT_SEED},\n"));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"serial_wall_ms\": {:.3},\n", ms(self.serial_wall)));
+        out.push_str(&format!("  \"parallel_wall_ms\": {:.3},\n", ms(self.parallel_wall)));
+        out.push_str(&format!("  \"identical\": {},\n", self.identical));
+        out.push_str("  \"points\": [\n");
+        let rows: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                let m = &p.metrics;
+                let d = &m.degradation;
+                format!(
+                    "    {{\"id\": \"{}\", \"config\": \"{}\", \"pes\": {}, \"cycles\": {}, \
+                     \"correct\": {}, \"send_drops\": {}, \"bus_drops\": {}, \
+                     \"trap_delays\": {}, \"retries\": {}, \"recovered_transfers\": {}, \
+                     \"backoff_cycles\": {}, \"delay_cycles\": {}, \"wall_ms\": {:.3}}}",
+                    json_escape(&p.id),
+                    json_escape(&p.config),
+                    p.pes,
+                    m.cycles,
+                    m.correct,
+                    d.send_drops,
+                    d.bus_drops,
+                    d.trap_delays,
+                    d.retries,
+                    d.recovered_transfers,
+                    d.backoff_cycles,
+                    d.delay_cycles,
+                    ms(p.wall),
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_parallel, run_serial, same_metrics};
+
+    #[test]
+    fn zero_rate_plans_are_empty_and_nonzero_ones_are_not() {
+        assert!(plan_at(0).is_empty());
+        for &rate in &FAULT_RATES_PPM[1..] {
+            assert!(!plan_at(rate).is_empty(), "{rate} ppm");
+        }
+    }
+
+    #[test]
+    fn grids_cover_every_placement_and_rate_once() {
+        let full = fault_grid();
+        assert_eq!(full.len(), 3 * FAULT_RATES_PPM.len());
+        let mut ids: Vec<&str> = full.iter().map(|p| p.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), full.len(), "point ids are unique");
+        assert_eq!(smoke_grid().len(), 6);
+    }
+
+    #[test]
+    fn smoke_grid_runs_identically_serial_and_parallel() {
+        let grid = smoke_grid();
+        let serial = run_serial(&grid);
+        let parallel = run_parallel(&grid, 3);
+        assert!(same_metrics(&serial, &parallel));
+        assert!(serial.iter().all(|p| p.metrics.correct), "faults never corrupt results");
+        // The zero-rate points are clean; the 50%-loss points are not.
+        for p in &serial {
+            let faulty = !p.id.ends_with("/0ppm");
+            assert_eq!(!p.metrics.degradation.is_clean(), faulty, "{}", p.id);
+        }
+    }
+
+    #[test]
+    fn report_serialises_to_the_fault_v1_schema() {
+        let grid = smoke_grid();
+        let t0 = std::time::Instant::now();
+        let serial = run_serial(&grid);
+        let serial_wall = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let parallel = run_parallel(&grid, 2);
+        let parallel_wall = t1.elapsed();
+        let report = FaultSweepReport::new(2, &serial, serial_wall, parallel, parallel_wall);
+        assert!(report.identical);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"qm-bench-fault/v1\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"send_drops\":"));
+        assert!(json.contains("\"id\": \"faults/local/0ppm\""));
+    }
+}

@@ -5,10 +5,11 @@
 //! common text-table formatting, the standard benchmark set and the
 //! [`sweep`] runner the bins are built on.
 
+pub mod fault_sweep;
 pub mod sweep;
 
 use qm_occam::Options;
-use qm_workloads::Workload;
+use qm_workloads::{Workload, WorkloadRun};
 
 /// Render rows as a fixed-width text table with a header rule.
 #[must_use]
@@ -70,13 +71,12 @@ pub fn default_options() -> Options {
 ///
 /// Panics if any run fails or verifies incorrect.
 pub fn report_workload(w: &Workload, table_name: &str, fig_name: &str) {
-    let opts = Options::default();
     println!("{table_name} — statistics for the {} program\n", w.name);
     let mut stat_rows = Vec::new();
     let mut curve_rows = Vec::new();
     let mut base: Option<u64> = None;
     for &pes in &PE_COUNTS {
-        let r = qm_workloads::run_workload(w, pes, &opts).expect("benchmark run");
+        let r = WorkloadRun::with_pes(pes).run(w).expect("benchmark run");
         assert!(r.correct, "{} on {pes} PEs: {:?}", w.name, r.mismatches);
         let o = &r.outcome;
         stat_rows.push(vec![

@@ -1,0 +1,125 @@
+//! Determinism harness for the fault-injection sweep: the seeded fault
+//! grid must replay bit-identically (serially, across worker threads,
+//! and against pinned golden values), and its zero-rate column must be
+//! indistinguishable from plan-free runs — the empty-plan identity,
+//! checked here at the benchmark layer.
+
+use qm_bench::fault_sweep::{fault_grid, plan_at, smoke_grid, FAULT_RATES_PPM};
+use qm_bench::sweep::{run_parallel, run_serial, same_metrics, SweepPoint};
+use qm_sim::config::{Placement, SystemConfig};
+
+/// Golden values for the seeded fault grid (matmul 6×6 on 4 PEs,
+/// `FAULT_SEED`): `(id, cycles, send drops, bus drops, retries,
+/// recovered transfers)`. Any drift here means the fault stream or the
+/// recovery machinery changed behaviour.
+const FAULT_GRID_GOLDEN: [(&str, u64, u64, u64, u64, u64); 12] = [
+    ("faults/local/0ppm", 24_698, 0, 0, 0, 0),
+    ("faults/local/50000ppm", 26_126, 27, 0, 27, 25),
+    ("faults/local/200000ppm", 30_291, 134, 0, 134, 106),
+    ("faults/local/500000ppm", 41_012, 528, 0, 528, 276),
+    ("faults/round-robin/0ppm", 8_630, 0, 0, 0, 0),
+    ("faults/round-robin/50000ppm", 9_204, 27, 0, 27, 24),
+    ("faults/round-robin/200000ppm", 10_847, 134, 2, 136, 109),
+    ("faults/round-robin/500000ppm", 14_355, 528, 6, 534, 273),
+    ("faults/least-loaded/0ppm", 9_285, 0, 0, 0, 0),
+    ("faults/least-loaded/50000ppm", 9_935, 27, 0, 27, 24),
+    ("faults/least-loaded/200000ppm", 11_308, 134, 3, 137, 115),
+    ("faults/least-loaded/500000ppm", 15_086, 528, 9, 537, 270),
+];
+
+#[test]
+fn fault_grid_matches_pinned_goldens() {
+    let serial = run_serial(&fault_grid());
+    assert_eq!(serial.len(), FAULT_GRID_GOLDEN.len());
+    for (r, &(id, cycles, send_drops, bus_drops, retries, recovered)) in
+        serial.iter().zip(&FAULT_GRID_GOLDEN)
+    {
+        assert_eq!(r.id, id);
+        assert!(r.metrics.correct, "{id} verified incorrect");
+        assert_eq!(r.metrics.cycles, cycles, "{id}: cycles drifted");
+        let d = &r.metrics.degradation;
+        assert_eq!(d.send_drops, send_drops, "{id}: send drops drifted");
+        assert_eq!(d.bus_drops, bus_drops, "{id}: bus drops drifted");
+        assert_eq!(d.retries, retries, "{id}: retries drifted");
+        assert_eq!(d.recovered_transfers, recovered, "{id}: recoveries drifted");
+    }
+}
+
+#[test]
+fn fault_grid_is_bit_identical_across_serial_and_parallel_runs() {
+    let grid = fault_grid();
+    let serial = run_serial(&grid);
+    for threads in [2, 4] {
+        let parallel = run_parallel(&grid, threads);
+        assert!(
+            same_metrics(&serial, &parallel),
+            "parallel({threads}) fault metrics diverged from serial"
+        );
+        // Beyond the aggregate check: every degradation counter,
+        // field by field.
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.metrics.degradation, p.metrics.degradation, "{}", s.id);
+        }
+    }
+}
+
+#[test]
+fn zero_rate_points_equal_plan_free_points() {
+    // The rate-0 column of the grid carries a seeded-but-empty plan;
+    // strip the plans entirely and the metrics must not move a bit.
+    let with_plans: Vec<SweepPoint> =
+        fault_grid().into_iter().filter(|p| p.id.ends_with("/0ppm")).collect();
+    assert_eq!(with_plans.len(), 3);
+    let without_plans: Vec<SweepPoint> = with_plans
+        .iter()
+        .map(|p| {
+            let mut p = p.clone();
+            p.fault_plan = None;
+            p
+        })
+        .collect();
+    let a = run_serial(&with_plans);
+    let b = run_serial(&without_plans);
+    assert!(same_metrics(&a, &b), "an empty plan perturbed the benchmark metrics");
+    for r in &a {
+        assert!(r.metrics.degradation.is_clean(), "{}", r.id);
+    }
+}
+
+#[test]
+fn faulty_points_degrade_monotonically_in_drops() {
+    // Within one placement policy, a higher loss rate can only drop more
+    // sends — the fault streams are per-event draws against a threshold,
+    // so raising the threshold is monotone by construction. Pin that.
+    for placement in ["local", "round-robin", "least-loaded"] {
+        let golden: Vec<_> =
+            FAULT_GRID_GOLDEN.iter().filter(|(id, ..)| id.contains(placement)).collect();
+        for pair in golden.windows(2) {
+            assert!(pair[0].2 <= pair[1].2, "{placement}: send drops not monotone in rate");
+        }
+    }
+}
+
+#[test]
+fn smoke_grid_is_a_subset_shape_of_the_full_grid() {
+    // CI runs the smoke grid; make sure it exercises both the empty-plan
+    // identity (rate 0) and heavy loss (the top rate) for every policy.
+    let grid = smoke_grid();
+    assert_eq!(grid.len(), 6);
+    assert_eq!(grid.iter().filter(|p| p.id.ends_with("/0ppm")).count(), 3);
+    let top = *FAULT_RATES_PPM.last().unwrap();
+    assert_eq!(grid.iter().filter(|p| p.id.ends_with(&format!("/{top}ppm"))).count(), 3);
+}
+
+#[test]
+fn a_single_faulty_point_replays_identically() {
+    // The finest-grained replay check: one faulty run, executed twice
+    // from scratch, must agree on cycles and every recovery counter.
+    let cfg = SystemConfig { placement: Placement::RoundRobin, ..SystemConfig::with_pes(4) };
+    let point = SweepPoint::new("replay/matmul6", qm_workloads::matmul(6), cfg)
+        .with_faults(plan_at(500_000));
+    let a = run_serial(std::slice::from_ref(&point));
+    let b = run_serial(std::slice::from_ref(&point));
+    assert_eq!(a[0].metrics, b[0].metrics);
+    assert!(a[0].metrics.degradation.send_drops > 0);
+}

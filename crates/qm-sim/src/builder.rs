@@ -1,0 +1,308 @@
+//! Fluent construction of a simulation: [`Simulation::builder()`].
+//!
+//! Building a runnable system used to take a scatter of calls —
+//! `System::new`, `set_trace_sink`, `load_object`, `push_input`,
+//! `spawn_main` — in an order the caller had to get right. The builder
+//! consolidates them behind one fluent chain and is the only
+//! construction path that also installs a fault plan before anything
+//! runs:
+//!
+//! ```
+//! use qm_sim::{Simulation, SystemConfig};
+//!
+//! let src = "
+//! main:   recv #0,#0 :r0
+//!         mul+1 r0,#3 :r0
+//!         send+1 #0,r0
+//!         trap #2,#0
+//! ";
+//! let mut sys = Simulation::builder()
+//!     .config(SystemConfig::with_pes(2))
+//!     .assembly(src)
+//!     .input(14)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(sys.run().unwrap().output, vec![42]);
+//! ```
+//!
+//! The pre-existing piecewise methods remain as thin delegates (and for
+//! post-build mutation such as workload memory initialisation).
+
+use qm_isa::asm::{assemble, Object};
+
+use crate::config::SystemConfig;
+use crate::fault::FaultPlan;
+use crate::system::{SimError, System};
+use crate::trace::TraceSink;
+use crate::Word;
+
+/// Alias for [`System`] so construction reads as `Simulation::builder()`;
+/// the two names are interchangeable.
+pub type Simulation = System;
+
+/// Fluent builder for a [`System`]; obtained from [`System::builder`].
+///
+/// Defaults: a 1-PE [`SystemConfig`], no trace sink, no program, no
+/// inputs, no faults. When a program is given (via
+/// [`object`](Self::object) or [`assembly`](Self::assembly)) the root
+/// context is spawned at the `main` label — or the object's base when no
+/// such label exists — unless [`no_spawn`](Self::no_spawn) or an
+/// explicit [`entry`](Self::entry) overrides that.
+#[must_use = "call .build() to obtain the System"]
+pub struct SimBuilder {
+    cfg: SystemConfig,
+    sink: Option<Box<dyn TraceSink>>,
+    object: Option<Object>,
+    assembly: Option<String>,
+    inputs: Vec<Word>,
+    fault_plan: Option<FaultPlan>,
+    entry: Option<String>,
+    spawn: bool,
+}
+
+impl System {
+    /// Start building a simulation (see [`crate::builder`]).
+    pub fn builder() -> SimBuilder {
+        SimBuilder {
+            cfg: SystemConfig::default(),
+            sink: None,
+            object: None,
+            assembly: None,
+            inputs: Vec::new(),
+            fault_plan: None,
+            entry: None,
+            spawn: true,
+        }
+    }
+}
+
+impl SimBuilder {
+    /// Use `cfg` as the system configuration.
+    pub fn config(mut self, cfg: SystemConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Shorthand for `.config(SystemConfig::with_pes(pes))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ pes ≤ 16` (from
+    /// [`SystemConfig::with_pes`]).
+    pub fn pes(self, pes: usize) -> Self {
+        self.config(SystemConfig::with_pes(pes))
+    }
+
+    /// Install `sink` as the trace sink (see [`crate::trace`]).
+    pub fn trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Load the pre-assembled `obj`. Mutually exclusive with
+    /// [`assembly`](Self::assembly).
+    pub fn object(mut self, obj: &Object) -> Self {
+        self.object = Some(obj.clone());
+        self
+    }
+
+    /// Assemble and load `src`. Mutually exclusive with
+    /// [`object`](Self::object).
+    pub fn assembly(mut self, src: &str) -> Self {
+        self.assembly = Some(src.to_string());
+        self
+    }
+
+    /// Pre-load host input words (read by `recv` on channel 0), appended
+    /// to any given earlier.
+    pub fn inputs(mut self, values: &[Word]) -> Self {
+        self.inputs.extend_from_slice(values);
+        self
+    }
+
+    /// Pre-load one host input word.
+    pub fn input(mut self, value: Word) -> Self {
+        self.inputs.push(value);
+        self
+    }
+
+    /// Install a fault-injection plan (see [`crate::fault`]). An empty
+    /// plan is equivalent to not calling this at all.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Spawn the root context at `label` instead of `main`. Unlike the
+    /// `main` default, a missing explicit label is a build error.
+    pub fn entry(mut self, label: &str) -> Self {
+        self.entry = Some(label.to_string());
+        self
+    }
+
+    /// Load the program but spawn nothing (the caller will
+    /// [`System::spawn_main`] later, e.g. after initialising memory).
+    pub fn no_spawn(mut self) -> Self {
+        self.spawn = false;
+        self
+    }
+
+    /// Assemble (if needed), construct the system, install the sink and
+    /// fault plan, load the program, queue the inputs and spawn the root
+    /// context.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Asm`] when the source does not assemble, when both a
+    /// source and an object were given, or when an explicit
+    /// [`entry`](Self::entry) label is absent from the program.
+    pub fn build(self) -> Result<System, SimError> {
+        let obj = match (self.object, self.assembly) {
+            (Some(_), Some(_)) => {
+                return Err(SimError::Asm(
+                    "both .object() and .assembly() given; pick one".to_string(),
+                ))
+            }
+            (Some(obj), None) => Some(obj),
+            (None, Some(src)) => Some(assemble(&src).map_err(|e| SimError::Asm(e.to_string()))?),
+            (None, None) => None,
+        };
+        let mut sys = System::new(self.cfg);
+        if let Some(sink) = self.sink {
+            sys.set_trace_sink(sink);
+        }
+        if let Some(plan) = &self.fault_plan {
+            sys.set_fault_plan(plan);
+        }
+        for v in self.inputs {
+            sys.push_input(v);
+        }
+        if let Some(obj) = obj {
+            sys.load_object(&obj);
+            let entry = match &self.entry {
+                Some(label) => obj
+                    .symbol(label)
+                    .ok_or_else(|| SimError::Asm(format!("entry label {label:?} not found")))?,
+                None => obj.symbol("main").unwrap_or_else(|| obj.base()),
+            };
+            sys.set_symbols(obj);
+            if self.spawn {
+                sys.spawn_main(entry);
+            }
+        } else if self.entry.is_some() {
+            return Err(SimError::Asm("entry label given but no program loaded".to_string()));
+        }
+        Ok(sys)
+    }
+}
+
+impl std::fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("cfg", &self.cfg)
+            .field("trace", &self.sink.is_some())
+            .field("object", &self.object.is_some())
+            .field("assembly", &self.assembly.is_some())
+            .field("inputs", &self.inputs)
+            .field("fault_plan", &self.fault_plan)
+            .field("entry", &self.entry)
+            .field("spawn", &self.spawn)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ECHO: &str = "
+main:   recv #0,#0 :r0
+        mul+1 r0,#3 :r0
+        send+1 #0,r0
+        trap #2,#0
+";
+
+    #[test]
+    fn builder_matches_piecewise_construction() {
+        let mut built = Simulation::builder()
+            .config(SystemConfig::with_pes(2))
+            .assembly(ECHO)
+            .input(14)
+            .build()
+            .unwrap();
+        let mut manual = System::with_assembly(SystemConfig::with_pes(2), ECHO).unwrap();
+        manual.push_input(14);
+        let a = built.run().unwrap();
+        let b = manual.run().unwrap();
+        assert_eq!(a, b, "builder and piecewise construction are equivalent");
+        assert_eq!(a.output, vec![42]);
+    }
+
+    #[test]
+    fn builder_accepts_preassembled_objects() {
+        let obj = qm_isa::asm::assemble(ECHO).unwrap();
+        let mut sys = Simulation::builder().pes(2).object(&obj).inputs(&[14]).build().unwrap();
+        assert_eq!(sys.symbol("main"), obj.symbol("main"), "symbols are retained");
+        assert_eq!(sys.run().unwrap().output, vec![42]);
+    }
+
+    #[test]
+    fn builder_rejects_conflicting_programs() {
+        let obj = qm_isa::asm::assemble(ECHO).unwrap();
+        let err = Simulation::builder().object(&obj).assembly(ECHO).build().unwrap_err();
+        assert!(matches!(err, SimError::Asm(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn builder_rejects_missing_entry_label() {
+        let err = Simulation::builder().assembly(ECHO).entry("nowhere").build().unwrap_err();
+        assert!(matches!(err, SimError::Asm(ref m) if m.contains("nowhere")), "got {err:?}");
+        let err = Simulation::builder().entry("main").build().unwrap_err();
+        assert!(matches!(err, SimError::Asm(_)), "entry without a program: {err:?}");
+    }
+
+    #[test]
+    fn explicit_entry_spawns_elsewhere() {
+        let src = "
+main:   send+1 #0,#1
+        trap #2,#0
+alt:    send+1 #0,#2
+        trap #2,#0
+";
+        let mut sys = Simulation::builder().assembly(src).entry("alt").build().unwrap();
+        assert_eq!(sys.run().unwrap().output, vec![2]);
+    }
+
+    #[test]
+    fn no_spawn_defers_the_root_context() {
+        let mut sys = Simulation::builder().assembly(ECHO).no_spawn().input(14).build().unwrap();
+        let main = sys.symbol("main").unwrap();
+        sys.spawn_main(main);
+        assert_eq!(sys.run().unwrap().output, vec![42]);
+    }
+
+    #[test]
+    fn trace_sink_installs_through_the_builder() {
+        let rec = crate::trace::Recorder::new(1024);
+        let mut sys =
+            Simulation::builder().assembly(ECHO).input(1).trace(rec.sink()).build().unwrap();
+        sys.run().unwrap();
+        assert!(!rec.records().is_empty(), "events flowed to the builder-installed sink");
+    }
+
+    #[test]
+    fn empty_fault_plan_through_builder_installs_no_engine() {
+        let sys = Simulation::builder()
+            .assembly(ECHO)
+            .fault_plan(crate::fault::FaultPlan::seeded(9))
+            .build()
+            .unwrap();
+        assert!(!sys.faults_active(), "an empty plan must not arm the engine");
+        let sys = Simulation::builder()
+            .assembly(ECHO)
+            .fault_plan(crate::fault::FaultPlan::seeded(9).with_send_loss(1))
+            .build()
+            .unwrap();
+        assert!(sys.faults_active());
+    }
+}

@@ -1,0 +1,478 @@
+//! Deterministic fault injection and recovery accounting.
+//!
+//! The thesis assumes a perfect interconnect: every channel transfer
+//! arrives, every PE always makes progress. This module models the
+//! *unreliable* counterpart — stalled PEs, dropped bus transfers, lost
+//! channel sends, delayed kernel traps — without giving up determinism:
+//! a [`FaultPlan`] is a pure description (a seed plus rates and explicit
+//! stall windows) that [`FaultPlan::compile`] turns into a
+//! [`FaultEngine`], a counter-driven event stream the run loop consults.
+//! The same plan replayed against the same program produces the same
+//! faults, the same retries and the same cycle counts — on one thread or
+//! many — so faulty runs are as reproducible as clean ones.
+//!
+//! Recovery is the run loop's half of the contract (see
+//! [`crate::system`]):
+//!
+//! * a dropped channel send is retried with exponential backoff, bounded
+//!   by [`RecoveryConfig::max_retries`], after which the transfer is
+//!   forced through (the bound guarantees liveness);
+//! * a dropped bus transfer is re-sent immediately, charging the base
+//!   cost again plus backoff, also bounded;
+//! * a watchdog converts livelock (unbounded retry storms) into a
+//!   structured [`SimError::Watchdog`](crate::SimError::Watchdog) report;
+//! * every injected fault, retry and recovery is tallied in the
+//!   [`DegradationReport`] returned inside
+//!   [`RunOutcome`](crate::RunOutcome).
+//!
+//! The key invariant, locked by `tests/fault_equivalence.rs` and the
+//! golden tests in `qm-bench`: an **empty plan is bit-identical to no
+//! plan at all** — [`System::set_fault_plan`](crate::System::set_fault_plan)
+//! installs no engine for an empty plan, so the fault-free fast path is
+//! byte-for-byte the pre-fault simulator.
+
+use crate::config::RecoveryConfig;
+
+/// One scheduled window during which a PE cannot act (a transient
+/// hardware stall: the PE's clock is idled to the window's end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// The stalled PE.
+    pub pe: usize,
+    /// First cycle of the stall.
+    pub start: u64,
+    /// Length in cycles (zero-length windows are ignored).
+    pub cycles: u64,
+}
+
+/// A deterministic fault-injection plan: what goes wrong, how often,
+/// seeded so every run replays identically.
+///
+/// Rates are in parts-per-million of the respective event stream (each
+/// considered channel send, bus transfer or kernel trap draws once from
+/// a seeded counter-keyed generator). The default plan is empty: no
+/// faults, and [`System::set_fault_plan`](crate::System::set_fault_plan)
+/// treats it exactly like never having called it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic draw.
+    pub seed: u64,
+    /// Probability (ppm) that a non-host channel send is lost in transit
+    /// before reaching the message processor (retried with backoff).
+    pub send_loss_ppm: u32,
+    /// Probability (ppm) that a cross-PE bus transfer is dropped and
+    /// must be re-sent (re-charged immediately, with backoff).
+    pub bus_drop_ppm: u32,
+    /// Probability (ppm) that a kernel trap incurs an extra service
+    /// delay.
+    pub trap_delay_ppm: u32,
+    /// Cycles added to each delayed trap.
+    pub trap_delay_cycles: u64,
+    /// Explicit PE stall windows.
+    pub stall_windows: Vec<StallWindow>,
+    /// Number of additional randomly placed stall windows, generated
+    /// from the seed at compile time.
+    pub random_stalls: u32,
+    /// Length of each random stall window.
+    pub random_stall_cycles: u64,
+    /// Random stall start times are drawn uniformly from
+    /// `[0, random_stall_horizon)`.
+    pub random_stall_horizon: u64,
+    /// Retry / backoff / watchdog tuning.
+    pub recovery: RecoveryConfig,
+}
+
+impl FaultPlan {
+    /// An empty plan carrying `seed` (attach faults with the `with_*`
+    /// builders).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, ..Self::default() }
+    }
+
+    /// Lose channel sends at `ppm` parts-per-million.
+    #[must_use]
+    pub fn with_send_loss(mut self, ppm: u32) -> Self {
+        self.send_loss_ppm = ppm;
+        self
+    }
+
+    /// Drop cross-PE bus transfers at `ppm` parts-per-million.
+    #[must_use]
+    pub fn with_bus_drops(mut self, ppm: u32) -> Self {
+        self.bus_drop_ppm = ppm;
+        self
+    }
+
+    /// Delay kernel traps at `ppm` parts-per-million by `cycles` each.
+    #[must_use]
+    pub fn with_trap_delays(mut self, ppm: u32, cycles: u64) -> Self {
+        self.trap_delay_ppm = ppm;
+        self.trap_delay_cycles = cycles;
+        self
+    }
+
+    /// Add an explicit stall window.
+    #[must_use]
+    pub fn with_stall(mut self, pe: usize, start: u64, cycles: u64) -> Self {
+        self.stall_windows.push(StallWindow { pe, start, cycles });
+        self
+    }
+
+    /// Add `count` seeded random stall windows of `cycles` cycles each,
+    /// starting somewhere in `[0, horizon)`.
+    #[must_use]
+    pub fn with_random_stalls(mut self, count: u32, cycles: u64, horizon: u64) -> Self {
+        self.random_stalls = count;
+        self.random_stall_cycles = cycles;
+        self.random_stall_horizon = horizon;
+        self
+    }
+
+    /// Override the recovery tuning.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Whether this plan injects nothing at all. Empty plans compile to
+    /// no engine, keeping fault-free runs bit-identical to the
+    /// pre-fault simulator.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.send_loss_ppm == 0
+            && self.bus_drop_ppm == 0
+            && self.trap_delay_ppm == 0
+            && (self.stall_windows.iter().all(|w| w.cycles == 0))
+            && (self.random_stalls == 0 || self.random_stall_cycles == 0)
+    }
+
+    /// Compile the plan for a `pes`-PE system: resolve the stall
+    /// windows (explicit + seeded random, merged per PE) and arm the
+    /// counter-keyed draw streams.
+    #[must_use]
+    pub fn compile(&self, pes: usize) -> FaultEngine {
+        let mut stalls: Vec<Vec<(u64, u64)>> = vec![Vec::new(); pes];
+        for w in &self.stall_windows {
+            if w.pe < pes && w.cycles > 0 {
+                stalls[w.pe].push((w.start, w.start + w.cycles));
+            }
+        }
+        if self.random_stall_cycles > 0 {
+            for k in 0..u64::from(self.random_stalls) {
+                let pe = (draw(self.seed, STREAM_STALL, 2 * k) % pes as u64) as usize;
+                let start =
+                    draw(self.seed, STREAM_STALL, 2 * k + 1) % self.random_stall_horizon.max(1);
+                stalls[pe].push((start, start + self.random_stall_cycles));
+            }
+        }
+        for windows in &mut stalls {
+            windows.sort_unstable();
+            // Merge overlaps so each stall advances the clock exactly
+            // once (guaranteeing run-loop progress).
+            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(windows.len());
+            for &(s, e) in windows.iter() {
+                match merged.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((s, e)),
+                }
+            }
+            *windows = merged;
+        }
+        FaultEngine {
+            send_loss_ppm: self.send_loss_ppm,
+            bus_drop_ppm: self.bus_drop_ppm,
+            trap_delay_ppm: self.trap_delay_ppm,
+            trap_delay_cycles: self.trap_delay_cycles,
+            recovery: self.recovery,
+            stalls,
+            seed: self.seed,
+            send_seq: 0,
+            bus_seq: 0,
+            trap_seq: 0,
+            pending_retry: None,
+        }
+    }
+}
+
+/// Per-run fault and recovery tallies, reported in
+/// [`RunOutcome::degradation`](crate::RunOutcome::degradation). A clean
+/// (fault-free) run reports all zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradationReport {
+    /// Channel sends lost in transit.
+    pub send_drops: u64,
+    /// Cross-PE bus transfers dropped and re-sent.
+    pub bus_drops: u64,
+    /// PE stall windows applied.
+    pub pe_stalls: u64,
+    /// Kernel traps delayed.
+    pub trap_delays: u64,
+    /// Total retries performed (send retries + bus re-sends).
+    pub retries: u64,
+    /// Transfers that completed after at least one drop.
+    pub recovered_transfers: u64,
+    /// Cycles PEs spent idled by stall windows.
+    pub stall_cycles: u64,
+    /// Cycles charged to retry backoff.
+    pub backoff_cycles: u64,
+    /// Cycles added by delayed kernel traps.
+    pub delay_cycles: u64,
+}
+
+impl DegradationReport {
+    /// Total faults injected across all categories.
+    #[must_use]
+    pub fn total_injected(&self) -> u64 {
+        self.send_drops + self.bus_drops + self.pe_stalls + self.trap_delays
+    }
+
+    /// Whether the run saw no faults at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl std::fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} fault(s) injected ({} send drops, {} bus drops, {} stalls, {} trap delays), \
+             {} retries, {} recovered",
+            self.total_injected(),
+            self.send_drops,
+            self.bus_drops,
+            self.pe_stalls,
+            self.trap_delays,
+            self.retries,
+            self.recovered_transfers,
+        )
+    }
+}
+
+// Stream tags keep the draw sequences of the four fault categories
+// independent: consuming a send draw never shifts the bus stream.
+const STREAM_SEND: u64 = 1;
+const STREAM_BUS: u64 = 2;
+const STREAM_TRAP: u64 = 3;
+const STREAM_STALL: u64 = 4;
+
+/// SplitMix64 finalizer: a full-avalanche mix of the 64-bit input.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `seq`-th draw of stream `stream` under `seed` — pure, so any
+/// draw can be recomputed without replaying the others.
+fn draw(seed: u64, stream: u64, seq: u64) -> u64 {
+    mix(seed ^ mix((stream << 56) ^ seq))
+}
+
+fn hits(seed: u64, stream: u64, seq: u64, ppm: u32) -> bool {
+    ppm > 0 && draw(seed, stream, seq) % 1_000_000 < u64::from(ppm)
+}
+
+/// A compiled [`FaultPlan`]: the runtime event stream the run loop
+/// consults. Holds the per-PE stall schedule, the draw counters and the
+/// one-slot retry mailbox the run loop drains after a dropped send.
+#[derive(Debug, Clone)]
+pub struct FaultEngine {
+    send_loss_ppm: u32,
+    bus_drop_ppm: u32,
+    trap_delay_ppm: u32,
+    trap_delay_cycles: u64,
+    /// Retry / backoff / watchdog tuning (public: the run loop applies
+    /// it).
+    pub recovery: RecoveryConfig,
+    /// Per-PE stall windows, sorted and non-overlapping.
+    stalls: Vec<Vec<(u64, u64)>>,
+    seed: u64,
+    send_seq: u64,
+    bus_seq: u64,
+    trap_seq: u64,
+    pending_retry: Option<u64>,
+}
+
+impl FaultEngine {
+    /// Whether the next considered channel send is lost (consumes one
+    /// draw from the send stream).
+    pub fn drop_send(&mut self) -> bool {
+        let hit = hits(self.seed, STREAM_SEND, self.send_seq, self.send_loss_ppm);
+        self.send_seq += 1;
+        hit
+    }
+
+    /// How many consecutive times the next bus transfer is dropped
+    /// before getting through, bounded by
+    /// [`RecoveryConfig::max_retries`]. Consumes one draw per drop plus
+    /// the terminating success (when under the bound).
+    pub fn bus_drop_attempts(&mut self) -> u32 {
+        if self.bus_drop_ppm == 0 {
+            return 0;
+        }
+        let mut n = 0;
+        while n < self.recovery.max_retries {
+            let hit = hits(self.seed, STREAM_BUS, self.bus_seq, self.bus_drop_ppm);
+            self.bus_seq += 1;
+            if !hit {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Extra cycles the next kernel trap costs, if it is one of the
+    /// delayed ones (consumes one draw from the trap stream).
+    pub fn trap_delay(&mut self) -> Option<u64> {
+        let hit = hits(self.seed, STREAM_TRAP, self.trap_seq, self.trap_delay_ppm);
+        self.trap_seq += 1;
+        (hit && self.trap_delay_cycles > 0).then_some(self.trap_delay_cycles)
+    }
+
+    /// If cycle `t` falls inside one of `pe`'s stall windows, the first
+    /// cycle after the window — the time the PE may act again.
+    #[must_use]
+    pub fn stall_until(&self, pe: usize, t: u64) -> Option<u64> {
+        let windows = self.stalls.get(pe)?;
+        let i = windows.partition_point(|&(start, _)| start <= t);
+        let &(_, end) = windows[..i].last()?;
+        (t < end).then_some(end)
+    }
+
+    /// Arm the retry mailbox: the context whose send was just dropped
+    /// must be re-readied at cycle `at`. The run loop collects it with
+    /// [`take_retry`](Self::take_retry) right after parking the context.
+    pub fn schedule_retry(&mut self, at: u64) {
+        debug_assert!(self.pending_retry.is_none(), "one retry per step");
+        self.pending_retry = Some(at);
+    }
+
+    /// Drain the retry mailbox.
+    pub fn take_retry(&mut self) -> Option<u64> {
+        self.pending_retry.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_seeded_builders_are_not() {
+        assert!(FaultPlan::default().is_empty());
+        assert!(FaultPlan::seeded(7).is_empty(), "a seed alone injects nothing");
+        assert!(!FaultPlan::seeded(7).with_send_loss(1).is_empty());
+        assert!(!FaultPlan::seeded(7).with_bus_drops(1).is_empty());
+        assert!(!FaultPlan::seeded(7).with_trap_delays(1, 4).is_empty());
+        assert!(!FaultPlan::seeded(7).with_stall(0, 10, 5).is_empty());
+        assert!(!FaultPlan::seeded(7).with_random_stalls(1, 5, 100).is_empty());
+        // Degenerate windows inject nothing.
+        assert!(FaultPlan::seeded(7).with_stall(0, 10, 0).is_empty());
+        assert!(FaultPlan::seeded(7).with_random_stalls(3, 0, 100).is_empty());
+    }
+
+    #[test]
+    fn draw_streams_are_deterministic_and_independent() {
+        let a = draw(42, STREAM_SEND, 0);
+        assert_eq!(a, draw(42, STREAM_SEND, 0), "same seed, same draw");
+        assert_ne!(a, draw(42, STREAM_SEND, 1));
+        assert_ne!(a, draw(42, STREAM_BUS, 0), "streams are independent");
+        assert_ne!(a, draw(43, STREAM_SEND, 0), "seeds are independent");
+    }
+
+    #[test]
+    fn send_loss_rate_is_roughly_honoured() {
+        let mut e = FaultPlan::seeded(1).with_send_loss(250_000).compile(1);
+        let drops = (0..10_000).filter(|_| e.drop_send()).count();
+        assert!((2_000..3_000).contains(&drops), "~25% of 10k, got {drops}");
+        let mut none = FaultPlan::seeded(1).compile(1);
+        assert!((0..1000).all(|_| !none.drop_send()), "0 ppm never drops");
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_fault_streams() {
+        let plan = FaultPlan::seeded(99).with_send_loss(100_000).with_bus_drops(50_000);
+        let mut a = plan.compile(4);
+        let mut b = plan.compile(4);
+        for _ in 0..1000 {
+            assert_eq!(a.drop_send(), b.drop_send());
+            assert_eq!(a.bus_drop_attempts(), b.bus_drop_attempts());
+        }
+    }
+
+    #[test]
+    fn bus_drop_attempts_are_bounded_by_max_retries() {
+        let recovery = RecoveryConfig { max_retries: 3, ..RecoveryConfig::default() };
+        let mut e =
+            FaultPlan::seeded(5).with_bus_drops(1_000_000).with_recovery(recovery).compile(1);
+        for _ in 0..100 {
+            assert_eq!(e.bus_drop_attempts(), 3, "100% drop rate saturates at the bound");
+        }
+    }
+
+    #[test]
+    fn stall_windows_merge_and_answer_containment() {
+        let e = FaultPlan::seeded(0)
+            .with_stall(0, 10, 10) // [10, 20)
+            .with_stall(0, 15, 10) // overlaps → [10, 25)
+            .with_stall(0, 40, 5) // [40, 45)
+            .with_stall(1, 0, 3) // other PE
+            .compile(2);
+        assert_eq!(e.stall_until(0, 9), None);
+        assert_eq!(e.stall_until(0, 10), Some(25));
+        assert_eq!(e.stall_until(0, 24), Some(25));
+        assert_eq!(e.stall_until(0, 25), None, "windows are half-open");
+        assert_eq!(e.stall_until(0, 41), Some(45));
+        assert_eq!(e.stall_until(1, 1), Some(3));
+        assert_eq!(e.stall_until(1, 50), None);
+    }
+
+    #[test]
+    fn random_stalls_are_seed_deterministic_and_in_horizon() {
+        let plan = FaultPlan::seeded(77).with_random_stalls(8, 50, 1000);
+        let a = plan.compile(4);
+        let b = plan.compile(4);
+        assert_eq!(a.stalls, b.stalls, "same seed, same schedule");
+        let total: usize = a.stalls.iter().map(Vec::len).sum();
+        assert!(total > 0 && total <= 8, "merging may shrink but never grow: {total}");
+        for windows in &a.stalls {
+            for &(s, e) in windows {
+                assert!(s < 1000, "start inside horizon");
+                assert!(e > s);
+            }
+        }
+        let other = FaultPlan::seeded(78).with_random_stalls(8, 50, 1000).compile(4);
+        assert_ne!(a.stalls, other.stalls, "different seed, different schedule");
+    }
+
+    #[test]
+    fn retry_mailbox_is_one_shot() {
+        let mut e = FaultPlan::seeded(0).with_send_loss(1).compile(1);
+        assert_eq!(e.take_retry(), None);
+        e.schedule_retry(42);
+        assert_eq!(e.take_retry(), Some(42));
+        assert_eq!(e.take_retry(), None);
+    }
+
+    #[test]
+    fn degradation_report_display_and_totals() {
+        let mut r = DegradationReport::default();
+        assert!(r.is_clean());
+        r.send_drops = 2;
+        r.bus_drops = 1;
+        r.pe_stalls = 1;
+        r.retries = 3;
+        r.recovered_transfers = 2;
+        assert!(!r.is_clean());
+        assert_eq!(r.total_injected(), 4);
+        let s = r.to_string();
+        assert!(s.contains("4 fault(s)"), "{s}");
+        assert!(s.contains("3 retries"), "{s}");
+    }
+}

@@ -10,12 +10,15 @@
 //! mechanism of Chapter 4.
 //!
 //! * [`config`] — system size, bus/kernel cost parameters, scheduling
-//!   policy.
+//!   policy, recovery tuning.
 //! * [`msg`] — channel table / message-cache state machines.
 //! * [`memory`] — the shared, partitioned memory with ring-bus costs.
 //! * [`kernel`] — context records, state machine, kernel entry points.
 //! * [`sched`] — the run loop's ready queues and min-clock actor heap.
 //! * [`system`] — the top-level simulator and run loop.
+//! * [`builder`] — fluent construction: [`Simulation::builder()`].
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
+//!   recovery/degradation accounting.
 //! * [`trace`] — structured event tracing: typed simulator events, the
 //!   sink trait, an in-memory recorder and a Chrome trace-event exporter.
 //! * [`amdahl`] — the analytic speed-up models of Figs 6.6–6.7.
@@ -26,8 +29,7 @@
 //! doubles a value:
 //!
 //! ```
-//! use qm_sim::system::System;
-//! use qm_sim::config::SystemConfig;
+//! use qm_sim::{Simulation, SystemConfig};
 //!
 //! let src = "
 //! main:   trap #0,#child :r0,r1   ; rfork → c_in, c_out
@@ -40,13 +42,20 @@
 //!         send+1 r18,r0           ; r18 = my out channel
 //!         trap #2,#0              ; end context
 //! ";
-//! let mut sys = System::with_assembly(SystemConfig::with_pes(2), src).unwrap();
+//! let mut sys = Simulation::builder()
+//!     .config(SystemConfig::with_pes(2))
+//!     .assembly(src)
+//!     .build()
+//!     .unwrap();
 //! let outcome = sys.run().unwrap();
 //! assert_eq!(outcome.output, vec![42]);
+//! assert!(outcome.degradation.is_clean(), "no faults were injected");
 //! ```
 
 pub mod amdahl;
+pub mod builder;
 pub mod config;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod msg;
@@ -54,8 +63,10 @@ pub mod sched;
 pub mod system;
 pub mod trace;
 
-pub use config::SystemConfig;
-pub use system::{BlockedCtx, RunOutcome, SimError, System};
+pub use builder::{SimBuilder, Simulation};
+pub use config::{RecoveryConfig, SystemConfig};
+pub use fault::{DegradationReport, FaultPlan, StallWindow};
+pub use system::{BlockedCtx, RetryingCtx, RunOutcome, SimError, System};
 pub use trace::{ChromeTrace, Recorder, TraceEvent, TraceRecord, TraceSink, Tracer};
 
 /// Machine word, shared with the rest of the workspace.

@@ -260,31 +260,11 @@ impl ChannelTable {
         }
     }
 
-    /// Human-readable description of every parked sender/receiver (for
-    /// deadlock diagnosis).
-    #[must_use]
-    pub fn blocked_detail(&self) -> Vec<String> {
-        let mut out = Vec::new();
-        let mut chans: Vec<_> = self.channels.iter().collect();
-        chans.sort_by_key(|&(id, _)| *id);
-        for (id, c) in chans {
-            for &(s, _, v) in &c.waiting_senders {
-                out.push(format!("ctx{s} send {v} on chan {id}"));
-            }
-            for &(r, _) in &c.waiting_receivers {
-                out.push(format!("ctx{r} recv on chan {id}"));
-            }
-            if !c.buffer.is_empty() {
-                out.push(format!("chan {id} buffer: {:?}", c.buffer));
-            }
-        }
-        out
-    }
-
     /// Every context parked on a channel, with the channel, direction and
-    /// (for senders) the offered value — sorted by context id. The
-    /// structured counterpart of [`blocked_detail`](Self::blocked_detail),
-    /// consumed by the deadlock wait-for report.
+    /// (for senders) the offered value — sorted by context id. Consumed
+    /// by the deadlock and watchdog wait-for reports, which render these
+    /// records into text at the edge (there is no stringly-typed
+    /// variant).
     #[must_use]
     pub fn blocked_infos(&self) -> Vec<BlockedInfo> {
         let mut out: Vec<BlockedInfo> =

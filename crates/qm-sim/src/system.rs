@@ -11,11 +11,12 @@
 //! delegated to [`crate::sched::Scheduler`] — priority heaps, so blocked
 //! contexts cost nothing per step instead of being re-scanned each cycle.
 
-use qm_isa::asm::{assemble, Object};
+use qm_isa::asm::Object;
 use qm_isa::pe::{BlockReason, Pe, PeStats, RecvOutcome, SendOutcome, Services, StepResult};
 use qm_isa::Word as IsaWord;
 
 use crate::config::{Placement, SystemConfig};
+use crate::fault::{DegradationReport, FaultEngine, FaultPlan};
 use crate::kernel::{entry, Context, CtxState, PageAllocator, REG_OUT_CHAN};
 use crate::memory::{MemStats, SharedMemory};
 use crate::msg::{CacheState, ChanDir, ChannelTable, RecvResult, SendResult, HOST_CHANNEL};
@@ -57,6 +58,28 @@ impl std::fmt::Display for BlockedCtx {
     }
 }
 
+/// A context caught mid-retry by the watchdog: its send keeps being
+/// dropped by fault injection (part of [`SimError::Watchdog`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryingCtx {
+    /// The retrying context.
+    pub ctx: CtxId,
+    /// PE it is bound to.
+    pub pe: usize,
+    /// Drops its current transfer has suffered so far.
+    pub retries: u32,
+}
+
+impl std::fmt::Display for RetryingCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ctx{} on pe{}: send dropped {} time(s), still retrying",
+            self.ctx, self.pe, self.retries
+        )
+    }
+}
+
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -65,6 +88,21 @@ pub enum SimError {
         /// Wait-for report: every context parked on a channel, with the
         /// channel, direction, blocked PC and cache occupancy.
         blocked: Vec<BlockedCtx>,
+    },
+    /// The fault-recovery watchdog fired: the run loop went
+    /// [`RecoveryConfig::watchdog_steps`](crate::config::RecoveryConfig::watchdog_steps)
+    /// consecutive steps without retiring an instruction (a retry
+    /// livelock rather than a true deadlock). Only armed while a fault
+    /// engine is installed.
+    Watchdog {
+        /// Consecutive no-progress steps observed.
+        steps: u64,
+        /// Wait-for report of contexts parked on channels (same shape as
+        /// [`SimError::Deadlock`]).
+        blocked: Vec<BlockedCtx>,
+        /// Contexts spinning on fault-dropped sends (not parked in the
+        /// channel table, so invisible to the wait-for report).
+        retrying: Vec<RetryingCtx>,
     },
     /// The `max_instructions` safety valve fired.
     InstructionBudget,
@@ -83,6 +121,22 @@ impl std::fmt::Display for SimError {
                 write!(f, "deadlock: {} context(s) blocked on channels", blocked.len())?;
                 for b in blocked {
                     write!(f, "\n  {b}")?;
+                }
+                Ok(())
+            }
+            SimError::Watchdog { steps, blocked, retrying } => {
+                write!(
+                    f,
+                    "watchdog: no forward progress for {steps} steps \
+                     ({} blocked, {} retrying)",
+                    blocked.len(),
+                    retrying.len()
+                )?;
+                for b in blocked {
+                    write!(f, "\n  {b}")?;
+                }
+                for r in retrying {
+                    write!(f, "\n  {r}")?;
                 }
                 Ok(())
             }
@@ -124,6 +178,8 @@ pub struct RunOutcome {
     pub channel_transfers: u64,
     /// Memory/bus traffic.
     pub mem: MemStats,
+    /// Fault-injection and recovery tallies (all zeros for a clean run).
+    pub degradation: DegradationReport,
     /// Per-PE breakdown.
     pub pes: Vec<PeReport>,
 }
@@ -154,6 +210,26 @@ pub struct System {
     created: u64,
     peak_live: u64,
     tracer: Tracer,
+    /// Compiled fault plan, `None` for fault-free runs (the fast path is
+    /// untouched: no engine, no draws, bit-identical behaviour).
+    faults: Option<FaultEngine>,
+    /// Fault/recovery tallies for the current run.
+    report: DegradationReport,
+    /// Consecutive run-loop steps that ended blocked (watchdog input).
+    idle_steps: u64,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cfg", &self.cfg)
+            .field("contexts", &self.contexts.len())
+            .field("live", &self.live)
+            .field("halted", &self.halted)
+            .field("faults_active", &self.faults.is_some())
+            .field("tracing", &self.tracer.enabled())
+            .finish_non_exhaustive()
+    }
 }
 
 struct Svc<'a> {
@@ -162,6 +238,8 @@ struct Svc<'a> {
     sched: &'a mut Scheduler,
     cfg: &'a SystemConfig,
     tracer: &'a mut Tracer,
+    faults: &'a mut Option<FaultEngine>,
+    report: &'a mut DegradationReport,
     ctx: CtxId,
     time: u64,
 }
@@ -176,18 +254,93 @@ impl Svc<'_> {
         self.sched.push_ready(pe, w, at);
         self.tracer.emit(self.time, pe, || TraceEvent::CtxWake { ctx: w, chan, at });
     }
+
+    /// Fault check for a channel send about to enter the channel layer.
+    /// When the engine drops it, the sender is charged a backoff and a
+    /// retry is scheduled (collected by the run loop right after it
+    /// parks the context); returns `true` so the caller reports
+    /// [`SendOutcome::Block`] without touching the channel table. Host
+    /// sends never drop (channel 0 is the simulation's observation
+    /// point), and a transfer beyond its retry budget is forced through.
+    fn drop_this_send(&mut self, pe: usize, chan: Word, value: Word) -> bool {
+        let Some(f) = self.faults.as_mut() else { return false };
+        if chan == HOST_CHANNEL {
+            return false;
+        }
+        let attempt = self.contexts[self.ctx].send_retries;
+        if attempt >= f.recovery.max_retries || !f.drop_send() {
+            return false;
+        }
+        let delay = f.recovery.backoff(attempt);
+        let at = self.time + delay;
+        self.contexts[self.ctx].send_retries = attempt + 1;
+        self.report.send_drops += 1;
+        self.report.retries += 1;
+        self.report.backoff_cycles += delay;
+        f.schedule_retry(at);
+        let ctx = self.ctx;
+        self.tracer.emit(self.time, pe, || TraceEvent::FaultSendDrop {
+            ctx,
+            chan,
+            value,
+            attempt: attempt + 1,
+            retry_at: at,
+        });
+        true
+    }
+
+    /// Extra cycles fault injection adds to a cross-PE bus transfer of
+    /// base cost `base`: each consecutive drop re-charges the transfer
+    /// plus a backoff, bounded by the retry budget.
+    fn bus_penalty(&mut self, pe: usize, chan: Word, base: u64) -> u64 {
+        let Some(f) = self.faults.as_mut() else { return 0 };
+        let attempts = f.bus_drop_attempts();
+        if attempts == 0 {
+            return 0;
+        }
+        let mut penalty = 0;
+        for i in 0..attempts {
+            penalty += base + f.recovery.backoff(i);
+        }
+        self.report.bus_drops += u64::from(attempts);
+        self.report.retries += u64::from(attempts);
+        self.report.backoff_cycles += penalty;
+        self.tracer.emit(self.time, pe, || TraceEvent::FaultBusDrop { chan, attempts, penalty });
+        penalty
+    }
+
+    /// Reset the sender's retry counter after its transfer finally got
+    /// through, recording the recovery.
+    fn note_send_completed(&mut self, pe: usize, chan: Word) {
+        let retries = self.contexts[self.ctx].send_retries;
+        if retries > 0 {
+            self.contexts[self.ctx].send_retries = 0;
+            self.report.recovered_transfers += 1;
+            let ctx = self.ctx;
+            self.tracer.emit(self.time, pe, || TraceEvent::FaultRecovered { ctx, chan, retries });
+        }
+    }
 }
 
 impl Services for Svc<'_> {
     fn send(&mut self, pe: usize, chan: IsaWord, value: IsaWord) -> SendOutcome {
+        if self.drop_this_send(pe, chan, value) {
+            return SendOutcome::Block;
+        }
         let ctx = self.ctx;
         match self.channels.send(ctx, pe, chan, value) {
             SendResult::Done { woke } => {
+                if self.faults.is_some() {
+                    self.note_send_completed(pe, chan);
+                }
                 self.tracer.emit(self.time, pe, || TraceEvent::ChanSend { ctx, chan, value });
                 let cycles = match woke {
                     Some(w) => {
                         let to_pe = self.contexts[w].pe;
-                        let c = self.cfg.chan_cost(pe, to_pe);
+                        let mut c = self.cfg.chan_cost(pe, to_pe);
+                        if to_pe != pe {
+                            c += self.bus_penalty(pe, chan, c);
+                        }
                         self.wake(w, chan, self.time + c);
                         c
                     }
@@ -207,11 +360,20 @@ impl Services for Svc<'_> {
                 self.tracer.emit(self.time, pe, || TraceEvent::ChanRecv { ctx, chan, value });
                 let cycles = match (woke, from_pe) {
                     (Some(w), Some(spe)) => {
-                        let c = self.cfg.chan_cost(spe, pe);
+                        let mut c = self.cfg.chan_cost(spe, pe);
+                        if spe != pe {
+                            c += self.bus_penalty(pe, chan, c);
+                        }
                         self.wake(w, chan, self.time + c);
                         c
                     }
-                    (None, Some(spe)) => self.cfg.chan_cost(spe, pe),
+                    (None, Some(spe)) => {
+                        let mut c = self.cfg.chan_cost(spe, pe);
+                        if spe != pe {
+                            c += self.bus_penalty(pe, chan, c);
+                        }
+                        c
+                    }
                     _ => self.cfg.bus.chan_local,
                 };
                 RecvOutcome::Done { value, cycles }
@@ -249,8 +411,27 @@ impl System {
             created: 0,
             peak_live: 0,
             tracer: Tracer::off(),
+            faults: None,
+            report: DegradationReport::default(),
+            idle_steps: 0,
             cfg,
         }
+    }
+
+    /// Install a fault-injection plan (see [`crate::fault`]). An empty
+    /// plan installs nothing: the run stays on the fault-free fast path
+    /// and is bit-identical to never having called this. Installing a
+    /// plan resets the degradation tallies.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.report = DegradationReport::default();
+        self.idle_steps = 0;
+        self.faults = if plan.is_empty() { None } else { Some(plan.compile(self.cfg.pes)) };
+    }
+
+    /// Whether a fault engine is installed (a non-empty plan was set).
+    #[must_use]
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// Install a trace sink: every simulator event (context dispatch /
@@ -278,13 +459,13 @@ impl System {
     ///
     /// [`SimError::Asm`] when the source does not assemble.
     pub fn with_assembly(cfg: SystemConfig, src: &str) -> Result<Self, SimError> {
-        let obj = assemble(src).map_err(|e| SimError::Asm(e.to_string()))?;
-        let mut sys = System::new(cfg);
-        sys.load_object(&obj);
-        let main = obj.symbol("main").unwrap_or_else(|| obj.base());
-        sys.symbols = Some(obj);
-        sys.spawn_main(main);
-        Ok(sys)
+        System::builder().config(cfg).assembly(src).build()
+    }
+
+    /// Record the loaded object for symbol lookup (the builder's path to
+    /// the private field).
+    pub(crate) fn set_symbols(&mut self, obj: Object) {
+        self.symbols = Some(obj);
     }
 
     /// Load an assembled object into code memory.
@@ -470,6 +651,21 @@ impl System {
                 });
             }
         }
+        // Fault injection: a delayed trap charges extra service cycles
+        // before the entry runs.
+        if let Some(delay) = self.faults.as_mut().and_then(FaultEngine::trap_delay) {
+            self.pes[i].pe.cycles += delay;
+            self.report.trap_delays += 1;
+            self.report.delay_cycles += delay;
+            if let Some(ctx) = self.pes[i].current {
+                let cycles = self.pes[i].pe.cycles;
+                self.tracer.emit(cycles, i, || TraceEvent::FaultTrapDelay {
+                    ctx,
+                    entry: entry_no,
+                    delay,
+                });
+            }
+        }
         #[allow(clippy::cast_sign_loss)]
         match entry_no {
             entry::RFORK | entry::IFORK | entry::RFORK_LOCAL => {
@@ -573,9 +769,23 @@ impl System {
         let mut total_instr: u64 = 0;
         self.rebuild_actors();
         while !self.halted && self.live > 0 {
-            let Some((i, _)) = self.next_actor() else {
+            let Some((i, t)) = self.next_actor() else {
                 return Err(SimError::Deadlock { blocked: self.deadlock_report() });
             };
+            // Fault injection: a PE inside a stall window cannot act; its
+            // clock is idled to the end of the window and the scheduler
+            // re-plants it there. Windows are half-open, so the clock
+            // strictly advances — the loop cannot spin on a stall.
+            if let Some(until) = self.faults.as_ref().and_then(|f| f.stall_until(i, t)) {
+                self.report.pe_stalls += 1;
+                self.report.stall_cycles += until - t;
+                let unit = &mut self.pes[i];
+                unit.pe.cycles = unit.pe.cycles.max(until);
+                self.tracer.emit(t, i, || TraceEvent::FaultStall { from: t, until });
+                let time = self.actor_time(i);
+                self.sched.refresh(i, time);
+                continue;
+            }
             let running =
                 self.pes[i].current.is_some_and(|c| self.contexts[c].state == CtxState::Running);
             if !running {
@@ -590,13 +800,17 @@ impl System {
                     sched: &mut self.sched,
                     cfg: &self.cfg,
                     tracer: &mut self.tracer,
+                    faults: &mut self.faults,
+                    report: &mut self.report,
                     ctx: ctx_id,
                     time: before,
                 };
                 self.pes[i].pe.step(&mut self.memory, &mut svc)
             };
             match result {
-                StepResult::Continue | StepResult::Return { .. } => {}
+                StepResult::Continue | StepResult::Return { .. } => {
+                    self.idle_steps = 0;
+                }
                 StepResult::Blocked(ref reason) => {
                     // Charge the failed poll one base cycle so spinning is
                     // never free, then switch out.
@@ -620,8 +834,30 @@ impl System {
                         });
                     }
                     self.block_current(i);
+                    // A fault-dropped send scheduled a retry: re-ready the
+                    // context at its backoff time (the WAIT pattern — the
+                    // context is parked, then immediately queued with a
+                    // future ready_at, so nothing dispatches it earlier).
+                    if let Some(at) = self.faults.as_mut().and_then(FaultEngine::take_retry) {
+                        debug_assert_eq!(self.contexts[ctx_id].state, CtxState::Blocked);
+                        self.contexts[ctx_id].state = CtxState::Ready;
+                        self.contexts[ctx_id].ready_at = at;
+                        self.sched.push_ready(i, ctx_id, at);
+                    }
+                    self.idle_steps += 1;
+                    if let Some(f) = self.faults.as_ref() {
+                        let wd = f.recovery.watchdog_steps;
+                        if wd > 0 && self.idle_steps >= wd {
+                            return Err(SimError::Watchdog {
+                                steps: self.idle_steps,
+                                blocked: self.deadlock_report(),
+                                retrying: self.retrying_report(),
+                            });
+                        }
+                    }
                 }
                 StepResult::Trap { entry: e, arg, dst1, dst2, .. } => {
+                    self.idle_steps = 0;
                     self.handle_trap(i, e, arg, dst1, dst2)?;
                 }
                 StepResult::Error(msg) => return Err(SimError::Pe(msg)),
@@ -687,6 +923,17 @@ impl System {
             .collect()
     }
 
+    /// Contexts spinning on fault-dropped sends: they never reach the
+    /// channel table, so the wait-for report cannot see them.
+    fn retrying_report(&self) -> Vec<RetryingCtx> {
+        self.contexts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state != CtxState::Dead && c.send_retries > 0)
+            .map(|(id, c)| RetryingCtx { ctx: id, pe: c.pe, retries: c.send_retries })
+            .collect()
+    }
+
     fn outcome(&self) -> RunOutcome {
         let pes: Vec<PeReport> = self
             .pes
@@ -701,6 +948,7 @@ impl System {
             peak_live_contexts: self.peak_live,
             channel_transfers: self.channels.transfers,
             mem: self.memory.stats,
+            degradation: self.report,
             pes,
         }
     }

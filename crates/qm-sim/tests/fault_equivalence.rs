@@ -1,0 +1,111 @@
+//! Property test: a zero-fault [`FaultPlan`] yields a `RunOutcome`
+//! identical to a plan-free run across randomized configurations — the
+//! empty-plan bit-identity invariant of the fault subsystem, explored
+//! over PE counts, channel capacities, placement policies and seeds.
+//!
+//! (This file needs the `proptest` dev-dependency; the dependency-free
+//! sibling with fixed configs lives in `fault_recovery.rs` so offline
+//! builds keep equivalent coverage.)
+
+use proptest::prelude::*;
+use qm_sim::config::Placement;
+use qm_sim::{FaultPlan, Simulation, SystemConfig};
+
+/// Fork–join kernel: main rforks a doubling child and reports 42. Works
+/// (or deadlocks identically) under every configuration below.
+const FORK_JOIN: &str = "
+main:   trap #0,#child :r0,r1
+        send r0,#21
+        recv r1,#0 :r2
+        send+3 #0,r2
+        trap #2,#0
+child:  recv r17,#0 :r0
+        mul+1 r0,#2 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+
+fn placement_strategy() -> impl Strategy<Value = Placement> {
+    prop_oneof![Just(Placement::RoundRobin), Just(Placement::LeastLoaded), Just(Placement::Local),]
+}
+
+proptest! {
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_no_plan(
+        pes in 1usize..9,
+        capacity in 0usize..9,
+        placement in placement_strategy(),
+        seed in any::<u64>(),
+        queue_page_words in prop_oneof![Just(64u32), Just(128), Just(256)],
+    ) {
+        let mut cfg = SystemConfig::with_pes(pes);
+        cfg.channel_capacity = capacity;
+        cfg.placement = placement;
+        cfg.queue_page_words = queue_page_words;
+
+        let clean = Simulation::builder()
+            .config(cfg.clone())
+            .assembly(FORK_JOIN)
+            .build()
+            .unwrap()
+            .run();
+        // An empty plan, whatever its seed or recovery tuning, must not
+        // perturb a single bit of the outcome (including errors).
+        let planned = Simulation::builder()
+            .config(cfg)
+            .assembly(FORK_JOIN)
+            .fault_plan(FaultPlan::seeded(seed))
+            .build()
+            .unwrap()
+            .run();
+        prop_assert_eq!(clean, planned);
+    }
+
+    #[test]
+    fn degenerate_plans_are_also_identity(
+        pes in 1usize..5,
+        seed in any::<u64>(),
+        stall_start in 0u64..10_000,
+    ) {
+        let cfg = SystemConfig::with_pes(pes);
+        let clean = Simulation::builder()
+            .config(cfg.clone())
+            .assembly(FORK_JOIN)
+            .build()
+            .unwrap()
+            .run();
+        // Zero-length stall windows and zero-count/zero-length random
+        // stalls inject nothing and must compile to no engine.
+        let plan = FaultPlan::seeded(seed)
+            .with_stall(0, stall_start, 0)
+            .with_random_stalls(0, 100, 1000);
+        prop_assert!(plan.is_empty());
+        let planned = Simulation::builder()
+            .config(cfg)
+            .assembly(FORK_JOIN)
+            .fault_plan(plan)
+            .build()
+            .unwrap()
+            .run();
+        prop_assert_eq!(clean, planned);
+    }
+
+    #[test]
+    fn fixed_seed_faulty_runs_replay_identically(
+        pes in 2usize..5,
+        seed in any::<u64>(),
+        loss_ppm in 1u32..500_000,
+    ) {
+        let plan = FaultPlan::seeded(seed).with_send_loss(loss_ppm).with_bus_drops(loss_ppm / 2);
+        let run = || {
+            Simulation::builder()
+                .config(SystemConfig::with_pes(pes))
+                .assembly(FORK_JOIN)
+                .fault_plan(plan.clone())
+                .build()
+                .unwrap()
+                .run()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

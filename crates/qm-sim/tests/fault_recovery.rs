@@ -1,0 +1,208 @@
+//! Deterministic (dependency-free) tests of the fault-injection and
+//! recovery subsystem: empty-plan bit-identity on fixed configs, seeded
+//! replay, bounded retry, stall windows, trap delays and the watchdog.
+//!
+//! The randomized-config counterpart of the bit-identity property lives
+//! in `fault_equivalence.rs` (which needs the `proptest` dev-dependency);
+//! this file is kept dependency-free so offline builds retain coverage.
+
+use qm_sim::config::Placement;
+use qm_sim::system::System;
+use qm_sim::{FaultPlan, RecoveryConfig, SimError, Simulation, SystemConfig, TraceEvent};
+
+/// Fork–join kernel: main rforks a doubling child and reports 42.
+const FORK_JOIN: &str = "
+main:   trap #0,#child :r0,r1
+        send r0,#21
+        recv r1,#0 :r2
+        send+3 #0,r2
+        trap #2,#0
+child:  recv r17,#0 :r0
+        mul+1 r0,#2 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+
+fn build(cfg: SystemConfig, plan: Option<FaultPlan>) -> System {
+    let mut b = Simulation::builder().config(cfg).assembly(FORK_JOIN);
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    b.build().expect("assembles")
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_no_plan() {
+    for pes in [1usize, 2, 4, 8] {
+        for capacity in [0usize, 8] {
+            for placement in [Placement::RoundRobin, Placement::LeastLoaded, Placement::Local] {
+                let mut cfg = SystemConfig::with_pes(pes);
+                cfg.channel_capacity = capacity;
+                cfg.placement = placement;
+                let clean = build(cfg.clone(), None).run();
+                let defaulted = build(cfg.clone(), Some(FaultPlan::default())).run();
+                let seeded = build(cfg, Some(FaultPlan::seeded(0xDEAD_BEEF))).run();
+                assert_eq!(clean, defaulted, "{pes} PEs, capacity {capacity}, {placement:?}");
+                assert_eq!(clean, seeded, "a seed alone must not change anything");
+            }
+        }
+    }
+}
+
+#[test]
+fn faulty_run_still_computes_the_right_answer() {
+    // Trap delays at 100% guarantee at least one injection regardless of
+    // seed; the send/bus rates ride along probabilistically.
+    let plan = FaultPlan::seeded(7)
+        .with_send_loss(300_000)
+        .with_bus_drops(200_000)
+        .with_trap_delays(1_000_000, 16);
+    let out = build(SystemConfig::with_pes(2), Some(plan)).run().expect("recovers");
+    assert_eq!(out.output, vec![42], "recovery is transparent to the program");
+    let d = out.degradation;
+    assert!(d.total_injected() > 0, "the rates are high enough to fire: {d:?}");
+    assert!(d.retries >= d.recovered_transfers, "every recovery took at least one retry");
+}
+
+#[test]
+fn fixed_seed_replays_bit_identically() {
+    let plan = FaultPlan::seeded(0x5EED)
+        .with_send_loss(250_000)
+        .with_bus_drops(100_000)
+        .with_trap_delays(250_000, 12)
+        .with_random_stalls(2, 40, 400);
+    let a = build(SystemConfig::with_pes(4), Some(plan.clone())).run();
+    let b = build(SystemConfig::with_pes(4), Some(plan)).run();
+    assert_eq!(a, b, "same seed, same everything — cycles, outputs, degradation");
+}
+
+#[test]
+fn different_seeds_usually_degrade_differently() {
+    let run = |seed: u64| {
+        let plan = FaultPlan::seeded(seed).with_send_loss(400_000);
+        build(SystemConfig::with_pes(2), Some(plan)).run().expect("recovers").degradation
+    };
+    let reports: Vec<_> = (0..8).map(run).collect();
+    assert!(
+        reports.iter().any(|r| r != &reports[0]),
+        "eight seeds all produced identical fault streams: {reports:?}"
+    );
+}
+
+#[test]
+fn bounded_retry_forces_transfers_through_at_total_loss() {
+    // 100% send loss: without the retry bound this program could never
+    // finish. With max_retries = 3, every non-host send is dropped
+    // exactly 3 times and then forced through.
+    let recovery = RecoveryConfig { max_retries: 3, ..RecoveryConfig::default() };
+    let plan = FaultPlan::seeded(1).with_send_loss(1_000_000).with_recovery(recovery);
+    let out = build(SystemConfig::with_pes(2), Some(plan)).run().expect("the bound saves us");
+    assert_eq!(out.output, vec![42]);
+    let d = out.degradation;
+    assert_eq!(d.recovered_transfers, 2, "two non-host sends in the program");
+    assert_eq!(d.send_drops, 6, "each dropped exactly max_retries times");
+    assert_eq!(d.retries, d.send_drops + d.bus_drops);
+    assert!(d.backoff_cycles > 0);
+}
+
+#[test]
+fn stall_window_idles_the_pe_and_is_counted() {
+    let clean = build(SystemConfig::with_pes(1), None).run().unwrap();
+    // PE 0 is stalled from cycle 0: the whole program starts late.
+    let plan = FaultPlan::seeded(0).with_stall(0, 0, 500);
+    let out = build(SystemConfig::with_pes(1), Some(plan)).run().unwrap();
+    assert_eq!(out.output, vec![42]);
+    assert!(out.degradation.pe_stalls >= 1);
+    assert!(out.degradation.stall_cycles >= 500);
+    assert!(
+        out.elapsed_cycles >= clean.elapsed_cycles + 500,
+        "{} vs clean {}",
+        out.elapsed_cycles,
+        clean.elapsed_cycles
+    );
+}
+
+#[test]
+fn trap_delays_slow_the_run_down() {
+    let clean = build(SystemConfig::with_pes(1), None).run().unwrap();
+    let plan = FaultPlan::seeded(0).with_trap_delays(1_000_000, 50);
+    let out = build(SystemConfig::with_pes(1), Some(plan)).run().unwrap();
+    assert_eq!(out.output, vec![42]);
+    assert!(out.degradation.trap_delays >= 2, "every trap is delayed at 100%");
+    assert_eq!(out.degradation.delay_cycles, 50 * out.degradation.trap_delays);
+    assert!(out.elapsed_cycles > clean.elapsed_cycles);
+}
+
+#[test]
+fn watchdog_converts_retry_livelock_into_a_structured_report() {
+    // 100% loss with an effectively unbounded retry budget: the send can
+    // never get through, so the run loop spins on retries. The watchdog
+    // must convert that livelock into a report instead of hanging.
+    let recovery = RecoveryConfig {
+        max_retries: u32::MAX,
+        backoff_base: 1,
+        backoff_cap: 4,
+        watchdog_steps: 50,
+    };
+    let plan = FaultPlan::seeded(3).with_send_loss(1_000_000).with_recovery(recovery);
+    let err = build(SystemConfig::with_pes(2), Some(plan)).run().unwrap_err();
+    let SimError::Watchdog { steps, blocked, retrying } = &err else {
+        panic!("expected watchdog, got {err:?}");
+    };
+    assert!(*steps >= 50);
+    assert!(!retrying.is_empty(), "the spinning sender is reported");
+    assert!(retrying[0].retries > 0);
+    let report = err.to_string();
+    assert!(report.contains("watchdog: no forward progress"), "report: {report}");
+    assert!(report.contains("still retrying"), "report: {report}");
+    let _ = blocked;
+}
+
+#[test]
+fn genuine_deadlock_still_reports_deadlock_not_watchdog() {
+    // A receive nobody will ever satisfy: even with faults armed, a true
+    // deadlock (no runnable PE at all) must keep its precise report.
+    let src = "main: recv #1,#0 :r0\n      trap #2,#0\n";
+    let plan = FaultPlan::seeded(0).with_send_loss(100_000);
+    let mut sys = Simulation::builder()
+        .config(SystemConfig::with_pes(1))
+        .assembly(src)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
+    assert!(matches!(sys.run().unwrap_err(), SimError::Deadlock { .. }));
+}
+
+#[test]
+fn faulty_runs_emit_fault_trace_events_and_tracing_stays_pure() {
+    let plan = FaultPlan::seeded(11).with_send_loss(400_000).with_trap_delays(400_000, 8);
+    let untraced = build(SystemConfig::with_pes(2), Some(plan.clone())).run().unwrap();
+    let rec = qm_sim::Recorder::new(8192);
+    let mut sys = Simulation::builder()
+        .config(SystemConfig::with_pes(2))
+        .assembly(FORK_JOIN)
+        .fault_plan(plan)
+        .trace(rec.sink())
+        .build()
+        .unwrap();
+    let traced = sys.run().unwrap();
+    assert_eq!(untraced, traced, "tracing a faulty run is still pure observation");
+    let drops = rec.matching(|e| matches!(e, TraceEvent::FaultSendDrop { .. }));
+    assert_eq!(drops.len() as u64, traced.degradation.send_drops);
+    let recoveries = rec.matching(|e| matches!(e, TraceEvent::FaultRecovered { .. }));
+    assert_eq!(recoveries.len() as u64, traced.degradation.recovered_transfers);
+    let delays = rec.matching(|e| matches!(e, TraceEvent::FaultTrapDelay { .. }));
+    assert_eq!(delays.len() as u64, traced.degradation.trap_delays);
+}
+
+#[test]
+fn degradation_survives_into_the_outcome_only_when_faults_fire() {
+    let clean = build(SystemConfig::with_pes(2), None).run().unwrap();
+    assert!(clean.degradation.is_clean());
+    let faulty =
+        build(SystemConfig::with_pes(2), Some(FaultPlan::seeded(2).with_send_loss(500_000)))
+            .run()
+            .unwrap();
+    assert!(!faulty.degradation.is_clean());
+    assert_eq!(faulty.output, clean.output);
+}

@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn workload_runs_correctly() {
         let w = cholesky(3);
-        let r = crate::run_workload(&w, 2, &qm_occam::Options::default()).unwrap();
+        let r = crate::WorkloadRun::with_pes(2).run(&w).unwrap();
         assert!(r.correct, "{:?}", r.mismatches);
     }
 }

@@ -118,7 +118,7 @@ mod tests {
     #[test]
     fn workload_runs_correctly() {
         let w = congruence(3);
-        let r = crate::run_workload(&w, 2, &qm_occam::Options::default()).unwrap();
+        let r = crate::WorkloadRun::with_pes(2).run(&w).unwrap();
         assert!(r.correct, "{:?}", r.mismatches);
     }
 }

@@ -13,9 +13,9 @@
 //! fixed-point operations so results compare exactly.
 //!
 //! ```
-//! use qm_workloads::{matmul, run_workload};
+//! use qm_workloads::{matmul, WorkloadRun};
 //! let w = matmul(4);
-//! let r = run_workload(&w, 2, &qm_occam::Options::default()).unwrap();
+//! let r = WorkloadRun::with_pes(2).run(&w).unwrap();
 //! assert!(r.correct);
 //! ```
 
@@ -33,9 +33,9 @@ pub use congruence::congruence;
 pub use fft::fft;
 pub use matmul::matmul;
 pub use reduction::reduction;
-pub use runner::{
-    prepare_workload, run_workload, speedup_curve, BenchResult, CurvePoint, WorkloadError,
-};
+#[allow(deprecated)]
+pub use runner::{prepare_workload, run_workload};
+pub use runner::{speedup_curve, BenchResult, CurvePoint, WorkloadError, WorkloadRun};
 
 /// A benchmark: OCCAM source, host-initialised input arrays, and the
 /// expected contents of the result arrays.

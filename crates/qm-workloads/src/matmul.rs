@@ -96,7 +96,7 @@ mod tests {
     #[test]
     fn runs_correctly_on_two_pes() {
         let w = matmul(3);
-        let r = crate::run_workload(&w, 2, &qm_occam::Options::default()).unwrap();
+        let r = crate::WorkloadRun::with_pes(2).run(&w).unwrap();
         assert!(r.correct, "{:?}", r.mismatches);
     }
 }

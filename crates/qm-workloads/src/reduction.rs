@@ -63,8 +63,8 @@ mod tests {
     fn recursion_depth_scales_with_n() {
         for n in [4, 8, 16, 32] {
             let w = reduction(n);
-            let r = crate::run_workload(&w, 4, &qm_occam::Options::default())
-                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            let r =
+                crate::WorkloadRun::with_pes(4).run(&w).unwrap_or_else(|e| panic!("n={n}: {e}"));
             assert!(r.correct, "n={n}: {:?}", r.mismatches);
             if n >= 16 {
                 assert!(
@@ -79,9 +79,8 @@ mod tests {
     #[test]
     fn parallel_halves_overlap() {
         let w = reduction(64);
-        let opts = qm_occam::Options::default();
-        let one = crate::run_workload(&w, 1, &opts).unwrap();
-        let eight = crate::run_workload(&w, 8, &opts).unwrap();
+        let one = crate::WorkloadRun::with_pes(1).run(&w).unwrap();
+        let eight = crate::WorkloadRun::with_pes(8).run(&w).unwrap();
         assert!(one.correct && eight.correct);
         assert!(
             eight.outcome.elapsed_cycles < one.outcome.elapsed_cycles,

@@ -1,9 +1,18 @@
 //! Compile–load–run–verify driver shared by tests and the benchmark
 //! harness.
+//!
+//! [`WorkloadRun`] is the single entry point: configure once (system
+//! config, compiler options, optional fault plan), then
+//! [`prepare`](WorkloadRun::prepare) or [`run`](WorkloadRun::run) any
+//! number of workloads. It replaced the old `run_workload` /
+//! `prepare_workload` / `run_workload_cfg` free-function triple, which
+//! survives as deprecated shims.
 
 use qm_occam::{compile, sema::SymKind, Options};
 use qm_sim::config::SystemConfig;
+use qm_sim::fault::FaultPlan;
 use qm_sim::system::{RunOutcome, System};
+use qm_sim::Simulation;
 
 use crate::Workload;
 
@@ -35,7 +44,7 @@ impl std::error::Error for WorkloadError {}
 pub struct BenchResult {
     /// Number of PEs simulated.
     pub pes: usize,
-    /// Raw simulator outcome (cycles, statistics…).
+    /// Raw simulator outcome (cycles, statistics, degradation…).
     pub outcome: RunOutcome,
     /// True when every expected array and the host output matched.
     pub correct: bool,
@@ -74,90 +83,184 @@ fn find_array(
     Ok(hit)
 }
 
+/// One configured workload execution: the system configuration, compiler
+/// options and (optionally) a fault-injection plan, applied to any
+/// workload via [`run`](Self::run) or [`prepare`](Self::prepare).
+///
+/// ```
+/// use qm_workloads::{matmul, WorkloadRun};
+///
+/// let w = matmul::workload(4);
+/// let r = WorkloadRun::with_pes(2).run(&w).unwrap();
+/// assert!(r.correct);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadRun {
+    /// System configuration (PE count, costs, placement, capacity).
+    pub cfg: SystemConfig,
+    /// Compiler options.
+    pub opts: Options,
+    /// Fault-injection plan applied before the run (`None` — and empty
+    /// plans — leave the simulator on its fault-free fast path).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl WorkloadRun {
+    /// A run on the default 1-PE configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A run on `pes` PEs with default costs and options.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ pes ≤ 16` (from [`SystemConfig::with_pes`]).
+    #[must_use]
+    pub fn with_pes(pes: usize) -> Self {
+        WorkloadRun { cfg: SystemConfig::with_pes(pes), ..Self::default() }
+    }
+
+    /// Use `cfg` as the system configuration.
+    #[must_use]
+    pub fn config(mut self, cfg: SystemConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Use `opts` as the compiler options.
+    #[must_use]
+    pub fn options(mut self, opts: Options) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Inject faults from `plan` during the run.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Compile `w`, load it, initialise its input arrays and spawn the
+    /// main context — everything short of `run`. Callers that need to
+    /// touch the system first (e.g. install a trace sink) use this, then
+    /// run and verify themselves (compare the output arrays against
+    /// [`Workload::expected`], as [`run`](Self::run) does).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] on compile faults or unresolvable input arrays.
+    pub fn prepare(&self, w: &Workload) -> Result<(System, qm_occam::Compiled), WorkloadError> {
+        let compiled =
+            compile(&w.source, &self.opts).map_err(|e| WorkloadError::Compile(e.to_string()))?;
+        if compiled.object.symbol("main").is_none() {
+            return Err(WorkloadError::Compile("no main context".into()));
+        }
+        let mut builder =
+            Simulation::builder().config(self.cfg.clone()).object(&compiled.object).no_spawn();
+        if let Some(plan) = &self.fault_plan {
+            builder = builder.fault_plan(plan.clone());
+        }
+        let mut sys = builder.build().map_err(|e| WorkloadError::Sim(e.to_string()))?;
+        for (base, values) in &w.inputs {
+            let (addr, len) = find_array(&compiled.syms, base)?;
+            if values.len() as u32 != len {
+                return Err(WorkloadError::Array(format!(
+                    "{base}: {} values for a {len}-word array",
+                    values.len()
+                )));
+            }
+            for (i, &v) in values.iter().enumerate() {
+                #[allow(clippy::cast_possible_truncation)]
+                sys.memory.poke_global(addr + 4 * i as u32, v);
+            }
+        }
+        let main = compiled.object.symbol("main").expect("checked above");
+        sys.spawn_main(main);
+        Ok((sys, compiled))
+    }
+
+    /// Compile `w`, initialise its input arrays, run, and verify the
+    /// result arrays and host output.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] on compile/simulation faults (verification
+    /// *mismatches* are reported in [`BenchResult::correct`], not as
+    /// errors).
+    pub fn run(&self, w: &Workload) -> Result<BenchResult, WorkloadError> {
+        let pes = self.cfg.pes;
+        let (mut sys, compiled) = self.prepare(w)?;
+        let outcome = sys.run().map_err(|e| WorkloadError::Sim(e.to_string()))?;
+
+        let mut mismatches = Vec::new();
+        for (base, expect) in &w.expected {
+            let (addr, _len) = find_array(&compiled.syms, base)?;
+            for (i, &want) in expect.iter().enumerate() {
+                #[allow(clippy::cast_possible_truncation)]
+                let got = sys.memory.peek_global(addr + 4 * i as u32);
+                if got != want {
+                    mismatches.push(format!("{base}[{i}]: got {got}, want {want}"));
+                }
+            }
+        }
+        if outcome.output != w.expected_output {
+            mismatches.push(format!(
+                "host output: got {:?}, want {:?}",
+                outcome.output, w.expected_output
+            ));
+        }
+        Ok(BenchResult { pes, correct: mismatches.is_empty(), mismatches, outcome })
+    }
+}
+
 /// Compile `w`, initialise its input arrays, run on `pes` PEs and verify
 /// the result arrays and host output.
 ///
 /// # Errors
 ///
-/// [`WorkloadError`] on compile/simulation faults (verification
-/// *mismatches* are reported in [`BenchResult::correct`], not as errors).
+/// See [`WorkloadRun::run`].
+#[deprecated(since = "0.2.0", note = "use `WorkloadRun::with_pes(pes).options(*opts).run(w)`")]
 pub fn run_workload(
     w: &Workload,
     pes: usize,
     opts: &Options,
 ) -> Result<BenchResult, WorkloadError> {
-    run_workload_cfg(w, SystemConfig::with_pes(pes), opts)
+    WorkloadRun::with_pes(pes).options(*opts).run(w)
 }
 
 /// Compile `w`, load it, initialise its input arrays and spawn the main
-/// context — everything short of `run`. Callers that need to configure
-/// the system first (e.g. install a trace sink with
-/// `System::set_trace_sink`) use this, then run and verify themselves
-/// (compare the output arrays against [`Workload::expected`], as
-/// [`run_workload_cfg`] does).
+/// context — everything short of `run`.
 ///
 /// # Errors
 ///
-/// [`WorkloadError`] on compile faults or unresolvable input arrays.
+/// See [`WorkloadRun::prepare`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `WorkloadRun::new().config(cfg).options(*opts).prepare(w)`"
+)]
 pub fn prepare_workload(
     w: &Workload,
     cfg: SystemConfig,
     opts: &Options,
 ) -> Result<(System, qm_occam::Compiled), WorkloadError> {
-    let compiled = compile(&w.source, opts).map_err(|e| WorkloadError::Compile(e.to_string()))?;
-    let mut sys = System::new(cfg);
-    sys.load_object(&compiled.object);
-    for (base, values) in &w.inputs {
-        let (addr, len) = find_array(&compiled.syms, base)?;
-        if values.len() as u32 != len {
-            return Err(WorkloadError::Array(format!(
-                "{base}: {} values for a {len}-word array",
-                values.len()
-            )));
-        }
-        for (i, &v) in values.iter().enumerate() {
-            #[allow(clippy::cast_possible_truncation)]
-            sys.memory.poke_global(addr + 4 * i as u32, v);
-        }
-    }
-    let main = compiled
-        .object
-        .symbol("main")
-        .ok_or_else(|| WorkloadError::Compile("no main context".into()))?;
-    sys.spawn_main(main);
-    Ok((sys, compiled))
+    WorkloadRun::new().config(cfg).options(*opts).prepare(w)
 }
 
-/// [`run_workload`] with an explicit system configuration.
+/// [`WorkloadRun::run`] with an explicit system configuration.
 ///
 /// # Errors
 ///
-/// See [`run_workload`].
+/// See [`WorkloadRun::run`].
+#[deprecated(since = "0.2.0", note = "use `WorkloadRun::new().config(cfg).options(*opts).run(w)`")]
 pub fn run_workload_cfg(
     w: &Workload,
     cfg: SystemConfig,
     opts: &Options,
 ) -> Result<BenchResult, WorkloadError> {
-    let pes = cfg.pes;
-    let (mut sys, compiled) = prepare_workload(w, cfg, opts)?;
-    let outcome = sys.run().map_err(|e| WorkloadError::Sim(e.to_string()))?;
-
-    let mut mismatches = Vec::new();
-    for (base, expect) in &w.expected {
-        let (addr, _len) = find_array(&compiled.syms, base)?;
-        for (i, &want) in expect.iter().enumerate() {
-            #[allow(clippy::cast_possible_truncation)]
-            let got = sys.memory.peek_global(addr + 4 * i as u32);
-            if got != want {
-                mismatches.push(format!("{base}[{i}]: got {got}, want {want}"));
-            }
-        }
-    }
-    if outcome.output != w.expected_output {
-        mismatches
-            .push(format!("host output: got {:?}, want {:?}", outcome.output, w.expected_output));
-    }
-    Ok(BenchResult { pes, correct: mismatches.is_empty(), mismatches, outcome })
+    WorkloadRun::new().config(cfg).options(*opts).run(w)
 }
 
 /// Run `w` at each PE count and report throughput ratios relative to one
@@ -179,7 +282,7 @@ pub fn speedup_curve(
     let mut base_cycles = None;
     let mut out = Vec::new();
     for &pes in pe_counts {
-        let r = run_workload(w, pes, opts)?;
+        let r = WorkloadRun::with_pes(pes).options(*opts).run(w)?;
         assert!(r.correct, "{} on {pes} PEs: {:?}", w.name, r.mismatches);
         let cycles = r.outcome.elapsed_cycles;
         let base = *base_cycles.get_or_insert(cycles);

@@ -3,16 +3,15 @@
 
 use qm_occam::Options;
 use qm_sim::config::SystemConfig;
-use qm_workloads::runner::run_workload_cfg;
 use qm_workloads::{
-    cholesky, congruence, fft, matmul, reduction, run_workload, Workload, WorkloadError,
+    cholesky, congruence, fft, matmul, reduction, Workload, WorkloadError, WorkloadRun,
 };
 
 #[test]
 fn unknown_input_array_is_reported() {
     let mut w = matmul(3);
     w.inputs.push(("nonexistent".into(), vec![1, 2, 3]));
-    match run_workload(&w, 1, &Options::default()) {
+    match WorkloadRun::new().run(&w) {
         Err(WorkloadError::Array(msg)) => assert!(msg.contains("nonexistent")),
         other => panic!("expected array error, got {other:?}"),
     }
@@ -22,7 +21,7 @@ fn unknown_input_array_is_reported() {
 fn wrong_input_length_is_reported() {
     let mut w = matmul(3);
     w.inputs[0].1.pop();
-    match run_workload(&w, 1, &Options::default()) {
+    match WorkloadRun::new().run(&w) {
         Err(WorkloadError::Array(msg)) => assert!(msg.contains("values"), "{msg}"),
         other => panic!("expected length error, got {other:?}"),
     }
@@ -32,7 +31,7 @@ fn wrong_input_length_is_reported() {
 fn incorrect_expectations_are_mismatches_not_errors() {
     let mut w = matmul(3);
     w.expected_output = vec![123_456_789];
-    let r = run_workload(&w, 1, &Options::default()).expect("run completes");
+    let r = WorkloadRun::new().run(&w).expect("run completes");
     assert!(!r.correct);
     assert!(r.mismatches.iter().any(|m| m.contains("host output")), "{:?}", r.mismatches);
 }
@@ -46,7 +45,7 @@ fn compile_errors_surface() {
         expected: vec![],
         expected_output: vec![],
     };
-    assert!(matches!(run_workload(&w, 1, &Options::default()), Err(WorkloadError::Compile(_))));
+    assert!(matches!(WorkloadRun::new().run(&w), Err(WorkloadError::Compile(_))));
 }
 
 #[test]
@@ -54,8 +53,8 @@ fn every_workload_handles_single_pe_rendezvous() {
     // The harshest configuration: one PE, pure rendezvous channels.
     let cfg = || SystemConfig { channel_capacity: 0, ..SystemConfig::with_pes(1) };
     for w in [matmul(3), fft(4), cholesky(3), congruence(3), reduction(8)] {
-        let r = run_workload_cfg(&w, cfg(), &Options::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let r =
+            WorkloadRun::new().config(cfg()).run(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert!(r.correct, "{}: {:?}", w.name, r.mismatches);
     }
 }
@@ -63,7 +62,7 @@ fn every_workload_handles_single_pe_rendezvous() {
 #[test]
 fn odd_pe_counts_work() {
     for pes in [3, 5, 7] {
-        let r = run_workload(&matmul(4), pes, &Options::default()).unwrap();
+        let r = WorkloadRun::with_pes(pes).run(&matmul(4)).unwrap();
         assert!(r.correct, "{pes} PEs: {:?}", r.mismatches);
     }
 }
@@ -71,15 +70,15 @@ fn odd_pe_counts_work() {
 #[test]
 fn workload_sizes_scale() {
     for n in [2, 5, 9] {
-        let r = run_workload(&matmul(n), 4, &Options::default()).unwrap();
+        let r = WorkloadRun::with_pes(4).run(&matmul(n)).unwrap();
         assert!(r.correct, "matmul {n}: {:?}", r.mismatches);
     }
     for n in [4, 16, 32] {
-        let r = run_workload(&fft(n), 4, &Options::default()).unwrap();
+        let r = WorkloadRun::with_pes(4).run(&fft(n)).unwrap();
         assert!(r.correct, "fft {n}: {:?}", r.mismatches);
     }
     for n in [2, 6, 9] {
-        let r = run_workload(&cholesky(n), 4, &Options::default()).unwrap();
+        let r = WorkloadRun::with_pes(4).run(&cholesky(n)).unwrap();
         assert!(r.correct, "cholesky {n}: {:?}", r.mismatches);
     }
 }
@@ -93,18 +92,40 @@ fn compiled_code_requires_full_queue_pages() {
     // 256-word pages; smaller pages are for hand-written code whose
     // queue span fits (see qm-isa's von_neumann tests).
     let cfg = SystemConfig { queue_page_words: 64, ..SystemConfig::with_pes(2) };
-    let r = run_workload_cfg(&matmul(3), cfg, &Options::default()).unwrap();
+    let r = WorkloadRun::new().config(cfg).run(&matmul(3)).unwrap();
     assert!(!r.correct, "a 64-word page should corrupt matmul's wide main context");
     let cfg = SystemConfig { queue_page_words: 256, ..SystemConfig::with_pes(2) };
-    let r = run_workload_cfg(&matmul(3), cfg, &Options::default()).unwrap();
+    let r = WorkloadRun::new().config(cfg).run(&matmul(3)).unwrap();
     assert!(r.correct, "{:?}", r.mismatches);
 }
 
 #[test]
 fn statistics_scale_with_problem_size() {
-    let small = run_workload(&matmul(3), 1, &Options::default()).unwrap();
-    let large = run_workload(&matmul(6), 1, &Options::default()).unwrap();
+    let small = WorkloadRun::new().run(&matmul(3)).unwrap();
+    let large = WorkloadRun::new().run(&matmul(6)).unwrap();
     assert!(large.outcome.instructions > small.outcome.instructions);
     assert!(large.outcome.elapsed_cycles > small.outcome.elapsed_cycles);
     assert!(large.outcome.channel_transfers >= small.outcome.channel_transfers);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_match_the_new_entry_point() {
+    // The `run_workload` / `prepare_workload` / `run_workload_cfg` triple
+    // survives one release as thin delegates; pin that they behave
+    // exactly like the `WorkloadRun` calls they forward to.
+    let w = matmul(3);
+    let opts = Options::default();
+    let new = WorkloadRun::with_pes(2).run(&w).unwrap();
+    let old = qm_workloads::run_workload(&w, 2, &opts).unwrap();
+    assert!(old.correct);
+    assert_eq!(old.outcome, new.outcome);
+
+    let cfg = SystemConfig { channel_capacity: 4, ..SystemConfig::with_pes(2) };
+    let new = WorkloadRun::new().config(cfg.clone()).run(&w).unwrap();
+    let old = qm_workloads::runner::run_workload_cfg(&w, cfg.clone(), &opts).unwrap();
+    assert_eq!(old.outcome, new.outcome);
+
+    let (mut sys, _compiled) = qm_workloads::prepare_workload(&w, cfg, &opts).unwrap();
+    assert_eq!(sys.run().unwrap(), new.outcome);
 }

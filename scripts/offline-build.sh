@@ -5,7 +5,7 @@
 # with bare rustc. Integration tests that need proptest are skipped;
 # the deterministic ones under tests/ are built with --test.
 #
-# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc]
+# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults]
 #
 # --clippy rebuilds everything with clippy-driver (a drop-in rustc) and
 # -Dwarnings, mirroring the CI `cargo clippy -- -D warnings` gate without
@@ -13,6 +13,9 @@
 #
 # --doc runs bare rustdoc with -Dwarnings over every library crate,
 # mirroring the CI `RUSTDOCFLAGS="-D warnings" cargo doc --no-deps` gate.
+#
+# --faults builds everything and then runs the fault-injection smoke
+# sweep (`fault_sweep --smoke`), mirroring the CI fault-smoke job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT=target/offline
@@ -72,7 +75,9 @@ if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
              crates/qm-occam/tests/deterministic_shapes.rs \
              crates/qm-isa/tests/von_neumann.rs crates/qm-workloads/tests/runner_paths.rs \
              crates/qm-sim/tests/trace_events.rs \
+             crates/qm-sim/tests/fault_recovery.rs \
              crates/qm-bench/tests/sweep_determinism.rs \
+             crates/qm-bench/tests/fault_sweep_determinism.rs \
              crates/qm-isa/tests/isa_doc.rs; do
         [[ -f "$t" ]] || continue
         name=$(basename "$t" .rs)
@@ -84,4 +89,9 @@ if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
     else
         echo "offline clippy OK"
     fi
+fi
+
+if [[ "${1:-}" == "--faults" ]]; then
+    "$OUT/fault_sweep" --smoke
+    echo "offline fault smoke OK"
 fi

@@ -5,9 +5,7 @@
 use queue_machine::occam::Options;
 use queue_machine::sim::config::{Placement, SystemConfig};
 use queue_machine::sim::system::System;
-use queue_machine::workloads::{
-    cholesky, congruence, fft, matmul, run_workload, runner::run_workload_cfg, Workload,
-};
+use queue_machine::workloads::{cholesky, congruence, fft, matmul, Workload, WorkloadRun};
 
 fn all_option_mixes() -> Vec<Options> {
     let mut out = Vec::new();
@@ -30,7 +28,8 @@ fn all_option_mixes() -> Vec<Options> {
 
 fn check_everywhere(w: &Workload) {
     for pes in [1, 3, 8] {
-        let r = run_workload(w, pes, &Options::default())
+        let r = WorkloadRun::with_pes(pes)
+            .run(w)
             .unwrap_or_else(|e| panic!("{} on {pes} PEs: {e}", w.name));
         assert!(r.correct, "{} on {pes} PEs: {:?}", w.name, r.mismatches);
     }
@@ -60,7 +59,10 @@ fn congruence_runs_everywhere() {
 fn matmul_correct_under_every_option_mix() {
     let w = matmul(4);
     for opts in all_option_mixes() {
-        let r = run_workload(&w, 2, &opts).unwrap_or_else(|e| panic!("{opts:?}: {e}"));
+        let r = WorkloadRun::with_pes(2)
+            .options(opts)
+            .run(&w)
+            .unwrap_or_else(|e| panic!("{opts:?}: {e}"));
         assert!(r.correct, "{opts:?}: {:?}", r.mismatches);
     }
 }
@@ -69,7 +71,10 @@ fn matmul_correct_under_every_option_mix() {
 fn fft_correct_under_every_option_mix() {
     let w = fft(8);
     for opts in all_option_mixes() {
-        let r = run_workload(&w, 2, &opts).unwrap_or_else(|e| panic!("{opts:?}: {e}"));
+        let r = WorkloadRun::with_pes(2)
+            .options(opts)
+            .run(&w)
+            .unwrap_or_else(|e| panic!("{opts:?}: {e}"));
         assert!(r.correct, "{opts:?}: {:?}", r.mismatches);
     }
 }
@@ -79,7 +84,7 @@ fn placement_policies_agree_on_results() {
     let w = congruence(4);
     for placement in [Placement::RoundRobin, Placement::LeastLoaded, Placement::Local] {
         let cfg = SystemConfig { placement, ..SystemConfig::with_pes(4) };
-        let r = run_workload_cfg(&w, cfg, &Options::default()).unwrap();
+        let r = WorkloadRun::new().config(cfg).run(&w).unwrap();
         assert!(r.correct, "{placement:?}: {:?}", r.mismatches);
     }
 }
@@ -89,7 +94,7 @@ fn rendezvous_channels_still_work() {
     // Capacity 0 = the §4.2 pure rendezvous semantics.
     let w = matmul(3);
     let cfg = SystemConfig { channel_capacity: 0, ..SystemConfig::with_pes(2) };
-    let r = run_workload_cfg(&w, cfg, &Options::default()).unwrap();
+    let r = WorkloadRun::new().config(cfg).run(&w).unwrap();
     assert!(r.correct, "{:?}", r.mismatches);
 }
 
@@ -97,15 +102,15 @@ fn rendezvous_channels_still_work() {
 fn single_partition_bus_works() {
     let w = matmul(3);
     let cfg = SystemConfig { partitions: 1, ..SystemConfig::with_pes(4) };
-    let r = run_workload_cfg(&w, cfg, &Options::default()).unwrap();
+    let r = WorkloadRun::new().config(cfg).run(&w).unwrap();
     assert!(r.correct, "{:?}", r.mismatches);
 }
 
 #[test]
 fn deterministic_across_runs() {
     let w = fft(8);
-    let a = run_workload(&w, 4, &Options::default()).unwrap();
-    let b = run_workload(&w, 4, &Options::default()).unwrap();
+    let a = WorkloadRun::with_pes(4).run(&w).unwrap();
+    let b = WorkloadRun::with_pes(4).run(&w).unwrap();
     assert_eq!(a.outcome.elapsed_cycles, b.outcome.elapsed_cycles);
     assert_eq!(a.outcome.output, b.outcome.output);
 }
@@ -135,7 +140,7 @@ child:  recv r17,#0 :r0
 #[test]
 fn workload_statistics_are_sane() {
     let w = matmul(4);
-    let r = run_workload(&w, 4, &Options::default()).unwrap();
+    let r = WorkloadRun::with_pes(4).run(&w).unwrap();
     let o = &r.outcome;
     assert!(o.instructions > 0);
     assert!(o.contexts_created >= 5, "par over 4 rows forks at least 4 children");

@@ -86,7 +86,7 @@ fn multiprocessor_speedup_shapes() {
 fn optimizations_do_not_hurt_matmul() {
     let w = matmul(6);
     let pes = 4;
-    let base = queue_machine::workloads::run_workload(&w, pes, &Options::default()).unwrap();
+    let base = queue_machine::workloads::WorkloadRun::with_pes(pes).run(&w).unwrap();
     assert!(base.correct);
     let variants = [
         Options { live_value_analysis: false, ..Options::default() },
@@ -95,7 +95,8 @@ fn optimizations_do_not_hurt_matmul() {
         Options { loop_unrolling: false, ..Options::default() },
     ];
     for (i, opts) in variants.iter().enumerate() {
-        let r = queue_machine::workloads::run_workload(&w, pes, opts).unwrap();
+        let r =
+            queue_machine::workloads::WorkloadRun::with_pes(pes).options(*opts).run(&w).unwrap();
         assert!(r.correct, "variant {i}");
         #[allow(clippy::cast_precision_loss)]
         let factor = r.outcome.elapsed_cycles as f64 / base.outcome.elapsed_cycles as f64;
