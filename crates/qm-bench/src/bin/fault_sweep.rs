@@ -4,36 +4,63 @@
 //! included — and record per-point fault/recovery statistics (schema
 //! `qm-bench-fault/v1`, documented in `EXPERIMENTS.md`).
 //!
-//! Usage: `fault_sweep [--smoke]` — `--smoke` runs the reduced CI grid
-//! and skips the JSON file.
+//! Usage: `fault_sweep [--smoke] [--resume <path>] [--interrupt-after <n>]
+//! [--deterministic]`
+//!
+//! `--smoke` runs the reduced CI grid and skips the JSON file. The
+//! resume flags work as in `sweep`: `--resume` checkpoints every
+//! completed point (fault grids resume too — the counter-keyed fault
+//! streams make every point individually deterministic),
+//! `--interrupt-after <n>` simulates being killed after `n` new points,
+//! and `--deterministic` zeroes the JSON's wall-clock fields.
 
 use std::time::Instant;
 
 use qm_bench::fault_sweep::{fault_grid, smoke_grid, FaultSweepReport};
-use qm_bench::sweep::{run_parallel, run_serial};
+use qm_bench::sweep::{
+    run_parallel, run_resumable, run_serial, PointResult, SweepFlags, SweepProgress,
+};
 
 fn main() {
-    let smoke = match std::env::args().nth(1).as_deref() {
-        None => false,
-        Some("--smoke") => true,
-        Some(other) => {
-            eprintln!("usage: fault_sweep [--smoke]  (got {other:?})");
-            std::process::exit(2);
-        }
-    };
-    let grid = if smoke { smoke_grid() } else { fault_grid() };
+    let flags = SweepFlags::parse(std::env::args().skip(1), true).unwrap_or_else(|msg| {
+        eprintln!(
+            "usage: fault_sweep [--smoke] [--resume <path>] [--interrupt-after <n>] \
+             [--deterministic]"
+        );
+        eprintln!("{msg}");
+        std::process::exit(2);
+    });
+    let grid = if flags.smoke { smoke_grid() } else { fault_grid() };
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!("fault sweep: {} points, {} worker threads", grid.len(), threads);
+
+    let t1 = Instant::now();
+    let parallel: Vec<PointResult> = if let Some(path) = &flags.resume {
+        let progress =
+            run_resumable(&grid, threads, path, flags.interrupt_after).unwrap_or_else(|e| {
+                eprintln!("checkpoint {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        match progress {
+            SweepProgress::Interrupted { completed, total } => {
+                println!(
+                    "interrupted: {completed}/{total} points checkpointed to {} — rerun to resume",
+                    path.display()
+                );
+                return;
+            }
+            SweepProgress::Complete(results) => results,
+        }
+    } else {
+        run_parallel(&grid, threads)
+    };
+    let parallel_wall = t1.elapsed();
+    println!("parallel: {:>9.1} ms", parallel_wall.as_secs_f64() * 1e3);
 
     let t0 = Instant::now();
     let serial = run_serial(&grid);
     let serial_wall = t0.elapsed();
     println!("serial:   {:>9.1} ms", serial_wall.as_secs_f64() * 1e3);
-
-    let t1 = Instant::now();
-    let parallel = run_parallel(&grid, threads);
-    let parallel_wall = t1.elapsed();
-    println!("parallel: {:>9.1} ms", parallel_wall.as_secs_f64() * 1e3);
 
     let report = FaultSweepReport::new(threads, &serial, serial_wall, parallel, parallel_wall);
     assert!(report.identical, "parallel fault sweep diverged from serial run");
@@ -64,11 +91,12 @@ fn main() {
     );
     println!("all {} points bit-identical across serial and parallel runs", report.points.len());
 
-    if smoke {
+    if flags.smoke {
         println!("smoke mode: skipping BENCH_fault_sweep.json");
         return;
     }
+    let json = if flags.deterministic { report.to_json_deterministic() } else { report.to_json() };
     let path = "BENCH_fault_sweep.json";
-    std::fs::write(path, report.to_json()).expect("write BENCH_fault_sweep.json");
+    std::fs::write(path, json).expect("write BENCH_fault_sweep.json");
     println!("wrote {path}");
 }

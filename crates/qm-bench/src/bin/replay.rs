@@ -1,0 +1,58 @@
+//! Deterministic replay and divergence bisection from a shared snapshot.
+//!
+//! Default mode is a demonstration: checkpoint the 6×6 matmul mid-run,
+//! branch a fault-free and a fault-injected continuation from the same
+//! snapshot, binary-search the first cycle their architectural state
+//! digests differ and print the structured divergence report (final
+//! outcomes, degradation tallies, wait-for state at the split).
+//!
+//! `replay --smoke` instead runs the snapshot subsystem's CI check — a
+//! full capture → encode → decode → restore → resume round trip must be
+//! bit-identical to the uninterrupted run, and the variant pair above
+//! must bisect to a divergence — exiting non-zero on the first broken
+//! invariant (the `snapshot-smoke` CI job and
+//! `scripts/offline-build.sh --snapshot` both call this).
+
+use qm_bench::fault_sweep::plan_at;
+use qm_bench::replay::{bisect, capture_workload, smoke, Variant};
+use qm_workloads::WorkloadRun;
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        None => demo(),
+        Some("--smoke") => match smoke() {
+            Ok(()) => println!("snapshot smoke OK"),
+            Err(msg) => {
+                eprintln!("snapshot smoke FAILED: {msg}");
+                std::process::exit(1);
+            }
+        },
+        Some(other) => {
+            eprintln!("usage: replay [--smoke]  (got {other:?})");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn demo() {
+    let w = qm_workloads::matmul(6);
+    let run = WorkloadRun::with_pes(4);
+    let full = run.run(&w).expect("baseline run").outcome.elapsed_cycles;
+    let pause_at = full / 3;
+    let snap = capture_workload(&run, &w, pause_at).expect("mid-run capture");
+    println!(
+        "captured {} on 4 PEs at cycle {} (uninterrupted run: {} cycles)",
+        w.name,
+        snap.cycle(),
+        full
+    );
+
+    let clean = Variant::new("fault-free");
+    let faulty = Variant::new("fault-injected").with_faults(plan_at(200_000));
+    let report = bisect(&snap, &clean, &faulty).expect("bisection");
+    print!("{report}");
+    assert!(
+        report.first_divergent_cycle.is_some(),
+        "a 20% fault ramp must diverge from the clean continuation"
+    );
+}

@@ -1,25 +1,63 @@
 //! Regenerate `BENCH_sweep.json`: run the full evaluation grid serially
 //! and in parallel, prove the two passes bit-identical, and record wall
 //! times to seed the perf trajectory (schema in `EXPERIMENTS.md`).
+//!
+//! Usage: `sweep [--resume <path>] [--interrupt-after <n>] [--deterministic]`
+//!
+//! With `--resume` the parallel pass checkpoints every completed point
+//! to the given file and a rerun picks up where it left off;
+//! `--interrupt-after <n>` stops after `n` newly completed points
+//! (simulating being killed mid-sweep). `--deterministic` zeroes every
+//! wall-clock field of the JSON so an interrupted-and-resumed sweep
+//! emits a file byte-identical to an uninterrupted one.
 
 use std::time::Instant;
 
-use qm_bench::sweep::{full_grid, run_parallel, run_serial, SweepReport};
+use qm_bench::sweep::{
+    full_grid, run_parallel, run_serial, PointResult, SweepFlags, SweepProgress, SweepReport,
+};
 
 fn main() {
+    let flags = SweepFlags::parse(std::env::args().skip(1), false).unwrap_or_else(|msg| {
+        eprintln!("usage: sweep [--resume <path>] [--interrupt-after <n>] [--deterministic]");
+        eprintln!("{msg}");
+        std::process::exit(2);
+    });
     let grid = full_grid();
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!("sweep: {} points, {} worker threads", grid.len(), threads);
 
+    // The "parallel" pass: checkpointed when resuming, plain otherwise.
+    let t1 = Instant::now();
+    let parallel: Vec<PointResult> = if let Some(path) = &flags.resume {
+        let progress = qm_bench::sweep::run_resumable(&grid, threads, path, flags.interrupt_after)
+            .unwrap_or_else(|e| {
+                eprintln!("checkpoint {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        match progress {
+            SweepProgress::Interrupted { completed, total } => {
+                println!(
+                    "interrupted: {completed}/{total} points checkpointed to {} — rerun to resume",
+                    path.display()
+                );
+                return;
+            }
+            SweepProgress::Complete(results) => results,
+        }
+    } else {
+        run_parallel(&grid, threads)
+    };
+    let parallel_wall = t1.elapsed();
+    println!("parallel: {:>9.1} ms", parallel_wall.as_secs_f64() * 1e3);
+
+    // Serial reference pass: besides the usual serial-vs-parallel
+    // determinism proof, in resume mode this independently re-derives
+    // every metric the checkpoint file persisted.
     let t0 = Instant::now();
     let serial = run_serial(&grid);
     let serial_wall = t0.elapsed();
     println!("serial:   {:>9.1} ms", serial_wall.as_secs_f64() * 1e3);
-
-    let t1 = Instant::now();
-    let parallel = run_parallel(&grid, threads);
-    let parallel_wall = t1.elapsed();
-    println!("parallel: {:>9.1} ms", parallel_wall.as_secs_f64() * 1e3);
 
     let report = SweepReport::new(threads, &serial, serial_wall, parallel, parallel_wall);
     assert!(report.identical, "parallel sweep diverged from serial run");
@@ -31,7 +69,8 @@ fn main() {
         report.points.len(),
     );
 
+    let json = if flags.deterministic { report.to_json_deterministic() } else { report.to_json() };
     let path = "BENCH_sweep.json";
-    std::fs::write(path, report.to_json()).expect("write BENCH_sweep.json");
+    std::fs::write(path, json).expect("write BENCH_sweep.json");
     println!("wrote {path}");
 }

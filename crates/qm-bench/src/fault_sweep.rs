@@ -118,12 +118,25 @@ impl FaultSweepReport {
     /// Serialise as `BENCH_fault_sweep.json` (schema `qm-bench-fault/v1`).
     #[must_use]
     pub fn to_json(&self) -> String {
+        self.render(false)
+    }
+
+    /// As [`to_json`](Self::to_json) with every wall-clock field rendered
+    /// as `0.000`, so interrupted-and-resumed and uninterrupted sweeps
+    /// produce byte-identical files.
+    #[must_use]
+    pub fn to_json_deterministic(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, deterministic: bool) -> String {
+        let time = |v: f64| if deterministic { 0.0 } else { v };
         let mut out = String::from("{\n");
         out.push_str("  \"schema\": \"qm-bench-fault/v1\",\n");
         out.push_str(&format!("  \"seed\": {FAULT_SEED},\n"));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
-        out.push_str(&format!("  \"serial_wall_ms\": {:.3},\n", ms(self.serial_wall)));
-        out.push_str(&format!("  \"parallel_wall_ms\": {:.3},\n", ms(self.parallel_wall)));
+        out.push_str(&format!("  \"serial_wall_ms\": {:.3},\n", time(ms(self.serial_wall))));
+        out.push_str(&format!("  \"parallel_wall_ms\": {:.3},\n", time(ms(self.parallel_wall))));
         out.push_str(&format!("  \"identical\": {},\n", self.identical));
         out.push_str("  \"points\": [\n");
         let rows: Vec<String> = self
@@ -149,7 +162,7 @@ impl FaultSweepReport {
                     d.recovered_transfers,
                     d.backoff_cycles,
                     d.delay_cycles,
-                    ms(p.wall),
+                    time(ms(p.wall)),
                 )
             })
             .collect();

@@ -5,7 +5,9 @@
 //! common text-table formatting, the standard benchmark set and the
 //! [`sweep`] runner the bins are built on.
 
+pub mod checkpoint;
 pub mod fault_sweep;
+pub mod replay;
 pub mod sweep;
 
 use qm_occam::Options;

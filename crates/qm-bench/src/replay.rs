@@ -1,0 +1,357 @@
+//! Deterministic replay and divergence bisection on top of
+//! `qm_sim::snapshot`.
+//!
+//! Because a snapshot restores bit-identically and every run is
+//! deterministic, two configuration [`Variant`]s launched from the *same*
+//! mid-run snapshot either stay digest-identical forever or split at one
+//! well-defined cycle. [`bisect`] finds that cycle by binary search: each
+//! probe restores both variants fresh from the snapshot, runs them
+//! forward to a candidate cycle and compares architectural
+//! [state digests](qm_sim::snapshot::Snapshot::state_digest) — O(log n)
+//! full replays instead of a lock-step walk. The result is a
+//! [`DivergenceReport`]: the first divergent cycle plus each variant's
+//! final outcome, degradation tallies and wait-for state at the split,
+//! in the same spirit as the deadlock reports.
+//!
+//! `bin/replay.rs` drives this as a demo (fault-free vs fault-injected
+//! matmul from a shared checkpoint) and, with `--smoke`, as the CI
+//! round-trip check ([`smoke`]).
+
+use std::fmt;
+
+use qm_sim::config::Placement;
+use qm_sim::fault::{DegradationReport, FaultPlan};
+use qm_sim::snapshot::{Snapshot, SnapshotError};
+use qm_sim::system::{RunOutcome, RunStatus, System};
+use qm_workloads::WorkloadRun;
+
+/// One way of continuing a run from a shared snapshot: an optional fault
+/// plan and/or placement-policy override applied after restore. Two
+/// variants with no overrides are the degenerate (never-diverging) case.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Display name, e.g. `fault-free`.
+    pub name: String,
+    /// Fault plan armed on the restored system (`None` keeps whatever
+    /// the snapshot carried).
+    pub fault_plan: Option<FaultPlan>,
+    /// Placement-policy override (`None` keeps the snapshot's policy).
+    pub placement: Option<Placement>,
+}
+
+impl Variant {
+    /// A variant that continues the snapshot unchanged.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Variant { name: name.into(), fault_plan: None, placement: None }
+    }
+
+    /// The same variant with a fault plan armed at restore time.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The same variant with a placement-policy override.
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Restore the snapshot and apply this variant's overrides.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] if the snapshot fails validation.
+    pub fn instantiate(&self, snap: &Snapshot) -> Result<System, SnapshotError> {
+        let mut sys = System::restore(snap)?;
+        if let Some(plan) = &self.fault_plan {
+            sys.set_fault_plan(plan);
+        }
+        if let Some(placement) = self.placement {
+            sys.set_placement(placement);
+        }
+        Ok(sys)
+    }
+}
+
+/// The architectural state digest of `variant` run forward from `snap`
+/// to cycle `k`. Runs that die before `k` (fault-injected deadlock or
+/// watchdog) die deterministically too, so their digest is a checksum of
+/// the structured error — still comparable, so bisection keeps working
+/// across the death cycle.
+///
+/// # Errors
+///
+/// [`SnapshotError`] if the snapshot fails validation.
+pub fn digest_at(snap: &Snapshot, variant: &Variant, k: u64) -> Result<u64, SnapshotError> {
+    let mut sys = variant.instantiate(snap)?;
+    Ok(match sys.run_until(k) {
+        Ok(_) => Snapshot::capture(&sys).state_digest(),
+        Err(e) => qm_sim::rng::checksum(e.to_string().as_bytes()),
+    })
+}
+
+/// One variant's side of a [`DivergenceReport`].
+#[derive(Debug, Clone)]
+pub struct VariantReport {
+    /// The variant's display name.
+    pub name: String,
+    /// Its final result when run from the snapshot to completion.
+    pub outcome: Result<RunOutcome, String>,
+    /// Cycles elapsed when the run finished (or died).
+    pub final_cycles: u64,
+    /// Degradation tallies at the first divergent cycle (at the capture
+    /// cycle when the variants never diverge).
+    pub degradation_at_split: DegradationReport,
+    /// Wait-for lines (blocked contexts) at the first divergent cycle.
+    pub wait_for_at_split: Vec<String>,
+}
+
+/// The verdict of [`bisect`]: where two variants' executions split, and
+/// what each side looked like there and at the end.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// Cycle the shared snapshot was captured at.
+    pub captured_at: u64,
+    /// First cycle at which the variants' architectural digests differ
+    /// (`None`: they ran to identical conclusions).
+    pub first_divergent_cycle: Option<u64>,
+    /// Per-variant detail, in the order passed to [`bisect`].
+    pub variants: Vec<VariantReport>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "divergence report — shared snapshot captured at cycle {}", self.captured_at)?;
+        match self.first_divergent_cycle {
+            Some(c) => writeln!(f, "first divergent cycle: {c}")?,
+            None => writeln!(f, "no divergence: both variants ran to identical states")?,
+        }
+        for v in &self.variants {
+            writeln!(f, "variant {:?}:", v.name)?;
+            match &v.outcome {
+                Ok(o) => writeln!(
+                    f,
+                    "  finished at cycle {} (output {:?}, {} instructions)",
+                    v.final_cycles, o.output, o.instructions
+                )?,
+                Err(e) => writeln!(f, "  died at cycle {}: {e}", v.final_cycles)?,
+            }
+            let d = v.degradation_at_split;
+            writeln!(
+                f,
+                "  at split: {} send drops, {} bus drops, {} trap delays, {} retries",
+                d.send_drops, d.bus_drops, d.trap_delays, d.retries
+            )?;
+            if v.wait_for_at_split.is_empty() {
+                writeln!(f, "  no contexts blocked on channels at the split")?;
+            } else {
+                writeln!(f, "  wait-for at split:")?;
+                for line in &v.wait_for_at_split {
+                    writeln!(f, "    {line}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Probe one variant at the first divergent cycle (or the capture cycle)
+/// and run it to completion for the report.
+fn variant_report(
+    snap: &Snapshot,
+    variant: &Variant,
+    split: u64,
+) -> Result<VariantReport, SnapshotError> {
+    let mut probe = variant.instantiate(snap)?;
+    // A probe that dies before the split is still informative: the
+    // degradation and wait-for state below describe the death scene.
+    let _ = probe.run_until(split);
+    let degradation_at_split = probe.degradation();
+    let wait_for_at_split: Vec<String> =
+        probe.wait_for_report().iter().map(ToString::to_string).collect();
+    let mut full = variant.instantiate(snap)?;
+    let outcome = full.run().map_err(|e| e.to_string());
+    Ok(VariantReport {
+        name: variant.name.clone(),
+        final_cycles: full.elapsed_cycles(),
+        outcome,
+        degradation_at_split,
+        wait_for_at_split,
+    })
+}
+
+/// Binary-search the first cycle at which `a` and `b`, launched from the
+/// same snapshot, differ in architectural state.
+///
+/// The search invariant comes from determinism: digests are equal at the
+/// capture cycle by construction, and past the split the executions have
+/// materially different histories, so "digest equal at `k`" is monotone
+/// in `k` over the searched range.
+///
+/// # Errors
+///
+/// [`SnapshotError`] if the snapshot fails validation.
+pub fn bisect(
+    snap: &Snapshot,
+    a: &Variant,
+    b: &Variant,
+) -> Result<DivergenceReport, SnapshotError> {
+    let captured_at = snap.cycle();
+    let report_a = variant_report(snap, a, captured_at)?;
+    let report_b = variant_report(snap, b, captured_at)?;
+    // Probe one cycle past the later finisher: beyond both completions
+    // the digests are frozen at their final values.
+    let hi = report_a.final_cycles.max(report_b.final_cycles) + 1;
+    if digest_at(snap, a, hi)? == digest_at(snap, b, hi)? {
+        return Ok(DivergenceReport {
+            captured_at,
+            first_divergent_cycle: None,
+            variants: vec![report_a, report_b],
+        });
+    }
+    let (mut lo, mut hi) = (captured_at, hi);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if digest_at(snap, a, mid)? == digest_at(snap, b, mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(DivergenceReport {
+        captured_at,
+        first_divergent_cycle: Some(hi),
+        variants: vec![variant_report(snap, a, hi)?, variant_report(snap, b, hi)?],
+    })
+}
+
+/// Prepare a workload, run it to `pause_at` and capture the snapshot the
+/// replay demo and smoke test branch from.
+///
+/// # Errors
+///
+/// A message if the workload fails to build or finishes before
+/// `pause_at` (nothing left to branch).
+pub fn capture_workload(
+    run: &WorkloadRun,
+    w: &qm_workloads::Workload,
+    pause_at: u64,
+) -> Result<Snapshot, String> {
+    let (mut sys, _) = run.prepare(w).map_err(|e| e.to_string())?;
+    match sys.run_until(pause_at).map_err(|e| e.to_string())? {
+        RunStatus::Paused { .. } => Ok(Snapshot::capture(&sys)),
+        RunStatus::Done(_) => {
+            Err(format!("{} finished before cycle {pause_at}; nothing to branch", w.name))
+        }
+    }
+}
+
+/// The CI smoke check behind `replay --smoke` (and
+/// `offline-build.sh --snapshot`): a full capture → encode → decode →
+/// restore → resume round trip must be bit-identical to the
+/// uninterrupted run, and a fault-free/fault-injected variant pair from
+/// a shared snapshot must bisect to a divergence.
+///
+/// # Errors
+///
+/// A description of the first failed invariant.
+pub fn smoke() -> Result<(), String> {
+    let w = qm_workloads::matmul(4);
+    let run = WorkloadRun::with_pes(2);
+    let baseline = run.run(&w).map_err(|e| e.to_string())?;
+    if !baseline.correct {
+        return Err(format!("baseline run verified incorrect: {:?}", baseline.mismatches));
+    }
+
+    // Round trip through bytes at a mid-run capture point.
+    let snap = capture_workload(&run, &w, baseline.outcome.elapsed_cycles / 2)?;
+    let decoded = Snapshot::decode(&snap.encode()).map_err(|e| e.to_string())?;
+    if decoded != snap {
+        return Err("decode(encode(snapshot)) is not the identity".into());
+    }
+    let mut resumed = System::restore(&decoded).map_err(|e| e.to_string())?;
+    let outcome = resumed.run().map_err(|e| e.to_string())?;
+    if outcome != baseline.outcome {
+        return Err("resumed outcome differs from the uninterrupted run".into());
+    }
+
+    // A faulty continuation must diverge from a clean one, detectably.
+    let clean = Variant::new("fault-free");
+    let faulty = Variant::new("faulty").with_faults(crate::fault_sweep::plan_at(300_000));
+    let report = bisect(&decoded, &clean, &faulty).map_err(|e| e.to_string())?;
+    let Some(split) = report.first_divergent_cycle else {
+        return Err("30% send loss failed to diverge from the clean run".into());
+    };
+    if split <= report.captured_at {
+        return Err(format!(
+            "first divergent cycle {split} not after the capture cycle {}",
+            report.captured_at
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qm_sim::fault::FaultPlan;
+
+    fn shared_snapshot() -> Snapshot {
+        let run = WorkloadRun::with_pes(2);
+        let w = qm_workloads::matmul(4);
+        let full = run.run(&w).expect("baseline").outcome.elapsed_cycles;
+        capture_workload(&run, &w, full / 2).expect("captures mid-run")
+    }
+
+    #[test]
+    fn identical_variants_never_diverge() {
+        let snap = shared_snapshot();
+        let report = bisect(&snap, &Variant::new("a"), &Variant::new("b")).expect("bisects");
+        assert_eq!(report.first_divergent_cycle, None);
+        assert_eq!(
+            report.variants[0].outcome, report.variants[1].outcome,
+            "identical continuations end identically"
+        );
+    }
+
+    #[test]
+    fn fault_injection_diverges_after_the_capture_cycle() {
+        let snap = shared_snapshot();
+        let clean = Variant::new("clean");
+        let faulty = Variant::new("faulty")
+            .with_faults(FaultPlan::seeded(0xD1F_F00D).with_send_loss(400_000));
+        let report = bisect(&snap, &clean, &faulty).expect("bisects");
+        let split = report.first_divergent_cycle.expect("40% send loss diverges");
+        assert!(split > report.captured_at, "divergence is after the branch point");
+        // Bisection found the *first* divergent cycle: equal one cycle
+        // before, different at the split.
+        assert_eq!(
+            digest_at(&snap, &clean, split - 1).unwrap(),
+            digest_at(&snap, &faulty, split - 1).unwrap()
+        );
+        assert_ne!(
+            digest_at(&snap, &clean, split).unwrap(),
+            digest_at(&snap, &faulty, split).unwrap()
+        );
+        let text = report.to_string();
+        assert!(text.contains("first divergent cycle"), "{text}");
+        assert!(text.contains("variant \"faulty\""), "{text}");
+    }
+
+    #[test]
+    fn digest_probes_are_pure() {
+        let snap = shared_snapshot();
+        let v = Variant::new("probe");
+        let k = snap.cycle() + 40;
+        assert_eq!(digest_at(&snap, &v, k).unwrap(), digest_at(&snap, &v, k).unwrap());
+    }
+
+    #[test]
+    fn smoke_passes() {
+        smoke().expect("smoke invariants hold");
+    }
+}

@@ -34,6 +34,15 @@ pub struct Object {
 }
 
 impl Object {
+    /// Reassemble an object from its parts (words, symbol table, base
+    /// address). The inverse of the accessors below; used by external
+    /// serializers (e.g. simulator snapshots) to round-trip an object
+    /// without re-running the assembler.
+    #[must_use]
+    pub fn from_parts(words: Vec<u32>, symbols: HashMap<String, UWord>, base: UWord) -> Self {
+        Object { words, symbols, base }
+    }
+
     /// The encoded instruction/data words.
     #[must_use]
     pub fn words(&self) -> &[u32] {

@@ -270,6 +270,13 @@ impl Pe {
         self.last_result
     }
 
+    /// Reinstate a `last_result` captured by [`Pe::last_result`] — used by
+    /// external serializers restoring a mid-run PE, so a `dup` issued
+    /// right after restore sees the same value it would have uninterrupted.
+    pub fn set_last_result(&mut self, value: Word) {
+        self.last_result = value;
+    }
+
     /// Write a result to a destination register with full window
     /// semantics (DUMMY discards; used by the kernel to deliver trap
     /// results).

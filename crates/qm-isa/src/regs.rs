@@ -220,6 +220,28 @@ impl RegisterFile {
         self.globals = saved.globals;
         self.presence = [false; WINDOW_SIZE];
     }
+
+    /// Complete mid-run state — window contents, presence bits, globals —
+    /// for external serialization (simulator snapshots). Unlike
+    /// [`RegisterFile::save`], nothing is rolled out or cleared: the
+    /// triple reproduces the file bit-for-bit via
+    /// [`RegisterFile::restore_full`].
+    #[must_use]
+    pub fn full_state(&self) -> ([Word; WINDOW_SIZE], [bool; WINDOW_SIZE], [Word; 16]) {
+        (self.window, self.presence, self.globals)
+    }
+
+    /// Restore the exact state captured by [`RegisterFile::full_state`].
+    pub fn restore_full(
+        &mut self,
+        window: [Word; WINDOW_SIZE],
+        presence: [bool; WINDOW_SIZE],
+        globals: [Word; 16],
+    ) {
+        self.window = window;
+        self.presence = presence;
+        self.globals = globals;
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +338,22 @@ mod tests {
         assert_eq!(other.pc(), 0x1234);
         assert_eq!(other.read_global(17), -5);
         assert_eq!(other.present_count(), 0, "presence bits start clear after restore");
+    }
+
+    #[test]
+    fn full_state_round_trips_presence_and_window() {
+        let mut r = RegisterFile::new();
+        r.set_qp(0x8000_0000);
+        r.set_pc(0x40);
+        r.write_window(0, 11);
+        r.write_window(3, 33);
+        r.write_global(20, -7);
+        let (w, p, g) = r.full_state();
+        let mut other = RegisterFile::new();
+        other.restore_full(w, p, g);
+        assert_eq!(other, r, "full_state/restore_full is exact, presence included");
+        assert_eq!(other.read_window(3), Some(33));
+        assert_eq!(other.present_count(), 2);
     }
 
     #[test]

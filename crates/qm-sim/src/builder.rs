@@ -28,10 +28,13 @@
 //! The pre-existing piecewise methods remain as thin delegates (and for
 //! post-build mutation such as workload memory initialisation).
 
+use std::path::PathBuf;
+
 use qm_isa::asm::{assemble, Object};
 
 use crate::config::SystemConfig;
 use crate::fault::FaultPlan;
+use crate::snapshot::Snapshot;
 use crate::system::{SimError, System};
 use crate::trace::TraceSink;
 use crate::Word;
@@ -58,6 +61,9 @@ pub struct SimBuilder {
     fault_plan: Option<FaultPlan>,
     entry: Option<String>,
     spawn: bool,
+    snap_every: Option<u64>,
+    snap_dir: Option<String>,
+    resume_from: Option<PathBuf>,
 }
 
 impl System {
@@ -72,6 +78,9 @@ impl System {
             fault_plan: None,
             entry: None,
             spawn: true,
+            snap_every: None,
+            snap_dir: None,
+            resume_from: None,
         }
     }
 }
@@ -147,6 +156,43 @@ impl SimBuilder {
         self
     }
 
+    /// Write an automatic snapshot every `n` cycles while running (see
+    /// [`System::set_snapshot_cadence`]). Files named
+    /// `qm-snap-<cycle>.snap` land in the directory given by
+    /// [`snapshot_dir`](Self::snapshot_dir) (default: the current
+    /// directory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn snapshot_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "snapshot cadence must be positive");
+        self.snap_every = Some(n);
+        self
+    }
+
+    /// Directory automatic snapshots are written into (used with
+    /// [`snapshot_every`](Self::snapshot_every)).
+    pub fn snapshot_dir(mut self, dir: impl Into<String>) -> Self {
+        self.snap_dir = Some(dir.into());
+        self
+    }
+
+    /// Resume from a snapshot file instead of building a fresh system.
+    /// The restored run continues bit-identically to the captured one.
+    /// Mutually exclusive with [`object`](Self::object),
+    /// [`assembly`](Self::assembly), [`inputs`](Self::inputs),
+    /// [`fault_plan`](Self::fault_plan) and [`entry`](Self::entry) —
+    /// the snapshot already carries the program, pending inputs and the
+    /// fault engine's exact mid-run state, so overriding any of them
+    /// would break the replay guarantee. A trace sink and a snapshot
+    /// cadence may still be installed (host-side observers, not machine
+    /// state).
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
     /// Assemble (if needed), construct the system, install the sink and
     /// fault plan, load the program, queue the inputs and spawn the root
     /// context.
@@ -156,7 +202,34 @@ impl SimBuilder {
     /// [`SimError::Asm`] when the source does not assemble, when both a
     /// source and an object were given, or when an explicit
     /// [`entry`](Self::entry) label is absent from the program.
+    /// [`SimError::Snapshot`] when [`resume_from`](Self::resume_from)
+    /// was combined with program/input/fault options, or the snapshot
+    /// cannot be read.
     pub fn build(self) -> Result<System, SimError> {
+        if let Some(path) = &self.resume_from {
+            if self.object.is_some()
+                || self.assembly.is_some()
+                || !self.inputs.is_empty()
+                || self.fault_plan.is_some()
+                || self.entry.is_some()
+                || !self.spawn
+            {
+                return Err(SimError::Snapshot(
+                    "resume_from() carries the complete machine state; it cannot be \
+                     combined with object/assembly/inputs/fault_plan/entry/no_spawn"
+                        .to_string(),
+                ));
+            }
+            let snap = Snapshot::read_from(path).map_err(|e| SimError::Snapshot(e.to_string()))?;
+            let mut sys = System::restore(&snap).map_err(|e| SimError::Snapshot(e.to_string()))?;
+            if let Some(sink) = self.sink {
+                sys.set_trace_sink(sink);
+            }
+            if let Some(every) = self.snap_every {
+                sys.set_snapshot_cadence(every, self.snap_dir.unwrap_or_else(|| ".".to_string()));
+            }
+            return Ok(sys);
+        }
         let obj = match (self.object, self.assembly) {
             (Some(_), Some(_)) => {
                 return Err(SimError::Asm(
@@ -192,6 +265,9 @@ impl SimBuilder {
         } else if self.entry.is_some() {
             return Err(SimError::Asm("entry label given but no program loaded".to_string()));
         }
+        if let Some(every) = self.snap_every {
+            sys.set_snapshot_cadence(every, self.snap_dir.unwrap_or_else(|| ".".to_string()));
+        }
         Ok(sys)
     }
 }
@@ -207,6 +283,9 @@ impl std::fmt::Debug for SimBuilder {
             .field("fault_plan", &self.fault_plan)
             .field("entry", &self.entry)
             .field("spawn", &self.spawn)
+            .field("snap_every", &self.snap_every)
+            .field("snap_dir", &self.snap_dir)
+            .field("resume_from", &self.resume_from)
             .finish()
     }
 }
@@ -288,6 +367,47 @@ alt:    send+1 #0,#2
             Simulation::builder().assembly(ECHO).input(1).trace(rec.sink()).build().unwrap();
         sys.run().unwrap();
         assert!(!rec.records().is_empty(), "events flowed to the builder-installed sink");
+    }
+
+    #[test]
+    fn resume_from_rejects_program_and_fault_options() {
+        let err = Simulation::builder()
+            .resume_from("/nonexistent.snap")
+            .assembly(ECHO)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::Snapshot(ref m) if m.contains("cannot be combined")),
+            "got {err:?}"
+        );
+        let err = Simulation::builder()
+            .resume_from("/nonexistent.snap")
+            .fault_plan(crate::fault::FaultPlan::seeded(1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Snapshot(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn resume_from_reports_unreadable_files() {
+        let err = Simulation::builder().resume_from("/nonexistent/qm.snap").build().unwrap_err();
+        assert!(matches!(err, SimError::Snapshot(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn resume_from_round_trips_through_a_file() {
+        let mut sys = Simulation::builder().pes(2).assembly(ECHO).input(14).build().unwrap();
+        let status = sys.run_until(4).unwrap();
+        assert!(matches!(status, crate::system::RunStatus::Paused { .. }));
+        let dir = std::env::temp_dir().join(format!("qm-builder-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mid.snap");
+        crate::snapshot::Snapshot::capture(&sys).write_to(&path).unwrap();
+        let mut resumed = Simulation::builder().resume_from(&path).build().unwrap();
+        let direct = sys.run().unwrap();
+        assert_eq!(resumed.run().unwrap(), direct, "resumed run matches the uninterrupted one");
+        assert_eq!(direct.output, vec![42]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

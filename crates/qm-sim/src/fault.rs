@@ -259,43 +259,31 @@ const STREAM_BUS: u64 = 2;
 const STREAM_TRAP: u64 = 3;
 const STREAM_STALL: u64 = 4;
 
-/// SplitMix64 finalizer: a full-avalanche mix of the 64-bit input.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// The `seq`-th draw of stream `stream` under `seed` — pure, so any
-/// draw can be recomputed without replaying the others.
-fn draw(seed: u64, stream: u64, seq: u64) -> u64 {
-    mix(seed ^ mix((stream << 56) ^ seq))
-}
-
-fn hits(seed: u64, stream: u64, seq: u64, ppm: u32) -> bool {
-    ppm > 0 && draw(seed, stream, seq) % 1_000_000 < u64::from(ppm)
-}
+use crate::rng::{draw, hits};
 
 /// A compiled [`FaultPlan`]: the runtime event stream the run loop
 /// consults. Holds the per-PE stall schedule, the draw counters and the
 /// one-slot retry mailbox the run loop drains after a dropped send.
+///
+/// Fields are `pub(crate)` so [`crate::snapshot`] can serialize the
+/// engine mid-run (counters and mailbox included) and rebuild it
+/// exactly — a resumed run replays the identical fault stream.
 #[derive(Debug, Clone)]
 pub struct FaultEngine {
-    send_loss_ppm: u32,
-    bus_drop_ppm: u32,
-    trap_delay_ppm: u32,
-    trap_delay_cycles: u64,
+    pub(crate) send_loss_ppm: u32,
+    pub(crate) bus_drop_ppm: u32,
+    pub(crate) trap_delay_ppm: u32,
+    pub(crate) trap_delay_cycles: u64,
     /// Retry / backoff / watchdog tuning (public: the run loop applies
     /// it).
     pub recovery: RecoveryConfig,
     /// Per-PE stall windows, sorted and non-overlapping.
-    stalls: Vec<Vec<(u64, u64)>>,
-    seed: u64,
-    send_seq: u64,
-    bus_seq: u64,
-    trap_seq: u64,
-    pending_retry: Option<u64>,
+    pub(crate) stalls: Vec<Vec<(u64, u64)>>,
+    pub(crate) seed: u64,
+    pub(crate) send_seq: u64,
+    pub(crate) bus_seq: u64,
+    pub(crate) trap_seq: u64,
+    pub(crate) pending_retry: Option<u64>,
 }
 
 impl FaultEngine {

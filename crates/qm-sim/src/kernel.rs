@@ -176,6 +176,21 @@ impl PageAllocator {
     pub fn free(&mut self, page: UWord) {
         self.free.push(page);
     }
+
+    /// Allocator state for snapshots: the bump cursor and the free list
+    /// in its exact (LIFO) order, so a restored allocator hands out the
+    /// same pages in the same order.
+    #[must_use]
+    pub(crate) fn export_state(&self) -> (UWord, Vec<UWord>) {
+        (self.next, self.free.clone())
+    }
+
+    /// Restore state captured by [`PageAllocator::export_state`] onto an
+    /// allocator of the same page size.
+    pub(crate) fn restore_state(&mut self, next: UWord, free: Vec<UWord>) {
+        self.next = next;
+        self.free = free;
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,10 @@
 //! * [`builder`] — fluent construction: [`Simulation::builder()`].
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
 //!   recovery/degradation accounting.
+//! * [`snapshot`] — versioned capture/restore of complete machine state
+//!   (`qm-snap/v1`) with deterministic-replay guarantees.
+//! * [`rng`] — the splitmix64 mixer behind fault draws and snapshot
+//!   checksums.
 //! * [`trace`] — structured event tracing: typed simulator events, the
 //!   sink trait, an in-memory recorder and a Chrome trace-event exporter.
 //! * [`amdahl`] — the analytic speed-up models of Figs 6.6–6.7.
@@ -59,14 +63,17 @@ pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod msg;
+pub mod rng;
 pub mod sched;
+pub mod snapshot;
 pub mod system;
 pub mod trace;
 
 pub use builder::{SimBuilder, Simulation};
 pub use config::{RecoveryConfig, SystemConfig};
 pub use fault::{DegradationReport, FaultPlan, StallWindow};
-pub use system::{BlockedCtx, RetryingCtx, RunOutcome, SimError, System};
+pub use snapshot::{Snapshot, SnapshotError};
+pub use system::{BlockedCtx, RetryingCtx, RunOutcome, RunStatus, SimError, System};
 pub use trace::{ChromeTrace, Recorder, TraceEvent, TraceRecord, TraceSink, Tracer};
 
 /// Machine word, shared with the rest of the workspace.

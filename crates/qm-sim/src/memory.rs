@@ -27,6 +27,10 @@ pub struct MemStats {
     pub bus_cycles: u64,
 }
 
+/// One memory plane exported for snapshots: populated `(address, value)`
+/// pairs, sorted by address.
+pub(crate) type MemPlane = Vec<(UWord, Word)>;
+
 /// The multiprocessor memory system.
 #[derive(Debug)]
 pub struct SharedMemory {
@@ -107,6 +111,28 @@ impl SharedMemory {
     #[must_use]
     pub fn peek_local(&self, pe: usize, addr: UWord) -> Word {
         self.locals[pe].get(&(addr & !3)).copied().unwrap_or(0)
+    }
+
+    /// Export every populated word for snapshots: the global plane and
+    /// each PE-local plane as `(address, value)` pairs sorted by address
+    /// (deterministic bytes regardless of map iteration order).
+    #[must_use]
+    pub(crate) fn export_planes(&self) -> (MemPlane, Vec<MemPlane>) {
+        let sorted = |m: &HashMap<UWord, Word>| {
+            let mut v: MemPlane = m.iter().map(|(&a, &w)| (a, w)).collect();
+            v.sort_unstable();
+            v
+        };
+        (sorted(&self.global), self.locals.iter().map(sorted).collect())
+    }
+
+    /// Replace the memory planes with snapshot state (the inverse of
+    /// [`SharedMemory::export_planes`]); `locals` must have one plane per
+    /// PE.
+    pub(crate) fn restore_planes(&mut self, global: MemPlane, locals: Vec<MemPlane>) {
+        debug_assert_eq!(locals.len(), self.locals.len());
+        self.global = global.into_iter().collect();
+        self.locals = locals.into_iter().map(|plane| plane.into_iter().collect()).collect();
     }
 }
 

@@ -129,6 +129,23 @@ struct Channel {
     ready: HashMap<CtxId, (Word, usize)>,
 }
 
+/// One channel's complete state in deterministic order, produced by
+/// [`ChannelTable::export_channels`] for snapshot serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ChannelSnap {
+    pub(crate) chan: Word,
+    /// Cached `(value, sending PE)` slots, FIFO order.
+    pub(crate) buffer: Vec<(Word, usize)>,
+    /// Parked senders `(ctx, pe, value)`, FIFO order.
+    pub(crate) senders: Vec<(CtxId, usize, Word)>,
+    /// Parked receivers `(ctx, pe)`, FIFO order.
+    pub(crate) receivers: Vec<(CtxId, usize)>,
+    /// Contexts holding an uncollected send acknowledgement, sorted.
+    pub(crate) acked: Vec<CtxId>,
+    /// Delivered-but-uncollected values `(ctx, value, from_pe)`, sorted.
+    pub(crate) ready: Vec<(CtxId, Word, usize)>,
+}
+
 /// The system-wide channel table (union of all message caches).
 #[derive(Debug, Default)]
 pub struct ChannelTable {
@@ -286,6 +303,62 @@ impl ChannelTable {
                 .collect();
         out.sort_unstable_by_key(|b| (b.ctx, b.chan));
         out
+    }
+
+    /// The next channel id [`ChannelTable::allocate`] would hand out
+    /// (snapshot state).
+    #[must_use]
+    pub(crate) fn next_id(&self) -> Word {
+        self.next_id
+    }
+
+    /// Export every channel's complete state for snapshots, in
+    /// deterministic order: channels sorted by id, the ack set and
+    /// ready map sorted by context. Queue orders (FIFO) are preserved
+    /// verbatim. Empty-but-allocated entries are included so a restored
+    /// table is structurally identical to the captured one.
+    #[must_use]
+    pub(crate) fn export_channels(&self) -> Vec<ChannelSnap> {
+        let mut out: Vec<ChannelSnap> = self
+            .channels
+            .iter()
+            .map(|(&chan, c)| {
+                let mut acked: Vec<CtxId> = c.acked.iter().copied().collect();
+                acked.sort_unstable();
+                let mut ready: Vec<(CtxId, Word, usize)> =
+                    c.ready.iter().map(|(&ctx, &(v, pe))| (ctx, v, pe)).collect();
+                ready.sort_unstable();
+                ChannelSnap {
+                    chan,
+                    buffer: c.buffer.iter().copied().collect(),
+                    senders: c.waiting_senders.iter().copied().collect(),
+                    receivers: c.waiting_receivers.iter().copied().collect(),
+                    acked,
+                    ready,
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| s.chan);
+        out
+    }
+
+    /// Replace the table's channels and allocation cursor with snapshot
+    /// state (the inverse of [`ChannelTable::export_channels`]).
+    pub(crate) fn restore_channels(&mut self, snaps: Vec<ChannelSnap>, next_id: Word) {
+        self.next_id = next_id;
+        self.channels = snaps
+            .into_iter()
+            .map(|s| {
+                let c = Channel {
+                    buffer: s.buffer.into_iter().collect(),
+                    waiting_senders: s.senders.into_iter().collect(),
+                    waiting_receivers: s.receivers.into_iter().collect(),
+                    acked: s.acked.into_iter().collect(),
+                    ready: s.ready.into_iter().map(|(ctx, v, pe)| (ctx, (v, pe))).collect(),
+                };
+                (s.chan, c)
+            })
+            .collect();
     }
 
     /// Contexts currently blocked on any channel (for deadlock reports).
@@ -501,6 +574,37 @@ mod tests {
             events[..],
             [TraceEvent::Rendezvous { sender: 1, receiver: 2, value: 9, .. }]
         ));
+    }
+
+    #[test]
+    fn channel_export_restore_round_trips_every_queue() {
+        let mut t = ChannelTable::new(1);
+        let a = t.allocate();
+        t.send(1, 0, a, 10); // fills the single cache slot
+        t.send(2, 1, a, 20); // parks sender 2
+        let b = t.allocate();
+        t.recv(3, 0, b); // parks receiver 3
+        let c = t.allocate();
+        t.recv(4, 1, c);
+        t.send(5, 0, c, 30); // wakes 4 with a ready value
+        let d = t.allocate();
+        t.send(6, 0, d, 40);
+        t.recv(7, 1, d); // wakes 6 with an ack
+        let snaps = t.export_channels();
+        assert_eq!(snaps.len(), 4, "all four channels exported, sorted");
+        assert!(snaps.windows(2).all(|w| w[0].chan < w[1].chan));
+
+        let mut u = ChannelTable::new(1);
+        u.restore_channels(snaps.clone(), t.next_id());
+        assert_eq!(u.next_id(), t.next_id());
+        assert_eq!(u.export_channels(), snaps, "re-export is byte-for-byte stable");
+        // The restored table behaves like the original: the woken
+        // receiver finds its value, the woken sender finds its ack, the
+        // parked pair stays parked.
+        assert!(matches!(u.recv(4, 1, c), RecvResult::Done { value: 30, .. }));
+        assert_eq!(u.send(6, 0, d, 40), SendResult::Done { woke: None });
+        assert_eq!(u.blocked_contexts(), vec![2, 3]);
+        assert_eq!(u.allocate(), t.allocate(), "allocation cursor continues in step");
     }
 
     #[test]

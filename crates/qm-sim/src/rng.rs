@@ -1,0 +1,94 @@
+//! Shared deterministic mixing primitives (SplitMix64).
+//!
+//! One audited source for every seeded draw and integrity hash in the
+//! simulator: the fault engine's counter-keyed event streams
+//! ([`crate::fault`]) and the snapshot format's section checksums
+//! ([`crate::snapshot`]) both build on [`mix`]. Keeping the finalizer in
+//! one place means one set of tests vouches for its avalanche behaviour,
+//! and a change to it cannot silently diverge between the two users.
+
+/// SplitMix64 finalizer: a full-avalanche mix of the 64-bit input.
+#[must_use]
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `seq`-th draw of stream `stream` under `seed` — pure, so any
+/// draw can be recomputed without replaying the others.
+#[must_use]
+pub fn draw(seed: u64, stream: u64, seq: u64) -> u64 {
+    mix(seed ^ mix((stream << 56) ^ seq))
+}
+
+/// Whether the `seq`-th draw of `stream` under `seed` hits an event with
+/// probability `ppm` parts-per-million.
+#[must_use]
+pub fn hits(seed: u64, stream: u64, seq: u64, ppm: u32) -> bool {
+    ppm > 0 && draw(seed, stream, seq) % 1_000_000 < u64::from(ppm)
+}
+
+/// Integrity checksum of a byte string: a [`mix`]-based rolling fold over
+/// 8-byte chunks, with the length folded in so truncations and
+/// extensions always change the sum. Not cryptographic — it guards
+/// against corruption and mis-framing, not adversaries.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0x51CC_5EED_0000_0001;
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h ^ u64::from_le_bytes(word));
+    }
+    mix(h ^ bytes.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_avalanches_single_bit_flips() {
+        // Every single-bit flip of the input should change roughly half
+        // the output bits; accept a generous band.
+        for bit in 0..64 {
+            let a = mix(0xDEAD_BEEF_CAFE_F00D);
+            let b = mix(0xDEAD_BEEF_CAFE_F00D ^ (1 << bit));
+            let flipped = (a ^ b).count_ones();
+            assert!((16..=48).contains(&flipped), "bit {bit}: {flipped} output bits flipped");
+        }
+    }
+
+    #[test]
+    fn draws_are_pure_and_stream_separated() {
+        assert_eq!(draw(1, 2, 3), draw(1, 2, 3));
+        assert_ne!(draw(1, 2, 3), draw(1, 2, 4));
+        assert_ne!(draw(1, 2, 3), draw(1, 3, 3));
+        assert_ne!(draw(1, 2, 3), draw(2, 2, 3));
+    }
+
+    #[test]
+    fn hits_honours_the_ppm_extremes() {
+        assert!((0..1000).all(|seq| !hits(7, 1, seq, 0)), "0 ppm never hits");
+        assert!((0..1000).all(|seq| hits(7, 1, seq, 1_000_000)), "1e6 ppm always hits");
+    }
+
+    #[test]
+    fn checksum_detects_flips_truncation_and_extension() {
+        let data = b"qm-snap section payload".to_vec();
+        let base = checksum(&data);
+        assert_eq!(base, checksum(&data), "checksum is a pure function");
+
+        let mut flipped = data.clone();
+        flipped[3] ^= 0x01;
+        assert_ne!(base, checksum(&flipped));
+
+        assert_ne!(base, checksum(&data[..data.len() - 1]), "truncation changes the sum");
+        let mut extended = data.clone();
+        extended.push(0);
+        assert_ne!(base, checksum(&extended), "zero-extension changes the sum");
+        assert_ne!(checksum(b""), checksum(&[0u8]), "length is folded in");
+    }
+}

@@ -36,7 +36,12 @@ use crate::CtxId;
 /// Ready-queue ordering key: earliest `ready_at` first, then arrival
 /// order (FIFO among equal ready times), then context id (never reached
 /// in practice — arrival numbers are unique).
-type ReadyKey = (u64, u64, CtxId);
+/// One ready-queue entry: `(ready_at, arrival_seq, ctx)`.
+pub(crate) type ReadyKey = (u64, u64, CtxId);
+
+/// The scheduler's durable snapshot state: per-PE sorted ready entries
+/// plus the arrival counter (see [`Scheduler::export_ready`]).
+pub(crate) type ReadyState = (Vec<Vec<ReadyKey>>, u64);
 
 /// The run loop's scheduling state: per-PE ready queues plus the actor
 /// heap selecting which PE steps next.
@@ -117,6 +122,40 @@ impl Scheduler {
         self.actors.clear();
         for (pe, &t) in times.iter().enumerate() {
             self.refresh(pe, t);
+        }
+    }
+
+    /// Export the scheduler's durable state for snapshots: per-PE ready
+    /// entries `(ready_at, arrival, ctx)` in ascending key order, plus
+    /// the arrival counter. The actor heap is deliberately *not*
+    /// exported — it is a lazy cache of hints that [`Scheduler::rebuild`]
+    /// reconstructs at run-loop entry, and [`Scheduler::next_actor`]
+    /// returns the same choice for any hint multiset satisfying the
+    /// invariant.
+    #[must_use]
+    pub(crate) fn export_ready(&self) -> ReadyState {
+        let mut out: Vec<Vec<ReadyKey>> = Vec::with_capacity(self.ready.len());
+        for heap in &self.ready {
+            let mut entries: Vec<ReadyKey> = heap.iter().map(|&Reverse(k)| k).collect();
+            entries.sort_unstable();
+            out.push(entries);
+        }
+        (out, self.seq)
+    }
+
+    /// Rebuild a scheduler from [`Scheduler::export_ready`] state. Ready
+    /// entries keep their original arrival numbers, so FIFO tie-breaking
+    /// is preserved exactly; the actor heap starts empty (callers run
+    /// `rebuild` before scheduling).
+    #[must_use]
+    pub(crate) fn restore_ready(ready: Vec<Vec<ReadyKey>>, seq: u64) -> Self {
+        Scheduler {
+            ready: ready
+                .into_iter()
+                .map(|entries| entries.into_iter().map(Reverse).collect())
+                .collect(),
+            actors: BinaryHeap::new(),
+            seq,
         }
     }
 
@@ -207,6 +246,26 @@ mod tests {
         // PE 0's corrected entry survives for the next round.
         let pick = s.next_actor(|pe, mr| mr.map(|r| r.max(clocks[pe])));
         assert_eq!(pick, Some((0, 10)));
+    }
+
+    #[test]
+    fn export_restore_preserves_fifo_order_and_arrival_counter() {
+        let mut s = Scheduler::new(2);
+        s.push_ready(0, 7, 5);
+        s.push_ready(0, 8, 5);
+        s.push_ready(1, 9, 3);
+        let (ready, seq) = s.export_ready();
+        assert_eq!(seq, 3);
+        let (again, _) = s.export_ready();
+        assert_eq!(again, ready, "export is sorted, hence deterministic");
+        let mut r = Scheduler::restore_ready(ready, seq);
+        assert_eq!(r.pop_ready(0), Some(7), "FIFO among ties survives the round trip");
+        assert_eq!(r.pop_ready(0), Some(8));
+        assert_eq!(r.pop_ready(1), Some(9));
+        r.push_ready(0, 10, 0);
+        let (restored, seq) = r.export_ready();
+        assert_eq!(seq, 4, "arrival counter continues from the snapshot");
+        assert_eq!(restored[0], vec![(0, 3, 10)]);
     }
 
     #[test]

@@ -112,6 +112,10 @@ pub enum SimError {
     UnknownTrap(Word),
     /// Assembly failed while building the system.
     Asm(String),
+    /// Writing or reading a snapshot failed (automatic cadence snapshots
+    /// or a builder `resume_from`); the message carries the underlying
+    /// [`SnapshotError`](crate::snapshot::SnapshotError) or I/O error.
+    Snapshot(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -144,6 +148,7 @@ impl std::fmt::Display for SimError {
             SimError::Pe(msg) => write!(f, "processing element fault: {msg}"),
             SimError::UnknownTrap(n) => write!(f, "unknown kernel entry {n}"),
             SimError::Asm(msg) => write!(f, "assembly failed: {msg}"),
+            SimError::Snapshot(msg) => write!(f, "snapshot failed: {msg}"),
         }
     }
 }
@@ -184,39 +189,73 @@ pub struct RunOutcome {
     pub pes: Vec<PeReport>,
 }
 
-struct PeUnit {
-    pe: Pe,
-    current: Option<CtxId>,
-    busy: u64,
+/// Result of a bounded run ([`System::run_until`]): either the program
+/// finished (with its outcome) or the limit was reached first and the
+/// system paused at a clean step boundary — safe to snapshot via
+/// [`Snapshot::capture`](crate::snapshot::Snapshot::capture).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The program ran to completion before the limit.
+    Done(RunOutcome),
+    /// The limit was reached; `cycle` is the time of the next pending
+    /// action (≥ the limit). Calling [`System::run`] or
+    /// [`System::run_until`] again continues exactly where the
+    /// uninterrupted run would have.
+    Paused {
+        /// Cycle time of the next pending action.
+        cycle: u64,
+    },
+}
+
+pub(crate) struct PeUnit {
+    pub(crate) pe: Pe,
+    pub(crate) current: Option<CtxId>,
+    pub(crate) busy: u64,
     /// Stats snapshot at the last dispatch: the delta against the live
     /// counters is the activity of the current residency slice.
-    slice_base: PeStats,
+    pub(crate) slice_base: PeStats,
 }
 
 /// The queue machine multiprocessor.
+///
+/// Fields are `pub(crate)` so [`crate::snapshot`] can capture and
+/// restore the complete machine state; outside the crate the public API
+/// is unchanged.
 pub struct System {
-    cfg: SystemConfig,
+    pub(crate) cfg: SystemConfig,
     /// The shared memory (public for workload initialisation).
     pub memory: SharedMemory,
-    channels: ChannelTable,
-    pes: Vec<PeUnit>,
-    sched: Scheduler,
-    contexts: Vec<Context>,
-    pages: Vec<PageAllocator>,
-    symbols: Option<Object>,
-    rr: usize,
-    halted: bool,
-    live: usize,
-    created: u64,
-    peak_live: u64,
-    tracer: Tracer,
+    pub(crate) channels: ChannelTable,
+    pub(crate) pes: Vec<PeUnit>,
+    pub(crate) sched: Scheduler,
+    pub(crate) contexts: Vec<Context>,
+    pub(crate) pages: Vec<PageAllocator>,
+    pub(crate) symbols: Option<Object>,
+    pub(crate) rr: usize,
+    pub(crate) halted: bool,
+    pub(crate) live: usize,
+    pub(crate) created: u64,
+    pub(crate) peak_live: u64,
+    pub(crate) tracer: Tracer,
     /// Compiled fault plan, `None` for fault-free runs (the fast path is
     /// untouched: no engine, no draws, bit-identical behaviour).
-    faults: Option<FaultEngine>,
+    pub(crate) faults: Option<FaultEngine>,
     /// Fault/recovery tallies for the current run.
-    report: DegradationReport,
+    pub(crate) report: DegradationReport,
     /// Consecutive run-loop steps that ended blocked (watchdog input).
-    idle_steps: u64,
+    pub(crate) idle_steps: u64,
+    /// Instructions retired by the run loop so far — persistent (and
+    /// snapshotted) so the `max_instructions` budget spans pause/resume
+    /// exactly like an uninterrupted run.
+    pub(crate) instr_count: u64,
+    /// Automatic snapshot cadence: write a snapshot every this many
+    /// cycles (`None` = off). See [`System::set_snapshot_cadence`].
+    pub(crate) snap_every: Option<u64>,
+    /// Directory automatic snapshots are written into.
+    pub(crate) snap_dir: String,
+    /// Next cycle boundary an automatic snapshot fires at (snapshotted,
+    /// so a resumed run hits the identical boundaries).
+    pub(crate) next_snap_at: u64,
 }
 
 impl std::fmt::Debug for System {
@@ -414,6 +453,10 @@ impl System {
             faults: None,
             report: DegradationReport::default(),
             idle_steps: 0,
+            instr_count: 0,
+            snap_every: None,
+            snap_dir: String::from("."),
+            next_snap_at: 0,
             cfg,
         }
     }
@@ -766,12 +809,38 @@ impl System {
     /// instruction limit; [`SimError::Pe`]/[`SimError::UnknownTrap`] on
     /// faults.
     pub fn run(&mut self) -> Result<RunOutcome, SimError> {
-        let mut total_instr: u64 = 0;
+        match self.run_until(u64::MAX)? {
+            RunStatus::Done(outcome) => Ok(outcome),
+            RunStatus::Paused { .. } => unreachable!("a u64::MAX limit cannot pause"),
+        }
+    }
+
+    /// Run until the program completes or the next pending action would
+    /// happen at or after `limit` cycles, whichever comes first. Pausing
+    /// happens only at step boundaries (no instruction, trap or transfer
+    /// is half-done), so the paused system can be snapshotted and a
+    /// restored copy continues bit-identically to an uninterrupted run —
+    /// the invariant pinned by `tests/snapshot_resume.rs`.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::run`]; additionally [`SimError::Snapshot`] when an
+    /// automatic cadence snapshot (see
+    /// [`System::set_snapshot_cadence`]) cannot be written.
+    pub fn run_until(&mut self, limit: u64) -> Result<RunStatus, SimError> {
         self.rebuild_actors();
         while !self.halted && self.live > 0 {
             let Some((i, t)) = self.next_actor() else {
                 return Err(SimError::Deadlock { blocked: self.deadlock_report() });
             };
+            if t >= limit {
+                // The popped actor hint is discarded; the next run_until
+                // re-plants every candidate via rebuild_actors.
+                return Ok(RunStatus::Paused { cycle: t });
+            }
+            if self.snap_every.is_some() {
+                self.write_due_snapshots(t)?;
+            }
             // Fault injection: a PE inside a stall window cannot act; its
             // clock is idled to the end of the window and the scheduler
             // re-plants it there. Windows are half-open, so the clock
@@ -871,12 +940,79 @@ impl System {
             if self.tracer.enabled() {
                 self.drain_buffered_events(i, after);
             }
-            total_instr += 1;
-            if total_instr > self.cfg.max_instructions {
+            self.instr_count += 1;
+            if self.instr_count > self.cfg.max_instructions {
                 return Err(SimError::InstructionBudget);
             }
         }
-        Ok(self.outcome())
+        Ok(RunStatus::Done(self.outcome()))
+    }
+
+    /// Arm automatic snapshots: every `every` cycles (of simulated time)
+    /// the run loop writes a full snapshot into `dir` as
+    /// `qm-snap-<cycle>.snap`. The cadence state is itself snapshotted,
+    /// so a run resumed from any of the files keeps writing at the same
+    /// boundaries. `every` must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn set_snapshot_cadence(&mut self, every: u64, dir: impl Into<String>) {
+        assert!(every > 0, "snapshot cadence must be non-zero");
+        self.snap_every = Some(every);
+        self.snap_dir = dir.into();
+        if self.next_snap_at == 0 {
+            self.next_snap_at = every;
+        }
+    }
+
+    /// Write every cadence snapshot due at or before step time `t`
+    /// (normally one; a long stall can skip several boundaries at once).
+    fn write_due_snapshots(&mut self, t: u64) -> Result<(), SimError> {
+        while let Some(every) = self.snap_every {
+            if t < self.next_snap_at {
+                break;
+            }
+            let path = std::path::Path::new(&self.snap_dir)
+                .join(format!("qm-snap-{:012}.snap", self.next_snap_at));
+            crate::snapshot::Snapshot::capture(self)
+                .write_to(&path)
+                .map_err(|e| SimError::Snapshot(format!("{}: {e}", path.display())))?;
+            self.next_snap_at += every;
+        }
+        Ok(())
+    }
+
+    /// Wall-clock cycles elapsed so far: the maximum over all PE clocks.
+    /// Valid mid-run (e.g. on a paused system), unlike
+    /// [`RunOutcome::elapsed_cycles`] which exists only at completion.
+    #[must_use]
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.pes.iter().map(|u| u.pe.cycles).max().unwrap_or(0)
+    }
+
+    /// The wait-for report of every context currently parked on a
+    /// channel — the same records a [`SimError::Deadlock`] would carry,
+    /// but available on demand for a live (e.g. paused or restored)
+    /// system. Used by the `qm-bench` replay bin's divergence reports.
+    #[must_use]
+    pub fn wait_for_report(&self) -> Vec<BlockedCtx> {
+        self.deadlock_report()
+    }
+
+    /// Degradation tallies accumulated so far (mid-run view of
+    /// [`RunOutcome::degradation`]).
+    #[must_use]
+    pub fn degradation(&self) -> DegradationReport {
+        self.report
+    }
+
+    /// Override the context placement policy mid-run. Placement only
+    /// affects future fork decisions, so this is safe on a restored
+    /// snapshot — the replay bin uses it to run two placement variants
+    /// from one captured state.
+    pub fn set_placement(&mut self, placement: Placement) {
+        self.cfg.placement = placement;
     }
 
     /// Forward events buffered by the channel table and the memory system
@@ -1303,6 +1439,46 @@ child:  recv r17,#0 :r0
         assert_eq!(out.output, vec![25]);
         let total_switches: u64 = out.pes.iter().map(|p| p.stats.context_switches).sum();
         assert!(total_switches <= 2, "resident blocking keeps switches rare: {total_switches}");
+    }
+
+    #[test]
+    fn run_until_pauses_then_finishes_identically() {
+        let src = "
+main:   trap #0,#child :r0,r1
+        send r0,#21
+        recv r1,#0 :r2
+        send+3 #0,r2
+        trap #2,#0
+child:  recv r17,#0 :r0
+        mul+1 r0,#2 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+        let uninterrupted = run_src(2, src);
+        let mut sys = System::with_assembly(SystemConfig::with_pes(2), src).unwrap();
+        // Pause at every cycle boundary in turn: the stitched-together
+        // run must end with the exact same outcome.
+        let mut limit = 1;
+        let outcome = loop {
+            match sys.run_until(limit).unwrap() {
+                RunStatus::Done(out) => break out,
+                RunStatus::Paused { cycle } => {
+                    assert!(cycle >= limit, "paused at {cycle} before limit {limit}");
+                    limit = cycle + 1;
+                }
+            }
+        };
+        assert_eq!(outcome, uninterrupted, "pausing is invisible to the results");
+    }
+
+    #[test]
+    fn run_until_zero_pauses_immediately_without_stepping() {
+        let src = "main: send #0,#7\n      trap #2,#0\n";
+        let mut sys = System::with_assembly(SystemConfig::with_pes(1), src).unwrap();
+        assert!(matches!(sys.run_until(0).unwrap(), RunStatus::Paused { .. }));
+        assert_eq!(sys.instr_count, 0, "nothing retired before the limit");
+        let out = sys.run().unwrap();
+        assert_eq!(out.output, vec![7]);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Property tests for the snapshot subsystem: for *arbitrary* mid-run
+//! capture points — across PE counts, fault plans (including active
+//! retry/stall state) and pause cycles — the snapshot round-trips
+//! byte-identically and the restored system finishes with the exact
+//! outcome of the uninterrupted run.
+//!
+//! (This file needs the `proptest` dev-dependency; the dependency-free
+//! siblings with fixed capture points live in `snapshot_roundtrip.rs`
+//! and `snapshot_resume.rs` so offline builds keep equivalent
+//! coverage.)
+
+use proptest::prelude::*;
+use qm_sim::snapshot::Snapshot;
+use qm_sim::system::RunStatus;
+use qm_sim::{FaultPlan, Simulation, System, SystemConfig};
+
+const PIPELINE: &str = "
+main:   trap #0,#sq :r0,r1
+        trap #0,#dbl :r2,r3
+        send r0,#5
+        send r2,#4
+        recv r1,#0 :r4
+        recv r3,#0 :r5
+        plus+2 r4,r5 :r6
+        send+4 #0,r6
+        trap #2,#0
+sq:     recv r17,#0 :r0
+        mul+1 r0,r0 :r0
+        send+1 r18,r0
+        trap #2,#0
+dbl:    recv r17,#0 :r0
+        mul+1 r0,#2 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+
+fn plan_strategy() -> impl Strategy<Value = Option<FaultPlan>> {
+    prop_oneof![
+        Just(None),
+        (1u64..=u64::MAX, 0u32..400_000, 0u32..200_000, 0u32..400_000).prop_map(
+            |(seed, send, bus, trap)| {
+                Some(
+                    FaultPlan::seeded(seed)
+                        .with_send_loss(send)
+                        .with_bus_drops(bus)
+                        .with_trap_delays(trap, 8)
+                        .with_stall(0, 10, 25),
+                )
+            }
+        ),
+    ]
+}
+
+fn build(pes: usize, plan: Option<&FaultPlan>) -> System {
+    let mut b = Simulation::builder().config(SystemConfig::with_pes(pes)).assembly(PIPELINE);
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan.clone());
+    }
+    b.build().expect("assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Capture → encode → decode → restore → capture is byte-identical
+    /// at arbitrary pause points, and the restored run's final result
+    /// matches the uninterrupted run exactly (metrics, degradation,
+    /// or — for runs that end in deadlock/watchdog — the identical
+    /// structured error).
+    #[test]
+    fn arbitrary_capture_points_round_trip_and_resume((pes, plan, pause_at) in
+        (1usize..=8, plan_strategy(), 0u64..2_000))
+    {
+        let baseline = build(pes, plan.as_ref()).run();
+
+        let mut sys = build(pes, plan.as_ref());
+        match sys.run_until(pause_at) {
+            Ok(RunStatus::Done(outcome)) => {
+                // Finished before the pause: nothing to capture, but the
+                // outcome must still match the baseline.
+                prop_assert_eq!(Ok(outcome), baseline);
+            }
+            Ok(RunStatus::Paused { .. }) => {
+                let snap = Snapshot::capture(&sys);
+                let bytes = snap.encode();
+                let decoded = Snapshot::decode(&bytes).expect("decodes");
+                prop_assert_eq!(&decoded, &snap, "decode inverts encode");
+                let restored = System::restore(&decoded).expect("restores");
+                let recaptured = Snapshot::capture(&restored);
+                prop_assert_eq!(recaptured.encode(), bytes, "byte-identical re-capture");
+
+                let mut resumed = System::restore(&decoded).expect("restores again");
+                prop_assert_eq!(resumed.run(), baseline, "resumed result matches");
+            }
+            Err(e) => {
+                // The run failed before the pause (fault-injected
+                // watchdog/deadlock): the uninterrupted run must fail
+                // identically.
+                prop_assert_eq!(Err(e), baseline);
+            }
+        }
+    }
+}

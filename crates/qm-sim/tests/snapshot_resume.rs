@@ -1,0 +1,176 @@
+//! The snapshot subsystem's defining invariant, end to end:
+//! *restore-then-run is bit-identical to an uninterrupted run* —
+//! metrics, trace events and fault draws included. Exercised for a
+//! fault-free multi-PE workload and a faulty one whose recovery
+//! machinery (retries, backoff, stall windows, trap delays) is mid-
+//! flight at the capture point, across every pause boundary, plus the
+//! automatic snapshot cadence and the builder's `resume_from` path.
+//!
+//! (Dependency-free on purpose: this file is part of the offline test
+//! gate. The proptest over random capture points lives in
+//! `snapshot_proptest.rs`.)
+
+use qm_sim::snapshot::Snapshot;
+use qm_sim::system::RunStatus;
+use qm_sim::trace::{Recorder, TraceRecord};
+use qm_sim::{FaultPlan, RunOutcome, Simulation, System, SystemConfig};
+
+/// Fork–join pipeline: main forks two children and folds their results.
+/// Enough cross-PE traffic (sends, forks, context switches) that a
+/// mid-run capture lands on interesting state.
+const PIPELINE: &str = "
+main:   trap #0,#sq :r0,r1
+        trap #0,#dbl :r2,r3
+        send r0,#5
+        send r2,#4
+        recv r1,#0 :r4
+        recv r3,#0 :r5
+        plus+2 r4,r5 :r6
+        send+4 #0,r6
+        trap #2,#0
+sq:     recv r17,#0 :r0
+        mul+1 r0,r0 :r0
+        send+1 r18,r0
+        trap #2,#0
+dbl:    recv r17,#0 :r0
+        mul+1 r0,#2 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+
+fn faulty_plan() -> FaultPlan {
+    FaultPlan::seeded(0xC0FF_EE11)
+        .with_send_loss(300_000)
+        .with_bus_drops(150_000)
+        .with_trap_delays(400_000, 12)
+        .with_stall(0, 10, 40)
+}
+
+fn build(pes: usize, plan: Option<FaultPlan>, rec: Option<&Recorder>) -> System {
+    let mut b = Simulation::builder().config(SystemConfig::with_pes(pes)).assembly(PIPELINE);
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    if let Some(rec) = rec {
+        b = b.trace(rec.sink());
+    }
+    b.build().expect("assembles")
+}
+
+/// Run to completion, pausing (and round-tripping through bytes) at
+/// `pause_at`; returns the stitched outcome and the trace records from
+/// both halves.
+fn interrupted(
+    pes: usize,
+    plan: Option<FaultPlan>,
+    pause_at: u64,
+) -> (RunOutcome, Vec<TraceRecord>) {
+    let first = Recorder::new(1 << 16);
+    let mut sys = build(pes, plan, Some(&first));
+    match sys.run_until(pause_at).expect("first half runs") {
+        RunStatus::Done(outcome) => (outcome, first.records()),
+        RunStatus::Paused { .. } => {
+            let bytes = Snapshot::capture(&sys).encode();
+            drop(sys); // the restored system is all that survives
+            let snap = Snapshot::decode(&bytes).expect("decodes");
+            let mut resumed = System::restore(&snap).expect("restores");
+            let second = Recorder::new(1 << 16);
+            resumed.set_trace_sink(second.sink());
+            let outcome = resumed.run().expect("second half runs");
+            let mut records = first.records();
+            records.extend(second.records());
+            (outcome, records)
+        }
+    }
+}
+
+#[test]
+fn fault_free_resume_is_bit_identical_including_traces() {
+    let baseline_rec = Recorder::new(1 << 16);
+    let baseline = build(4, None, Some(&baseline_rec)).run().expect("baseline runs");
+    assert!(!baseline.output.is_empty(), "workload produces output");
+    for pause_at in [1, 30, 60, 90, 150, 400] {
+        let (outcome, records) = interrupted(4, None, pause_at);
+        assert_eq!(outcome, baseline, "outcome at pause {pause_at}");
+        assert_eq!(records, baseline_rec.records(), "trace stream at pause {pause_at}");
+    }
+}
+
+#[test]
+fn faulty_resume_replays_the_identical_fault_stream() {
+    let baseline_rec = Recorder::new(1 << 16);
+    let baseline = build(2, Some(faulty_plan()), Some(&baseline_rec)).run().expect("baseline runs");
+    assert!(baseline.degradation.total_injected() > 0, "faults actually fired");
+    for pause_at in [1, 25, 55, 120, 300, 700] {
+        let (outcome, records) = interrupted(2, Some(faulty_plan()), pause_at);
+        assert_eq!(outcome, baseline, "outcome at pause {pause_at}");
+        assert_eq!(records, baseline_rec.records(), "trace stream at pause {pause_at}");
+    }
+}
+
+#[test]
+fn every_pause_boundary_resumes_identically() {
+    // Exhaustively walk the pause boundaries of the whole (short) run:
+    // no cycle k may exist where capture/restore perturbs the future.
+    let baseline = build(2, None, None).run().expect("baseline runs");
+    let horizon = baseline.elapsed_cycles;
+    for pause_at in 0..=horizon {
+        let first = build(2, None, None).run_until(pause_at).expect("first half");
+        let outcome = match first {
+            RunStatus::Done(o) => o,
+            RunStatus::Paused { .. } => {
+                let mut sys = build(2, None, None);
+                sys.run_until(pause_at).expect("repeat pause");
+                let snap = Snapshot::capture(&sys);
+                System::restore(&snap).expect("restores").run().expect("second half")
+            }
+        };
+        assert_eq!(outcome, baseline, "pause at cycle {pause_at}");
+    }
+}
+
+#[test]
+fn automatic_cadence_writes_resumable_snapshots() {
+    let dir = std::env::temp_dir().join(format!("qm-snap-cadence-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = build(2, Some(faulty_plan()), None).run().expect("baseline runs");
+
+    let mut sys = Simulation::builder()
+        .config(SystemConfig::with_pes(2))
+        .assembly(PIPELINE)
+        .fault_plan(faulty_plan())
+        .snapshot_every(64)
+        .snapshot_dir(dir.to_str().unwrap())
+        .build()
+        .expect("builds");
+    let cadenced = sys.run().expect("cadenced run");
+    assert_eq!(cadenced, baseline, "writing snapshots never perturbs the run");
+
+    let mut snaps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+        .collect();
+    snaps.sort();
+    assert!(!snaps.is_empty(), "cadence produced snapshot files");
+
+    for path in &snaps {
+        let resumed = Simulation::builder()
+            .resume_from(path)
+            .build()
+            .expect("resumes")
+            .run()
+            .expect("resumed run");
+        assert_eq!(resumed, baseline, "resume from {}", path.display());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_of_a_finished_run_restores_the_outcome() {
+    let mut sys = build(2, None, None);
+    let outcome = sys.run().expect("runs");
+    let snap = Snapshot::capture(&sys);
+    let mut restored = System::restore(&snap).expect("restores");
+    assert_eq!(restored.run().expect("trivially re-finishes"), outcome);
+}

@@ -33,8 +33,6 @@ pub use congruence::congruence;
 pub use fft::fft;
 pub use matmul::matmul;
 pub use reduction::reduction;
-#[allow(deprecated)]
-pub use runner::{prepare_workload, run_workload};
 pub use runner::{speedup_curve, BenchResult, CurvePoint, WorkloadError, WorkloadRun};
 
 /// A benchmark: OCCAM source, host-initialised input arrays, and the

@@ -3,15 +3,17 @@
 //!
 //! [`WorkloadRun`] is the single entry point: configure once (system
 //! config, compiler options, optional fault plan), then
-//! [`prepare`](WorkloadRun::prepare) or [`run`](WorkloadRun::run) any
-//! number of workloads. It replaced the old `run_workload` /
-//! `prepare_workload` / `run_workload_cfg` free-function triple, which
-//! survives as deprecated shims.
+//! [`prepare`](WorkloadRun::prepare), [`run`](WorkloadRun::run) or
+//! [`run_with_checkpoint`](WorkloadRun::run_with_checkpoint) any number
+//! of workloads. (It replaced the old `run_workload` /
+//! `prepare_workload` / `run_workload_cfg` free-function triple, whose
+//! deprecated shims have since been removed.)
 
 use qm_occam::{compile, sema::SymKind, Options};
 use qm_sim::config::SystemConfig;
 use qm_sim::fault::FaultPlan;
-use qm_sim::system::{RunOutcome, System};
+use qm_sim::snapshot::Snapshot;
+use qm_sim::system::{RunOutcome, RunStatus, System};
 use qm_sim::Simulation;
 
 use crate::Workload;
@@ -191,10 +193,55 @@ impl WorkloadRun {
     /// *mismatches* are reported in [`BenchResult::correct`], not as
     /// errors).
     pub fn run(&self, w: &Workload) -> Result<BenchResult, WorkloadError> {
-        let pes = self.cfg.pes;
         let (mut sys, compiled) = self.prepare(w)?;
         let outcome = sys.run().map_err(|e| WorkloadError::Sim(e.to_string()))?;
+        self.verify(w, &sys, &compiled, outcome)
+    }
 
+    /// Like [`run`](Self::run), but pause at cycle `pause_at`, push the
+    /// machine state through a full snapshot round trip
+    /// (capture → encode → decode → restore) and finish on the restored
+    /// system. By the snapshot subsystem's replay guarantee the result
+    /// is bit-identical to [`run`](Self::run) — fault draws included —
+    /// making this the one-call way to exercise checkpointing against
+    /// any workload. Runs that complete before `pause_at` degrade to a
+    /// plain run.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), plus [`WorkloadError::Sim`] if the
+    /// snapshot round trip itself fails.
+    pub fn run_with_checkpoint(
+        &self,
+        w: &Workload,
+        pause_at: u64,
+    ) -> Result<BenchResult, WorkloadError> {
+        let (mut sys, compiled) = self.prepare(w)?;
+        let status = sys.run_until(pause_at).map_err(|e| WorkloadError::Sim(e.to_string()))?;
+        let (sys, outcome) = match status {
+            RunStatus::Done(outcome) => (sys, outcome),
+            RunStatus::Paused { .. } => {
+                let bytes = Snapshot::capture(&sys).encode();
+                let snap =
+                    Snapshot::decode(&bytes).map_err(|e| WorkloadError::Sim(e.to_string()))?;
+                let mut restored =
+                    System::restore(&snap).map_err(|e| WorkloadError::Sim(e.to_string()))?;
+                let outcome = restored.run().map_err(|e| WorkloadError::Sim(e.to_string()))?;
+                (restored, outcome)
+            }
+        };
+        self.verify(w, &sys, &compiled, outcome)
+    }
+
+    /// Check the result arrays and host output of a finished run against
+    /// the workload's expectations.
+    fn verify(
+        &self,
+        w: &Workload,
+        sys: &System,
+        compiled: &qm_occam::Compiled,
+        outcome: RunOutcome,
+    ) -> Result<BenchResult, WorkloadError> {
         let mut mismatches = Vec::new();
         for (base, expect) in &w.expected {
             let (addr, _len) = find_array(&compiled.syms, base)?;
@@ -212,55 +259,8 @@ impl WorkloadRun {
                 outcome.output, w.expected_output
             ));
         }
-        Ok(BenchResult { pes, correct: mismatches.is_empty(), mismatches, outcome })
+        Ok(BenchResult { pes: self.cfg.pes, correct: mismatches.is_empty(), mismatches, outcome })
     }
-}
-
-/// Compile `w`, initialise its input arrays, run on `pes` PEs and verify
-/// the result arrays and host output.
-///
-/// # Errors
-///
-/// See [`WorkloadRun::run`].
-#[deprecated(since = "0.2.0", note = "use `WorkloadRun::with_pes(pes).options(*opts).run(w)`")]
-pub fn run_workload(
-    w: &Workload,
-    pes: usize,
-    opts: &Options,
-) -> Result<BenchResult, WorkloadError> {
-    WorkloadRun::with_pes(pes).options(*opts).run(w)
-}
-
-/// Compile `w`, load it, initialise its input arrays and spawn the main
-/// context — everything short of `run`.
-///
-/// # Errors
-///
-/// See [`WorkloadRun::prepare`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `WorkloadRun::new().config(cfg).options(*opts).prepare(w)`"
-)]
-pub fn prepare_workload(
-    w: &Workload,
-    cfg: SystemConfig,
-    opts: &Options,
-) -> Result<(System, qm_occam::Compiled), WorkloadError> {
-    WorkloadRun::new().config(cfg).options(*opts).prepare(w)
-}
-
-/// [`WorkloadRun::run`] with an explicit system configuration.
-///
-/// # Errors
-///
-/// See [`WorkloadRun::run`].
-#[deprecated(since = "0.2.0", note = "use `WorkloadRun::new().config(cfg).options(*opts).run(w)`")]
-pub fn run_workload_cfg(
-    w: &Workload,
-    cfg: SystemConfig,
-    opts: &Options,
-) -> Result<BenchResult, WorkloadError> {
-    WorkloadRun::new().config(cfg).options(*opts).run(w)
 }
 
 /// Run `w` at each PE count and report throughput ratios relative to one

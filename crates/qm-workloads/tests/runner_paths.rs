@@ -1,8 +1,8 @@
 //! Driver-level tests: error paths, configuration sweeps, and cross-size
 //! workload checks that don't belong to any single workload module.
 
-use qm_occam::Options;
 use qm_sim::config::SystemConfig;
+use qm_sim::fault::FaultPlan;
 use qm_workloads::{
     cholesky, congruence, fft, matmul, reduction, Workload, WorkloadError, WorkloadRun,
 };
@@ -109,23 +109,38 @@ fn statistics_scale_with_problem_size() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_match_the_new_entry_point() {
-    // The `run_workload` / `prepare_workload` / `run_workload_cfg` triple
-    // survives one release as thin delegates; pin that they behave
-    // exactly like the `WorkloadRun` calls they forward to.
+fn checkpointed_run_is_bit_identical_fault_free() {
+    // run_with_checkpoint pauses mid-run, pushes the state through a
+    // full snapshot round trip, and finishes on the restored system —
+    // the outcome must be indistinguishable from a plain run.
     let w = matmul(3);
-    let opts = Options::default();
-    let new = WorkloadRun::with_pes(2).run(&w).unwrap();
-    let old = qm_workloads::run_workload(&w, 2, &opts).unwrap();
-    assert!(old.correct);
-    assert_eq!(old.outcome, new.outcome);
+    let plain = WorkloadRun::with_pes(2).run(&w).unwrap();
+    assert!(plain.correct, "{:?}", plain.mismatches);
+    for pause_at in [1, plain.outcome.elapsed_cycles / 2, plain.outcome.elapsed_cycles * 2] {
+        let ck = WorkloadRun::with_pes(2).run_with_checkpoint(&w, pause_at).unwrap();
+        assert!(ck.correct, "pause {pause_at}: {:?}", ck.mismatches);
+        assert_eq!(ck.outcome, plain.outcome, "pause {pause_at}");
+    }
+}
 
-    let cfg = SystemConfig { channel_capacity: 4, ..SystemConfig::with_pes(2) };
-    let new = WorkloadRun::new().config(cfg.clone()).run(&w).unwrap();
-    let old = qm_workloads::runner::run_workload_cfg(&w, cfg.clone(), &opts).unwrap();
-    assert_eq!(old.outcome, new.outcome);
-
-    let (mut sys, _compiled) = qm_workloads::prepare_workload(&w, cfg, &opts).unwrap();
-    assert_eq!(sys.run().unwrap(), new.outcome);
+#[test]
+fn checkpointed_run_is_bit_identical_under_faults() {
+    // Same invariant with the fault engine armed: the restored run must
+    // replay the identical fault stream (counters travel in the
+    // snapshot), so even the degradation tallies match exactly.
+    let w = matmul(3);
+    let plan = || {
+        FaultPlan::seeded(0xFA_CADE)
+            .with_send_loss(150_000)
+            .with_bus_drops(80_000)
+            .with_trap_delays(200_000, 10)
+    };
+    let plain = WorkloadRun::with_pes(2).fault_plan(plan()).run(&w).unwrap();
+    assert!(plain.correct, "{:?}", plain.mismatches);
+    assert!(plain.outcome.degradation.total_injected() > 0, "faults actually fired");
+    for pause_at in [3, plain.outcome.elapsed_cycles / 2] {
+        let ck =
+            WorkloadRun::with_pes(2).fault_plan(plan()).run_with_checkpoint(&w, pause_at).unwrap();
+        assert_eq!(ck.outcome, plain.outcome, "pause {pause_at}");
+    }
 }

@@ -5,7 +5,7 @@
 # with bare rustc. Integration tests that need proptest are skipped;
 # the deterministic ones under tests/ are built with --test.
 #
-# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults]
+# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults|--snapshot]
 #
 # --clippy rebuilds everything with clippy-driver (a drop-in rustc) and
 # -Dwarnings, mirroring the CI `cargo clippy -- -D warnings` gate without
@@ -16,6 +16,10 @@
 #
 # --faults builds everything and then runs the fault-injection smoke
 # sweep (`fault_sweep --smoke`), mirroring the CI fault-smoke job.
+#
+# --snapshot builds everything and then runs the snapshot round-trip and
+# divergence-bisection smoke check (`replay --smoke`), mirroring the CI
+# snapshot-smoke job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT=target/offline
@@ -76,8 +80,11 @@ if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
              crates/qm-isa/tests/von_neumann.rs crates/qm-workloads/tests/runner_paths.rs \
              crates/qm-sim/tests/trace_events.rs \
              crates/qm-sim/tests/fault_recovery.rs \
+             crates/qm-sim/tests/snapshot_roundtrip.rs \
+             crates/qm-sim/tests/snapshot_resume.rs \
              crates/qm-bench/tests/sweep_determinism.rs \
              crates/qm-bench/tests/fault_sweep_determinism.rs \
+             crates/qm-bench/tests/resumable_sweep.rs \
              crates/qm-isa/tests/isa_doc.rs; do
         [[ -f "$t" ]] || continue
         name=$(basename "$t" .rs)
@@ -94,4 +101,9 @@ fi
 if [[ "${1:-}" == "--faults" ]]; then
     "$OUT/fault_sweep" --smoke
     echo "offline fault smoke OK"
+fi
+
+if [[ "${1:-}" == "--snapshot" ]]; then
+    "$OUT/replay" --smoke
+    echo "offline snapshot smoke OK"
 fi
