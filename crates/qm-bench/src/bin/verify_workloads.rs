@@ -1,0 +1,75 @@
+//! Statically verify every bundled workload's compiled object code.
+//!
+//! Usage: `verify_workloads [--strict] [--json]`
+//!
+//! Compiles each Chapter-6 workload (several problem sizes) with the
+//! OCCAM compiler and runs the `qm-verify` static passes over the
+//! object code. With `--strict` any diagnostic at all — warnings
+//! included — fails the run; this is the CI `verify-workloads` gate,
+//! keeping the compiler's output clean under the verifier's abstract
+//! queue-state and channel-wiring models.
+
+use std::process::exit;
+
+use qm_verify::{verify_object, VerifyOptions};
+use qm_workloads::{cholesky, congruence, fft, matmul, reduction, Workload};
+
+fn grid() -> Vec<Workload> {
+    vec![
+        matmul(2),
+        matmul(4),
+        fft(4),
+        fft(8),
+        cholesky(3),
+        cholesky(4),
+        congruence(3),
+        congruence(4),
+        reduction(4),
+        reduction(8),
+    ]
+}
+
+fn main() {
+    let mut strict = false;
+    let mut json = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--strict" => strict = true,
+            "--json" => json = true,
+            other => {
+                eprintln!("usage: verify_workloads [--strict] [--json]");
+                eprintln!("unknown flag `{other}`");
+                exit(2);
+            }
+        }
+    }
+
+    let mut rejected = false;
+    for w in grid() {
+        let compiled =
+            qm_occam::compile(&w.source, &qm_occam::Options::default()).unwrap_or_else(|e| {
+                eprintln!("{}: compile failed: {e}", w.name);
+                exit(2);
+            });
+        let report = verify_object(&compiled.object, &VerifyOptions::default());
+        if json {
+            print!("{}", report.render_json());
+        } else if !report.diags.is_empty() {
+            print!("{}", report.render());
+        }
+        let reject = report.has_errors() || (strict && !report.is_clean());
+        rejected |= reject;
+        println!(
+            "{:<16} {} context(s): {} — {}",
+            w.name,
+            compiled.context_count,
+            report.summary(),
+            if reject { "REJECTED" } else { "ok" }
+        );
+    }
+    if rejected {
+        println!("verify-workloads: FAILED");
+        exit(1);
+    }
+    println!("verify-workloads: all workloads verify clean");
+}

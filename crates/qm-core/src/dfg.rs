@@ -107,6 +107,15 @@ impl<N> Dag<N> {
         0..self.payloads.len()
     }
 
+    /// Iterate over every labelled edge `(producer, consumer, slot)` —
+    /// the `(v, w, l)` triples of the thesis definition. Export hook for
+    /// external structural checks (e.g. `qm-verify`'s valid-sequence
+    /// pass), which can cross-check a linearisation against the edge
+    /// set without re-deriving it from `preds`/`succs`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, usize)> + '_ {
+        self.succs.iter().enumerate().flat_map(|(v, ss)| ss.iter().map(move |&(w, l)| (v, w, l)))
+    }
+
     /// `v π_G w` — true when `v = w` or a path leads from `v` to `w`.
     #[must_use]
     pub fn precedes(&self, v: NodeId, w: NodeId) -> bool {

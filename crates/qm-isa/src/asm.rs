@@ -26,21 +26,56 @@ use crate::isa::{Instruction, Opcode, SrcMode, REG_DUMMY};
 use crate::{IsaError, Result, UWord, Word};
 
 /// Output of the assembler: raw words plus the symbol table.
+///
+/// Freshly assembled objects also carry *verification metadata* — the
+/// byte address of every instruction start and a map from instruction
+/// addresses back to source lines — consumed by static analyses
+/// (`qm-verify`) to walk the code without guessing where data words end
+/// and instructions begin, and to report diagnostics against the
+/// original source. Objects rebuilt from raw parts (snapshots) have no
+/// metadata; see [`Object::has_verify_meta`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Object {
     words: Vec<u32>,
     symbols: HashMap<String, UWord>,
     base: UWord,
+    /// Byte addresses of instruction starts, ascending (excludes data
+    /// words, `.space` fill and trailing immediate words).
+    instr_addrs: Vec<UWord>,
+    /// `(instruction address, 1-based source line)` pairs, ascending.
+    line_map: Vec<(UWord, usize)>,
 }
 
 impl Object {
     /// Reassemble an object from its parts (words, symbol table, base
     /// address). The inverse of the accessors below; used by external
     /// serializers (e.g. simulator snapshots) to round-trip an object
-    /// without re-running the assembler.
+    /// without re-running the assembler. Such objects carry no
+    /// verification metadata.
     #[must_use]
     pub fn from_parts(words: Vec<u32>, symbols: HashMap<String, UWord>, base: UWord) -> Self {
-        Object { words, symbols, base }
+        Object { words, symbols, base, instr_addrs: Vec::new(), line_map: Vec::new() }
+    }
+
+    /// True when the assembler recorded verification metadata
+    /// ([`instr_addrs`](Self::instr_addrs) / [`line_for`](Self::line_for)).
+    /// False for objects rebuilt by [`Object::from_parts`].
+    #[must_use]
+    pub fn has_verify_meta(&self) -> bool {
+        !self.instr_addrs.is_empty()
+    }
+
+    /// Byte addresses of instruction starts, ascending. Empty when the
+    /// object carries no verification metadata.
+    #[must_use]
+    pub fn instr_addrs(&self) -> &[UWord] {
+        &self.instr_addrs
+    }
+
+    /// 1-based source line of the instruction at `addr`, when known.
+    #[must_use]
+    pub fn line_for(&self, addr: UWord) -> Option<usize> {
+        self.line_map.binary_search_by_key(&addr, |&(a, _)| a).ok().map(|i| self.line_map[i].1)
     }
 
     /// The encoded instruction/data words.
@@ -149,6 +184,8 @@ pub fn assemble_at(src: &str, base: UWord) -> Result<Object> {
 
     // Pass 2: encode with resolved labels.
     let mut words: Vec<u32> = Vec::new();
+    let mut instr_addrs: Vec<UWord> = Vec::new();
+    let mut line_map: Vec<(UWord, usize)> = Vec::new();
     let lookup = |name: &str, line: usize| -> Result<UWord> {
         symbols.get(name).copied().ok_or_else(|| err(line, format!("undefined label {name}")))
     };
@@ -167,6 +204,8 @@ pub fn assemble_at(src: &str, base: UWord) -> Result<Object> {
             }
             Item::Space(n) => words.extend(std::iter::repeat_n(0u32, *n)),
             Item::Instr { line, op, srcs, dsts, qp_inc, cont } => {
+                instr_addrs.push(addr);
+                line_map.push((addr, *line));
                 let next_pc = addr + 4 * size;
                 let resolve = |spec: &SrcSpec| -> Result<SrcMode> {
                     Ok(match spec {
@@ -228,7 +267,7 @@ pub fn assemble_at(src: &str, base: UWord) -> Result<Object> {
         }
         addr += 4 * size;
     }
-    Ok(Object { words, symbols, base })
+    Ok(Object { words, symbols, base, instr_addrs, line_map })
 }
 
 fn item_size(item: &Item) -> usize {
@@ -545,6 +584,26 @@ mod tests {
         assert!(assemble("dup2 :r1").is_err(), "dup2 needs two destinations");
         assert!(assemble("dup1 :r200").is_ok(), "dup offsets reach 255");
         assert!(assemble("dup1 :r1,r2,r3").is_err(), "at most two destinations");
+    }
+
+    #[test]
+    fn verification_metadata_maps_instructions_and_lines() {
+        let obj = assemble(
+            "start: plus #0,#0\n\
+             here:  fetch #data,#0 :r0\n\
+             data:  .word 77\n",
+        )
+        .unwrap();
+        assert!(obj.has_verify_meta());
+        // plus at 0 (1 word), fetch at 4 (2 words: the imm word at 8 is
+        // not an instruction start), data at 12 is data, not code.
+        assert_eq!(obj.instr_addrs(), &[0, 4]);
+        assert_eq!(obj.line_for(0), Some(1));
+        assert_eq!(obj.line_for(4), Some(2));
+        assert_eq!(obj.line_for(8), None, "immediate word is not an instruction");
+        assert_eq!(obj.line_for(12), None, "data word is not an instruction");
+        let bare = Object::from_parts(obj.words().to_vec(), obj.symbols().clone(), obj.base());
+        assert!(!bare.has_verify_meta(), "from_parts objects carry no metadata");
     }
 
     #[test]

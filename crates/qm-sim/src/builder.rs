@@ -31,6 +31,7 @@
 use std::path::PathBuf;
 
 use qm_isa::asm::{assemble, Object};
+use qm_verify::{verify_object_at, VerifyLevel, VerifyOptions};
 
 use crate::config::SystemConfig;
 use crate::fault::FaultPlan;
@@ -61,6 +62,7 @@ pub struct SimBuilder {
     fault_plan: Option<FaultPlan>,
     entry: Option<String>,
     spawn: bool,
+    verify: VerifyLevel,
     snap_every: Option<u64>,
     snap_dir: Option<String>,
     resume_from: Option<PathBuf>,
@@ -78,6 +80,7 @@ impl System {
             fault_plan: None,
             entry: None,
             spawn: true,
+            verify: VerifyLevel::default(),
             snap_every: None,
             snap_dir: None,
             resume_from: None,
@@ -156,6 +159,27 @@ impl SimBuilder {
         self
     }
 
+    /// How strictly to statically verify the program before anything
+    /// runs (default [`VerifyLevel::Warn`]). The `qm-verify` passes run
+    /// over the object code at the resolved entry point, before the
+    /// root context is spawned, with the page size taken from the
+    /// system configuration:
+    ///
+    /// * [`VerifyLevel::Off`] — skip verification entirely.
+    /// * [`VerifyLevel::Warn`] — print any findings to stderr and build
+    ///   anyway.
+    /// * [`VerifyLevel::Strict`] — fail the build with
+    ///   [`SimError::Verify`] when the verifier finds anything at all,
+    ///   warnings included.
+    ///
+    /// A [`resume_from`](Self::resume_from) build skips verification:
+    /// the snapshot's program was verified when it was first built and
+    /// is already mid-run.
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
+        self
+    }
+
     /// Write an automatic snapshot every `n` cycles while running (see
     /// [`System::set_snapshot_cadence`]). Files named
     /// `qm-snap-<cycle>.snap` land in the directory given by
@@ -202,6 +226,8 @@ impl SimBuilder {
     /// [`SimError::Asm`] when the source does not assemble, when both a
     /// source and an object were given, or when an explicit
     /// [`entry`](Self::entry) label is absent from the program.
+    /// [`SimError::Verify`] when [`verify`](Self::verify) is
+    /// [`VerifyLevel::Strict`] and the static verifier found anything.
     /// [`SimError::Snapshot`] when [`resume_from`](Self::resume_from)
     /// was combined with program/input/fault options, or the snapshot
     /// cannot be read.
@@ -240,6 +266,7 @@ impl SimBuilder {
             (None, Some(src)) => Some(assemble(&src).map_err(|e| SimError::Asm(e.to_string()))?),
             (None, None) => None,
         };
+        let page_words = self.cfg.queue_page_words;
         let mut sys = System::new(self.cfg);
         if let Some(sink) = self.sink {
             sys.set_trace_sink(sink);
@@ -258,6 +285,15 @@ impl SimBuilder {
                     .ok_or_else(|| SimError::Asm(format!("entry label {label:?} not found")))?,
                 None => obj.symbol("main").unwrap_or_else(|| obj.base()),
             };
+            if self.verify != VerifyLevel::Off {
+                let report = verify_object_at(&obj, entry, &VerifyOptions { page_words });
+                if !report.is_clean() {
+                    if self.verify == VerifyLevel::Strict {
+                        return Err(SimError::Verify { report });
+                    }
+                    eprint!("{}", report.render());
+                }
+            }
             sys.set_symbols(obj);
             if self.spawn {
                 sys.spawn_main(entry);
@@ -283,6 +319,7 @@ impl std::fmt::Debug for SimBuilder {
             .field("fault_plan", &self.fault_plan)
             .field("entry", &self.entry)
             .field("spawn", &self.spawn)
+            .field("verify", &self.verify)
             .field("snap_every", &self.snap_every)
             .field("snap_dir", &self.snap_dir)
             .field("resume_from", &self.resume_from)
@@ -408,6 +445,54 @@ alt:    send+1 #0,#2
         assert_eq!(resumed.run().unwrap(), direct, "resumed run matches the uninterrupted one");
         assert_eq!(direct.output, vec![42]);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Reads two queue slots nothing ever produced: the verifier proves
+    // the underflow statically (QV0001/QV0002 territory).
+    const UNDERFLOW: &str = "
+main:   plus+2 r0,r1 :r0
+        send+1 #0,r0
+        trap #2,#0
+";
+
+    #[test]
+    fn strict_verification_rejects_bad_programs() {
+        let err = Simulation::builder()
+            .assembly(UNDERFLOW)
+            .verify(VerifyLevel::Strict)
+            .build()
+            .unwrap_err();
+        let SimError::Verify { report } = &err else {
+            panic!("expected SimError::Verify, got {err:?}");
+        };
+        assert!(report.has_errors(), "{}", report.render());
+        let text = err.to_string();
+        assert!(text.contains("static verification rejected"), "{text}");
+        assert!(text.contains("QV00"), "diagnostic codes surface in Display: {text}");
+    }
+
+    #[test]
+    fn warn_verification_reports_but_still_builds() {
+        // Default level is Warn: findings go to stderr, the build works.
+        let sys = Simulation::builder().assembly(UNDERFLOW).build();
+        assert!(sys.is_ok(), "{:?}", sys.err());
+    }
+
+    #[test]
+    fn verify_off_skips_the_verifier() {
+        let sys = Simulation::builder().assembly(UNDERFLOW).verify(VerifyLevel::Off).build();
+        assert!(sys.is_ok(), "{:?}", sys.err());
+    }
+
+    #[test]
+    fn strict_verification_accepts_clean_programs() {
+        let mut sys = Simulation::builder()
+            .assembly(ECHO)
+            .verify(VerifyLevel::Strict)
+            .input(14)
+            .build()
+            .unwrap();
+        assert_eq!(sys.run().unwrap().output, vec![42]);
     }
 
     #[test]

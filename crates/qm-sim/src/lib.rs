@@ -72,6 +72,7 @@ pub mod trace;
 pub use builder::{SimBuilder, Simulation};
 pub use config::{RecoveryConfig, SystemConfig};
 pub use fault::{DegradationReport, FaultPlan, StallWindow};
+pub use qm_verify::{VerifyLevel, VerifyOptions};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use system::{BlockedCtx, RetryingCtx, RunOutcome, RunStatus, SimError, System};
 pub use trace::{ChromeTrace, Recorder, TraceEvent, TraceRecord, TraceSink, Tracer};

@@ -30,6 +30,11 @@ use crate::{CtxId, UWord, Word};
 pub struct BlockedCtx {
     /// The blocked context.
     pub ctx: CtxId,
+    /// Canonical label for the context from
+    /// [`qm_verify::names::ctx_label`] — `ctx1`, or `ctx1 (child)` when
+    /// a program symbol covers the blocked PC. Traces and the static
+    /// deadlock lint use the same helper, so the spellings agree.
+    pub label: String,
     /// PE it is bound to.
     pub pe: usize,
     /// Channel it waits on.
@@ -48,8 +53,8 @@ impl std::fmt::Display for BlockedCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ctx{} on pe{}: {} on chan {} at pc {:#x}",
-            self.ctx, self.pe, self.dir, self.chan, self.pc
+            "{} on pe{}: {} on chan {} at pc {:#x}",
+            self.label, self.pe, self.dir, self.chan, self.pc
         )?;
         if let Some(v) = self.value {
             write!(f, " (offering {v})")?;
@@ -74,8 +79,10 @@ impl std::fmt::Display for RetryingCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ctx{} on pe{}: send dropped {} time(s), still retrying",
-            self.ctx, self.pe, self.retries
+            "{} on pe{}: send dropped {} time(s), still retrying",
+            qm_verify::names::ctx_label(self.ctx, None),
+            self.pe,
+            self.retries
         )
     }
 }
@@ -112,6 +119,14 @@ pub enum SimError {
     UnknownTrap(Word),
     /// Assembly failed while building the system.
     Asm(String),
+    /// Static verification rejected the program before it ran (builder
+    /// [`verify(VerifyLevel::Strict)`](crate::builder::SimBuilder::verify)).
+    Verify {
+        /// The verifier's findings (render with
+        /// [`Report::render`](qm_verify::Report::render) for the full
+        /// rustc-style diagnostics).
+        report: qm_verify::Report,
+    },
     /// Writing or reading a snapshot failed (automatic cadence snapshots
     /// or a builder `resume_from`); the message carries the underlying
     /// [`SnapshotError`](crate::snapshot::SnapshotError) or I/O error.
@@ -148,6 +163,13 @@ impl std::fmt::Display for SimError {
             SimError::Pe(msg) => write!(f, "processing element fault: {msg}"),
             SimError::UnknownTrap(n) => write!(f, "unknown kernel entry {n}"),
             SimError::Asm(msg) => write!(f, "assembly failed: {msg}"),
+            SimError::Verify { report } => {
+                write!(f, "static verification rejected the program: {}", report.summary())?;
+                for line in report.render().lines() {
+                    write!(f, "\n  {line}")?;
+                }
+                Ok(())
+            }
             SimError::Snapshot(msg) => write!(f, "snapshot failed: {msg}"),
         }
     }
@@ -1041,20 +1063,41 @@ impl System {
         }
     }
 
+    /// The program's symbol table as sorted `(name, address)` pairs —
+    /// the shape the `qm_verify::names` span helpers take.
+    fn symbol_table(&self) -> Vec<(String, UWord)> {
+        let mut syms: Vec<(String, UWord)> = self
+            .symbols
+            .as_ref()
+            .map(|o| o.symbols().iter().map(|(n, &a)| (n.clone(), a)).collect())
+            .unwrap_or_default();
+        syms.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        syms
+    }
+
     /// The wait-for report for a detected deadlock: every context parked
     /// on a channel, with direction, blocked PC and channel occupancy.
+    /// Contexts are labelled through [`qm_verify::names::ctx_label`]
+    /// with the symbol covering the blocked PC, matching trace lanes and
+    /// the static deadlock lint.
     fn deadlock_report(&self) -> Vec<BlockedCtx> {
+        let syms = self.symbol_table();
         self.channels
             .blocked_infos()
             .into_iter()
-            .map(|b| BlockedCtx {
-                ctx: b.ctx,
-                pe: self.contexts[b.ctx].pe,
-                chan: b.chan,
-                dir: b.dir,
-                pc: self.ctx_pc(b.ctx),
-                value: b.value,
-                chan_state: self.channels.state(b.chan),
+            .map(|b| {
+                let pc = self.ctx_pc(b.ctx);
+                let sym = qm_verify::names::nearest_symbol(&syms, pc).map(|(n, _)| n);
+                BlockedCtx {
+                    ctx: b.ctx,
+                    label: qm_verify::names::ctx_label(b.ctx, sym),
+                    pe: self.contexts[b.ctx].pe,
+                    chan: b.chan,
+                    dir: b.dir,
+                    pc,
+                    value: b.value,
+                    chan_state: self.channels.state(b.chan),
+                }
             })
             .collect()
     }

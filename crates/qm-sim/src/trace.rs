@@ -667,8 +667,9 @@ impl ChromeBuf {
         let mut threads: Vec<_> = self.threads.iter().copied().collect();
         threads.sort_unstable();
         for (pe, ctx) in threads {
+            let label = qm_verify::names::ctx_label(ctx, None);
             parts.push(format!(
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pe},\"tid\":{ctx},\"args\":{{\"name\":\"ctx {ctx}\"}}}}"
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pe},\"tid\":{ctx},\"args\":{{\"name\":\"{label}\"}}}}"
             ));
         }
         let mut buses: Vec<_> = self.bus_lanes.iter().copied().collect();
@@ -828,7 +829,9 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
         assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
         assert!(json.contains("\"name\":\"PE 0\""));
-        assert!(json.contains("\"name\":\"ctx 1\""));
+        // Lane labels route through qm_verify::names::ctx_label, the
+        // same spelling deadlock wait-for reports use.
+        assert!(json.contains("\"name\":\"ctx1\""));
         assert!(json.contains("block:recv"));
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.trim_end().ends_with('}'));

@@ -145,7 +145,7 @@ fn chrome_export_is_well_formed_and_lane_complete() {
     );
     // One process lane per PE that did work, named contexts.
     assert!(json.contains("\"name\":\"PE 0\""));
-    assert!(json.contains("\"name\":\"ctx 0\""));
+    assert!(json.contains("\"name\":\"ctx0\""));
     assert!(json.contains("\"name\":\"process_name\""));
     assert!(json.contains("\"name\":\"thread_name\""));
     // Instant events carry thread scope.

@@ -1,0 +1,117 @@
+//! Static queue-discipline verifier CLI.
+//!
+//! Usage: `qm-verify [--strict] [--json] [--page-words <n>]
+//! [--entry <symbol>] <file>...`
+//!
+//! Each file is loaded by extension — `.s`/`.asm` is assembled,
+//! `.occ`/`.occam` is compiled with the bundled OCCAM compiler — and the
+//! resulting object code is verified: abstract queue-state dataflow over
+//! every statically reachable context, then channel-wiring lints.
+//! Diagnostics print rustc-style with program-point spans (`--json`
+//! switches to one JSON object per diagnostic, machine-readable).
+//!
+//! Exit status: 0 when every file is accepted, 1 when any diagnostic of
+//! error severity is found (`--strict` also rejects warnings), 2 on
+//! usage, I/O, assembly, or compile errors.
+
+use std::process::exit;
+
+use qm_verify::{verify_object, verify_object_at, Report, VerifyOptions};
+
+struct Args {
+    strict: bool,
+    json: bool,
+    opts: VerifyOptions,
+    entry: Option<String>,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        strict: false,
+        json: false,
+        opts: VerifyOptions::default(),
+        entry: None,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--strict" => args.strict = true,
+            "--json" => args.json = true,
+            "--page-words" => {
+                let v = it.next().ok_or("--page-words needs a value")?;
+                args.opts.page_words =
+                    v.parse().map_err(|_| format!("bad --page-words value `{v}`"))?;
+            }
+            "--entry" => args.entry = Some(it.next().ok_or("--entry needs a symbol")?.to_string()),
+            "--help" | "-h" => {
+                println!(
+                    "usage: qm-verify [--strict] [--json] [--page-words <n>] \
+                     [--entry <symbol>] <file>..."
+                );
+                exit(0);
+            }
+            f if !f.starts_with('-') => args.files.push(f.to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.files.is_empty() {
+        return Err("no input files".into());
+    }
+    Ok(args)
+}
+
+/// Load one input file into object code, by extension.
+fn load(path: &str) -> Result<qm_isa::asm::Object, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let lower = path.to_ascii_lowercase();
+    if lower.ends_with(".occ") || lower.ends_with(".occam") {
+        qm_occam::compile(&src, &qm_occam::Options::default())
+            .map(|c| c.object)
+            .map_err(|e| format!("{path}: {e}"))
+    } else if lower.ends_with(".s") || lower.ends_with(".asm") {
+        qm_isa::asm::assemble(&src).map_err(|e| format!("{path}: {e}"))
+    } else {
+        Err(format!("{path}: unknown extension (expected .s, .asm, .occ, or .occam)"))
+    }
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|msg| {
+        eprintln!(
+            "usage: qm-verify [--strict] [--json] [--page-words <n>] [--entry <symbol>] <file>..."
+        );
+        eprintln!("{msg}");
+        exit(2);
+    });
+
+    let mut rejected = false;
+    for path in &args.files {
+        let obj = load(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(2);
+        });
+        let report: Report = match &args.entry {
+            Some(sym) => {
+                let Some(entry) = obj.symbol(sym) else {
+                    eprintln!("error: {path}: no symbol `{sym}`");
+                    exit(2);
+                };
+                verify_object_at(&obj, entry, &args.opts)
+            }
+            None => verify_object(&obj, &args.opts),
+        };
+        if args.json {
+            print!("{}", report.render_json());
+        } else if !report.diags.is_empty() {
+            print!("{}", report.render());
+        }
+        let reject = report.has_errors() || (args.strict && !report.is_clean());
+        rejected |= reject;
+        if !args.json {
+            println!("{path}: {} — {}", report.summary(), if reject { "rejected" } else { "ok" });
+        }
+    }
+    exit(i32::from(rejected));
+}

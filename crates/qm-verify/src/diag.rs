@@ -1,0 +1,445 @@
+//! Diagnostic codes, records and report rendering.
+//!
+//! Every finding of the verifier is a [`Diagnostic`] with a stable
+//! [`Code`], a severity, and an optional program point (context label,
+//! PC, source line). A [`Report`] collects the findings of one run and
+//! renders them either rustc-style for humans or as JSON for tools.
+
+use qm_isa::UWord;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A lint: suspicious but not provably fatal. Reported, never
+    /// rejected.
+    Warning,
+    /// A proved queue-discipline violation (or a statically guaranteed
+    /// runtime failure). Rejected under `Strict`.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// `QV00xx` — abstract queue-state dataflow (per-context), `QV01xx` —
+/// control-flow/decoding, `QV02xx` — splice/channel wiring, `QV03xx` —
+/// valid-sequence checking against a DFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // the variants are documented by `description`
+pub enum Code {
+    QueueUnderflow,
+    UndefinedWindowRead,
+    DupOutsideWindow,
+    JoinDepthMismatch,
+    DupWithoutResult,
+    SlotOverwrite,
+    TrapArityMismatch,
+    Unanalyzable,
+    BadBranchTarget,
+    Undecodable,
+    RunsOffEnd,
+    BadForkTarget,
+    DanglingChannel,
+    StaticDeadlock,
+    ChannelNeverRead,
+    DoublyConnectedChannel,
+    BadSequence,
+    OffsetMismatch,
+}
+
+impl Code {
+    /// The stable code string (`QV0001` …).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::QueueUnderflow => "QV0001",
+            Code::UndefinedWindowRead => "QV0002",
+            Code::DupOutsideWindow => "QV0003",
+            Code::JoinDepthMismatch => "QV0004",
+            Code::DupWithoutResult => "QV0005",
+            Code::SlotOverwrite => "QV0006",
+            Code::TrapArityMismatch => "QV0007",
+            Code::Unanalyzable => "QV0101",
+            Code::BadBranchTarget => "QV0102",
+            Code::Undecodable => "QV0103",
+            Code::RunsOffEnd => "QV0104",
+            Code::BadForkTarget => "QV0105",
+            Code::DanglingChannel => "QV0201",
+            Code::StaticDeadlock => "QV0202",
+            Code::ChannelNeverRead => "QV0203",
+            Code::DoublyConnectedChannel => "QV0204",
+            Code::BadSequence => "QV0301",
+            Code::OffsetMismatch => "QV0302",
+        }
+    }
+
+    /// Default severity of the code.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::QueueUnderflow
+            | Code::UndefinedWindowRead
+            | Code::DupOutsideWindow
+            | Code::TrapArityMismatch
+            | Code::BadBranchTarget
+            | Code::Undecodable
+            | Code::RunsOffEnd
+            | Code::BadForkTarget
+            | Code::DanglingChannel
+            | Code::StaticDeadlock
+            | Code::BadSequence
+            | Code::OffsetMismatch => Severity::Error,
+            Code::JoinDepthMismatch
+            | Code::DupWithoutResult
+            | Code::SlotOverwrite
+            | Code::Unanalyzable
+            | Code::ChannelNeverRead
+            | Code::DoublyConnectedChannel => Severity::Warning,
+        }
+    }
+
+    /// One-line description of what the code means.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Code::QueueUnderflow => "queue underflow: consuming slots never produced",
+            Code::UndefinedWindowRead => "read of a queue slot with no value on some path",
+            Code::DupOutsideWindow => "dup offset reaches outside the queue page",
+            Code::JoinDepthMismatch => "paths reach a join with different live queue slots",
+            Code::DupWithoutResult => "dup with no preceding value-producing instruction",
+            Code::SlotOverwrite => "write to a queue slot already holding a live value",
+            Code::TrapArityMismatch => "trap destination the kernel entry never writes",
+            Code::Unanalyzable => "control flow or queue pointer escapes static analysis",
+            Code::BadBranchTarget => "branch target outside the code or misaligned",
+            Code::Undecodable => "execution reaches an undecodable word",
+            Code::RunsOffEnd => "execution can run off the end of the code",
+            Code::BadForkTarget => "fork target is not a code entry point",
+            Code::DanglingChannel => "receive on a channel no context ever sends on",
+            Code::StaticDeadlock => "wait-for cycle: contexts statically guaranteed to deadlock",
+            Code::ChannelNeverRead => "channel is sent on but never received from",
+            Code::DoublyConnectedChannel => "channel receives in more than one context",
+            Code::BadSequence => "instruction order is not a valid sequence for the DFG",
+            Code::OffsetMismatch => "operand offsets disagree with predecessor positions",
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (defaults to [`Code::severity`]).
+    pub severity: Severity,
+    /// Label of the context the finding belongs to (`main`, `fan.2`, …).
+    pub ctx: Option<String>,
+    /// Byte address of the offending program point.
+    pub pc: Option<UWord>,
+    /// 1-based source line (when the object carries assembler metadata).
+    pub line: Option<usize>,
+    /// Human-readable message.
+    pub message: String,
+    /// Extra note lines (wait-for edges, joined paths, …).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and no location.
+    #[must_use]
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            ctx: None,
+            pc: None,
+            line: None,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a context label.
+    #[must_use]
+    pub fn in_ctx(mut self, ctx: impl Into<String>) -> Self {
+        self.ctx = Some(ctx.into());
+        self
+    }
+
+    /// Attach a program counter.
+    #[must_use]
+    pub fn at_pc(mut self, pc: UWord) -> Self {
+        self.pc = Some(pc);
+        self
+    }
+
+    /// Attach a source line.
+    #[must_use]
+    pub fn at_line(mut self, line: Option<usize>) -> Self {
+        self.line = line;
+        self
+    }
+
+    /// Append a note line.
+    #[must_use]
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render rustc-style:
+    ///
+    /// ```text
+    /// error[QV0001]: queue underflow: consuming 2 slots, 1 live
+    ///   --> main+0x8 (line 3)
+    ///   = note: …
+    /// ```
+    #[must_use]
+    pub fn render(&self, symbols: &[(String, UWord)]) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        let mut loc = String::new();
+        if let Some(pc) = self.pc {
+            loc = crate::names::pc_span(symbols, pc);
+            if let Some(line) = self.line {
+                loc.push_str(&format!(" (line {line})"));
+            }
+        }
+        if let Some(ctx) = &self.ctx {
+            if loc.is_empty() {
+                loc = format!("context {ctx}");
+            } else {
+                loc.push_str(&format!(", context {ctx}"));
+            }
+        }
+        if !loc.is_empty() {
+            out.push_str(&format!("\n  --> {loc}"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n  = note: {n}"));
+        }
+        out
+    }
+
+    fn render_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
+            self.code,
+            self.severity,
+            json_escape(&self.message)
+        );
+        if let Some(ctx) = &self.ctx {
+            let _ = write!(out, ",\"ctx\":\"{}\"", json_escape(ctx));
+        }
+        if let Some(pc) = self.pc {
+            let _ = write!(out, ",\"pc\":{pc}");
+        }
+        if let Some(line) = self.line {
+            let _ = write!(out, ",\"line\":{line}");
+        }
+        if !self.notes.is_empty() {
+            out.push_str(",\"notes\":[");
+            for (i, n) in self.notes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", json_escape(n));
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The findings of one verifier run.
+#[must_use = "a verification report carries errors that should be checked"]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in program order.
+    pub diags: Vec<Diagnostic>,
+    /// Symbol table of the verified object, for span rendering
+    /// (`(name, address)` pairs, sorted by address).
+    pub symbols: Vec<(String, UWord)>,
+}
+
+impl Report {
+    /// An empty report with a symbol table for rendering.
+    pub fn with_symbols(symbols: Vec<(String, UWord)>) -> Self {
+        Report { diags: Vec::new(), symbols }
+    }
+
+    /// Add a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Merge another report's findings (keeping this report's symbols
+    /// when the other has none).
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+        if self.symbols.is_empty() {
+            self.symbols = other.symbols;
+        }
+    }
+
+    /// True when nothing was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// True when at least one error-severity finding exists (the
+    /// `Strict` rejection condition).
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Sort findings by (context, pc, code) for stable output.
+    pub fn sort(&mut self) {
+        self.diags.sort_by(|a, b| {
+            (&a.ctx, a.pc, a.code, &a.message).cmp(&(&b.ctx, b.pc, b.code, &b.message))
+        });
+    }
+
+    /// Render all findings rustc-style, one block per finding.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&d.render(&self.symbols));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a JSON array of diagnostic objects (machine-readable
+    /// mode of the `qm-verify` bin).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            d.render_json(&mut out);
+        }
+        out.push(']');
+        out
+    }
+
+    /// One-line summary: `2 error(s), 1 warning(s)`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!("{} error(s), {} warning(s)", self.errors().count(), self.warnings().count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            Code::QueueUnderflow,
+            Code::UndefinedWindowRead,
+            Code::DupOutsideWindow,
+            Code::JoinDepthMismatch,
+            Code::DupWithoutResult,
+            Code::SlotOverwrite,
+            Code::TrapArityMismatch,
+            Code::Unanalyzable,
+            Code::BadBranchTarget,
+            Code::Undecodable,
+            Code::RunsOffEnd,
+            Code::BadForkTarget,
+            Code::DanglingChannel,
+            Code::StaticDeadlock,
+            Code::ChannelNeverRead,
+            Code::DoublyConnectedChannel,
+            Code::BadSequence,
+            Code::OffsetMismatch,
+        ];
+        let strs: std::collections::BTreeSet<&str> = all.iter().map(|c| c.as_str()).collect();
+        assert_eq!(strs.len(), all.len(), "codes collide");
+        assert_eq!(Code::QueueUnderflow.as_str(), "QV0001");
+    }
+
+    #[test]
+    fn render_carries_code_span_and_notes() {
+        let syms = vec![("main".to_string(), 0u32)];
+        let d = Diagnostic::new(Code::QueueUnderflow, "consuming 2 slots, 1 live")
+            .in_ctx("main")
+            .at_pc(8)
+            .at_line(Some(3))
+            .note("produced by plus at 0x0");
+        let text = d.render(&syms);
+        assert!(text.starts_with("error[QV0001]:"), "{text}");
+        assert!(text.contains("main+0x8"), "{text}");
+        assert!(text.contains("(line 3)"), "{text}");
+        assert!(text.contains("note: produced"), "{text}");
+    }
+
+    #[test]
+    fn json_mode_is_parseable_shape() {
+        let mut r = Report::default();
+        r.push(Diagnostic::new(Code::DanglingChannel, "say \"hi\"").at_pc(4));
+        let json = r.render_json();
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(json.contains("\"code\":\"QV0201\""), "{json}");
+        assert!(json.contains("say \\\"hi\\\""), "{json}");
+    }
+
+    #[test]
+    fn report_partitions_by_severity() {
+        let mut r = Report::default();
+        r.push(Diagnostic::new(Code::QueueUnderflow, "e"));
+        r.push(Diagnostic::new(Code::SlotOverwrite, "w"));
+        assert!(r.has_errors());
+        assert_eq!(r.errors().count(), 1);
+        assert_eq!(r.warnings().count(), 1);
+        assert_eq!(r.summary(), "1 error(s), 1 warning(s)");
+    }
+}

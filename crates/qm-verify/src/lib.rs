@@ -1,0 +1,96 @@
+//! Static queue-discipline verifier for queue machine object code.
+//!
+//! The thesis's correctness story is *static*: an instruction sequence
+//! is executable only if it is a valid sequence for its acyclic DFG
+//! (§3.6), and a spliced program only runs if its contexts and channels
+//! are wired consistently. The simulator discovers violations
+//! dynamically — as deadlocks or garbage reads; this crate proves their
+//! absence (or pinpoints them) at load time, in the spirit of classic
+//! bytecode verification:
+//!
+//! * `queue` *(internal)* / [`verify_object`] — abstract queue-state
+//!   dataflow per context: definedness of every queue slot at every
+//!   program point, underflow, out-of-page `dup` offsets, join
+//!   consistency, trap-ABI arity, control-flow sanity.
+//! * `wiring` *(internal)* — splice/channel lints over the fork tree:
+//!   dangling channels, channels never read, statically guaranteed
+//!   wait-for cycles (reported in the same shape as `qm-sim`'s runtime
+//!   deadlock reports).
+//! * [`sequence`] — valid-sequence checking of an
+//!   [`qm_core::IndexedProgram`] against its source DFG.
+//! * [`lower`] — reference lowering from the indexed model to PE
+//!   assembly, used by the pipeline property tests and the CLI.
+//! * [`names`] — the one formatting helper for context/PC labels shared
+//!   with `qm-sim`'s runtime diagnostics.
+//!
+//! ```
+//! use qm_isa::asm::assemble;
+//! use qm_verify::{verify_object, VerifyOptions};
+//!
+//! let obj = assemble(
+//!     "main: recv #0,#0 :r0\n\
+//!            mul+1 r0,#3 :r0\n\
+//!            send+1 #0,r0\n\
+//!            trap #2,#0\n",
+//! ).unwrap();
+//! let report = verify_object(&obj, &VerifyOptions::default());
+//! assert!(report.is_clean(), "{}", report.render());
+//! ```
+
+pub mod diag;
+pub mod lower;
+pub mod names;
+mod queue;
+pub mod sequence;
+pub mod traps;
+mod wiring;
+
+pub use diag::{Code, Diagnostic, Report, Severity};
+
+use qm_isa::asm::Object;
+use qm_isa::UWord;
+
+/// How strictly the simulator treats verification findings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum VerifyLevel {
+    /// Do not run the verifier.
+    Off,
+    /// Run the verifier and report findings, but never reject.
+    #[default]
+    Warn,
+    /// Reject any program with error-severity findings before it runs.
+    Strict,
+}
+
+/// Tunables for a verification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Queue page size in words: the window `dup` offsets may reach.
+    /// Must match the simulator's `queue_page_words`.
+    pub page_words: u32,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions { page_words: 256 }
+    }
+}
+
+/// Verify an object starting from its `main` symbol (or the base
+/// address when no `main` exists), following constant fork targets into
+/// every statically reachable context.
+pub fn verify_object(obj: &Object, opts: &VerifyOptions) -> Report {
+    let entry = obj.symbol("main").unwrap_or_else(|| obj.base());
+    verify_object_at(obj, entry, opts)
+}
+
+/// Verify an object with an explicit entry point.
+pub fn verify_object_at(obj: &Object, entry: UWord, opts: &VerifyOptions) -> Report {
+    let pass = queue::QueuePass::new(obj, opts);
+    let symbols = pass.symbols.clone();
+    let mut report = Report::with_symbols(symbols.clone());
+    pass.run(entry, &mut report);
+    wiring::WiringPass::new(obj, &symbols).run(entry, &mut report);
+    report.sort();
+    report
+}

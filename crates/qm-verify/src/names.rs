@@ -1,0 +1,93 @@
+//! Shared naming helpers for contexts and program points.
+//!
+//! Runtime wait-for reports (`qm-sim`'s deadlock diagnostics), trace
+//! lanes, and the static wiring lints in this crate all label the same
+//! things: contexts and PCs. Historically the simulator named contexts
+//! by bare index in deadlock reports but by a different spelling in
+//! traces; everything now routes through these helpers so the naming is
+//! identical everywhere.
+
+use qm_isa::UWord;
+
+/// Canonical label for a context: `ctx3`, or `ctx3 (fan.2)` when a
+/// symbol for its entry point is known.
+#[must_use]
+pub fn ctx_label(ctx: usize, symbol: Option<&str>) -> String {
+    match symbol {
+        Some(sym) if !sym.is_empty() => format!("ctx{ctx} ({sym})"),
+        _ => format!("ctx{ctx}"),
+    }
+}
+
+/// The nearest symbol at or below `addr`, from a `(name, address)`
+/// table. Ties (aliased symbols at one address) resolve to the
+/// lexicographically first name so output is deterministic.
+#[must_use]
+pub fn nearest_symbol(symbols: &[(String, UWord)], addr: UWord) -> Option<(&str, UWord)> {
+    symbols
+        .iter()
+        .filter(|(_, a)| *a <= addr)
+        .max_by(|(na, aa), (nb, ab)| aa.cmp(ab).then(nb.cmp(na)))
+        .map(|(n, a)| (n.as_str(), addr - a))
+}
+
+/// Render a program point as `sym+0x10`, or bare `0x10` when no symbol
+/// covers it. The offset part is omitted when zero: `sym`.
+#[must_use]
+pub fn pc_span(symbols: &[(String, UWord)], addr: UWord) -> String {
+    match nearest_symbol(symbols, addr) {
+        Some((sym, 0)) => sym.to_string(),
+        Some((sym, off)) => format!("{sym}+{off:#x}"),
+        None => format!("{addr:#x}"),
+    }
+}
+
+/// One wait-for edge line, shared between runtime deadlock reports and
+/// the static deadlock lint: `ctx1 (main) waits for ctx2 (peer) [recv
+/// on chan 3]`.
+#[must_use]
+pub fn wait_line(from: &str, to: &str, what: &str) -> String {
+    format!("{from} waits for {to} [{what}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_label_with_and_without_symbol() {
+        assert_eq!(ctx_label(3, None), "ctx3");
+        assert_eq!(ctx_label(3, Some("fan.2")), "ctx3 (fan.2)");
+        assert_eq!(ctx_label(0, Some("")), "ctx0");
+    }
+
+    #[test]
+    fn nearest_symbol_picks_greatest_at_or_below() {
+        let syms =
+            vec![("main".to_string(), 0u32), ("peer".to_string(), 16), ("tail".to_string(), 64)];
+        assert_eq!(nearest_symbol(&syms, 0), Some(("main", 0)));
+        assert_eq!(nearest_symbol(&syms, 12), Some(("main", 12)));
+        assert_eq!(nearest_symbol(&syms, 16), Some(("peer", 0)));
+        assert_eq!(nearest_symbol(&syms, 40), Some(("peer", 24)));
+        let empty: Vec<(String, UWord)> = vec![];
+        assert_eq!(nearest_symbol(&empty, 8), None);
+    }
+
+    #[test]
+    fn pc_span_formats() {
+        let syms = vec![("main".to_string(), 0u32), ("peer".to_string(), 16)];
+        assert_eq!(pc_span(&syms, 0), "main");
+        assert_eq!(pc_span(&syms, 8), "main+0x8");
+        assert_eq!(pc_span(&syms, 16), "peer");
+        let empty: Vec<(String, UWord)> = vec![];
+        assert_eq!(pc_span(&empty, 8), "0x8");
+    }
+
+    #[test]
+    fn wait_line_shape() {
+        assert_eq!(
+            wait_line("ctx1 (main)", "ctx2 (peer)", "recv on chan 3"),
+            "ctx1 (main) waits for ctx2 (peer) [recv on chan 3]"
+        );
+    }
+}

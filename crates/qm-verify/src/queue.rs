@@ -1,0 +1,957 @@
+//! Abstract queue-state dataflow over assembled object code.
+//!
+//! The pass walks the control-flow graph of each context (instruction
+//! granularity, discovered from the entry point and from constant fork
+//! targets) carrying an abstract queue state: a 256-bit mask of *defined*
+//! queue slots relative to the current front, a map of slots holding
+//! *known constants* (the compiler stages fork targets through the
+//! window, so constant propagation is what makes the fork graph
+//! statically visible), plus a "previous instruction produced a value"
+//! bit for `dup`. The transfer function
+//! mirrors [`qm_isa::pe::Pe::step`] exactly — reads happen before the
+//! queue pointer advances, destinations are written relative to the new
+//! front, `dup` writes relative to the current front — and the join at
+//! merge points is set intersection (a slot is defined only if it is
+//! defined on every path), so every error this pass reports is a
+//! violation on *some* path and every "defined" fact holds on *all*
+//! paths.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use qm_isa::asm::Object;
+use qm_isa::isa::{Instruction, Opcode, SrcMode, REG_DUMMY, REG_PC, REG_POM, REG_QP};
+use qm_isa::{UWord, Word};
+
+use crate::diag::{Code, Diagnostic, Report};
+use crate::{names, traps, VerifyOptions};
+
+/// 256 definedness bits, one per queue slot relative to the front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Mask([u64; 4]);
+
+impl Mask {
+    pub(crate) const EMPTY: Mask = Mask([0; 4]);
+
+    pub(crate) fn get(&self, i: u32) -> bool {
+        i < 256 && self.0[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    pub(crate) fn set(&mut self, i: u32) {
+        if i < 256 {
+            self.0[(i / 64) as usize] |= 1 << (i % 64);
+        }
+    }
+
+    /// The queue pointer advanced by `k`: every bit moves down `k`
+    /// places (slot `k+n` becomes slot `n`), the top `k` bits clear.
+    pub(crate) fn shift_down(&mut self, k: u32) {
+        debug_assert!(k < 64);
+        if k == 0 {
+            return;
+        }
+        for i in 0..4 {
+            let hi = if i + 1 < 4 { self.0[i + 1] << (64 - k) } else { 0 };
+            self.0[i] = (self.0[i] >> k) | hi;
+        }
+    }
+
+    pub(crate) fn intersect(&self, other: &Mask) -> Mask {
+        Mask([
+            self.0[0] & other.0[0],
+            self.0[1] & other.0[1],
+            self.0[2] & other.0[2],
+            self.0[3] & other.0[3],
+        ])
+    }
+}
+
+/// Abstract value tracked through window slots for fork-target
+/// discovery. The compiler stages fork targets through the window
+/// (`plus #child,#0 :r0` … `trap+1 #0,r0`), and `while`/`if` lowerings
+/// select between continuation addresses with `(a ∧ m) ∨ (b ∧ ¬m)`
+/// where `m` is a comparison result (0 or −1 in this ISA); tracking
+/// both idioms — sets, because selects nest — is what makes the fork
+/// graph statically visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum AbsVal {
+    /// A comparison result: 0 or −1 (the ISA's boolean convention).
+    Bool,
+    /// One of these constants (sorted, deduped, non-empty, ≤
+    /// [`SET_CAP`]). A singleton is an ordinary known constant.
+    OneOf(Vec<Word>),
+    /// `v ∧ bool` for `v` in the set: either 0 or one of the set.
+    /// `or`-ing two `Gated` values assumes their gates are
+    /// complementary, which is how the compiler emits `sel`; the
+    /// queue-discipline checks do not depend on this assumption.
+    Gated(Vec<Word>),
+}
+
+/// Bound on tracked constant-set size; larger sets decay to unknown.
+const SET_CAP: usize = 16;
+
+/// Normalize a value set (sorted, deduped, capped).
+fn abs_set(mut v: Vec<Word>) -> Option<AbsVal> {
+    v.sort_unstable();
+    v.dedup();
+    (!v.is_empty() && v.len() <= SET_CAP).then_some(AbsVal::OneOf(v))
+}
+
+/// Apply `f` across two value sets.
+fn cross(xs: &[Word], ys: &[Word], f: impl Fn(Word, Word) -> Word) -> Option<AbsVal> {
+    let mut out = Vec::with_capacity(xs.len() * ys.len());
+    for &x in xs {
+        for &y in ys {
+            out.push(f(x, y));
+        }
+    }
+    abs_set(out)
+}
+
+/// Abstract state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    /// Defined queue slots relative to the current front.
+    defined: Mask,
+    /// Slots (relative to the front) holding a known [`AbsVal`].
+    consts: BTreeMap<u8, AbsVal>,
+    /// A value-producing instruction has executed (so `dup` has a
+    /// result to duplicate) on every path to this point.
+    have_result: bool,
+    /// `last_result` when it is statically known.
+    result_val: Option<AbsVal>,
+}
+
+impl State {
+    const ENTRY: State = State {
+        defined: Mask::EMPTY,
+        consts: BTreeMap::new(),
+        have_result: false,
+        result_val: None,
+    };
+
+    fn join(&self, other: &State) -> State {
+        State {
+            defined: self.defined.intersect(&other.defined),
+            consts: self
+                .consts
+                .iter()
+                .filter(|(k, v)| other.consts.get(*k) == Some(*v))
+                .map(|(&k, v)| (k, v.clone()))
+                .collect(),
+            have_result: self.have_result && other.have_result,
+            result_val: if self.result_val == other.result_val {
+                self.result_val.clone()
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Constant-fold an ALU result; `None` when the opcode/operand shape is
+/// not one the [`AbsVal`] domain models.
+fn fold(op: Opcode, a: Option<AbsVal>, b: Option<AbsVal>) -> Option<AbsVal> {
+    use AbsVal::{Bool, Gated, OneOf};
+    if matches!(
+        op,
+        Opcode::Ge
+            | Opcode::Ne
+            | Opcode::Gt
+            | Opcode::Lt
+            | Opcode::Eq
+            | Opcode::Le
+            | Opcode::His
+            | Opcode::Hi
+            | Opcode::Lo
+            | Opcode::Los
+    ) {
+        return Some(Bool);
+    }
+    match (op, a?, b?) {
+        (Opcode::Plus, OneOf(x), OneOf(y)) => cross(&x, &y, Word::wrapping_add),
+        (Opcode::Plus, v, OneOf(z)) | (Opcode::Plus, OneOf(z), v) if z == [0] => Some(v),
+        (Opcode::Minus, OneOf(x), OneOf(y)) => cross(&x, &y, Word::wrapping_sub),
+        (Opcode::Mul, OneOf(x), OneOf(y)) => cross(&x, &y, Word::wrapping_mul),
+        (Opcode::And, OneOf(x), OneOf(y)) => cross(&x, &y, |p, q| p & q),
+        (Opcode::And, OneOf(v), Bool) | (Opcode::And, Bool, OneOf(v)) => Some(Gated(v)),
+        (Opcode::Or, OneOf(x), OneOf(y)) => cross(&x, &y, |p, q| p | q),
+        (Opcode::Or, Gated(x), Gated(y)) => abs_set([x, y].concat()),
+        (Opcode::Xor, OneOf(x), OneOf(y)) => cross(&x, &y, |p, q| p ^ q),
+        (Opcode::Xor, Bool, OneOf(z)) | (Opcode::Xor, OneOf(z), Bool) if z == [-1] => Some(Bool),
+        _ => None,
+    }
+}
+
+/// Everything the transfer function says about one instruction under one
+/// in-state.
+struct StepOut {
+    out: State,
+    /// Successor program points (empty for terminal instructions).
+    succs: Vec<UWord>,
+    /// Findings at this point (deterministic in `(addr, in-state)`).
+    diags: Vec<Diagnostic>,
+    /// Constant fork targets (new context entry points).
+    forks: Vec<UWord>,
+}
+
+pub(crate) struct QueuePass<'a> {
+    obj: &'a Object,
+    opts: &'a VerifyOptions,
+    end: UWord,
+    /// Instruction starts from assembler metadata, when present.
+    starts: Option<HashSet<UWord>>,
+    /// Symbols sorted by address, for context labels.
+    pub(crate) symbols: Vec<(String, UWord)>,
+}
+
+impl<'a> QueuePass<'a> {
+    pub(crate) fn new(obj: &'a Object, opts: &'a VerifyOptions) -> Self {
+        let starts = if obj.has_verify_meta() {
+            Some(obj.instr_addrs().iter().copied().collect())
+        } else {
+            None
+        };
+        let mut symbols: Vec<(String, UWord)> =
+            obj.symbols().iter().map(|(n, &a)| (n.clone(), a)).collect();
+        symbols.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        QueuePass { obj, opts, end: obj.base() + obj.size_bytes(), starts, symbols }
+    }
+
+    fn decode_at(&self, addr: UWord) -> Result<(Instruction, UWord), String> {
+        if addr < self.obj.base() || addr >= self.end {
+            return Err(format!("address {addr:#x} is outside the code"));
+        }
+        if !(addr - self.obj.base()).is_multiple_of(4) {
+            return Err(format!("address {addr:#x} is not word-aligned"));
+        }
+        let idx = ((addr - self.obj.base()) / 4) as usize;
+        let hi = (idx + 3).min(self.obj.words().len());
+        match Instruction::decode(&self.obj.words()[idx..hi]) {
+            #[allow(clippy::cast_possible_truncation)]
+            Ok((instr, used)) => Ok((instr, 4 * used as UWord)),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// A valid branch/fork target: inside the code, aligned, and an
+    /// instruction start (per metadata when available, by decodability
+    /// otherwise).
+    fn is_instr_start(&self, addr: UWord) -> bool {
+        match &self.starts {
+            Some(s) => s.contains(&addr),
+            None => self.decode_at(addr).is_ok(),
+        }
+    }
+
+    fn diag(&self, code: Code, addr: UWord, ctx: &str, msg: String) -> Diagnostic {
+        Diagnostic::new(code, msg).in_ctx(ctx).at_pc(addr).at_line(self.obj.line_for(addr))
+    }
+
+    /// Read one source operand: definedness check plus constant
+    /// extraction.
+    fn read_src(
+        &self,
+        mode: SrcMode,
+        state: &State,
+        addr: UWord,
+        ctx: &str,
+        diags: &mut Vec<Diagnostic>,
+    ) -> Option<AbsVal> {
+        match mode {
+            SrcMode::Window(n) => {
+                if !state.defined.get(u32::from(n)) {
+                    diags.push(self.diag(
+                        Code::UndefinedWindowRead,
+                        addr,
+                        ctx,
+                        format!("read of r{n}: queue slot {n} holds no value on some path"),
+                    ));
+                }
+                state.consts.get(&n).cloned()
+            }
+            SrcMode::Global(_) => None,
+            SrcMode::Imm(v) => Some(AbsVal::OneOf(vec![Word::from(v)])),
+            SrcMode::ImmWord(v) => Some(AbsVal::OneOf(vec![v])),
+        }
+    }
+
+    /// Queue-pointer advance: underflow check plus the mask shift.
+    fn advance(
+        &self,
+        state: &mut State,
+        qp_inc: u8,
+        addr: UWord,
+        ctx: &str,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        let undefined: Vec<u32> =
+            (0..u32::from(qp_inc)).filter(|&i| !state.defined.get(i)).collect();
+        if !undefined.is_empty() {
+            diags.push(self.diag(
+                Code::QueueUnderflow,
+                addr,
+                ctx,
+                format!(
+                    "queue underflow: +{qp_inc} consumes slot(s) {undefined:?} that hold no \
+                     value on some path"
+                ),
+            ));
+        }
+        state.defined.shift_down(u32::from(qp_inc));
+        state.consts = state
+            .consts
+            .iter()
+            .filter(|(&k, _)| k >= qp_inc)
+            .map(|(&k, v)| (k - qp_inc, v.clone()))
+            .collect();
+    }
+
+    /// Write a destination register (post-advance); `val` is the written
+    /// value when statically known. Returns `false` when the write makes
+    /// the rest of the path unanalyzable (pc/qp/pom).
+    fn write_dst(
+        &self,
+        state: &mut State,
+        dst: u8,
+        val: Option<AbsVal>,
+        addr: UWord,
+        ctx: &str,
+        diags: &mut Vec<Diagnostic>,
+    ) -> bool {
+        match dst {
+            d if d < 16 => {
+                state.defined.set(u32::from(d));
+                match val {
+                    Some(v) => {
+                        state.consts.insert(d, v);
+                    }
+                    None => {
+                        state.consts.remove(&d);
+                    }
+                }
+                true
+            }
+            REG_PC | REG_QP | REG_POM => {
+                diags.push(self.diag(
+                    Code::Unanalyzable,
+                    addr,
+                    ctx,
+                    format!(
+                        "write to r{dst} ({}) escapes static analysis; the path is not \
+                         checked past this point",
+                        match dst {
+                            REG_PC => "pc",
+                            REG_QP => "qp",
+                            _ => "pom",
+                        }
+                    ),
+                ));
+                false
+            }
+            _ => true, // plain global (incl. DUMMY): no queue effect
+        }
+    }
+
+    /// The successor for straight-line flow, checking for running off
+    /// the end of the code or into data words.
+    fn fall_through(
+        &self,
+        addr: UWord,
+        size: UWord,
+        ctx: &str,
+        succs: &mut Vec<UWord>,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        let next = addr + size;
+        if next >= self.end {
+            diags.push(self.diag(
+                Code::RunsOffEnd,
+                addr,
+                ctx,
+                "execution runs off the end of the code (no terminating trap)".into(),
+            ));
+        } else if !self.is_instr_start(next) {
+            diags.push(self.diag(
+                Code::RunsOffEnd,
+                addr,
+                ctx,
+                format!("execution continues into non-instruction words at {next:#x}"),
+            ));
+        } else {
+            succs.push(next);
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&self, addr: UWord, in_state: &State, ctx: &str) -> StepOut {
+        let mut out = StepOut {
+            out: in_state.clone(),
+            succs: Vec::new(),
+            diags: Vec::new(),
+            forks: Vec::new(),
+        };
+        let (instr, size) = match self.decode_at(addr) {
+            Ok(x) => x,
+            Err(msg) => {
+                out.diags.push(self.diag(
+                    Code::Undecodable,
+                    addr,
+                    ctx,
+                    format!("execution reaches an undecodable word: {msg}"),
+                ));
+                return out;
+            }
+        };
+        match instr {
+            Instruction::Dup { two, off1, off2, .. } => {
+                if !in_state.have_result {
+                    out.diags.push(self.diag(
+                        Code::DupWithoutResult,
+                        addr,
+                        ctx,
+                        "dup with no preceding value-producing instruction on some path".into(),
+                    ));
+                }
+                let offs: &[u8] = if two { &[off1, off2] } else { &[off1] };
+                for &off in offs {
+                    if u32::from(off) >= self.opts.page_words {
+                        out.diags.push(self.diag(
+                            Code::DupOutsideWindow,
+                            addr,
+                            ctx,
+                            format!(
+                                "dup offset {off} reaches outside the {}-word queue page",
+                                self.opts.page_words
+                            ),
+                        ));
+                    } else if in_state.defined.get(u32::from(off)) {
+                        out.diags.push(self.diag(
+                            Code::SlotOverwrite,
+                            addr,
+                            ctx,
+                            format!("dup overwrites live queue slot {off}"),
+                        ));
+                    }
+                    out.out.defined.set(u32::from(off));
+                    match &in_state.result_val {
+                        Some(v) => {
+                            out.out.consts.insert(off, v.clone());
+                        }
+                        None => {
+                            out.out.consts.remove(&off);
+                        }
+                    }
+                }
+                self.fall_through(addr, size, ctx, &mut out.succs, &mut out.diags);
+            }
+            Instruction::Basic { op, src1, src2, dst1, dst2, qp_inc, .. } => {
+                let a = self.read_src(src1, in_state, addr, ctx, &mut out.diags);
+                let b = self.read_src(src2, in_state, addr, ctx, &mut out.diags);
+                match op {
+                    Opcode::Bne | Opcode::Beq => {
+                        self.advance(&mut out.out, qp_inc, addr, ctx, &mut out.diags);
+                        // Constant conditions fold: `beq #0,@l` is the
+                        // unconditional-jump idiom, `bne #0,…` never fires.
+                        let taken = match &a {
+                            Some(AbsVal::OneOf(v)) if v.len() == 1 => {
+                                Some((v[0] != 0) == (op == Opcode::Bne))
+                            }
+                            _ => None,
+                        };
+                        let next = addr + size;
+                        if taken != Some(true) {
+                            if next < self.end && self.is_instr_start(next) {
+                                out.succs.push(next);
+                            } else {
+                                out.diags.push(self.diag(
+                                    Code::RunsOffEnd,
+                                    addr,
+                                    ctx,
+                                    "branch fall-through runs off the end of the code".into(),
+                                ));
+                            }
+                        }
+                        if taken != Some(false) {
+                            match &b {
+                                Some(AbsVal::OneOf(v)) if v.len() == 1 => {
+                                    #[allow(clippy::cast_sign_loss)]
+                                    let target = next.wrapping_add(v[0] as UWord);
+                                    if self.is_instr_start(target) {
+                                        out.succs.push(target);
+                                    } else {
+                                        out.diags.push(self.diag(
+                                            Code::BadBranchTarget,
+                                            addr,
+                                            ctx,
+                                            format!(
+                                                "branch target {target:#x} is outside the code \
+                                                 or not an instruction start"
+                                            ),
+                                        ));
+                                    }
+                                }
+                                _ => {
+                                    out.diags.push(
+                                        self.diag(
+                                            Code::Unanalyzable,
+                                            addr,
+                                            ctx,
+                                            "branch offset depends on a runtime value; only the \
+                                         fall-through path is checked"
+                                                .into(),
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    Opcode::Trap | Opcode::Ftrap => {
+                        self.advance(&mut out.out, qp_inc, addr, ctx, &mut out.diags);
+                        self.step_trap(addr, size, a, b, dst1, dst2, ctx, &mut out);
+                    }
+                    Opcode::Fret | Opcode::Rett => {
+                        out.diags.push(self.diag(
+                            Code::Unanalyzable,
+                            addr,
+                            ctx,
+                            format!("kernel-mode return ({op}) in user code ends analysis"),
+                        ));
+                    }
+                    _ => {
+                        // ALU / compare / memory / channel: value-producing
+                        // unless store/send.
+                        self.advance(&mut out.out, qp_inc, addr, ctx, &mut out.diags);
+                        let produces = !matches!(op, Opcode::Store | Opcode::Storb | Opcode::Send);
+                        let mut analyzable = true;
+                        if produces {
+                            let val = fold(op, a, b);
+                            analyzable &= self.write_dst(
+                                &mut out.out,
+                                dst1,
+                                val.clone(),
+                                addr,
+                                ctx,
+                                &mut out.diags,
+                            );
+                            analyzable &= self.write_dst(
+                                &mut out.out,
+                                dst2,
+                                val.clone(),
+                                addr,
+                                ctx,
+                                &mut out.diags,
+                            );
+                            out.out.have_result = true;
+                            out.out.result_val = val;
+                        }
+                        if analyzable {
+                            self.fall_through(addr, size, ctx, &mut out.succs, &mut out.diags);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_trap(
+        &self,
+        addr: UWord,
+        size: UWord,
+        entry: Option<AbsVal>,
+        arg: Option<AbsVal>,
+        dst1: u8,
+        dst2: u8,
+        ctx: &str,
+        out: &mut StepOut,
+    ) {
+        let entry = match &entry {
+            Some(AbsVal::OneOf(v)) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        };
+        let Some(entry) = entry else {
+            out.diags.push(self.diag(
+                Code::Unanalyzable,
+                addr,
+                ctx,
+                "trap entry depends on a runtime value; results assumed written".into(),
+            ));
+            self.write_dst(&mut out.out, dst1, None, addr, ctx, &mut out.diags);
+            self.write_dst(&mut out.out, dst2, None, addr, ctx, &mut out.diags);
+            out.out.have_result = true;
+            out.out.result_val = None;
+            self.fall_through(addr, size, ctx, &mut out.succs, &mut out.diags);
+            return;
+        };
+        let Some(results) = traps::result_count(entry) else {
+            out.diags.push(self.diag(
+                Code::Unanalyzable,
+                addr,
+                ctx,
+                format!("unknown kernel entry {entry}; the simulator would fault here"),
+            ));
+            self.write_dst(&mut out.out, dst1, None, addr, ctx, &mut out.diags);
+            self.write_dst(&mut out.out, dst2, None, addr, ctx, &mut out.diags);
+            out.out.have_result = true;
+            out.out.result_val = None;
+            self.fall_through(addr, size, ctx, &mut out.succs, &mut out.diags);
+            return;
+        };
+        // Destinations the kernel entry never writes must be DUMMY —
+        // anything else reads as expecting a result that never comes.
+        let name = traps::name(entry);
+        if results < 2 && dst2 != REG_DUMMY {
+            out.diags.push(self.diag(
+                Code::TrapArityMismatch,
+                addr,
+                ctx,
+                format!("{name} (entry {entry}) never writes a second result, but dst2 is r{dst2}"),
+            ));
+        }
+        if results < 1 && dst1 != REG_DUMMY {
+            out.diags.push(self.diag(
+                Code::TrapArityMismatch,
+                addr,
+                ctx,
+                format!("{name} (entry {entry}) never writes a result, but dst1 is r{dst1}"),
+            ));
+        }
+        if results >= 1 {
+            self.write_dst(&mut out.out, dst1, None, addr, ctx, &mut out.diags);
+            out.out.have_result = true;
+            out.out.result_val = None;
+        }
+        if results >= 2 {
+            self.write_dst(&mut out.out, dst2, None, addr, ctx, &mut out.diags);
+        }
+        if traps::is_fork(entry) {
+            let targets: Option<Vec<Word>> = match arg {
+                Some(AbsVal::OneOf(ts)) => Some(ts),
+                _ => None,
+            };
+            match targets {
+                Some(ts) => {
+                    for target in ts {
+                        #[allow(clippy::cast_sign_loss)]
+                        if self.is_instr_start(target as UWord) {
+                            out.forks.push(target as UWord);
+                        } else {
+                            out.diags.push(self.diag(
+                                Code::BadForkTarget,
+                                addr,
+                                ctx,
+                                format!("{name} target {target:#x} is not a code entry point"),
+                            ));
+                        }
+                    }
+                }
+                None => {
+                    out.diags.push(self.diag(
+                        Code::Unanalyzable,
+                        addr,
+                        ctx,
+                        format!(
+                            "{name} target depends on a runtime value; the child context \
+                                 is not checked"
+                        ),
+                    ));
+                }
+            }
+        }
+        if matches!(entry, traps::END | traps::HALT) {
+            return; // terminal: no successor
+        }
+        self.fall_through(addr, size, ctx, &mut out.succs, &mut out.diags);
+    }
+
+    /// Analyze one context rooted at `entry`; returns constant fork
+    /// targets found (candidate further contexts).
+    fn analyze_context(
+        &self,
+        entry: UWord,
+        ctx: &str,
+        report: &mut Report,
+        seen: &mut HashSet<(Code, UWord, String)>,
+    ) -> BTreeSet<UWord> {
+        let mut states: HashMap<UWord, State> = HashMap::new();
+        states.insert(entry, State::ENTRY);
+        let mut work: VecDeque<UWord> = VecDeque::from([entry]);
+        let mut rounds = 0usize;
+        while let Some(addr) = work.pop_front() {
+            rounds += 1;
+            if rounds > 300 * self.obj.words().len().max(1) {
+                break; // descending-chain bound; unreachable in practice
+            }
+            let in_state = states[&addr].clone();
+            let step = self.step(addr, &in_state, ctx);
+            for succ in step.succs {
+                match states.get(&succ) {
+                    None => {
+                        states.insert(succ, step.out.clone());
+                        work.push_back(succ);
+                    }
+                    Some(old) => {
+                        let joined = old.join(&step.out);
+                        if joined != *old {
+                            states.insert(succ, joined);
+                            work.push_back(succ);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Final pass over the fixpoint: emit diagnostics once per
+        // program point, gather fork targets, and record the per-edge
+        // out-masks for the join-consistency lint.
+        let mut forks = BTreeSet::new();
+        let mut inflows: BTreeMap<UWord, Vec<(UWord, Mask)>> = BTreeMap::new();
+        let addrs: BTreeSet<UWord> = states.keys().copied().collect();
+        for &addr in &addrs {
+            let step = self.step(addr, &states[&addr], ctx);
+            for d in step.diags {
+                if seen.insert((d.code, addr, d.message.clone())) {
+                    report.push(d);
+                }
+            }
+            forks.extend(step.forks);
+            for succ in step.succs {
+                inflows.entry(succ).or_default().push((addr, step.out.defined));
+            }
+        }
+        for (to, froms) in inflows {
+            let distinct: Vec<&Mask> = {
+                let mut seen_masks: Vec<&Mask> = Vec::new();
+                for (_, m) in &froms {
+                    if !seen_masks.contains(&m) {
+                        seen_masks.push(m);
+                    }
+                }
+                seen_masks
+            };
+            if distinct.len() > 1 {
+                let preds: Vec<String> =
+                    froms.iter().map(|(f, _)| names::pc_span(&self.symbols, *f)).collect();
+                let d = self
+                    .diag(
+                        Code::JoinDepthMismatch,
+                        to,
+                        ctx,
+                        "paths reach this join with different live queue slots".into(),
+                    )
+                    .note(format!("joined from {}", preds.join(", ")));
+                if seen.insert((d.code, to, d.message.clone())) {
+                    report.push(d);
+                }
+            }
+        }
+        forks
+    }
+
+    /// Run the pass: analyze the context at `entry` and, transitively,
+    /// every context reachable through constant fork targets.
+    pub(crate) fn run(&self, entry: UWord, report: &mut Report) {
+        let mut seen: HashSet<(Code, UWord, String)> = HashSet::new();
+        let mut done: BTreeSet<UWord> = BTreeSet::new();
+        let mut pending: VecDeque<UWord> = VecDeque::from([entry]);
+        while let Some(e) = pending.pop_front() {
+            if !done.insert(e) {
+                continue;
+            }
+            let label = names::pc_span(&self.symbols, e);
+            let forks = self.analyze_context(e, &label, report, &mut seen);
+            pending.extend(forks);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_object, VerifyOptions};
+    use qm_isa::asm::assemble;
+
+    fn verify(src: &str) -> Report {
+        verify_object(&assemble(src).unwrap(), &VerifyOptions::default())
+    }
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn mask_shift_moves_bits_down() {
+        let mut m = Mask::EMPTY;
+        m.set(0);
+        m.set(2);
+        m.set(65);
+        m.set(255);
+        m.shift_down(2);
+        assert!(m.get(0), "bit 2 became bit 0");
+        assert!(m.get(63), "bit 65 became bit 63");
+        assert!(m.get(253));
+        assert!(!m.get(255));
+        m.shift_down(0);
+        assert!(m.get(0));
+    }
+
+    #[test]
+    fn clean_echo_program_verifies() {
+        let r = verify(
+            "main: recv #0,#0 :r0\n\
+                   mul+1 r0,#3 :r0\n\
+                   send+1 #0,r0\n\
+                   trap #2,#0\n",
+        );
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn underflow_is_an_error() {
+        let r = verify("main: plus+2 #1,#2 :r0\n trap #2,#0\n");
+        assert!(codes(&r).contains(&"QV0001"), "{}", r.render());
+    }
+
+    #[test]
+    fn undefined_window_read_is_an_error() {
+        let r = verify("main: plus r0,#1 :r1\n trap #2,#0\n");
+        assert!(codes(&r).contains(&"QV0002"), "{}", r.render());
+    }
+
+    #[test]
+    fn dup_outside_page_is_an_error() {
+        let src = "main: plus #1,#0 :r0\n dup1 :r100\n trap #2,#0\n";
+        let small = VerifyOptions { page_words: 64 };
+        let r = verify_object(&assemble(src).unwrap(), &small);
+        assert!(r.diags.iter().any(|d| d.code == Code::DupOutsideWindow), "{}", r.render());
+        // The default 256-word page accepts the same offset.
+        let r = verify(src);
+        assert!(!r.diags.iter().any(|d| d.code == Code::DupOutsideWindow), "{}", r.render());
+    }
+
+    #[test]
+    fn dup_without_result_and_overwrite_warn() {
+        let r = verify("main: dup1 :r3\n trap #2,#0\n");
+        assert!(codes(&r).contains(&"QV0005"), "{}", r.render());
+        let r = verify("main: plus #1,#0 :r0\n dup1 :r0\n trap #2,#0\n");
+        assert!(codes(&r).contains(&"QV0006"), "{}", r.render());
+    }
+
+    #[test]
+    fn missing_terminator_runs_off_end() {
+        let r = verify("main: plus #1,#0 :r0\n");
+        assert!(codes(&r).contains(&"QV0104"), "{}", r.render());
+    }
+
+    #[test]
+    fn falling_into_data_is_flagged() {
+        let r = verify("main: plus #1,#0 :r0\n data: .word 7\n");
+        assert!(codes(&r).contains(&"QV0104"), "{}", r.render());
+    }
+
+    #[test]
+    fn bad_branch_target_is_an_error() {
+        let r = verify("main: bne #-1,#0x1000\n trap #2,#0\n");
+        assert!(codes(&r).contains(&"QV0102"), "{}", r.render());
+    }
+
+    #[test]
+    fn branch_into_immediate_word_is_flagged() {
+        // Target 8 is fetch's trailing immediate word, not an
+        // instruction start — only assembler metadata can tell.
+        let r = verify(
+            "main: bne #-1,#4\n\
+                   fetch #d,#0 :r0\n\
+                   trap #2,#0\n\
+             d:    .word 9\n",
+        );
+        assert!(codes(&r).contains(&"QV0102"), "{}", r.render());
+    }
+
+    #[test]
+    fn join_depth_mismatch_warns() {
+        let r = verify(
+            "main: lt #1,#2 :r0\n\
+                   bne r0,@skip\n\
+                   plus #5,#0 :r1\n\
+             skip: trap #2,#0\n",
+        );
+        assert!(codes(&r).contains(&"QV0004"), "{}", r.render());
+        assert!(!r.has_errors(), "{}", r.render());
+    }
+
+    #[test]
+    fn balanced_branch_paths_do_not_warn() {
+        let r = verify(
+            "main: lt #1,#2 :r0\n\
+                   bne r0,@other\n\
+                   plus #5,#0 :r1\n\
+                   beq #0,@done\n\
+             other: plus #6,#0 :r1\n\
+             done: send r1,#0\n\
+                   trap #2,#0\n",
+        );
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn fork_spawns_child_analysis() {
+        // The child reads r0 undefined — the finding is attributed to
+        // the child context label.
+        let r = verify(
+            "main: trap #0,#child :r0,r1\n\
+                   trap #2,#0\n\
+             child: send r18,r0\n\
+                    trap #2,#0\n",
+        );
+        let d = r.diags.iter().find(|d| d.code == Code::UndefinedWindowRead).expect("child diag");
+        assert_eq!(d.ctx.as_deref(), Some("child"), "{}", r.render());
+    }
+
+    #[test]
+    fn bad_fork_target_is_an_error() {
+        let r = verify("main: trap #0,#0x700 :r0,r1\n trap #2,#0\n");
+        assert!(codes(&r).contains(&"QV0105"), "{}", r.render());
+    }
+
+    #[test]
+    fn ifork_second_destination_is_arity_mismatch() {
+        let r = verify(
+            "main: trap #1,#child :r0,r1\n\
+                   trap #2,#0\n\
+             child: trap #2,#0\n",
+        );
+        assert!(codes(&r).contains(&"QV0007"), "{}", r.render());
+    }
+
+    #[test]
+    fn wait_with_destination_is_arity_mismatch() {
+        let r = verify("main: trap #5,#10 :r0\n trap #2,#0\n");
+        assert!(codes(&r).contains(&"QV0007"), "{}", r.render());
+    }
+
+    #[test]
+    fn pc_write_ends_analysis_with_warning() {
+        let r = verify("main: plus #8,#0 :pc\n trap #2,#0\n");
+        assert!(codes(&r).contains(&"QV0101"), "{}", r.render());
+        assert!(!r.has_errors(), "{}", r.render());
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint() {
+        // A self-consistent loop: each iteration consumes the counter
+        // slot and produces a fresh one, so the mask at the head is
+        // stable across the back edge and the analysis terminates.
+        let r = verify(
+            "main: plus #0,#0 :r0\n\
+             loop: plus+1 r0,#1 :r0\n\
+                   lt r0,#10 :r1\n\
+                   bne r1,@loop\n\
+                   trap #2,#0\n",
+        );
+        // The back edge carries {r0, r1} while loop entry carries {r0}:
+        // the join lint may warn, but nothing is an error.
+        assert!(!r.has_errors(), "{}", r.render());
+    }
+}

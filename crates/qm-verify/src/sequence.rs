@@ -1,0 +1,195 @@
+//! Valid-sequence checking: an [`IndexedProgram`] against its source DFG.
+//!
+//! The thesis (§3.6) calls a linear instruction order *valid* for an
+//! acyclic data-flow graph when it is a topological order under `π_G`
+//! and every actor finds its operands — in operand-slot order — exactly
+//! where its predecessors' result indices put them. This pass replays
+//! the program over an abstract queue of *node identities* (not
+//! values): each consumed slot must hold precisely the predecessor the
+//! DFG names for that operand position, results must land on holes, and
+//! the run must end with the sink's value alone at the front.
+
+use qm_core::dfg::{Dag, NodeId};
+use qm_core::expr::Op;
+use qm_core::IndexedProgram;
+
+use crate::diag::{Code, Diagnostic, Report};
+
+/// Check that `program` is a valid sequence for `dag` linearised as
+/// `order`. Returns a report; [`Report::has_errors`] is the rejection
+/// condition.
+pub fn check_indexed(dag: &Dag<Op>, order: &[NodeId], program: &IndexedProgram) -> Report {
+    let mut report = Report::default();
+    let mut bad = |code: Code, msg: String| report.push(Diagnostic::new(code, msg));
+
+    if order.len() != dag.len() || program.len() != order.len() {
+        bad(
+            Code::BadSequence,
+            format!(
+                "length mismatch: graph has {} node(s), order {}, program {}",
+                dag.len(),
+                order.len(),
+                program.len()
+            ),
+        );
+        return report;
+    }
+    if !dag.respects_partial_order(order) {
+        bad(Code::BadSequence, "instruction order violates the graph partial order π_G".into());
+        return report;
+    }
+    // Structural cross-check via the edge export hook: every labelled
+    // edge (v, w, l) must agree with w's ordered predecessor list.
+    for (v, w, l) in dag.edges() {
+        if dag.preds(w).get(l) != Some(&v) {
+            bad(
+                Code::BadSequence,
+                format!("edge ({v}, {w}, {l}) disagrees with node {w}'s operand list"),
+            );
+            return report;
+        }
+    }
+
+    // Replay over a queue of node identities.
+    let mut queue: Vec<Option<NodeId>> = Vec::new();
+    let mut front = 0usize;
+    for (k, (&v, instr)) in order.iter().zip(&program.instructions).enumerate() {
+        if instr.op != *dag.payload(v) {
+            bad(
+                Code::BadSequence,
+                format!(
+                    "instruction {k} is `{}` but the order names node {v} (`{}`)",
+                    instr.op.mnemonic(),
+                    dag.payload(v).mnemonic()
+                ),
+            );
+            return report;
+        }
+        let arity = dag.payload(v).arity().operands();
+        if dag.preds(v).len() != arity {
+            bad(
+                Code::BadSequence,
+                format!("node {v} has {} inputs, arity needs {arity}", dag.preds(v).len()),
+            );
+            return report;
+        }
+        for (slot, &want) in dag.preds(v).iter().enumerate() {
+            match queue.get(front + slot).copied().flatten() {
+                Some(got) if got == want => {}
+                Some(got) => bad(
+                    Code::OffsetMismatch,
+                    format!(
+                        "instruction {k} (node {v}) operand {slot} should be node {want}'s \
+                         result but queue position {} holds node {got}'s",
+                        front + slot
+                    ),
+                ),
+                None => bad(
+                    Code::OffsetMismatch,
+                    format!(
+                        "instruction {k} (node {v}) operand {slot}: queue position {} is a \
+                         hole — node {want}'s result was never placed there",
+                        front + slot
+                    ),
+                ),
+            }
+        }
+        front += arity;
+        for &off in &instr.result_offsets {
+            let idx = front + off;
+            if queue.len() <= idx {
+                queue.resize(idx + 1, None);
+            }
+            if queue[idx].is_some() {
+                bad(
+                    Code::OffsetMismatch,
+                    format!(
+                        "instruction {k} (node {v}) result offset {off} lands on live queue \
+                         position {idx}"
+                    ),
+                );
+            }
+            queue[idx] = Some(v);
+        }
+    }
+
+    let live: Vec<usize> = (front..queue.len()).filter(|&i| queue[i].is_some()).collect();
+    let sink = dag.node_ids().find(|&v| dag.succs(v).is_empty());
+    match (live.as_slice(), sink) {
+        ([one], Some(s)) if *one == front && queue[*one] == Some(s) => {}
+        (_, None) => bad(Code::BadSequence, "graph has no sink".into()),
+        _ => bad(
+            Code::BadSequence,
+            format!(
+                "program must end with exactly the sink's value at the queue front; {} live \
+                 slot(s) remain",
+                live.len()
+            ),
+        ),
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qm_core::indexed::{table_3_4_program, IndexedInstruction};
+
+    /// The Table 3.4 graph: d ← a/(a+b) + (a+b)·c.
+    fn table_3_4_dag() -> (Dag<Op>, Vec<NodeId>) {
+        let mut g = Dag::new();
+        let a = g.add_node(Op::Fetch("a".into()), &[]);
+        let b = g.add_node(Op::Fetch("b".into()), &[]);
+        let c = g.add_node(Op::Fetch("c".into()), &[]);
+        let sum = g.add_node(Op::Add, &[a, b]);
+        let div = g.add_node(Op::Div, &[a, sum]);
+        let mul = g.add_node(Op::Mul, &[sum, c]);
+        let out = g.add_node(Op::Add, &[div, mul]);
+        (g, vec![a, b, c, sum, div, mul, out])
+    }
+
+    #[test]
+    fn construction_output_is_valid() {
+        let (g, order) = table_3_4_dag();
+        let p = g.to_indexed_program(&order).unwrap();
+        let r = check_indexed(&g, &order, &p);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn thesis_table_3_4_is_valid() {
+        let (g, order) = table_3_4_dag();
+        let r = check_indexed(&g, &order, &table_3_4_program());
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn wrong_offset_is_detected() {
+        let (g, order) = table_3_4_dag();
+        let mut p = g.to_indexed_program(&order).unwrap();
+        // Shift one producer's result: a consumer now reads the wrong
+        // node (or a hole).
+        p.instructions[1].result_offsets[0] += 1;
+        let r = check_indexed(&g, &order, &p);
+        assert!(r.diags.iter().any(|d| d.code == Code::OffsetMismatch), "{}", r.render());
+    }
+
+    #[test]
+    fn wrong_op_is_detected() {
+        let (g, order) = table_3_4_dag();
+        let mut p = g.to_indexed_program(&order).unwrap();
+        p.instructions[3] =
+            IndexedInstruction::new(Op::Sub, p.instructions[3].result_offsets.clone());
+        let r = check_indexed(&g, &order, &p);
+        assert!(r.diags.iter().any(|d| d.code == Code::BadSequence), "{}", r.render());
+    }
+
+    #[test]
+    fn non_topological_order_is_rejected() {
+        let (g, mut order) = table_3_4_dag();
+        order.swap(0, 3); // sum before its operand a
+        let p = g.to_indexed_program(&g.topo_order()).unwrap();
+        let r = check_indexed(&g, &order, &p);
+        assert!(r.has_errors(), "{}", r.render());
+    }
+}

@@ -1,0 +1,63 @@
+//! Kernel trap ABI, mirrored from `qm-sim`'s kernel.
+//!
+//! The verifier sits *below* `qm-sim` in the dependency graph (the
+//! simulator calls the verifier, not the other way around), so the
+//! kernel entry numbers are mirrored here rather than imported. They are
+//! part of the frozen trap ABI the assembler syntax exposes (`trap
+//! #0,#label`), and `qm-sim` pins them with tests.
+
+use qm_isa::Word;
+
+/// Recursive fork: fresh in/out channels into `dst1`/`dst2`.
+pub const RFORK: Word = 0;
+/// Iterative fork: fresh in channel into `dst1`; the child inherits the
+/// caller's out channel. `dst2` is never written.
+pub const IFORK: Word = 1;
+/// Terminate the calling context. No results.
+pub const END: Word = 2;
+/// Halt the whole system. No results.
+pub const HALT: Word = 3;
+/// Read the cycle clock into `dst1`.
+pub const NOW: Word = 4;
+/// Suspend until the clock reaches `arg`. No results.
+pub const WAIT: Word = 5;
+/// Allocate a fresh channel id into `dst1`.
+pub const CHAN: Word = 6;
+/// Recursive fork pinned to the calling PE: like [`RFORK`], fresh
+/// in/out channels into `dst1`/`dst2`.
+pub const RFORK_LOCAL: Word = 7;
+
+/// True for the entries that create a child context from a code address
+/// in `arg`.
+#[must_use]
+pub fn is_fork(entry: Word) -> bool {
+    matches!(entry, RFORK | IFORK | RFORK_LOCAL)
+}
+
+/// How many destination registers the kernel writes for `entry`, or
+/// `None` when the entry number is not part of the ABI.
+#[must_use]
+pub fn result_count(entry: Word) -> Option<u8> {
+    match entry {
+        RFORK | RFORK_LOCAL => Some(2),
+        IFORK | NOW | CHAN => Some(1),
+        END | HALT | WAIT => Some(0),
+        _ => None,
+    }
+}
+
+/// Human-readable entry name (matches `qm-sim`'s kernel naming).
+#[must_use]
+pub fn name(entry: Word) -> &'static str {
+    match entry {
+        RFORK => "rfork",
+        IFORK => "ifork",
+        END => "end",
+        HALT => "halt",
+        NOW => "now",
+        WAIT => "wait",
+        CHAN => "chan",
+        RFORK_LOCAL => "rfork_local",
+        _ => "?",
+    }
+}

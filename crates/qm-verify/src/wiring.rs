@@ -1,0 +1,669 @@
+//! Splice/channel wiring lints over the static fork tree.
+//!
+//! The pass symbolically executes each context *instance* (every fork
+//! site creates one — two `rfork`s of the same label are two instances
+//! with distinct channels) tracking which channel each register and
+//! queue slot holds, then checks the resulting wiring: receives on
+//! channels nobody sends on, channels sent on but never read, channels
+//! received in more than one context, and wait-for cycles that are
+//! statically guaranteed to deadlock.
+//!
+//! The deadlock check replays the per-instance send/receive sequences
+//! with *buffered* sends (strictly more permissive than the machine's
+//! rendezvous semantics) — any context still stuck at that fixpoint is
+//! guaranteed stuck under rendezvous too, so the cycle lint is an
+//! error, never a false alarm.
+//!
+//! **Decidability limit**: the pass is sound only when every instance
+//! is a statically bounded straight line. Branches, runtime-computed
+//! channels or fork targets, and recursive fork chains (how OCCAM
+//! loops compile) make splice wiring undecidable pre-execution; any
+//! such feature switches the whole pass off rather than risk a false
+//! positive (the queue-discipline pass still runs).
+
+use std::collections::{BTreeMap, HashMap};
+
+use qm_isa::asm::Object;
+use qm_isa::isa::{Instruction, Opcode, SrcMode, REG_DUMMY};
+use qm_isa::{UWord, Word};
+
+use crate::diag::{Code, Diagnostic, Report};
+use crate::{names, traps};
+
+const REG_IN_CHAN: u8 = 17;
+const REG_OUT_CHAN: u8 = 18;
+/// Channel id 0 is the host (always ready on both sides).
+const HOST_CHANNEL: Word = 0;
+/// Cap on context instances — beyond this the fork tree is treated as
+/// statically unbounded and the pass switches off.
+const MAX_INSTANCES: usize = 64;
+/// Cap on symbolically executed instructions per instance.
+const MAX_STEPS: usize = 65536;
+
+/// A statically identified channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum ChanId {
+    /// The host channel (sends and receives always succeed).
+    Host,
+    /// A literal nonzero channel number in the program text.
+    Lit(Word),
+    /// The in-channel allocated when instance `n` was forked.
+    In(usize),
+    /// The out-channel allocated when instance `n` was forked
+    /// (`rfork`/`rfork_local` only — `ifork` children inherit).
+    Out(usize),
+    /// A channel allocated by a `chan` trap (allocation order index).
+    Fresh(usize),
+}
+
+impl ChanId {
+    fn describe(self) -> String {
+        match self {
+            ChanId::Host => "the host channel".into(),
+            ChanId::Lit(v) => format!("channel {v}"),
+            ChanId::In(n) => format!("the in-channel of ctx{n}"),
+            ChanId::Out(n) => format!("the out-channel of ctx{n}"),
+            ChanId::Fresh(n) => format!("chan-trap channel #{n}"),
+        }
+    }
+}
+
+/// Abstract value: a known constant, a known channel, or anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sym {
+    Top,
+    Const(Word),
+    Chan(ChanId),
+}
+
+impl Sym {
+    /// Interpret the value as a channel operand.
+    fn as_chan(self) -> Option<ChanId> {
+        match self {
+            Sym::Const(HOST_CHANNEL) => Some(ChanId::Host),
+            Sym::Const(v) => Some(ChanId::Lit(v)),
+            Sym::Chan(c) => Some(c),
+            Sym::Top => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Send,
+    Recv,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    kind: EventKind,
+    chan: ChanId,
+    pc: UWord,
+}
+
+struct Instance {
+    entry: UWord,
+    /// Entry addresses on the fork chain from the root, including this
+    /// instance — the recursion guard.
+    ancestry: Vec<UWord>,
+    /// Initial in/out channel globals.
+    r17: Sym,
+    r18: Sym,
+    events: Vec<Event>,
+}
+
+pub(crate) struct WiringPass<'a> {
+    obj: &'a Object,
+    symbols: &'a [(String, UWord)],
+}
+
+impl<'a> WiringPass<'a> {
+    pub(crate) fn new(obj: &'a Object, symbols: &'a [(String, UWord)]) -> Self {
+        WiringPass { obj, symbols }
+    }
+
+    fn decode_at(&self, addr: UWord) -> Option<(Instruction, UWord)> {
+        let base = self.obj.base();
+        let end = base + self.obj.size_bytes();
+        if addr < base || addr >= end || !(addr - base).is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((addr - base) / 4) as usize;
+        let hi = (idx + 3).min(self.obj.words().len());
+        #[allow(clippy::cast_possible_truncation)]
+        Instruction::decode(&self.obj.words()[idx..hi]).ok().map(|(i, used)| (i, 4 * used as UWord))
+    }
+
+    fn ctx_label(&self, inst: usize, entry: UWord) -> String {
+        names::ctx_label(inst, Some(&names::pc_span(self.symbols, entry)))
+    }
+
+    /// Symbolically execute one instance. Returns `false` when the
+    /// instance (and hence the whole pass) is not statically decidable.
+    #[allow(clippy::too_many_lines)]
+    fn exec_instance(
+        &self,
+        instances: &mut Vec<Instance>,
+        id: usize,
+        fresh_chans: &mut usize,
+    ) -> bool {
+        let mut pc = instances[id].entry;
+        let ancestry = instances[id].ancestry.clone();
+        // r16..r31 (index n-16); r16 (DUMMY) reads as Top.
+        let mut globals = [Sym::Top; 16];
+        globals[(REG_IN_CHAN - 16) as usize] = instances[id].r17;
+        globals[(REG_OUT_CHAN - 16) as usize] = instances[id].r18;
+        let mut slots: BTreeMap<u32, Sym> = BTreeMap::new();
+        let mut last_result = Sym::Top;
+
+        let read = |mode: SrcMode, slots: &BTreeMap<u32, Sym>, globals: &[Sym; 16]| match mode {
+            SrcMode::Window(n) => slots.get(&u32::from(n)).copied().unwrap_or(Sym::Top),
+            SrcMode::Global(n) if n > 16 => globals[(n - 16) as usize],
+            SrcMode::Global(_) => Sym::Top,
+            SrcMode::Imm(v) => Sym::Const(Word::from(v)),
+            SrcMode::ImmWord(v) => Sym::Const(v),
+        };
+
+        for _ in 0..MAX_STEPS {
+            let Some((instr, size)) = self.decode_at(pc) else {
+                return false;
+            };
+            match instr {
+                Instruction::Dup { two, off1, off2, .. } => {
+                    slots.insert(u32::from(off1), last_result);
+                    if two {
+                        slots.insert(u32::from(off2), last_result);
+                    }
+                    pc += size;
+                }
+                Instruction::Basic { op, src1, src2, dst1, dst2, qp_inc, .. } => {
+                    let a = read(src1, &slots, &globals);
+                    let b = read(src2, &slots, &globals);
+                    let advance = |slots: &mut BTreeMap<u32, Sym>| {
+                        if qp_inc > 0 {
+                            let shifted: BTreeMap<u32, Sym> = slots
+                                .iter()
+                                .filter(|(&k, _)| k >= u32::from(qp_inc))
+                                .map(|(&k, &v)| (k - u32::from(qp_inc), v))
+                                .collect();
+                            *slots = shifted;
+                        }
+                    };
+                    let write = |dst: u8,
+                                 v: Sym,
+                                 slots: &mut BTreeMap<u32, Sym>,
+                                 globals: &mut [Sym; 16]|
+                     -> bool {
+                        match dst {
+                            d if d < 16 => {
+                                slots.insert(u32::from(d), v);
+                                true
+                            }
+                            REG_DUMMY => true,
+                            d if d < 29 => {
+                                globals[(d - 16) as usize] = v;
+                                true
+                            }
+                            _ => false, // pom/qp/pc written: undecidable
+                        }
+                    };
+                    match op {
+                        Opcode::Bne | Opcode::Beq => return false,
+                        Opcode::Fret | Opcode::Rett => return false,
+                        Opcode::Trap | Opcode::Ftrap => {
+                            advance(&mut slots);
+                            let Sym::Const(entry_no) = a else { return false };
+                            match entry_no {
+                                traps::END | traps::HALT => return true,
+                                traps::NOW => {
+                                    if !write(dst1, Sym::Top, &mut slots, &mut globals) {
+                                        return false;
+                                    }
+                                    last_result = Sym::Top;
+                                }
+                                traps::WAIT => {}
+                                traps::CHAN => {
+                                    let c = Sym::Chan(ChanId::Fresh(*fresh_chans));
+                                    *fresh_chans += 1;
+                                    if !write(dst1, c, &mut slots, &mut globals) {
+                                        return false;
+                                    }
+                                    last_result = c;
+                                }
+                                e if traps::is_fork(e) => {
+                                    let Sym::Const(target) = b else { return false };
+                                    #[allow(clippy::cast_sign_loss)]
+                                    let target = target as UWord;
+                                    if ancestry.contains(&target)
+                                        || instances.len() >= MAX_INSTANCES
+                                    {
+                                        // Recursive fork chain (OCCAM
+                                        // loop) or unbounded tree.
+                                        return false;
+                                    }
+                                    let child = instances.len();
+                                    let c_in = Sym::Chan(ChanId::In(child));
+                                    let (c_out, child_out) = if e == traps::IFORK {
+                                        (Sym::Top, globals[(REG_OUT_CHAN - 16) as usize])
+                                    } else {
+                                        let c = Sym::Chan(ChanId::Out(child));
+                                        (c, c)
+                                    };
+                                    let mut child_ancestry = ancestry.clone();
+                                    child_ancestry.push(target);
+                                    instances.push(Instance {
+                                        entry: target,
+                                        ancestry: child_ancestry,
+                                        r17: c_in,
+                                        r18: child_out,
+                                        events: Vec::new(),
+                                    });
+                                    if !write(dst1, c_in, &mut slots, &mut globals) {
+                                        return false;
+                                    }
+                                    if e != traps::IFORK
+                                        && !write(dst2, c_out, &mut slots, &mut globals)
+                                    {
+                                        return false;
+                                    }
+                                    last_result = c_in;
+                                }
+                                _ => return false, // unknown kernel entry
+                            }
+                            pc += size;
+                        }
+                        Opcode::Send | Opcode::Recv => {
+                            advance(&mut slots);
+                            let Some(chan) = a.as_chan() else { return false };
+                            let kind =
+                                if op == Opcode::Send { EventKind::Send } else { EventKind::Recv };
+                            instances[id].events.push(Event { kind, chan, pc });
+                            if op == Opcode::Recv {
+                                last_result = Sym::Top;
+                                if !write(dst1, Sym::Top, &mut slots, &mut globals)
+                                    || !write(dst2, Sym::Top, &mut slots, &mut globals)
+                                {
+                                    return false;
+                                }
+                            }
+                            pc += size;
+                        }
+                        _ => {
+                            // ALU / compare / memory.
+                            advance(&mut slots);
+                            let produces = !matches!(op, Opcode::Store | Opcode::Storb);
+                            if produces {
+                                // Fold enough arithmetic to track channel
+                                // values through the move idiom
+                                // (`plus c,#0`) and constant math.
+                                let v = match (op, a, b) {
+                                    (_, Sym::Const(x), Sym::Const(y)) => {
+                                        op.alu(x, y).map_or(Sym::Top, Sym::Const)
+                                    }
+                                    (Opcode::Plus | Opcode::Or | Opcode::Xor, s, Sym::Const(0))
+                                    | (Opcode::Plus | Opcode::Or | Opcode::Xor, Sym::Const(0), s) => {
+                                        s
+                                    }
+                                    _ => Sym::Top,
+                                };
+                                if !write(dst1, v, &mut slots, &mut globals)
+                                    || !write(dst2, v, &mut slots, &mut globals)
+                                {
+                                    return false;
+                                }
+                                last_result = v;
+                            }
+                            pc += size;
+                        }
+                    }
+                }
+            }
+        }
+        false // step cap exceeded
+    }
+
+    pub(crate) fn run(&self, entry: UWord, report: &mut Report) {
+        let mut instances = vec![Instance {
+            entry,
+            ancestry: vec![entry],
+            r17: Sym::Chan(ChanId::Host),
+            r18: Sym::Chan(ChanId::Host),
+            events: Vec::new(),
+        }];
+        let mut fresh = 0usize;
+        let mut i = 0;
+        while i < instances.len() {
+            if !self.exec_instance(&mut instances, i, &mut fresh) {
+                return; // not statically decidable: no wiring lints
+            }
+            i += 1;
+        }
+
+        // Endpoint lints.
+        let mut senders: HashMap<ChanId, Vec<(usize, UWord)>> = HashMap::new();
+        let mut receivers: HashMap<ChanId, Vec<(usize, UWord)>> = HashMap::new();
+        for (id, inst) in instances.iter().enumerate() {
+            for ev in &inst.events {
+                if ev.chan == ChanId::Host {
+                    continue;
+                }
+                match ev.kind {
+                    EventKind::Send => senders.entry(ev.chan).or_default().push((id, ev.pc)),
+                    EventKind::Recv => receivers.entry(ev.chan).or_default().push((id, ev.pc)),
+                }
+            }
+        }
+        for (&chan, rs) in &receivers {
+            if !senders.contains_key(&chan) {
+                let &(id, pc) = &rs[0];
+                report.push(
+                    Diagnostic::new(
+                        Code::DanglingChannel,
+                        format!("recv on {}, which no context ever sends on", chan.describe()),
+                    )
+                    .in_ctx(self.ctx_label(id, instances[id].entry))
+                    .at_pc(pc)
+                    .at_line(self.obj.line_for(pc)),
+                );
+            }
+            let mut ctxs: Vec<usize> = rs.iter().map(|&(id, _)| id).collect();
+            ctxs.sort_unstable();
+            ctxs.dedup();
+            if ctxs.len() > 1 {
+                let names: Vec<String> =
+                    ctxs.iter().map(|&c| self.ctx_label(c, instances[c].entry)).collect();
+                report.push(
+                    Diagnostic::new(
+                        Code::DoublyConnectedChannel,
+                        format!("{} is received in {} contexts", chan.describe(), ctxs.len()),
+                    )
+                    .in_ctx(self.ctx_label(ctxs[0], instances[ctxs[0]].entry))
+                    .at_pc(rs[0].1)
+                    .at_line(self.obj.line_for(rs[0].1))
+                    .note(format!("receivers: {}", names.join(", "))),
+                );
+            }
+        }
+        for (&chan, ss) in &senders {
+            if !receivers.contains_key(&chan) {
+                let &(id, pc) = &ss[0];
+                report.push(
+                    Diagnostic::new(
+                        Code::ChannelNeverRead,
+                        format!("send on {}, which no context ever receives from", chan.describe()),
+                    )
+                    .in_ctx(self.ctx_label(id, instances[id].entry))
+                    .at_pc(pc)
+                    .at_line(self.obj.line_for(pc)),
+                );
+            }
+        }
+
+        self.deadlock_lint(&instances, report);
+    }
+
+    /// Replay the send/receive sequences with buffered sends; anything
+    /// stuck at the fixpoint is a guaranteed runtime deadlock.
+    fn deadlock_lint(&self, instances: &[Instance], report: &mut Report) {
+        let n = instances.len();
+        let mut idx = vec![0usize; n];
+        let mut buf: HashMap<ChanId, usize> = HashMap::new();
+        loop {
+            let mut progress = false;
+            for (i, inst) in instances.iter().enumerate() {
+                while idx[i] < inst.events.len() {
+                    let ev = inst.events[idx[i]];
+                    let ok = match (ev.kind, ev.chan) {
+                        (_, ChanId::Host) => true,
+                        (EventKind::Send, c) => {
+                            *buf.entry(c).or_insert(0) += 1;
+                            true
+                        }
+                        (EventKind::Recv, c) => match buf.get_mut(&c) {
+                            Some(k) if *k > 0 => {
+                                *k -= 1;
+                                true
+                            }
+                            _ => false,
+                        },
+                    };
+                    if ok {
+                        idx[i] += 1;
+                        progress = true;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        let stuck: Vec<usize> = (0..n).filter(|&i| idx[i] < instances[i].events.len()).collect();
+        if stuck.is_empty() {
+            return;
+        }
+        // Wait-for edges: i → j when j still has a future send on the
+        // channel i is stuck receiving on.
+        let waits_on = |i: usize| instances[i].events[idx[i]].chan;
+        let mut edges: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &i in &stuck {
+            let c = waits_on(i);
+            let mut future_senders: Vec<usize> = Vec::new();
+            for &j in &stuck {
+                let has_future_send = instances[j].events[idx[j]..]
+                    .iter()
+                    .any(|e| e.kind == EventKind::Send && e.chan == c);
+                if has_future_send {
+                    future_senders.push(j);
+                }
+            }
+            if future_senders.is_empty() {
+                let pc = instances[i].events[idx[i]].pc;
+                report.push(
+                    Diagnostic::new(
+                        Code::DanglingChannel,
+                        format!(
+                            "recv on {} can never be satisfied: no remaining sender",
+                            waits_on(i).describe()
+                        ),
+                    )
+                    .in_ctx(self.ctx_label(i, instances[i].entry))
+                    .at_pc(pc)
+                    .at_line(self.obj.line_for(pc)),
+                );
+            }
+            edges.insert(i, future_senders);
+        }
+
+        // Any cycle in the wait-for graph is a guaranteed deadlock.
+        if let Some(cycle) = find_cycle(&stuck, &edges) {
+            let mut d = Diagnostic::new(
+                Code::StaticDeadlock,
+                format!("wait-for cycle: {} context(s) statically deadlocked", cycle.len()),
+            )
+            .in_ctx(self.ctx_label(cycle[0], instances[cycle[0]].entry))
+            .at_pc(instances[cycle[0]].events[idx[cycle[0]]].pc)
+            .at_line(self.obj.line_for(instances[cycle[0]].events[idx[cycle[0]]].pc));
+            for (k, &i) in cycle.iter().enumerate() {
+                let j = cycle[(k + 1) % cycle.len()];
+                d = d.note(names::wait_line(
+                    &self.ctx_label(i, instances[i].entry),
+                    &self.ctx_label(j, instances[j].entry),
+                    &format!("recv on {}", waits_on(i).describe()),
+                ));
+            }
+            report.push(d);
+        }
+    }
+}
+
+/// First cycle found in the wait-for graph, as a node list.
+fn find_cycle(nodes: &[usize], edges: &HashMap<usize, Vec<usize>>) -> Option<Vec<usize>> {
+    // Iterative DFS with a path stack; graphs here are tiny.
+    for &start in nodes {
+        let mut path: Vec<usize> = vec![start];
+        let mut iters: Vec<usize> = vec![0];
+        while let (Some(&node), Some(it)) = (path.last(), iters.last_mut()) {
+            let succs = edges.get(&node).map_or(&[][..], Vec::as_slice);
+            if *it >= succs.len() {
+                path.pop();
+                iters.pop();
+                continue;
+            }
+            let next = succs[*it];
+            *it += 1;
+            if let Some(pos) = path.iter().position(|&p| p == next) {
+                return Some(path[pos..].to_vec());
+            }
+            if path.len() < nodes.len() {
+                path.push(next);
+                iters.push(0);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::diag::Code;
+    use crate::{verify_object, VerifyOptions};
+    use qm_isa::asm::assemble;
+
+    fn verify(src: &str) -> crate::Report {
+        verify_object(&assemble(src).unwrap(), &VerifyOptions::default())
+    }
+
+    #[test]
+    fn crossed_rendezvous_is_a_static_deadlock() {
+        // The runtime fixture from tests/deadlock_report.rs: parent
+        // receives from the child's *out* channel before sending the
+        // value the child is waiting for on its *in* channel.
+        let r = verify(
+            "main:   trap #0,#peer :r0,r1\n\
+                     recv r1,#0 :r2\n\
+                     send r0,#1\n\
+                     trap #2,#0\n\
+             peer:   recv r17,#0 :r0\n\
+                     send+1 r18,r0\n\
+                     trap #2,#0\n",
+        );
+        let d = r.diags.iter().find(|d| d.code == Code::StaticDeadlock).expect("deadlock lint");
+        assert!(d.notes.iter().any(|l| l.contains("waits for")), "{}", r.render());
+        assert!(
+            d.notes.iter().any(|l| l.contains("ctx0 (main)")),
+            "wait lines use canonical labels: {}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn pipelined_fork_is_clean() {
+        let r = verify(
+            "main:   trap #0,#stage :r0,r1\n\
+                     send r0,#21\n\
+                     recv r1,#0 :r2\n\
+                     send+1 #0,r2\n\
+                     trap #2,#0\n\
+             stage:  recv r17,#0 :r0\n\
+                     mul+1 r0,#2 :r0\n\
+                     send+1 r18,r0\n\
+                     trap #2,#0\n",
+        );
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn chan_trap_channel_without_sender_is_dangling() {
+        let r = verify(
+            "main: trap #6,#0 :r19\n\
+                   recv r19,#0 :r0\n\
+                   trap #2,#0\n",
+        );
+        assert!(r.diags.iter().any(|d| d.code == Code::DanglingChannel), "{}", r.render());
+    }
+
+    #[test]
+    fn send_without_receiver_warns() {
+        let r = verify(
+            "main: trap #6,#0 :r19\n\
+                   send r19,#7\n\
+                   trap #2,#0\n",
+        );
+        assert!(r.diags.iter().any(|d| d.code == Code::ChannelNeverRead), "{}", r.render());
+        assert!(!r.has_errors(), "{}", r.render());
+    }
+
+    #[test]
+    fn branchy_programs_suppress_wiring_lints() {
+        // The recv on a chan-trap channel would be dangling, but the
+        // branch makes the splice undecidable — no wiring lint, only
+        // queue-pass findings.
+        let r = verify(
+            "main: trap #6,#0 :r19\n\
+                   lt #1,#2 :r0\n\
+                   bne r0,@skip\n\
+             skip: recv r19,#0 :r1\n\
+                   trap #2,#0\n",
+        );
+        assert!(!r.diags.iter().any(|d| d.code == Code::DanglingChannel), "{}", r.render());
+    }
+
+    #[test]
+    fn ifork_child_inherits_out_channel() {
+        // parent → ifork child; the child sends on the inherited host
+        // out-channel: nothing dangles.
+        let r = verify(
+            "main:  trap #1,#cont :r0\n\
+                    send r0,#5\n\
+                    trap #2,#0\n\
+             cont:  recv r17,#0 :r0\n\
+                    send+1 r18,r0\n\
+                    trap #2,#0\n",
+        );
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn doubly_connected_channel_warns() {
+        // Both children receive on the same chan-trap channel.
+        let r = verify(
+            "main: trap #6,#0 :r19\n\
+                   trap #0,#kid :r0,r1\n\
+                   trap #0,#kid :r2,r3\n\
+                   send r19,#1\n\
+                   send r19,#2\n\
+                   send r0,#0\n\
+                   send r2,#0\n\
+                   recv r1,#0 :r4\n\
+                   recv+1 r3,#0 :r4\n\
+                   trap #2,#0\n\
+             kid:  trap #6,#0 :r19\n\
+                   recv r17,#0 :r0\n\
+                   send+1 r18,r0\n\
+                   trap #2,#0\n",
+        );
+        // NOTE: each kid's r19 chan-trap overwrites its own global copy;
+        // the shared channel is main's r19, which the kids cannot see —
+        // so this program instead dangles. Keep it simple: check the
+        // multi-receiver lint directly with literal channels.
+        let _ = r;
+        let r = verify(
+            "main: trap #0,#kid :r0,r1\n\
+                   trap #0,#kid :r2,r3\n\
+                   send #9,#1\n\
+                   send r0,#0\n\
+                   send r2,#0\n\
+                   recv r1,#0 :r4\n\
+                   recv+1 r3,#0 :r4\n\
+                   trap #2,#0\n\
+             kid:  recv #9,#0 :r0\n\
+                   recv+1 r17,#0 :r1\n\
+                   send+1 r18,r0\n\
+                   trap #2,#0\n",
+        );
+        assert!(r.diags.iter().any(|d| d.code == Code::DoublyConnectedChannel), "{}", r.render());
+    }
+}

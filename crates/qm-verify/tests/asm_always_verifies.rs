@@ -1,0 +1,191 @@
+//! Pipeline property: every program produced by the repo's own
+//! scheduler + §3.6 construction + reference lowering + assembler
+//! passes the static verifier under `Strict` (no findings at all), and
+//! its instruction order is a valid sequence for the source DFG.
+//!
+//! The generator builds random acyclic data-flow graphs (folded to a
+//! single sink), linearises them with `schedule_by` under random
+//! per-operator priorities, and drives the full chain:
+//!
+//! `Dag` → `schedule_by` → `to_indexed_program` → `lower` → `assemble`
+//! → `verify_object` / `sequence::check_indexed`.
+
+use proptest::prelude::*;
+
+use qm_core::dfg::Dag;
+use qm_core::expr::Op;
+use qm_core::indexed::table_3_4_program;
+use qm_core::Word;
+use qm_verify::lower::{lower, lower_and_assemble};
+use qm_verify::sequence::check_indexed;
+use qm_verify::{verify_object, VerifyOptions};
+
+/// Raw node spec: (kind selector, literal byte, two input selectors).
+type Spec = (u8, i8, usize, usize);
+
+const FETCH_NAMES: [&str; 3] = ["a", "b", "c"];
+
+/// Build a DAG from raw specs; inputs always point at earlier nodes so
+/// the graph is acyclic by construction, and trailing `Add` nodes fold
+/// every sink into one (the shape `to_indexed_program` requires).
+fn build_dag(specs: &[Spec]) -> Dag<Op> {
+    let mut dag: Dag<Op> = Dag::new();
+    for &(kind, lit, x, y) in specs {
+        let n = dag.len();
+        match kind {
+            0 => {
+                dag.add_node(Op::Literal(Word::from(lit)), &[]);
+            }
+            1 => {
+                let name = FETCH_NAMES[lit.unsigned_abs() as usize % FETCH_NAMES.len()];
+                dag.add_node(Op::Fetch(name.to_string()), &[]);
+            }
+            2 if n > 0 => {
+                let op = if lit % 2 == 0 { Op::Neg } else { Op::Not };
+                dag.add_node(op, &[x % n]);
+            }
+            _ if dag.len() > 1 => {
+                let op = match lit.rem_euclid(3) {
+                    0 => Op::Add,
+                    1 => Op::Sub,
+                    _ => Op::Mul,
+                };
+                let n = dag.len();
+                dag.add_node(op, &[x % n, y % n]);
+            }
+            _ => {
+                dag.add_node(Op::Literal(1), &[]);
+            }
+        }
+    }
+    loop {
+        let sinks: Vec<usize> = dag.node_ids().filter(|&v| dag.succs(v).is_empty()).collect();
+        if sinks.len() <= 1 {
+            break;
+        }
+        dag.add_node(Op::Add, &[sinks[0], sinks[1]]);
+    }
+    dag
+}
+
+/// Priority class of an operator, indexing the random weight table so
+/// different weight draws explore different valid linearisations.
+fn op_class(op: &Op) -> usize {
+    match op {
+        Op::Literal(_) => 0,
+        Op::Fetch(_) => 1,
+        Op::Neg => 2,
+        Op::Not => 3,
+        Op::Add => 4,
+        Op::Sub => 5,
+        Op::Mul => 6,
+        Op::Div => 7,
+    }
+}
+
+fn env(name: &str) -> Word {
+    match name {
+        "a" => 3,
+        "b" => -2,
+        _ => 7,
+    }
+}
+
+/// Run the whole pipeline for one DAG + weight table; panics (via
+/// assert) on any violation. Shared by the property and the pinned
+/// regression cases.
+fn check_pipeline(dag: &Dag<Op>, weights: &[i32; 8]) {
+    let order = dag.schedule_by(|op| weights[op_class(op)]);
+    assert!(dag.respects_partial_order(&order), "schedule_by must respect pi_G");
+
+    let program = dag.to_indexed_program(&order).expect("single-sink DAG lowers");
+    let seq = check_indexed(dag, &order, &program);
+    assert!(!seq.has_errors(), "valid-sequence check: {}", seq.render());
+
+    // The indexed program computes the same value the graph does.
+    let want = dag.evaluate(&env).expect("no division in generated ops");
+    let got = program.evaluate(&env).expect("indexed evaluation succeeds");
+    assert_eq!(want, got, "indexed program computes the graph's value\n{program}");
+
+    let src = lower(&program).expect("offsets fit the dup range");
+    let obj = lower_and_assemble(&program).expect("lowered program assembles");
+    let report = verify_object(&obj, &VerifyOptions::default());
+    assert!(report.is_clean(), "Strict verification of:\n{src}\n{}", report.render());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn scheduler_assembler_pipeline_always_verifies(
+        specs in prop::collection::vec(
+            (0u8..4, any::<i8>(), any::<usize>(), any::<usize>()),
+            1..32,
+        ),
+        raw_weights in prop::collection::vec(0i32..16, 8),
+    ) {
+        let dag = build_dag(&specs);
+        let mut weights = [0i32; 8];
+        weights.copy_from_slice(&raw_weights);
+        check_pipeline(&dag, &weights);
+    }
+}
+
+// Pinned seeds: deterministic shapes that once exercised interesting
+// corners (wide fanout through dup chains, unary chains, shared
+// subexpressions), kept as plain tests so they run on every build.
+
+#[test]
+fn pinned_table_3_4_program_lowers_and_verifies() {
+    let p = table_3_4_program();
+    let obj = lower_and_assemble(&p).expect("assembles");
+    let report = verify_object(&obj, &VerifyOptions::default());
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn pinned_shared_subexpression_fanout() {
+    // (a+b) used by three consumers — fanout forces a dup chain.
+    let mut dag: Dag<Op> = Dag::new();
+    let a = dag.add_node(Op::Fetch("a".into()), &[]);
+    let b = dag.add_node(Op::Fetch("b".into()), &[]);
+    let s = dag.add_node(Op::Add, &[a, b]);
+    let n = dag.add_node(Op::Neg, &[s]);
+    let m = dag.add_node(Op::Mul, &[s, s]);
+    let t = dag.add_node(Op::Add, &[n, m]);
+    let _ = dag.add_node(Op::Sub, &[t, s]);
+    for weights in [[0; 8], [7, 3, 1, 0, 5, 2, 6, 4], [1, 2, 3, 4, 5, 6, 7, 8]] {
+        check_pipeline(&dag, &weights);
+    }
+}
+
+#[test]
+fn pinned_unary_tower() {
+    // A long Neg/Not tower: every instruction consumes the previous
+    // result immediately (offset 0 throughout).
+    let mut dag: Dag<Op> = Dag::new();
+    let mut v = dag.add_node(Op::Literal(5), &[]);
+    for i in 0..12 {
+        let op = if i % 2 == 0 { Op::Neg } else { Op::Not };
+        v = dag.add_node(op, &[v]);
+    }
+    check_pipeline(&dag, &[0; 8]);
+}
+
+#[test]
+fn pinned_two_independent_chains() {
+    // Two chains whose interleaving depends on the weight table; both
+    // interleavings must verify.
+    let mut dag: Dag<Op> = Dag::new();
+    let mut l = dag.add_node(Op::Literal(2), &[]);
+    for _ in 0..4 {
+        l = dag.add_node(Op::Neg, &[l]);
+    }
+    let mut r = dag.add_node(Op::Fetch("c".into()), &[]);
+    for _ in 0..4 {
+        r = dag.add_node(Op::Not, &[r]);
+    }
+    let _ = dag.add_node(Op::Sub, &[l, r]);
+    check_pipeline(&dag, &[0, 0, 9, 1, 0, 0, 0, 0]);
+    check_pipeline(&dag, &[0, 9, 1, 9, 0, 0, 0, 0]);
+}

@@ -1,0 +1,5 @@
+; Dangling channel: the chan trap allocates a fresh channel that this
+; single context then receives on — no context can ever send (QV0201).
+main:   trap #6,#0 :r19
+        recv r19,#0 :r0
+        trap #2,#0

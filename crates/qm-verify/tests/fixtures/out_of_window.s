@@ -1,0 +1,6 @@
+; Out-of-window dup: offset 100 is legal under the default 256-word
+; queue page but reaches outside a 64-word page (QV0003 when verified
+; with --page-words 64).
+main:   plus #1,#0 :r0
+        dup1 :r100
+        trap #2,#0

@@ -1,0 +1,5 @@
+; Queue underflow: the +2 advance consumes two queue slots that no
+; instruction ever produced (QV0001).
+main:   plus+2 #1,#2 :r0
+        send+1 #0,r0
+        trap #2,#0

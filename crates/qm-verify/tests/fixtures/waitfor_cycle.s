@@ -1,0 +1,10 @@
+; Crossed rendezvous: main receives the peer's result before sending
+; the value the peer is waiting for. Even with buffered sends the two
+; contexts wait on each other forever (QV0202).
+main:   trap #0,#peer :r0,r1
+        recv r1,#0 :r2
+        send r0,#1
+        trap #2,#0
+peer:   recv r17,#0 :r0
+        send+1 r18,r0
+        trap #2,#0

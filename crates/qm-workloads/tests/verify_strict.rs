@@ -1,0 +1,70 @@
+//! Every bundled workload's compiled object code passes the static
+//! verifier under `Strict` — no errors *and* no warnings. This is the
+//! in-tree twin of the `verify_workloads` CI gate: the OCCAM compiler's
+//! output stays inside the verifier's abstract queue-state and
+//! channel-wiring models.
+
+use qm_verify::{verify_object, VerifyOptions};
+use qm_workloads::{cholesky, congruence, fft, matmul, reduction, Workload};
+
+fn assert_strict_clean(w: &Workload) {
+    let compiled = qm_occam::compile(&w.source, &qm_occam::Options::default())
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+    let report = verify_object(&compiled.object, &VerifyOptions::default());
+    assert!(
+        report.is_clean(),
+        "{} does not verify Strict-clean ({}):\n{}",
+        w.name,
+        report.summary(),
+        report.render()
+    );
+}
+
+#[test]
+fn matmul_verifies_strict() {
+    assert_strict_clean(&matmul(2));
+    assert_strict_clean(&matmul(4));
+}
+
+#[test]
+fn fft_verifies_strict() {
+    assert_strict_clean(&fft(4));
+    assert_strict_clean(&fft(8));
+}
+
+#[test]
+fn cholesky_verifies_strict() {
+    assert_strict_clean(&cholesky(3));
+    assert_strict_clean(&cholesky(4));
+}
+
+#[test]
+fn congruence_verifies_strict() {
+    assert_strict_clean(&congruence(3));
+    assert_strict_clean(&congruence(4));
+}
+
+#[test]
+fn reduction_verifies_strict() {
+    assert_strict_clean(&reduction(4));
+    assert_strict_clean(&reduction(8));
+}
+
+#[test]
+fn workloads_build_strict_through_the_simulator() {
+    // The builder integration: `.verify(Strict)` accepts a compiled
+    // workload object (verification runs at build, before any spawn).
+    let w = matmul(2);
+    let compiled = qm_occam::compile(&w.source, &qm_occam::Options::default()).unwrap();
+    let sys = qm_sim::Simulation::builder()
+        .pes(2)
+        .object(&compiled.object)
+        .verify(qm_sim::VerifyLevel::Strict)
+        .no_spawn()
+        .build();
+    assert!(
+        sys.is_ok(),
+        "strict build rejected a clean workload: {}",
+        sys.err().map(|e| e.to_string()).unwrap_or_default()
+    );
+}

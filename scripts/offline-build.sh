@@ -5,7 +5,7 @@
 # with bare rustc. Integration tests that need proptest are skipped;
 # the deterministic ones under tests/ are built with --test.
 #
-# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults|--snapshot]
+# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults|--snapshot|--verify]
 #
 # --clippy rebuilds everything with clippy-driver (a drop-in rustc) and
 # -Dwarnings, mirroring the CI `cargo clippy -- -D warnings` gate without
@@ -20,6 +20,10 @@
 # --snapshot builds everything and then runs the snapshot round-trip and
 # divergence-bisection smoke check (`replay --smoke`), mirroring the CI
 # snapshot-smoke job.
+#
+# --verify builds everything and then statically verifies every bundled
+# workload (`verify_workloads --strict`), mirroring the CI
+# verify-workloads job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT=target/offline
@@ -38,8 +42,9 @@ L="-L $OUT"
 if [[ "${1:-}" == "--doc" ]]; then
     # Build rlibs with plain rustc first so rustdoc can resolve externs.
     "$0" >/dev/null
-    EXTERNS="--extern qm_core=$OUT/libqm_core.rlib --extern qm_isa=$OUT/libqm_isa.rlib --extern qm_sim=$OUT/libqm_sim.rlib --extern qm_occam=$OUT/libqm_occam.rlib --extern qm_workloads=$OUT/libqm_workloads.rlib"
+    EXTERNS="--extern qm_core=$OUT/libqm_core.rlib --extern qm_isa=$OUT/libqm_isa.rlib --extern qm_verify=$OUT/libqm_verify.rlib --extern qm_sim=$OUT/libqm_sim.rlib --extern qm_occam=$OUT/libqm_occam.rlib --extern qm_workloads=$OUT/libqm_workloads.rlib"
     for lib in crates/qm-core/src/lib.rs crates/qm-isa/src/lib.rs \
+               crates/qm-verify/src/lib.rs \
                crates/qm-sim/src/lib.rs crates/qm-occam/src/lib.rs \
                crates/qm-workloads/src/lib.rs crates/qm-bench/src/lib.rs \
                src/lib.rs; do
@@ -52,12 +57,14 @@ if [[ "${1:-}" == "--doc" ]]; then
 fi
 $RUSTC --crate-type lib --crate-name qm_core crates/qm-core/src/lib.rs -o "$OUT/libqm_core.rlib"
 $RUSTC --crate-type lib --crate-name qm_isa $L --extern qm_core="$OUT/libqm_core.rlib" crates/qm-isa/src/lib.rs -o "$OUT/libqm_isa.rlib"
-$RUSTC --crate-type lib --crate-name qm_sim $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" crates/qm-sim/src/lib.rs -o "$OUT/libqm_sim.rlib"
 $RUSTC --crate-type lib --crate-name qm_occam $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" crates/qm-occam/src/lib.rs -o "$OUT/libqm_occam.rlib"
+$RUSTC --crate-type lib --crate-name qm_verify $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" crates/qm-verify/src/lib.rs -o "$OUT/libqm_verify.rlib"
+$RUSTC --crate-type lib --crate-name qm_sim $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" --extern qm_verify="$OUT/libqm_verify.rlib" crates/qm-sim/src/lib.rs -o "$OUT/libqm_sim.rlib"
 $RUSTC --crate-type lib --crate-name qm_workloads $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" --extern qm_sim="$OUT/libqm_sim.rlib" --extern qm_occam="$OUT/libqm_occam.rlib" crates/qm-workloads/src/lib.rs -o "$OUT/libqm_workloads.rlib"
-EXTERNS="--extern qm_core=$OUT/libqm_core.rlib --extern qm_isa=$OUT/libqm_isa.rlib --extern qm_sim=$OUT/libqm_sim.rlib --extern qm_occam=$OUT/libqm_occam.rlib --extern qm_workloads=$OUT/libqm_workloads.rlib"
+EXTERNS="--extern qm_core=$OUT/libqm_core.rlib --extern qm_isa=$OUT/libqm_isa.rlib --extern qm_verify=$OUT/libqm_verify.rlib --extern qm_sim=$OUT/libqm_sim.rlib --extern qm_occam=$OUT/libqm_occam.rlib --extern qm_workloads=$OUT/libqm_workloads.rlib"
 $RUSTC --crate-type lib --crate-name queue_machine $L $EXTERNS src/lib.rs -o "$OUT/libqueue_machine.rlib"
 $RUSTC --crate-type lib --crate-name qm_bench $L $EXTERNS crates/qm-bench/src/lib.rs -o "$OUT/libqm_bench.rlib"
+$RUSTC --crate-name qm_verify_cli $L $EXTERNS crates/qm-verify/src/bin/qm-verify.rs -o "$OUT/qm-verify"
 for bin in crates/qm-bench/src/bin/*.rs; do
     name=$(basename "$bin" .rs)
     $RUSTC --crate-name "$name" $L $EXTERNS --extern qm_bench="$OUT/libqm_bench.rlib" "$bin" -o "$OUT/$name"
@@ -67,6 +74,7 @@ done
 if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
     ALLEXT="$EXTERNS --extern qm_bench=$OUT/libqm_bench.rlib --extern queue_machine=$OUT/libqueue_machine.rlib"
     for lib in crates/qm-core/src/lib.rs crates/qm-isa/src/lib.rs \
+               crates/qm-verify/src/lib.rs \
                crates/qm-sim/src/lib.rs crates/qm-occam/src/lib.rs \
                crates/qm-workloads/src/lib.rs crates/qm-bench/src/lib.rs; do
         name=$(echo "$lib" | sed -E 's#crates/(qm-[a-z]+)/src/lib.rs#\1#;s/-/_/')
@@ -85,6 +93,8 @@ if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
              crates/qm-bench/tests/sweep_determinism.rs \
              crates/qm-bench/tests/fault_sweep_determinism.rs \
              crates/qm-bench/tests/resumable_sweep.rs \
+             crates/qm-verify/tests/negative_fixtures.rs \
+             crates/qm-workloads/tests/verify_strict.rs \
              crates/qm-isa/tests/isa_doc.rs; do
         [[ -f "$t" ]] || continue
         name=$(basename "$t" .rs)
@@ -106,4 +116,9 @@ fi
 if [[ "${1:-}" == "--snapshot" ]]; then
     "$OUT/replay" --smoke
     echo "offline snapshot smoke OK"
+fi
+
+if [[ "${1:-}" == "--verify" ]]; then
+    "$OUT/verify_workloads" --strict
+    echo "offline verify OK"
 fi

@@ -8,6 +8,8 @@
 //! * [`occam`] — the OCCAM compiler (Chapter 4).
 //! * [`isa`] — the processing-element ISA, assembler and emulator
 //!   (Chapter 5).
+//! * [`verify`] — the static queue-discipline verifier and lint pass
+//!   over assembled object code.
 //! * [`sim`] — the multiprocessor simulator and kernel (Chapters 5–6).
 //! * [`workloads`] — the four thesis benchmark programs (Chapter 6).
 //!
@@ -27,4 +29,5 @@ pub use qm_core as core;
 pub use qm_isa as isa;
 pub use qm_occam as occam;
 pub use qm_sim as sim;
+pub use qm_verify as verify;
 pub use qm_workloads as workloads;
