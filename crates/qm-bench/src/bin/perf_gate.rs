@@ -1,0 +1,136 @@
+//! Continuous performance gate over `BENCH_baseline.json`.
+//!
+//! ```text
+//! perf_gate                      gate against BENCH_baseline.json (exit 1 on fail)
+//! perf_gate --refresh            re-measure and rewrite the baseline
+//! perf_gate --smoke              single-run measurement, cycles pinned, timing informative
+//! perf_gate --baseline <path>    use a different baseline file
+//! perf_gate --tolerance <pct>    override the +5% default
+//! ```
+//!
+//! Measurements are calibration-normalised (see `qm_bench::perf`), so a
+//! gate run on a slower machine than the one that produced the baseline
+//! still passes — only a change in simulator work per cycle fails it.
+//! `--smoke` is for environments too noisy to enforce timing (it still
+//! hard-fails on cycle-count drift, which is machine-independent).
+
+use std::process::ExitCode;
+
+use qm_bench::perf::{gate, measure, merge_min, PerfBaseline, RUNS, TOLERANCE};
+
+/// Re-measurement passes granted to points that fail on timing alone.
+const RETRIES: usize = 2;
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("perf_gate: {msg}");
+    eprintln!("usage: perf_gate [--refresh | --smoke] [--baseline <path>] [--tolerance <pct>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut refresh = false;
+    let mut smoke = false;
+    let mut baseline_path = String::from("BENCH_baseline.json");
+    let mut tolerance = TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--refresh" => refresh = true,
+            "--smoke" => smoke = true,
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = p,
+                None => return usage("--baseline needs a path"),
+            },
+            "--tolerance" => match args.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 => tolerance = pct / 100.0,
+                _ => return usage("--tolerance needs a positive percentage"),
+            },
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if refresh && smoke {
+        return usage("--refresh and --smoke are mutually exclusive");
+    }
+
+    let runs = if smoke { 1 } else { RUNS };
+    eprintln!("perf_gate: measuring {runs} run(s) per point...");
+    let mut now = measure(runs);
+
+    if refresh {
+        let json = now.to_json();
+        if let Err(e) = std::fs::write(&baseline_path, &json) {
+            eprintln!("perf_gate: cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{json}");
+        eprintln!("perf_gate: baseline refreshed -> {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "perf_gate: cannot read {baseline_path}: {e}\n\
+                 perf_gate: run `perf_gate --refresh` to create it"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match PerfBaseline::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf_gate: {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "calibration: {:.1} ns/cycle now vs {:.1} baseline (informative; the gate \
+         compares calibration-relative costs)",
+        now.calibration_ns_per_cycle, baseline.calibration_ns_per_cycle
+    );
+
+    // Timing-only failures get re-measured and merged (per-figure
+    // minima): a host-noise burst has to hit the same point in every
+    // pass to produce a false failure, while a genuine regression
+    // cannot measure its way back under the bound. Cycle-count drift
+    // is deterministic and is never retried.
+    if !smoke {
+        for retry in 1..=RETRIES {
+            let timing_failures =
+                gate(&now, &baseline, tolerance).iter().any(|l| !l.ok && l.ratio.is_finite());
+            if !timing_failures {
+                break;
+            }
+            eprintln!("perf_gate: timing failure — re-measuring (retry {retry}/{RETRIES})...");
+            merge_min(&mut now, &measure(RUNS));
+        }
+    }
+
+    let mut failed = false;
+    for line in gate(&now, &baseline, tolerance) {
+        // Timing verdicts are informative under --smoke; cycle-count
+        // drift (ratio NaN) always fails.
+        let timing_enforced = !smoke || !line.ratio.is_finite();
+        let verdict = if line.ok {
+            "ok  "
+        } else if timing_enforced {
+            failed = true;
+            "FAIL"
+        } else {
+            "warn"
+        };
+        println!("{verdict} {:<22} x{:.2}  {}", line.id, line.ratio, line.detail);
+    }
+    if failed {
+        eprintln!(
+            "perf_gate: FAILED (tolerance +{:.0}%) — if the change is intended, \
+             refresh the baseline via scripts/refresh-perf-baseline.sh",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf_gate: OK (tolerance +{:.0}%)", tolerance * 100.0);
+    ExitCode::SUCCESS
+}

@@ -7,6 +7,7 @@
 
 pub mod checkpoint;
 pub mod fault_sweep;
+pub mod perf;
 pub mod replay;
 pub mod sweep;
 

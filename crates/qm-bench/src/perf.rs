@@ -1,0 +1,454 @@
+//! Continuous performance gate: measure the simulator's per-cycle host
+//! cost on a fixed point set and compare against a committed baseline
+//! (`BENCH_baseline.json`, schema `qm-bench-perf/v1`).
+//!
+//! Raw wall times are useless across machines — and on shared CI
+//! runners even across *minutes* — so the gated statistic is
+//! normalised twice:
+//!
+//! 1. **Per simulated cycle.** Simulation work scales with cycles, and
+//!    cycles are deterministic (pinned bit-exactly by the gate), so
+//!    `ns/cycle` is the machine-dependent residual. Only the
+//!    simulation loop is timed; compiling the workload is untimed
+//!    setup.
+//! 2. **By an interleaved calibration run.** A fixed channel
+//!    ping-pong — raw assembly, no compiler in the loop — measures
+//!    what the host pays per cycle on the simulator's hot path
+//!    *immediately before each timed run*. The gated figure is the
+//!    dimensionless ratio `point ns/cycle ÷ calibration ns/cycle`
+//!    (`rel_cost`): host speed, CPU throttling and noisy neighbours
+//!    multiply both halves of a pair and cancel, so the same baseline
+//!    gates on fast laptops and oversubscribed CI containers alike.
+//!
+//! What remains is a genuine change in simulator work per cycle
+//! relative to the hot path — exactly what the scheduler-scan
+//! regression this gate was built against would show (it was ~8× on
+//! `perf/cholesky/1pe`, vs the 5% default tolerance). Each figure is
+//! the minimum over [`RUNS`] pairs, the standard robust estimator for
+//! "how fast can this code go" under scheduler noise.
+//!
+//! The gate also pins every point's cycle count bit-exactly: a cycles
+//! mismatch means the simulation itself changed, which is a different
+//! failure (and a louder one) than a slowdown.
+
+use std::time::Instant;
+
+use qm_sim::config::SystemConfig;
+use qm_sim::system::System;
+use qm_verify::VerifyLevel;
+
+use crate::sweep::{json_escape, run_point, SweepPoint};
+
+/// Measurement pairs per figure; the minimum is kept.
+pub const RUNS: usize = 5;
+
+/// Default relative tolerance of the gate (fail above +5%).
+pub const TOLERANCE: f64 = 0.05;
+
+/// The calibration program: one echo child, 40 000 ping-pongs through a
+/// channel pair. Every iteration crosses the whole steady-state path —
+/// blocking send, context switch with window rollout, rendezvous wake,
+/// scheduler re-plant, dispatch with window restore — and nothing else,
+/// so its ns/cycle tracks host and build speed on exactly the code the
+/// gated points spend their time in.
+const CALIBRATION: &str = "
+main:   trap #0,#child :r0,r1
+        plus r0,#0 :r19
+        plus r1,#0 :r20
+        plus #40000,#0 :r17
+loop:   send r19,#5
+        recv r20,#0 :r2
+        plus r2,#0 :r21
+        minus r17,#1 :r17
+        bne r17,@loop
+        send r19,#0
+        recv r20,#0 :r2
+        plus r2,#0 :r21
+        trap #2,#0
+child:  plus r17,#0 :r25
+        plus r18,#0 :r26
+cl:     recv r25,#0 :r2
+        plus r2,#0 :r27
+        send r26,r27
+        bne r27,@cl
+        trap #2,#0
+";
+
+/// One gated figure: a point's deterministic cycle count and its
+/// measured per-cycle host cost.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// The grid point's id, e.g. `perf/cholesky/1pe`.
+    pub id: String,
+    /// Simulated cycles — deterministic, compared bit-exactly.
+    pub cycles: u64,
+    /// Host nanoseconds per simulated cycle (minimum over [`RUNS`];
+    /// informative only — raw wall time is not gated).
+    pub ns_per_cycle: f64,
+    /// The gated figure: this point's ns/cycle divided by the
+    /// interleaved calibration run's ns/cycle (minimum over [`RUNS`]
+    /// pairs). Dimensionless and host-independent.
+    pub rel_cost: f64,
+}
+
+/// A full measurement: the calibration figure plus every gated point.
+/// Both the committed baseline and a fresh gate run have this shape.
+#[derive(Debug, Clone)]
+pub struct PerfBaseline {
+    /// Calibration ns/cycle on the host that produced this measurement
+    /// (minimum over all pairs; informative only — `rel_cost` already
+    /// embeds its own per-pair calibration).
+    pub calibration_ns_per_cycle: f64,
+    /// Gated points, in grid order.
+    pub points: Vec<PerfPoint>,
+}
+
+/// The points the gate times: the 1-PE regime the scheduler fix
+/// targets (densest context switching — where the superlinear scan
+/// lived), its multi-PE counterparts, and one point per remaining
+/// thesis workload family. Deliberately small: the whole gate (with
+/// [`RUNS`] repeats and calibration) is a few seconds of wall time.
+#[must_use]
+pub fn gate_grid() -> Vec<SweepPoint> {
+    let mk = |family: &str, w: qm_workloads::Workload, pes: usize| {
+        SweepPoint::new(format!("perf/{family}/{pes}pe"), w, SystemConfig::with_pes(pes))
+    };
+    vec![
+        mk("cholesky", qm_workloads::cholesky(8), 1),
+        mk("cholesky", qm_workloads::cholesky(8), 2),
+        mk("matmul8", qm_workloads::matmul(8), 1),
+        mk("matmul8", qm_workloads::matmul(8), 8),
+        mk("congruence", qm_workloads::congruence(8), 1),
+        mk("reduction", qm_workloads::reduction(64), 1),
+        mk("fft", qm_workloads::fft(16), 8),
+    ]
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn per_cycle(ns: u128, cycles: u64) -> f64 {
+    ns as f64 / (cycles.max(1) as f64)
+}
+
+/// Run the calibration program once and return `(wall ns, cycles)`.
+///
+/// # Panics
+///
+/// Panics if the fixed calibration program fails to build or run —
+/// a harness bug by construction.
+fn calibration_run() -> (u128, u64) {
+    let mut sys = System::builder()
+        .config(SystemConfig::with_pes(1))
+        .assembly(CALIBRATION)
+        .verify(VerifyLevel::Off)
+        .build()
+        .expect("calibration program builds");
+    let t = Instant::now();
+    let out = sys.run().expect("calibration program runs");
+    (t.elapsed().as_nanos(), out.elapsed_cycles)
+}
+
+/// Run one gate point with only the simulation loop timed (compilation
+/// and memory initialisation are untimed setup): `(wall ns, cycles)`.
+///
+/// # Panics
+///
+/// Panics if the fixed workload fails to build or run.
+fn timed_point(p: &SweepPoint) -> (u128, u64) {
+    let run = qm_workloads::WorkloadRun::new().config(p.cfg.clone()).options(p.opts);
+    let (mut sys, _) = run.prepare(&p.workload).unwrap_or_else(|e| panic!("{}: {e}", p.id));
+    let t = Instant::now();
+    let out = sys.run().unwrap_or_else(|e| panic!("{}: {e}", p.id));
+    (t.elapsed().as_nanos(), out.elapsed_cycles)
+}
+
+/// Measure every gate point: one untimed correctness run, then `runs`
+/// interleaved (calibration, point) timing pairs, keeping per-figure
+/// minima.
+///
+/// # Panics
+///
+/// Panics if any fixed workload fails to run or verifies incorrect, or
+/// if a point's cycle count varies between runs (determinism is a
+/// prerequisite of the schema).
+#[must_use]
+pub fn measure(runs: usize) -> PerfBaseline {
+    let runs = runs.max(1);
+    let mut calib_best = f64::INFINITY;
+    let points = gate_grid()
+        .iter()
+        .map(|p| {
+            // Correctness and the pinned cycle count come from a full
+            // verified run, outside the timing pairs.
+            let r = run_point(p);
+            assert!(r.metrics.correct, "{}: result incorrect", p.id);
+            let cycles = r.metrics.cycles;
+
+            // Minima are taken independently over the point's own
+            // interleaved calibration runs, then divided: each side
+            // only has to dodge a noise burst once in `runs` attempts,
+            // where a min-of-ratios would need one *pair* with both
+            // sides clean simultaneously.
+            let mut best_ns = f64::INFINITY;
+            let mut best_calib = f64::INFINITY;
+            for _ in 0..runs {
+                let (calib_ns, calib_cycles) = calibration_run();
+                best_calib = best_calib.min(per_cycle(calib_ns, calib_cycles));
+                let (ns, timed_cycles) = timed_point(p);
+                assert_eq!(timed_cycles, cycles, "{}: cycle count varies between runs", p.id);
+                best_ns = best_ns.min(per_cycle(ns, cycles));
+            }
+            calib_best = calib_best.min(best_calib);
+            PerfPoint {
+                id: p.id.clone(),
+                cycles,
+                ns_per_cycle: best_ns,
+                rel_cost: best_ns / best_calib,
+            }
+        })
+        .collect();
+    PerfBaseline { calibration_ns_per_cycle: calib_best, points }
+}
+
+impl PerfBaseline {
+    /// Serialise as `BENCH_baseline.json` (schema `qm-bench-perf/v1`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"qm-bench-perf/v1\",\n");
+        out.push_str(&format!(
+            "  \"calibration_ns_per_cycle\": {:.3},\n",
+            self.calibration_ns_per_cycle
+        ));
+        out.push_str("  \"points\": [\n");
+        let rows: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"id\": \"{}\", \"cycles\": {}, \"ns_per_cycle\": {:.3}, \
+                     \"rel_cost\": {:.4}}}",
+                    json_escape(&p.id),
+                    p.cycles,
+                    p.ns_per_cycle,
+                    p.rel_cost
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse a `qm-bench-perf/v1` file (the exact shape
+    /// [`to_json`](Self::to_json) writes; this is a schema reader, not
+    /// a general JSON parser).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or malformed field.
+    pub fn parse(text: &str) -> Result<PerfBaseline, String> {
+        if !text.contains("\"schema\": \"qm-bench-perf/v1\"") {
+            return Err("not a qm-bench-perf/v1 file".into());
+        }
+        let calibration_ns_per_cycle = field_f64(text, "calibration_ns_per_cycle")
+            .ok_or("missing calibration_ns_per_cycle")?;
+        let mut points = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if !line.starts_with('{') || !line.contains("\"id\"") {
+                continue;
+            }
+            let id = field_str(line, "id").ok_or_else(|| format!("point without id: {line}"))?;
+            let cycles =
+                field_f64(line, "cycles").ok_or_else(|| format!("{id}: missing cycles"))?;
+            let ns_per_cycle = field_f64(line, "ns_per_cycle")
+                .ok_or_else(|| format!("{id}: missing ns_per_cycle"))?;
+            let rel_cost =
+                field_f64(line, "rel_cost").ok_or_else(|| format!("{id}: missing rel_cost"))?;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            points.push(PerfPoint { id, cycles: cycles as u64, ns_per_cycle, rel_cost });
+        }
+        if points.is_empty() {
+            return Err("no points in baseline".into());
+        }
+        Ok(PerfBaseline { calibration_ns_per_cycle, points })
+    }
+}
+
+fn field_f64(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = &text[text.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn field_str(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let rest = &text[text.find(&pat)? + pat.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Fold measurement `b` into `a`, keeping per-figure minima (matched
+/// by point id; points only in one input are kept as-is). Used by the
+/// gate's retry pass: re-measuring and merging gives transient host
+/// noise a second chance to get out of the way, while a genuine
+/// regression survives every merge.
+pub fn merge_min(a: &mut PerfBaseline, b: &PerfBaseline) {
+    a.calibration_ns_per_cycle = a.calibration_ns_per_cycle.min(b.calibration_ns_per_cycle);
+    for p in &mut a.points {
+        if let Some(q) = b.points.iter().find(|q| q.id == p.id) {
+            p.ns_per_cycle = p.ns_per_cycle.min(q.ns_per_cycle);
+            p.rel_cost = p.rel_cost.min(q.rel_cost);
+        }
+    }
+}
+
+/// One gate comparison line: the point, its slowdown ratio
+/// (`> 1 + tolerance` fails), and whether it passed.
+#[derive(Debug, Clone)]
+pub struct GateLine {
+    /// Point id.
+    pub id: String,
+    /// `rel_cost now / rel_cost baseline` — 1.0 means unchanged.
+    pub ratio: f64,
+    /// Human-readable verdict for the report.
+    pub detail: String,
+    /// Whether this point is within tolerance (and cycles match).
+    pub ok: bool,
+}
+
+/// Compare a fresh measurement against the committed baseline on the
+/// calibration-relative `rel_cost` figures. `tolerance` is relative
+/// (0.05 = fail above +5% relative cost).
+#[must_use]
+pub fn gate(now: &PerfBaseline, baseline: &PerfBaseline, tolerance: f64) -> Vec<GateLine> {
+    now.points
+        .iter()
+        .map(|p| {
+            let Some(b) = baseline.points.iter().find(|b| b.id == p.id) else {
+                return GateLine {
+                    id: p.id.clone(),
+                    ratio: f64::NAN,
+                    detail: "not in baseline — refresh BENCH_baseline.json".into(),
+                    ok: false,
+                };
+            };
+            if b.cycles != p.cycles {
+                return GateLine {
+                    id: p.id.clone(),
+                    ratio: f64::NAN,
+                    detail: format!(
+                        "cycle count changed: {} baseline vs {} now — the simulation \
+                         itself changed; refresh the baseline if intended",
+                        b.cycles, p.cycles
+                    ),
+                    ok: false,
+                };
+            }
+            let ratio = p.rel_cost / b.rel_cost;
+            let ok = ratio <= 1.0 + tolerance;
+            GateLine {
+                id: p.id.clone(),
+                ratio,
+                detail: format!(
+                    "rel cost {:.2} vs {:.2} baseline ({:.1} ns/cycle raw)",
+                    p.rel_cost, b.rel_cost, p.ns_per_cycle
+                ),
+                ok,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfBaseline {
+        PerfBaseline {
+            calibration_ns_per_cycle: 100.0,
+            points: vec![
+                PerfPoint {
+                    id: "perf/a/1pe".into(),
+                    cycles: 1000,
+                    ns_per_cycle: 50.0,
+                    rel_cost: 0.5,
+                },
+                PerfPoint {
+                    id: "perf/b/2pe".into(),
+                    cycles: 2000,
+                    ns_per_cycle: 80.0,
+                    rel_cost: 0.8,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = sample();
+        let parsed = PerfBaseline::parse(&b.to_json()).expect("parses");
+        assert_eq!(parsed.points.len(), 2);
+        assert_eq!(parsed.points[0].id, "perf/a/1pe");
+        assert_eq!(parsed.points[0].cycles, 1000);
+        assert!((parsed.calibration_ns_per_cycle - 100.0).abs() < 1e-9);
+        assert!((parsed.points[1].ns_per_cycle - 80.0).abs() < 1e-9);
+        assert!((parsed.points[1].rel_cost - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_ignores_host_speed_and_catches_relative_regressions() {
+        let base = sample();
+        // A slower host moves raw ns/cycle but not rel_cost: passes.
+        let mut now = sample();
+        now.calibration_ns_per_cycle = 200.0;
+        for p in &mut now.points {
+            p.ns_per_cycle *= 2.0;
+        }
+        assert!(gate(&now, &base, TOLERANCE).iter().all(|l| l.ok));
+
+        // A genuine 50% relative regression fails only that point.
+        now.points[0].rel_cost *= 1.5;
+        let lines = gate(&now, &base, TOLERANCE);
+        assert!(!lines[0].ok && lines[0].ratio > 1.4);
+        assert!(lines[1].ok);
+    }
+
+    #[test]
+    fn gate_pins_cycles_bit_exactly() {
+        let base = sample();
+        let mut now = sample();
+        now.points[1].cycles += 1;
+        let lines = gate(&now, &base, TOLERANCE);
+        assert!(lines[0].ok);
+        assert!(!lines[1].ok && lines[1].detail.contains("cycle count changed"));
+    }
+
+    #[test]
+    fn gate_flags_points_missing_from_the_baseline() {
+        let base = sample();
+        let mut now = sample();
+        now.points[0].id = "perf/new/1pe".into();
+        let lines = gate(&now, &base, TOLERANCE);
+        assert!(!lines[0].ok && lines[0].detail.contains("not in baseline"));
+    }
+
+    #[test]
+    fn calibration_program_is_deterministic() {
+        let (_, c1) = calibration_run();
+        let (_, c2) = calibration_run();
+        assert_eq!(c1, c2, "calibration cycles are deterministic");
+        assert!(c1 > 100_000, "calibration runs long enough to time: {c1}");
+    }
+
+    #[test]
+    fn grid_ids_are_unique_and_prefixed() {
+        let grid = gate_grid();
+        let mut ids: Vec<&str> = grid.iter().map(|p| p.id.as_str()).collect();
+        assert!(ids.iter().all(|i| i.starts_with("perf/")));
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), grid.len());
+    }
+}

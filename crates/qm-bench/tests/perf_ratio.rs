@@ -1,0 +1,56 @@
+//! Wall-clock regression pin for the single-PE scheduler fix.
+//!
+//! Before the lazy-deletion scheduler, `cholesky/1pe` ran ~8× *slower*
+//! than 2 PEs despite executing only ~15% more cycles — every step
+//! re-scanned an actor heap whose population never shrank, and the scan
+//! length grew with accumulated stale hints (superlinear in steps; worst
+//! at 1 PE, where context switches are densest). Fixed, the 1-PE run is
+//! roughly as fast per cycle as the 2-PE run.
+//!
+//! This test pins the *ratio* of wall times, not absolute times, so it
+//! is robust to machine speed. The bound is generous (3×, vs ~1.1×
+//! measured and ~8× regressed) and each configuration takes its best of
+//! two runs to discount scheduler noise: a reintroduced superlinear
+//! scan overshoots the bound by multiples on every run.
+
+use std::time::Instant;
+
+fn best_wall_ns(pes: usize) -> (u128, u64) {
+    let w = qm_workloads::cholesky(8);
+    let mut best = u128::MAX;
+    let mut cycles = 0;
+    for _ in 0..2 {
+        let t = Instant::now();
+        let r = qm_workloads::WorkloadRun::with_pes(pes).run(&w).expect("cholesky runs");
+        best = best.min(t.elapsed().as_nanos());
+        assert!(r.correct, "cholesky result stays correct at {pes} PEs");
+        cycles = r.outcome.elapsed_cycles;
+    }
+    (best, cycles)
+}
+
+#[test]
+fn single_pe_cholesky_is_not_superlinearly_slow() {
+    let (wall_1pe, cycles_1pe) = best_wall_ns(1);
+    let (wall_2pe, cycles_2pe) = best_wall_ns(2);
+
+    // The 1-PE schedule replays more cycles (every transfer context
+    // switches), but only modestly so — pin the regime.
+    assert!(
+        cycles_1pe < cycles_2pe * 2,
+        "1-PE cycle count blew up: {cycles_1pe} vs {cycles_2pe} at 2 PEs"
+    );
+
+    // Simulation work scales with cycles; normalize wall time per cycle
+    // before comparing. A healthy scheduler keeps the per-cycle cost of
+    // the 1-PE run within small constant factors of the 2-PE run; the
+    // pre-fix scheduler was ~7× over this bound.
+    let ns_per_cycle_1pe = wall_1pe as f64 / cycles_1pe as f64;
+    let ns_per_cycle_2pe = wall_2pe as f64 / cycles_2pe as f64;
+    let ratio = ns_per_cycle_1pe / ns_per_cycle_2pe;
+    assert!(
+        ratio <= 3.0,
+        "cholesky/1pe per-cycle wall cost regressed: {ns_per_cycle_1pe:.1} ns/cycle \
+         vs {ns_per_cycle_2pe:.1} at 2 PEs (ratio {ratio:.2}, bound 3.0)"
+    );
+}

@@ -16,14 +16,68 @@ use crate::{UWord, Word};
 pub const WINDOW_SIZE: usize = 16;
 
 /// The PE register file.
+///
+/// Laid out structure-of-arrays style for the simulator's hot path: the
+/// window values are one flat array and the 16 presence bits are a
+/// single `u16` mask, so clearing consumed registers, counting present
+/// ones and rolling out on a context switch are word operations instead
+/// of per-element flag walks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegisterFile {
     /// Physical window registers (rotating).
     window: [Word; WINDOW_SIZE],
-    /// Presence bit per physical window register.
-    presence: [bool; WINDOW_SIZE],
+    /// Presence bits, one per physical window register (bit `i` =
+    /// physical register `i`).
+    presence: u16,
     /// Global registers `r16…r31` (index 0 = r16).
     globals: [Word; 16],
+}
+
+/// Window registers rolled out on a context switch: up to
+/// [`WINDOW_SIZE`] `(address, value)` pairs in ascending virtual-register
+/// order, in a fixed-size buffer — built without heap allocation, the
+/// property the simulator's steady-state allocation test pins.
+#[derive(Debug, Clone, Copy)]
+pub struct Rollout {
+    entries: [(UWord, Word); WINDOW_SIZE],
+    len: usize,
+}
+
+impl Rollout {
+    /// The rolled-out `(address, value)` pairs.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(UWord, Word)] {
+        &self.entries[..self.len]
+    }
+
+    /// Number of registers rolled out.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing was present to roll out.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for Rollout {
+    type Target = [(UWord, Word)];
+
+    fn deref(&self) -> &Self::Target {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Rollout {
+    type Item = &'a (UWord, Word);
+    type IntoIter = std::slice::Iter<'a, (UWord, Word)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
 }
 
 impl Default for RegisterFile {
@@ -44,7 +98,7 @@ impl RegisterFile {
     /// A register file with everything zeroed and all presence bits clear.
     #[must_use]
     pub fn new() -> Self {
-        RegisterFile { window: [0; WINDOW_SIZE], presence: [false; WINDOW_SIZE], globals: [0; 16] }
+        RegisterFile { window: [0; WINDOW_SIZE], presence: 0, globals: [0; 16] }
     }
 
     /// The queue pointer (`r30`).
@@ -134,7 +188,7 @@ impl RegisterFile {
         debug_assert!(inc <= 7);
         for v in 0..inc {
             let phys = self.vreg_to_phys(v);
-            self.presence[phys] = false;
+            self.presence &= !(1u16 << phys);
         }
         let qp = self.qp();
         let qoff = qp & 0x3FF;
@@ -148,14 +202,14 @@ impl RegisterFile {
     #[must_use]
     pub fn read_window(&self, vreg: u8) -> Option<Word> {
         let phys = self.vreg_to_phys(vreg);
-        self.presence[phys].then(|| self.window[phys])
+        (self.presence & (1u16 << phys) != 0).then(|| self.window[phys])
     }
 
     /// Write a window register and set its presence bit.
     pub fn write_window(&mut self, vreg: u8, value: Word) {
         let phys = self.vreg_to_phys(vreg);
         self.window[phys] = value;
-        self.presence[phys] = true;
+        self.presence |= 1u16 << phys;
     }
 
     /// Fill a window register from memory *without* marking it more
@@ -187,23 +241,29 @@ impl RegisterFile {
 
     /// Roll out all present window registers for a context switch: returns
     /// `(address, value)` pairs to write back to the memory-resident queue
-    /// page, clearing every presence bit.
-    pub fn rollout(&mut self) -> Vec<(UWord, Word)> {
-        let mut out = Vec::new();
+    /// page, clearing every presence bit. The pairs come back in a
+    /// fixed-size [`Rollout`] buffer — no heap allocation, so context
+    /// switches stay off the allocator in steady state.
+    pub fn rollout(&mut self) -> Rollout {
+        let mut out = Rollout { entries: [(0, 0); WINDOW_SIZE], len: 0 };
+        if self.presence == 0 {
+            return out;
+        }
         for v in 0..16u8 {
             let phys = self.vreg_to_phys(v);
-            if self.presence[phys] {
-                out.push((self.vreg_to_addr(v), self.window[phys]));
-                self.presence[phys] = false;
+            if self.presence & (1u16 << phys) != 0 {
+                out.entries[out.len] = (self.vreg_to_addr(v), self.window[phys]);
+                out.len += 1;
             }
         }
+        self.presence = 0;
         out
     }
 
     /// Number of presence bits currently set.
     #[must_use]
     pub fn present_count(&self) -> usize {
-        self.presence.iter().filter(|&&p| p).count()
+        self.presence.count_ones() as usize
     }
 
     /// Snapshot the globals for a context switch.
@@ -218,7 +278,7 @@ impl RegisterFile {
     /// execution mechanism").
     pub fn restore(&mut self, saved: &SavedRegisters) {
         self.globals = saved.globals;
-        self.presence = [false; WINDOW_SIZE];
+        self.presence = 0;
     }
 
     /// Complete mid-run state — window contents, presence bits, globals —
@@ -228,7 +288,11 @@ impl RegisterFile {
     /// [`RegisterFile::restore_full`].
     #[must_use]
     pub fn full_state(&self) -> ([Word; WINDOW_SIZE], [bool; WINDOW_SIZE], [Word; 16]) {
-        (self.window, self.presence, self.globals)
+        let mut presence = [false; WINDOW_SIZE];
+        for (i, p) in presence.iter_mut().enumerate() {
+            *p = self.presence & (1u16 << i) != 0;
+        }
+        (self.window, presence, self.globals)
     }
 
     /// Restore the exact state captured by [`RegisterFile::full_state`].
@@ -239,7 +303,12 @@ impl RegisterFile {
         globals: [Word; 16],
     ) {
         self.window = window;
-        self.presence = presence;
+        self.presence = 0;
+        for (i, &p) in presence.iter().enumerate() {
+            if p {
+                self.presence |= 1u16 << i;
+            }
+        }
         self.globals = globals;
     }
 }
@@ -320,7 +389,8 @@ mod tests {
         r.write_window(0, 10);
         r.write_window(5, 50);
         let out = r.rollout();
-        assert_eq!(out, vec![(0x8000_0100, 10), (0x8000_0114, 50)]);
+        assert_eq!(out.as_slice(), [(0x8000_0100, 10), (0x8000_0114, 50)]);
+        assert_eq!(out.len(), 2);
         assert_eq!(r.present_count(), 0);
         assert!(r.rollout().is_empty(), "second rollout is empty");
     }

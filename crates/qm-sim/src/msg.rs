@@ -18,11 +18,30 @@
 //!
 //! Channel 0 is the host channel: sends to it append to the program
 //! output; receives read pre-loaded host input.
+//!
+//! # Hot-path layout
+//!
+//! Channels live in a dense slab indexed by channel id (ids are handed
+//! out sequentially from 1), with a spill map for out-of-range ids a
+//! program might conjure arithmetically — so the steady-state send/recv
+//! path is an array index, not a hash probe. A woken context's pending
+//! acknowledgement or delivered value is a *per-context* slot (a blocked
+//! context re-executes exactly one channel instruction, so it can hold
+//! at most one of either): flat `Vec`s indexed by context id replace the
+//! old per-channel `HashSet`/`HashMap`, leaving zero hash-map traffic
+//! per transfer. All queues are `VecDeque`s that retain their capacity,
+//! which is what lets a warmed-up system run allocation-free per step
+//! (pinned by `tests/steady_state_alloc.rs`).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::trace::{TraceBuffer, TraceEvent};
 use crate::{CtxId, Word};
+
+/// Channel ids below this live in the dense slab; anything else (ids a
+/// program fabricated out of range, or negative) spills to a map.
+const DENSE_LIMIT: Word = 1 << 16;
 
 /// The host channel identifier.
 pub const HOST_CHANNEL: Word = 0;
@@ -125,8 +144,15 @@ struct Channel {
     buffer: VecDeque<(Word, usize)>,
     waiting_senders: VecDeque<(CtxId, usize, Word)>,
     waiting_receivers: VecDeque<(CtxId, usize)>,
-    acked: HashSet<CtxId>,
-    ready: HashMap<CtxId, (Word, usize)>,
+    /// Delivered-but-uncollected values homed on this channel (the
+    /// values themselves sit in the table's per-context `ready` slots;
+    /// this count backs [`ChannelTable::state`]).
+    ready_count: usize,
+    /// Whether `send`/`recv` ever touched this channel. Dense slots exist
+    /// for every id below the high-water mark, but exports and state
+    /// queries treat untouched ones as nonexistent — exactly the set the
+    /// previous map-of-channels representation contained.
+    touched: bool,
 }
 
 /// One channel's complete state in deterministic order, produced by
@@ -149,7 +175,24 @@ pub(crate) struct ChannelSnap {
 /// The system-wide channel table (union of all message caches).
 #[derive(Debug, Default)]
 pub struct ChannelTable {
-    channels: HashMap<Word, Channel>,
+    /// Dense channel slab: slot `i` is channel id `i` (0, the host
+    /// channel, is never stored — its slot stays untouched).
+    dense: Vec<Channel>,
+    /// Channels whose id falls outside `1..DENSE_LIMIT`.
+    spill: HashMap<Word, Channel>,
+    /// Per-context pending send acknowledgement: the channel it was
+    /// earned on, consumed by the re-executed send. A blocked context
+    /// re-executes exactly one instruction, so one slot suffices.
+    acks: Vec<Option<Word>>,
+    /// Per-context delivered-but-uncollected value `(chan, value,
+    /// sending PE)`, consumed by the re-executed receive.
+    ready: Vec<Option<(Word, Word, usize)>>,
+    /// Diagnostic-collection scan counter: bumped by the wait-for report
+    /// paths ([`ChannelTable::blocked_infos`] /
+    /// [`ChannelTable::blocked_contexts`]), which walk every channel.
+    /// Stays zero across a clean run — the run loop only reaches them
+    /// from error paths, a property pinned by a system test.
+    pub(crate) diag_scans: AtomicU64,
     next_id: Word,
     /// Message-cache slots per channel: a send completes immediately
     /// while a slot is free. 0 = pure rendezvous (the §4.2 abstract
@@ -183,6 +226,57 @@ impl ChannelTable {
         id
     }
 
+    /// The (touched) slot for `chan`, creating it on first use. A free
+    /// function over the storage fields so callers can hold the slot and
+    /// the per-context arrays at once (disjoint borrows).
+    fn slot<'a>(
+        dense: &'a mut Vec<Channel>,
+        spill: &'a mut HashMap<Word, Channel>,
+        chan: Word,
+    ) -> &'a mut Channel {
+        if (1..DENSE_LIMIT).contains(&chan) {
+            #[allow(clippy::cast_sign_loss)]
+            let i = chan as usize;
+            if i >= dense.len() {
+                dense.resize_with(i + 1, Channel::default);
+            }
+            let c = &mut dense[i];
+            c.touched = true;
+            c
+        } else {
+            let c = spill.entry(chan).or_default();
+            c.touched = true;
+            c
+        }
+    }
+
+    /// The slot for `chan` if `send`/`recv` ever touched it.
+    fn get(&self, chan: Word) -> Option<&Channel> {
+        if (1..DENSE_LIMIT).contains(&chan) {
+            #[allow(clippy::cast_sign_loss)]
+            self.dense.get(chan as usize).filter(|c| c.touched)
+        } else {
+            self.spill.get(&chan)
+        }
+    }
+
+    /// Touched channels in ascending id order (export/report walks).
+    fn iter_touched(&self) -> impl Iterator<Item = (Word, &Channel)> {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+        let dense =
+            self.dense.iter().enumerate().filter(|(_, c)| c.touched).map(|(i, c)| (i as Word, c));
+        dense.chain(self.spill.iter().map(|(&chan, c)| (chan, c)))
+    }
+
+    /// The per-context slot for `ctx`, growing the array on demand
+    /// (context ids are dense and never recycled).
+    fn ctx_slot<T>(slots: &mut Vec<Option<T>>, ctx: CtxId) -> &mut Option<T> {
+        if ctx >= slots.len() {
+            slots.resize_with(ctx + 1, || None);
+        }
+        &mut slots[ctx]
+    }
+
     /// Offer a send of `value` on `chan` by context `ctx` running on `pe`.
     pub fn send(&mut self, ctx: CtxId, pe: usize, chan: Word, value: Word) -> SendResult {
         if chan == HOST_CHANNEL {
@@ -190,14 +284,18 @@ impl ChannelTable {
             self.transfers += 1;
             return SendResult::Done { woke: None };
         }
-        let capacity = self.capacity;
-        let c = self.channels.entry(chan).or_default();
-        if c.acked.remove(&ctx) {
+        if self.acks.get(ctx).is_some_and(|a| *a == Some(chan)) {
             // Our earlier parked value was taken while we were blocked.
+            self.acks[ctx] = None;
             return SendResult::Done { woke: None };
         }
+        let capacity = self.capacity;
+        let c = Self::slot(&mut self.dense, &mut self.spill, chan);
         if let Some((receiver, _rpe)) = c.waiting_receivers.pop_front() {
-            c.ready.insert(receiver, (value, pe));
+            c.ready_count += 1;
+            let slot = Self::ctx_slot(&mut self.ready, receiver);
+            debug_assert!(slot.is_none(), "a context holds at most one delivered value");
+            *slot = Some((chan, value, pe));
             self.transfers += 1;
             self.trace.push(|| TraceEvent::Rendezvous { chan, sender: ctx, receiver, value });
             return SendResult::Done { woke: Some(receiver) };
@@ -228,15 +326,24 @@ impl ChannelTable {
                 None => RecvResult::Block,
             };
         }
-        let c = self.channels.entry(chan).or_default();
-        if let Some((value, from_pe)) = c.ready.remove(&ctx) {
-            return RecvResult::Done { value, woke: None, from_pe: Some(from_pe) };
+        if let Some(slot) = self.ready.get_mut(ctx) {
+            if let Some((rchan, value, from_pe)) = *slot {
+                if rchan == chan {
+                    *slot = None;
+                    let c = Self::slot(&mut self.dense, &mut self.spill, chan);
+                    c.ready_count -= 1;
+                    return RecvResult::Done { value, woke: None, from_pe: Some(from_pe) };
+                }
+            }
         }
+        let c = Self::slot(&mut self.dense, &mut self.spill, chan);
         if let Some((value, from_pe)) = c.buffer.pop_front() {
             // A freed slot admits the next parked sender, if any.
             let woke = if let Some((sender, spe, v)) = c.waiting_senders.pop_front() {
                 c.buffer.push_back((v, spe));
-                c.acked.insert(sender);
+                let slot = Self::ctx_slot(&mut self.acks, sender);
+                debug_assert!(slot.is_none(), "a context holds at most one pending ack");
+                *slot = Some(chan);
                 self.transfers += 1;
                 let buffered = c.buffer.len();
                 self.trace.push(|| TraceEvent::CacheHit { ctx: sender, chan, value: v, buffered });
@@ -247,7 +354,9 @@ impl ChannelTable {
             return RecvResult::Done { value, woke, from_pe: Some(from_pe) };
         }
         if let Some((sender, spe, value)) = c.waiting_senders.pop_front() {
-            c.acked.insert(sender);
+            let slot = Self::ctx_slot(&mut self.acks, sender);
+            debug_assert!(slot.is_none(), "a context holds at most one pending ack");
+            *slot = Some(chan);
             self.transfers += 1;
             self.trace.push(|| TraceEvent::Rendezvous { chan, sender, receiver: ctx, value });
             return RecvResult::Done { value, woke: Some(sender), from_pe: Some(spe) };
@@ -263,15 +372,15 @@ impl ChannelTable {
     /// granularity.
     #[must_use]
     pub fn state(&self, chan: Word) -> CacheState {
-        let Some(c) = self.channels.get(&chan) else {
+        let Some(c) = self.get(chan) else {
             return CacheState::Empty;
         };
         if !c.waiting_receivers.is_empty() {
             CacheState::ReceiverBlocked { receivers: c.waiting_receivers.len() }
         } else if !c.waiting_senders.is_empty() {
             CacheState::SenderBlocked { buffered: c.buffer.len(), senders: c.waiting_senders.len() }
-        } else if !c.buffer.is_empty() || !c.ready.is_empty() {
-            CacheState::ValueHeld { buffered: c.buffer.len() + c.ready.len() }
+        } else if !c.buffer.is_empty() || c.ready_count > 0 {
+            CacheState::ValueHeld { buffered: c.buffer.len() + c.ready_count }
         } else {
             CacheState::Empty
         }
@@ -281,13 +390,16 @@ impl ChannelTable {
     /// (for senders) the offered value — sorted by context id. Consumed
     /// by the deadlock and watchdog wait-for reports, which render these
     /// records into text at the edge (there is no stringly-typed
-    /// variant).
+    /// variant). Walks every channel, so it is diagnostic-only: the run
+    /// loop must never reach it outside an error path (the `diag_scans`
+    /// counter pins that).
     #[must_use]
+    #[cold]
     pub fn blocked_infos(&self) -> Vec<BlockedInfo> {
+        self.diag_scans.fetch_add(1, Ordering::Relaxed);
         let mut out: Vec<BlockedInfo> =
-            self.channels
-                .iter()
-                .flat_map(|(&chan, c)| {
+            self.iter_touched()
+                .flat_map(|(chan, c)| {
                     let senders = c.waiting_senders.iter().map(move |&(ctx, pe, value)| {
                         BlockedInfo { ctx, pe, chan, dir: ChanDir::Send, value: Some(value) }
                     });
@@ -305,6 +417,13 @@ impl ChannelTable {
         out
     }
 
+    /// Total full-table diagnostic scans performed so far (see
+    /// `diag_scans`).
+    #[must_use]
+    pub fn diag_scan_count(&self) -> u64 {
+        self.diag_scans.load(Ordering::Relaxed)
+    }
+
     /// The next channel id [`ChannelTable::allocate`] would hand out
     /// (snapshot state).
     #[must_use]
@@ -319,26 +438,37 @@ impl ChannelTable {
     /// table is structurally identical to the captured one.
     #[must_use]
     pub(crate) fn export_channels(&self) -> Vec<ChannelSnap> {
+        // Regroup the per-context ack/ready slots by channel. Context ids
+        // ascend during the walk, so the per-channel lists come out
+        // sorted by context — the order the snapshot format requires.
+        let mut acked_by: HashMap<Word, Vec<CtxId>> = HashMap::new();
+        for (ctx, a) in self.acks.iter().enumerate() {
+            if let Some(chan) = a {
+                acked_by.entry(*chan).or_default().push(ctx);
+            }
+        }
+        let mut ready_by: HashMap<Word, Vec<(CtxId, Word, usize)>> = HashMap::new();
+        for (ctx, r) in self.ready.iter().enumerate() {
+            if let Some((chan, v, pe)) = r {
+                ready_by.entry(*chan).or_default().push((ctx, *v, *pe));
+            }
+        }
         let mut out: Vec<ChannelSnap> = self
-            .channels
-            .iter()
-            .map(|(&chan, c)| {
-                let mut acked: Vec<CtxId> = c.acked.iter().copied().collect();
-                acked.sort_unstable();
-                let mut ready: Vec<(CtxId, Word, usize)> =
-                    c.ready.iter().map(|(&ctx, &(v, pe))| (ctx, v, pe)).collect();
-                ready.sort_unstable();
-                ChannelSnap {
-                    chan,
-                    buffer: c.buffer.iter().copied().collect(),
-                    senders: c.waiting_senders.iter().copied().collect(),
-                    receivers: c.waiting_receivers.iter().copied().collect(),
-                    acked,
-                    ready,
-                }
+            .iter_touched()
+            .map(|(chan, c)| ChannelSnap {
+                chan,
+                buffer: c.buffer.iter().copied().collect(),
+                senders: c.waiting_senders.iter().copied().collect(),
+                receivers: c.waiting_receivers.iter().copied().collect(),
+                acked: acked_by.remove(&chan).unwrap_or_default(),
+                ready: ready_by.remove(&chan).unwrap_or_default(),
             })
             .collect();
         out.sort_unstable_by_key(|s| s.chan);
+        debug_assert!(
+            acked_by.is_empty() && ready_by.is_empty(),
+            "every ack/ready slot belongs to a touched channel"
+        );
         out
     }
 
@@ -346,28 +476,34 @@ impl ChannelTable {
     /// state (the inverse of [`ChannelTable::export_channels`]).
     pub(crate) fn restore_channels(&mut self, snaps: Vec<ChannelSnap>, next_id: Word) {
         self.next_id = next_id;
-        self.channels = snaps
-            .into_iter()
-            .map(|s| {
-                let c = Channel {
-                    buffer: s.buffer.into_iter().collect(),
-                    waiting_senders: s.senders.into_iter().collect(),
-                    waiting_receivers: s.receivers.into_iter().collect(),
-                    acked: s.acked.into_iter().collect(),
-                    ready: s.ready.into_iter().map(|(ctx, v, pe)| (ctx, (v, pe))).collect(),
-                };
-                (s.chan, c)
-            })
-            .collect();
+        self.dense.clear();
+        self.spill.clear();
+        self.acks.clear();
+        self.ready.clear();
+        for s in snaps {
+            for &ctx in &s.acked {
+                *Self::ctx_slot(&mut self.acks, ctx) = Some(s.chan);
+            }
+            for &(ctx, v, pe) in &s.ready {
+                *Self::ctx_slot(&mut self.ready, ctx) = Some((s.chan, v, pe));
+            }
+            let c = Self::slot(&mut self.dense, &mut self.spill, s.chan);
+            c.buffer = s.buffer.into_iter().collect();
+            c.waiting_senders = s.senders.into_iter().collect();
+            c.waiting_receivers = s.receivers.into_iter().collect();
+            c.ready_count = s.ready.len();
+        }
     }
 
     /// Contexts currently blocked on any channel (for deadlock reports).
+    /// Diagnostic-only, like [`ChannelTable::blocked_infos`].
     #[must_use]
+    #[cold]
     pub fn blocked_contexts(&self) -> Vec<CtxId> {
+        self.diag_scans.fetch_add(1, Ordering::Relaxed);
         let mut out: Vec<CtxId> = self
-            .channels
-            .values()
-            .flat_map(|c| {
+            .iter_touched()
+            .flat_map(|(_, c)| {
                 c.waiting_senders
                     .iter()
                     .map(|&(s, _, _)| s)

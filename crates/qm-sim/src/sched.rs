@@ -20,9 +20,20 @@
 //! * one lazy min-heap of `(time, pe)` *actor candidates*. Entries are
 //!   hints, maintained under the invariant that every runnable PE has at
 //!   least one entry at or below its true next-action time. Stale entries
-//!   are re-validated against the caller on pop and corrected in place,
-//!   so the selected `(time, pe)` is always exactly what the linear scan
-//!   would have chosen — including the tie-break — at `O(log)` cost.
+//!   are re-validated against the caller on pop and corrected, so the
+//!   selected `(time, pe)` is always exactly what the linear scan would
+//!   have chosen — including the tie-break — at `O(log)` cost.
+//!
+//! Each PE has exactly one *live* candidate at a time, tracked in
+//! `planted`; heap entries that no longer match it are garbage and are
+//! discarded unexamined when popped (lazy deletion). An earlier revision
+//! instead re-pushed every corrected hint, so the heap's population never
+//! shrank: every step re-popped and re-pushed all entries below the
+//! advancing clock, making per-step cost grow with the total hints ever
+//! planted — O(total contexts) per step at 1 PE, the superlinear
+//! single-PE slowdown fixed by this design. With the live-candidate rule
+//! the heap holds at most one live entry per PE plus already-superseded
+//! garbage that each cost one O(log) pop, ever.
 //!
 //! The equivalence with the linear scan is locked by unit tests here (a
 //! seeded random state-machine comparison) and by the `proptest` harness
@@ -51,6 +62,11 @@ pub struct Scheduler {
     /// Lazy candidates `(time, pe)`. Invariant: every PE that can act has
     /// an entry with `time` ≤ its true next-action time.
     actors: BinaryHeap<Reverse<(u64, usize)>>,
+    /// The one *live* hint time per PE (`None` = no live hint). A heap
+    /// entry `(t, pe)` with `t != planted[pe]` is garbage: superseded by
+    /// a better hint or already consumed — dropped on pop without
+    /// consulting the caller.
+    planted: Vec<Option<u64>>,
     /// Monotone arrival counter for FIFO tie-breaking.
     seq: u64,
 }
@@ -62,7 +78,18 @@ impl Scheduler {
         Scheduler {
             ready: (0..pes).map(|_| BinaryHeap::new()).collect(),
             actors: BinaryHeap::new(),
+            planted: vec![None; pes],
             seq: 0,
+        }
+    }
+
+    /// Improve `pe`'s live hint to the lower bound `t`: plants a heap
+    /// entry only when `t` beats the current live hint, so a PE never
+    /// owns more than one live entry (anything older becomes garbage).
+    fn plant(&mut self, pe: usize, t: u64) {
+        if self.planted[pe].is_none_or(|cur| t < cur) {
+            self.planted[pe] = Some(t);
+            self.actors.push(Reverse((t, pe)));
         }
     }
 
@@ -79,7 +106,7 @@ impl Scheduler {
     pub fn push_ready(&mut self, pe: usize, ctx: CtxId, ready_at: u64) {
         self.ready[pe].push(Reverse((ready_at, self.seq, ctx)));
         self.seq += 1;
-        self.actors.push(Reverse((ready_at, pe)));
+        self.plant(pe, ready_at);
     }
 
     /// Number of contexts queued ready on `pe`.
@@ -109,20 +136,27 @@ impl Scheduler {
 
     /// Re-plant `pe`'s actor candidate after its state changed (the
     /// caller passes the freshly computed next-action time, or `None`
-    /// when the PE has nothing to do).
+    /// when the PE has nothing to do). Authoritative: it *replaces* the
+    /// live hint, retiring any previous entry to garbage — unless the
+    /// hint is already exactly `time`, in which case its live heap entry
+    /// is kept and nothing is pushed.
     pub fn refresh(&mut self, pe: usize, time: Option<u64>) {
+        if self.planted[pe] == time {
+            return;
+        }
+        self.planted[pe] = time;
         if let Some(t) = time {
             self.actors.push(Reverse((t, pe)));
         }
     }
 
-    /// Drop every actor candidate and re-plant from `times[pe]` — used
-    /// when entering the run loop, after arbitrary outside mutation.
-    pub fn rebuild(&mut self, times: &[Option<u64>]) {
+    /// Drop every actor candidate — used when entering the run loop,
+    /// after arbitrary outside mutation. The caller re-plants each PE
+    /// with [`Scheduler::refresh`]; no intermediate collection is
+    /// built, keeping run-loop entry allocation-free.
+    pub fn clear_actors(&mut self) {
         self.actors.clear();
-        for (pe, &t) in times.iter().enumerate() {
-            self.refresh(pe, t);
-        }
+        self.planted.fill(None);
     }
 
     /// Export the scheduler's durable state for snapshots: per-PE ready
@@ -149,12 +183,14 @@ impl Scheduler {
     /// `rebuild` before scheduling).
     #[must_use]
     pub(crate) fn restore_ready(ready: Vec<Vec<ReadyKey>>, seq: u64) -> Self {
+        let pes = ready.len();
         Scheduler {
             ready: ready
                 .into_iter()
                 .map(|entries| entries.into_iter().map(Reverse).collect())
                 .collect(),
             actors: BinaryHeap::new(),
+            planted: vec![None; pes],
             seq,
         }
     }
@@ -163,18 +199,30 @@ impl Scheduler {
     ///
     /// `eval` computes a PE's true next-action time right now, given the
     /// earliest `ready_at` queued on it (`None` when it cannot act).
-    /// Popped hints are validated against `eval` and corrected in place;
-    /// the returned pair is exactly the linear scan's choice: minimum
-    /// time, ties to the lowest PE index.
+    /// Garbage entries (superseded or consumed hints) are dropped without
+    /// consulting `eval`; the live hint is validated against `eval` and
+    /// corrected when stale. The returned pair is exactly the linear
+    /// scan's choice: minimum time, ties to the lowest PE index.
+    ///
+    /// The returned PE's live hint is *consumed* — callers must `refresh`
+    /// it after acting (the run loop does, on every path) or `rebuild`
+    /// before scheduling again (run-loop entry does).
     pub fn next_actor(
         &mut self,
         mut eval: impl FnMut(usize, Option<u64>) -> Option<u64>,
     ) -> Option<(usize, u64)> {
         while let Some(Reverse((t, pe))) = self.actors.pop() {
+            if self.planted[pe] != Some(t) {
+                continue; // garbage: superseded by a better hint
+            }
+            self.planted[pe] = None;
             let min_ready = self.min_ready_at(pe);
             match eval(pe, min_ready) {
                 Some(actual) if actual == t => return Some((pe, t)),
-                Some(actual) => self.actors.push(Reverse((actual, pe))),
+                // Stale lower bound: re-plant at the exact time. The hint
+                // invariant guarantees `actual > t`, so this terminates —
+                // each correction strictly advances the PE's hint.
+                Some(actual) => self.plant(pe, actual),
                 None => {}
             }
         }

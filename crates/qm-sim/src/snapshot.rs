@@ -343,12 +343,25 @@ struct FaultSnap {
 }
 
 /// The loaded object's symbol information (words, sorted symbol table,
-/// base address).
+/// base address). Immutable once loaded, so [`System`] caches one behind
+/// an `Arc` at load time and every cadence capture clones the pointer —
+/// snapshot cost no longer scales with program size.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct ObjSnap {
-    base: UWord,
-    words: Vec<u32>,
-    symbols: Vec<(String, UWord)>,
+pub(crate) struct ObjSnap {
+    pub(crate) base: UWord,
+    pub(crate) words: Vec<u32>,
+    pub(crate) symbols: Vec<(String, UWord)>,
+}
+
+impl ObjSnap {
+    /// The snapshot view of a loaded object: code words plus the symbol
+    /// table sorted by `(name, address)` (the canonical export order).
+    pub(crate) fn of(obj: &Object) -> Self {
+        let mut syms: Vec<(String, UWord)> =
+            obj.symbols().iter().map(|(k, &v)| (k.clone(), v)).collect();
+        syms.sort_unstable();
+        ObjSnap { base: obj.base(), words: obj.words().to_vec(), symbols: syms }
+    }
 }
 
 /// A complete, self-contained capture of a [`System`] at a step
@@ -383,7 +396,7 @@ pub struct Snapshot {
     snap_every: Option<u64>,
     snap_dir: String,
     next_snap_at: u64,
-    symbols: Option<ObjSnap>,
+    symbols: Option<std::sync::Arc<ObjSnap>>,
 }
 
 impl Snapshot {
@@ -395,14 +408,9 @@ impl Snapshot {
     pub fn capture(sys: &System) -> Snapshot {
         let (global_mem, local_mem) = sys.memory.export_planes();
         let (ready, sched_seq) = sys.sched.export_ready();
-        let mut symbols = None;
-        if let Some(obj) = &sys.symbols {
-            let mut syms: Vec<(String, UWord)> =
-                obj.symbols().iter().map(|(k, &v)| (k.clone(), v)).collect();
-            syms.sort_unstable();
-            symbols =
-                Some(ObjSnap { base: obj.base(), words: obj.words().to_vec(), symbols: syms });
-        }
+        // The object is immutable after load: share the cached snapshot
+        // view instead of re-copying names and code words per capture.
+        let symbols = sys.symbol_snap.clone();
         Snapshot {
             cfg: sys.cfg.clone(),
             global_mem,
@@ -739,7 +747,7 @@ impl Snapshot {
             let symbols = (0..n)
                 .map(|_| Ok((r.str()?, r.u32()?)))
                 .collect::<Result<Vec<_>, SnapshotError>>()?;
-            snap.symbols = Some(ObjSnap { base, words, symbols });
+            snap.symbols = Some(std::sync::Arc::new(ObjSnap { base, words, symbols }));
         }
         close(&r, tag::SYMBOLS)?;
         Ok(snap)
@@ -1335,9 +1343,16 @@ impl System {
         for (alloc, (next, free)) in sys.pages.iter_mut().zip(&snap.pages) {
             alloc.restore_state(*next, free.clone());
         }
-        sys.symbols = snap.symbols.as_ref().map(|o| {
-            Object::from_parts(o.words.clone(), o.symbols.iter().cloned().collect(), o.base)
-        });
+        if let Some(o) = &snap.symbols {
+            sys.set_symbols(Object::from_parts(
+                o.words.clone(),
+                o.symbols.iter().cloned().collect(),
+                o.base,
+            ));
+            // Share the snapshot's view directly; set_symbols derived an
+            // identical one, this just drops the duplicate storage.
+            sys.symbol_snap = Some(o.clone());
+        }
         sys.faults = snap.faults.as_ref().map(|f| FaultEngine {
             send_loss_ppm: f.send_loss_ppm,
             bus_drop_ppm: f.bus_drop_ppm,

@@ -253,6 +253,15 @@ pub struct System {
     pub(crate) contexts: Vec<Context>,
     pub(crate) pages: Vec<PageAllocator>,
     pub(crate) symbols: Option<Object>,
+    /// Snapshot-ready view of the loaded object (code words + sorted
+    /// symbols), built once at load. Cadence captures clone the `Arc`
+    /// instead of re-copying names and words, so `snapshot_every` cost
+    /// stops scaling with program size.
+    pub(crate) symbol_snap: Option<std::sync::Arc<crate::snapshot::ObjSnap>>,
+    /// Symbol table sorted by `(address, name)` — the shape the
+    /// `qm_verify::names` span helpers take — cached at load so wait-for
+    /// reports borrow it instead of re-cloning every name.
+    pub(crate) symbol_addr_table: Vec<(String, UWord)>,
     pub(crate) rr: usize,
     pub(crate) halted: bool,
     pub(crate) live: usize,
@@ -466,6 +475,8 @@ impl System {
             contexts: Vec::new(),
             pages,
             symbols: None,
+            symbol_snap: None,
+            symbol_addr_table: Vec::new(),
             rr: 0,
             halted: false,
             live: 0,
@@ -528,8 +539,15 @@ impl System {
     }
 
     /// Record the loaded object for symbol lookup (the builder's path to
-    /// the private field).
+    /// the private field), caching the derived views — the snapshot
+    /// `ObjSnap` and the address-sorted symbol table — once, so neither
+    /// is rebuilt per capture or per report.
     pub(crate) fn set_symbols(&mut self, obj: Object) {
+        self.symbol_snap = Some(std::sync::Arc::new(crate::snapshot::ObjSnap::of(&obj)));
+        let mut table: Vec<(String, UWord)> =
+            obj.symbols().iter().map(|(n, &a)| (n.clone(), a)).collect();
+        table.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        self.symbol_addr_table = table;
         self.symbols = Some(obj);
     }
 
@@ -619,8 +637,11 @@ impl System {
     /// Re-plant every PE's actor candidate from current state (run-loop
     /// entry: spawns/loads may have happened in any order outside it).
     fn rebuild_actors(&mut self) {
-        let times: Vec<Option<u64>> = (0..self.cfg.pes).map(|i| self.actor_time(i)).collect();
-        self.sched.rebuild(&times);
+        self.sched.clear_actors();
+        for pe in 0..self.cfg.pes {
+            let t = self.actor_time(pe);
+            self.sched.refresh(pe, t);
+        }
     }
 
     /// Which PE should act next: `(pe, at)` or `None` when nothing can
@@ -1064,15 +1085,10 @@ impl System {
     }
 
     /// The program's symbol table as sorted `(name, address)` pairs —
-    /// the shape the `qm_verify::names` span helpers take.
-    fn symbol_table(&self) -> Vec<(String, UWord)> {
-        let mut syms: Vec<(String, UWord)> = self
-            .symbols
-            .as_ref()
-            .map(|o| o.symbols().iter().map(|(n, &a)| (n.clone(), a)).collect())
-            .unwrap_or_default();
-        syms.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
-        syms
+    /// the shape the `qm_verify::names` span helpers take. A borrow of
+    /// the table cached at load time: nothing is cloned per report.
+    fn symbol_table(&self) -> &[(String, UWord)] {
+        &self.symbol_addr_table
     }
 
     /// The wait-for report for a detected deadlock: every context parked
@@ -1087,7 +1103,7 @@ impl System {
             .into_iter()
             .map(|b| {
                 let pc = self.ctx_pc(b.ctx);
-                let sym = qm_verify::names::nearest_symbol(&syms, pc).map(|(n, _)| n);
+                let sym = qm_verify::names::nearest_symbol(syms, pc).map(|(n, _)| n);
                 BlockedCtx {
                     ctx: b.ctx,
                     label: qm_verify::names::ctx_label(b.ctx, sym),
@@ -1232,6 +1248,36 @@ child:  recv r17,#0 :r0
                    send #0,#8\n",
         );
         assert_eq!(out.output, vec![7], "instruction after halt never ran");
+    }
+
+    #[test]
+    fn clean_runs_never_scan_channel_diagnostics() {
+        // The blocked-context reports walk every touched channel — fine
+        // from an error path, a hot-path regression anywhere else. A run
+        // that completes (with plenty of blocking traffic on the way)
+        // must never trigger a scan; a deadlocked one scans to build its
+        // report.
+        let src = "
+main:   trap #0,#child :r0,r1
+        send r0,#1
+        recv r1,#0 :r2
+        send+3 #0,r2
+        trap #2,#0
+child:  recv r17,#0 :r0
+        plus+1 r0,#9 :r0
+        send+1 r18,r0
+        trap #2,#0
+";
+        let mut cfg = SystemConfig::with_pes(1);
+        cfg.channel_capacity = 0;
+        let mut sys = System::with_assembly(cfg, src).unwrap();
+        sys.run().unwrap();
+        assert_eq!(sys.channels.diag_scan_count(), 0, "clean run reached a diagnostic scan");
+
+        let mut sys =
+            System::with_assembly(SystemConfig::with_pes(1), "main: recv #1,#0 :r0\n").unwrap();
+        sys.run().unwrap_err();
+        assert!(sys.channels.diag_scan_count() > 0, "deadlock report scans channels");
     }
 
     #[test]

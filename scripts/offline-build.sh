@@ -5,7 +5,7 @@
 # with bare rustc. Integration tests that need proptest are skipped;
 # the deterministic ones under tests/ are built with --test.
 #
-# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults|--snapshot|--verify]
+# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults|--snapshot|--verify|--perf]
 #
 # --clippy rebuilds everything with clippy-driver (a drop-in rustc) and
 # -Dwarnings, mirroring the CI `cargo clippy -- -D warnings` gate without
@@ -24,6 +24,11 @@
 # --verify builds everything and then statically verifies every bundled
 # workload (`verify_workloads --strict`), mirroring the CI
 # verify-workloads job.
+#
+# --perf builds everything and then runs the continuous performance
+# gate (`perf_gate`) against the committed BENCH_baseline.json,
+# mirroring the CI perf-gate job. Refresh the baseline with
+# scripts/refresh-perf-baseline.sh when a slowdown is intended.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT=target/offline
@@ -90,7 +95,9 @@ if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
              crates/qm-sim/tests/fault_recovery.rs \
              crates/qm-sim/tests/snapshot_roundtrip.rs \
              crates/qm-sim/tests/snapshot_resume.rs \
+             crates/qm-sim/tests/steady_state_alloc.rs \
              crates/qm-bench/tests/sweep_determinism.rs \
+             crates/qm-bench/tests/perf_ratio.rs \
              crates/qm-bench/tests/fault_sweep_determinism.rs \
              crates/qm-bench/tests/resumable_sweep.rs \
              crates/qm-verify/tests/negative_fixtures.rs \
@@ -121,4 +128,9 @@ fi
 if [[ "${1:-}" == "--verify" ]]; then
     "$OUT/verify_workloads" --strict
     echo "offline verify OK"
+fi
+
+if [[ "${1:-}" == "--perf" ]]; then
+    "$OUT/perf_gate"
+    echo "offline perf gate OK"
 fi

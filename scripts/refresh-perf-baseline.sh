@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Re-measure the performance baseline and rewrite BENCH_baseline.json
+# (schema qm-bench-perf/v1, consumed by the perf_gate binary and the CI
+# perf-gate job — see EXPERIMENTS.md).
+#
+# Run this when a perf_gate failure is *intended* — a known,
+# deliberate change in simulator cost per cycle, or a change in any
+# gated point's deterministic cycle count — and commit the refreshed
+# file together with the change that caused it. The gated figures are
+# calibration-relative (dimensionless), so a baseline refreshed on any
+# reasonably quiet machine gates everywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+./scripts/offline-build.sh >/dev/null
+./target/offline/perf_gate --refresh >/dev/null
+echo "BENCH_baseline.json refreshed:"
+cat BENCH_baseline.json
