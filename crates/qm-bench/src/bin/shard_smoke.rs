@@ -1,0 +1,61 @@
+//! CI smoke check for deterministic sharded execution: a small grid of
+//! workloads — including one 64-PE big-machine point — is run under the
+//! serial scheduler and again at shard counts 2 and 4, and every
+//! deterministic metric must be **byte-identical** across all three
+//! (the contract of `docs/DETERMINISM.md`). Exits non-zero on the first
+//! divergence, printing the offending point and shard count.
+//!
+//! Usage: `shard_smoke` (no flags; small enough for every CI run).
+
+use qm_bench::sweep::{run_point_sharded, SweepPoint};
+use qm_sim::config::{Placement, SystemConfig};
+
+fn grid() -> Vec<SweepPoint> {
+    let least_loaded =
+        SystemConfig { placement: Placement::LeastLoaded, ..SystemConfig::with_pes(8) };
+    vec![
+        SweepPoint::new("smoke/matmul6/4pe", qm_workloads::matmul(6), SystemConfig::with_pes(4)),
+        SweepPoint::new("smoke/fft16/8pe", qm_workloads::fft(16), SystemConfig::with_pes(8)),
+        SweepPoint::new("smoke/cholesky8/8pe-ll", qm_workloads::cholesky(8), least_loaded)
+            .with_config("placement=least-loaded"),
+        SweepPoint::new(
+            "smoke/reduction64/64pe",
+            qm_workloads::reduction(64),
+            SystemConfig::with_pes(64),
+        ),
+    ]
+}
+
+fn main() {
+    let grid = grid();
+    let mut failed = false;
+    for p in &grid {
+        let serial = run_point_sharded(p, 1);
+        if !serial.metrics.correct {
+            eprintln!("FAIL {}: serial run verified incorrect", p.id);
+            failed = true;
+            continue;
+        }
+        for shards in [2usize, 4] {
+            let sharded = run_point_sharded(p, shards);
+            if sharded.metrics == serial.metrics {
+                println!(
+                    "ok   {} shards={shards}: {} cycles, {} instructions",
+                    p.id, sharded.metrics.cycles, sharded.metrics.instructions
+                );
+            } else {
+                eprintln!(
+                    "FAIL {} shards={shards}: metrics diverged from serial\n  \
+                     serial:  {:?}\n  sharded: {:?}",
+                    p.id, serial.metrics, sharded.metrics
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("shard smoke FAILED");
+        std::process::exit(1);
+    }
+    println!("shard smoke OK: {} points × shards {{2, 4}} bit-identical to serial", grid.len());
+}

@@ -2,14 +2,19 @@
 //! and in parallel, prove the two passes bit-identical, and record wall
 //! times to seed the perf trajectory (schema in `EXPERIMENTS.md`).
 //!
-//! Usage: `sweep [--resume <path>] [--interrupt-after <n>] [--deterministic]`
+//! Usage: `sweep [--resume <path>] [--interrupt-after <n>] [--deterministic]
+//!               [--shards <n>]`
 //!
 //! With `--resume` the parallel pass checkpoints every completed point
 //! to the given file and a rerun picks up where it left off;
 //! `--interrupt-after <n>` stops after `n` newly completed points
 //! (simulating being killed mid-sweep). `--deterministic` zeroes every
 //! wall-clock field of the JSON so an interrupted-and-resumed sweep
-//! emits a file byte-identical to an uninterrupted one.
+//! emits a file byte-identical to an uninterrupted one. `--shards <n>`
+//! forces every grid point to run the simulated machine over `n` host
+//! shards; the serial reference pass still uses the serial scheduler,
+//! so the report's `identical` flag proves sharded == serial for the
+//! whole grid (see `docs/DETERMINISM.md`).
 
 use std::time::Instant;
 
@@ -19,11 +24,19 @@ use qm_bench::sweep::{
 
 fn main() {
     let flags = SweepFlags::parse(std::env::args().skip(1), false).unwrap_or_else(|msg| {
-        eprintln!("usage: sweep [--resume <path>] [--interrupt-after <n>] [--deterministic]");
+        eprintln!(
+            "usage: sweep [--resume <path>] [--interrupt-after <n>] [--deterministic] \
+             [--shards <n>]"
+        );
         eprintln!("{msg}");
         std::process::exit(2);
     });
-    let grid = full_grid();
+    let mut grid = full_grid();
+    if let Some(n) = flags.shards {
+        for p in &mut grid {
+            p.shards = n;
+        }
+    }
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!("sweep: {} points, {} worker threads", grid.len(), threads);
 

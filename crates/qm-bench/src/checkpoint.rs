@@ -13,9 +13,9 @@
 //! ([`qm_sim::snapshot::wire`]) and error type under its own magic:
 //!
 //! ```text
-//! "qm-chkpt" | u32 version = 1 | u64 grid hash | u32 count
-//!   count × { id, workload, config, pes, 8 metric u64s, correct,
-//!             9 degradation u64s, wall nanos }
+//! "qm-chkpt" | u32 version = 2 | u64 grid hash | u32 count
+//!   count × { id, workload, config, pes, shards, 8 metric u64s,
+//!             correct, 9 degradation u64s, wall nanos }
 //! u64 checksum (over everything above)
 //! ```
 //!
@@ -42,7 +42,7 @@ const MAGIC: [u8; 8] = *b"qm-chkpt";
 
 /// Checkpoint container version. Bump on any layout change; old files
 /// are rejected, not migrated (they are cheap to regenerate).
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 /// Completed results of a (possibly interrupted) sweep over one grid.
 #[derive(Debug, Clone)]
@@ -123,6 +123,7 @@ impl Checkpoint {
             w.str(&r.workload);
             w.str(&r.config);
             w.usize(r.pes);
+            w.usize(r.shards);
             let m = &r.metrics;
             w.u64(m.cycles);
             w.u64(m.instructions);
@@ -190,6 +191,7 @@ impl Checkpoint {
             let workload = r.str()?;
             let config = r.str()?;
             let pes = r.usize()?;
+            let shards = r.usize()?;
             let mut m = [0u64; 8];
             for v in &mut m {
                 *v = r.u64()?;
@@ -205,6 +207,7 @@ impl Checkpoint {
                 workload,
                 config,
                 pes,
+                shards,
                 metrics: PointMetrics {
                     cycles: m[0],
                     instructions: m[1],

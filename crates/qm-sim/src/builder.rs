@@ -66,6 +66,7 @@ pub struct SimBuilder {
     snap_every: Option<u64>,
     snap_dir: Option<String>,
     resume_from: Option<PathBuf>,
+    shards: Option<usize>,
 }
 
 impl System {
@@ -84,6 +85,7 @@ impl System {
             snap_every: None,
             snap_dir: None,
             resume_from: None,
+            shards: None,
         }
     }
 }
@@ -99,7 +101,7 @@ impl SimBuilder {
     ///
     /// # Panics
     ///
-    /// Panics unless `1 ≤ pes ≤ 16` (from
+    /// Panics unless `1 ≤ pes ≤ 1024` (from
     /// [`SystemConfig::with_pes`]).
     pub fn pes(self, pes: usize) -> Self {
         self.config(SystemConfig::with_pes(pes))
@@ -202,6 +204,20 @@ impl SimBuilder {
         self
     }
 
+    /// Shard the simulation across `n` host threads (see
+    /// [`System::set_shards`]). Sharding is an execution strategy, not
+    /// machine state: every shard count — including the default 1, the
+    /// serial scheduler — produces bit-identical results, so this
+    /// composes with every other option, including
+    /// [`resume_from`](Self::resume_from) (a snapshot captured serially
+    /// may be resumed sharded and vice versa; the snapshot bytes carry
+    /// no shard count). The contract and its test pins are documented
+    /// in `docs/DETERMINISM.md`.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
     /// Resume from a snapshot file instead of building a fresh system.
     /// The restored run continues bit-identically to the captured one.
     /// Mutually exclusive with [`object`](Self::object),
@@ -254,6 +270,9 @@ impl SimBuilder {
             if let Some(every) = self.snap_every {
                 sys.set_snapshot_cadence(every, self.snap_dir.unwrap_or_else(|| ".".to_string()));
             }
+            if let Some(n) = self.shards {
+                sys.set_shards(n);
+            }
             return Ok(sys);
         }
         let obj = match (self.object, self.assembly) {
@@ -304,6 +323,9 @@ impl SimBuilder {
         if let Some(every) = self.snap_every {
             sys.set_snapshot_cadence(every, self.snap_dir.unwrap_or_else(|| ".".to_string()));
         }
+        if let Some(n) = self.shards {
+            sys.set_shards(n);
+        }
         Ok(sys)
     }
 }
@@ -323,6 +345,7 @@ impl std::fmt::Debug for SimBuilder {
             .field("snap_every", &self.snap_every)
             .field("snap_dir", &self.snap_dir)
             .field("resume_from", &self.resume_from)
+            .field("shards", &self.shards)
             .finish()
     }
 }

@@ -117,7 +117,8 @@ impl RecoveryConfig {
 /// Full system configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemConfig {
-    /// Number of processing elements (1–16).
+    /// Number of processing elements (1–1024; the thesis hardware is
+    /// 1–16, larger machines extrapolate its packaging).
     pub pes: usize,
     /// Number of bus partitions the PEs are split into (ring nodes).
     /// The thesis's Fig. 5.18 shows 4 PEs in 2 partitions.
@@ -158,14 +159,17 @@ impl Default for SystemConfig {
 
 impl SystemConfig {
     /// A configuration with `pes` processing elements, two PEs per bus
-    /// partition (the thesis's packaging), and default costs.
+    /// partition (the thesis's packaging), and default costs. The thesis
+    /// hardware tops out at 16 PEs; configurations up to 1024 extrapolate
+    /// its packaging for the big-machine sweeps (run them sharded — see
+    /// [`crate::system::System::set_shards`]).
     ///
     /// # Panics
     ///
-    /// Panics unless `1 ≤ pes ≤ 16`.
+    /// Panics unless `1 ≤ pes ≤ 1024`.
     #[must_use]
     pub fn with_pes(pes: usize) -> Self {
-        assert!((1..=16).contains(&pes), "1..=16 PEs supported");
+        assert!((1..=1024).contains(&pes), "1..=1024 PEs supported");
         SystemConfig { pes, partitions: pes.div_ceil(2), ..Self::default() }
     }
 
@@ -257,9 +261,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "1..=16")]
+    #[should_panic(expected = "1..=1024")]
     fn too_many_pes_rejected() {
-        let _ = SystemConfig::with_pes(17);
+        let _ = SystemConfig::with_pes(1025);
+    }
+
+    #[test]
+    fn big_machine_configs_accepted() {
+        for pes in [17, 64, 256, 1024] {
+            let c = SystemConfig::with_pes(pes);
+            assert_eq!(c.partitions, pes.div_ceil(2));
+            assert_eq!(c.partition_of(pes - 1), c.partitions - 1);
+        }
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`memory`] — the shared, partitioned memory with ring-bus costs.
 //! * [`kernel`] — context records, state machine, kernel entry points.
 //! * [`sched`] — the run loop's ready queues and min-clock actor heap.
+//! * [`shard`] — deterministic host-parallel execution: local frontiers
+//!   pre-run provably PE-private instructions across shard threads while
+//!   the run loop serializes everything globally visible, bit-identical
+//!   to the serial scheduler (contract in `docs/DETERMINISM.md`).
 //! * [`system`] — the top-level simulator and run loop.
 //! * [`builder`] — fluent construction: [`Simulation::builder()`].
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
@@ -65,6 +69,7 @@ pub mod memory;
 pub mod msg;
 pub mod rng;
 pub mod sched;
+pub mod shard;
 pub mod snapshot;
 pub mod system;
 pub mod trace;

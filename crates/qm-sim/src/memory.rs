@@ -42,6 +42,13 @@ pub struct SharedMemory {
     /// Deferred bus-transfer trace events, drained by the run loop after
     /// each step. Inert unless the system installs a trace sink.
     pub trace: TraceBuffer,
+    /// Monotone count of run-time stores into the code segment (below
+    /// `GLOBAL_BASE`). Code is contractually pure, but a program *can*
+    /// store there; the sharded run loop compares this epoch after every
+    /// serial step and rolls back pre-executed frontier work that may
+    /// have fetched stale code. Transient (not snapshotted): it is only
+    /// ever compared within a single run-loop iteration.
+    pub(crate) code_writes: u64,
 }
 
 impl SharedMemory {
@@ -54,7 +61,18 @@ impl SharedMemory {
             config: config.clone(),
             stats: MemStats::default(),
             trace: TraceBuffer::default(),
+            code_writes: 0,
         }
+    }
+
+    /// Split borrow for the sharded frontier workers: the global plane
+    /// shared read-only (code fetches) and the per-PE local planes
+    /// mutably, to be chunked per shard. Statistics and tracing stay
+    /// with the run loop — frontier-legal accesses are local and emit no
+    /// trace events, and their `local_accesses` are merged back at the
+    /// barrier.
+    pub(crate) fn shard_split(&mut self) -> (&HashMap<UWord, Word>, &mut [HashMap<UWord, Word>]) {
+        (&self.global, &mut self.locals)
     }
 
     fn plane(&mut self, pe: usize, addr: UWord) -> &mut HashMap<UWord, Word> {
@@ -145,6 +163,11 @@ impl DataPort for SharedMemory {
 
     fn write_word(&mut self, pe: usize, addr: UWord, value: Word) -> u64 {
         let cost = self.cost(pe, addr);
+        if !is_local(addr) && addr < qm_isa::mem::GLOBAL_BASE {
+            // A store rewrote the code segment: bump the epoch so a
+            // sharded run invalidates pre-fetched frontier work.
+            self.code_writes += 1;
+        }
         self.plane(pe, addr & !3).insert(addr & !3, value);
         cost
     }

@@ -1,0 +1,704 @@
+//! Deterministic sharded execution: host-parallel local frontiers.
+//!
+//! [`System::set_shards`] partitions the PEs into contiguous shards, one
+//! host thread each. The run loop stays the single source of truth for
+//! every *globally visible* action — channel traffic, traps and forks,
+//! global-memory accesses, dispatches, fault draws, traces — executing
+//! them one at a time in the exact serial `(cycle, pe)` order. What the
+//! shard threads run in parallel is each PE's **local frontier**: the
+//! run of consecutive instructions that provably touch nothing outside
+//! the PE itself (its registers and its private local-memory plane) and
+//! therefore commute with every other PE's actions.
+//!
+//! Why not a fixed time-quantum barrier sized from the minimum
+//! cross-shard latency, as tick-based multi-core simulators use? This
+//! machine has *zero-latency* cross-PE dependences: the `LeastLoaded`
+//! placement policy reads every PE's clock the instant a fork traps, so
+//! no latency bound > 0 is conservative. The safe quantum is instead
+//! derived per instruction: a shard may run a PE ahead only through
+//! steps that cannot interact at all, and stops at the first one that
+//! might. That conservative frontier is what makes a sharded run
+//! **bit-identical** to the serial scheduler — same cycles, same
+//! `state_digest`, same trace streams, same fault draws (the contract
+//! in `docs/DETERMINISM.md`, pinned by `tests/shard_equivalence.rs`).
+//!
+//! # The frontier discipline
+//!
+//! A pre-executed step is recorded as a `(pre-step cycle, pe)` key plus
+//! a `StepBackup` holding the complete PE state before the step and
+//! an undo log of the local words it overwrote. The run loop *consumes*
+//! keys lexicographically `≤` its current `(cycle, pe)` selection —
+//! those steps are now part of serial history, so `instr_count`,
+//! `idle_steps` and the memory statistics advance exactly as the serial
+//! loop would have — and *rolls back* everything still pending when the
+//! machine halts or a store rewrites the code segment. Instructions are
+//! classified local by decode: `dup`s and ALU/compare/branch `Basic`
+//! ops whose operands resolve through the window. Because the queue
+//! pointer is program-writable, classification alone cannot prove an
+//! access stays local, so the frontier executes against a guarded
+//! [`DataPort`] (`FrontierPort`): any access that would leave the
+//! PE's local plane flags a violation, the step is rolled back from its
+//! backup, and the PE is parked for the run loop to execute serially.
+
+use std::collections::{HashMap, VecDeque};
+
+use qm_isa::isa::{Instruction, Opcode};
+use qm_isa::mem::{is_local, DataPort, GLOBAL_BASE};
+use qm_isa::pe::{Pe, RecvOutcome, SendOutcome, Services, StepResult};
+
+use crate::fault::FaultEngine;
+use crate::kernel::CtxState;
+use crate::system::{PeUnit, System};
+use crate::{UWord, Word};
+
+/// Most pre-executed (unconsumed) steps a PE's frontier may hold. Also
+/// the per-PE term of the instruction-budget margin: frontiers shut off
+/// within `pes × FRONTIER_CAP` steps of `max_instructions`, so the final
+/// march to the budget runs fully serial and a budget abort leaves the
+/// exact serial machine state behind.
+pub(crate) const FRONTIER_CAP: usize = 64;
+
+/// Undo record for one pre-executed local step.
+#[derive(Debug)]
+struct StepBackup {
+    /// Complete PE state before the step (`Pe` is flat — registers,
+    /// clocks and counters, nothing heap-allocated — so a clone is a
+    /// fixed-size copy).
+    pe: Pe,
+    /// Local-plane words the step overwrote, in write order:
+    /// `(address, prior value)` with `None` for previously-absent words.
+    writes: Vec<(UWord, Option<Word>)>,
+    /// `local_accesses` the step charged (subtracted on rollback).
+    local_accesses: u64,
+}
+
+/// Why a PE's frontier run stopped (decides who re-examines it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Stop {
+    /// Next instruction is (or may be) globally visible — or the PE is
+    /// simply not running. Re-examined after its next serial step.
+    #[default]
+    NonLocal,
+    /// Hit the pause/snapshot boundary; re-examined when it advances.
+    Bound,
+    /// Deque at [`FRONTIER_CAP`]; re-examined when consumption drains it.
+    Cap,
+}
+
+/// Per-PE frontier state.
+#[derive(Debug, Default)]
+struct PeFrontier {
+    /// Pre-step cycles of executed-but-unconsumed steps, ascending.
+    keys: VecDeque<u64>,
+    /// One backup per key, same order.
+    backups: VecDeque<StepBackup>,
+    /// A guarded access left the local plane: the step was rolled back
+    /// and the run loop must execute this PE serially before the
+    /// frontier may try again.
+    parked: bool,
+    stop: Stop,
+}
+
+/// Runtime bookkeeping for a sharded run — rebuilt by every `run_until`
+/// call and deliberately *not* part of snapshots: captured state is
+/// always at a consumption barrier, so snapshot bytes are identical for
+/// every shard count (including 1, the serial scheduler).
+#[derive(Debug)]
+pub(crate) struct ShardRt {
+    /// Effective shard count (`2..=pes`).
+    shards: usize,
+    /// Owning shard of each PE (contiguous ranges).
+    shard_of: Vec<usize>,
+    fr: Vec<PeFrontier>,
+    /// PEs with a nonempty deque.
+    active: Vec<usize>,
+    in_active: Vec<bool>,
+    /// PEs whose frontier eligibility must be re-examined.
+    recheck: Vec<usize>,
+    in_recheck: Vec<bool>,
+    /// Total unconsumed keys across all PEs.
+    pending: u64,
+    /// `SharedMemory::code_writes` at the last barrier; a change means a
+    /// store rewrote the code segment and pending frontiers are stale.
+    code_epoch: u64,
+    /// Last frontier bound; pending `Stop::Bound` PEs are re-examined
+    /// when it advances (a cadence snapshot boundary was crossed).
+    last_bound: u64,
+}
+
+impl ShardRt {
+    fn new(pes: usize, shards: usize, code_epoch: u64) -> Self {
+        let shard_of = (0..shards)
+            .flat_map(|s| {
+                let (lo, hi) = (s * pes / shards, (s + 1) * pes / shards);
+                std::iter::repeat_n(s, hi - lo)
+            })
+            .collect();
+        ShardRt {
+            shards,
+            shard_of,
+            fr: (0..pes).map(|_| PeFrontier::default()).collect(),
+            active: Vec::new(),
+            in_active: vec![false; pes],
+            recheck: (0..pes).collect(),
+            in_recheck: vec![true; pes],
+            pending: 0,
+            code_epoch,
+            last_bound: 0,
+        }
+    }
+
+    fn push_recheck(&mut self, p: usize) {
+        if !self.in_recheck[p] {
+            self.in_recheck[p] = true;
+            self.recheck.push(p);
+        }
+    }
+}
+
+/// Channel services are globally visible, so a frontier step can never
+/// legitimately reach them: the classifier only admits instructions
+/// without `send`/`recv` semantics.
+struct NoSvc;
+
+impl Services for NoSvc {
+    fn send(&mut self, _pe: usize, _chan: Word, _value: Word) -> SendOutcome {
+        unreachable!("local-classified instructions never send")
+    }
+    fn recv(&mut self, _pe: usize, _chan: Word) -> RecvOutcome {
+        unreachable!("local-classified instructions never recv")
+    }
+}
+
+/// Guarded [`DataPort`] for frontier steps: serves the PE's local plane
+/// with the exact cost/statistics semantics of
+/// [`crate::memory::SharedMemory`], records an undo log, and flags any
+/// access outside the local plane as a violation instead of serving it.
+struct FrontierPort<'a> {
+    local: &'a mut HashMap<UWord, Word>,
+    global: &'a HashMap<UWord, Word>,
+    writes: &'a mut Vec<(UWord, Option<Word>)>,
+    local_accesses: u64,
+    violated: bool,
+}
+
+impl DataPort for FrontierPort<'_> {
+    fn read_word(&mut self, _pe: usize, addr: UWord) -> (Word, u64) {
+        if !is_local(addr) {
+            self.violated = true;
+            return (0, 0);
+        }
+        self.local_accesses += 1;
+        (self.local.get(&(addr & !3)).copied().unwrap_or(0), 0)
+    }
+
+    fn write_word(&mut self, _pe: usize, addr: UWord, value: Word) -> u64 {
+        if !is_local(addr) {
+            self.violated = true;
+            return 0;
+        }
+        self.local_accesses += 1;
+        let a = addr & !3;
+        self.writes.push((a, self.local.get(&a).copied()));
+        self.local.insert(a, value);
+        0
+    }
+
+    fn read_byte(&mut self, pe: usize, addr: UWord) -> (Word, u64) {
+        let (word, cost) = self.read_word(pe, addr & !3);
+        let shift = (addr & 3) * 8;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+        (((word as u32 >> shift) & 0xFF) as Word, cost)
+    }
+
+    fn write_byte(&mut self, pe: usize, addr: UWord, value: Word) -> u64 {
+        let aligned = addr & !3;
+        let (old, _) = self.read_word(pe, aligned);
+        let shift = (addr & 3) * 8;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+        let merged = {
+            let old = old as u32;
+            ((old & !(0xFFu32 << shift)) | (((value as u32) & 0xFF) << shift)) as Word
+        };
+        self.write_word(pe, aligned, merged)
+    }
+
+    fn fetch_code(&mut self, _pe: usize, addr: UWord) -> u32 {
+        #[allow(clippy::cast_sign_loss)]
+        {
+            self.global.get(&(addr & !3)).copied().unwrap_or(0) as u32
+        }
+    }
+}
+
+/// Can this instruction execute entirely within the PE? `dup` only
+/// writes queue-page slots; a `Basic` op is local when it has ALU
+/// semantics ([`Opcode::alu`]) or is a branch — those read operands
+/// through the window (a miss is a queue-page read) and never touch
+/// channels, traps or operand memory. `fetch`/`store` and channel ops
+/// are conservatively global; traps always are.
+fn is_local_instr(ins: &Instruction) -> bool {
+    match ins {
+        Instruction::Dup { .. } => true,
+        Instruction::Basic { op, .. } => {
+            op.alu(0, 1).is_some() || matches!(op, Opcode::Bne | Opcode::Beq)
+        }
+    }
+}
+
+fn fetch(global: &HashMap<UWord, Word>, addr: UWord) -> u32 {
+    #[allow(clippy::cast_sign_loss)]
+    {
+        global.get(&(addr & !3)).copied().unwrap_or(0) as u32
+    }
+}
+
+/// Whether the PE's next instruction is local-classified. Requires the
+/// PC (and the up-to-3-word encoding after it) to sit inside the code
+/// segment (below [`GLOBAL_BASE`]): frontier fetches then never observe
+/// mutable global data, and the `code_writes` barrier epoch is the only
+/// staleness hazard left.
+fn next_is_local(pe: &Pe, global: &HashMap<UWord, Word>) -> bool {
+    let pc = pe.regs.pc();
+    if pc & 3 != 0 || pc.checked_add(12).is_none_or(|end| end >= GLOBAL_BASE) {
+        return false;
+    }
+    let words = [fetch(global, pc), fetch(global, pc + 4), fetch(global, pc + 8)];
+    match Instruction::decode(&words) {
+        Ok((ins, _)) => is_local_instr(&ins),
+        Err(_) => false,
+    }
+}
+
+/// Run one PE's frontier until something non-local comes up. Returns
+/// nothing: progress lands in `unit`/`local`/`fr`, statistics in `la`.
+#[allow(clippy::too_many_arguments)]
+fn run_frontier(
+    p: usize,
+    unit: &mut PeUnit,
+    fr: &mut PeFrontier,
+    local: &mut HashMap<UWord, Word>,
+    global: &HashMap<UWord, Word>,
+    faults: Option<&FaultEngine>,
+    bound: u64,
+    la: &mut u64,
+) {
+    loop {
+        let t = unit.pe.cycles;
+        if t >= bound {
+            fr.stop = Stop::Bound;
+            return;
+        }
+        if fr.keys.len() >= FRONTIER_CAP {
+            fr.stop = Stop::Cap;
+            return;
+        }
+        fr.stop = Stop::NonLocal;
+        // A stall window is a fault draw the run loop must account for.
+        if faults.is_some_and(|f| f.stall_until(p, t).is_some()) {
+            return;
+        }
+        if !next_is_local(&unit.pe, global) {
+            return;
+        }
+        let mut backup = StepBackup { pe: unit.pe.clone(), writes: Vec::new(), local_accesses: 0 };
+        let (result, step_la, violated) = {
+            let mut port = FrontierPort {
+                local,
+                global,
+                writes: &mut backup.writes,
+                local_accesses: 0,
+                violated: false,
+            };
+            let r = unit.pe.step(&mut port, &mut NoSvc);
+            (r, port.local_accesses, port.violated)
+        };
+        if violated || !matches!(result, StepResult::Continue) {
+            // The queue pointer (or POM) pointed outside the local
+            // plane: undo the step and let the run loop execute it with
+            // full global semantics.
+            for &(addr, old) in backup.writes.iter().rev() {
+                match old {
+                    Some(w) => {
+                        local.insert(addr, w);
+                    }
+                    None => {
+                        local.remove(&addr);
+                    }
+                }
+            }
+            unit.pe = backup.pe;
+            fr.parked = true;
+            return;
+        }
+        unit.busy += unit.pe.cycles - t;
+        *la += step_la;
+        backup.local_accesses = step_la;
+        fr.keys.push_back(t);
+        fr.backups.push_back(backup);
+    }
+}
+
+impl System {
+    /// Install the frontier bookkeeping for this `run_until` call, or
+    /// `None` when the effective shard count is 1 (the run loop is then
+    /// byte-for-byte the serial scheduler).
+    pub(crate) fn shard_begin_run(&mut self) {
+        let eff = self.shards.min(self.cfg.pes);
+        self.shard = if eff > 1 {
+            Some(ShardRt::new(self.cfg.pes, eff, self.memory.code_writes))
+        } else {
+            None
+        };
+    }
+
+    /// True when no pre-executed steps are pending — the state every
+    /// snapshot capture and pause boundary is proven to be in.
+    pub(crate) fn shard_quiescent(&self) -> bool {
+        self.shard.as_ref().is_none_or(|rt| rt.pending == 0)
+    }
+
+    /// Phase A of a sharded iteration: run the eligible PEs' local
+    /// frontiers, in parallel across shards. Eligibility is maintained
+    /// incrementally (`recheck`), so iterations that change nothing a
+    /// frontier depends on cost O(1) here.
+    pub(crate) fn shard_phase_a(&mut self, limit: u64) {
+        let Some(rt) = self.shard.as_mut() else { return };
+        let bound = match self.snap_every {
+            // Never pre-execute across a cadence boundary: the capture
+            // must see exact serial state.
+            Some(_) => limit.min(self.next_snap_at),
+            None => limit,
+        };
+        if bound > rt.last_bound {
+            rt.last_bound = bound;
+            for p in 0..rt.fr.len() {
+                if rt.fr[p].stop == Stop::Bound && !rt.fr[p].parked {
+                    rt.push_recheck(p);
+                }
+            }
+        }
+        if rt.recheck.is_empty() {
+            return;
+        }
+        // Instruction-budget margin: stop pre-executing when fewer than
+        // pes × FRONTIER_CAP instructions remain, so a budget abort
+        // happens on a serial step with no pending frontier state.
+        let margin = (self.cfg.pes * FRONTIER_CAP) as u64;
+        if self.cfg.max_instructions.saturating_sub(self.instr_count).saturating_sub(rt.pending)
+            <= margin
+        {
+            for &p in &rt.recheck {
+                rt.in_recheck[p] = false;
+            }
+            rt.recheck.clear();
+            return;
+        }
+        let (global, locals) = self.memory.shard_split();
+        let faults = self.faults.as_ref();
+        // Filter the recheck set down to PEs that can actually run a
+        // frontier right now, grouped by owning shard.
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); rt.shards];
+        let mut any = false;
+        for idx in 0..rt.recheck.len() {
+            let p = rt.recheck[idx];
+            rt.in_recheck[p] = false;
+            let unit = &self.pes[p];
+            let running = unit.current.is_some_and(|c| self.contexts[c].state == CtxState::Running);
+            let fr = &rt.fr[p];
+            if !running
+                || fr.parked
+                || fr.keys.len() >= FRONTIER_CAP
+                || unit.pe.cycles >= bound
+                || faults.is_some_and(|f| f.stall_until(p, unit.pe.cycles).is_some())
+                || !next_is_local(&unit.pe, global)
+            {
+                if running && !fr.parked && unit.pe.cycles >= bound {
+                    rt.fr[p].stop = Stop::Bound;
+                }
+                continue;
+            }
+            per_shard[rt.shard_of[p]].push(p);
+            any = true;
+        }
+        rt.recheck.clear();
+        if !any {
+            return;
+        }
+        let shards_hit = per_shard.iter().filter(|v| !v.is_empty()).count();
+        let mut la_slots = vec![0u64; rt.shards];
+        if shards_hit == 1 {
+            // One shard's worth of work: run it inline, no thread spawn.
+            let s = per_shard.iter().position(|v| !v.is_empty()).unwrap();
+            for &p in &per_shard[s] {
+                run_frontier(
+                    p,
+                    &mut self.pes[p],
+                    &mut rt.fr[p],
+                    &mut locals[p],
+                    global,
+                    faults,
+                    bound,
+                    &mut la_slots[s],
+                );
+            }
+        } else {
+            let n = self.pes.len();
+            let shards = rt.shards;
+            let mut pes_rest: &mut [PeUnit] = &mut self.pes;
+            let mut locals_rest: &mut [HashMap<UWord, Word>] = locals;
+            let mut fr_rest: &mut [PeFrontier] = &mut rt.fr;
+            let mut la_rest: &mut [u64] = &mut la_slots;
+            let mut base = 0usize;
+            std::thread::scope(|scope| {
+                for (s, cands) in per_shard.iter().enumerate() {
+                    let hi = (s + 1) * n / shards;
+                    let w = hi - base;
+                    let (pes_s, pr) = pes_rest.split_at_mut(w);
+                    let (locals_s, lr) = locals_rest.split_at_mut(w);
+                    let (fr_s, fr2) = fr_rest.split_at_mut(w);
+                    let (la_s, lar) = la_rest.split_at_mut(1);
+                    pes_rest = pr;
+                    locals_rest = lr;
+                    fr_rest = fr2;
+                    la_rest = lar;
+                    let lo = base;
+                    base = hi;
+                    if cands.is_empty() {
+                        continue;
+                    }
+                    scope.spawn(move || {
+                        let la = &mut la_s[0];
+                        for &p in cands {
+                            run_frontier(
+                                p,
+                                &mut pes_s[p - lo],
+                                &mut fr_s[p - lo],
+                                &mut locals_s[p - lo],
+                                global,
+                                faults,
+                                bound,
+                                la,
+                            );
+                        }
+                    });
+                }
+            });
+        }
+        self.memory.stats.local_accesses += la_slots.iter().sum::<u64>();
+        let rt = self.shard.as_mut().expect("installed above");
+        for cands in &per_shard {
+            for &p in cands {
+                if !rt.fr[p].keys.is_empty() && !rt.in_active[p] {
+                    rt.in_active[p] = true;
+                    rt.active.push(p);
+                }
+            }
+        }
+        rt.pending = rt.fr.iter().map(|f| f.keys.len() as u64).sum();
+    }
+
+    /// Consume every pre-executed step lexicographically `≤ (t, i)` —
+    /// the serial loop executed exactly those before reaching this
+    /// selection — folding them into the serial bookkeeping:
+    /// `instr_count` (each consumed step passed its budget check when
+    /// the serial loop would have run it), `idle_steps` (local steps
+    /// always complete, resetting the watchdog), and dropping their
+    /// rollback backups.
+    pub(crate) fn shard_consume(&mut self, t: u64, i: usize) {
+        let Some(rt) = self.shard.as_mut() else { return };
+        if rt.active.is_empty() {
+            return;
+        }
+        let mut consumed_total = 0u64;
+        let mut idx = 0;
+        while idx < rt.active.len() {
+            let p = rt.active[idx];
+            let fr = &mut rt.fr[p];
+            let mut n = 0u64;
+            while let Some(&k) = fr.keys.front() {
+                if k < t || (k == t && p <= i) {
+                    fr.keys.pop_front();
+                    fr.backups.pop_front();
+                    n += 1;
+                } else {
+                    break;
+                }
+            }
+            if n > 0 {
+                consumed_total += n;
+                rt.pending -= n;
+                if !rt.in_recheck[p] {
+                    rt.in_recheck[p] = true;
+                    rt.recheck.push(p);
+                }
+            }
+            if fr.keys.is_empty() {
+                rt.in_active[p] = false;
+                rt.active.swap_remove(idx);
+            } else {
+                idx += 1;
+            }
+        }
+        if consumed_total > 0 {
+            self.instr_count += consumed_total;
+            self.idle_steps = 0;
+        }
+    }
+
+    /// Post-step hook for a sharded iteration: the PE that just executed
+    /// serially becomes frontier-eligible again (and un-parked — its
+    /// violating instruction has now run with full global semantics).
+    /// When the step halted the machine or rewrote the code segment,
+    /// every still-pending frontier step is rolled back: the serial
+    /// machine would never have executed them (HALT) or would have
+    /// executed them against the new code.
+    pub(crate) fn shard_after_step(&mut self, i: usize) {
+        let Some(rt) = self.shard.as_mut() else { return };
+        rt.fr[i].parked = false;
+        rt.push_recheck(i);
+        let must_roll = self.halted || self.memory.code_writes != rt.code_epoch;
+        if must_roll {
+            self.shard_rollback_pending();
+        }
+    }
+
+    /// Roll every pending frontier step back: restore each PE from its
+    /// earliest backup, undo the local writes newest-first, and return
+    /// the charged statistics. Scheduler hints are refreshed because the
+    /// rolled-back clocks moved backwards.
+    fn shard_rollback_pending(&mut self) {
+        let rt = self.shard.as_mut().expect("called on a sharded run");
+        rt.code_epoch = self.memory.code_writes;
+        if rt.active.is_empty() {
+            return;
+        }
+        let mut rolled: Vec<(usize, u64)> = Vec::with_capacity(rt.active.len());
+        {
+            let (_global, locals) = self.memory.shard_split();
+            for &p in &rt.active {
+                let fr = &mut rt.fr[p];
+                let Some(first) = fr.backups.front() else { continue };
+                let restored = first.pe.clone();
+                let mut la = 0;
+                for b in fr.backups.iter().rev() {
+                    for &(addr, old) in b.writes.iter().rev() {
+                        match old {
+                            Some(w) => {
+                                locals[p].insert(addr, w);
+                            }
+                            None => {
+                                locals[p].remove(&addr);
+                            }
+                        }
+                    }
+                    la += b.local_accesses;
+                }
+                let unit = &mut self.pes[p];
+                unit.busy -= unit.pe.cycles - restored.cycles;
+                unit.pe = restored;
+                rt.pending -= fr.keys.len() as u64;
+                fr.keys.clear();
+                fr.backups.clear();
+                rolled.push((p, la));
+            }
+            for &p in &rt.active {
+                rt.in_active[p] = false;
+            }
+            rt.active.clear();
+        }
+        for &(p, la) in &rolled {
+            self.memory.stats.local_accesses -= la;
+            let t = self.actor_time(p);
+            self.sched.refresh(p, t);
+            if let Some(rt) = self.shard.as_mut() {
+                rt.push_recheck(p);
+            }
+        }
+    }
+
+    /// The clock the serial scheduler would observe for PE `p` right
+    /// now: pre-executed frontier steps haven't happened yet in serial
+    /// terms, so it is the pre-step cycle of the earliest unconsumed
+    /// step, or the live clock when nothing is pending. `LeastLoaded`
+    /// placement breaks ties on this, so fork decisions (and therefore
+    /// everything downstream) match the serial run exactly.
+    pub(crate) fn shard_serial_clock(&self, p: usize) -> u64 {
+        match &self.shard {
+            Some(rt) => rt.fr[p].keys.front().copied().unwrap_or(self.pes[p].pe.cycles),
+            None => self.pes[p].pe.cycles,
+        }
+    }
+}
+
+/// The full determinism contract (`docs/DETERMINISM.md`), embedded so
+/// `cargo doc` renders it next to the API it governs and the
+/// `-D warnings` doc gate lints it alongside the code.
+#[doc = include_str!("../../../docs/DETERMINISM.md")]
+pub mod contract {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basic(op: Opcode) -> Instruction {
+        Instruction::basic(op, qm_isa::isa::SrcMode::Window(0), qm_isa::isa::SrcMode::Window(1))
+    }
+
+    #[test]
+    fn alu_compare_branch_and_dup_are_local() {
+        for op in [Opcode::Plus, Opcode::Mul, Opcode::Eq, Opcode::Bne, Opcode::Beq] {
+            assert!(is_local_instr(&basic(op)), "{op:?}");
+        }
+        assert!(is_local_instr(&Instruction::Dup { two: false, off1: 0, off2: 0, cont: false }));
+    }
+
+    #[test]
+    fn memory_channel_and_trap_ops_are_global() {
+        for op in [
+            Opcode::Fetch,
+            Opcode::Store,
+            Opcode::Fchb,
+            Opcode::Storb,
+            Opcode::Send,
+            Opcode::Recv,
+            Opcode::Trap,
+            Opcode::Ftrap,
+            Opcode::Fret,
+            Opcode::Rett,
+        ] {
+            assert!(!is_local_instr(&basic(op)), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn frontier_port_guards_non_local_addresses() {
+        let mut local = HashMap::new();
+        let global = HashMap::new();
+        let mut writes = Vec::new();
+        let mut port = FrontierPort {
+            local: &mut local,
+            global: &global,
+            writes: &mut writes,
+            local_accesses: 0,
+            violated: false,
+        };
+        port.write_word(0, qm_isa::mem::LOCAL_BASE + 8, 7);
+        assert!(!port.violated);
+        assert_eq!(port.read_word(0, qm_isa::mem::LOCAL_BASE + 8).0, 7);
+        port.read_word(0, GLOBAL_BASE); // global plane: must trip the guard
+        assert!(port.violated);
+        assert_eq!(port.local_accesses, 2, "violating access charges nothing");
+        assert_eq!(writes.len(), 1);
+    }
+
+    #[test]
+    fn shard_of_is_contiguous_and_covers_all_pes() {
+        for (pes, shards) in [(5, 2), (8, 3), (16, 16), (1024, 7)] {
+            let rt = ShardRt::new(pes, shards, 0);
+            assert_eq!(rt.shard_of.len(), pes);
+            assert!(rt.shard_of.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(*rt.shard_of.last().unwrap(), shards - 1);
+        }
+    }
+}

@@ -406,6 +406,11 @@ impl Snapshot {
     /// capturing the same state twice yields identical bytes.
     #[must_use]
     pub fn capture(sys: &System) -> Snapshot {
+        // Captures happen at run-loop barriers (pauses, cadence
+        // boundaries, or outside a run), where a sharded run holds no
+        // pre-executed frontier state: the captured bytes are identical
+        // for every shard count.
+        debug_assert!(sys.shard_quiescent(), "capture at a mid-quantum point");
         let (global_mem, local_mem) = sys.memory.export_planes();
         let (ready, sched_seq) = sys.sched.export_ready();
         // The object is immutable after load: share the cached snapshot
@@ -1254,7 +1259,7 @@ impl System {
     pub fn restore(snap: &Snapshot) -> Result<System, SnapshotError> {
         let cfg = &snap.cfg;
         let bad = |msg: String| Err(SnapshotError::Malformed(msg));
-        if !(1..=16).contains(&cfg.pes) {
+        if !(1..=1024).contains(&cfg.pes) {
             return bad(format!("unsupported PE count {}", cfg.pes));
         }
         if cfg.partitions == 0 {

@@ -287,6 +287,13 @@ pub struct System {
     /// Next cycle boundary an automatic snapshot fires at (snapshotted,
     /// so a resumed run hits the identical boundaries).
     pub(crate) next_snap_at: u64,
+    /// Requested host-thread shard count (see [`System::set_shards`]).
+    /// A host-side execution knob, not machine state: it is *not*
+    /// snapshotted, so captures are shard-count-invariant.
+    pub(crate) shards: usize,
+    /// Frontier bookkeeping while a sharded `run_until` is in flight
+    /// (`None` between runs and for effective shard count 1).
+    pub(crate) shard: Option<crate::shard::ShardRt>,
 }
 
 impl std::fmt::Debug for System {
@@ -490,8 +497,29 @@ impl System {
             snap_every: None,
             snap_dir: String::from("."),
             next_snap_at: 0,
+            shards: 1,
+            shard: None,
             cfg,
         }
+    }
+
+    /// Shard the simulation across `shards` host threads (clamped to
+    /// `1..=pes`; the default 1 is the serial scheduler, byte for byte).
+    /// Sharding is an execution strategy, not a machine parameter: any
+    /// shard count produces bit-identical results — same cycles, same
+    /// [`Snapshot::state_digest`](crate::snapshot::Snapshot::state_digest),
+    /// same trace streams, same fault draws,
+    /// same snapshot bytes — as the serial run (`docs/DETERMINISM.md`;
+    /// pinned by `tests/shard_equivalence.rs`). It is therefore safe to
+    /// change between runs, including on a restored snapshot.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// The requested shard count (before clamping to the PE count).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Install a fault-injection plan (see [`crate::fault`]). An empty
@@ -606,13 +634,17 @@ impl System {
                 // Every Ready context sits in exactly one ready queue and
                 // every Running context is some PE's current, so the load
                 // is a queue length plus a running bit — no context scan.
+                // Under sharding a PE's live clock may have run ahead
+                // through pre-executed local steps; the tie-break uses
+                // the serial-equivalent clock so fork placement matches
+                // the serial run exactly.
                 (0..self.cfg.pes)
                     .min_by_key(|&i| {
                         let running = self.pes[i]
                             .current
                             .is_some_and(|c| self.contexts[c].state == CtxState::Running);
                         let load = self.sched.ready_len(i) + usize::from(running);
-                        (load, self.pes[i].pe.cycles, i)
+                        (load, self.shard_serial_clock(i), i)
                     })
                     .unwrap_or(parent)
             }
@@ -624,7 +656,7 @@ impl System {
     /// or `None` when nothing can run there. A PE whose resident context
     /// is blocked only acts when some context (possibly that one,
     /// re-woken) is ready.
-    fn actor_time(&self, pe: usize) -> Option<u64> {
+    pub(crate) fn actor_time(&self, pe: usize) -> Option<u64> {
         let unit = &self.pes[pe];
         let running = unit.current.is_some_and(|c| self.contexts[c].state == CtxState::Running);
         if running {
@@ -871,14 +903,39 @@ impl System {
     /// automatic cadence snapshot (see
     /// [`System::set_snapshot_cadence`]) cannot be written.
     pub fn run_until(&mut self, limit: u64) -> Result<RunStatus, SimError> {
+        // Sharded execution (see `crate::shard`) lives entirely within
+        // one run_until call: the bookkeeping is installed here, torn
+        // down on every exit path, and never part of captured state.
+        // Every pause, cadence snapshot and completion below happens at
+        // a consumption barrier, where the machine state is exactly the
+        // serial scheduler's.
+        self.shard_begin_run();
+        let result = self.run_until_inner(limit);
+        self.shard = None;
+        result
+    }
+
+    fn run_until_inner(&mut self, limit: u64) -> Result<RunStatus, SimError> {
         self.rebuild_actors();
         while !self.halted && self.live > 0 {
+            if self.shard.is_some() {
+                self.shard_phase_a(limit);
+            }
             let Some((i, t)) = self.next_actor() else {
+                debug_assert!(self.shard_quiescent(), "pending frontier implies a runnable PE");
                 return Err(SimError::Deadlock { blocked: self.deadlock_report() });
             };
+            if self.shard.is_some() {
+                // Pre-executed local steps up to this selection are now
+                // serial history: fold them into instr_count/idle_steps.
+                self.shard_consume(t, i);
+            }
             if t >= limit {
                 // The popped actor hint is discarded; the next run_until
-                // re-plants every candidate via rebuild_actors.
+                // re-plants every candidate via rebuild_actors. All
+                // frontier keys were < limit ≤ t, so the consume above
+                // drained them: the paused state is the serial state.
+                debug_assert!(self.shard_quiescent());
                 return Ok(RunStatus::Paused { cycle: t });
             }
             if self.snap_every.is_some() {
@@ -896,6 +953,11 @@ impl System {
                 self.tracer.emit(t, i, || TraceEvent::FaultStall { from: t, until });
                 let time = self.actor_time(i);
                 self.sched.refresh(i, time);
+                if self.shard.is_some() {
+                    // The stall window is behind this PE's clock now, so
+                    // its frontier is eligible again.
+                    self.shard_after_step(i);
+                }
                 continue;
             }
             let running =
@@ -987,7 +1049,11 @@ impl System {
             if self.instr_count > self.cfg.max_instructions {
                 return Err(SimError::InstructionBudget);
             }
+            if self.shard.is_some() {
+                self.shard_after_step(i);
+            }
         }
+        debug_assert!(self.shard_quiescent(), "completion is a consumption barrier");
         Ok(RunStatus::Done(self.outcome()))
     }
 
@@ -1016,6 +1082,11 @@ impl System {
             if t < self.next_snap_at {
                 break;
             }
+            // Frontiers never pre-execute past next_snap_at and
+            // everything before this step time was consumed, so a
+            // cadence capture sees exact serial state regardless of the
+            // shard count.
+            debug_assert!(self.shard_quiescent(), "cadence captures happen at barriers");
             let path = std::path::Path::new(&self.snap_dir)
                 .join(format!("qm-snap-{:012}.snap", self.next_snap_at));
             crate::snapshot::Snapshot::capture(self)

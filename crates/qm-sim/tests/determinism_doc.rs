@@ -1,0 +1,81 @@
+//! Keeps `docs/DETERMINISM.md` honest, the way `isa_doc.rs` does for the
+//! ISA reference: the contract document must name the real API surface
+//! it describes, and every test file its pinning table cites must exist
+//! in the tree — so renaming a test or an entry point fails here until
+//! the contract is updated with it.
+
+const DOC: &str = include_str!("../../../docs/DETERMINISM.md");
+
+/// API anchors the contract describes: each must appear backticked (as
+/// part of a path or call) so prose drift can't mask a rename.
+const API_ANCHORS: [&str; 8] = [
+    "qm_sim::rng::mix",
+    "qm_sim::rng::draw",
+    "qm_sim::rng::checksum",
+    "Snapshot::state_digest",
+    "Snapshot::capture",
+    "System::set_shards",
+    ".shards(n)",
+    "WorkloadRun::shards",
+];
+
+#[test]
+fn the_contract_names_the_real_api_surface() {
+    let missing: Vec<&str> = API_ANCHORS.iter().filter(|a| !DOC.contains(**a)).copied().collect();
+    assert!(missing.is_empty(), "docs/DETERMINISM.md no longer mentions: {missing:?}");
+}
+
+/// The repository root, whether the test runs under cargo (cwd is the
+/// crate dir) or the offline harness (cwd is the repo root).
+fn repo_root() -> std::path::PathBuf {
+    let base = std::path::PathBuf::from(option_env!("CARGO_MANIFEST_DIR").unwrap_or("."));
+    for cand in [base.join("../.."), base] {
+        if cand.join("docs/DETERMINISM.md").exists() {
+            return cand;
+        }
+    }
+    panic!("repository root not found from the test's working directory");
+}
+
+#[test]
+fn every_cited_test_file_exists() {
+    // The pinning table cites repo-relative paths in backticks; check
+    // each `crates/...` or `tests/...` citation against the tree.
+    let root = repo_root();
+    let mut cited = 0;
+    for token in DOC.split('`').skip(1).step_by(2) {
+        if !(token.starts_with("crates/") || token.starts_with("tests/")) {
+            continue;
+        }
+        cited += 1;
+        assert!(
+            root.join(token).exists(),
+            "docs/DETERMINISM.md cites `{token}`, which does not exist"
+        );
+    }
+    assert!(cited >= 10, "the pinning table shrank to {cited} citations — update the doc test");
+}
+
+#[test]
+fn the_contract_covers_every_promised_section() {
+    for heading in [
+        "## What is deterministic",
+        "## Random numbers",
+        "## The run loop's total order",
+        "## `state_digest`",
+        "## Snapshots",
+        "## Sharded execution",
+        "## How each suite pins the contract",
+    ] {
+        assert!(DOC.contains(heading), "docs/DETERMINISM.md lost the section {heading:?}");
+    }
+}
+
+#[test]
+fn shard_api_documented_as_serial_equivalent() {
+    // The load-bearing sentence of the sharded section: shards(1) is the
+    // serial scheduler, and snapshot bytes carry no shard count.
+    assert!(DOC.contains("shard-count-invariant"));
+    assert!(DOC.contains("bit-identical"));
+    assert!(DOC.contains("consumption barrier"));
+}

@@ -1,0 +1,244 @@
+//! Sharded execution: serial equivalence and shard-boundary edge cases.
+//!
+//! The determinism contract (docs/DETERMINISM.md) promises that a run
+//! with `shards = n` is **bit-identical** to the serial scheduler for
+//! every observable: the `RunOutcome` (cycles, per-PE statistics, bus
+//! traffic), the structured trace stream, fault draws, snapshot bytes
+//! and the `state_digest` at every pause boundary. These tests pin the
+//! contract on deliberately awkward shapes — one PE with many shards,
+//! more shards than PEs, fault stall windows straddling a shard
+//! boundary, snapshot cadences and cross-shard-count restore.
+//!
+//! (Dependency-free on purpose: this file is part of the offline test
+//! gate; see `tests/shard_equivalence.rs` for the proptest sibling.)
+
+use qm_sim::config::{Placement, SystemConfig};
+use qm_sim::snapshot::Snapshot;
+use qm_sim::system::{RunOutcome, RunStatus, System};
+use qm_sim::trace::{Recorder, TraceRecord};
+use qm_sim::{FaultPlan, Simulation};
+
+/// Fan-out with per-worker compute loops: three workers each run a
+/// counted local loop (`plus`/`minus`/`bne` — all shard-local
+/// instructions), so the sharded engine's frontiers get long private
+/// runs between the channel rendezvous that force serialization.
+/// Expected host output: `3·(40 + 25 + 13) = 234`.
+const COMPUTE_FAN_OUT: &str = "
+main:   trap #0,#w :r0,r1
+        trap #0,#w :r2,r3
+        trap #0,#w :r4,r5
+        send r0,#40
+        send r2,#25
+        send r4,#13
+        recv r1,#0 :r6
+        recv r3,#0 :r7
+        recv r5,#0 :r8
+        plus r6,r7 :r9
+        plus r9,r8 :r10
+        send #0,r10
+        trap #2,#0
+w:      plus r17,#0 :r25         ; inbound channel
+        plus r18,#0 :r26         ; outbound channel
+        recv r25,#0 :r2
+        plus r2,#0 :r27          ; loop counter n
+        plus #0,#0 :r28          ; accumulator
+wl:     plus r28,#3 :r28
+        minus r27,#1 :r27
+        bne r27,@wl
+        send r26,r28             ; 3·n
+        trap #2,#0
+";
+
+fn build(pes: usize, shards: usize, plan: Option<FaultPlan>, rec: Option<&Recorder>) -> System {
+    let mut b = Simulation::builder()
+        .config(SystemConfig::with_pes(pes))
+        .assembly(COMPUTE_FAN_OUT)
+        .shards(shards);
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    if let Some(rec) = rec {
+        b = b.trace(rec.sink());
+    }
+    b.build().expect("assembles")
+}
+
+fn run_traced(pes: usize, shards: usize) -> (RunOutcome, Vec<TraceRecord>, u64) {
+    let rec = Recorder::new(1 << 16);
+    let mut sys = build(pes, shards, None, Some(&rec));
+    let out = sys.run().expect("runs");
+    let digest = Snapshot::capture(&sys).state_digest();
+    (out, rec.records(), digest)
+}
+
+#[test]
+fn sharded_run_is_bit_identical_to_serial() {
+    for pes in [1, 2, 4, 8] {
+        let (baseline, base_records, base_digest) = run_traced(pes, 1);
+        assert_eq!(baseline.output, vec![234], "{pes} PEs");
+        for shards in [2, 3, 4, 8] {
+            let (out, records, digest) = run_traced(pes, shards);
+            assert_eq!(out, baseline, "outcome, pes={pes} shards={shards}");
+            assert_eq!(records, base_records, "trace, pes={pes} shards={shards}");
+            assert_eq!(digest, base_digest, "digest, pes={pes} shards={shards}");
+        }
+    }
+}
+
+#[test]
+fn shard_count_far_exceeding_pes_is_clamped_not_rejected() {
+    let (baseline, _, base_digest) = run_traced(2, 1);
+    let (out, _, digest) = run_traced(2, 1024);
+    assert_eq!(out, baseline);
+    assert_eq!(digest, base_digest);
+}
+
+#[test]
+fn set_shards_zero_normalizes_to_one() {
+    let mut sys = build(2, 1, None, None);
+    sys.set_shards(0);
+    assert_eq!(sys.shards(), 1, "0 means serial, not a panic");
+    sys.set_shards(7);
+    assert_eq!(sys.shards(), 7);
+}
+
+#[test]
+fn least_loaded_placement_stays_equivalent_under_sharding() {
+    // LeastLoaded breaks placement ties on PE clocks, which the sharded
+    // engine must present at their *serial* values (pending frontier
+    // steps excluded) or forks land on different PEs.
+    let mk = |shards: usize| {
+        let mut cfg = SystemConfig::with_pes(4);
+        cfg.placement = Placement::LeastLoaded;
+        let mut sys = Simulation::builder()
+            .config(cfg)
+            .assembly(COMPUTE_FAN_OUT)
+            .shards(shards)
+            .build()
+            .expect("assembles");
+        let out = sys.run().expect("runs");
+        (out, Snapshot::capture(&sys).state_digest())
+    };
+    let (baseline, base_digest) = mk(1);
+    assert_eq!(baseline.output, vec![234]);
+    for shards in [2, 4] {
+        let (out, digest) = mk(shards);
+        assert_eq!(out, baseline, "shards={shards}");
+        assert_eq!(digest, base_digest, "shards={shards}");
+    }
+}
+
+#[test]
+fn fault_windows_across_shard_boundaries_replay_identically() {
+    // pes=4, shards=2 splits PEs 0–1 | 2–3; the stall windows cover the
+    // boundary pair (1, 2) so fault draws interleave with frontier
+    // rollback/parking on both sides of the split.
+    let plan = || {
+        FaultPlan::seeded(0xDEAD_BEA7)
+            .with_send_loss(200_000)
+            .with_bus_drops(120_000)
+            .with_trap_delays(300_000, 9)
+            .with_stall(1, 5, 60)
+            .with_stall(2, 20, 90)
+    };
+    let run = |shards: usize| {
+        let rec = Recorder::new(1 << 16);
+        let mut sys = build(4, shards, Some(plan()), Some(&rec));
+        let out = sys.run().expect("runs");
+        (out, rec.records(), Snapshot::capture(&sys).state_digest())
+    };
+    let (baseline, base_records, base_digest) = run(1);
+    assert_eq!(baseline.output, vec![234]);
+    for shards in [2, 4] {
+        let (out, records, digest) = run(shards);
+        assert_eq!(out, baseline, "shards={shards}");
+        assert_eq!(records, base_records, "shards={shards}");
+        assert_eq!(digest, base_digest, "shards={shards}");
+    }
+}
+
+#[test]
+fn pause_boundaries_quiesce_with_matching_digests() {
+    // run_until must consume every pending frontier step before pausing
+    // (a mid-quantum capture is normalized to a consumption barrier), so
+    // the digest at each pause equals the serial one and the stitched
+    // run finishes identically.
+    let (baseline, _, _) = run_traced(4, 1);
+    for pause_at in [1, 25, 60, 120, 250, 500] {
+        let mut serial = build(4, 1, None, None);
+        let mut sharded = build(4, 4, None, None);
+        let s1 = serial.run_until(pause_at).expect("serial half");
+        let s2 = sharded.run_until(pause_at).expect("sharded half");
+        assert_eq!(
+            Snapshot::capture(&serial).state_digest(),
+            Snapshot::capture(&sharded).state_digest(),
+            "pause digest at {pause_at}"
+        );
+        let finish = |sys: &mut System, status: RunStatus| match status {
+            RunStatus::Done(o) => o,
+            RunStatus::Paused { .. } => sys.run().expect("second half"),
+        };
+        assert_eq!(finish(&mut serial, s1), baseline, "serial stitched at {pause_at}");
+        assert_eq!(finish(&mut sharded, s2), baseline, "sharded stitched at {pause_at}");
+    }
+}
+
+#[test]
+fn snapshots_cross_shard_counts_both_ways() {
+    // Snapshot bytes are shard-count-invariant: capture under the serial
+    // scheduler, resume sharded — and the reverse — both finish the
+    // baseline run exactly.
+    let (baseline, _, _) = run_traced(4, 1);
+    for (cap_shards, resume_shards) in [(1, 4), (4, 1), (2, 8)] {
+        let mut sys = build(4, cap_shards, None, None);
+        match sys.run_until(90).expect("first half") {
+            RunStatus::Done(_) => panic!("program must outlive the pause"),
+            RunStatus::Paused { .. } => {}
+        }
+        let bytes = Snapshot::capture(&sys).encode();
+        let snap = Snapshot::decode(&bytes).expect("decodes");
+        let mut resumed = System::restore(&snap).expect("restores");
+        resumed.set_shards(resume_shards);
+        let out = resumed.run().expect("second half");
+        assert_eq!(out, baseline, "capture@{cap_shards} → resume@{resume_shards}");
+    }
+}
+
+#[test]
+fn cadence_snapshot_files_are_byte_identical_serial_vs_sharded() {
+    // Both runs use the *same* directory (sequentially) because the
+    // cadence configuration — directory path included — is part of the
+    // captured state, so different dirs would differ trivially.
+    let dir = std::env::temp_dir().join(format!("qm-shard-cadence-{}", std::process::id()));
+    let capture = |shards: usize| -> Vec<(std::ffi::OsString, Vec<u8>)> {
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut sys = Simulation::builder()
+            .config(SystemConfig::with_pes(4))
+            .assembly(COMPUTE_FAN_OUT)
+            .shards(shards)
+            .snapshot_every(64)
+            .snapshot_dir(dir.to_str().unwrap())
+            .build()
+            .expect("builds");
+        sys.run().expect("runs");
+        let mut v: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+            .collect();
+        v.sort();
+        let files =
+            v.iter().map(|p| (p.file_name().unwrap().to_owned(), std::fs::read(p).unwrap()));
+        let files = files.collect();
+        std::fs::remove_dir_all(&dir).ok();
+        files
+    };
+    let serial = capture(1);
+    let sharded = capture(4);
+    assert!(!serial.is_empty(), "cadence produced snapshots");
+    assert_eq!(serial.len(), sharded.len(), "same snapshot schedule");
+    for ((an, ab), (bn, bb)) in serial.iter().zip(&sharded) {
+        assert_eq!(an, bn, "same capture cycles");
+        assert_eq!(ab, bb, "snapshot bytes diverged at {an:?}");
+    }
+}

@@ -105,6 +105,11 @@ pub struct WorkloadRun {
     /// Fault-injection plan applied before the run (`None` — and empty
     /// plans — leave the simulator on its fault-free fast path).
     pub fault_plan: Option<FaultPlan>,
+    /// Host shards the run loop spreads the PEs over (`0` and `1` both
+    /// mean the serial scheduler). Sharded runs are bit-identical to
+    /// serial ones — see `docs/DETERMINISM.md` — so this only changes
+    /// wall-clock time, never results.
+    pub shards: usize,
 }
 
 impl WorkloadRun {
@@ -118,7 +123,7 @@ impl WorkloadRun {
     ///
     /// # Panics
     ///
-    /// Panics unless `1 ≤ pes ≤ 16` (from [`SystemConfig::with_pes`]).
+    /// Panics unless `1 ≤ pes ≤ 1024` (from [`SystemConfig::with_pes`]).
     #[must_use]
     pub fn with_pes(pes: usize) -> Self {
         WorkloadRun { cfg: SystemConfig::with_pes(pes), ..Self::default() }
@@ -145,6 +150,14 @@ impl WorkloadRun {
         self
     }
 
+    /// Spread the simulated PEs over `shards` host threads (bit-identical
+    /// to the serial scheduler; worthwhile from ~64 simulated PEs up).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Compile `w`, load it, initialise its input arrays and spawn the
     /// main context — everything short of `run`. Callers that need to
     /// touch the system first (e.g. install a trace sink) use this, then
@@ -164,6 +177,9 @@ impl WorkloadRun {
             Simulation::builder().config(self.cfg.clone()).object(&compiled.object).no_spawn();
         if let Some(plan) = &self.fault_plan {
             builder = builder.fault_plan(plan.clone());
+        }
+        if self.shards > 1 {
+            builder = builder.shards(self.shards);
         }
         let mut sys = builder.build().map_err(|e| WorkloadError::Sim(e.to_string()))?;
         for (base, values) in &w.inputs {

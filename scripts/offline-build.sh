@@ -5,7 +5,7 @@
 # with bare rustc. Integration tests that need proptest are skipped;
 # the deterministic ones under tests/ are built with --test.
 #
-# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults|--snapshot|--verify|--perf]
+# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults|--snapshot|--verify|--perf|--shards]
 #
 # --clippy rebuilds everything with clippy-driver (a drop-in rustc) and
 # -Dwarnings, mirroring the CI `cargo clippy -- -D warnings` gate without
@@ -24,6 +24,11 @@
 # --verify builds everything and then statically verifies every bundled
 # workload (`verify_workloads --strict`), mirroring the CI
 # verify-workloads job.
+#
+# --shards builds everything and then runs the sharded-execution smoke
+# check (`shard_smoke`): a workload grid at shard counts {1,2,4} whose
+# metrics must be bit-identical to the serial scheduler, mirroring the
+# CI sharded-smoke job (contract in docs/DETERMINISM.md).
 #
 # --perf builds everything and then runs the continuous performance
 # gate (`perf_gate`) against the committed BENCH_baseline.json,
@@ -95,6 +100,8 @@ if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
              crates/qm-sim/tests/fault_recovery.rs \
              crates/qm-sim/tests/snapshot_roundtrip.rs \
              crates/qm-sim/tests/snapshot_resume.rs \
+             crates/qm-sim/tests/shard_edges.rs \
+             crates/qm-sim/tests/determinism_doc.rs \
              crates/qm-sim/tests/steady_state_alloc.rs \
              crates/qm-bench/tests/sweep_determinism.rs \
              crates/qm-bench/tests/perf_ratio.rs \
@@ -128,6 +135,11 @@ fi
 if [[ "${1:-}" == "--verify" ]]; then
     "$OUT/verify_workloads" --strict
     echo "offline verify OK"
+fi
+
+if [[ "${1:-}" == "--shards" ]]; then
+    "$OUT/shard_smoke"
+    echo "offline shard smoke OK"
 fi
 
 if [[ "${1:-}" == "--perf" ]]; then

@@ -1,0 +1,131 @@
+//! Serial-vs-sharded order equivalence over the real workloads.
+//!
+//! The sharded run loop (qm-sim's `shard` module) promises bit-identical
+//! results to the serial scheduler — `docs/DETERMINISM.md` is the
+//! contract, and this file is its property-level pin: randomized
+//! (workload, PE count, shard count, channel capacity, placement,
+//! fault seed) combinations must produce identical outcomes and state
+//! digests, and the big-machine configurations must hold their pinned
+//! golden cycle counts at every shard count.
+//!
+//! (Needs the `proptest` dev-dependency; the dependency-free edge-case
+//! suite lives in `crates/qm-sim/tests/shard_edges.rs` so offline
+//! builds keep equivalent coverage.)
+
+use proptest::prelude::*;
+
+use queue_machine::sim::config::{Placement, SystemConfig};
+use queue_machine::sim::fault::FaultPlan;
+use queue_machine::sim::snapshot::Snapshot;
+use queue_machine::workloads::{self, Workload, WorkloadRun};
+
+fn workload(ix: usize) -> Workload {
+    match ix % 5 {
+        0 => workloads::matmul(5),
+        1 => workloads::fft(16),
+        2 => workloads::cholesky(6),
+        3 => workloads::congruence(8),
+        _ => workloads::reduction(64),
+    }
+}
+
+/// Run one configuration and reduce it to everything deterministic:
+/// the simulator outcome plus the post-run state digest.
+fn fingerprint(
+    w: &Workload,
+    cfg: &SystemConfig,
+    plan: Option<&FaultPlan>,
+    shards: usize,
+) -> (queue_machine::sim::system::RunOutcome, u64) {
+    let mut run = WorkloadRun::new().config(cfg.clone()).shards(shards);
+    if let Some(plan) = plan {
+        run = run.fault_plan(plan.clone());
+    }
+    let (mut sys, _compiled) = run.prepare(w).expect("prepares");
+    let outcome = sys.run().expect("runs");
+    let digest = Snapshot::capture(&sys).state_digest();
+    (outcome, digest)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any workload, machine size (1–128 PEs), shard count (2–8),
+    /// channel capacity and placement policy: the sharded run is
+    /// bit-identical to the serial one.
+    #[test]
+    fn sharded_equals_serial_for_any_configuration(
+        wl in 0usize..5,
+        pes_pow in 0u32..8,          // 1..=128 PEs
+        shards in 2usize..9,
+        capacity in prop_oneof![Just(0usize), Just(8usize)],
+        least_loaded in any::<bool>(),
+    ) {
+        let pes = 1usize << pes_pow;
+        let mut cfg = SystemConfig::with_pes(pes);
+        cfg.channel_capacity = capacity;
+        cfg.placement = if least_loaded { Placement::LeastLoaded } else { Placement::RoundRobin };
+        let w = workload(wl);
+        let serial = fingerprint(&w, &cfg, None, 1);
+        let sharded = fingerprint(&w, &cfg, None, shards);
+        prop_assert_eq!(serial, sharded, "pes={} shards={}", pes, shards);
+    }
+
+    /// Fault draws replay identically under sharding: seeded plans with
+    /// stall windows placed to straddle the shard partition boundaries.
+    #[test]
+    fn sharded_fault_replay_is_identical(
+        wl in 0usize..5,
+        shards in 2usize..5,
+        seed in any::<u64>(),
+        loss in 0u32..300_000,
+    ) {
+        let pes = 8;
+        let cfg = SystemConfig::with_pes(pes);
+        // With `shards` shards over 8 PEs the first boundary falls at
+        // PE 8/shards; stall both sides of it.
+        let edge = pes / shards;
+        let plan = FaultPlan::seeded(seed)
+            .with_send_loss(loss)
+            .with_bus_drops(loss / 2)
+            .with_trap_delays(loss, 7)
+            .with_stall(edge.saturating_sub(1), 10, 60)
+            .with_stall(edge.min(pes - 1), 30, 90);
+        let w = workload(wl);
+        let serial = fingerprint(&w, &cfg, Some(&plan), 1);
+        let sharded = fingerprint(&w, &cfg, Some(&plan), shards);
+        prop_assert_eq!(serial, sharded, "shards={}", shards);
+    }
+}
+
+/// Pinned big-machine goldens: `(workload, pes, cycles, instructions)`
+/// from the serial scheduler — every shard count must reproduce them
+/// exactly. matmul saturates by 64 PEs; reduction's cycle count moves
+/// with the ring diameter as partitions grow.
+const BIG_MACHINE_GOLDENS: [(&str, usize, u64, u64); 6] = [
+    ("matmul8", 64, 8_861, 21_752),
+    ("matmul8", 256, 8_861, 21_752),
+    ("matmul8", 1024, 8_861, 21_752),
+    ("reduction64", 64, 4_537, 7_215),
+    ("reduction64", 256, 4_753, 7_215),
+    ("reduction64", 1024, 4_753, 7_215),
+];
+
+#[test]
+fn big_machine_goldens_hold_at_every_shard_count() {
+    for &(name, pes, cycles, instructions) in &BIG_MACHINE_GOLDENS {
+        let w = match name {
+            "matmul8" => workloads::matmul(8),
+            _ => workloads::reduction(64),
+        };
+        for shards in [1usize, 2, 4, 8] {
+            let r = WorkloadRun::with_pes(pes).shards(shards).run(&w).expect("runs");
+            assert!(r.correct, "{name}/{pes}pe shards={shards} verified incorrect");
+            assert_eq!(
+                (r.outcome.elapsed_cycles, r.outcome.instructions),
+                (cycles, instructions),
+                "{name}/{pes}pe shards={shards} drifted from the golden"
+            );
+        }
+    }
+}
