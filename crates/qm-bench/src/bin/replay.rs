@@ -6,6 +6,9 @@
 //! digests differ and print the structured divergence report (final
 //! outcomes, degradation tallies, wait-for state at the split).
 //!
+//! `replay --json` prints the same report as a `qm-api/v1`
+//! `divergence_report` envelope (`docs/API.md`) instead of prose.
+//!
 //! `replay --smoke` instead runs the snapshot subsystem's CI check — a
 //! full capture → encode → decode → restore → resume round trip must be
 //! bit-identical to the uninterrupted run, and the variant pair above
@@ -19,7 +22,8 @@ use qm_workloads::WorkloadRun;
 
 fn main() {
     match std::env::args().nth(1).as_deref() {
-        None => demo(),
+        None => demo(false),
+        Some("--json") => demo(true),
         Some("--smoke") => match smoke() {
             Ok(()) => println!("snapshot smoke OK"),
             Err(msg) => {
@@ -28,29 +32,35 @@ fn main() {
             }
         },
         Some(other) => {
-            eprintln!("usage: replay [--smoke]  (got {other:?})");
+            eprintln!("usage: replay [--smoke|--json]  (got {other:?})");
             std::process::exit(2);
         }
     }
 }
 
-fn demo() {
+fn demo(json: bool) {
     let w = qm_workloads::matmul(6);
     let run = WorkloadRun::with_pes(4);
     let full = run.run(&w).expect("baseline run").outcome.elapsed_cycles;
     let pause_at = full / 3;
     let snap = capture_workload(&run, &w, pause_at).expect("mid-run capture");
-    println!(
-        "captured {} on 4 PEs at cycle {} (uninterrupted run: {} cycles)",
-        w.name,
-        snap.cycle(),
-        full
-    );
+    if !json {
+        println!(
+            "captured {} on 4 PEs at cycle {} (uninterrupted run: {} cycles)",
+            w.name,
+            snap.cycle(),
+            full
+        );
+    }
 
     let clean = Variant::new("fault-free");
     let faulty = Variant::new("fault-injected").with_faults(plan_at(200_000));
     let report = bisect(&snap, &clean, &faulty).expect("bisection");
-    print!("{report}");
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
     assert!(
         report.first_divergent_cycle.is_some(),
         "a 20% fault ramp must diverge from the clean continuation"

@@ -53,7 +53,7 @@ fn main() {
             });
         let report = verify_object(&compiled.object, &VerifyOptions::default());
         if json {
-            print!("{}", report.render_json());
+            println!("{}", report.to_json());
         } else if !report.diags.is_empty() {
             print!("{}", report.render());
         }

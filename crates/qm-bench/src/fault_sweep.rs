@@ -20,7 +20,7 @@ use std::time::Duration;
 use qm_sim::config::{Placement, SystemConfig};
 use qm_sim::fault::FaultPlan;
 
-use crate::sweep::{json_escape, ms, PointResult, SweepPoint};
+use crate::sweep::{f3, json_escape, ms, PointResult, SweepPoint};
 
 /// The one seed every fault-sweep point derives its fault stream from.
 pub const FAULT_SEED: u64 = 0x5EED_FA17;
@@ -135,8 +135,8 @@ impl FaultSweepReport {
         out.push_str("  \"schema\": \"qm-bench-fault/v1\",\n");
         out.push_str(&format!("  \"seed\": {FAULT_SEED},\n"));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
-        out.push_str(&format!("  \"serial_wall_ms\": {:.3},\n", time(ms(self.serial_wall))));
-        out.push_str(&format!("  \"parallel_wall_ms\": {:.3},\n", time(ms(self.parallel_wall))));
+        out.push_str(&format!("  \"serial_wall_ms\": {},\n", f3(time(ms(self.serial_wall)))));
+        out.push_str(&format!("  \"parallel_wall_ms\": {},\n", f3(time(ms(self.parallel_wall)))));
         out.push_str(&format!("  \"identical\": {},\n", self.identical));
         out.push_str("  \"points\": [\n");
         let rows: Vec<String> = self
@@ -149,7 +149,7 @@ impl FaultSweepReport {
                     "    {{\"id\": \"{}\", \"config\": \"{}\", \"pes\": {}, \"cycles\": {}, \
                      \"correct\": {}, \"send_drops\": {}, \"bus_drops\": {}, \
                      \"trap_delays\": {}, \"retries\": {}, \"recovered_transfers\": {}, \
-                     \"backoff_cycles\": {}, \"delay_cycles\": {}, \"wall_ms\": {:.3}}}",
+                     \"backoff_cycles\": {}, \"delay_cycles\": {}, \"wall_ms\": {}}}",
                     json_escape(&p.id),
                     json_escape(&p.config),
                     p.pes,
@@ -162,7 +162,7 @@ impl FaultSweepReport {
                     d.recovered_transfers,
                     d.backoff_cycles,
                     d.delay_cycles,
-                    time(ms(p.wall)),
+                    f3(time(ms(p.wall))),
                 )
             })
             .collect();

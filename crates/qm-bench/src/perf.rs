@@ -37,7 +37,7 @@ use qm_sim::config::SystemConfig;
 use qm_sim::system::System;
 use qm_verify::VerifyLevel;
 
-use crate::sweep::{json_escape, run_point, SweepPoint};
+use crate::sweep::{f3, json_escape, run_point, SweepPoint};
 
 /// Measurement pairs per figure; the minimum is kept.
 pub const RUNS: usize = 5;
@@ -216,8 +216,8 @@ impl PerfBaseline {
         let mut out = String::from("{\n");
         out.push_str("  \"schema\": \"qm-bench-perf/v1\",\n");
         out.push_str(&format!(
-            "  \"calibration_ns_per_cycle\": {:.3},\n",
-            self.calibration_ns_per_cycle
+            "  \"calibration_ns_per_cycle\": {},\n",
+            f3(self.calibration_ns_per_cycle)
         ));
         out.push_str("  \"points\": [\n");
         let rows: Vec<String> = self
@@ -225,11 +225,11 @@ impl PerfBaseline {
             .iter()
             .map(|p| {
                 format!(
-                    "    {{\"id\": \"{}\", \"cycles\": {}, \"ns_per_cycle\": {:.3}, \
+                    "    {{\"id\": \"{}\", \"cycles\": {}, \"ns_per_cycle\": {}, \
                      \"rel_cost\": {:.4}}}",
                     json_escape(&p.id),
                     p.cycles,
-                    p.ns_per_cycle,
+                    f3(p.ns_per_cycle),
                     p.rel_cost
                 )
             })

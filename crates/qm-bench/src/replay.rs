@@ -123,6 +123,55 @@ pub struct DivergenceReport {
     pub variants: Vec<VariantReport>,
 }
 
+impl DivergenceReport {
+    /// Serialise as a `qm-api/v1` `divergence_report` envelope (see
+    /// `docs/API.md`): the capture cycle, the first divergent cycle
+    /// (`null` when the variants never diverge) and per-variant detail —
+    /// outcome (an embedded `run_outcome` body, or the error string for
+    /// runs that died), degradation tallies and wait-for state at the
+    /// split.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use qm_core::json::Envelope;
+        Envelope::render("divergence_report", |j| {
+            j.u64_field("captured_at", self.captured_at);
+            j.key("first_divergent_cycle");
+            match self.first_divergent_cycle {
+                Some(c) => j.u64_val(c),
+                None => j.null_val(),
+            }
+            j.key("variants");
+            j.begin_arr();
+            for v in &self.variants {
+                j.begin_obj();
+                j.str_field("name", &v.name);
+                j.u64_field("final_cycles", v.final_cycles);
+                match &v.outcome {
+                    Ok(o) => {
+                        j.key("outcome");
+                        j.begin_obj();
+                        qm_sim::report::write_run_outcome(j, o);
+                        j.end_obj();
+                    }
+                    Err(e) => j.str_field("error", e),
+                }
+                j.key("degradation_at_split");
+                j.begin_obj();
+                qm_sim::report::write_degradation(j, &v.degradation_at_split);
+                j.end_obj();
+                j.key("wait_for_at_split");
+                j.begin_arr();
+                for line in &v.wait_for_at_split {
+                    j.str_val(line);
+                }
+                j.end_arr();
+                j.end_obj();
+            }
+            j.end_arr();
+        })
+    }
+}
+
 impl fmt::Display for DivergenceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "divergence report — shared snapshot captured at cycle {}", self.captured_at)?;

@@ -1,0 +1,136 @@
+//! Golden-file tests pinning the exact bytes of every `qm-api/v1`
+//! envelope kind.
+//!
+//! The envelope is a *wire contract*: `qm-serve` clients, sweep-file
+//! consumers and the CI smoke jobs all parse these shapes. Field
+//! additions are compatible (and require updating the golden files
+//! here, consciously); renames, removals or retypes are not — they
+//! require bumping to `qm-api/v2`, per `docs/API.md`. If one of these
+//! assertions fails, the wire format drifted: decide which of the two
+//! outcomes you meant, and either fix the code or update the golden
+//! file *and* the API document together.
+//!
+//! Inputs are fixed structs and static verification (no simulation
+//! timing), so the bytes cannot wobble with cost-model tuning.
+
+use qm_bench::replay::{DivergenceReport, VariantReport};
+use qm_isa::pe::PeStats;
+use qm_sim::fault::DegradationReport;
+use qm_sim::memory::MemStats;
+use qm_sim::system::{PeReport, RunOutcome};
+use qm_verify::{verify_object, VerifyOptions};
+
+/// A fully-populated outcome with recognisable values in every field.
+fn fixed_outcome() -> RunOutcome {
+    RunOutcome {
+        output: vec![7, -3],
+        elapsed_cycles: 1234,
+        instructions: 567,
+        contexts_created: 8,
+        peak_live_contexts: 3,
+        channel_transfers: 21,
+        mem: MemStats { local_accesses: 400, remote_accesses: 50, bus_cycles: 150 },
+        degradation: fixed_degradation(),
+        pes: vec![PeReport {
+            cycles: 1234,
+            busy_cycles: 1100,
+            stats: PeStats {
+                instructions: 567,
+                window_hits: 500,
+                window_misses: 67,
+                mem_reads: 200,
+                mem_writes: 100,
+                sends: 21,
+                recvs: 21,
+                traps: 9,
+                context_switches: 4,
+                rollouts: 2,
+            },
+        }],
+    }
+}
+
+fn fixed_degradation() -> DegradationReport {
+    DegradationReport {
+        send_drops: 1,
+        bus_drops: 2,
+        pe_stalls: 3,
+        trap_delays: 4,
+        retries: 5,
+        recovered_transfers: 6,
+        stall_cycles: 70,
+        backoff_cycles: 80,
+        delay_cycles: 90,
+    }
+}
+
+#[test]
+fn run_outcome_envelope_is_pinned() {
+    assert_eq!(
+        fixed_outcome().to_json(),
+        include_str!("golden/run_outcome.json").trim_end(),
+        "run_outcome wire format drifted — see the module docs before updating the golden file"
+    );
+}
+
+#[test]
+fn degradation_report_envelope_is_pinned() {
+    assert_eq!(
+        fixed_degradation().to_json(),
+        include_str!("golden/degradation_report.json").trim_end(),
+        "degradation_report wire format drifted"
+    );
+}
+
+#[test]
+fn verify_report_envelope_is_pinned() {
+    // A fixed program with a queue-discipline error (QV0001: consuming
+    // two slots that were never produced). Static verification has no
+    // timing, so the diagnostic — code, pc, line, notes — is exact.
+    let obj = qm_isa::asm::assemble("main: plus+2 #1,#2 :r0\n trap #2,#0\n").expect("assembles");
+    let report = verify_object(&obj, &VerifyOptions::default());
+    assert!(!report.is_clean(), "the fixture program must produce a diagnostic");
+    assert_eq!(
+        report.to_json(),
+        include_str!("golden/verify_report.json").trim_end(),
+        "verify_report wire format drifted"
+    );
+}
+
+#[test]
+fn divergence_report_envelope_is_pinned() {
+    let report = DivergenceReport {
+        captured_at: 1000,
+        first_divergent_cycle: Some(1250),
+        variants: vec![
+            VariantReport {
+                name: "fault-free".to_string(),
+                outcome: Ok(fixed_outcome()),
+                final_cycles: 2000,
+                degradation_at_split: DegradationReport::default(),
+                wait_for_at_split: Vec::new(),
+            },
+            VariantReport {
+                name: "fault-injected".to_string(),
+                outcome: Err("sim: pe 0 faulted".to_string()),
+                final_cycles: 1500,
+                degradation_at_split: fixed_degradation(),
+                wait_for_at_split: vec!["ctx 3 waits on channel 2".to_string()],
+            },
+        ],
+    };
+    assert_eq!(
+        report.to_json(),
+        include_str!("golden/divergence_report.json").trim_end(),
+        "divergence_report wire format drifted"
+    );
+}
+
+#[test]
+fn state_digest_envelope_is_pinned() {
+    assert_eq!(
+        qm_sim::report::state_digest_json(0x0123_4567_89ab_cdef, 42),
+        include_str!("golden/state_digest.json").trim_end(),
+        "state_digest wire format drifted"
+    );
+}

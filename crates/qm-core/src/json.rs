@@ -1,0 +1,612 @@
+//! Minimal JSON support shared by the whole workspace: a writer with the
+//! workspace's canonical formatting conventions, a small recursive-descent
+//! parser (for `qm-serve` request bodies), and the versioned `qm-api/v1`
+//! report envelope every serialisable report renders into.
+//!
+//! The workspace deliberately has no external dependencies, so this is
+//! not a general-purpose JSON library — it is the *one* place the
+//! hand-rolled escaping and float-formatting rules live, replacing the
+//! per-crate copies that used to drift (`qm-verify` escaped `\n`
+//! specially, `qm-bench` did not; wall-clock floats were formatted with
+//! `{:.3}` in some emitters and free-form in others).
+//!
+//! # The `qm-api/v1` envelope
+//!
+//! Every report type with a stable wire format serialises as
+//!
+//! ```json
+//! {"schema":"qm-api/v1","kind":"<kind>","data":{…}}
+//! ```
+//!
+//! built through [`Envelope`]. The envelope is versioned as a whole:
+//! adding a field to some `data` body is backwards-compatible and keeps
+//! `qm-api/v1`; renaming, removing or retyping one requires `qm-api/v2`.
+//! `docs/API.md` specifies each body; golden-file tests in `qm-bench`
+//! pin the exact bytes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The versioned envelope schema identifier every report serialises
+/// under.
+pub const API_SCHEMA: &str = "qm-api/v1";
+
+/// Escape `s` for inclusion in a JSON string literal (quotes, backslash
+/// and control characters; everything else passes through verbatim).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The workspace's canonical rendering of wall-clock-derived floats:
+/// three decimal places, no exponent (`0.000`, `12.345`). Every
+/// `*_wall_ms` / `speedup` / `points_per_sec` field in every emitter
+/// goes through this, so the formatting cannot drift between files.
+#[must_use]
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// A JSON writer: a thin, allocation-conscious builder over a `String`
+/// that handles commas and nesting so callers only state structure.
+///
+/// ```
+/// use qm_core::json::JsonBuf;
+///
+/// let mut j = JsonBuf::new();
+/// j.begin_obj();
+/// j.str_field("name", "matmul");
+/// j.u64_field("cycles", 1234);
+/// j.bool_field("correct", true);
+/// j.end_obj();
+/// assert_eq!(j.finish(), r#"{"name":"matmul","cycles":1234,"correct":true}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// Whether the current aggregate already has a member (one flag per
+    /// open nesting level).
+    has_member: Vec<bool>,
+}
+
+impl JsonBuf {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rendered text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn comma(&mut self) {
+        if let Some(has) = self.has_member.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Open an object value (`{`).
+    pub fn begin_obj(&mut self) {
+        self.comma();
+        self.out.push('{');
+        self.has_member.push(false);
+    }
+
+    /// Close the innermost object (`}`).
+    pub fn end_obj(&mut self) {
+        self.has_member.pop();
+        self.out.push('}');
+    }
+
+    /// Open an array value (`[`).
+    pub fn begin_arr(&mut self) {
+        self.comma();
+        self.out.push('[');
+        self.has_member.push(false);
+    }
+
+    /// Close the innermost array (`]`).
+    pub fn end_arr(&mut self) {
+        self.has_member.pop();
+        self.out.push(']');
+    }
+
+    /// Write a member key; the next value written becomes its value.
+    pub fn key(&mut self, k: &str) {
+        self.comma();
+        let _ = write!(self.out, "\"{}\":", escape(k));
+        // The value that follows must not emit its own comma.
+        if let Some(has) = self.has_member.last_mut() {
+            *has = false;
+        }
+    }
+
+    /// Write a raw, pre-rendered JSON value (trusted — not escaped).
+    pub fn raw(&mut self, v: &str) {
+        self.comma();
+        self.out.push_str(v);
+    }
+
+    /// Write a string value.
+    pub fn str_val(&mut self, v: &str) {
+        self.comma();
+        let _ = write!(self.out, "\"{}\"", escape(v));
+    }
+
+    /// Write an unsigned integer value.
+    pub fn u64_val(&mut self, v: u64) {
+        self.comma();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Write a signed integer value.
+    pub fn i64_val(&mut self, v: i64) {
+        self.comma();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Write a boolean value.
+    pub fn bool_val(&mut self, v: bool) {
+        self.comma();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Write a `null` value.
+    pub fn null_val(&mut self) {
+        self.comma();
+        self.out.push_str("null");
+    }
+
+    /// Write a wall-clock float value in the canonical [`f3`] format.
+    pub fn ms_val(&mut self, v: f64) {
+        self.comma();
+        self.out.push_str(&f3(v));
+    }
+
+    /// `key: "string"` member.
+    pub fn str_field(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.str_val(v);
+    }
+
+    /// `key: u64` member.
+    pub fn u64_field(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64_val(v);
+    }
+
+    /// `key: i64` member.
+    pub fn i64_field(&mut self, k: &str, v: i64) {
+        self.key(k);
+        self.i64_val(v);
+    }
+
+    /// `key: bool` member.
+    pub fn bool_field(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool_val(v);
+    }
+}
+
+/// Builder for one `qm-api/v1` envelope: opens the envelope and the
+/// `data` object, hands the buffer to the caller for the body, and
+/// closes both.
+///
+/// ```
+/// use qm_core::json::Envelope;
+///
+/// let json = Envelope::render("state_digest", |j| {
+///     j.str_field("digest", "0x00000000075bcd15");
+/// });
+/// assert_eq!(
+///     json,
+///     r#"{"schema":"qm-api/v1","kind":"state_digest","data":{"digest":"0x00000000075bcd15"}}"#
+/// );
+/// ```
+pub struct Envelope;
+
+impl Envelope {
+    /// Render a complete envelope of `kind` whose `data` body is written
+    /// by `body`.
+    #[must_use]
+    pub fn render(kind: &str, body: impl FnOnce(&mut JsonBuf)) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.str_field("schema", API_SCHEMA);
+        j.str_field("kind", kind);
+        j.key("data");
+        j.begin_obj();
+        body(&mut j);
+        j.end_obj();
+        j.end_obj();
+        j.finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value ([`parse`]). Objects keep their members in a
+/// `BTreeMap` — key order is irrelevant to every consumer in this
+/// workspace, and sorted iteration keeps behaviour deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; the grammar this workspace accepts
+    /// never needs more than 53 bits of integer precision).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Member `key`, if this is an object that has it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Parse error: a message and the byte offset it was raised at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+///
+/// # Errors
+///
+/// [`JsonError`] with the offending byte offset. Inputs deeper than 64
+/// nesting levels are rejected (hostile-input guard, in the same spirit
+/// as the snapshot decoder's length checks).
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError { message: message.into(), at: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected {word}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.lit("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        self.depth += 1;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        self.depth += 1;
+        let mut arr = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Arr(arr));
+        }
+        loop {
+            self.skip_ws();
+            arr.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Arr(arr));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates are not paired; this parser only
+                            // needs the BMP subset our own writer emits.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| JsonError { message: format!("bad number {text:?}"), at: start })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn f3_is_three_decimals() {
+        assert_eq!(f3(0.0), "0.000");
+        assert_eq!(f3(12.3456), "12.346");
+    }
+
+    #[test]
+    fn writer_nests_and_commas() {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("a");
+        j.begin_arr();
+        j.u64_val(1);
+        j.u64_val(2);
+        j.begin_obj();
+        j.str_field("k", "v");
+        j.end_obj();
+        j.end_arr();
+        j.bool_field("ok", false);
+        j.key("none");
+        j.null_val();
+        j.end_obj();
+        assert_eq!(j.finish(), r#"{"a":[1,2,{"k":"v"}],"ok":false,"none":null}"#);
+    }
+
+    #[test]
+    fn envelope_shape_is_pinned() {
+        let json = Envelope::render("x", |j| j.u64_field("n", 7));
+        assert_eq!(json, r#"{"schema":"qm-api/v1","kind":"x","data":{"n":7}}"#);
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.str_field("name", "say \"hi\"\n");
+        j.i64_field("neg", -3);
+        j.key("arr");
+        j.begin_arr();
+        j.u64_val(1);
+        j.bool_val(true);
+        j.null_val();
+        j.end_arr();
+        j.end_obj();
+        let v = parse(&j.finish()).expect("parses");
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("say \"hi\"\n"));
+        assert_eq!(v.get("neg"), Some(&JsonValue::Num(-3.0)));
+        assert_eq!(
+            v.get("arr"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Bool(true),
+                JsonValue::Null
+            ]))
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_inputs() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "{} trailing", "1 2"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Depth guard.
+        let deep = "[".repeat(65) + &"]".repeat(65);
+        assert!(parse(&deep).is_err(), "65 levels deep should fail");
+        let ok = "[".repeat(63) + &"]".repeat(63);
+        assert!(parse(&ok).is_ok(), "63 levels is fine");
+    }
+
+    #[test]
+    fn numbers_parse_as_u64_when_integral() {
+        let v = parse("{\"n\": 18446744073709551615}").unwrap();
+        // 2^64-1 is not exactly representable; what matters is that
+        // ordinary counters survive.
+        let v2 = parse("{\"n\": 123456789}").unwrap();
+        assert_eq!(v2.get("n").and_then(JsonValue::as_u64), Some(123_456_789));
+        assert!(v.get("n").is_some());
+        assert_eq!(parse("-1.5").unwrap().as_u64(), None);
+    }
+}

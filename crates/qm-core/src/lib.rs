@@ -25,6 +25,10 @@
 //!   of valid indexed-queue-machine instruction sequences, the input
 //!   sequencing relation `π_I` (with `P*`, `I*`, `C(v)`, `W(v)`), and the
 //!   priority-based instruction scheduling heuristic of Fig. 4.20.
+//! * [`json`] — infrastructure, not thesis theory: the workspace's shared
+//!   JSON writer/parser and the versioned `qm-api/v1` report envelope
+//!   (it lives here, at the bottom of the crate graph, so every crate's
+//!   renderer uses the same escaping and float formatting).
 //!
 //! # Quick example
 //!
@@ -49,6 +53,7 @@ pub mod dfg;
 pub mod enumerate;
 pub mod expr;
 pub mod indexed;
+pub mod json;
 pub mod level_order;
 pub mod pipeline;
 pub mod simple;

@@ -1,0 +1,54 @@
+//! Serve queue-machine simulations over HTTP.
+//!
+//! ```text
+//! qm-serve [--addr HOST:PORT] [--workers N] [--http-workers N]
+//!          [--slice-cycles N] [--max-cycles N]
+//!          [--queue-cap N] [--tenant-cap N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:8713`), prints the bound address, then
+//! serves until killed. `docs/API.md` documents the surface; the README
+//! has a curl walkthrough.
+
+use qm_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qm-serve [--addr HOST:PORT] [--workers N] [--http-workers N]\n\
+         \x20               [--slice-cycles N] [--max-cycles N] [--queue-cap N] [--tenant-cap N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServeConfig { addr: "127.0.0.1:8713".to_string(), ..ServeConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        let parse = |v: &str| v.parse::<u64>().unwrap_or_else(|_| usage());
+        match flag.as_str() {
+            "--addr" => cfg.addr = value,
+            "--workers" => cfg.workers = parse(&value).max(1) as usize,
+            "--http-workers" => cfg.http_workers = parse(&value).max(1) as usize,
+            "--slice-cycles" => cfg.slice_cycles = parse(&value),
+            "--max-cycles" => cfg.max_cycles = parse(&value).max(1),
+            "--queue-cap" => cfg.queue_cap = parse(&value).max(1) as usize,
+            "--tenant-cap" => cfg.tenant_cap = parse(&value).max(1) as usize,
+            _ => usage(),
+        }
+    }
+
+    let server = Server::start(&cfg).unwrap_or_else(|e| {
+        eprintln!("qm-serve: cannot bind {}: {e}", cfg.addr);
+        std::process::exit(1);
+    });
+    println!("qm-serve listening on http://{}", server.addr());
+    println!(
+        "  {} job worker(s), slice {} cycles, budget {} cycles, queue cap {}, tenant cap {}",
+        cfg.workers, cfg.slice_cycles, cfg.max_cycles, cfg.queue_cap, cfg.tenant_cap
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end service check for CI (`serve-smoke` job) and
+//! `scripts/offline-build.sh --serve`.
+//!
+//! Proves the three properties the service is sold on, against a real
+//! listening socket:
+//!
+//! 1. **Fidelity** — a job submitted over HTTP reports exactly the cycle
+//!    count and architectural state digest of a direct
+//!    [`WorkloadRun`] of the same workload in-process.
+//! 2. **Compile cache** — resubmitting the identical program is answered
+//!    from the cache (`cache_hit` on the job, hit counter via
+//!    `GET /v1/health`) and produces identical results.
+//! 3. **Preemption** — the same job on a server with a small time slice
+//!    is preempted and resumed across workers, and still produces the
+//!    identical cycle count and digest (the determinism contract, over
+//!    the wire).
+//!
+//! Exits non-zero with a message on the first violated property.
+
+use qm_core::json::{parse, JsonValue};
+use qm_serve::http::request;
+use qm_serve::{ServeConfig, Server};
+use qm_sim::report::digest_hex;
+use qm_sim::snapshot::Snapshot;
+use qm_workloads::WorkloadRun;
+
+const JOB: &str = r#"{"workload":"matmul","param":4,"pes":2,"tenant":"smoke"}"#;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve smoke FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn get(addr: &str, path: &str) -> JsonValue {
+    let (status, body) =
+        request(addr, "GET", path, "").unwrap_or_else(|e| fail(&format!("GET {path}: {e}")));
+    if status != 200 {
+        fail(&format!("GET {path}: status {status}: {body}"));
+    }
+    parse(&body).unwrap_or_else(|e| fail(&format!("GET {path}: bad JSON: {e}")))
+}
+
+/// Submit `JOB` and poll until it settles; returns the final `data`
+/// object.
+fn run_job(addr: &str) -> JsonValue {
+    let (status, body) = request(addr, "POST", "/v1/jobs", JOB)
+        .unwrap_or_else(|e| fail(&format!("POST /v1/jobs: {e}")));
+    if status != 202 {
+        fail(&format!("POST /v1/jobs: status {status}: {body}"));
+    }
+    let v = parse(&body).unwrap_or_else(|e| fail(&format!("POST response: bad JSON: {e}")));
+    let id = v
+        .get("data")
+        .and_then(|d| d.get("id"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| fail("POST response has no data.id"));
+    for _ in 0..6000 {
+        let v = get(addr, &format!("/v1/jobs/{id}"));
+        let data = v.get("data").cloned().unwrap_or_else(|| fail("job reply has no data"));
+        match data.get("status").and_then(JsonValue::as_str) {
+            Some("done") => return data,
+            Some("failed") => fail(&format!("job {id} failed: {data:?}")),
+            _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    }
+    fail("job did not settle within 60s");
+}
+
+fn cycles_and_digest(data: &JsonValue) -> (u64, String) {
+    let result = data.get("result").unwrap_or_else(|| fail("done job has no result"));
+    let cycles = result
+        .get("cycles")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| fail("result has no cycles"));
+    let digest = result
+        .get("state_digest")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| fail("result has no state_digest"));
+    if data.get("result").and_then(|r| r.get("correct")).and_then(JsonValue::as_bool) != Some(true)
+    {
+        fail("workload job did not verify as correct");
+    }
+    (cycles, digest.to_string())
+}
+
+fn main() {
+    // Direct, in-process reference run.
+    let w = qm_workloads::matmul(4);
+    let run = WorkloadRun::with_pes(2);
+    let (mut sys, compiled) = run.prepare(&w).unwrap_or_else(|e| fail(&e.to_string()));
+    let outcome = sys.run().unwrap_or_else(|e| fail(&e.to_string()));
+    let bench =
+        run.evaluate(&w, &sys, &compiled.syms, outcome).unwrap_or_else(|e| fail(&e.to_string()));
+    assert!(bench.correct, "reference run incorrect: {:?}", bench.mismatches);
+    let want_cycles = bench.outcome.elapsed_cycles;
+    let want_digest = digest_hex(Snapshot::capture(&sys).state_digest());
+
+    // 1. Fidelity over HTTP (no slicing).
+    let server = Server::start(&ServeConfig::default()).unwrap_or_else(|e| fail(&e.to_string()));
+    let addr = server.addr().to_string();
+    let first = run_job(&addr);
+    let (cycles, digest) = cycles_and_digest(&first);
+    if (cycles, digest.as_str()) != (want_cycles, want_digest.as_str()) {
+        fail(&format!(
+            "HTTP job diverged from direct run: got {cycles}/{digest}, want {want_cycles}/{want_digest}"
+        ));
+    }
+    if first.get("cache_hit") != Some(&JsonValue::Bool(false)) {
+        fail("first submission must be a cache miss");
+    }
+
+    // 2. Identical resubmission is served from the compile cache.
+    let second = run_job(&addr);
+    if second.get("cache_hit") != Some(&JsonValue::Bool(true)) {
+        fail("identical resubmission must hit the compile cache");
+    }
+    if cycles_and_digest(&second) != (want_cycles, want_digest.clone()) {
+        fail("cache hit changed the result");
+    }
+    let health = get(&addr, "/v1/health");
+    let hits = health
+        .get("data")
+        .and_then(|d| d.get("cache"))
+        .and_then(|c| c.get("hits"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| fail("health has no data.cache.hits"));
+    if hits < 1 {
+        fail("health must report at least one cache hit");
+    }
+    server.shutdown();
+
+    // 3. Preemption: small slice, several workers; result is bit-identical.
+    let sliced_cfg = ServeConfig { slice_cycles: 500, workers: 3, ..ServeConfig::default() };
+    let sliced_server = Server::start(&sliced_cfg).unwrap_or_else(|e| fail(&e.to_string()));
+    let sliced = run_job(&sliced_server.addr().to_string());
+    let slices = sliced
+        .get("slices")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| fail("job reply has no slices"));
+    if slices < 2 {
+        fail(&format!("a 500-cycle slice must preempt matmul(4); ran in {slices} slice(s)"));
+    }
+    if cycles_and_digest(&sliced) != (want_cycles, want_digest.clone()) {
+        fail("preempted-and-resumed job diverged from the unsliced run");
+    }
+    sliced_server.shutdown();
+
+    println!(
+        "serve smoke OK: {want_cycles} cycles, digest {want_digest}, cache hit verified, \
+         {slices} preemption slices bit-identical"
+    );
+}

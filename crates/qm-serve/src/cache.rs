@@ -1,0 +1,175 @@
+//! Content-hashed compile cache.
+//!
+//! Jobs are keyed by a checksum of their program text (plus a kind tag
+//! and the compiler-option bits, so an OCCAM source and an identical
+//! assembly listing can never collide). A hit returns the assembled
+//! [`Object`], resolved symbols and the *verification report captured at
+//! fill time* — resubmitting an identical program skips both the
+//! compiler and the verifier, which is the whole point: verification is
+//! a pure function of the object code, so the cached report is exactly
+//! what a fresh run would produce.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use qm_isa::asm::Object;
+use qm_occam::sema::SymKind;
+use qm_occam::Options;
+use qm_sim::rng::checksum;
+
+use crate::api::Program;
+
+/// A cached compilation: everything a job needs downstream of the
+/// compiler.
+#[derive(Debug)]
+pub struct Entry {
+    /// Assembled object code.
+    pub object: Object,
+    /// Resolved symbol table (empty for raw assembly programs).
+    pub syms: HashMap<String, SymKind>,
+    /// The `verify_report` envelope captured when the entry was filled.
+    pub verify_json: String,
+    /// Whether that report contained error-severity findings (drives
+    /// strict-mode rejection without re-running the verifier).
+    pub verify_errors: bool,
+}
+
+/// Thread-safe compile cache with hit/miss counters (`GET /v1/health`
+/// reports them, and the smoke test asserts on them).
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    entries: Mutex<HashMap<u64, Arc<Entry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Counter snapshot for health reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Distinct programs currently cached.
+    pub entries: u64,
+}
+
+/// The cache key: a checksum over the program kind, its text and the
+/// compiler options that shaped code generation.
+#[must_use]
+pub fn key(program: &Program, opts: &Options) -> u64 {
+    let (tag, text): (&[u8], &str) = match program {
+        Program::Occam(src) => (b"occam\0", src),
+        Program::Assembly(src) => (b"asm\0", src),
+        // Workload programs hash their generated OCCAM source, so two
+        // submissions of `matmul(4)` share an entry with a raw
+        // submission of the same source.
+        Program::Workload { .. } => unreachable!("workloads hash their source; see lookup sites"),
+    };
+    let mut bytes = Vec::with_capacity(tag.len() + text.len() + 4);
+    bytes.extend_from_slice(tag);
+    bytes.push(u8::from(opts.live_value_analysis));
+    bytes.push(u8::from(opts.input_sequencing));
+    bytes.push(u8::from(opts.priority_scheduling));
+    bytes.push(u8::from(opts.loop_unrolling));
+    bytes.extend_from_slice(text.as_bytes());
+    checksum(&bytes)
+}
+
+/// As [`key`], for a workload program's generated source.
+#[must_use]
+pub fn source_key(source: &str, opts: &Options) -> u64 {
+    key(&Program::Occam(source.to_string()), opts)
+}
+
+impl CompileCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look `k` up; on a miss, run `fill` and cache its result. Compile
+    /// failures are *not* cached — a transient submission error should
+    /// not poison the key. `fill` runs outside the map lock, so two
+    /// concurrent misses on the same key may both compile; the second
+    /// insert wins and the duplicates are identical by determinism.
+    ///
+    /// Returns the entry and whether it was a hit.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `fill` reports (a compile/assemble error message).
+    pub fn lookup_or_fill(
+        &self,
+        k: u64,
+        fill: impl FnOnce() -> Result<Entry, String>,
+    ) -> Result<(Arc<Entry>, bool), String> {
+        if let Some(hit) = self.entries.lock().expect("cache lock").get(&k) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), true));
+        }
+        let entry = Arc::new(fill()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().expect("cache lock").insert(k, Arc::clone(&entry));
+        Ok((entry, false))
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache lock").len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> Entry {
+        Entry {
+            object: qm_isa::asm::assemble("main: trap #3,#0").expect("assembles"),
+            syms: HashMap::new(),
+            verify_json: String::new(),
+            verify_errors: false,
+        }
+    }
+
+    #[test]
+    fn keys_separate_kinds_and_options() {
+        let opts = Options::default();
+        let occam = key(&Program::Occam("x := 1".into()), &opts);
+        let asm = key(&Program::Assembly("x := 1".into()), &opts);
+        assert_ne!(occam, asm, "same text, different kind");
+        let other = Options { loop_unrolling: !opts.loop_unrolling, ..opts };
+        assert_ne!(
+            key(&Program::Occam("x := 1".into()), &opts),
+            key(&Program::Occam("x := 1".into()), &other),
+            "options shape codegen, so they shape the key"
+        );
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let cache = CompileCache::new();
+        let (_, hit) = cache.lookup_or_fill(7, || Ok(entry())).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.lookup_or_fill(7, || panic!("must not recompile")).unwrap();
+        assert!(hit);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, entries: 1 });
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let cache = CompileCache::new();
+        assert!(cache.lookup_or_fill(9, || Err("syntax".into())).is_err());
+        assert_eq!(cache.stats().entries, 0);
+        let (_, hit) = cache.lookup_or_fill(9, || Ok(entry())).unwrap();
+        assert!(!hit, "the earlier failure must not satisfy the lookup");
+    }
+}

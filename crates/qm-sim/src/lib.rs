@@ -27,6 +27,9 @@
 //!   (`qm-snap/v1`) with deterministic-replay guarantees.
 //! * [`rng`] — the splitmix64 mixer behind fault draws and snapshot
 //!   checksums.
+//! * [`report`] — the stable `qm-api/v1` JSON wire format for
+//!   [`RunOutcome`], [`DegradationReport`] and architectural state
+//!   digests (the contract `qm-serve` serves over HTTP).
 //! * [`trace`] — structured event tracing: typed simulator events, the
 //!   sink trait, an in-memory recorder and a Chrome trace-event exporter.
 //! * [`amdahl`] — the analytic speed-up models of Figs 6.6–6.7.
@@ -67,6 +70,7 @@ pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod msg;
+pub mod report;
 pub mod rng;
 pub mod sched;
 pub mod shard;
@@ -77,6 +81,9 @@ pub mod trace;
 pub use builder::{SimBuilder, Simulation};
 pub use config::{RecoveryConfig, SystemConfig};
 pub use fault::{DegradationReport, FaultPlan, StallWindow};
+// Convenience duplicates of `qm_verify`'s types; the documented way in
+// is `qm_verify::{VerifyLevel, VerifyOptions}` (or the facade prelude).
+#[doc(hidden)]
 pub use qm_verify::{VerifyLevel, VerifyOptions};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use system::{BlockedCtx, RetryingCtx, RunOutcome, RunStatus, SimError, System};

@@ -8,7 +8,8 @@
 //! resulting object code is verified: abstract queue-state dataflow over
 //! every statically reachable context, then channel-wiring lints.
 //! Diagnostics print rustc-style with program-point spans (`--json`
-//! switches to one JSON object per diagnostic, machine-readable).
+//! switches to one `qm-api/v1` `verify_report` envelope per file —
+//! the same wire format `qm-serve` returns; see `docs/API.md`).
 //!
 //! Exit status: 0 when every file is accepted, 1 when any diagnostic of
 //! error severity is found (`--strict` also rejects warnings), 2 on
@@ -103,7 +104,7 @@ fn main() {
             None => verify_object(&obj, &args.opts),
         };
         if args.json {
-            print!("{}", report.render_json());
+            println!("{}", report.to_json());
         } else if !report.diags.is_empty() {
             print!("{}", report.render());
         }

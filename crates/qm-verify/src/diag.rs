@@ -5,6 +5,7 @@
 //! PC, source line). A [`Report`] collects the findings of one run and
 //! renders them either rustc-style for humans or as JSON for tools.
 
+use qm_core::json::{Envelope, JsonBuf};
 use qm_isa::UWord;
 
 /// How serious a finding is.
@@ -233,50 +234,30 @@ impl Diagnostic {
         out
     }
 
-    fn render_json(&self, out: &mut String) {
-        use std::fmt::Write;
-        let _ = write!(
-            out,
-            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
-            self.code,
-            self.severity,
-            json_escape(&self.message)
-        );
+    fn render_json(&self, j: &mut JsonBuf) {
+        j.begin_obj();
+        j.str_field("code", &self.code.to_string());
+        j.str_field("severity", &self.severity.to_string());
+        j.str_field("message", &self.message);
         if let Some(ctx) = &self.ctx {
-            let _ = write!(out, ",\"ctx\":\"{}\"", json_escape(ctx));
+            j.str_field("ctx", ctx);
         }
         if let Some(pc) = self.pc {
-            let _ = write!(out, ",\"pc\":{pc}");
+            j.u64_field("pc", u64::from(pc));
         }
         if let Some(line) = self.line {
-            let _ = write!(out, ",\"line\":{line}");
+            j.u64_field("line", line as u64);
         }
         if !self.notes.is_empty() {
-            out.push_str(",\"notes\":[");
-            for (i, n) in self.notes.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                let _ = write!(out, "\"{}\"", json_escape(n));
+            j.key("notes");
+            j.begin_arr();
+            for n in &self.notes {
+                j.str_val(n);
             }
-            out.push(']');
+            j.end_arr();
         }
-        out.push('}');
+        j.end_obj();
     }
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// The findings of one verifier run.
@@ -354,19 +335,41 @@ impl Report {
         out
     }
 
-    /// Render as a JSON array of diagnostic objects (machine-readable
-    /// mode of the `qm-verify` bin).
+    /// Render as a bare JSON array of diagnostic objects (the `diags`
+    /// body of [`to_json`](Self::to_json), without the envelope).
     #[must_use]
     pub fn render_json(&self) -> String {
-        let mut out = String::from("[");
-        for (i, d) in self.diags.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            d.render_json(&mut out);
+        let mut j = JsonBuf::new();
+        self.write_diags(&mut j);
+        j.finish()
+    }
+
+    fn write_diags(&self, j: &mut JsonBuf) {
+        j.begin_arr();
+        for d in &self.diags {
+            d.render_json(j);
         }
-        out.push(']');
-        out
+        j.end_arr();
+    }
+
+    /// Serialise as a `qm-api/v1` `verify_report` envelope (the
+    /// machine-readable mode of the `qm-verify` bin, and the verify
+    /// section of `qm-serve` job results): overall verdict, severity
+    /// counts and the full diagnostic list.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        Envelope::render("verify_report", |j| self.write_envelope_body(j))
+    }
+
+    /// Write the `data` body of the `verify_report` envelope into an
+    /// open object (shared with `qm-serve`, which embeds it in job
+    /// results).
+    pub fn write_envelope_body(&self, j: &mut JsonBuf) {
+        j.bool_field("clean", self.is_clean());
+        j.u64_field("errors", self.errors().count() as u64);
+        j.u64_field("warnings", self.warnings().count() as u64);
+        j.key("diags");
+        self.write_diags(j);
     }
 
     /// One-line summary: `2 error(s), 1 warning(s)`.
@@ -430,6 +433,15 @@ mod tests {
         assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
         assert!(json.contains("\"code\":\"QV0201\""), "{json}");
         assert!(json.contains("say \\\"hi\\\""), "{json}");
+        let envelope = r.to_json();
+        assert!(
+            envelope.starts_with("{\"schema\":\"qm-api/v1\",\"kind\":\"verify_report\""),
+            "{envelope}"
+        );
+        assert!(envelope.contains("\"clean\":false"), "{envelope}");
+        assert!(envelope.contains("\"errors\":1"), "{envelope}");
+        assert!(envelope.contains(&format!("\"diags\":{json}")), "{envelope}");
+        qm_core::json::parse(&envelope).expect("envelope is valid JSON");
     }
 
     #[test]

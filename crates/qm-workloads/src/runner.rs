@@ -170,11 +170,31 @@ impl WorkloadRun {
     pub fn prepare(&self, w: &Workload) -> Result<(System, qm_occam::Compiled), WorkloadError> {
         let compiled =
             compile(&w.source, &self.opts).map_err(|e| WorkloadError::Compile(e.to_string()))?;
-        if compiled.object.symbol("main").is_none() {
+        let sys = self.prepare_compiled(w, &compiled.object, &compiled.syms)?;
+        Ok((sys, compiled))
+    }
+
+    /// [`prepare`](Self::prepare) minus the compile: load an
+    /// already-compiled `w`, initialise its input arrays and spawn the
+    /// main context. This is the entry point for executors that cache
+    /// object code across runs (e.g. `qm-serve`'s compile cache) — the
+    /// `object`/`syms` pair must come from compiling `w.source` under
+    /// these options, or array addresses will not line up.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] on unresolvable input arrays or a missing
+    /// `main` context.
+    pub fn prepare_compiled(
+        &self,
+        w: &Workload,
+        object: &qm_isa::asm::Object,
+        syms: &std::collections::HashMap<String, SymKind>,
+    ) -> Result<System, WorkloadError> {
+        if object.symbol("main").is_none() {
             return Err(WorkloadError::Compile("no main context".into()));
         }
-        let mut builder =
-            Simulation::builder().config(self.cfg.clone()).object(&compiled.object).no_spawn();
+        let mut builder = Simulation::builder().config(self.cfg.clone()).object(object).no_spawn();
         if let Some(plan) = &self.fault_plan {
             builder = builder.fault_plan(plan.clone());
         }
@@ -183,7 +203,7 @@ impl WorkloadRun {
         }
         let mut sys = builder.build().map_err(|e| WorkloadError::Sim(e.to_string()))?;
         for (base, values) in &w.inputs {
-            let (addr, len) = find_array(&compiled.syms, base)?;
+            let (addr, len) = find_array(syms, base)?;
             if values.len() as u32 != len {
                 return Err(WorkloadError::Array(format!(
                     "{base}: {} values for a {len}-word array",
@@ -195,9 +215,9 @@ impl WorkloadRun {
                 sys.memory.poke_global(addr + 4 * i as u32, v);
             }
         }
-        let main = compiled.object.symbol("main").expect("checked above");
+        let main = object.symbol("main").expect("checked above");
         sys.spawn_main(main);
-        Ok((sys, compiled))
+        Ok(sys)
     }
 
     /// Compile `w`, initialise its input arrays, run, and verify the
@@ -211,7 +231,7 @@ impl WorkloadRun {
     pub fn run(&self, w: &Workload) -> Result<BenchResult, WorkloadError> {
         let (mut sys, compiled) = self.prepare(w)?;
         let outcome = sys.run().map_err(|e| WorkloadError::Sim(e.to_string()))?;
-        self.verify(w, &sys, &compiled, outcome)
+        self.evaluate(w, &sys, &compiled.syms, outcome)
     }
 
     /// Like [`run`](Self::run), but pause at cycle `pause_at`, push the
@@ -246,21 +266,30 @@ impl WorkloadRun {
                 (restored, outcome)
             }
         };
-        self.verify(w, &sys, &compiled, outcome)
+        self.evaluate(w, &sys, &compiled.syms, outcome)
     }
 
     /// Check the result arrays and host output of a finished run against
-    /// the workload's expectations.
-    fn verify(
+    /// the workload's expectations. Public so external executors that
+    /// drive the system themselves (e.g. `qm-serve`'s time-sliced job
+    /// runner, which pauses/restores between [`prepare`](Self::prepare)
+    /// and completion) can produce the same [`BenchResult`] as
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Array`] if an expected array name does not
+    /// resolve in `syms`.
+    pub fn evaluate(
         &self,
         w: &Workload,
         sys: &System,
-        compiled: &qm_occam::Compiled,
+        syms: &std::collections::HashMap<String, SymKind>,
         outcome: RunOutcome,
     ) -> Result<BenchResult, WorkloadError> {
         let mut mismatches = Vec::new();
         for (base, expect) in &w.expected {
-            let (addr, _len) = find_array(&compiled.syms, base)?;
+            let (addr, _len) = find_array(syms, base)?;
             for (i, &want) in expect.iter().enumerate() {
                 #[allow(clippy::cast_possible_truncation)]
                 let got = sys.memory.peek_global(addr + 4 * i as u32);

@@ -5,7 +5,7 @@
 # with bare rustc. Integration tests that need proptest are skipped;
 # the deterministic ones under tests/ are built with --test.
 #
-# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults|--snapshot|--verify|--perf|--shards]
+# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults|--snapshot|--verify|--perf|--shards|--serve]
 #
 # --clippy rebuilds everything with clippy-driver (a drop-in rustc) and
 # -Dwarnings, mirroring the CI `cargo clippy -- -D warnings` gate without
@@ -34,6 +34,11 @@
 # gate (`perf_gate`) against the committed BENCH_baseline.json,
 # mirroring the CI perf-gate job. Refresh the baseline with
 # scripts/refresh-perf-baseline.sh when a slowdown is intended.
+#
+# --serve builds everything and then runs the end-to-end service smoke
+# check (`serve_smoke`): HTTP fidelity against a direct WorkloadRun,
+# compile-cache hits, and bit-identical snapshot preemption, mirroring
+# the CI serve-smoke job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT=target/offline
@@ -52,11 +57,12 @@ L="-L $OUT"
 if [[ "${1:-}" == "--doc" ]]; then
     # Build rlibs with plain rustc first so rustdoc can resolve externs.
     "$0" >/dev/null
-    EXTERNS="--extern qm_core=$OUT/libqm_core.rlib --extern qm_isa=$OUT/libqm_isa.rlib --extern qm_verify=$OUT/libqm_verify.rlib --extern qm_sim=$OUT/libqm_sim.rlib --extern qm_occam=$OUT/libqm_occam.rlib --extern qm_workloads=$OUT/libqm_workloads.rlib"
+    EXTERNS="--extern qm_core=$OUT/libqm_core.rlib --extern qm_isa=$OUT/libqm_isa.rlib --extern qm_verify=$OUT/libqm_verify.rlib --extern qm_sim=$OUT/libqm_sim.rlib --extern qm_occam=$OUT/libqm_occam.rlib --extern qm_workloads=$OUT/libqm_workloads.rlib --extern qm_serve=$OUT/libqm_serve.rlib"
     for lib in crates/qm-core/src/lib.rs crates/qm-isa/src/lib.rs \
                crates/qm-verify/src/lib.rs \
                crates/qm-sim/src/lib.rs crates/qm-occam/src/lib.rs \
-               crates/qm-workloads/src/lib.rs crates/qm-bench/src/lib.rs \
+               crates/qm-workloads/src/lib.rs crates/qm-serve/src/lib.rs \
+               crates/qm-bench/src/lib.rs \
                src/lib.rs; do
         name=$(echo "$lib" | sed -E 's#crates/(qm-[a-z]+)/src/lib.rs#\1#;s#^src/lib.rs#queue_machine#;s/-/_/')
         rustdoc --edition 2021 -Dwarnings --crate-name "$name" $L $EXTERNS \
@@ -71,7 +77,8 @@ $RUSTC --crate-type lib --crate-name qm_occam $L --extern qm_core="$OUT/libqm_co
 $RUSTC --crate-type lib --crate-name qm_verify $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" crates/qm-verify/src/lib.rs -o "$OUT/libqm_verify.rlib"
 $RUSTC --crate-type lib --crate-name qm_sim $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" --extern qm_verify="$OUT/libqm_verify.rlib" crates/qm-sim/src/lib.rs -o "$OUT/libqm_sim.rlib"
 $RUSTC --crate-type lib --crate-name qm_workloads $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" --extern qm_sim="$OUT/libqm_sim.rlib" --extern qm_occam="$OUT/libqm_occam.rlib" crates/qm-workloads/src/lib.rs -o "$OUT/libqm_workloads.rlib"
-EXTERNS="--extern qm_core=$OUT/libqm_core.rlib --extern qm_isa=$OUT/libqm_isa.rlib --extern qm_verify=$OUT/libqm_verify.rlib --extern qm_sim=$OUT/libqm_sim.rlib --extern qm_occam=$OUT/libqm_occam.rlib --extern qm_workloads=$OUT/libqm_workloads.rlib"
+$RUSTC --crate-type lib --crate-name qm_serve $L --extern qm_core="$OUT/libqm_core.rlib" --extern qm_isa="$OUT/libqm_isa.rlib" --extern qm_verify="$OUT/libqm_verify.rlib" --extern qm_sim="$OUT/libqm_sim.rlib" --extern qm_occam="$OUT/libqm_occam.rlib" --extern qm_workloads="$OUT/libqm_workloads.rlib" crates/qm-serve/src/lib.rs -o "$OUT/libqm_serve.rlib"
+EXTERNS="--extern qm_core=$OUT/libqm_core.rlib --extern qm_isa=$OUT/libqm_isa.rlib --extern qm_verify=$OUT/libqm_verify.rlib --extern qm_sim=$OUT/libqm_sim.rlib --extern qm_occam=$OUT/libqm_occam.rlib --extern qm_workloads=$OUT/libqm_workloads.rlib --extern qm_serve=$OUT/libqm_serve.rlib"
 $RUSTC --crate-type lib --crate-name queue_machine $L $EXTERNS src/lib.rs -o "$OUT/libqueue_machine.rlib"
 $RUSTC --crate-type lib --crate-name qm_bench $L $EXTERNS crates/qm-bench/src/lib.rs -o "$OUT/libqm_bench.rlib"
 $RUSTC --crate-name qm_verify_cli $L $EXTERNS crates/qm-verify/src/bin/qm-verify.rs -o "$OUT/qm-verify"
@@ -79,6 +86,8 @@ for bin in crates/qm-bench/src/bin/*.rs; do
     name=$(basename "$bin" .rs)
     $RUSTC --crate-name "$name" $L $EXTERNS --extern qm_bench="$OUT/libqm_bench.rlib" "$bin" -o "$OUT/$name"
 done
+$RUSTC --crate-name qm_serve_cli $L $EXTERNS crates/qm-serve/src/bin/qm-serve.rs -o "$OUT/qm-serve"
+$RUSTC --crate-name serve_smoke $L $EXTERNS crates/qm-serve/src/bin/serve_smoke.rs -o "$OUT/serve_smoke"
 [[ "$DRIVER" == rustc ]] && echo "offline build OK"
 
 if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
@@ -86,7 +95,8 @@ if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
     for lib in crates/qm-core/src/lib.rs crates/qm-isa/src/lib.rs \
                crates/qm-verify/src/lib.rs \
                crates/qm-sim/src/lib.rs crates/qm-occam/src/lib.rs \
-               crates/qm-workloads/src/lib.rs crates/qm-bench/src/lib.rs; do
+               crates/qm-workloads/src/lib.rs crates/qm-serve/src/lib.rs \
+               crates/qm-bench/src/lib.rs; do
         name=$(echo "$lib" | sed -E 's#crates/(qm-[a-z]+)/src/lib.rs#\1#;s/-/_/')
         $RUSTC --test --crate-name "${name}_unit" $L $ALLEXT "$lib" -o "$OUT/${name}_unit"
         [[ "$DRIVER" == rustc ]] && "$OUT/${name}_unit" -q
@@ -103,6 +113,9 @@ if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
              crates/qm-sim/tests/shard_edges.rs \
              crates/qm-sim/tests/determinism_doc.rs \
              crates/qm-sim/tests/steady_state_alloc.rs \
+             crates/qm-sim/tests/send_sync.rs \
+             crates/qm-serve/tests/serve_http.rs \
+             crates/qm-bench/tests/api_golden.rs \
              crates/qm-bench/tests/sweep_determinism.rs \
              crates/qm-bench/tests/perf_ratio.rs \
              crates/qm-bench/tests/fault_sweep_determinism.rs \
@@ -145,4 +158,9 @@ fi
 if [[ "${1:-}" == "--perf" ]]; then
     "$OUT/perf_gate"
     echo "offline perf gate OK"
+fi
+
+if [[ "${1:-}" == "--serve" ]]; then
+    "$OUT/serve_smoke"
+    echo "offline serve smoke OK"
 fi

@@ -12,6 +12,11 @@
 //!   over assembled object code.
 //! * [`sim`] — the multiprocessor simulator and kernel (Chapters 5–6).
 //! * [`workloads`] — the four thesis benchmark programs (Chapter 6).
+//! * [`serve`] — the simulator as a multi-tenant HTTP service speaking
+//!   the versioned `qm-api/v1` envelope (`docs/API.md`).
+//!
+//! The [`prelude`] re-exports the handful of types almost every user
+//! touches — `use queue_machine::prelude::*;` and go.
 //!
 //! # Quickstart
 //!
@@ -28,6 +33,28 @@
 pub use qm_core as core;
 pub use qm_isa as isa;
 pub use qm_occam as occam;
+pub use qm_serve as serve;
 pub use qm_sim as sim;
 pub use qm_verify as verify;
 pub use qm_workloads as workloads;
+
+/// The types most programs start from, under one import.
+///
+/// ```
+/// use queue_machine::prelude::*;
+///
+/// let r = WorkloadRun::with_pes(2).run(&matmul(4)).unwrap();
+/// assert!(r.correct);
+/// ```
+pub mod prelude {
+    pub use qm_occam::{compile, Options};
+    pub use qm_sim::config::SystemConfig;
+    pub use qm_sim::fault::FaultPlan;
+    pub use qm_sim::snapshot::Snapshot;
+    pub use qm_sim::system::{RunOutcome, RunStatus, System};
+    pub use qm_sim::{SimError, Simulation};
+    pub use qm_verify::{verify_object, Report, VerifyLevel, VerifyOptions};
+    pub use qm_workloads::{
+        cholesky, congruence, fft, matmul, reduction, BenchResult, Workload, WorkloadRun,
+    };
+}
