@@ -9,36 +9,62 @@
 //! `replay --json` prints the same report as a `qm-api/v1`
 //! `divergence_report` envelope (`docs/API.md`) instead of prose.
 //!
+//! `replay --backend <interp|translated>` continues both demo variants
+//! on the given execution backend — the backend is a config axis like
+//! any other, so an interp-vs-translated divergence (there must never
+//! be one, see `docs/DETERMINISM.md`) would auto-bisect to its first
+//! divergent cycle exactly like a fault plan does.
+//!
 //! `replay --smoke` instead runs the snapshot subsystem's CI check — a
 //! full capture → encode → decode → restore → resume round trip must be
-//! bit-identical to the uninterrupted run, and the variant pair above
-//! must bisect to a divergence — exiting non-zero on the first broken
-//! invariant (the `snapshot-smoke` CI job and
-//! `scripts/offline-build.sh --snapshot` both call this).
+//! bit-identical to the uninterrupted run, the fault variant pair must
+//! bisect to a divergence, and the interp/translated pair must not —
+//! exiting non-zero on the first broken invariant (the `snapshot-smoke`
+//! CI job and `scripts/offline-build.sh --snapshot` both call this).
 
 use qm_bench::fault_sweep::plan_at;
 use qm_bench::replay::{bisect, capture_workload, smoke, Variant};
+use qm_sim::Backend;
 use qm_workloads::WorkloadRun;
 
+fn usage(got: &str) -> ! {
+    eprintln!("usage: replay [--smoke|--json] [--backend <interp|translated>]  (got {got:?})");
+    std::process::exit(2);
+}
+
 fn main() {
-    match std::env::args().nth(1).as_deref() {
-        None => demo(false),
-        Some("--json") => demo(true),
-        Some("--smoke") => match smoke() {
+    let mut json = false;
+    let mut run_smoke = false;
+    let mut backend = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => run_smoke = true,
+            "--backend" => {
+                let name = args.next().unwrap_or_else(|| usage("--backend without a name"));
+                backend = Some(
+                    Backend::parse(&name).unwrap_or_else(|| usage(&format!("--backend {name}"))),
+                );
+            }
+            other => usage(other),
+        }
+    }
+
+    if run_smoke {
+        match smoke() {
             Ok(()) => println!("snapshot smoke OK"),
             Err(msg) => {
                 eprintln!("snapshot smoke FAILED: {msg}");
                 std::process::exit(1);
             }
-        },
-        Some(other) => {
-            eprintln!("usage: replay [--smoke|--json]  (got {other:?})");
-            std::process::exit(2);
         }
+        return;
     }
+    demo(json, backend);
 }
 
-fn demo(json: bool) {
+fn demo(json: bool, backend: Option<Backend>) {
     let w = qm_workloads::matmul(6);
     let run = WorkloadRun::with_pes(4);
     let full = run.run(&w).expect("baseline run").outcome.elapsed_cycles;
@@ -53,8 +79,15 @@ fn demo(json: bool) {
         );
     }
 
-    let clean = Variant::new("fault-free");
-    let faulty = Variant::new("fault-injected").with_faults(plan_at(200_000));
+    let mut clean = Variant::new("fault-free");
+    let mut faulty = Variant::new("fault-injected").with_faults(plan_at(200_000));
+    if let Some(b) = backend {
+        clean = clean.with_backend(b);
+        faulty = faulty.with_backend(b);
+        if !json {
+            println!("both continuations on the {b} backend");
+        }
+    }
     let report = bisect(&snap, &clean, &faulty).expect("bisection");
     if json {
         println!("{}", report.to_json());

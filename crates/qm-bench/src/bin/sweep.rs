@@ -1,9 +1,10 @@
-//! Regenerate `BENCH_sweep.json`: run the full evaluation grid serially
-//! and in parallel, prove the two passes bit-identical, and record wall
-//! times to seed the perf trajectory (schema in `EXPERIMENTS.md`).
+//! Regenerate `BENCH_sweep.json`: run the full evaluation grid three
+//! ways — serial interpreter (reference), serial translated, parallel —
+//! prove all passes bit-identical, and record wall times to seed the
+//! perf trajectory (schema `qm-bench-sweep/v3`, see `EXPERIMENTS.md`).
 //!
 //! Usage: `sweep [--resume <path>] [--interrupt-after <n>] [--deterministic]
-//!               [--shards <n>]`
+//!               [--shards <n>] [--backend <interp|translated>]`
 //!
 //! With `--resume` the parallel pass checkpoints every completed point
 //! to the given file and a rerun picks up where it left off;
@@ -12,33 +13,39 @@
 //! wall-clock field of the JSON so an interrupted-and-resumed sweep
 //! emits a file byte-identical to an uninterrupted one. `--shards <n>`
 //! forces every grid point to run the simulated machine over `n` host
-//! shards; the serial reference pass still uses the serial scheduler,
-//! so the report's `identical` flag proves sharded == serial for the
-//! whole grid (see `docs/DETERMINISM.md`).
+//! shards; `--backend` picks the measured passes' execution backend
+//! (default: `translated`, the fast path). The serial reference pass
+//! always uses the serial scheduler and the interpreter, so the
+//! report's `identical` flag proves sharded == serial *and*
+//! translated == interp for the whole grid (see `docs/DETERMINISM.md`).
 
 use std::time::Instant;
 
 use qm_bench::sweep::{
-    full_grid, run_parallel, run_serial, PointResult, SweepFlags, SweepProgress, SweepReport,
+    full_grid, run_parallel, run_serial, run_serial_backend, PointResult, SweepFlags,
+    SweepProgress, SweepReport,
 };
+use qm_sim::Backend;
 
 fn main() {
     let flags = SweepFlags::parse(std::env::args().skip(1), false).unwrap_or_else(|msg| {
         eprintln!(
             "usage: sweep [--resume <path>] [--interrupt-after <n>] [--deterministic] \
-             [--shards <n>]"
+             [--shards <n>] [--backend <interp|translated>]"
         );
         eprintln!("{msg}");
         std::process::exit(2);
     });
+    let backend = flags.backend.unwrap_or(Backend::Translated);
     let mut grid = full_grid();
-    if let Some(n) = flags.shards {
-        for p in &mut grid {
+    for p in &mut grid {
+        if let Some(n) = flags.shards {
             p.shards = n;
         }
+        p.backend = backend;
     }
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    println!("sweep: {} points, {} worker threads", grid.len(), threads);
+    println!("sweep: {} points, {} worker threads, backend {backend}", grid.len(), threads);
 
     // The "parallel" pass: checkpointed when resuming, plain otherwise.
     let t1 = Instant::now();
@@ -62,7 +69,15 @@ fn main() {
         run_parallel(&grid, threads)
     };
     let parallel_wall = t1.elapsed();
-    println!("parallel: {:>9.1} ms", parallel_wall.as_secs_f64() * 1e3);
+    println!("parallel:   {:>9.1} ms", parallel_wall.as_secs_f64() * 1e3);
+
+    // Serial translated pass: same scheduler and grid order as the
+    // reference, only the backend differs — the apples-to-apples
+    // wall-clock comparison behind `backend_speedup`.
+    let tx = Instant::now();
+    let translated = run_serial_backend(&grid, Backend::Translated);
+    let translated_wall = tx.elapsed();
+    println!("translated: {:>9.1} ms (serial)", translated_wall.as_secs_f64() * 1e3);
 
     // Serial reference pass: besides the usual serial-vs-parallel
     // determinism proof, in resume mode this independently re-derives
@@ -70,14 +85,24 @@ fn main() {
     let t0 = Instant::now();
     let serial = run_serial(&grid);
     let serial_wall = t0.elapsed();
-    println!("serial:   {:>9.1} ms", serial_wall.as_secs_f64() * 1e3);
+    println!("serial:     {:>9.1} ms (interp)", serial_wall.as_secs_f64() * 1e3);
 
-    let report = SweepReport::new(threads, &serial, serial_wall, parallel, parallel_wall);
-    assert!(report.identical, "parallel sweep diverged from serial run");
+    let report = SweepReport::new(
+        threads,
+        &serial,
+        serial_wall,
+        &translated,
+        translated_wall,
+        parallel,
+        parallel_wall,
+    );
+    assert!(report.identical, "a sweep pass diverged from the serial interpreter reference");
     assert!(report.points.iter().all(|p| p.metrics.correct), "a sweep point verified incorrect");
     println!(
-        "speed-up: {:>9.2}x   ({:.1} points/s, all {} points bit-identical)",
+        "speed-up: {:>9.2}x parallel, {:.2}x translated   ({:.1} points/s, all {} points \
+         bit-identical)",
         report.speedup(),
+        report.backend_speedup(),
         report.points_per_sec(),
         report.points.len(),
     );

@@ -13,9 +13,9 @@
 //! ([`qm_sim::snapshot::wire`]) and error type under its own magic:
 //!
 //! ```text
-//! "qm-chkpt" | u32 version = 2 | u64 grid hash | u32 count
-//!   count × { id, workload, config, pes, shards, 8 metric u64s,
-//!             correct, 9 degradation u64s, wall nanos }
+//! "qm-chkpt" | u32 version = 3 | u64 grid hash | u32 count
+//!   count × { id, workload, config, pes, shards, backend name,
+//!             8 metric u64s, correct, 9 degradation u64s, wall nanos }
 //! u64 checksum (over everything above)
 //! ```
 //!
@@ -42,7 +42,7 @@ const MAGIC: [u8; 8] = *b"qm-chkpt";
 
 /// Checkpoint container version. Bump on any layout change; old files
 /// are rejected, not migrated (they are cheap to regenerate).
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
 
 /// Completed results of a (possibly interrupted) sweep over one grid.
 #[derive(Debug, Clone)]
@@ -124,6 +124,7 @@ impl Checkpoint {
             w.str(&r.config);
             w.usize(r.pes);
             w.usize(r.shards);
+            w.str(r.backend.as_str());
             let m = &r.metrics;
             w.u64(m.cycles);
             w.u64(m.instructions);
@@ -192,6 +193,10 @@ impl Checkpoint {
             let config = r.str()?;
             let pes = r.usize()?;
             let shards = r.usize()?;
+            let backend_name = r.str()?;
+            let backend = qm_sim::Backend::parse(&backend_name).ok_or_else(|| {
+                SnapshotError::Malformed(format!("unknown checkpoint backend {backend_name:?}"))
+            })?;
             let mut m = [0u64; 8];
             for v in &mut m {
                 *v = r.u64()?;
@@ -208,6 +213,7 @@ impl Checkpoint {
                 config,
                 pes,
                 shards,
+                backend,
                 metrics: PointMetrics {
                     cycles: m[0],
                     instructions: m[1],
@@ -297,6 +303,7 @@ mod tests {
             assert_eq!(orig.workload, round.workload);
             assert_eq!(orig.config, round.config);
             assert_eq!(orig.pes, round.pes);
+            assert_eq!(orig.backend, round.backend);
             assert_eq!(orig.metrics, round.metrics);
             assert_eq!(orig.wall, round.wall);
         }

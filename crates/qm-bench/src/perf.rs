@@ -106,14 +106,17 @@ pub struct PerfBaseline {
 /// The points the gate times: the 1-PE regime the scheduler fix
 /// targets (densest context switching — where the superlinear scan
 /// lived), its multi-PE counterparts, and one point per remaining
-/// thesis workload family. Deliberately small: the whole gate (with
-/// [`RUNS`] repeats and calibration) is a few seconds of wall time.
+/// thesis workload family — each once on the interpreter and once on
+/// the translated backend (`…/translated` ids), so the gate pins both
+/// backends' per-cycle cost and their bit-identical cycle counts.
+/// Deliberately small: the whole gate (with [`RUNS`] repeats and
+/// calibration) is a few seconds of wall time.
 #[must_use]
 pub fn gate_grid() -> Vec<SweepPoint> {
     let mk = |family: &str, w: qm_workloads::Workload, pes: usize| {
         SweepPoint::new(format!("perf/{family}/{pes}pe"), w, SystemConfig::with_pes(pes))
     };
-    vec![
+    let mut all = vec![
         mk("cholesky", qm_workloads::cholesky(8), 1),
         mk("cholesky", qm_workloads::cholesky(8), 2),
         mk("matmul8", qm_workloads::matmul(8), 1),
@@ -121,7 +124,18 @@ pub fn gate_grid() -> Vec<SweepPoint> {
         mk("congruence", qm_workloads::congruence(8), 1),
         mk("reduction", qm_workloads::reduction(64), 1),
         mk("fft", qm_workloads::fft(16), 8),
-    ]
+    ];
+    let translated: Vec<SweepPoint> = all
+        .iter()
+        .map(|p| {
+            let mut q = p.clone();
+            q.id = format!("{}/translated", p.id);
+            q.backend = qm_sim::Backend::Translated;
+            q
+        })
+        .collect();
+    all.extend(translated);
+    all
 }
 
 #[allow(clippy::cast_precision_loss)]
@@ -154,7 +168,8 @@ fn calibration_run() -> (u128, u64) {
 ///
 /// Panics if the fixed workload fails to build or run.
 fn timed_point(p: &SweepPoint) -> (u128, u64) {
-    let run = qm_workloads::WorkloadRun::new().config(p.cfg.clone()).options(p.opts);
+    let run =
+        qm_workloads::WorkloadRun::new().config(p.cfg.clone()).options(p.opts).backend(p.backend);
     let (mut sys, _) = run.prepare(&p.workload).unwrap_or_else(|e| panic!("{}: {e}", p.id));
     let t = Instant::now();
     let out = sys.run().unwrap_or_else(|e| panic!("{}: {e}", p.id));
@@ -450,5 +465,22 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), grid.len());
+    }
+
+    #[test]
+    fn grid_pins_both_backends_pairwise() {
+        let grid = gate_grid();
+        let (interp, translated): (Vec<_>, Vec<_>) =
+            grid.iter().partition(|p| p.backend == qm_sim::Backend::Interp);
+        assert_eq!(interp.len(), translated.len(), "every point has a translated twin");
+        for (a, b) in interp.iter().zip(&translated) {
+            assert_eq!(format!("{}/translated", a.id), b.id);
+        }
+        // The twins retire bit-identical cycle counts (spot-check one
+        // pair; the full grid is pinned against the baseline by the
+        // gate itself and by the sweep's `identical` flag).
+        let a = run_point(interp[0]);
+        let b = run_point(translated[0]);
+        assert_eq!(a.metrics, b.metrics, "backend changed the simulation");
     }
 }

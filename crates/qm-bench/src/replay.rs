@@ -37,13 +37,19 @@ pub struct Variant {
     pub fault_plan: Option<FaultPlan>,
     /// Placement-policy override (`None` keeps the snapshot's policy).
     pub placement: Option<Placement>,
+    /// Execution backend for the continuation (`None` keeps the
+    /// default interpreter). Unlike the other axes this one must
+    /// *never* produce a divergence — bisecting an interp variant
+    /// against a translated one is exactly how a backend bug would be
+    /// pinned to its first divergent cycle.
+    pub backend: Option<qm_sim::Backend>,
 }
 
 impl Variant {
     /// A variant that continues the snapshot unchanged.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Variant { name: name.into(), fault_plan: None, placement: None }
+        Variant { name: name.into(), fault_plan: None, placement: None, backend: None }
     }
 
     /// The same variant with a fault plan armed at restore time.
@@ -60,6 +66,13 @@ impl Variant {
         self
     }
 
+    /// The same variant continued on an explicit execution backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: qm_sim::Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
     /// Restore the snapshot and apply this variant's overrides.
     ///
     /// # Errors
@@ -72,6 +85,9 @@ impl Variant {
         }
         if let Some(placement) = self.placement {
             sys.set_placement(placement);
+        }
+        if let Some(backend) = self.backend {
+            sys.set_backend(backend);
         }
         Ok(sys)
     }
@@ -341,6 +357,16 @@ pub fn smoke() -> Result<(), String> {
             report.captured_at
         ));
     }
+
+    // The backend axis, by contrast, must never diverge: an interpreted
+    // and a translated continuation of the same snapshot are
+    // bit-identical by the backend contract (`docs/DETERMINISM.md`).
+    let interp = Variant::new("interp").with_backend(qm_sim::Backend::Interp);
+    let translated = Variant::new("translated").with_backend(qm_sim::Backend::Translated);
+    let report = bisect(&decoded, &interp, &translated).map_err(|e| e.to_string())?;
+    if let Some(c) = report.first_divergent_cycle {
+        return Err(format!("translated backend diverged from the interpreter at cycle {c}"));
+    }
     Ok(())
 }
 
@@ -389,6 +415,19 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("first divergent cycle"), "{text}");
         assert!(text.contains("variant \"faulty\""), "{text}");
+    }
+
+    #[test]
+    fn backends_never_diverge_from_a_shared_snapshot() {
+        let snap = shared_snapshot();
+        let interp = Variant::new("interp").with_backend(qm_sim::Backend::Interp);
+        let translated = Variant::new("translated").with_backend(qm_sim::Backend::Translated);
+        let report = bisect(&snap, &interp, &translated).expect("bisects");
+        assert_eq!(
+            report.first_divergent_cycle, None,
+            "the translated backend split from the interpreter"
+        );
+        assert_eq!(report.variants[0].outcome, report.variants[1].outcome);
     }
 
     #[test]

@@ -37,7 +37,16 @@ fn tmp(name: &str) -> PathBuf {
 /// does in `--resume --deterministic` mode.
 fn deterministic_json(grid: &[SweepPoint], results: Vec<qm_bench::sweep::PointResult>) -> String {
     let serial = run_serial(grid);
-    let report = SweepReport::new(2, &serial, Duration::ZERO, results, Duration::ZERO);
+    let translated = qm_bench::sweep::run_serial_backend(grid, qm_sim::Backend::Translated);
+    let report = SweepReport::new(
+        2,
+        &serial,
+        Duration::ZERO,
+        &translated,
+        Duration::ZERO,
+        results,
+        Duration::ZERO,
+    );
     assert!(report.identical, "checkpointed metrics diverged from a fresh serial pass");
     report.to_json_deterministic()
 }

@@ -115,6 +115,21 @@ impl Opcode {
         (Opcode::Rett, 0o75),
     ];
 
+    /// Dense decode table indexed by the 6-bit opcode value, built at
+    /// compile time from [`Opcode::ALL`]. Decode sits on the simulator's
+    /// hottest path (once per simulated instruction), so the lookup must
+    /// not scan the table.
+    const FROM_CODE: [Option<Opcode>; 64] = {
+        let mut t = [None; 64];
+        let mut i = 0;
+        while i < Self::ALL.len() {
+            let (op, code) = Self::ALL[i];
+            t[code as usize] = Some(op);
+            i += 1;
+        }
+        t
+    };
+
     /// The 6-bit opcode value.
     #[must_use]
     pub fn code(self) -> u8 {
@@ -122,9 +137,14 @@ impl Opcode {
     }
 
     /// Decode a 6-bit opcode value.
+    #[inline]
     #[must_use]
     pub fn from_code(code: u8) -> Option<Opcode> {
-        Self::ALL.iter().find(|&&(_, c)| c == code).map(|&(op, _)| op)
+        if code < 64 {
+            Self::FROM_CODE[code as usize]
+        } else {
+            None
+        }
     }
 
     /// Assembly mnemonic.
@@ -205,6 +225,7 @@ impl Opcode {
     /// branch, trap, dup), whose semantics live in the PE emulator.
     /// Division by zero yields 0 with no fault (the emulator raises a NAK
     /// separately if configured to).
+    #[inline]
     #[must_use]
     pub fn alu(self, a: Word, b: Word) -> Option<Word> {
         let bool_word = |v: bool| if v { -1 } else { 0 };
@@ -297,6 +318,7 @@ impl SrcMode {
 
     /// Decode a 6-bit source field. [`SrcMode::ImmWord`] is returned with
     /// a placeholder value of 0; the caller patches in the following word.
+    #[inline]
     #[must_use]
     pub fn decode(field: u8) -> SrcMode {
         let field = field & 0b11_1111;

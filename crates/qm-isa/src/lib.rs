@@ -43,11 +43,13 @@
 //! ```
 
 pub mod asm;
+pub mod decoded;
 pub mod isa;
 pub mod mem;
 pub mod pe;
 pub mod regs;
 
+pub use decoded::{DecodedInstr, XSrc};
 pub use isa::{Instruction, Opcode, SrcMode};
 pub use pe::{CycleModel, Pe, StepResult};
 

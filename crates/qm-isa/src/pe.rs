@@ -8,7 +8,8 @@
 //! `qm-sim` — and may *block*, in which case the instruction is left
 //! un-executed for the kernel to retry after a context switch.
 
-use crate::isa::{Instruction, Opcode, SrcMode, REG_DUMMY};
+use crate::decoded::DecodedInstr;
+use crate::isa::REG_DUMMY;
 use crate::mem::DataPort;
 use crate::regs::{RegisterFile, SavedRegisters};
 use crate::{UWord, Word};
@@ -280,6 +281,7 @@ impl Pe {
     /// Write a result to a destination register with full window
     /// semantics (DUMMY discards; used by the kernel to deliver trap
     /// results).
+    #[inline]
     pub fn write_dst(&mut self, dst: u8, value: Word) {
         if dst == REG_DUMMY {
             return;
@@ -292,28 +294,10 @@ impl Pe {
         self.last_result = value;
     }
 
-    fn read_src(&mut self, mode: SrcMode, port: &mut dyn DataPort) -> Word {
-        match mode {
-            SrcMode::Window(n) => {
-                if let Some(v) = self.regs.read_window(n) {
-                    self.stats.window_hits += 1;
-                    v
-                } else {
-                    let addr = self.regs.vreg_to_addr(n);
-                    let (v, extra) = port.read_word(self.id, addr);
-                    self.cycles += self.model.window_miss + extra;
-                    self.stats.window_misses += 1;
-                    self.regs.fill_window(n, v);
-                    v
-                }
-            }
-            SrcMode::Global(n) => self.regs.read_global(n),
-            SrcMode::Imm(v) => Word::from(v),
-            SrcMode::ImmWord(v) => v,
-        }
-    }
-
-    /// Execute one instruction.
+    /// Execute one instruction: fetch, translate to the shared decoded
+    /// form and run it. The translated backend in `qm-sim` caches the
+    /// [`DecodedInstr`] and calls [`Pe::step_decoded`] directly; both
+    /// paths execute the same code, so they cannot disagree.
     pub fn step(&mut self, port: &mut dyn DataPort, svc: &mut dyn Services) -> StepResult {
         let pc0 = self.regs.pc();
         let words = [
@@ -321,133 +305,25 @@ impl Pe {
             port.fetch_code(self.id, pc0.wrapping_add(4)),
             port.fetch_code(self.id, pc0.wrapping_add(8)),
         ];
-        let (instr, used) = match Instruction::decode(&words) {
-            Ok(x) => x,
+        let d = match DecodedInstr::translate(&words) {
+            Ok(d) => d,
             Err(e) => return StepResult::Error(e.to_string()),
         };
-        #[allow(clippy::cast_possible_truncation)]
-        let next_pc = pc0.wrapping_add(4 * used as UWord);
-        self.cycles += self.model.base + (used as u64 - 1) * self.model.imm_word;
+        self.step_decoded(&d, port, svc)
+    }
 
-        match instr {
-            Instruction::Dup { two, off1, off2, .. } => {
-                // dup writes the memory-resident queue page directly, even
-                // for offsets < 16 (thesis §5.3.3).
-                let v = self.last_result;
-                let addr1 = self.regs.queue_slot_addr(u32::from(off1));
-                let extra = port.write_word(self.id, addr1, v);
-                self.cycles += self.model.mem_extra + extra;
-                self.stats.mem_writes += 1;
-                if two {
-                    let addr2 = self.regs.queue_slot_addr(u32::from(off2));
-                    let extra = port.write_word(self.id, addr2, v);
-                    self.cycles += self.model.mem_extra + extra;
-                    self.stats.mem_writes += 1;
-                }
-                self.regs.set_pc(next_pc);
-                self.stats.instructions += 1;
-                StepResult::Continue
-            }
-            Instruction::Basic { op, src1, src2, dst1, dst2, qp_inc, .. } => {
-                let a = self.read_src(src1, port);
-                let b = self.read_src(src2, port);
-                let mut pc_next = next_pc;
-                let value: Option<Word> = if let Some(v) = op.alu(a, b) {
-                    Some(v)
-                } else {
-                    match op {
-                        Opcode::Fetch => {
-                            #[allow(clippy::cast_sign_loss)]
-                            let (v, extra) = port.read_word(self.id, a as UWord);
-                            self.cycles += self.model.mem_extra + extra;
-                            self.stats.mem_reads += 1;
-                            Some(v)
-                        }
-                        Opcode::Fchb => {
-                            #[allow(clippy::cast_sign_loss)]
-                            let (v, extra) = port.read_byte(self.id, a as UWord);
-                            self.cycles += self.model.mem_extra + extra;
-                            self.stats.mem_reads += 1;
-                            Some(v)
-                        }
-                        Opcode::Store => {
-                            #[allow(clippy::cast_sign_loss)]
-                            let extra = port.write_word(self.id, a as UWord, b);
-                            self.cycles += self.model.mem_extra + extra;
-                            self.stats.mem_writes += 1;
-                            None
-                        }
-                        Opcode::Storb => {
-                            #[allow(clippy::cast_sign_loss)]
-                            let extra = port.write_byte(self.id, a as UWord, b);
-                            self.cycles += self.model.mem_extra + extra;
-                            self.stats.mem_writes += 1;
-                            None
-                        }
-                        Opcode::Send => match svc.send(self.id, a, b) {
-                            SendOutcome::Done { cycles } => {
-                                self.cycles += self.model.channel + cycles;
-                                self.stats.sends += 1;
-                                None
-                            }
-                            SendOutcome::Block => {
-                                return StepResult::Blocked(BlockReason::SendOn(a));
-                            }
-                        },
-                        Opcode::Recv => match svc.recv(self.id, a) {
-                            RecvOutcome::Done { value, cycles } => {
-                                self.cycles += self.model.channel + cycles;
-                                self.stats.recvs += 1;
-                                Some(value)
-                            }
-                            RecvOutcome::Block => {
-                                return StepResult::Blocked(BlockReason::RecvOn(a));
-                            }
-                        },
-                        Opcode::Bne | Opcode::Beq => {
-                            let taken = (a != 0) == (op == Opcode::Bne);
-                            if taken {
-                                #[allow(clippy::cast_sign_loss)]
-                                {
-                                    pc_next = next_pc.wrapping_add(b as UWord);
-                                }
-                                self.cycles += self.model.branch_taken;
-                            }
-                            None
-                        }
-                        Opcode::Trap | Opcode::Ftrap => {
-                            self.cycles += self.model.trap;
-                            self.stats.traps += 1;
-                            self.stats.instructions += 1;
-                            self.regs.advance_qp(qp_inc);
-                            self.regs.set_pc(next_pc);
-                            return StepResult::Trap {
-                                entry: a,
-                                arg: b,
-                                dst1,
-                                dst2,
-                                fast: op == Opcode::Ftrap,
-                            };
-                        }
-                        Opcode::Fret | Opcode::Rett => {
-                            self.stats.instructions += 1;
-                            self.regs.set_pc(next_pc);
-                            return StepResult::Return { fast: op == Opcode::Fret };
-                        }
-                        _ => unreachable!("alu ops handled above"),
-                    }
-                };
-                self.regs.advance_qp(qp_inc);
-                self.regs.set_pc(pc_next);
-                if let Some(v) = value {
-                    self.write_dst(dst1, v);
-                    self.write_dst(dst2, v);
-                    self.last_result = v;
-                }
-                self.stats.instructions += 1;
-                StepResult::Continue
-            }
-        }
+    /// Execute one pre-decoded instruction. `d` must be the translation
+    /// of the code at the current PC; charging, statistics and blocking
+    /// behaviour are identical to [`Pe::step`] on the same words.
+    #[inline]
+    pub fn step_decoded(
+        &mut self,
+        d: &DecodedInstr,
+        port: &mut dyn DataPort,
+        svc: &mut dyn Services,
+    ) -> StepResult {
+        self.cycles += self.model.base + (u64::from(d.size_words()) - 1) * self.model.imm_word;
+        d.exec(self, port, svc)
     }
 
     /// Roll out the window registers and save the context's register

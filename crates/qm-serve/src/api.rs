@@ -4,6 +4,7 @@
 //! shapes are produced and consumed.
 
 use qm_core::json::{parse, Envelope, JsonValue};
+use qm_sim::Backend;
 use qm_verify::VerifyLevel;
 use qm_workloads::Workload;
 
@@ -42,6 +43,9 @@ pub struct JobSpec {
     pub shards: usize,
     /// Verification policy applied to the (possibly cached) report.
     pub verify: VerifyLevel,
+    /// Execution backend (`interp` by default; `translated` demands
+    /// `"verify":"strict"` — the verified-fast contract).
+    pub backend: Backend,
     /// Per-job cycle budget override (`None` = server default).
     pub max_cycles: Option<u64>,
     /// Per-job preemption slice override (`None` = server default).
@@ -174,6 +178,19 @@ pub fn parse_job(body: &[u8]) -> Result<JobSpec, ApiError> {
         },
     };
 
+    let backend = match v.get("backend") {
+        None => Backend::Interp,
+        Some(b) => b
+            .as_str()
+            .and_then(Backend::parse)
+            .ok_or_else(|| bad("backend must be \"interp\" or \"translated\""))?,
+    };
+    if backend == Backend::Translated && verify != VerifyLevel::Strict {
+        return Err(bad(
+            "the translated backend is verified-fast: it requires \"verify\":\"strict\"",
+        ));
+    }
+
     let max_cycles = opt_u64(&v, "max_cycles")?;
     if max_cycles == Some(0) {
         return Err(bad("max_cycles must be positive"));
@@ -187,6 +204,7 @@ pub fn parse_job(body: &[u8]) -> Result<JobSpec, ApiError> {
         pes: pes as usize,
         shards: shards as usize,
         verify,
+        backend,
         max_cycles,
         slice_cycles,
     })
@@ -203,7 +221,17 @@ mod tests {
         assert_eq!(spec.tenant, "anonymous");
         assert_eq!(spec.pes, 1);
         assert_eq!(spec.verify, VerifyLevel::Strict);
+        assert_eq!(spec.backend, Backend::Interp);
         assert_eq!(spec.max_cycles, None);
+    }
+
+    #[test]
+    fn backend_knob_parses_and_rides_the_strict_gate() {
+        let spec = parse_job(br#"{"workload":"matmul","param":4,"backend":"translated"}"#).unwrap();
+        assert_eq!(spec.backend, Backend::Translated);
+        assert_eq!(spec.verify, VerifyLevel::Strict, "defaulted verify satisfies the gate");
+        let spec = parse_job(br#"{"assembly":"x","backend":"interp","verify":"off"}"#).unwrap();
+        assert_eq!(spec.backend, Backend::Interp);
     }
 
     #[test]
@@ -234,6 +262,8 @@ mod tests {
             (br#"{"assembly":"x","verify":"maybe"}"#, "verify must be"),
             (br#"{"assembly":"x","tenant":""}"#, "tenant must be"),
             (br#"{"assembly":"x","max_cycles":0}"#, "must be positive"),
+            (br#"{"assembly":"x","backend":"jit"}"#, "backend must be"),
+            (br#"{"assembly":"x","backend":"translated","verify":"warn"}"#, "verified-fast"),
         ] {
             let err = parse_job(body).unwrap_err();
             assert_eq!(err.status, 400, "{want}");

@@ -25,6 +25,8 @@ use qm_sim::snapshot::Snapshot;
 use qm_workloads::WorkloadRun;
 
 const JOB: &str = r#"{"workload":"matmul","param":4,"pes":2,"tenant":"smoke"}"#;
+const JOB_TRANSLATED: &str =
+    r#"{"workload":"matmul","param":4,"pes":2,"tenant":"smoke","backend":"translated"}"#;
 
 fn fail(msg: &str) -> ! {
     eprintln!("serve smoke FAILED: {msg}");
@@ -40,10 +42,10 @@ fn get(addr: &str, path: &str) -> JsonValue {
     parse(&body).unwrap_or_else(|e| fail(&format!("GET {path}: bad JSON: {e}")))
 }
 
-/// Submit `JOB` and poll until it settles; returns the final `data`
+/// Submit `job` and poll until it settles; returns the final `data`
 /// object.
-fn run_job(addr: &str) -> JsonValue {
-    let (status, body) = request(addr, "POST", "/v1/jobs", JOB)
+fn run_job(addr: &str, job: &str) -> JsonValue {
+    let (status, body) = request(addr, "POST", "/v1/jobs", job)
         .unwrap_or_else(|e| fail(&format!("POST /v1/jobs: {e}")));
     if status != 202 {
         fail(&format!("POST /v1/jobs: status {status}: {body}"));
@@ -98,7 +100,7 @@ fn main() {
     // 1. Fidelity over HTTP (no slicing).
     let server = Server::start(&ServeConfig::default()).unwrap_or_else(|e| fail(&e.to_string()));
     let addr = server.addr().to_string();
-    let first = run_job(&addr);
+    let first = run_job(&addr, JOB);
     let (cycles, digest) = cycles_and_digest(&first);
     if (cycles, digest.as_str()) != (want_cycles, want_digest.as_str()) {
         fail(&format!(
@@ -110,7 +112,7 @@ fn main() {
     }
 
     // 2. Identical resubmission is served from the compile cache.
-    let second = run_job(&addr);
+    let second = run_job(&addr, JOB);
     if second.get("cache_hit") != Some(&JsonValue::Bool(true)) {
         fail("identical resubmission must hit the compile cache");
     }
@@ -127,12 +129,32 @@ fn main() {
     if hits < 1 {
         fail("health must report at least one cache hit");
     }
+
+    // 2b. The translated backend over the wire: echoed in the envelope,
+    // counted in health, and bit-identical to the interpreted runs.
+    let fast = run_job(&addr, JOB_TRANSLATED);
+    if fast.get("backend").and_then(JsonValue::as_str) != Some("translated") {
+        fail("job envelope must echo the translated backend");
+    }
+    if cycles_and_digest(&fast) != (want_cycles, want_digest.clone()) {
+        fail("translated job diverged from the interpreted run");
+    }
+    let health = get(&addr, "/v1/health");
+    let translated = health
+        .get("data")
+        .and_then(|d| d.get("jobs"))
+        .and_then(|jobs| jobs.get("translated"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| fail("health has no data.jobs.translated"));
+    if translated != 1 {
+        fail(&format!("health must count exactly one translated run, got {translated}"));
+    }
     server.shutdown();
 
     // 3. Preemption: small slice, several workers; result is bit-identical.
     let sliced_cfg = ServeConfig { slice_cycles: 500, workers: 3, ..ServeConfig::default() };
     let sliced_server = Server::start(&sliced_cfg).unwrap_or_else(|e| fail(&e.to_string()));
-    let sliced = run_job(&sliced_server.addr().to_string());
+    let sliced = run_job(&sliced_server.addr().to_string(), JOB);
     let slices = sliced
         .get("slices")
         .and_then(JsonValue::as_u64)
@@ -147,6 +169,6 @@ fn main() {
 
     println!(
         "serve smoke OK: {want_cycles} cycles, digest {want_digest}, cache hit verified, \
-         {slices} preemption slices bit-identical"
+         translated backend bit-identical, {slices} preemption slices bit-identical"
     );
 }

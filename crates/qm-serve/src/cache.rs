@@ -17,6 +17,7 @@ use qm_isa::asm::Object;
 use qm_occam::sema::SymKind;
 use qm_occam::Options;
 use qm_sim::rng::checksum;
+use qm_verify::VerifyOptions;
 
 use crate::api::Program;
 
@@ -55,10 +56,14 @@ pub struct CacheStats {
     pub entries: u64,
 }
 
-/// The cache key: a checksum over the program kind, its text and the
-/// compiler options that shaped code generation.
+/// The cache key: a checksum over the program kind, its text, the
+/// compiler options that shaped code generation and the verifier
+/// options that shaped the cached report. The verifier bits matter
+/// beyond cosmetics: the cached report's fast-path certificate is what
+/// admits a job to the translated backend, so two page geometries must
+/// never share an entry.
 #[must_use]
-pub fn key(program: &Program, opts: &Options) -> u64 {
+pub fn key(program: &Program, opts: &Options, verify: &VerifyOptions) -> u64 {
     let (tag, text): (&[u8], &str) = match program {
         Program::Occam(src) => (b"occam\0", src),
         Program::Assembly(src) => (b"asm\0", src),
@@ -67,20 +72,21 @@ pub fn key(program: &Program, opts: &Options) -> u64 {
         // submission of the same source.
         Program::Workload { .. } => unreachable!("workloads hash their source; see lookup sites"),
     };
-    let mut bytes = Vec::with_capacity(tag.len() + text.len() + 4);
+    let mut bytes = Vec::with_capacity(tag.len() + text.len() + 12);
     bytes.extend_from_slice(tag);
     bytes.push(u8::from(opts.live_value_analysis));
     bytes.push(u8::from(opts.input_sequencing));
     bytes.push(u8::from(opts.priority_scheduling));
     bytes.push(u8::from(opts.loop_unrolling));
+    bytes.extend_from_slice(&u64::from(verify.page_words).to_le_bytes());
     bytes.extend_from_slice(text.as_bytes());
     checksum(&bytes)
 }
 
 /// As [`key`], for a workload program's generated source.
 #[must_use]
-pub fn source_key(source: &str, opts: &Options) -> u64 {
-    key(&Program::Occam(source.to_string()), opts)
+pub fn source_key(source: &str, opts: &Options, verify: &VerifyOptions) -> u64 {
+    key(&Program::Occam(source.to_string()), opts, verify)
 }
 
 impl CompileCache {
@@ -143,14 +149,21 @@ mod tests {
     #[test]
     fn keys_separate_kinds_and_options() {
         let opts = Options::default();
-        let occam = key(&Program::Occam("x := 1".into()), &opts);
-        let asm = key(&Program::Assembly("x := 1".into()), &opts);
+        let verify = VerifyOptions::default();
+        let occam = key(&Program::Occam("x := 1".into()), &opts, &verify);
+        let asm = key(&Program::Assembly("x := 1".into()), &opts, &verify);
         assert_ne!(occam, asm, "same text, different kind");
         let other = Options { loop_unrolling: !opts.loop_unrolling, ..opts };
         assert_ne!(
-            key(&Program::Occam("x := 1".into()), &opts),
-            key(&Program::Occam("x := 1".into()), &other),
+            key(&Program::Occam("x := 1".into()), &opts, &verify),
+            key(&Program::Occam("x := 1".into()), &other, &verify),
             "options shape codegen, so they shape the key"
+        );
+        let other_pages = VerifyOptions { page_words: verify.page_words * 2 };
+        assert_ne!(
+            key(&Program::Occam("x := 1".into()), &opts, &verify),
+            key(&Program::Occam("x := 1".into()), &opts, &other_pages),
+            "verifier geometry shapes the cached report, so it shapes the key"
         );
     }
 

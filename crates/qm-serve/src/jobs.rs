@@ -163,6 +163,7 @@ struct QueueState {
     accepted: u64,
     done: u64,
     failed: u64,
+    translated: u64,
     shutdown: bool,
 }
 
@@ -179,6 +180,8 @@ pub struct QueueStats {
     pub done: u64,
     /// Jobs failed.
     pub failed: u64,
+    /// Successful runs that executed on the translated backend.
+    pub translated: u64,
 }
 
 /// The bounded, fair-share job queue.
@@ -289,9 +292,13 @@ impl JobQueue {
                 false
             }
             Step::Done(result) => {
+                let translated = job.spec.backend == qm_sim::Backend::Translated;
                 job.status = Status::Done;
                 job.result = Some(result);
                 s.done += 1;
+                if translated {
+                    s.translated += 1;
+                }
                 true
             }
             Step::Failed(code, message) => {
@@ -336,6 +343,7 @@ impl JobQueue {
             accepted: s.accepted,
             done: s.done,
             failed: s.failed,
+            translated: s.translated,
         }
     }
 
@@ -364,21 +372,21 @@ fn build_entry(spec: &JobSpec, cache: &CompileCache) -> Result<Built, (&'static 
     match &spec.program {
         Program::Workload { name, param } => {
             let w = bundled_workload(name, *param).map_err(|e| ("bad_request", e.message))?;
-            let k = cache::source_key(&w.source, &opts);
+            let k = cache::source_key(&w.source, &opts, &verify_opts);
             let (entry, hit) = cache
                 .lookup_or_fill(k, || compile_occam(&w.source, &opts, &verify_opts))
                 .map_err(|m| ("compile_error", m))?;
             Ok((entry, hit, Some(w)))
         }
         Program::Occam(src) => {
-            let k = cache::key(&spec.program, &opts);
+            let k = cache::key(&spec.program, &opts, &verify_opts);
             let (entry, hit) = cache
                 .lookup_or_fill(k, || compile_occam(src, &opts, &verify_opts))
                 .map_err(|m| ("compile_error", m))?;
             Ok((entry, hit, None))
         }
         Program::Assembly(src) => {
-            let k = cache::key(&spec.program, &opts);
+            let k = cache::key(&spec.program, &opts, &verify_opts);
             let (entry, hit) = cache
                 .lookup_or_fill(k, || {
                     let object = qm_isa::asm::assemble(src).map_err(|e| e.to_string())?;
@@ -444,6 +452,7 @@ pub fn execute_slice(unit: WorkUnit, cache: &CompileCache, defaults: &ExecConfig
                 let run = WorkloadRun {
                     cfg: system_config(spec),
                     shards: spec.shards,
+                    backend: spec.backend,
                     ..WorkloadRun::default()
                 };
                 run.prepare_compiled(w, &entry.object, &entry.syms).map_err(|e| e.to_string())
@@ -452,6 +461,14 @@ pub fn execute_slice(unit: WorkUnit, cache: &CompileCache, defaults: &ExecConfig
                     .config(system_config(spec))
                     .object(&entry.object)
                     .verify(VerifyLevel::Off);
+                if spec.backend == qm_sim::Backend::Translated {
+                    // The builder's verified-fast gate wants Strict; the
+                    // cached report already proved the program clean
+                    // (strict-mode rejection above), so this re-check is
+                    // belt-and-braces, not policy.
+                    builder =
+                        builder.verify(VerifyLevel::Strict).backend(qm_sim::Backend::Translated);
+                }
                 if spec.shards > 1 {
                     builder = builder.shards(spec.shards);
                 }
@@ -472,7 +489,13 @@ pub fn execute_slice(unit: WorkUnit, cache: &CompileCache, defaults: &ExecConfig
                 .map_err(|e| e.to_string())
                 .and_then(|snap| System::restore(&snap).map_err(|e| e.to_string()));
             match restored {
-                Ok(sys) => (sys, cont.resume_at, cont.workload, cont.verify_json, None),
+                Ok(mut sys) => {
+                    // Execution backend is a host knob, not machine
+                    // state — snapshots don't carry it, so every resumed
+                    // slice re-applies the job's choice.
+                    sys.set_backend(spec.backend);
+                    (sys, cont.resume_at, cont.workload, cont.verify_json, None)
+                }
                 Err(msg) => {
                     return StepReport {
                         step: Step::Failed("snapshot_error", msg),
@@ -530,6 +553,7 @@ mod tests {
             pes: 1,
             shards: 0,
             verify: VerifyLevel::Warn,
+            backend: qm_sim::Backend::Interp,
             max_cycles: None,
             slice_cycles: None,
         }
@@ -610,6 +634,42 @@ mod tests {
         // And both match a direct WorkloadRun.
         let direct = WorkloadRun::new().run(&w).unwrap();
         assert_eq!(c1, direct.outcome.elapsed_cycles);
+    }
+
+    #[test]
+    fn translated_job_matches_interp_bit_for_bit() {
+        let cache = CompileCache::new();
+        let q = JobQueue::new(8, 8);
+        let interp = spec(Program::Workload { name: "matmul".into(), param: 4 });
+        let mut translated = interp.clone();
+        translated.verify = VerifyLevel::Strict;
+        translated.backend = qm_sim::Backend::Translated;
+        // Slice the translated job so the preempt → restore →
+        // `set_backend` path runs, not just the fresh build.
+        translated.slice_cycles = Some(500);
+        let id_interp = q.submit(interp).unwrap();
+        let id_translated = q.submit(translated).unwrap();
+        let defaults = ExecConfig::default();
+        while q.stats().done + q.stats().failed < 2 {
+            drain_one(&q, &cache, &defaults);
+        }
+        let a = q
+            .with_job(id_interp, |j| {
+                let r = j.result.as_ref().expect("interp result");
+                (r.state_digest, r.outcome.elapsed_cycles, r.correct)
+            })
+            .unwrap();
+        let (slices, b) = q
+            .with_job(id_translated, |j| {
+                let r = j.result.as_ref().expect("translated result");
+                (j.slices, (r.state_digest, r.outcome.elapsed_cycles, r.correct))
+            })
+            .unwrap();
+        assert!(slices > 1, "the translated job must have been preempted at least once");
+        assert_eq!(a, b, "the translated backend must be bit-identical to the interpreter");
+        assert_eq!(b.2, Some(true));
+        let stats = q.stats();
+        assert_eq!((stats.done, stats.translated), (2, 1));
     }
 
     #[test]

@@ -245,6 +245,7 @@ fn job_json(job: &Job) -> String {
         j.u64_field("id", job.id);
         j.str_field("tenant", &job.spec.tenant);
         j.str_field("status", job.status.as_str());
+        j.str_field("backend", job.spec.backend.as_str());
         j.u64_field("slices", job.slices);
         j.bool_field("cache_hit", job.cache_hit);
         if let Some(r) = &job.result {
@@ -300,6 +301,7 @@ fn health_json(shared: &Shared) -> String {
         j.u64_field("running", q.running);
         j.u64_field("done", q.done);
         j.u64_field("failed", q.failed);
+        j.u64_field("translated", q.translated);
         j.end_obj();
         j.key("cache");
         j.begin_obj();

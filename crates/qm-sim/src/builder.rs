@@ -29,20 +29,50 @@
 //! post-build mutation such as workload memory initialisation).
 
 use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 use qm_isa::asm::{assemble, Object};
-use qm_verify::{verify_object_at, VerifyLevel, VerifyOptions};
+use qm_isa::UWord;
+use qm_verify::{verify_object_at, Report, VerifyLevel, VerifyOptions};
 
 use crate::config::SystemConfig;
 use crate::fault::FaultPlan;
 use crate::snapshot::Snapshot;
 use crate::system::{SimError, System};
 use crate::trace::TraceSink;
+use crate::xlate::Backend;
 use crate::Word;
 
 /// Alias for [`System`] so construction reads as `Simulation::builder()`;
 /// the two names are interchangeable.
 pub type Simulation = System;
+
+/// Verification is a pure function of (object, entry, page size), and
+/// harnesses that sweep one program across many machine shapes re-verify
+/// it per point. A small process-wide memo makes the repeats free.
+/// `Object` is `Eq` but not `Hash`, so this is a bounded linear scan —
+/// entries are whole programs, so more than a handful is rare.
+const VERIFY_MEMO_CAP: usize = 128;
+
+fn verify_memoized(obj: &Object, entry: UWord, page_words: u32) -> Report {
+    type Memo = Vec<(Object, UWord, u32, Report)>;
+    static MEMO: OnceLock<Mutex<Memo>> = OnceLock::new();
+    let memo = MEMO.get_or_init(Mutex::default);
+    let guard = memo.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some((.., report)) =
+        guard.iter().find(|(o, e, p, _)| *e == entry && *p == page_words && o == obj)
+    {
+        return report.clone();
+    }
+    drop(guard);
+    let report = verify_object_at(obj, entry, &VerifyOptions { page_words });
+    let mut guard = memo.lock().unwrap_or_else(PoisonError::into_inner);
+    if guard.len() >= VERIFY_MEMO_CAP {
+        drop(guard.remove(0));
+    }
+    guard.push((obj.clone(), entry, page_words, report.clone()));
+    report
+}
 
 /// Fluent builder for a [`System`]; obtained from [`System::builder`].
 ///
@@ -67,6 +97,7 @@ pub struct SimBuilder {
     snap_dir: Option<String>,
     resume_from: Option<PathBuf>,
     shards: Option<usize>,
+    backend: Backend,
 }
 
 impl System {
@@ -86,6 +117,7 @@ impl System {
             snap_dir: None,
             resume_from: None,
             shards: None,
+            backend: Backend::default(),
         }
     }
 }
@@ -218,6 +250,27 @@ impl SimBuilder {
         self
     }
 
+    /// Execution backend for the PE hot loop (default
+    /// [`Backend::Interp`]). [`Backend::Translated`] pre-decodes the
+    /// verified object into direct-threaded slots and batches
+    /// sequential steps — bit-identical results, several times faster
+    /// (see [`crate::xlate`] and `docs/DETERMINISM.md`).
+    ///
+    /// The translated backend is *verified-fast*: a fresh build demands
+    /// [`verify`](Self::verify) `==` [`VerifyLevel::Strict`], so only
+    /// programs holding a clean Strict report (the fast-path
+    /// certificate, `qm_verify::Report::fast_path_certificate`) reach
+    /// it; [`build`](Self::build) fails with [`SimError::Verify`]
+    /// otherwise. Like [`shards`](Self::shards) this is an execution
+    /// strategy, not machine state: it composes with
+    /// [`resume_from`](Self::resume_from) in either direction — a
+    /// snapshot captured interpreted resumes translated and vice versa,
+    /// and the snapshot bytes carry no backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Resume from a snapshot file instead of building a fresh system.
     /// The restored run continues bit-identically to the captured one.
     /// Mutually exclusive with [`object`](Self::object),
@@ -247,6 +300,9 @@ impl SimBuilder {
     /// [`SimError::Snapshot`] when [`resume_from`](Self::resume_from)
     /// was combined with program/input/fault options, or the snapshot
     /// cannot be read.
+    /// [`SimError::Backend`] when [`backend`](Self::backend) is
+    /// [`Backend::Translated`] on a fresh build without
+    /// [`VerifyLevel::Strict`].
     pub fn build(self) -> Result<System, SimError> {
         if let Some(path) = &self.resume_from {
             if self.object.is_some()
@@ -273,7 +329,18 @@ impl SimBuilder {
             if let Some(n) = self.shards {
                 sys.set_shards(n);
             }
+            // An execution strategy, not machine state: a snapshot
+            // resumes under either backend (the program was verified
+            // when first built).
+            sys.set_backend(self.backend);
             return Ok(sys);
+        }
+        if self.backend == Backend::Translated && self.verify != VerifyLevel::Strict {
+            return Err(SimError::Backend(
+                "Backend::Translated is verified-fast: it requires .verify(VerifyLevel::Strict) \
+                 so translation starts from a clean fast-path certificate"
+                    .to_string(),
+            ));
         }
         let obj = match (self.object, self.assembly) {
             (Some(_), Some(_)) => {
@@ -305,7 +372,7 @@ impl SimBuilder {
                 None => obj.symbol("main").unwrap_or_else(|| obj.base()),
             };
             if self.verify != VerifyLevel::Off {
-                let report = verify_object_at(&obj, entry, &VerifyOptions { page_words });
+                let report = verify_memoized(&obj, entry, page_words);
                 if !report.is_clean() {
                     if self.verify == VerifyLevel::Strict {
                         return Err(SimError::Verify { report });
@@ -326,6 +393,7 @@ impl SimBuilder {
         if let Some(n) = self.shards {
             sys.set_shards(n);
         }
+        sys.set_backend(self.backend);
         Ok(sys)
     }
 }
@@ -346,6 +414,7 @@ impl std::fmt::Debug for SimBuilder {
             .field("snap_dir", &self.snap_dir)
             .field("resume_from", &self.resume_from)
             .field("shards", &self.shards)
+            .field("backend", &self.backend)
             .finish()
     }
 }
@@ -516,6 +585,71 @@ main:   plus+2 r0,r1 :r0
             .build()
             .unwrap();
         assert_eq!(sys.run().unwrap().output, vec![42]);
+    }
+
+    #[test]
+    fn translated_backend_demands_strict_verification() {
+        for verify in [VerifyLevel::Off, VerifyLevel::Warn] {
+            let err = Simulation::builder()
+                .assembly(ECHO)
+                .verify(verify)
+                .backend(Backend::Translated)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, SimError::Backend(ref m) if m.contains("Strict")), "got {err:?}");
+        }
+    }
+
+    #[test]
+    fn translated_backend_runs_bit_identically() {
+        let mut interp = Simulation::builder().pes(2).assembly(ECHO).input(14).build().unwrap();
+        let mut fast = Simulation::builder()
+            .pes(2)
+            .assembly(ECHO)
+            .input(14)
+            .verify(VerifyLevel::Strict)
+            .backend(Backend::Translated)
+            .build()
+            .unwrap();
+        assert_eq!(fast.backend(), Backend::Translated);
+        let a = interp.run().unwrap();
+        let b = fast.run().unwrap();
+        assert_eq!(a, b, "backends agree on the complete outcome");
+        assert_eq!(
+            crate::snapshot::Snapshot::capture(&interp).state_digest(),
+            crate::snapshot::Snapshot::capture(&fast).state_digest(),
+            "and on the final machine state"
+        );
+    }
+
+    #[test]
+    fn snapshots_cross_backends_both_ways() {
+        let dir = std::env::temp_dir().join(format!("qm-builder-xlate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (from, to) in
+            [(Backend::Interp, Backend::Translated), (Backend::Translated, Backend::Interp)]
+        {
+            let mut sys = Simulation::builder()
+                .pes(2)
+                .assembly(ECHO)
+                .input(14)
+                .verify(VerifyLevel::Strict)
+                .backend(from)
+                .build()
+                .unwrap();
+            sys.run_until(4).unwrap();
+            let path = dir.join("cross.snap");
+            crate::snapshot::Snapshot::capture(&sys).write_to(&path).unwrap();
+            let mut resumed = Simulation::builder().resume_from(&path).backend(to).build().unwrap();
+            assert_eq!(resumed.backend(), to);
+            let direct = sys.run().unwrap();
+            assert_eq!(resumed.run().unwrap(), direct, "{from} snapshot resumes under {to}");
+            assert_eq!(
+                crate::snapshot::Snapshot::capture(&sys).state_digest(),
+                crate::snapshot::Snapshot::capture(&resumed).state_digest()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

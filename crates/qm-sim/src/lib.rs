@@ -77,6 +77,7 @@ pub mod shard;
 pub mod snapshot;
 pub mod system;
 pub mod trace;
+pub mod xlate;
 
 pub use builder::{SimBuilder, Simulation};
 pub use config::{RecoveryConfig, SystemConfig};
@@ -88,6 +89,7 @@ pub use qm_verify::{VerifyLevel, VerifyOptions};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use system::{BlockedCtx, RetryingCtx, RunOutcome, RunStatus, SimError, System};
 pub use trace::{ChromeTrace, Recorder, TraceEvent, TraceRecord, TraceSink, Tracer};
+pub use xlate::Backend;
 
 /// Machine word, shared with the rest of the workspace.
 pub type Word = qm_isa::Word;

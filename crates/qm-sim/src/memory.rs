@@ -10,11 +10,216 @@
 
 use std::collections::HashMap;
 
-use qm_isa::mem::{global_home, is_local, DataPort};
+use qm_isa::mem::{global_home, is_local, DataPort, LOCAL_BASE};
 
 use crate::config::SystemConfig;
 use crate::trace::{TraceBuffer, TraceEvent};
 use crate::{UWord, Word};
+
+/// Words per directly mapped local page (4 KiB of address span).
+const LP_PAGE_WORDS: usize = 1024;
+/// Directly mapped pages per local plane: 4 MiB of span above
+/// [`LOCAL_BASE`], comfortably covering every kernel allocation (queue
+/// pages are bump-allocated densely from `LOCAL_BASE + 0x1000`).
+/// Addresses beyond the span — programs *can* compute wild local
+/// addresses — spill to an exact map.
+const LP_MAX_PAGES: usize = 1024;
+
+/// One 4 KiB page of a memory plane: backing words plus a per-word
+/// presence bitmap, so the *populated set* (which addresses have ever
+/// been written) is tracked exactly like the `HashMap` plane this
+/// replaced — snapshots export identical `(address, value)` pairs.
+#[derive(Debug, Clone)]
+struct PlanePage {
+    words: [Word; LP_PAGE_WORDS],
+    present: [u64; LP_PAGE_WORDS / 64],
+}
+
+impl PlanePage {
+    fn new() -> Box<PlanePage> {
+        Box::new(PlanePage { words: [0; LP_PAGE_WORDS], present: [0; LP_PAGE_WORDS / 64] })
+    }
+}
+
+/// One PE's private memory plane. The kernel allocates queue pages and
+/// context records densely just above [`LOCAL_BASE`], so the hot path
+/// (window-miss fills, `dup` queue writes) is a direct page-offset
+/// array access instead of a hash lookup; presence bitmaps preserve the
+/// exact populated-set semantics of a map (absent words read as 0 but
+/// are not exported). Addresses outside the mapped span fall back to
+/// [`LocalPlane::spill`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LocalPlane {
+    /// Directly mapped pages, grown on demand, indexed by
+    /// `(addr - LOCAL_BASE) / 4096`.
+    pages: Vec<Option<Box<PlanePage>>>,
+    /// Exact store for addresses beyond the mapped span.
+    spill: HashMap<UWord, Word>,
+}
+
+impl LocalPlane {
+    /// `(page, slot)` for a mapped local address, `None` for spill.
+    #[inline]
+    fn index(addr: UWord) -> Option<(usize, usize)> {
+        if addr < LOCAL_BASE {
+            return None;
+        }
+        let idx = (addr.wrapping_sub(LOCAL_BASE) >> 2) as usize;
+        let page = idx / LP_PAGE_WORDS;
+        (page < LP_MAX_PAGES).then_some((page, idx % LP_PAGE_WORDS))
+    }
+
+    /// The word at `addr`, or `None` when never written (reads as 0).
+    #[inline]
+    pub(crate) fn get(&self, addr: UWord) -> Option<Word> {
+        match Self::index(addr) {
+            Some((p, s)) => {
+                let page = self.pages.get(p)?.as_ref()?;
+                (page.present[s / 64] >> (s % 64) & 1 == 1).then(|| page.words[s])
+            }
+            None => self.spill.get(&(addr & !3)).copied(),
+        }
+    }
+
+    /// Write the word at `addr`, marking it populated.
+    #[inline]
+    pub(crate) fn insert(&mut self, addr: UWord, value: Word) {
+        match Self::index(addr) {
+            Some((p, s)) => {
+                if self.pages.len() <= p {
+                    self.pages.resize_with(p + 1, || None);
+                }
+                let page = self.pages[p].get_or_insert_with(PlanePage::new);
+                page.present[s / 64] |= 1 << (s % 64);
+                page.words[s] = value;
+            }
+            None => {
+                self.spill.insert(addr & !3, value);
+            }
+        }
+    }
+
+    /// Un-populate the word at `addr` (the sharded frontier's undo log
+    /// replays previously-absent words this way).
+    pub(crate) fn remove(&mut self, addr: UWord) {
+        match Self::index(addr) {
+            Some((p, s)) => {
+                if let Some(Some(page)) = self.pages.get_mut(p) {
+                    page.present[s / 64] &= !(1 << (s % 64));
+                }
+            }
+            None => {
+                self.spill.remove(&(addr & !3));
+            }
+        }
+    }
+
+    /// Every populated `(address, value)` pair, sorted by address.
+    fn export(&self) -> MemPlane {
+        let mut out: MemPlane = Vec::new();
+        for (p, page) in self.pages.iter().enumerate() {
+            let Some(page) = page else { continue };
+            for s in 0..LP_PAGE_WORDS {
+                if page.present[s / 64] >> (s % 64) & 1 == 1 {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let addr = LOCAL_BASE + 4 * (p * LP_PAGE_WORDS + s) as UWord;
+                    out.push((addr, page.words[s]));
+                }
+            }
+        }
+        // Mapped pairs are already ascending and every spill address is
+        // above the mapped span, but sort anyway: export is cold and the
+        // ordering contract (snapshot byte determinism) must not lean on
+        // that layout detail.
+        out.extend(self.spill.iter().map(|(&a, &w)| (a, w)));
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Directly mapped pages in the global data plane: 4 MiB of span above
+/// [`GLOBAL_BASE`](qm_isa::mem::GLOBAL_BASE), covering every compiler
+/// allocation (`qm-occam` bump-allocates data densely from
+/// `DATA_BASE == GLOBAL_BASE`). Wild addresses spill to the exact map.
+const GP_MAX_PAGES: usize = 1024;
+
+/// The shared global space: code plus shared data. The data region just
+/// above [`GLOBAL_BASE`](qm_isa::mem::GLOBAL_BASE) — where the compiler
+/// bump-allocates arrays and scalars — is directly mapped like
+/// [`LocalPlane`], so the `fetch`/`store` hot path on *both* backends is
+/// a page-offset array access; presence bitmaps preserve the exact
+/// populated-set semantics of the map this replaced. The code segment
+/// (below `GLOBAL_BASE`) and wild computed addresses stay in the exact
+/// map: code is position-indexed by the translation anyway, and the
+/// interpreter's `fetch_code` pays the same hash lookup it always did.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GlobalPlane {
+    /// Directly mapped data pages, grown on demand, indexed by
+    /// `(addr - GLOBAL_BASE) / 4096`.
+    pages: Vec<Option<Box<PlanePage>>>,
+    /// Exact store for the code segment and addresses beyond the span.
+    map: HashMap<UWord, Word>,
+}
+
+impl GlobalPlane {
+    /// `(page, slot)` for a mapped data address, `None` for the map.
+    #[inline]
+    fn index(addr: UWord) -> Option<(usize, usize)> {
+        if addr < qm_isa::mem::GLOBAL_BASE {
+            return None; // code segment
+        }
+        let idx = (addr.wrapping_sub(qm_isa::mem::GLOBAL_BASE) >> 2) as usize;
+        let page = idx / LP_PAGE_WORDS;
+        (page < GP_MAX_PAGES).then_some((page, idx % LP_PAGE_WORDS))
+    }
+
+    /// The word at `addr`, or `None` when never written (reads as 0).
+    #[inline]
+    pub(crate) fn get(&self, addr: UWord) -> Option<Word> {
+        match Self::index(addr) {
+            Some((p, s)) => {
+                let page = self.pages.get(p)?.as_ref()?;
+                (page.present[s / 64] >> (s % 64) & 1 == 1).then(|| page.words[s])
+            }
+            None => self.map.get(&(addr & !3)).copied(),
+        }
+    }
+
+    /// Write the word at `addr`, marking it populated.
+    #[inline]
+    pub(crate) fn insert(&mut self, addr: UWord, value: Word) {
+        match Self::index(addr) {
+            Some((p, s)) => {
+                if self.pages.len() <= p {
+                    self.pages.resize_with(p + 1, || None);
+                }
+                let page = self.pages[p].get_or_insert_with(PlanePage::new);
+                page.present[s / 64] |= 1 << (s % 64);
+                page.words[s] = value;
+            }
+            None => {
+                self.map.insert(addr & !3, value);
+            }
+        }
+    }
+
+    /// Every populated `(address, value)` pair, sorted by address.
+    fn export(&self) -> MemPlane {
+        let mut out: MemPlane = self.map.iter().map(|(&a, &w)| (a, w)).collect();
+        for (p, page) in self.pages.iter().enumerate() {
+            let Some(page) = page else { continue };
+            for s in 0..LP_PAGE_WORDS {
+                if page.present[s / 64] >> (s % 64) & 1 == 1 {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let addr = qm_isa::mem::GLOBAL_BASE + 4 * (p * LP_PAGE_WORDS + s) as UWord;
+                    out.push((addr, page.words[s]));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
 
 /// Memory traffic statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,8 +239,8 @@ pub(crate) type MemPlane = Vec<(UWord, Word)>;
 /// The multiprocessor memory system.
 #[derive(Debug)]
 pub struct SharedMemory {
-    global: HashMap<UWord, Word>,
-    locals: Vec<HashMap<UWord, Word>>,
+    global: GlobalPlane,
+    locals: Vec<LocalPlane>,
     config: SystemConfig,
     /// Traffic statistics.
     pub stats: MemStats,
@@ -56,8 +261,8 @@ impl SharedMemory {
     #[must_use]
     pub fn new(config: &SystemConfig) -> Self {
         SharedMemory {
-            global: HashMap::new(),
-            locals: vec![HashMap::new(); config.pes],
+            global: GlobalPlane::default(),
+            locals: vec![LocalPlane::default(); config.pes],
             config: config.clone(),
             stats: MemStats::default(),
             trace: TraceBuffer::default(),
@@ -71,16 +276,8 @@ impl SharedMemory {
     /// with the run loop — frontier-legal accesses are local and emit no
     /// trace events, and their `local_accesses` are merged back at the
     /// barrier.
-    pub(crate) fn shard_split(&mut self) -> (&HashMap<UWord, Word>, &mut [HashMap<UWord, Word>]) {
+    pub(crate) fn shard_split(&mut self) -> (&GlobalPlane, &mut [LocalPlane]) {
         (&self.global, &mut self.locals)
-    }
-
-    fn plane(&mut self, pe: usize, addr: UWord) -> &mut HashMap<UWord, Word> {
-        if is_local(addr) {
-            &mut self.locals[pe]
-        } else {
-            &mut self.global
-        }
     }
 
     fn cost(&mut self, pe: usize, addr: UWord) -> u64 {
@@ -117,7 +314,7 @@ impl SharedMemory {
     /// Peek a global word (host-side inspection, no cost).
     #[must_use]
     pub fn peek_global(&self, addr: UWord) -> Word {
-        self.global.get(&(addr & !3)).copied().unwrap_or(0)
+        self.global.get(addr & !3).unwrap_or(0)
     }
 
     /// Poke a global word (host-side initialisation, no cost).
@@ -128,7 +325,7 @@ impl SharedMemory {
     /// Peek a PE-local word.
     #[must_use]
     pub fn peek_local(&self, pe: usize, addr: UWord) -> Word {
-        self.locals[pe].get(&(addr & !3)).copied().unwrap_or(0)
+        self.locals[pe].get(addr & !3).unwrap_or(0)
     }
 
     /// Export every populated word for snapshots: the global plane and
@@ -136,12 +333,7 @@ impl SharedMemory {
     /// (deterministic bytes regardless of map iteration order).
     #[must_use]
     pub(crate) fn export_planes(&self) -> (MemPlane, Vec<MemPlane>) {
-        let sorted = |m: &HashMap<UWord, Word>| {
-            let mut v: MemPlane = m.iter().map(|(&a, &w)| (a, w)).collect();
-            v.sort_unstable();
-            v
-        };
-        (sorted(&self.global), self.locals.iter().map(sorted).collect())
+        (self.global.export(), self.locals.iter().map(LocalPlane::export).collect())
     }
 
     /// Replace the memory planes with snapshot state (the inverse of
@@ -149,26 +341,48 @@ impl SharedMemory {
     /// PE.
     pub(crate) fn restore_planes(&mut self, global: MemPlane, locals: Vec<MemPlane>) {
         debug_assert_eq!(locals.len(), self.locals.len());
-        self.global = global.into_iter().collect();
-        self.locals = locals.into_iter().map(|plane| plane.into_iter().collect()).collect();
+        self.global = GlobalPlane::default();
+        for (a, w) in global {
+            self.global.insert(a, w);
+        }
+        self.locals = locals
+            .into_iter()
+            .map(|plane| {
+                let mut lp = LocalPlane::default();
+                for (a, w) in plane {
+                    lp.insert(a, w);
+                }
+                lp
+            })
+            .collect();
     }
 }
 
 impl DataPort for SharedMemory {
     fn read_word(&mut self, pe: usize, addr: UWord) -> (Word, u64) {
         let cost = self.cost(pe, addr);
-        let v = self.plane(pe, addr & !3).get(&(addr & !3)).copied().unwrap_or(0);
+        let a = addr & !3;
+        let v = if is_local(addr) {
+            self.locals[pe].get(a).unwrap_or(0)
+        } else {
+            self.global.get(a).unwrap_or(0)
+        };
         (v, cost)
     }
 
     fn write_word(&mut self, pe: usize, addr: UWord, value: Word) -> u64 {
         let cost = self.cost(pe, addr);
-        if !is_local(addr) && addr < qm_isa::mem::GLOBAL_BASE {
-            // A store rewrote the code segment: bump the epoch so a
-            // sharded run invalidates pre-fetched frontier work.
-            self.code_writes += 1;
+        let a = addr & !3;
+        if is_local(addr) {
+            self.locals[pe].insert(a, value);
+        } else {
+            if addr < qm_isa::mem::GLOBAL_BASE {
+                // A store rewrote the code segment: bump the epoch so a
+                // sharded run invalidates pre-fetched frontier work.
+                self.code_writes += 1;
+            }
+            self.global.insert(a, value);
         }
-        self.plane(pe, addr & !3).insert(addr & !3, value);
         cost
     }
 
@@ -196,7 +410,7 @@ impl DataPort for SharedMemory {
         // instruction space) — no bus traffic.
         #[allow(clippy::cast_sign_loss)]
         {
-            self.global.get(&(addr & !3)).copied().unwrap_or(0) as u32
+            self.global.get(addr & !3).unwrap_or(0) as u32
         }
     }
 }

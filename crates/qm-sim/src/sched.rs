@@ -195,6 +195,47 @@ impl Scheduler {
         }
     }
 
+    /// A lower bound on the next-action `(time, pe)` key of every PE
+    /// *except* `exclude`, or `None` when no other PE can act. O(log)
+    /// amortized: garbage entries met on the way are drained (exactly as
+    /// [`Scheduler::next_actor`] would), `exclude`'s own live entry is
+    /// stepped over and re-planted untouched, and the first other live
+    /// hint is returned *without* consuming it. Because every hint obeys
+    /// the heap invariant (`time` ≤ the PE's true next-action time), the
+    /// returned key is a conservative bound — exact in the common case,
+    /// since hints are refreshed to exact times whenever a PE acts.
+    ///
+    /// The full `(time, pe)` key is returned because it is exactly what
+    /// [`Scheduler::next_actor`]'s heap orders by: a caller racing
+    /// `exclude` against this bound can therefore reproduce the serial
+    /// tie-break (lowest PE index at equal times), not just the time.
+    ///
+    /// The translated backend's batch loop uses this to decide how far
+    /// the acting PE may run *globally visible* instructions before
+    /// another PE could observe the difference (`qm-sim::xlate`).
+    pub(crate) fn min_other_hint(&mut self, exclude: usize) -> Option<(u64, usize)> {
+        let mut stash = None;
+        let hint = loop {
+            match self.actors.peek() {
+                None => break None,
+                Some(&Reverse((t, pe))) => {
+                    if self.planted[pe] != Some(t) {
+                        self.actors.pop(); // garbage: superseded or consumed
+                    } else if pe == exclude {
+                        // At most one live entry per PE: step over it.
+                        stash = self.actors.pop();
+                    } else {
+                        break Some((t, pe));
+                    }
+                }
+            }
+        };
+        if let Some(e) = stash {
+            self.actors.push(e);
+        }
+        hint
+    }
+
     /// The next `(pe, time)` to act, or `None` when no PE can.
     ///
     /// `eval` computes a PE's true next-action time right now, given the

@@ -40,7 +40,7 @@
 //! PE's local plane flags a violation, the step is rolled back from its
 //! backup, and the PE is parked for the run loop to execute serially.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use qm_isa::isa::{Instruction, Opcode};
 use qm_isa::mem::{is_local, DataPort, GLOBAL_BASE};
@@ -48,6 +48,7 @@ use qm_isa::pe::{Pe, RecvOutcome, SendOutcome, Services, StepResult};
 
 use crate::fault::FaultEngine;
 use crate::kernel::CtxState;
+use crate::memory::{GlobalPlane, LocalPlane};
 use crate::system::{PeUnit, System};
 use crate::{UWord, Word};
 
@@ -175,8 +176,8 @@ impl Services for NoSvc {
 /// [`crate::memory::SharedMemory`], records an undo log, and flags any
 /// access outside the local plane as a violation instead of serving it.
 struct FrontierPort<'a> {
-    local: &'a mut HashMap<UWord, Word>,
-    global: &'a HashMap<UWord, Word>,
+    local: &'a mut LocalPlane,
+    global: &'a GlobalPlane,
     writes: &'a mut Vec<(UWord, Option<Word>)>,
     local_accesses: u64,
     violated: bool,
@@ -189,7 +190,7 @@ impl DataPort for FrontierPort<'_> {
             return (0, 0);
         }
         self.local_accesses += 1;
-        (self.local.get(&(addr & !3)).copied().unwrap_or(0), 0)
+        (self.local.get(addr & !3).unwrap_or(0), 0)
     }
 
     fn write_word(&mut self, _pe: usize, addr: UWord, value: Word) -> u64 {
@@ -199,7 +200,7 @@ impl DataPort for FrontierPort<'_> {
         }
         self.local_accesses += 1;
         let a = addr & !3;
-        self.writes.push((a, self.local.get(&a).copied()));
+        self.writes.push((a, self.local.get(a)));
         self.local.insert(a, value);
         0
     }
@@ -226,7 +227,7 @@ impl DataPort for FrontierPort<'_> {
     fn fetch_code(&mut self, _pe: usize, addr: UWord) -> u32 {
         #[allow(clippy::cast_sign_loss)]
         {
-            self.global.get(&(addr & !3)).copied().unwrap_or(0) as u32
+            self.global.get(addr & !3).unwrap_or(0) as u32
         }
     }
 }
@@ -246,10 +247,10 @@ fn is_local_instr(ins: &Instruction) -> bool {
     }
 }
 
-fn fetch(global: &HashMap<UWord, Word>, addr: UWord) -> u32 {
+fn fetch(global: &GlobalPlane, addr: UWord) -> u32 {
     #[allow(clippy::cast_sign_loss)]
     {
-        global.get(&(addr & !3)).copied().unwrap_or(0) as u32
+        global.get(addr & !3).unwrap_or(0) as u32
     }
 }
 
@@ -258,7 +259,7 @@ fn fetch(global: &HashMap<UWord, Word>, addr: UWord) -> u32 {
 /// segment (below [`GLOBAL_BASE`]): frontier fetches then never observe
 /// mutable global data, and the `code_writes` barrier epoch is the only
 /// staleness hazard left.
-fn next_is_local(pe: &Pe, global: &HashMap<UWord, Word>) -> bool {
+fn next_is_local(pe: &Pe, global: &GlobalPlane) -> bool {
     let pc = pe.regs.pc();
     if pc & 3 != 0 || pc.checked_add(12).is_none_or(|end| end >= GLOBAL_BASE) {
         return false;
@@ -277,8 +278,8 @@ fn run_frontier(
     p: usize,
     unit: &mut PeUnit,
     fr: &mut PeFrontier,
-    local: &mut HashMap<UWord, Word>,
-    global: &HashMap<UWord, Word>,
+    local: &mut LocalPlane,
+    global: &GlobalPlane,
     faults: Option<&FaultEngine>,
     bound: u64,
     la: &mut u64,
@@ -323,7 +324,7 @@ fn run_frontier(
                         local.insert(addr, w);
                     }
                     None => {
-                        local.remove(&addr);
+                        local.remove(addr);
                     }
                 }
             }
@@ -446,7 +447,7 @@ impl System {
             let n = self.pes.len();
             let shards = rt.shards;
             let mut pes_rest: &mut [PeUnit] = &mut self.pes;
-            let mut locals_rest: &mut [HashMap<UWord, Word>] = locals;
+            let mut locals_rest: &mut [LocalPlane] = locals;
             let mut fr_rest: &mut [PeFrontier] = &mut rt.fr;
             let mut la_rest: &mut [u64] = &mut la_slots;
             let mut base = 0usize;
@@ -588,7 +589,7 @@ impl System {
                                 locals[p].insert(addr, w);
                             }
                             None => {
-                                locals[p].remove(&addr);
+                                locals[p].remove(addr);
                             }
                         }
                     }
@@ -673,8 +674,8 @@ mod tests {
 
     #[test]
     fn frontier_port_guards_non_local_addresses() {
-        let mut local = HashMap::new();
-        let global = HashMap::new();
+        let mut local = LocalPlane::default();
+        let global = GlobalPlane::default();
         let mut writes = Vec::new();
         let mut port = FrontierPort {
             local: &mut local,

@@ -131,6 +131,10 @@ pub enum SimError {
     /// or a builder `resume_from`); the message carries the underlying
     /// [`SnapshotError`](crate::snapshot::SnapshotError) or I/O error.
     Snapshot(String),
+    /// The requested execution backend is unavailable for this build
+    /// (builder [`backend`](crate::builder::SimBuilder::backend):
+    /// `Backend::Translated` demands `VerifyLevel::Strict`).
+    Backend(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -171,6 +175,7 @@ impl std::fmt::Display for SimError {
                 Ok(())
             }
             SimError::Snapshot(msg) => write!(f, "snapshot failed: {msg}"),
+            SimError::Backend(msg) => write!(f, "backend unavailable: {msg}"),
         }
     }
 }
@@ -294,6 +299,16 @@ pub struct System {
     /// Frontier bookkeeping while a sharded `run_until` is in flight
     /// (`None` between runs and for effective shard count 1).
     pub(crate) shard: Option<crate::shard::ShardRt>,
+    /// Execution backend (see [`System::set_backend`]). Like `shards`, a
+    /// host-side execution knob, not machine state: it is *not*
+    /// snapshotted, so captures are backend-invariant.
+    pub(crate) backend: crate::xlate::Backend,
+    /// Cached translation of the loaded object (`None` until the first
+    /// translated step, or after the retranslation budget is spent).
+    pub(crate) xlate: Option<crate::xlate::XProgram>,
+    /// Retranslations performed this run-lifetime (code-write epochs
+    /// absorbed); capped by `xlate::MAX_RETRANSLATIONS`.
+    pub(crate) xlate_retrans: u32,
 }
 
 impl std::fmt::Debug for System {
@@ -307,6 +322,20 @@ impl std::fmt::Debug for System {
             .field("tracing", &self.tracer.enabled())
             .finish_non_exhaustive()
     }
+}
+
+/// How a translated batch ended. Consequences that need the whole
+/// `&mut System` (context roll-out, trap service) are applied after the
+/// borrow of the translation is released.
+enum BatchExit {
+    /// Back to the outer loop: bound reached, slot missing, epoch moved.
+    Outer,
+    /// The last step blocked on a channel; `before` is its start cycle.
+    Blocked { before: u64 },
+    /// The last step trapped (PC already advanced past the trap).
+    Trap { before: u64, entry: Word, arg: Word, dst1: u8, dst2: u8 },
+    /// The instruction stream was undecodable.
+    Error(String),
 }
 
 struct Svc<'a> {
@@ -499,6 +528,9 @@ impl System {
             next_snap_at: 0,
             shards: 1,
             shard: None,
+            backend: crate::xlate::Backend::Interp,
+            xlate: None,
+            xlate_retrans: 0,
             cfg,
         }
     }
@@ -520,6 +552,31 @@ impl System {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Select the execution backend for the PE hot loop (see
+    /// [`crate::xlate`]). Like [`System::set_shards`], the backend is an
+    /// execution strategy, not a machine parameter: both backends
+    /// produce bit-identical results — same cycles, same
+    /// [`Snapshot::state_digest`](crate::snapshot::Snapshot::state_digest),
+    /// same trace streams, same fault draws, same snapshot bytes
+    /// (`docs/DETERMINISM.md`; pinned by `tests/xlate_equivalence.rs`).
+    /// It is therefore safe to change between runs, including on a
+    /// restored snapshot.
+    ///
+    /// This is the unchecked low-level knob (replay and resumed service
+    /// jobs re-apply it to restored systems). The verified front door is
+    /// [`crate::SimBuilder::backend`], which insists on Strict
+    /// verification before enabling the translated backend on a fresh
+    /// build.
+    pub fn set_backend(&mut self, backend: crate::xlate::Backend) {
+        self.backend = backend;
+    }
+
+    /// The selected execution backend.
+    #[must_use]
+    pub fn backend(&self) -> crate::xlate::Backend {
+        self.backend
     }
 
     /// Install a fault-injection plan (see [`crate::fault`]). An empty
@@ -967,7 +1024,18 @@ impl System {
             }
             let ctx_id = self.pes[i].current.expect("dispatched");
             let before = self.pes[i].pe.cycles;
+            let translated = self.backend == crate::xlate::Backend::Translated;
             let result = {
+                // Translated backend: use the pre-decoded slot when one
+                // exists for this PC; otherwise fall back to the
+                // interpreter (same exec functions either way — see
+                // crate::xlate for the equivalence argument).
+                let slot = if translated {
+                    self.ensure_translation();
+                    self.xlate.as_ref().and_then(|xp| xp.slot(self.pes[i].pe.regs.pc())).copied()
+                } else {
+                    None
+                };
                 let mut svc = Svc {
                     channels: &mut self.channels,
                     contexts: &mut self.contexts,
@@ -979,8 +1047,12 @@ impl System {
                     ctx: ctx_id,
                     time: before,
                 };
-                self.pes[i].pe.step(&mut self.memory, &mut svc)
+                match slot {
+                    Some(d) => self.pes[i].pe.step_decoded(&d, &mut self.memory, &mut svc),
+                    None => self.pes[i].pe.step(&mut self.memory, &mut svc),
+                }
             };
+            let continued = matches!(result, StepResult::Continue);
             match result {
                 StepResult::Continue | StepResult::Return { .. } => {
                     self.idle_steps = 0;
@@ -1052,9 +1124,173 @@ impl System {
             if self.shard.is_some() {
                 self.shard_after_step(i);
             }
+            // Translated fast path: after a sequential retire in an
+            // unsharded, fault-free, untraced run, keep stepping this
+            // context in a tight loop up to the first cycle at which the
+            // outer loop's per-step checks could choose differently.
+            if continued
+                && translated
+                && self.shard.is_none()
+                && self.faults.is_none()
+                && !self.tracer.enabled()
+            {
+                self.run_translated_batch(i, limit)?;
+            }
         }
         debug_assert!(self.shard_quiescent(), "completion is a consumption barrier");
         Ok(RunStatus::Done(self.outcome()))
+    }
+
+    /// Retire as many further steps of PE `i`'s running context as the
+    /// serial schedule allows, without per-step scheduling. Called only
+    /// right after that context retired an instruction and continued, in
+    /// an unsharded, fault-free, untraced translated run. See
+    /// `crate::xlate` for the two batching rules (any step runs while
+    /// this PE is provably the serial scheduler's next pick; local-only
+    /// steps additionally run ahead of the global cycle order) and the
+    /// equivalence argument behind each.
+    ///
+    /// Each iteration re-checks everything that depends on PE `i`
+    /// itself: the hard bound (pause limit, snapshot boundary), the
+    /// instruction budget (the error fires at the exact same retired
+    /// count as the outer loop's check), the code-write epoch, and that
+    /// the next instruction has a translated slot — anything else exits
+    /// to the outer loop, which re-proves the schedule from scratch.
+    /// Steps that block or trap are retired here exactly as the outer
+    /// loop's match arms would under the batch gate (no tracer, no
+    /// faults), then end the batch.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InstructionBudget`] at exactly the retired count the
+    /// outer loop would have raised it; [`SimError::Pe`] and trap
+    /// failures as the outer loop would surface them.
+    pub(crate) fn run_translated_batch(&mut self, i: usize, limit: u64) -> Result<(), SimError> {
+        let mut retired = false;
+        let exit = {
+            let Some(xp) = self.xlate.as_ref() else {
+                return Ok(());
+            };
+            let epoch = xp.epoch;
+            let hard = if self.snap_every.is_some() { limit.min(self.next_snap_at) } else { limit };
+            // `LeastLoaded` forks tie-break on other PEs' *clocks*, so a
+            // PE whose clock ran ahead through local-only steps would be
+            // observed mid-batch. Under that policy every step keeps the
+            // cycle-order bound, which makes the batch exactly the
+            // serial dispatch prefix — clocks stay serial-exact
+            // whenever any other PE can act.
+            let clocks_observed = self.cfg.placement == Placement::LeastLoaded;
+            // Lower bound on every other PE's next-action `(time, pe)`
+            // heap key, fetched lazily and re-fetched after any step
+            // that may have woken another PE (a channel transfer
+            // completing). `(u64::MAX, _)` means no other PE can act.
+            let mut bound: Option<(u64, usize)> = None;
+            loop {
+                if self.memory.code_writes != epoch {
+                    break BatchExit::Outer;
+                }
+                let unit = &self.pes[i];
+                if unit.pe.cycles >= hard {
+                    break BatchExit::Outer;
+                }
+                let Some(d) = xp.slot(unit.pe.regs.pc()) else {
+                    break BatchExit::Outer;
+                };
+                let seq = d.is_sequential();
+                if clocks_observed || !(seq && d.is_local_only(&unit.pe)) {
+                    let b = match bound {
+                        Some(b) => b,
+                        None => {
+                            let b = self.sched.min_other_hint(i).unwrap_or((u64::MAX, 0));
+                            bound = Some(b);
+                            b
+                        }
+                    };
+                    // The serial scheduler pops the least `(time, pe)`
+                    // key, and a running PE's key is `(cycles, pe)`: this
+                    // PE is provably next exactly while its key compares
+                    // below every other PE's — including winning the
+                    // equal-time tie by lower index, as the heap would.
+                    if (unit.pe.cycles, i) >= b {
+                        break BatchExit::Outer;
+                    }
+                }
+                let ctx_id = self.pes[i].current.expect("batched context is running");
+                let before = self.pes[i].pe.cycles;
+                let mut svc = Svc {
+                    channels: &mut self.channels,
+                    contexts: &mut self.contexts,
+                    sched: &mut self.sched,
+                    cfg: &self.cfg,
+                    tracer: &mut self.tracer,
+                    faults: &mut self.faults,
+                    report: &mut self.report,
+                    ctx: ctx_id,
+                    time: before,
+                };
+                match self.pes[i].pe.step_decoded(d, &mut self.memory, &mut svc) {
+                    StepResult::Continue | StepResult::Return { .. } => {
+                        self.idle_steps = 0;
+                        retired = true;
+                        let unit = &mut self.pes[i];
+                        unit.busy += unit.pe.cycles - before;
+                        self.instr_count += 1;
+                        if self.instr_count > self.cfg.max_instructions {
+                            return Err(SimError::InstructionBudget);
+                        }
+                        if !seq {
+                            // A completed transfer may have readied a
+                            // context on another PE: re-prove the bound.
+                            bound = None;
+                        }
+                    }
+                    StepResult::Blocked(_) => break BatchExit::Blocked { before },
+                    StepResult::Trap { entry, arg, dst1, dst2, .. } => {
+                        break BatchExit::Trap { before, entry, arg, dst1, dst2 }
+                    }
+                    StepResult::Error(msg) => break BatchExit::Error(msg),
+                }
+            }
+        };
+        match exit {
+            BatchExit::Outer => {}
+            BatchExit::Blocked { before } => {
+                // The outer loop's Blocked arm under the batch gate:
+                // charge the failed poll one base cycle, park the
+                // context, account the step.
+                retired = true;
+                self.pes[i].pe.cycles += 1;
+                self.block_current(i);
+                self.idle_steps += 1;
+                let unit = &mut self.pes[i];
+                unit.busy += unit.pe.cycles - before;
+                self.instr_count += 1;
+                if self.instr_count > self.cfg.max_instructions {
+                    return Err(SimError::InstructionBudget);
+                }
+            }
+            BatchExit::Trap { before, entry, arg, dst1, dst2 } => {
+                retired = true;
+                self.idle_steps = 0;
+                self.handle_trap(i, entry, arg, dst1, dst2)?;
+                let unit = &mut self.pes[i];
+                unit.busy += unit.pe.cycles - before;
+                self.instr_count += 1;
+                if self.instr_count > self.cfg.max_instructions {
+                    return Err(SimError::InstructionBudget);
+                }
+            }
+            BatchExit::Error(msg) => return Err(SimError::Pe(msg)),
+        }
+        if retired {
+            // Keep PE `i`'s heap hint tight: its clock moved across the
+            // whole batch but was only re-planted for the pre-batch
+            // step. A zero-step batch that fell straight through to the
+            // outer loop changed nothing, so the hint is still exact.
+            let t = self.actor_time(i);
+            self.sched.refresh(i, t);
+        }
+        Ok(())
     }
 
     /// Arm automatic snapshots: every `every` cycles (of simulated time)

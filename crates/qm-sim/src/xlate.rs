@@ -1,0 +1,207 @@
+//! Translated execution: the verified-fast backend for the PE hot loop.
+//!
+//! The interpreter pays two costs per simulated instruction that never
+//! change for a given code word: three `fetch_code` hash lookups and a
+//! full decode. `XProgram` pays them *once per code address at load*,
+//! caching the [`DecodedInstr`] (operands resolved, exec function
+//! pointer bound) for every word of the loaded object. The run loop
+//! then dispatches straight into the shared exec functions — the same
+//! ones `Pe::step` runs — so the translated backend cannot disagree
+//! with the interpreter on cycles, statistics, fault draws, traces or
+//! snapshot bytes. That bit-identity is the backend contract
+//! (`docs/DETERMINISM.md`) and is pinned by
+//! `tests/xlate_equivalence.rs` and the full sweep's `identical` flag.
+//!
+//! # Safety / fallback ladder
+//!
+//! The fast path is *opt-in and verified*: [`crate::SimBuilder`]
+//! accepts [`Backend::Translated`] only together with
+//! [`VerifyLevel::Strict`](qm_verify::VerifyLevel), whose report
+//! carries the machine-readable fast-path certificate
+//! (`qm_verify::Report::fast_path_certificate`). Within a run, the
+//! translation degrades — never diverges — in three ways:
+//!
+//! * **Per-slot**: a word that does not decode (data in the code
+//!   segment, mid-immediate jump targets) gets no slot; executing from
+//!   it falls back to `Pe::step`, which reproduces the interpreter's
+//!   exact error or behaviour.
+//! * **Per-epoch**: any store below `GLOBAL_BASE` bumps
+//!   `SharedMemory::code_writes`; a stale `XProgram` is retranslated
+//!   from *current* memory before its next use, so self-modifying code
+//!   executes its new words exactly like the interpreter.
+//! * **Per-run**: pathologically self-modifying programs (more than
+//!   `MAX_RETRANSLATIONS` epochs) drop the translation for the rest
+//!   of the run and execute interpreted — a host-side throttle with no
+//!   architectural effect.
+//!
+//! # The batched serial fast path
+//!
+//! Caching the decode is not enough for the target speed-up: in the
+//! serial run loop the per-step scheduler bookkeeping costs more than
+//! the decode did. When the acting PE just retired an instruction and
+//! the run is unsharded, fault-free and untraced,
+//! `System::run_translated_batch` keeps stepping that PE's context in a
+//! tight loop — channel operations included, against the real kernel
+//! services — without re-proving the schedule per step. Two rules
+//! decide how far it may run, both inside the hard bound of the pause
+//! limit and the next snapshot boundary:
+//!
+//! * **Any step may run while this PE is provably next.** While the
+//!   PE's `(clock, pe)` key compares below a conservative lower bound
+//!   on every other PE's next-action key
+//!   (`Scheduler::min_other_hint`, O(log) from the
+//!   actor heap — not an O(PEs) scan; the lexicographic compare wins
+//!   equal-time ties by lower PE index, exactly as the heap does), the
+//!   serial scheduler would dispatch this same PE anyway, so executing
+//!   its next step — a `send`, a global `store`, even a `trap` — *is*
+//!   the serial schedule. A step that can wake another PE (a channel transfer
+//!   completing) invalidates the cached bound; a step that blocks or
+//!   traps exits the batch to the outer loop's context-switch and
+//!   kernel paths.
+//! * **Local-only steps also run ahead of the global cycle order.** A
+//!   step that provably touches nothing but the PE's own registers and
+//!   local plane ([`DecodedInstr::is_local_only`] — ALU/compare,
+//!   branches and `dup`s whose fill/queue addresses are local) commutes
+//!   with every other PE's steps: PEs have no shared clock (each
+//!   dispatch clamps to the *acting PE's* own cycles), so nothing
+//!   another PE does can observe or be observed by it. This is the
+//!   sharded frontier's locality argument (`qm-sim::shard`), applied
+//!   without undo logs because nothing here needs rolling back. The
+//!   paused/idle states still coincide with the serial schedule's: a
+//!   pause at `limit` retires exactly the steps with start cycle below
+//!   `limit` in either order, and a deadlock or completion can only be
+//!   declared once no runnable work remains anywhere.
+//!
+//! The local-only rule assumes no other PE can observe this PE's
+//! private state — which `LeastLoaded` placement violates: forks
+//! tie-break on other PEs' clocks. Under that policy *every* batched
+//! step keeps the cycle-order bound, which makes the batch exactly the
+//! serial dispatch prefix, and observed clocks stay serial-exact.
+//!
+//! One carve-out, shared in spirit with the sharded frontier's
+//! instruction-budget margin: the budget error still fires at the exact
+//! same retired-instruction count on either backend, but because
+//! local-only steps may retire ahead of the global cycle order, the
+//! machine state behind an *aborted* run (budget exhaustion — a host
+//! safety valve, not an architectural event) may interleave
+//! differently. Completed runs, pauses, snapshots, deadlocks and every
+//! architectural observable are bit-identical (`docs/DETERMINISM.md`).
+
+use qm_isa::decoded::DecodedInstr;
+use qm_isa::UWord;
+
+use crate::memory::SharedMemory;
+use crate::system::System;
+
+/// Execution backend for the PE hot loop (see [`crate::SimBuilder::backend`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Fetch + decode every step (the reference semantics).
+    #[default]
+    Interp,
+    /// Decode once at load into direct-threaded [`DecodedInstr`] slots;
+    /// bit-identical to [`Backend::Interp`] by construction. Requires
+    /// Strict verification through the builder.
+    Translated,
+}
+
+impl Backend {
+    /// Stable lowercase name (wire format and CLI flag value).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Interp => "interp",
+            Backend::Translated => "translated",
+        }
+    }
+
+    /// Parse a CLI/wire backend name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "interp" => Some(Backend::Interp),
+            "translated" => Some(Backend::Translated),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Retranslation budget per run: a program that rewrites its code
+/// segment more than this many times executes interpreted from then on
+/// (identical results, no translation churn).
+pub(crate) const MAX_RETRANSLATIONS: u32 = 16;
+
+/// The translation of the loaded object: one pre-decoded slot per code
+/// word address in `base .. base + 4 * slots.len()`. Slots are
+/// position-indexed, so computed jumps and mid-instruction targets
+/// resolve exactly like the interpreter's fetch at that address.
+#[derive(Debug, Clone)]
+pub(crate) struct XProgram {
+    base: UWord,
+    slots: Vec<Option<DecodedInstr>>,
+    /// `SharedMemory::code_writes` at translation time; a mismatch means
+    /// the code segment changed and this translation is stale.
+    pub(crate) epoch: u64,
+}
+
+impl XProgram {
+    /// Translate `len` code words starting at `base`, reading *current*
+    /// memory through the same default-zero view `fetch_code` uses — a
+    /// slot decodes exactly the words the interpreter would fetch at
+    /// that address, or stays empty when decode fails there.
+    pub(crate) fn translate(mem: &SharedMemory, base: UWord, len: usize, epoch: u64) -> XProgram {
+        let word = |i: usize| {
+            #[allow(clippy::cast_sign_loss)]
+            {
+                mem.peek_global(base.wrapping_add(4 * i as UWord)) as u32
+            }
+        };
+        let slots = (0..len)
+            .map(|i| {
+                let words = [word(i), word(i + 1), word(i + 2)];
+                DecodedInstr::translate(&words).ok()
+            })
+            .collect();
+        XProgram { base, slots, epoch }
+    }
+
+    /// The slot for the instruction at `pc`, or `None` when `pc` is
+    /// outside the translated range or the words there do not decode.
+    #[inline]
+    pub(crate) fn slot(&self, pc: UWord) -> Option<&DecodedInstr> {
+        let off = pc.wrapping_sub(self.base);
+        if off & 3 != 0 {
+            return None;
+        }
+        self.slots.get((off / 4) as usize)?.as_ref()
+    }
+}
+
+impl System {
+    /// Make the cached translation match the current code segment:
+    /// (re)translate when the code-write epoch moved, drop the
+    /// translation for the run after [`MAX_RETRANSLATIONS`] epochs.
+    /// Cheap when current (one counter compare).
+    pub(crate) fn ensure_translation(&mut self) {
+        let epoch = self.memory.code_writes;
+        if self.xlate.as_ref().is_some_and(|xp| xp.epoch == epoch) {
+            return;
+        }
+        if self.xlate_retrans >= MAX_RETRANSLATIONS {
+            self.xlate = None;
+            return;
+        }
+        let Some(obj) = self.symbol_snap.as_deref() else {
+            self.xlate = None;
+            return;
+        };
+        self.xlate_retrans += 1;
+        self.xlate = Some(XProgram::translate(&self.memory, obj.base, obj.words.len(), epoch));
+    }
+}

@@ -8,7 +8,7 @@ const DOC: &str = include_str!("../../../docs/DETERMINISM.md");
 
 /// API anchors the contract describes: each must appear backticked (as
 /// part of a path or call) so prose drift can't mask a rename.
-const API_ANCHORS: [&str; 8] = [
+const API_ANCHORS: [&str; 10] = [
     "qm_sim::rng::mix",
     "qm_sim::rng::draw",
     "qm_sim::rng::checksum",
@@ -17,6 +17,8 @@ const API_ANCHORS: [&str; 8] = [
     "System::set_shards",
     ".shards(n)",
     "WorkloadRun::shards",
+    "Backend::Translated",
+    "WorkloadRun::backend",
 ];
 
 #[test]
@@ -65,10 +67,20 @@ fn the_contract_covers_every_promised_section() {
         "## `state_digest`",
         "## Snapshots",
         "## Sharded execution",
+        "## Translated execution",
         "## How each suite pins the contract",
     ] {
         assert!(DOC.contains(heading), "docs/DETERMINISM.md lost the section {heading:?}");
     }
+}
+
+#[test]
+fn backend_documented_as_interp_equivalent() {
+    // The load-bearing claims of the translated-execution section: the
+    // backend is not machine state, and the only unspecified state is
+    // behind an instruction-budget abort.
+    assert!(DOC.contains("snapshots carry no backend"));
+    assert!(DOC.contains("SimError::InstructionBudget"));
 }
 
 #[test]

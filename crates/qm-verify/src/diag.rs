@@ -368,6 +368,7 @@ impl Report {
         j.bool_field("clean", self.is_clean());
         j.u64_field("errors", self.errors().count() as u64);
         j.u64_field("warnings", self.warnings().count() as u64);
+        self.fast_path_certificate().write_field(j);
         j.key("diags");
         self.write_diags(j);
     }
@@ -376,6 +377,60 @@ impl Report {
     #[must_use]
     pub fn summary(&self) -> String {
         format!("{} error(s), {} warning(s)", self.errors().count(), self.warnings().count())
+    }
+
+    /// The machine-readable fast-path certificate derived from this
+    /// report: whether a consumer may run the program on a pre-decoded
+    /// fast path that skips the per-step checks these passes prove
+    /// statically. `qm-sim`'s translated backend
+    /// (`Backend::Translated`) demands an eligible certificate, which a
+    /// `Strict` build implies (Strict rejects any finding at all). The
+    /// certificate also rides in the `verify_report` envelope as the
+    /// `fast_path` field.
+    #[must_use]
+    pub fn fast_path_certificate(&self) -> FastPathCertificate {
+        FastPathCertificate {
+            eligible: self.is_clean(),
+            blocking: self.diags.len(),
+            passes: FAST_PATH_PASSES,
+        }
+    }
+}
+
+/// Verifier passes whose clean result a [`FastPathCertificate`] rests
+/// on (the complete pass list of [`verify_object_at`](crate::verify_object_at)).
+pub const FAST_PATH_PASSES: &[&str] = &["queue", "wiring"];
+
+/// The certificate a clean verification confers: the program's queue
+/// discipline and channel wiring hold on every statically reachable
+/// path, so an execution backend may cache decodes and elide the
+/// per-step re-checks those properties would otherwise require. See
+/// [`Report::fast_path_certificate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastPathCertificate {
+    /// The program may run on a verified fast path.
+    pub eligible: bool,
+    /// Findings standing in the way (0 when eligible).
+    pub blocking: usize,
+    /// The passes the certificate rests on.
+    pub passes: &'static [&'static str],
+}
+
+impl FastPathCertificate {
+    /// Write the certificate as the `fast_path` object field of an open
+    /// JSON object.
+    pub fn write_field(&self, j: &mut JsonBuf) {
+        j.key("fast_path");
+        j.begin_obj();
+        j.bool_field("eligible", self.eligible);
+        j.u64_field("blocking", self.blocking as u64);
+        j.key("passes");
+        j.begin_arr();
+        for p in self.passes {
+            j.str_val(p);
+        }
+        j.end_arr();
+        j.end_obj();
     }
 }
 
@@ -442,6 +497,25 @@ mod tests {
         assert!(envelope.contains("\"errors\":1"), "{envelope}");
         assert!(envelope.contains(&format!("\"diags\":{json}")), "{envelope}");
         qm_core::json::parse(&envelope).expect("envelope is valid JSON");
+    }
+
+    #[test]
+    fn fast_path_certificate_follows_cleanliness() {
+        let clean = Report::default();
+        let cert = clean.fast_path_certificate();
+        assert!(cert.eligible);
+        assert_eq!(cert.blocking, 0);
+        assert_eq!(cert.passes, FAST_PATH_PASSES);
+        assert!(clean.to_json().contains(
+            "\"fast_path\":{\"eligible\":true,\"blocking\":0,\"passes\":[\"queue\",\"wiring\"]}"
+        ));
+
+        let mut dirty = Report::default();
+        dirty.push(Diagnostic::new(Code::SlotOverwrite, "w"));
+        let cert = dirty.fast_path_certificate();
+        assert!(!cert.eligible, "warnings block the fast path too");
+        assert_eq!(cert.blocking, 1);
+        assert!(dirty.to_json().contains("\"fast_path\":{\"eligible\":false"));
     }
 
     #[test]

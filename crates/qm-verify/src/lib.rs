@@ -45,7 +45,7 @@ pub mod sequence;
 pub mod traps;
 mod wiring;
 
-pub use diag::{Code, Diagnostic, Report, Severity};
+pub use diag::{Code, Diagnostic, FastPathCertificate, Report, Severity};
 
 use qm_isa::asm::Object;
 use qm_isa::UWord;

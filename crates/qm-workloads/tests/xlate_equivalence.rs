@@ -1,0 +1,127 @@
+//! Property tests for the translated execution backend: over arbitrary
+//! workloads × PE counts (1–128) × shard counts × channel capacities ×
+//! seeded fault plans, a translated run must be *bit-identical* to the
+//! interpreted run — same outcome (or the identical structured error),
+//! same architectural state digest, same snapshot bytes — and snapshots
+//! captured under one backend must restore and finish under the other,
+//! both ways (the backend-invariance clause of `docs/DETERMINISM.md`).
+//!
+//! (This file needs the `proptest` dev-dependency; the dependency-free
+//! sibling with fixed configurations lives in `xlate_fixed.rs` so
+//! offline builds keep equivalent coverage.)
+
+use proptest::prelude::*;
+use qm_sim::snapshot::Snapshot;
+use qm_sim::system::RunStatus;
+use qm_sim::{Backend, FaultPlan, System, SystemConfig};
+use qm_workloads::{Workload, WorkloadRun};
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        (2usize..=6).prop_map(qm_workloads::matmul),
+        (4usize..=24).prop_map(qm_workloads::reduction),
+        (2usize..=7).prop_map(qm_workloads::cholesky),
+    ]
+}
+
+fn plan_strategy() -> impl Strategy<Value = Option<FaultPlan>> {
+    prop_oneof![
+        Just(None),
+        (1u64..=u64::MAX, 0u32..300_000, 0u32..150_000, 0u32..300_000).prop_map(
+            |(seed, send, bus, trap)| {
+                Some(
+                    FaultPlan::seeded(seed)
+                        .with_send_loss(send)
+                        .with_bus_drops(bus)
+                        .with_trap_delays(trap, 8),
+                )
+            }
+        ),
+    ]
+}
+
+/// A run template for one sampled configuration; cloned per backend so
+/// the two systems differ in nothing but the execution strategy.
+fn template(pes: usize, capacity: usize, shards: usize, plan: Option<&FaultPlan>) -> WorkloadRun {
+    let mut cfg = SystemConfig::with_pes(pes);
+    cfg.channel_capacity = capacity;
+    let mut run = WorkloadRun::new().config(cfg).shards(shards);
+    if let Some(plan) = plan {
+        run = run.fault_plan(plan.clone());
+    }
+    run
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Full runs: cycle counts, outcomes (or identical structured
+    /// errors — fault-heavy configurations may deadlock, identically),
+    /// state digests and snapshot bytes all match across backends.
+    #[test]
+    fn translated_runs_are_bit_identical_to_interpreted((w, pes, shards, capacity, plan) in
+        (workload_strategy(), 1usize..=128,
+         prop_oneof![Just(0usize), Just(2), Just(4)], 0usize..9, plan_strategy()))
+    {
+        let (mut interp, _) = template(pes, capacity, shards, plan.as_ref())
+            .backend(Backend::Interp)
+            .prepare(&w)
+            .expect("interp prepare");
+        let (mut translated, _) = template(pes, capacity, shards, plan.as_ref())
+            .backend(Backend::Translated)
+            .prepare(&w)
+            .expect("translated prepare");
+
+        let a = interp.run().map_err(|e| e.to_string());
+        let b = translated.run().map_err(|e| e.to_string());
+        prop_assert_eq!(&a, &b, "outcomes diverged across backends");
+
+        let snap_a = Snapshot::capture(&interp);
+        let snap_b = Snapshot::capture(&translated);
+        prop_assert_eq!(snap_a.state_digest(), snap_b.state_digest(), "digests diverged");
+        prop_assert_eq!(snap_a.encode(), snap_b.encode(), "snapshot bytes diverged");
+    }
+
+    /// Mid-run snapshots cross backends both ways: capture under one,
+    /// restore and finish under the other; the result must match the
+    /// uninterrupted interpreted baseline exactly.
+    #[test]
+    fn snapshots_cross_backends_both_ways((w, pes, capacity, plan, pause_at) in
+        (workload_strategy(), 1usize..=32, 0usize..9, plan_strategy(), 1u64..50_000))
+    {
+        let baseline = {
+            let (mut sys, _) = template(pes, capacity, 0, plan.as_ref())
+                .backend(Backend::Interp)
+                .prepare(&w)
+                .expect("baseline prepare");
+            sys.run().map_err(|e| e.to_string())
+        };
+
+        for (from, to) in [(Backend::Interp, Backend::Translated),
+                           (Backend::Translated, Backend::Interp)] {
+            let (mut sys, _) = template(pes, capacity, 0, plan.as_ref())
+                .backend(from)
+                .prepare(&w)
+                .expect("prepare");
+            match sys.run_until(pause_at).map_err(|e| e.to_string()) {
+                Ok(RunStatus::Done(outcome)) => {
+                    prop_assert_eq!(Ok(outcome), baseline.clone(), "finished before the pause");
+                }
+                Ok(RunStatus::Paused { .. }) => {
+                    let bytes = Snapshot::capture(&sys).encode();
+                    let snap = Snapshot::decode(&bytes).expect("decodes");
+                    let mut restored = System::restore(&snap).expect("restores");
+                    // The backend is a host knob, not machine state:
+                    // the snapshot carries none, so the continuation
+                    // picks its own.
+                    restored.set_backend(to);
+                    let out = restored.run().map_err(|e| e.to_string());
+                    prop_assert_eq!(out, baseline.clone(), "{}->{} continuation diverged", from, to);
+                }
+                Err(e) => {
+                    prop_assert_eq!(Err(e), baseline.clone(), "failed before the pause");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Deterministic translated-backend equivalence checks: a fixed grid of
+//! workloads × PE counts (including the 128-PE upper bound) × shards ×
+//! channel capacities × a seeded fault plan, asserting bit-identity of
+//! outcomes, state digests and snapshot bytes between the interpreter
+//! and the translated backend, plus mid-run snapshot hand-offs in both
+//! directions.
+//!
+//! (Dependency-free sibling of the `xlate_equivalence.rs` proptest, so
+//! `scripts/offline-build.sh --run-tests` keeps equivalent coverage
+//! without the `proptest` dev-dependency.)
+
+use qm_sim::snapshot::Snapshot;
+use qm_sim::system::RunStatus;
+use qm_sim::{Backend, FaultPlan, System, SystemConfig};
+use qm_workloads::{Workload, WorkloadRun};
+
+fn template(pes: usize, capacity: usize, shards: usize, plan: Option<&FaultPlan>) -> WorkloadRun {
+    let mut cfg = SystemConfig::with_pes(pes);
+    if capacity != 0 {
+        cfg.channel_capacity = capacity;
+    }
+    let mut run = WorkloadRun::new().config(cfg).shards(shards);
+    if let Some(plan) = plan {
+        run = run.fault_plan(plan.clone());
+    }
+    run
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::seeded(0xD1CE).with_send_loss(150_000).with_bus_drops(60_000)
+}
+
+/// Run the same configuration on both backends and demand bit-identity
+/// of the outcome (or the identical error), digest and snapshot bytes.
+fn assert_backends_agree(
+    label: &str,
+    w: &Workload,
+    pes: usize,
+    capacity: usize,
+    shards: usize,
+    faulty: bool,
+) {
+    let plan = faulty.then(plan);
+    let (mut interp, _) = template(pes, capacity, shards, plan.as_ref())
+        .backend(Backend::Interp)
+        .prepare(w)
+        .expect("interp prepare");
+    let (mut translated, _) = template(pes, capacity, shards, plan.as_ref())
+        .backend(Backend::Translated)
+        .prepare(w)
+        .expect("translated prepare");
+    let a = interp.run().map_err(|e| e.to_string());
+    let b = translated.run().map_err(|e| e.to_string());
+    assert_eq!(a, b, "{label}: outcomes diverged");
+    let snap_a = Snapshot::capture(&interp);
+    let snap_b = Snapshot::capture(&translated);
+    assert_eq!(snap_a.state_digest(), snap_b.state_digest(), "{label}: digests diverged");
+    assert_eq!(snap_a.encode(), snap_b.encode(), "{label}: snapshot bytes diverged");
+}
+
+#[test]
+fn backends_agree_across_pe_counts() {
+    let w = qm_workloads::matmul(4);
+    for pes in [1, 2, 7, 128] {
+        assert_backends_agree(&format!("matmul4/{pes}pe"), &w, pes, 0, 0, false);
+    }
+}
+
+#[test]
+fn backends_agree_across_workloads() {
+    for (label, w) in
+        [("reduction16", qm_workloads::reduction(16)), ("cholesky6", qm_workloads::cholesky(6))]
+    {
+        assert_backends_agree(label, &w, 4, 0, 0, false);
+    }
+}
+
+#[test]
+fn backends_agree_under_shards_and_tight_capacity() {
+    let w = qm_workloads::matmul(4);
+    assert_backends_agree("matmul4/2pe/2shards", &w, 2, 0, 2, false);
+    assert_backends_agree("matmul4/4pe/cap2", &w, 4, 2, 0, false);
+}
+
+#[test]
+fn backends_agree_under_fault_injection() {
+    let w = qm_workloads::matmul(4);
+    assert_backends_agree("matmul4/2pe/faulty", &w, 2, 0, 0, true);
+    assert_backends_agree("matmul4/128pe/faulty", &w, 128, 0, 0, true);
+}
+
+#[test]
+fn snapshots_hand_off_across_backends_both_ways() {
+    let w = qm_workloads::matmul(4);
+    for faulty in [false, true] {
+        let plan = faulty.then(plan);
+        let baseline = {
+            let (mut sys, _) = template(2, 0, 0, plan.as_ref())
+                .backend(Backend::Interp)
+                .prepare(&w)
+                .expect("baseline prepare");
+            sys.run().expect("baseline run")
+        };
+        let half = baseline.elapsed_cycles / 2;
+        for (from, to) in
+            [(Backend::Interp, Backend::Translated), (Backend::Translated, Backend::Interp)]
+        {
+            let (mut sys, _) =
+                template(2, 0, 0, plan.as_ref()).backend(from).prepare(&w).expect("prepare");
+            let RunStatus::Paused { .. } = sys.run_until(half).expect("runs to the pause") else {
+                panic!("matmul(4) finished before its own half-way point");
+            };
+            let bytes = Snapshot::capture(&sys).encode();
+            let snap = Snapshot::decode(&bytes).expect("decodes");
+            let mut restored = System::restore(&snap).expect("restores");
+            restored.set_backend(to);
+            let out = restored.run().expect("resumed run");
+            assert_eq!(out, baseline, "{from}->{to} continuation diverged (faulty={faulty})");
+        }
+    }
+}

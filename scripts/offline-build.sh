@@ -5,7 +5,7 @@
 # with bare rustc. Integration tests that need proptest are skipped;
 # the deterministic ones under tests/ are built with --test.
 #
-# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults|--snapshot|--verify|--perf|--shards|--serve]
+# Usage: scripts/offline-build.sh [--run-tests|--clippy|--doc|--faults|--snapshot|--verify|--perf|--shards|--serve|--xlate]
 #
 # --clippy rebuilds everything with clippy-driver (a drop-in rustc) and
 # -Dwarnings, mirroring the CI `cargo clippy -- -D warnings` gate without
@@ -39,6 +39,12 @@
 # check (`serve_smoke`): HTTP fidelity against a direct WorkloadRun,
 # compile-cache hits, and bit-identical snapshot preemption, mirroring
 # the CI serve-smoke job.
+#
+# --xlate builds everything and then runs the translated-backend smoke
+# check: the fixed xlate equivalence grid (interp vs translated
+# bit-identity on outcomes, digests and snapshot bytes, plus
+# cross-backend snapshot hand-offs) and a `replay --backend translated`
+# divergence bisection, mirroring the CI xlate-smoke job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT=target/offline
@@ -106,6 +112,7 @@ if [[ "${1:-}" == "--run-tests" || "${1:-}" == "--clippy" ]]; then
              crates/qm-occam/tests/compile_run.rs crates/qm-occam/tests/codegen_behavior.rs \
              crates/qm-occam/tests/deterministic_shapes.rs \
              crates/qm-isa/tests/von_neumann.rs crates/qm-workloads/tests/runner_paths.rs \
+             crates/qm-workloads/tests/xlate_fixed.rs \
              crates/qm-sim/tests/trace_events.rs \
              crates/qm-sim/tests/fault_recovery.rs \
              crates/qm-sim/tests/snapshot_roundtrip.rs \
@@ -163,4 +170,13 @@ fi
 if [[ "${1:-}" == "--serve" ]]; then
     "$OUT/serve_smoke"
     echo "offline serve smoke OK"
+fi
+
+if [[ "${1:-}" == "--xlate" ]]; then
+    ALLEXT="$EXTERNS --extern qm_bench=$OUT/libqm_bench.rlib --extern queue_machine=$OUT/libqueue_machine.rlib"
+    $RUSTC --test --crate-name itest_xlate_fixed $L $ALLEXT \
+        crates/qm-workloads/tests/xlate_fixed.rs -o "$OUT/itest_xlate_fixed"
+    "$OUT/itest_xlate_fixed" -q
+    "$OUT/replay" --backend translated >/dev/null
+    echo "offline xlate smoke OK"
 fi
